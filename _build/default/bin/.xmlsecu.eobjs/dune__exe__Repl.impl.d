@@ -1,0 +1,1 @@
+bin/repl.ml: Baselines Core Format List Option Ordpath Printf String Xmldoc Xpath Xupdate

@@ -1,0 +1,1 @@
+bin/xmlsecu.ml: Arg Baselines Cmd Cmdliner Core Format List Option Ordpath Printf Repl Term Xmldoc Xpath Xupdate

@@ -1,0 +1,1 @@
+bin/xmlsecu.mli:

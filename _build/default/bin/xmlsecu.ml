@@ -1,0 +1,440 @@
+(* xmlsecu — a command-line secure XML database in the spirit of the
+   paper's Prolog prototype: load a document and a policy, log a user in,
+   inspect the view, query it, run secure XUpdate operations, and ask why
+   a node is (in)visible. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load_doc path = Xmldoc.Xml_parse.of_string (read_file path)
+
+let with_session doc_path policy_path user f =
+  try
+    let doc = load_doc doc_path in
+    let policy = Core.Policy_lang.parse (read_file policy_path) in
+    let session = Core.Session.login policy doc ~user in
+    f session;
+    0
+  with
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | Xmldoc.Xml_parse.Error _ as e ->
+    Printf.eprintf "error: %s\n"
+      (Option.value ~default:"XML parse error"
+         (Xmldoc.Xml_parse.error_to_string e));
+    1
+  | Core.Policy_lang.Error { line; message } ->
+    Printf.eprintf "error: policy line %d: %s\n" line message;
+    1
+  | Core.Session.Unknown_user u ->
+    Printf.eprintf "error: unknown user %s\n" u;
+    1
+  | Xpath.Parser.Error msg | Xpath.Eval.Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+(* --- common arguments --------------------------------------------------- *)
+
+let doc_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "d"; "doc" ] ~docv:"FILE" ~doc:"XML document to protect.")
+
+let policy_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy file (see xmlsecu check).")
+
+let user_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "u"; "user" ] ~docv:"NAME" ~doc:"Session user (the \\$USER variable).")
+
+(* --- view ---------------------------------------------------------------- *)
+
+type render = Tree | Xml | Facts
+
+let render_arg =
+  Arg.(
+    value
+    & vflag Tree
+        [
+          (Tree, info [ "tree" ] ~doc:"Figure-style tree rendering (default).");
+          (Xml, info [ "xml" ] ~doc:"XML serialization.");
+          (Facts, info [ "facts" ] ~doc:"The paper's node(n, v) fact-set notation.");
+        ])
+
+let render_doc render doc =
+  match render with
+  | Tree -> print_string (Xmldoc.Xml_print.tree_view doc)
+  | Xml -> print_endline (Xmldoc.Xml_print.to_string ~indent:true doc)
+  | Facts -> print_endline (Xmldoc.Xml_print.facts doc)
+
+let view_cmd =
+  let run doc policy user render =
+    with_session doc policy user (fun session ->
+        render_doc render (Core.Session.view session))
+  in
+  Cmd.v
+    (Cmd.info "view" ~doc:"Derive and print the view the user is permitted to see.")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg $ render_arg)
+
+(* --- query ---------------------------------------------------------------- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"XPATH" ~doc:"XPath expression, evaluated on the view.")
+  in
+  let source_flag =
+    Arg.(
+      value & flag
+      & info [ "source" ]
+          ~doc:"Evaluate on the source instead (security-officer mode).")
+  in
+  let run doc policy user q on_source =
+    with_session doc policy user (fun session ->
+        let ids =
+          if on_source then Core.Session.query_source session q
+          else Core.Session.query session q
+        in
+        let d =
+          if on_source then Core.Session.source session
+          else Core.Session.view session
+        in
+        List.iter
+          (fun id ->
+            Printf.printf "%-12s %s\n" (Ordpath.to_string id)
+              (Xmldoc.Xml_print.subtree_to_string d id))
+          ids;
+        Printf.printf "%d node(s)\n" (List.length ids))
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath query on the user's view.")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg $ query_arg $ source_flag)
+
+(* --- update ---------------------------------------------------------------- *)
+
+let update_cmd =
+  let xupdate_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"XUPDATE"
+          ~doc:"An <xupdate:modifications> document to apply.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the updated database here (default: stdout).")
+  in
+  let run doc policy user xupdate_file output =
+    with_session doc policy user (fun session ->
+        let ops = Xupdate.Xupdate_xml.ops_of_string (read_file xupdate_file) in
+        let session, reports = Core.Secure_update.apply_all session ops in
+        List.iter
+          (fun r -> Format.printf "%a@.@." Core.Secure_update.pp_report r)
+          reports;
+        let xml =
+          Xmldoc.Xml_print.to_string ~indent:true (Core.Session.source session)
+        in
+        match output with
+        | None -> print_endline xml
+        | Some path ->
+          let oc = open_out path in
+          output_string oc xml;
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Apply XUpdate operations through the secure write path.")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg $ xupdate_arg $ output_arg)
+
+(* --- explain ---------------------------------------------------------------- *)
+
+let explain_cmd =
+  let node_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"XPATH"
+          ~doc:"Path selecting the source nodes to explain.")
+  in
+  let run doc policy user path =
+    with_session doc policy user (fun session ->
+        let ids = Core.Session.query_source session path in
+        if ids = [] then print_endline "no node selected"
+        else
+          List.iter
+            (fun id -> print_string (Core.Explain.describe session id))
+            ids)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why nodes are visible, RESTRICTED or hidden for the user.")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg $ node_arg)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let policy_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"POLICY" ~doc:"Policy file to validate.")
+  in
+  let run path =
+    try
+      let policy = Core.Policy_lang.parse (read_file path) in
+      let subjects = Core.Policy.subjects policy in
+      Printf.printf "%d subjects (%d roles, %d users), %d rules\n"
+        (List.length (Core.Subject.subjects subjects))
+        (List.length (Core.Subject.roles subjects))
+        (List.length (Core.Subject.users subjects))
+        (List.length (Core.Policy.rules policy));
+      List.iter
+        (fun r -> Format.printf "  %a@." Core.Rule.pp r)
+        (Core.Policy.rules policy);
+      0
+    with
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Core.Policy_lang.Error { line; message } ->
+      Printf.eprintf "error: line %d: %s\n" line message;
+      1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a policy file.")
+    Term.(const run $ policy_pos)
+
+(* --- compare ---------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run doc policy user =
+    with_session doc policy user (fun session ->
+        let comparison =
+          Baselines.Metrics.compare_models
+            (Core.Session.policy session)
+            (Core.Session.source session)
+            ~user:(Core.Session.user session)
+        in
+        print_endline Baselines.Metrics.header;
+        Format.printf "%a@." Baselines.Metrics.pp comparison)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare this model's view with the deny-subtree and \
+             structure-preserving baselines (availability / leakage).")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg)
+
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run doc_path policy_path =
+    try
+      let doc = load_doc doc_path in
+      let policy = Core.Policy_lang.parse (read_file policy_path) in
+      match Core.Policy_lint.analyse policy doc with
+      | [] ->
+        print_endline "policy is clean";
+        0
+      | findings ->
+        List.iter
+          (fun f -> print_endline (Core.Policy_lint.to_string f))
+          findings;
+        Printf.printf "%d finding(s)\n" (List.length findings);
+        1
+    with
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Core.Policy_lang.Error { line; message } ->
+      Printf.eprintf "error: policy line %d: %s\n" line message;
+      1
+    | Xmldoc.Xml_parse.Error _ as e ->
+      Printf.eprintf "error: %s\n"
+        (Option.value ~default:"XML parse error"
+           (Xmldoc.Xml_parse.error_to_string e));
+      1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Analyse a policy against a document: dead rules, grants made \
+             unreachable by view pruning, idle subjects.")
+    Term.(const run $ doc_arg $ policy_arg)
+
+(* --- validate ------------------------------------------------------------- *)
+
+let validate_cmd =
+  let doc_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"XML" ~doc:"Document to validate.")
+  in
+  let dtd_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "dtd" ] ~docv:"FILE" ~doc:"Document type (DTD subset).")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"NAME" ~doc:"Expected root element name.")
+  in
+  let run doc_path dtd_path root =
+    try
+      let doc = load_doc doc_path in
+      let schema = Xmldoc.Schema.of_string (read_file dtd_path) in
+      match Xmldoc.Schema.validate ?root schema doc with
+      | [] ->
+        print_endline "valid";
+        0
+      | violations ->
+        List.iter print_endline violations;
+        Printf.printf "%d violation(s)\n" (List.length violations);
+        1
+    with
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Xmldoc.Schema.Parse_error msg ->
+      Printf.eprintf "error: DTD: %s\n" msg;
+      1
+    | Xmldoc.Xml_parse.Error _ as e ->
+      Printf.eprintf "error: %s\n"
+        (Option.value ~default:"XML parse error"
+           (Xmldoc.Xml_parse.error_to_string e));
+      1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Validate a document against a DTD subset.")
+    Term.(const run $ doc_pos $ dtd_arg $ root_arg)
+
+(* --- stylesheet ------------------------------------------------------------ *)
+
+let stylesheet_cmd =
+  let policy_arg2 =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "p"; "policy" ] ~docv:"FILE" ~doc:"Policy file.")
+  in
+  let apply_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "apply" ] ~docv:"XML"
+          ~doc:"Also apply the stylesheet to this document and print the result.")
+  in
+  let run policy user apply_to =
+    try
+      let policy = Core.Policy_lang.parse (read_file policy) in
+      print_string (Core.Xslt_enforcer.stylesheet_source policy ~user);
+      (match apply_to with
+       | None -> ()
+       | Some path ->
+         let doc = load_doc path in
+         let out = Core.Xslt_enforcer.enforce policy doc ~user in
+         print_endline "<!-- stylesheet applied: -->";
+         print_endline (Xmldoc.Xml_print.to_string ~indent:true out));
+      0
+    with
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+    | Core.Policy_lang.Error { line; message } ->
+      Printf.eprintf "error: policy line %d: %s\n" line message;
+      1
+    | Xmldoc.Xml_parse.Error _ as e ->
+      Printf.eprintf "error: %s\n"
+        (Option.value ~default:"XML parse error"
+           (Xmldoc.Xml_parse.error_to_string e));
+      1
+  in
+  Cmd.v
+    (Cmd.info "stylesheet"
+       ~doc:"Compile the policy into the XSLT security processor for a user \
+             (the §5 enforcement path) and optionally apply it.")
+    Term.(const run $ policy_arg2 $ user_arg $ apply_arg)
+
+(* --- repl ---------------------------------------------------------------- *)
+
+let repl_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Read commands from this file instead of stdin (no prompt).")
+  in
+  let run doc policy user script =
+    with_session doc policy user (fun session ->
+        let session =
+          match script with
+          | None -> Repl.run session stdin ~prompt:true
+          | Some path ->
+            let ic = open_in path in
+            let session = Repl.run session ic ~prompt:false in
+            close_in ic;
+            session
+        in
+        ignore session)
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Interactive session shell: view, query and update as a user.")
+    Term.(const run $ doc_arg $ policy_arg $ user_arg $ script_arg)
+
+(* --- demo ---------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    let module P = Core.Paper_example in
+    print_endline "Source database (figure 2):";
+    print_string (Xmldoc.Xml_print.tree_view (P.document ()));
+    List.iter
+      (fun (label, user) ->
+        Printf.printf "\nView for %s:\n" label;
+        print_string (Xmldoc.Xml_print.tree_view (Core.Session.view (P.login user))))
+      [
+        ("secretary beaufort", P.beaufort);
+        ("patient robert", P.robert);
+        ("epidemiologist richard", P.richard);
+        ("doctor laporte", P.laporte);
+      ];
+    0
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run the paper's running example (no files needed).")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "xmlsecu" ~version:"1.0.0"
+       ~doc:"A secure XML database implementing Gabillon's formal access \
+             control model (VLDB SDM 2005).")
+    [
+      view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
+      stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

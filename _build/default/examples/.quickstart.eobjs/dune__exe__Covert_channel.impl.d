@@ -1,0 +1,1 @@
+examples/covert_channel.ml: Baselines Core Format List Printf Xmldoc Xupdate

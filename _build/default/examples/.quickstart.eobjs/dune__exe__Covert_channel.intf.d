@@ -1,0 +1,1 @@
+examples/covert_channel.mli:

@@ -1,0 +1,1 @@
+examples/delegation.ml: Core List Printf String Xmldoc

@@ -1,0 +1,1 @@
+examples/delegation.mli:

@@ -1,0 +1,1 @@
+examples/hospital_audit.ml: Baselines Core Format Hashtbl Int List Option Printf Workload Xmldoc Xupdate

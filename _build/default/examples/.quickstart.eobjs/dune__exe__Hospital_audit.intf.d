@@ -1,0 +1,1 @@
+examples/hospital_audit.mli:

@@ -1,0 +1,1 @@
+examples/xupdate_tour.ml: Core Format List Ordpath Printf String Xmldoc Xupdate

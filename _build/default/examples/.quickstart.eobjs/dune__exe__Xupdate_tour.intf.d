@@ -1,0 +1,1 @@
+examples/xupdate_tour.mli:

@@ -1,0 +1,81 @@
+(* The §2.2 covert channel, transposed from SQL to XML, executed against
+   both write models:
+
+   - the [10]/SQL-style baseline evaluates updates on the SOURCE database,
+     so a subject holding only the update privilege learns how many
+     employees earn more than 3000 ("2 rows updated");
+   - the paper's model evaluates updates on the subject's VIEW, where the
+     salary values do not exist, so the probe returns nothing.
+
+   Run with: dune exec examples/covert_channel.exe *)
+
+let employees_xml =
+  {|<employees>
+  <employee><name>alice</name><salary>3500</salary></employee>
+  <employee><name>bob</name><salary>2900</salary></employee>
+  <employee><name>carol</name><salary>4100</salary></employee>
+</employees>|}
+
+(* user_B of §2.2: the owner granted the update privilege on salaries —
+   and nothing else. *)
+let policy =
+  Core.Policy_lang.parse
+    {|role user_b
+user spy isa user_b
+grant update on //salary to user_b
+grant update on //salary/node() to user_b|}
+
+let probe = Xupdate.Op.update "//employee[salary > 3000]/salary" "9999"
+
+let () =
+  let doc = Xmldoc.Xml_parse.of_string employees_xml in
+  print_endline "Source database:";
+  print_string (Xmldoc.Xml_print.tree_view doc);
+
+  print_endline "\nThe probe (UPDATE ... WHERE salary > 3000, as XUpdate):";
+  Format.printf "  %a@." Xupdate.Op.pp probe;
+
+  print_endline "\n--- SQL-style baseline [10]: selection on the source ---";
+  let _, report = Baselines.Source_write.apply policy doc ~user:"spy" probe in
+  Printf.printf "targets matched: %d\nnodes updated:  %d\n"
+    (List.length report.targets)
+    (List.length report.relabelled);
+  Printf.printf "=> the spy now knows %d employees earn more than 3000\n"
+    (List.length report.targets);
+  Printf.printf "leak detected: %b\n" (Baselines.Source_write.probe_leaks report);
+
+  print_endline "\n--- This paper's model: selection on the view ---";
+  let session = Core.Session.login policy doc ~user:"spy" in
+  Printf.printf "the spy's view contains %d nodes:\n"
+    (Core.View.visible_count (Core.Session.view session));
+  print_string (Xmldoc.Xml_print.tree_view (Core.Session.view session));
+  let _, secure_report = Core.Secure_update.apply session probe in
+  Printf.printf "targets matched: %d\nnodes updated:  %d\n"
+    (List.length secure_report.targets)
+    (List.length secure_report.relabelled);
+  print_endline "=> the predicate ran against the view; nothing was revealed";
+
+  (* A second probe pattern: binary search on a specific employee's
+     salary, the classic SQL trick, also returns nothing. *)
+  print_endline "\n--- Binary-search probe on alice's salary ---";
+  let binary_probe threshold =
+    Xupdate.Op.update
+      (Printf.sprintf "//employee[name = 'alice'][salary > %d]/salary" threshold)
+      "0"
+  in
+  List.iter
+    (fun threshold ->
+      let _, baseline =
+        Baselines.Source_write.apply policy doc ~user:"spy"
+          (binary_probe threshold)
+      in
+      let _, secure = Core.Secure_update.apply session (binary_probe threshold) in
+      Printf.printf
+        "threshold %4d: baseline matches %d target(s); secure matches %d\n"
+        threshold
+        (List.length baseline.targets)
+        (List.length secure.targets))
+    [ 2000; 3000; 3400; 3600; 4000 ];
+  print_endline
+    "=> under the baseline the spy bisects alice's salary; under the\n\
+     \   paper's model every probe is evaluated on the view and returns 0"

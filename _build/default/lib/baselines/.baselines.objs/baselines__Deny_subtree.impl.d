@@ -1,0 +1,1 @@
+lib/baselines/deny_subtree.ml: Core List Ordpath Xmldoc

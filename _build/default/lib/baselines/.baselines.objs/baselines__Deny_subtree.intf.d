@@ -1,0 +1,1 @@
+lib/baselines/deny_subtree.mli: Core Ordpath Xmldoc

@@ -1,0 +1,1 @@
+lib/baselines/metrics.ml: Core Deny_subtree Format List Ordpath Printf String Structure_preserving Xmldoc

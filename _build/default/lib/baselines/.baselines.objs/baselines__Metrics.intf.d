@@ -1,0 +1,1 @@
+lib/baselines/metrics.mli: Core Format Xmldoc

@@ -1,0 +1,1 @@
+lib/baselines/source_write.ml: Core List Ordpath Xmldoc Xpath Xupdate

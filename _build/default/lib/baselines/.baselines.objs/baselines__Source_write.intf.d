@@ -1,0 +1,1 @@
+lib/baselines/source_write.mli: Core Ordpath Xmldoc Xupdate

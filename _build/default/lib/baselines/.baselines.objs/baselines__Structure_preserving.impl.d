@@ -1,0 +1,1 @@
+lib/baselines/structure_preserving.ml: Core List Xmldoc

@@ -1,0 +1,1 @@
+lib/baselines/structure_preserving.mli: Core Ordpath Xmldoc

@@ -1,0 +1,29 @@
+module D = Xmldoc.Document
+
+let derive doc perm =
+  D.fold
+    (fun (n : Xmldoc.Node.t) view ->
+      if n.kind = Xmldoc.Node.Document then view
+      else
+        let parent_kept =
+          match Ordpath.parent n.id with
+          | None -> false
+          | Some pid -> D.mem view pid
+        in
+        if parent_kept && Core.Perm.holds perm Core.Privilege.Read n.id then
+          D.add_node view n
+        else view)
+    doc D.empty
+
+let lost_nodes doc perm =
+  let view = derive doc perm in
+  D.fold
+    (fun (n : Xmldoc.Node.t) acc ->
+      if
+        n.kind <> Xmldoc.Node.Document
+        && Core.Perm.holds perm Core.Privilege.Read n.id
+        && not (D.mem view n.id)
+      then n.id :: acc
+      else acc)
+    doc []
+  |> List.rev

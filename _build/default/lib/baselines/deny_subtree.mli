@@ -1,0 +1,15 @@
+(** The [11]-style baseline (Gabillon & Bruno 2001, as §2 characterises
+    it): there is no [position] privilege, so "if access to a node is
+    denied then the user is not allowed to access the entire sub-tree
+    under that node even if access to part of the sub-tree is permitted".
+
+    Implemented against the same policies as the core model: the view
+    keeps a node iff the user holds [read] on it {e and} its parent is
+    kept — [position] grants are ignored. *)
+
+val derive : Xmldoc.Document.t -> Core.Perm.t -> Xmldoc.Document.t
+
+val lost_nodes : Xmldoc.Document.t -> Core.Perm.t -> Ordpath.t list
+(** Read-permitted nodes absent from this baseline's view (the
+    availability loss §2 criticises): nodes with [read] whose ancestor
+    chain contains a node without [read]. *)

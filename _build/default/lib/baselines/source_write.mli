@@ -1,0 +1,32 @@
+(** The vulnerable write model of [10] and of SQL, as §2.2 describes it:
+    write operations are evaluated {e on the source database}, checking
+    only the write privileges — the [PATH] predicate may consult data the
+    user cannot read, which opens the covert channel the core model
+    closes.
+
+    Privilege checks mirror {!Core.Secure_update} minus every read-side
+    requirement:
+    - rename / update: [update] on the relabelled node;
+    - append: [insert] on the target; insert-before/after: [insert] on
+      the parent;
+    - remove: [delete] on the target. *)
+
+type report = {
+  op : Xupdate.Op.t;
+  targets : Ordpath.t list;  (** selected on the SOURCE document *)
+  relabelled : Ordpath.t list;
+  removed : Ordpath.t list;
+  inserted : Ordpath.t list;
+  denied : (Ordpath.t * Core.Privilege.t) list;
+  skipped : (Ordpath.t * string) list;
+}
+
+val apply :
+  Core.Policy.t -> Xmldoc.Document.t -> user:string -> Xupdate.Op.t ->
+  Xmldoc.Document.t * report
+
+val probe_leaks : report -> bool
+(** Did the operation's outcome depend on source data?  True when it
+    selected at least one target — under this model the user learns the
+    predicate was satisfied even without read access (§2.2: "2 rows
+    updated"). *)

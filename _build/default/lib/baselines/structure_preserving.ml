@@ -1,0 +1,28 @@
+module D = Xmldoc.Document
+
+let readable_below doc perm id =
+  Core.Perm.holds perm Core.Privilege.Read id
+  || List.exists
+       (fun (n : Xmldoc.Node.t) -> Core.Perm.holds perm Core.Privilege.Read n.id)
+       (D.descendants doc id)
+
+let derive doc perm =
+  D.fold
+    (fun (n : Xmldoc.Node.t) view ->
+      if n.kind = Xmldoc.Node.Document then view
+      else if readable_below doc perm n.id then D.add_node view n
+      else view)
+    doc D.empty
+
+let leaked_nodes doc perm =
+  let view = derive doc perm in
+  D.fold
+    (fun (n : Xmldoc.Node.t) acc ->
+      if
+        n.kind <> Xmldoc.Node.Document
+        && D.mem view n.id
+        && not (Core.Perm.holds perm Core.Privilege.Read n.id)
+      then n.id :: acc
+      else acc)
+    doc []
+  |> List.rev

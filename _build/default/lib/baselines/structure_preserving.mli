@@ -1,0 +1,14 @@
+(** The [7]-style baseline (Damiani et al., EDBT 2000, as §2 characterises
+    it): to preserve document structure, "elements with negative
+    authorizations are released if the element has a descendant with a
+    positive authorization" — with their {e real} labels, which is the
+    semantic leak the paper's RESTRICTED label repairs.
+
+    The view keeps a node iff the user holds [read] on it or on one of
+    its descendants; labels are never masked. *)
+
+val derive : Xmldoc.Document.t -> Core.Perm.t -> Xmldoc.Document.t
+
+val leaked_nodes : Xmldoc.Document.t -> Core.Perm.t -> Ordpath.t list
+(** Nodes shown with their real label although [read] is not held — the
+    leakage this baseline suffers and the core model avoids. *)

@@ -1,0 +1,1 @@
+lib/core/admin.ml: List Ordpath Policy Printf Privilege Rule String Subject Xpath

@@ -1,0 +1,1 @@
+lib/core/admin.mli: Ordpath Policy Privilege Xmldoc

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Format List Option Ordpath Perm Printf Privilege Rule Session Xmldoc

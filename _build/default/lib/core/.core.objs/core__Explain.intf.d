@@ -1,0 +1,1 @@
+lib/core/explain.mli: Ordpath Privilege Rule Session

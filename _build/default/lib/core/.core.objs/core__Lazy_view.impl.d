@@ -1,0 +1,1 @@
+lib/core/lazy_view.ml: Buffer Hashtbl List Ordpath Perm Privilege Session View Xmldoc Xpath

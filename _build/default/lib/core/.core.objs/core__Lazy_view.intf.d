@@ -1,0 +1,1 @@
+lib/core/lazy_view.mli: Ordpath Perm Session Xmldoc Xpath

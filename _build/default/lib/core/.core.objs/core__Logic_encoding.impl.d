@@ -1,0 +1,1 @@
+lib/core/logic_encoding.ml: Datalog List Ordpath Perm Policy Printf Privilege Rule Secure_update Session Subject Xmldoc Xpath Xupdate

@@ -1,0 +1,1 @@
+lib/core/logic_encoding.mli: Datalog Ordpath Privilege Session Xupdate

@@ -1,0 +1,1 @@
+lib/core/paper_example.ml: List Policy Policy_lang Privilege Rule Session String Subject Xmldoc

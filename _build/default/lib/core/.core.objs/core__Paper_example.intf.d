@@ -1,0 +1,1 @@
+lib/core/paper_example.mli: Ordpath Policy Session Subject Xmldoc

@@ -1,0 +1,1 @@
+lib/core/perm.ml: Array Hashtbl List Ordpath Policy Privilege Rule Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/core/perm.mli: Ordpath Policy Privilege Rule Xmldoc

@@ -1,0 +1,1 @@
+lib/core/policy_lang.ml: Buffer List Policy Printf Privilege Rule String Subject Xpath

@@ -1,0 +1,1 @@
+lib/core/policy_lint.ml: Format Hashtbl Int List Map Perm Policy Printf Privilege Rule String Subject View Xmldoc

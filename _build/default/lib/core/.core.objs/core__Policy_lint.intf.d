@@ -1,0 +1,1 @@
+lib/core/policy_lint.mli: Policy Rule Xmldoc

@@ -1,0 +1,1 @@
+lib/core/privilege.ml: Format Int

@@ -1,0 +1,1 @@
+lib/core/privilege.mli: Format

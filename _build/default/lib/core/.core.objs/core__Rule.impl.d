@@ -1,0 +1,1 @@
+lib/core/rule.ml: Format List Privilege String Xpath

@@ -1,0 +1,1 @@
+lib/core/rule.mli: Format Privilege Xpath

@@ -1,0 +1,1 @@
+lib/core/secure_update.ml: Format List Ordpath Privilege Session String Xmldoc Xpath Xupdate

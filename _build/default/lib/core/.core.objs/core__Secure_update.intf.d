@@ -1,0 +1,1 @@
+lib/core/secure_update.mli: Format Ordpath Privilege Session Xupdate

@@ -1,0 +1,1 @@
+lib/core/session.ml: Perm Policy Subject View Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/core/subject.ml: Format List Map Option Printf Set String

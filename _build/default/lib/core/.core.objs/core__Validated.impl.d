@@ -1,0 +1,1 @@
+lib/core/validated.ml: List Secure_update Session Xmldoc

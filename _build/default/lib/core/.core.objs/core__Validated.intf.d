@@ -1,0 +1,1 @@
+lib/core/validated.mli: Secure_update Session Xmldoc Xupdate

@@ -1,0 +1,1 @@
+lib/core/view.ml: Ordpath Perm Privilege String Xmldoc

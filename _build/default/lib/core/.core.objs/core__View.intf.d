@@ -1,0 +1,1 @@
+lib/core/view.mli: Ordpath Perm Xmldoc

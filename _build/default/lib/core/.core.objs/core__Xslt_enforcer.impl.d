@@ -1,0 +1,1 @@
+lib/core/xslt_enforcer.ml: List Policy Privilege Rule View Xpath Xslt

@@ -1,0 +1,1 @@
+lib/core/xslt_enforcer.mli: Policy Xmldoc Xslt

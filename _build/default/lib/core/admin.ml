@@ -1,0 +1,233 @@
+type delegation = {
+  privilege : Privilege.t;
+  path_src : string;
+  subject : string;
+  with_option : bool;
+  issuer : string;
+  timestamp : int;
+}
+
+type t = {
+  owner : string;
+  policy : Policy.t;
+  delegations : delegation list;  (* ascending timestamp *)
+  issuers : (int * string) list;  (* rule priority -> issuer *)
+  clock : int;
+}
+
+let create ~owner policy =
+  if not (Subject.mem (Policy.subjects policy) owner) then
+    raise (Subject.Unknown_subject owner);
+  {
+    owner;
+    policy;
+    delegations = [];
+    issuers =
+      List.map (fun (r : Rule.t) -> (r.priority, owner)) (Policy.rules policy);
+    clock = 1 + Policy.next_priority policy;
+  }
+
+let policy t = t.policy
+let owner t = t.owner
+let delegations t = t.delegations
+let issuer_of t ~priority = List.assoc_opt priority t.issuers
+
+let select_path doc ~user path_src =
+  let vars = [ ("USER", Xpath.Value.Str user) ] in
+  Xpath.Eval.select
+    (Xpath.Eval.env ~vars doc)
+    (Xpath.Parser.parse_path path_src)
+
+(* Authority: the owner everywhere; otherwise the union of the node sets
+   of the delegations held (directly or through roles) for that
+   privilege. *)
+let authority t doc ~issuer privilege nodes =
+  String.equal issuer t.owner
+  ||
+  let subjects = Policy.subjects t.policy in
+  let covered =
+    List.fold_left
+      (fun acc (d : delegation) ->
+        if
+          Privilege.equal d.privilege privilege
+          && Subject.isa subjects issuer d.subject
+        then
+          List.fold_left
+            (fun acc id -> Ordpath.Set.add id acc)
+            acc
+            (select_path doc ~user:issuer d.path_src)
+        else acc)
+      Ordpath.Set.empty t.delegations
+  in
+  List.for_all (fun id -> Ordpath.Set.mem id covered) nodes
+
+let delegation_authority t doc ~issuer privilege nodes =
+  String.equal issuer t.owner
+  ||
+  (* Further delegation requires delegations carrying the option. *)
+  let subjects = Policy.subjects t.policy in
+  let covered =
+    List.fold_left
+      (fun acc (d : delegation) ->
+        if
+          d.with_option
+          && Privilege.equal d.privilege privilege
+          && Subject.isa subjects issuer d.subject
+        then
+          List.fold_left
+            (fun acc id -> Ordpath.Set.add id acc)
+            acc
+            (select_path doc ~user:issuer d.path_src)
+        else acc)
+      Ordpath.Set.empty t.delegations
+  in
+  List.for_all (fun id -> Ordpath.Set.mem id covered) nodes
+
+let check_subject t name =
+  if Subject.mem (Policy.subjects t.policy) name then Ok ()
+  else Error (Printf.sprintf "unknown subject %s" name)
+
+let add_rule t doc ~issuer decision privilege ~path ~subject =
+  match check_subject t issuer, check_subject t subject with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+    (match select_path doc ~user:issuer path with
+     | exception Xpath.Parser.Error msg -> Error ("bad path: " ^ msg)
+     | nodes ->
+       if not (authority t doc ~issuer privilege nodes) then
+         Error
+           (Printf.sprintf "%s has no authority to %s %s on %s" issuer
+              (Rule.decision_to_string decision)
+              (Privilege.to_string privilege)
+              path)
+       else
+         let priority = max t.clock (Policy.next_priority t.policy) in
+         let rule = Rule.v decision privilege ~path ~subject ~priority in
+         (match Policy.add_rule t.policy rule with
+          | exception Subject.Unknown_subject s ->
+            Error (Printf.sprintf "unknown subject %s" s)
+          | policy ->
+            Ok
+              {
+                t with
+                policy;
+                issuers = (priority, issuer) :: t.issuers;
+                clock = priority + 1;
+              }))
+
+let grant t doc ~issuer privilege ~path ~subject =
+  add_rule t doc ~issuer Rule.Accept privilege ~path ~subject
+
+let deny t doc ~issuer privilege ~path ~subject =
+  add_rule t doc ~issuer Rule.Deny privilege ~path ~subject
+
+let delegate t doc ~issuer ?(with_option = false) privilege ~path ~subject =
+  match check_subject t issuer, check_subject t subject with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (), Ok () ->
+    (match select_path doc ~user:issuer path with
+     | exception Xpath.Parser.Error msg -> Error ("bad path: " ^ msg)
+     | nodes ->
+       if not (delegation_authority t doc ~issuer privilege nodes) then
+         Error
+           (Printf.sprintf "%s has no grant option for %s on %s" issuer
+              (Privilege.to_string privilege)
+              path)
+       else
+         Ok
+           {
+             t with
+             delegations =
+               t.delegations
+               @ [
+                   {
+                     privilege;
+                     path_src = path;
+                     subject;
+                     with_option;
+                     issuer;
+                     timestamp = t.clock;
+                   };
+                 ];
+             clock = t.clock + 1;
+           })
+
+let revoke_rule t ~issuer ~priority =
+  match issuer_of t ~priority with
+  | None -> Error (Printf.sprintf "no rule with priority %d" priority)
+  | Some original when original <> issuer && issuer <> t.owner ->
+    Error (Printf.sprintf "%s may not revoke a rule issued by %s" issuer original)
+  | Some _ ->
+    Ok
+      {
+        t with
+        policy = Policy.revoke t.policy ~priority;
+        issuers = List.remove_assoc priority t.issuers;
+      }
+
+(* Cascading revalidation: repeatedly drop delegations and rules whose
+   issuer no longer holds the necessary authority, until stable.
+   Validation walks items in timestamp order so authority is judged
+   against the surviving earlier delegations only. *)
+let revalidate t doc =
+  let rec fixpoint t =
+    let valid_delegation acc (d : delegation) =
+      let probe = { t with delegations = acc } in
+      String.equal d.issuer t.owner
+      || delegation_authority probe doc ~issuer:d.issuer d.privilege
+           (select_path doc ~user:d.issuer d.path_src)
+    in
+    let surviving =
+      List.fold_left
+        (fun acc d -> if valid_delegation acc d then acc @ [ d ] else acc)
+        [] t.delegations
+    in
+    let t' = { t with delegations = surviving } in
+    let rule_ok (r : Rule.t) =
+      match issuer_of t' ~priority:r.priority with
+      | None -> true
+      | Some issuer ->
+        authority t' doc ~issuer r.privilege
+          (select_path doc ~user:issuer r.path_src)
+    in
+    let bad_rules =
+      List.filter (fun r -> not (rule_ok r)) (Policy.rules t'.policy)
+    in
+    let t' =
+      List.fold_left
+        (fun t (r : Rule.t) ->
+          {
+            t with
+            policy = Policy.revoke t.policy ~priority:r.priority;
+            issuers = List.remove_assoc r.priority t.issuers;
+          })
+        t' bad_rules
+    in
+    if
+      bad_rules = []
+      && List.length surviving = List.length t.delegations
+    then t'
+    else fixpoint t'
+  in
+  fixpoint t
+
+let revoke_delegation t doc ~issuer ~timestamp =
+  match
+    List.find_opt (fun (d : delegation) -> d.timestamp = timestamp) t.delegations
+  with
+  | None -> Error (Printf.sprintf "no delegation with timestamp %d" timestamp)
+  | Some d when d.issuer <> issuer && issuer <> t.owner ->
+    Error
+      (Printf.sprintf "%s may not revoke a delegation issued by %s" issuer
+         d.issuer)
+  | Some _ ->
+    let t =
+      {
+        t with
+        delegations =
+          List.filter
+            (fun (d : delegation) -> d.timestamp <> timestamp)
+            t.delegations;
+      }
+    in
+    Ok (revalidate t doc)

@@ -1,0 +1,64 @@
+(** The security administration model the paper inherits from its
+    predecessor [10] and omits for space (§4.3): ownership, delegation
+    ("the privilege to transfer privileges", SQL's grant option) and
+    cascading revocation.
+
+    - The {e owner} may issue any rule and any delegation.
+    - A {e delegation} gives a subject the authority to issue rules for
+      one privilege over the nodes selected by a path — optionally with
+      the right to delegate further ([with_option]).
+    - An issuer may add a rule iff it holds authority for the rule's
+      privilege over {e every} node its path selects on the current
+      database.
+    - Revoking a delegation triggers cascading revalidation: every rule
+      or delegation whose issuer no longer holds authority is removed,
+      to a fixpoint — the classical GRANT-OPTION cascade. *)
+
+type t
+
+type delegation = {
+  privilege : Privilege.t;
+  path_src : string;
+  subject : string;  (** who receives the authority *)
+  with_option : bool;  (** may the recipient delegate further? *)
+  issuer : string;
+  timestamp : int;
+}
+
+val create : owner:string -> Policy.t -> t
+(** Starts from an existing policy; its rules are attributed to the
+    owner.  @raise Subject.Unknown_subject if the owner is not
+    declared. *)
+
+val policy : t -> Policy.t
+val owner : t -> string
+val delegations : t -> delegation list
+val issuer_of : t -> priority:int -> string option
+
+val authority :
+  t -> Xmldoc.Document.t -> issuer:string -> Privilege.t -> Ordpath.t list ->
+  bool
+(** Does the issuer hold (possibly delegated) authority for the privilege
+    over all the given nodes? *)
+
+val grant :
+  t -> Xmldoc.Document.t -> issuer:string -> Privilege.t -> path:string ->
+  subject:string -> (t, string) result
+
+val deny :
+  t -> Xmldoc.Document.t -> issuer:string -> Privilege.t -> path:string ->
+  subject:string -> (t, string) result
+
+val delegate :
+  t -> Xmldoc.Document.t -> issuer:string -> ?with_option:bool ->
+  Privilege.t -> path:string -> subject:string -> (t, string) result
+
+val revoke_rule :
+  t -> issuer:string -> priority:int -> (t, string) result
+(** Only the rule's issuer or the owner may revoke it. *)
+
+val revoke_delegation :
+  t -> Xmldoc.Document.t -> issuer:string -> timestamp:int ->
+  (t, string) result
+(** Removes the delegation, then cascades: rules and delegations whose
+    issuer lost authority are removed, to a fixpoint. *)

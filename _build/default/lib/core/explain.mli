@@ -1,0 +1,25 @@
+(** Decision explanation: which rule of the policy made a node visible,
+    restricted or hidden, and why a privilege does or does not hold.
+    Useful for policy debugging and exercised by the CLI's [explain]
+    subcommand. *)
+
+type visibility =
+  | Visible of Rule.t  (** read granted by this rule *)
+  | Restricted of { position : Rule.t; read_denied : Rule.t option }
+      (** shown with the RESTRICTED label *)
+  | Hidden of { denied_by : Rule.t option }
+      (** not covered by any accept rule ([None]) or denied ([Some]) *)
+  | Pruned of Ordpath.t
+      (** the node itself would be visible, but this ancestor is hidden
+          (axioms 16–17 require the parent to be selected) *)
+  | No_such_node
+
+val visibility : Session.t -> Ordpath.t -> visibility
+
+val privilege : Session.t -> Privilege.t -> Ordpath.t -> string
+(** One-line explanation of the [perm] decision, naming the deciding
+    rule. *)
+
+val describe : Session.t -> Ordpath.t -> string
+(** Multi-line explanation of the node's visibility and all five
+    privileges. *)

@@ -1,0 +1,107 @@
+module D = Xmldoc.Document
+
+type t = {
+  doc : D.t;
+  perm : Perm.t;
+  memo : (Ordpath.t, bool) Hashtbl.t;
+}
+
+let create doc perm = { doc; perm; memo = Hashtbl.create 64 }
+let of_session session = create (Session.source session) (Session.perm session)
+
+(* Axioms 15-17, demand-driven: a node is selected iff its parent is and
+   the user holds read or position on it. *)
+let rec visible t id =
+  match Hashtbl.find_opt t.memo id with
+  | Some v -> v
+  | None ->
+    let v =
+      if Ordpath.equal id Ordpath.document then D.mem t.doc id
+      else if not (D.mem t.doc id) then false
+      else
+        (Perm.holds t.perm Privilege.Read id
+        || Perm.holds t.perm Privilege.Position id)
+        &&
+        match Ordpath.parent id with
+        | None -> false
+        | Some parent -> visible t parent
+    in
+    Hashtbl.add t.memo id v;
+    v
+
+let label t id =
+  if not (visible t id) then None
+  else if Ordpath.equal id Ordpath.document then Some "/"
+  else if Perm.holds t.perm Privilege.Read id then D.label t.doc id
+  else Some View.restricted
+
+let remap t (n : Xmldoc.Node.t) =
+  if
+    n.kind = Xmldoc.Node.Document
+    || Perm.holds t.perm Privilege.Read n.id
+  then n
+  else { n with label = View.restricted }
+
+let filter_map_nodes t nodes =
+  List.filter_map
+    (fun (n : Xmldoc.Node.t) ->
+      if visible t n.id then Some (remap t n) else None)
+    nodes
+
+(* The view string-value: visible text descendants with their view
+   labels, not descending into attribute subtrees (mirrors
+   Document.string_value). *)
+let string_value t id =
+  if not (visible t id) then ""
+  else
+    match D.find t.doc id with
+    | None -> ""
+    | Some (start : Xmldoc.Node.t) ->
+      let buf = Buffer.create 32 in
+      let rec go (n : Xmldoc.Node.t) =
+        if not (visible t n.id) then ()
+        else
+          match n.kind with
+          | Xmldoc.Node.Text -> Buffer.add_string buf (remap t n).label
+          | Xmldoc.Node.Attribute when not (Ordpath.equal n.id start.id) -> ()
+          | Xmldoc.Node.Attribute | Xmldoc.Node.Element | Xmldoc.Node.Document
+          | Xmldoc.Node.Comment ->
+            List.iter go (D.children t.doc n.id)
+      in
+      go start;
+      Buffer.contents buf
+
+let source t : Xpath.Source.t =
+  let doc = t.doc in
+  let lift f id = filter_map_nodes t (f doc id) in
+  {
+    Xpath.Source.find =
+      (fun id ->
+        match D.find doc id with
+        | Some n when visible t id -> Some (remap t n)
+        | Some _ | None -> None);
+    children = lift D.children;
+    parent =
+      (fun id ->
+        match D.parent doc id with
+        | Some p when visible t p.id -> Some (remap t p)
+        | Some _ | None -> None);
+    descendants = lift D.descendants;
+    descendant_or_self = lift D.descendant_or_self;
+    ancestors = lift D.ancestors;
+    ancestor_or_self = lift D.ancestor_or_self;
+    following_siblings = lift D.following_siblings;
+    preceding_siblings = lift D.preceding_siblings;
+    following = lift D.following;
+    preceding = lift D.preceding;
+    attributes = lift D.attributes;
+    string_value = string_value t;
+  }
+
+let select ?vars t expr =
+  Xpath.Eval.select (Xpath.Eval.env_of_source ?vars (source t)) expr
+
+let select_str ?vars t src = select ?vars t (Xpath.Parser.parse_path src)
+
+let materialize t = View.derive t.doc t.perm
+let probed_nodes t = Hashtbl.length t.memo

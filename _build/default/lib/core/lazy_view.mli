@@ -1,0 +1,44 @@
+(** Query filtering without view materialisation — the implementation
+    direction the paper's §5 sketches ("applying filters reflecting the
+    user privileges on the queries and then evaluating the queries on the
+    source document").
+
+    A lazy view wraps the source database and the user's resolved
+    permissions behind the {!Xpath.Source} interface: every axis call
+    filters out invisible nodes and remaps position-only labels to
+    [RESTRICTED] on the fly, with per-node memoisation.  Queries
+    evaluated through it return exactly the answers the materialised
+    {!View.derive} view would give — including RESTRICTED labels, the
+    compatibility question §5 raises — but touch only the nodes the
+    query actually visits. *)
+
+type t
+
+val create : Xmldoc.Document.t -> Perm.t -> t
+
+val of_session : Session.t -> t
+
+val visible : t -> Ordpath.t -> bool
+(** Memoised: the node and all its ancestors are selected by
+    axioms 15–17. *)
+
+val label : t -> Ordpath.t -> string option
+(** The view label: the source label under [read], [RESTRICTED] under
+    position-only; [None] if invisible. *)
+
+val source : t -> Xpath.Source.t
+(** The virtual {!Xpath.Source} for {!Xpath.Eval.env_of_source}. *)
+
+val select :
+  ?vars:(string * Xpath.Value.t) list -> t -> Xpath.Ast.expr ->
+  Ordpath.t list
+
+val select_str :
+  ?vars:(string * Xpath.Value.t) list -> t -> string -> Ordpath.t list
+
+val materialize : t -> Xmldoc.Document.t
+(** The equivalent materialised view (for testing and benchmarks). *)
+
+val probed_nodes : t -> int
+(** How many distinct nodes have had their visibility decided so far —
+    the work-saving measure the E13 bench reports. *)

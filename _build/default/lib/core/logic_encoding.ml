@@ -1,0 +1,409 @@
+module D = Xmldoc.Document
+module Op = Xupdate.Op
+module T = Datalog.Term
+module C = Datalog.Clause
+
+let id_term id = T.Sym (Ordpath.to_string id)
+let priv_term p = T.Sym (Privilege.to_string p)
+
+(* --- EDB --------------------------------------------------------------- *)
+
+let doc_facts prefix doc db =
+  let node_pred = prefix ^ "node" and child_pred = prefix ^ "child" in
+  D.fold
+    (fun (n : Xmldoc.Node.t) db ->
+      let db = Datalog.Db.add_fact db node_pred [ id_term n.id; T.Sym n.label ] in
+      let db =
+        match Ordpath.parent n.id with
+        | Some p when D.mem doc p ->
+          Datalog.Db.add_fact db child_pred [ id_term n.id; id_term p ]
+        | _ -> db
+      in
+      match n.kind with
+      | Xmldoc.Node.Element ->
+        Datalog.Db.add_fact db "can_hold" [ id_term n.id ]
+      | Xmldoc.Node.Document ->
+        let db = Datalog.Db.add_fact db "can_hold" [ id_term n.id ] in
+        Datalog.Db.add_fact db "doc_node" [ id_term n.id ]
+      | Xmldoc.Node.Text | Xmldoc.Node.Attribute | Xmldoc.Node.Comment -> db)
+    doc db
+
+let session_db session =
+  let doc = Session.source session in
+  let policy = Session.policy session in
+  let subjects = Policy.subjects policy in
+  let db = Datalog.Db.empty in
+  let db = doc_facts "" doc db in
+  let db =
+    List.fold_left
+      (fun db s ->
+        let db = Datalog.Db.add_fact db "subject" [ T.Sym s ] in
+        List.fold_left
+          (fun db super ->
+            Datalog.Db.add_fact db "isa" [ T.Sym s; T.Sym super ])
+          db (Subject.supers subjects s))
+      db (Subject.subjects subjects)
+  in
+  let env = Xpath.Eval.env ~vars:(Session.user_vars session) doc in
+  let db =
+    List.fold_left
+      (fun db (r : Rule.t) ->
+        let db =
+          Datalog.Db.add_fact db "rule"
+            [
+              T.Sym (Rule.decision_to_string r.decision);
+              priv_term r.privilege;
+              T.Sym r.path_src;
+              T.Sym r.subject;
+              T.Int r.priority;
+            ]
+        in
+        let db = Datalog.Db.add_fact db "priority" [ T.Int r.priority ] in
+        (* Materialise xpath(p, n, v) for this rule's path. *)
+        List.fold_left
+          (fun db id ->
+            match D.label doc id with
+            | None -> db
+            | Some v ->
+              Datalog.Db.add_fact db "xpath"
+                [ T.Sym r.path_src; id_term id; T.Sym v ])
+          db
+          (Xpath.Eval.select env r.path))
+      db (Policy.rules policy)
+  in
+  Datalog.Db.add_fact db "logged" [ T.Sym (Session.user session) ]
+
+(* --- programs ---------------------------------------------------------- *)
+
+let base_program =
+  Datalog.Parse.program
+    {|
+      % axioms 11-12: reflexive-transitive closure of isa
+      isa(S, S) :- subject(S).
+      isa(S, S2) :- isa(S, S1), isa(S1, S2).
+
+      % tree geometry (§3.2), from the child relation
+      descendant_or_self(X, X) :- node(X, V).
+      descendant_or_self(X, Z) :- child(X, Y), descendant_or_self(Y, Z).
+
+      % axiom 14: conflict resolution; 'cancelled' linearises the negated
+      % existential (a later deny covering the same privilege and node)
+      cancelled(S, N, R, T) :-
+        logged(S), isa(S, S2), rule(deny, R, P2, S2, T2),
+        xpath(P2, N, V2), priority(T), T2 > T.
+      perm(S, N, R) :-
+        logged(S), isa(S, S1), rule(accept, R, P, S1, T),
+        xpath(P, N, V), not cancelled(S, N, R, T).
+    |}
+
+let view_program =
+  Datalog.Parse.program
+    {|
+      % axiom 15: the document node always belongs to the view
+      node_view('/', '/').
+      % axiom 16: readable nodes with a selected parent keep their label
+      node_view(N, V) :-
+        node(N, V), logged(S), perm(S, N, read),
+        child(N, P), node_view(P, V2).
+      % axiom 17: position-only nodes appear as RESTRICTED
+      node_view(N, 'RESTRICTED') :-
+        node(N, V), logged(S), perm(S, N, position), not perm(S, N, read),
+        child(N, P), node_view(P, V2).
+    |}
+
+(* --- solving ----------------------------------------------------------- *)
+
+let solve_views session =
+  Datalog.Eval.solve (session_db session) (base_program @ view_program)
+
+let decode_node_facts db pred =
+  Datalog.Db.facts db pred
+  |> List.filter_map (function
+       | [ T.Sym id; T.Sym label ] -> Some (Ordpath.of_string id, label)
+       | _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> Ordpath.compare a b)
+
+let derive_view session = decode_node_facts (solve_views session) "node_view"
+
+let derive_perm session =
+  let db = Datalog.Eval.solve (session_db session) base_program in
+  let user = T.Sym (Session.user session) in
+  Datalog.Db.matching db "perm" [ user; T.Var "N"; T.Var "R" ]
+  |> List.filter_map (function
+       | [ _; T.Sym id; T.Sym r ] ->
+         (match Privilege.of_string r with
+          | Some p -> Some (p, Ordpath.of_string id)
+          | None -> None)
+       | _ -> None)
+  |> List.sort_uniq compare
+
+let document_node_facts doc =
+  D.fold (fun (n : Xmldoc.Node.t) acc -> (n.id, n.label) :: acc) doc []
+  |> List.sort (fun (a, _) (b, _) -> Ordpath.compare a b)
+
+let view_parity session =
+  derive_view session = document_node_facts (Session.view session)
+
+let perm_parity session =
+  let direct =
+    Perm.facts (Session.perm session) (Session.source session)
+    |> List.map (fun (p, id) -> (p, id))
+    |> List.sort_uniq compare
+  in
+  derive_perm session = direct
+
+(* --- write operations (axioms 18-25) ----------------------------------- *)
+
+(* Synthetic identifiers for the nodes of TREE, in DFS order. *)
+let tree_nodes tree =
+  let counter = ref (-1) in
+  let rec walk acc t =
+    incr counter;
+    let me = Printf.sprintf "t%d" !counter in
+    let acc = (me, Xmldoc.Tree.name t) :: acc in
+    List.fold_left walk acc (Xmldoc.Tree.children t)
+  in
+  List.rev (walk [] tree)
+
+(* create_number facts: simulate the insertion of each target's
+   instantiated tree independently on the source document, and record the
+   identifier every tree node would receive.  The inserted subtree
+   appears in the scratch document as the descendant-or-self run of the
+   fresh root, in DFS order — matching [tree_nodes] order.  (The TREE may
+   differ per target when the content holds value-of nodes, hence the
+   per-target pairs.) *)
+let create_number_facts doc target_trees where =
+  let op_sym =
+    match where with
+    | `Append -> T.Sym "append"
+    | `Before -> T.Sym "insert-before"
+    | `After -> T.Sym "insert-after"
+  in
+  List.concat_map
+    (fun (target, tree) ->
+      let names = List.map fst (tree_nodes tree) in
+      let insertion =
+        match where with
+        | `Append ->
+          if
+            match D.kind doc target with
+            | Some (Xmldoc.Node.Element | Xmldoc.Node.Document) -> true
+            | _ -> false
+          then Some (D.append_tree doc ~parent:target tree)
+          else None
+        | `Before | `After ->
+          (match Ordpath.parent target with
+           | None -> None
+           | Some parent ->
+             let siblings =
+               List.map (fun (n : Xmldoc.Node.t) -> n.id) (D.children doc parent)
+             in
+             let rec bounds prev = function
+               | [] -> None
+               | s :: rest when Ordpath.equal s target ->
+                 if where = `Before then Some (prev, Some s)
+                 else
+                   Some
+                     ( Some s,
+                       match rest with [] -> None | next :: _ -> Some next )
+               | s :: rest -> bounds (Some s) rest
+             in
+             (match bounds None siblings with
+              | None -> None
+              | Some (left, right) ->
+                Some (D.add_subtree doc ~parent ~left ~right tree)))
+      in
+      match insertion with
+      | None -> []
+      | Some (scratch, root) ->
+        let fresh_ids =
+          List.map
+            (fun (n : Xmldoc.Node.t) -> n.id)
+            (D.descendant_or_self scratch root)
+        in
+        List.map2
+          (fun name id ->
+            C.atom "create_number"
+              [ id_term target; T.Sym name; op_sym; id_term id ])
+          names fresh_ids)
+    target_trees
+
+let update_program session op =
+  let view = Session.view session in
+  let source = Session.source session in
+  let env = Xpath.Eval.env ~vars:(Session.user_vars session) view in
+  let targets = Xpath.Eval.select env (Op.path op) in
+  let path_sym = T.Sym (Xpath.Ast.to_string (Op.path op)) in
+  let db = Datalog.Db.empty in
+  (* xpath_view facts for the operation's PATH. *)
+  let db =
+    List.fold_left
+      (fun db id ->
+        match D.label view id with
+        | None -> db
+        | Some v ->
+          Datalog.Db.add_fact db "xpath_view" [ path_sym; id_term id; T.Sym v ])
+      db targets
+  in
+  (* child_view facts. *)
+  let db =
+    D.fold
+      (fun (n : Xmldoc.Node.t) db ->
+        match Ordpath.parent n.id with
+        | Some p when D.mem view p ->
+          Datalog.Db.add_fact db "child_view" [ id_term n.id; id_term p ]
+        | _ -> db)
+      view db
+  in
+  let var v = T.Var v in
+  let pos p args = C.Pos (C.atom p args) in
+  let neg p args = C.Neg (C.atom p args) in
+  let logged = pos "logged" [ var "S" ] in
+  let keep_unless aux =
+    (* node_dbnew(N, V) :- node(N, V), not aux(N). *)
+    C.clause
+      (C.atom "node_dbnew" [ var "N"; var "V" ])
+      [ pos "node" [ var "N"; var "V" ]; neg aux [ var "N" ] ]
+  in
+  let relabel_clauses aux vnew select_body =
+    [
+      C.clause (C.atom aux [ var "N" ]) select_body;
+      C.clause
+        (C.atom "node_dbnew" [ var "N"; T.Sym vnew ])
+        [ pos aux [ var "N" ] ];
+      keep_unless aux;
+    ]
+  in
+  let insert_clauses where perm_on =
+    let cn_op =
+      match where with
+      | `Append -> "append"
+      | `Before -> "insert-before"
+      | `After -> "insert-after"
+    in
+    [
+      (* node_dbnew(N, V) :- node(N, V).  (axiom 6) *)
+      C.clause
+        (C.atom "node_dbnew" [ var "N"; var "V" ])
+        [ pos "node" [ var "N"; var "V" ] ];
+      (* node_tree is keyed by the addressed node, because value-of
+         content instantiates per target. *)
+      C.clause
+        (C.atom "node_dbnew" [ var "N2"; var "V" ])
+        ([
+           pos "node_tree" [ var "N"; var "NT"; var "V" ];
+           pos "xpath_view" [ path_sym; var "N"; var "VN" ];
+         ]
+        @ perm_on
+        @ [
+            logged;
+            pos "create_number"
+              [ var "N"; var "NT"; T.Sym cn_op; var "N2" ];
+          ]);
+    ]
+  in
+  let view_src = Xpath.Source.of_document view in
+  let instantiate_for target content =
+    Xupdate.Content.instantiate ~vars:(Session.user_vars session) view_src
+      ~context:target content
+  in
+  let insert_db content where perm_on db =
+    let target_trees =
+      List.map (fun t -> (t, instantiate_for t content)) targets
+    in
+    let db =
+      Datalog.Db.add_all db (create_number_facts source target_trees where)
+    in
+    let db =
+      List.fold_left
+        (fun db (target, tree) ->
+          List.fold_left
+            (fun db (name, label) ->
+              Datalog.Db.add_fact db "node_tree"
+                [ id_term target; T.Sym name; T.Sym label ])
+            db (tree_nodes tree))
+        db target_trees
+    in
+    (db, insert_clauses where perm_on)
+  in
+  let db, clauses =
+    match op with
+    | Op.Rename { new_label; _ } ->
+      ( db,
+        relabel_clauses "renamed" new_label
+          [
+            pos "xpath_view" [ path_sym; var "N"; var "VN" ];
+            logged;
+            pos "perm" [ var "S"; var "N"; T.Sym "update" ];
+            pos "perm" [ var "S"; var "N"; T.Sym "read" ];
+            neg "doc_node" [ var "N" ];
+          ] )
+    | Op.Update { new_label; _ } ->
+      ( db,
+        relabel_clauses "updated" new_label
+          [
+            pos "xpath_view" [ path_sym; var "NP"; var "VN" ];
+            pos "child_view" [ var "N"; var "NP" ];
+            logged;
+            pos "perm" [ var "S"; var "N"; T.Sym "update" ];
+            pos "perm" [ var "S"; var "N"; T.Sym "read" ];
+          ] )
+    | Op.Append { content; _ } ->
+      let db, clauses =
+        insert_db content `Append
+          [
+            pos "perm" [ var "S"; var "N"; T.Sym "insert" ];
+            pos "can_hold" [ var "N" ];
+          ]
+          db
+      in
+      (db, clauses)
+    | Op.Insert_before { content; _ } ->
+      let db, clauses =
+        insert_db content `Before
+          [
+            pos "child_view" [ var "N"; var "F" ];
+            pos "perm" [ var "S"; var "F"; T.Sym "insert" ];
+          ]
+          db
+      in
+      (db, clauses)
+    | Op.Insert_after { content; _ } ->
+      let db, clauses =
+        insert_db content `After
+          [
+            pos "child_view" [ var "N"; var "F" ];
+            pos "perm" [ var "S"; var "F"; T.Sym "insert" ];
+          ]
+          db
+      in
+      (db, clauses)
+    | Op.Remove _ ->
+      ( db,
+        [
+          (* axiom 25, contrapositive: a node is deleted when some
+             ancestor-or-self is addressed and deletable. *)
+          C.clause
+            (C.atom "deleted" [ var "N" ])
+            [
+              pos "node" [ var "N"; var "V" ];
+              pos "descendant_or_self" [ var "N"; var "N2" ];
+              pos "xpath_view" [ path_sym; var "N2"; var "V2" ];
+              logged;
+              pos "perm" [ var "S"; var "N2"; T.Sym "delete" ];
+              neg "doc_node" [ var "N2" ];
+            ];
+          keep_unless "deleted";
+        ] )
+  in
+  (db, clauses)
+
+let derive_dbnew session op =
+  let op_db, op_clauses = update_program session op in
+  let db = Datalog.Db.union (session_db session) op_db in
+  let solved = Datalog.Eval.solve db (base_program @ op_clauses) in
+  decode_node_facts solved "node_dbnew"
+
+let update_parity session op =
+  let session', _report = Secure_update.apply session op in
+  derive_dbnew session op = document_node_facts (Session.source session')

@@ -1,0 +1,51 @@
+(** The paper's logical theory, executable: encodes the database, the
+    subject hierarchy, the policy and the session as Datalog facts, and
+    axioms 11–25 as clauses, then derives [perm], the view ([node_view])
+    and the updated database ([node_dbnew]) bottom-up — the same
+    derivations the author's Prolog prototype performed.  Each derivation
+    has a parity check against the direct OCaml implementation, used by
+    the differential test-suite and the E10 bench.
+
+    Encoding notes (DESIGN.md discusses them):
+    - node identifiers are symbols via {!Ordpath.to_string};
+    - [xpath(p, n, v)] and [xpath_view(p, n, v)] are {e materialised} by
+      running the XPath engine, exactly as the prototype shipped xpath
+      facts derived by its own interpreter;
+    - [create_number(n, n', o, n'')] facts come from the ordpath
+      allocator (the paper: "we do not give axioms for create_number
+      since they depend on the numbering scheme");
+    - the [cancelled] auxiliary predicate linearises axiom 14's negated
+      conjunction; [priority(t)] facts make it range-restricted. *)
+
+val session_db : Session.t -> Datalog.Db.t
+(** EDB: [node/2], [child/2], [element/1], [doc_node/1], [subject/1],
+    [isa/2] base edges, [rule/5], [priority/1], [xpath/3], [logged/1]. *)
+
+val base_program : Datalog.Clause.t list
+(** Axioms 11–12 (isa closure), tree geometry (descendant_or_self), and
+    axiom 14 ([perm] with the [cancelled] auxiliary). *)
+
+val view_program : Datalog.Clause.t list
+(** Axioms 15–17 ([node_view]). *)
+
+val update_program : Session.t -> Xupdate.Op.t -> Datalog.Db.t * Datalog.Clause.t list
+(** EDB additions ([xpath_view/3], [child_view/2], [node_tree/2],
+    [create_number/4]) and clauses (axioms 18–25) for one operation. *)
+
+val derive_view : Session.t -> (Ordpath.t * string) list
+(** The [node_view] facts, sorted by identifier. *)
+
+val derive_perm : Session.t -> (Privilege.t * Ordpath.t) list
+(** The [perm(user, n, r)] facts for the logged user. *)
+
+val derive_dbnew : Session.t -> Xupdate.Op.t -> (Ordpath.t * string) list
+(** The [node_dbnew] facts after the operation. *)
+
+val view_parity : Session.t -> bool
+(** Datalog view = direct {!View.derive} view. *)
+
+val perm_parity : Session.t -> bool
+
+val update_parity : Session.t -> Xupdate.Op.t -> bool
+(** Datalog [node_dbnew] = the node facts of the direct
+    {!Secure_update.apply} result. *)

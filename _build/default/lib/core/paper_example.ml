@@ -1,0 +1,78 @@
+let document_xml =
+  {|<patients>
+  <franck>
+    <service>otolarynology</service>
+    <diagnosis>tonsillitis</diagnosis>
+  </franck>
+  <robert>
+    <service>pneumology</service>
+    <diagnosis>pneumonia</diagnosis>
+  </robert>
+</patients>|}
+
+let document () = Xmldoc.Xml_parse.of_string document_xml
+
+let beaufort = "beaufort"
+let laporte = "laporte"
+let richard = "richard"
+let robert = "robert"
+let franck = "franck"
+
+let subjects =
+  Subject.of_list
+    [
+      (Subject.Role, "staff", []);
+      (Subject.Role, "secretary", [ "staff" ]);
+      (Subject.Role, "doctor", [ "staff" ]);
+      (Subject.Role, "epidemiologist", [ "staff" ]);
+      (Subject.Role, "patient", []);
+      (Subject.User, beaufort, [ "secretary" ]);
+      (Subject.User, laporte, [ "doctor" ]);
+      (Subject.User, richard, [ "epidemiologist" ]);
+      (Subject.User, robert, [ "patient" ]);
+      (Subject.User, franck, [ "patient" ]);
+    ]
+
+(* Axiom 13, rules 1-12 with the paper's priorities 10-21. *)
+let policy =
+  let r = Rule.v in
+  Policy.v subjects
+    [
+      r Rule.Accept Privilege.Read ~path:"//node()" ~subject:"staff" ~priority:10;
+      r Rule.Deny Privilege.Read ~path:"//diagnosis/node()" ~subject:"secretary"
+        ~priority:11;
+      r Rule.Accept Privilege.Position ~path:"//diagnosis/node()"
+        ~subject:"secretary" ~priority:12;
+      r Rule.Accept Privilege.Read ~path:"/patients" ~subject:"patient"
+        ~priority:13;
+      r Rule.Accept Privilege.Read
+        ~path:"/patients/*[name() = $USER]/descendant-or-self::node()"
+        ~subject:"patient" ~priority:14;
+      r Rule.Deny Privilege.Read ~path:"/patients/*" ~subject:"epidemiologist"
+        ~priority:15;
+      r Rule.Accept Privilege.Position ~path:"/patients/*"
+        ~subject:"epidemiologist" ~priority:16;
+      r Rule.Accept Privilege.Insert ~path:"/patients" ~subject:"secretary"
+        ~priority:17;
+      r Rule.Accept Privilege.Update ~path:"/patients/*" ~subject:"secretary"
+        ~priority:18;
+      r Rule.Accept Privilege.Insert ~path:"//diagnosis" ~subject:"doctor"
+        ~priority:19;
+      r Rule.Accept Privilege.Update ~path:"//diagnosis/node()"
+        ~subject:"doctor" ~priority:20;
+      r Rule.Accept Privilege.Delete ~path:"//diagnosis/node()"
+        ~subject:"doctor" ~priority:21;
+    ]
+
+let policy_text = Policy_lang.to_string policy
+
+let login user = Session.login policy (document ()) ~user
+
+let find doc label =
+  match
+    List.find_opt
+      (fun (n : Xmldoc.Node.t) -> String.equal n.label label)
+      (Xmldoc.Document.nodes doc)
+  with
+  | Some n -> n.id
+  | None -> raise Not_found

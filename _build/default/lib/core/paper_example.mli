@@ -1,0 +1,46 @@
+(** The paper's running example, in one place: the medical-records
+    database of figure 2, the subject hierarchy of figure 3, and the
+    twelve-rule policy of axiom 13 — reused by the tests, the examples and
+    the reproduction benches.
+
+    The two rules whose concrete XPath syntax in the paper is
+    non-standard are transliterated (documented in DESIGN.md):
+    - [//*]-style label wildcards become [//node()] because the paper's
+      dialect lets [*] match text nodes;
+    - rule 5's [/patients/descendant-or-self::*[$USER]] becomes
+      [/patients/*[name() = $USER]/descendant-or-self::node()]. *)
+
+val document : unit -> Xmldoc.Document.t
+(** Figure 2: franck (otolarynology, tonsillitis) and robert (pneumology,
+    pneumonia) under [/patients]. *)
+
+val document_xml : string
+
+val subjects : Subject.t
+(** Figure 3: staff > {secretary > beaufort, doctor > laporte,
+    epidemiologist > richard}; patient > {robert, franck}. *)
+
+val policy : Policy.t
+(** Axiom 13, priorities 10–21, on top of {!subjects}. *)
+
+val policy_text : string
+(** The same policy in the {!Policy_lang} concrete syntax. *)
+
+val login : string -> Session.t
+(** Session on the figure-2 database under {!policy}. *)
+
+(** Users of figure 3. *)
+
+val beaufort : string  (** secretary *)
+
+val laporte : string  (** doctor *)
+
+val richard : string  (** epidemiologist *)
+
+val robert : string  (** patient *)
+
+val franck : string  (** patient *)
+
+val find : Xmldoc.Document.t -> string -> Ordpath.t
+(** First node carrying the given label (raises [Not_found]); handy for
+    addressing figure-2 nodes the way the paper writes n1 … n7. *)

@@ -1,0 +1,60 @@
+type t = {
+  user : string;
+  decisions : Rule.t Ordpath.Map.t array;  (* indexed by privilege rank *)
+}
+
+let privilege_index = function
+  | Privilege.Position -> 0
+  | Privilege.Read -> 1
+  | Privilege.Insert -> 2
+  | Privilege.Update -> 3
+  | Privilege.Delete -> 4
+
+let compute policy doc ~user =
+  let vars = [ ("USER", Xpath.Value.Str user) ] in
+  let env = Xpath.Eval.env ~vars doc in
+  let cache : (string, Ordpath.t list) Hashtbl.t = Hashtbl.create 16 in
+  let select (r : Rule.t) =
+    match Hashtbl.find_opt cache r.path_src with
+    | Some ids -> ids
+    | None ->
+      let ids = Xpath.Eval.select env r.path in
+      Hashtbl.add cache r.path_src ids;
+      ids
+  in
+  let decisions = Array.make 5 Ordpath.Map.empty in
+  (* Ascending priority: later rules overwrite earlier decisions. *)
+  List.iter
+    (fun (r : Rule.t) ->
+      let i = privilege_index r.privilege in
+      List.iter
+        (fun id -> decisions.(i) <- Ordpath.Map.add id r decisions.(i))
+        (select r))
+    (Policy.rules_for policy ~user);
+  { user; decisions }
+
+let user t = t.user
+
+let deciding_rule t privilege id =
+  Ordpath.Map.find_opt id t.decisions.(privilege_index privilege)
+
+let holds t privilege id =
+  match deciding_rule t privilege id with
+  | Some r -> r.Rule.decision = Rule.Accept
+  | None -> false
+
+let permitted t privilege =
+  Ordpath.Map.fold
+    (fun id (r : Rule.t) acc ->
+      if r.decision = Rule.Accept then Ordpath.Set.add id acc else acc)
+    t.decisions.(privilege_index privilege)
+    Ordpath.Set.empty
+
+let facts t doc =
+  List.concat_map
+    (fun privilege ->
+      List.filter_map
+        (fun (n : Xmldoc.Node.t) ->
+          if holds t privilege n.id then Some (privilege, n.id) else None)
+        (Xmldoc.Document.nodes doc))
+    Privilege.all

@@ -1,0 +1,27 @@
+(** Conflict resolution (axiom 14): computes the actual privileges
+    [perm(s, n, r)] a user holds on every node, from the accept/deny rules
+    applicable to the user.  Because priorities are unique timestamps,
+    axiom 14 is equivalent to "the most recent applicable rule covering
+    [(r, n)] decides", which is how the computation proceeds. *)
+
+type t
+
+val compute : Policy.t -> Xmldoc.Document.t -> user:string -> t
+(** Evaluates every applicable rule's path on the source document, with
+    [$USER] bound to [user], in ascending priority order. *)
+
+val user : t -> string
+
+val holds : t -> Privilege.t -> Ordpath.t -> bool
+(** [perm(user, n, r)]. *)
+
+val permitted : t -> Privilege.t -> Ordpath.Set.t
+(** All nodes on which the privilege is held. *)
+
+val deciding_rule : t -> Privilege.t -> Ordpath.t -> Rule.t option
+(** The rule that decided the privilege on this node ([None] when no
+    applicable rule covers it — the closed-world default deny). *)
+
+val facts : t -> Xmldoc.Document.t -> (Privilege.t * Ordpath.t) list
+(** All [perm] facts over nodes of the document, for display and for the
+    Datalog parity checks. *)

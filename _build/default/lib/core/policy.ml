@@ -1,0 +1,51 @@
+type t = {
+  subjects : Subject.t;
+  rules : Rule.t list;  (* ascending priority *)
+}
+
+let empty = { subjects = Subject.empty; rules = [] }
+
+let check_distinct rules =
+  let sorted =
+    List.sort (fun (a : Rule.t) b -> Int.compare a.priority b.priority) rules
+  in
+  let rec dup = function
+    | (a : Rule.t) :: (b : Rule.t) :: _ when a.priority = b.priority ->
+      invalid_arg
+        (Printf.sprintf "Policy: two rules share priority %d" a.priority)
+    | _ :: rest -> dup rest
+    | [] -> ()
+  in
+  dup sorted;
+  sorted
+
+let v subjects rules = { subjects; rules = check_distinct rules }
+
+let subjects t = t.subjects
+let rules t = t.rules
+let with_subjects t subjects = { t with subjects }
+
+let next_priority t =
+  1 + List.fold_left (fun m (r : Rule.t) -> max m r.priority) 0 t.rules
+
+let add_rule t (r : Rule.t) =
+  if not (Subject.mem t.subjects r.subject) then
+    raise (Subject.Unknown_subject r.subject);
+  { t with rules = check_distinct (r :: t.rules) }
+
+let grant t privilege ~path ~subject =
+  add_rule t
+    (Rule.accept privilege ~path ~subject ~priority:(next_priority t))
+
+let deny t privilege ~path ~subject =
+  add_rule t (Rule.deny privilege ~path ~subject ~priority:(next_priority t))
+
+let revoke t ~priority =
+  { t with rules = List.filter (fun (r : Rule.t) -> r.priority <> priority) t.rules }
+
+let rules_for t ~user =
+  List.filter (fun (r : Rule.t) -> Subject.isa t.subjects user r.subject) t.rules
+
+let pp fmt t =
+  Subject.pp fmt t.subjects;
+  List.iter (fun r -> Format.fprintf fmt "%a@." Rule.pp r) t.rules

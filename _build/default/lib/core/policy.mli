@@ -1,0 +1,41 @@
+(** A security policy: a subject hierarchy plus an ordered set of rules.
+    Following §4.3, rules are issued one at a time and the issuing
+    timestamp is the priority, so "the last issued command has the
+    priority over the previous ones and possibly cancels them". *)
+
+type t
+
+val empty : t
+val v : Subject.t -> Rule.t list -> t
+(** @raise Invalid_argument if two rules share a priority. *)
+
+val subjects : t -> Subject.t
+val rules : t -> Rule.t list
+(** Ascending priority. *)
+
+val with_subjects : t -> Subject.t -> t
+
+val grant :
+  t -> Privilege.t -> path:string -> subject:string -> t
+(** Appends an accept rule with the next timestamp.
+    @raise Subject.Unknown_subject
+    @raise Xpath.Parser.Error *)
+
+val deny : t -> Privilege.t -> path:string -> subject:string -> t
+
+val add_rule : t -> Rule.t -> t
+(** Inserts a pre-timestamped rule.
+    @raise Invalid_argument on a duplicate priority.
+    @raise Subject.Unknown_subject *)
+
+val revoke : t -> priority:int -> t
+(** Removes the rule with the given timestamp (administrative deletion);
+    unknown priorities are ignored. *)
+
+val next_priority : t -> int
+
+val rules_for : t -> user:string -> Rule.t list
+(** The rules applicable to [user]: those whose subject [s'] satisfies
+    [isa(user, s')], ascending priority. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,167 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* Whitespace-separated words; double quotes group a path containing
+   spaces. *)
+let words_of_line line_no s =
+  let n = String.length s in
+  let rec loop i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' -> loop (i + 1) acc
+      | '#' -> List.rev acc
+      | '"' ->
+        let rec close j =
+          if j >= n then fail line_no "unterminated quoted path"
+          else if s.[j] = '"' then j
+          else close (j + 1)
+        in
+        let stop = close (i + 1) in
+        loop (stop + 1) (String.sub s (i + 1) (stop - i - 1) :: acc)
+      | _ ->
+        let rec word j =
+          if j < n && s.[j] <> ' ' && s.[j] <> '\t' && s.[j] <> '#' then
+            word (j + 1)
+          else j
+        in
+        let stop = word i in
+        loop stop (String.sub s i (stop - i) :: acc)
+  in
+  loop 0 []
+
+let split_commas names = List.concat_map (String.split_on_char ',') names
+
+let parse_subject_line line_no policy kind rest =
+  match rest with
+  | name :: tail ->
+    let subjects = Policy.subjects policy in
+    let subjects = Subject.add subjects kind name in
+    let subjects =
+      match tail with
+      | [] -> subjects
+      | "isa" :: supers when supers <> [] ->
+        List.fold_left
+          (fun s super ->
+            try Subject.add_isa s ~sub:name ~super with
+            | Subject.Unknown_subject s' -> fail line_no "unknown subject %s" s'
+            | Subject.Cycle _ -> fail line_no "isa cycle through %s" name)
+          subjects (split_commas supers)
+      | _ -> fail line_no "expected: %s NAME [isa SUPER[,SUPER...]]"
+               (match kind with Subject.Role -> "role" | Subject.User -> "user")
+    in
+    Policy.with_subjects policy subjects
+  | [] -> fail line_no "expected a subject name"
+
+let parse_rule_line line_no policy decision rest =
+  let privilege, rest =
+    match rest with
+    | p :: rest ->
+      (match Privilege.of_string p with
+       | Some priv -> (priv, rest)
+       | None -> fail line_no "unknown privilege %s" p)
+    | [] -> fail line_no "expected a privilege"
+  in
+  let path, rest =
+    match rest with
+    | "on" :: path :: rest -> (path, rest)
+    | _ -> fail line_no "expected: on PATH"
+  in
+  let subject, rest =
+    match rest with
+    | "to" :: s :: rest -> (s, rest)
+    | _ -> fail line_no "expected: to SUBJECT"
+  in
+  let priority =
+    match rest with
+    | [] -> Policy.next_priority policy
+    | [ "priority"; p ] ->
+      (match int_of_string_opt p with
+       | Some i -> i
+       | None -> fail line_no "bad priority %s" p)
+    | _ -> fail line_no "trailing words after the rule"
+  in
+  let rule =
+    try Rule.v decision privilege ~path ~subject ~priority with
+    | Xpath.Parser.Error msg -> fail line_no "bad path %s: %s" path msg
+  in
+  try Policy.add_rule policy rule with
+  | Subject.Unknown_subject s -> fail line_no "unknown subject %s" s
+  | Invalid_argument msg -> fail line_no "%s" msg
+
+let parse_line line_no policy line =
+  match words_of_line line_no line with
+  | [] -> policy
+  | "role" :: rest -> parse_subject_line line_no policy Subject.Role rest
+  | "user" :: rest -> parse_subject_line line_no policy Subject.User rest
+  | [ "isa"; sub; super ] ->
+    (try
+       Policy.with_subjects policy
+         (Subject.add_isa (Policy.subjects policy) ~sub ~super)
+     with
+     | Subject.Unknown_subject s -> fail line_no "unknown subject %s" s
+     | Subject.Cycle _ -> fail line_no "isa cycle through %s" sub)
+  | "grant" :: rest -> parse_rule_line line_no policy Rule.Accept rest
+  | "deny" :: rest -> parse_rule_line line_no policy Rule.Deny rest
+  | word :: _ -> fail line_no "unknown directive %s" word
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let policy, _ =
+    List.fold_left
+      (fun (policy, line_no) line -> (parse_line line_no policy line, line_no + 1))
+      (Policy.empty, 1) lines
+  in
+  policy
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src
+
+let quote_path p = if String.contains p ' ' then "\"" ^ p ^ "\"" else p
+
+let to_string policy =
+  let buf = Buffer.create 256 in
+  let subjects = Policy.subjects policy in
+  (* Supers must be declared before the subjects referencing them. *)
+  let rec topo emitted pending =
+    if pending = [] then ()
+    else
+      let ready, blocked =
+        List.partition
+          (fun name ->
+            List.for_all (fun s -> List.mem s emitted) (Subject.supers subjects name))
+          pending
+      in
+      let ready = if ready = [] then pending else ready in
+      List.iter
+        (fun name ->
+          let kw =
+            match Subject.kind subjects name with
+            | Some Subject.Role -> "role"
+            | _ -> "user"
+          in
+          match Subject.supers subjects name with
+          | [] -> Buffer.add_string buf (Printf.sprintf "%s %s\n" kw name)
+          | ss ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s isa %s\n" kw name (String.concat "," ss)))
+        ready;
+      if ready == pending then ()
+      else topo (ready @ emitted) blocked
+  in
+  topo [] (Subject.subjects subjects);
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s on %s to %s priority %d\n"
+           (match r.decision with Rule.Accept -> "grant" | Rule.Deny -> "deny")
+           (Privilege.to_string r.privilege)
+           (quote_path r.path_src) r.subject r.priority))
+    (Policy.rules policy);
+  Buffer.contents buf

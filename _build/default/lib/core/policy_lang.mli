@@ -1,0 +1,26 @@
+(** A small textual policy language, so policies can live in files next to
+    the documents they protect (the Prolog prototype shipped its sample
+    policy the same way):
+
+    {v
+    # subjects (fig. 3)
+    role staff
+    role doctor isa staff
+    user laporte isa doctor
+
+    # rules (axiom 13) — priorities default to issue order
+    grant read on //* to staff
+    deny read on //diagnosis/* to secretary
+    grant position on //diagnosis/* to secretary priority 12
+    v} *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Policy.t
+(** @raise Error with the offending line number. *)
+
+val parse_file : string -> Policy.t
+(** @raise Sys_error on unreadable files. *)
+
+val to_string : Policy.t -> string
+(** Round-trips through {!parse}. *)

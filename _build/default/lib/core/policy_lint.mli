@@ -1,0 +1,26 @@
+(** Static policy analysis against a document: the mistakes the model
+    makes easy to write and hard to notice.
+
+    - {b Dead rules}: a rule none of whose selected nodes it actually
+      decides for any user (every covered (user, node) pair is overridden
+      by a later rule, or the path selects nothing).
+    - {b Unreachable grants}: a read/position grant on nodes that can
+      never appear in the holder's view because an ancestor is always
+      hidden — the figure-1 pruning subtlety (axioms 16–17 require the
+      parent selected).
+    - {b Idle subjects}: declared users no rule (directly or through
+      roles) ever applies to.
+
+    The analysis is per-document (paths select node sets), matching how
+    {!Perm} resolves the policy. *)
+
+type finding =
+  | Dead_rule of Rule.t * string  (** rule + why *)
+  | Unreachable_grant of Rule.t * string
+  | Idle_subject of string
+
+val analyse : Policy.t -> Xmldoc.Document.t -> finding list
+
+val to_string : finding -> string
+val report : Policy.t -> Xmldoc.Document.t -> string
+(** All findings, one per line; empty string when the policy is clean. *)

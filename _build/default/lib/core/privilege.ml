@@ -1,0 +1,38 @@
+type t =
+  | Position
+  | Read
+  | Insert
+  | Update
+  | Delete
+
+let all = [ Position; Read; Insert; Update; Delete ]
+
+let to_string = function
+  | Position -> "position"
+  | Read -> "read"
+  | Insert -> "insert"
+  | Update -> "update"
+  | Delete -> "delete"
+
+let of_string = function
+  | "position" -> Some Position
+  | "read" -> Some Read
+  | "insert" -> Some Insert
+  | "update" -> Some Update
+  | "delete" -> Some Delete
+  | _ -> None
+
+let rank = function
+  | Position -> 0
+  | Read -> 1
+  | Insert -> 2
+  | Update -> 3
+  | Delete -> 4
+
+let compare a b = Int.compare (rank a) (rank b)
+let equal a b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let is_read_side = function
+  | Position | Read -> true
+  | Insert | Update | Delete -> false

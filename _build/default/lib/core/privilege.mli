@@ -1,0 +1,21 @@
+(** The five privileges of §4.3.  [Position] is the paper's novel read-side
+    privilege: it reveals that a node exists (shown as [RESTRICTED] in the
+    view) without revealing its label. *)
+
+type t =
+  | Position
+  | Read
+  | Insert
+  | Update
+  | Delete
+
+val all : t list
+
+val to_string : t -> string
+val of_string : string -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val is_read_side : t -> bool
+(** [Position] and [Read] govern the view; the others govern writes. *)

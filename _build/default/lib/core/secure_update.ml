@@ -1,0 +1,218 @@
+module D = Xmldoc.Document
+module Op = Xupdate.Op
+
+type denial = {
+  target : Ordpath.t;
+  node : Ordpath.t;
+  privilege : Privilege.t;
+  reason : string;
+}
+
+type report = {
+  op : Op.t;
+  targets : Ordpath.t list;
+  relabelled : Ordpath.t list;
+  removed : Ordpath.t list;
+  inserted : Ordpath.t list;
+  denied : denial list;
+  skipped : (Ordpath.t * string) list;
+}
+
+type state = {
+  doc : D.t;
+  relabelled : Ordpath.t list;
+  removed : Ordpath.t list;
+  inserted : Ordpath.t list;
+  denied : denial list;
+  skipped : (Ordpath.t * string) list;
+}
+
+let deny st ~target ~node privilege reason =
+  { st with denied = { target; node; privilege; reason } :: st.denied }
+
+let skip st target reason = { st with skipped = (target, reason) :: st.skipped }
+
+let can_hold_children doc id =
+  match D.kind doc id with
+  | Some (Xmldoc.Node.Element | Xmldoc.Node.Document) -> true
+  | _ -> false
+
+(* Rename a single node: requires update, and the view label must be the
+   original one (read privilege) — a RESTRICTED node cannot be renamed. *)
+let rename_node session st ~target id new_label =
+  if not (Session.holds session Privilege.Update id) then
+    deny st ~target ~node:id Privilege.Update "update privilege required"
+  else if not (Session.holds session Privilege.Read id) then
+    deny st ~target ~node:id Privilege.Read
+      "the node is shown RESTRICTED and cannot be relabelled"
+  else
+    match D.kind st.doc id with
+    | Some Xmldoc.Node.Document | None ->
+      skip st target "the document node cannot be relabelled"
+    | Some _ ->
+      {
+        st with
+        doc = D.relabel st.doc id new_label;
+        relabelled = id :: st.relabelled;
+      }
+
+(* The fresh numbers come from the source database (axioms 22-24 use
+   create_number on db), so they never collide with invisible siblings.
+   Dynamic content (value-of) is instantiated against the session's VIEW
+   with the target as context: computed content can only embed data the
+   user is permitted to see. *)
+let instantiate_on_view session ~target content =
+  Xupdate.Content.instantiate
+    ~vars:(Session.user_vars session)
+    (Xpath.Source.of_document (Session.view session))
+    ~context:target content
+
+let insert_tree session st ~target content where =
+  let source_doc = st.doc in
+  match where with
+  | `Append ->
+    if not (Session.holds session Privilege.Insert target) then
+      deny st ~target ~node:target Privilege.Insert
+        "insert privilege required on the addressed node"
+    else if not (can_hold_children source_doc target) then
+      skip st target "only element nodes accept children"
+    else
+      let tree = instantiate_on_view session ~target content in
+      let doc, id = D.append_tree source_doc ~parent:target tree in
+      { st with doc; inserted = id :: st.inserted }
+  | `Before | `After ->
+    let before = where = `Before in
+    (match Ordpath.parent target with
+     | None -> skip st target "the document node has no siblings"
+     | Some parent ->
+       if not (Session.holds session Privilege.Insert parent) then
+         deny st ~target ~node:parent Privilege.Insert
+           "insert privilege required on the parent of the addressed node"
+       else
+         let siblings =
+           List.map (fun (n : Xmldoc.Node.t) -> n.id)
+             (D.children source_doc parent)
+         in
+         let rec bounds prev = function
+           | [] -> None
+           | s :: rest when Ordpath.equal s target ->
+             if before then Some (prev, Some s)
+             else
+               Some
+                 (Some s, (match rest with [] -> None | next :: _ -> Some next))
+           | s :: rest -> bounds (Some s) rest
+         in
+         (match bounds None siblings with
+          | None -> skip st target "target no longer present"
+          | Some (left, right) ->
+            let tree = instantiate_on_view session ~target content in
+            let doc, id = D.add_subtree source_doc ~parent ~left ~right tree in
+            { st with doc; inserted = id :: st.inserted }))
+
+let apply session op =
+  let view = Session.view session in
+  let targets =
+    Xpath.Eval.select
+      (Xpath.Eval.env ~vars:(Session.user_vars session) view)
+      (Op.path op)
+  in
+  let st =
+    {
+      doc = Session.source session;
+      relabelled = [];
+      removed = [];
+      inserted = [];
+      denied = [];
+      skipped = [];
+    }
+  in
+  let st =
+    match op with
+    | Op.Rename { new_label; _ } ->
+      List.fold_left
+        (fun st target -> rename_node session st ~target target new_label)
+        st targets
+    | Op.Update { new_label; _ } ->
+      (* Axioms 20-21: relabel the view-children of each addressed node;
+         each child needs both update and read. *)
+      List.fold_left
+        (fun st target ->
+          match D.children view target with
+          | [] -> skip st target "the addressed node has no visible children"
+          | kids ->
+            List.fold_left
+              (fun st (kid : Xmldoc.Node.t) ->
+                rename_node session st ~target kid.id new_label)
+              st kids)
+        st targets
+    | Op.Append { content; _ } ->
+      List.fold_left
+        (fun st target -> insert_tree session st ~target content `Append)
+        st targets
+    | Op.Insert_before { content; _ } ->
+      List.fold_left
+        (fun st target -> insert_tree session st ~target content `Before)
+        st targets
+    | Op.Insert_after { content; _ } ->
+      List.fold_left
+        (fun st target -> insert_tree session st ~target content `After)
+        st targets
+    | Op.Remove _ ->
+      List.fold_left
+        (fun st target ->
+          if not (D.mem st.doc target) then
+            (* Inside a subtree removed by an earlier target. *)
+            st
+          else if Ordpath.equal target Ordpath.document then
+            skip st target "the document node cannot be removed"
+          else if not (Session.holds session Privilege.Delete target) then
+            deny st ~target ~node:target Privilege.Delete
+              "delete privilege required on the addressed node"
+          else
+            {
+              st with
+              doc = D.remove_subtree st.doc target;
+              removed = target :: st.removed;
+            })
+        st targets
+  in
+  let report =
+    {
+      op;
+      targets;
+      relabelled = List.rev st.relabelled;
+      removed = List.rev st.removed;
+      inserted = List.rev st.inserted;
+      denied = List.rev st.denied;
+      skipped = List.rev st.skipped;
+    }
+  in
+  (Session.refresh session st.doc, report)
+
+let apply_all session ops =
+  let session, reports =
+    List.fold_left
+      (fun (session, reports) op ->
+        let session, report = apply session op in
+        (session, report :: reports))
+      (session, []) ops
+  in
+  (session, List.rev reports)
+
+let fully_applied (r : report) = r.denied = [] && r.skipped = []
+
+let pp_report fmt r =
+  let ids ids = String.concat ", " (List.map Ordpath.to_string ids) in
+  Format.fprintf fmt "@[<v>%a@,targets: [%s]@,relabelled: [%s]@,removed: [%s]@,inserted: [%s]@]"
+    Op.pp r.op (ids r.targets) (ids r.relabelled) (ids r.removed)
+    (ids r.inserted);
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "@,denied %a on %s (target %s): %s" Privilege.pp
+        d.privilege (Ordpath.to_string d.node) (Ordpath.to_string d.target)
+        d.reason)
+    r.denied;
+  List.iter
+    (fun (id, reason) ->
+      Format.fprintf fmt "@,skipped %s: %s" (Ordpath.to_string id) reason)
+    r.skipped

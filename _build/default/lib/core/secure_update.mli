@@ -1,0 +1,50 @@
+(** Write access controls (§4.4.2, axioms 18–25): XUpdate operations whose
+    target selection happens {e on the user's view}, with the paper's
+    per-operation privilege requirements:
+
+    - [xupdate:rename] — [update] on each addressed node, which must not
+      be shown [RESTRICTED] (prose of §4.4.2, consistent with axioms
+      20–21), i.e. [read] is required too;
+    - [xupdate:update] — [update] {e and} [read] on each view-child of an
+      addressed node;
+    - [xupdate:append] — [insert] on the addressed node;
+    - [xupdate:insert-before] / [insert-after] — [insert] on the {e parent}
+      of the addressed node;
+    - [xupdate:remove] — [delete] on the addressed node; the whole source
+      subtree is removed, including invisible descendants (axiom 25:
+      confidentiality over integrity).
+
+    Selecting targets on the view closes the §2.2 covert channel: an
+    operation can never be influenced by — and therefore can never
+    reveal — data outside the view. *)
+
+type denial = {
+  target : Ordpath.t;  (** the node addressed by [PATH] *)
+  node : Ordpath.t;
+      (** the node the privilege was required on (a child or parent of
+          [target] for update/insert-before/insert-after) *)
+  privilege : Privilege.t;
+  reason : string;
+}
+
+type report = {
+  op : Xupdate.Op.t;
+  targets : Ordpath.t list;  (** nodes selected by [PATH] on the view *)
+  relabelled : Ordpath.t list;
+  removed : Ordpath.t list;
+  inserted : Ordpath.t list;  (** roots of freshly numbered copies *)
+  denied : denial list;
+  skipped : (Ordpath.t * string) list;
+}
+
+val apply : Session.t -> Xupdate.Op.t -> Session.t * report
+(** Applies the operation and returns the refreshed session (new source,
+    permissions and view).  The operation may succeed on some targets and
+    be denied on others (§4.4.2). *)
+
+val apply_all : Session.t -> Xupdate.Op.t list -> Session.t * report list
+
+val fully_applied : report -> bool
+(** No denials and no skips. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,39 @@
+type t = {
+  user : string;
+  policy : Policy.t;
+  source : Xmldoc.Document.t;
+  perm : Perm.t;
+  view : Xmldoc.Document.t;
+}
+
+exception Unknown_user of string
+
+let login policy source ~user =
+  if not (Subject.mem (Policy.subjects policy) user) then
+    raise (Unknown_user user);
+  let perm = Perm.compute policy source ~user in
+  let view = View.derive source perm in
+  { user; policy; source; perm; view }
+
+let user t = t.user
+let policy t = t.policy
+let source t = t.source
+let perm t = t.perm
+let view t = t.view
+
+let holds t privilege id = Perm.holds t.perm privilege id
+
+let user_vars t = [ ("USER", Xpath.Value.Str t.user) ]
+
+let query_expr t expr =
+  Xpath.Eval.select (Xpath.Eval.env ~vars:(user_vars t) t.view) expr
+
+let query t src = query_expr t (Xpath.Parser.parse_path src)
+
+let query_source t src =
+  Xpath.Eval.select_str ~vars:(user_vars t) t.source src
+
+let refresh t source =
+  let perm = Perm.compute t.policy source ~user:t.user in
+  let view = View.derive source perm in
+  { t with source; perm; view }

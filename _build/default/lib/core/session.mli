@@ -1,0 +1,38 @@
+(** A user session: the logged subject (the [logged(s)] predicate of
+    §4.4.1), its resolved permissions, and the materialised view it is
+    permitted to see.  All queries run against the view; secure updates
+    (see {!Secure_update}) select their targets on the view too. *)
+
+type t
+
+exception Unknown_user of string
+
+val login : Policy.t -> Xmldoc.Document.t -> user:string -> t
+(** @raise Unknown_user if the user is not declared in the policy's
+    subject hierarchy. *)
+
+val user : t -> string
+val policy : t -> Policy.t
+val source : t -> Xmldoc.Document.t
+val perm : t -> Perm.t
+val view : t -> Xmldoc.Document.t
+
+val holds : t -> Privilege.t -> Ordpath.t -> bool
+
+val query : t -> string -> Ordpath.t list
+(** Evaluates an XPath expression {e on the view}, with [$USER] bound.
+    @raise Xpath.Parser.Error
+    @raise Xpath.Eval.Error *)
+
+val query_expr : t -> Xpath.Ast.expr -> Ordpath.t list
+
+val query_source : t -> string -> Ordpath.t list
+(** Trusted evaluation on the source database — what a security officer
+    (not a regular subject) would see.  Used by baselines and tests. *)
+
+val refresh : t -> Xmldoc.Document.t -> t
+(** Re-resolves permissions and re-derives the view after the source
+    database changed. *)
+
+val user_vars : t -> (string * Xpath.Value.t) list
+(** The variable bindings of this session ([$USER]). *)

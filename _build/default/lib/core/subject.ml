@@ -1,0 +1,83 @@
+module StrMap = Map.Make (String)
+module StrSet = Set.Make (String)
+
+type kind = Role | User
+
+type t = {
+  kinds : kind StrMap.t;
+  supers : StrSet.t StrMap.t;  (* direct isa edges *)
+}
+
+exception Unknown_subject of string
+exception Cycle of string
+
+let empty = { kinds = StrMap.empty; supers = StrMap.empty }
+
+let add t kind name =
+  match StrMap.find_opt name t.kinds with
+  | Some k when k = kind -> t
+  | Some _ ->
+    invalid_arg
+      (Printf.sprintf "Subject.add: %s is already declared with another kind"
+         name)
+  | None -> { t with kinds = StrMap.add name kind t.kinds }
+
+let add_role t name = add t Role name
+let add_user t name = add t User name
+
+let mem t name = StrMap.mem name t.kinds
+let kind t name = StrMap.find_opt name t.kinds
+
+let supers t name =
+  match StrMap.find_opt name t.supers with
+  | None -> []
+  | Some s -> StrSet.elements s
+
+let ancestors t name =
+  let rec close visited frontier =
+    match frontier with
+    | [] -> visited
+    | s :: rest ->
+      if StrSet.mem s visited then close visited rest
+      else close (StrSet.add s visited) (supers t s @ rest)
+  in
+  StrSet.elements (close StrSet.empty [ name ])
+
+let isa t sub super = List.mem super (ancestors t sub)
+
+let add_isa t ~sub ~super =
+  if not (mem t sub) then raise (Unknown_subject sub);
+  if not (mem t super) then raise (Unknown_subject super);
+  if sub = super || isa t super sub then raise (Cycle sub);
+  let edges =
+    Option.value ~default:StrSet.empty (StrMap.find_opt sub t.supers)
+  in
+  { t with supers = StrMap.add sub (StrSet.add super edges) t.supers }
+
+let subjects t = List.map fst (StrMap.bindings t.kinds)
+
+let users t =
+  List.filter_map
+    (fun (n, k) -> if k = User then Some n else None)
+    (StrMap.bindings t.kinds)
+
+let roles t =
+  List.filter_map
+    (fun (n, k) -> if k = Role then Some n else None)
+    (StrMap.bindings t.kinds)
+
+let of_list entries =
+  List.fold_left
+    (fun t (kind, name, ss) ->
+      let t = add t kind name in
+      List.fold_left (fun t super -> add_isa t ~sub:name ~super) t ss)
+    empty entries
+
+let pp fmt t =
+  List.iter
+    (fun name ->
+      let k = match kind t name with Some Role -> "role" | _ -> "user" in
+      match supers t name with
+      | [] -> Format.fprintf fmt "%s %s@." k name
+      | ss -> Format.fprintf fmt "%s %s isa %s@." k name (String.concat ", " ss))
+    (subjects t)

@@ -1,0 +1,47 @@
+(** The subject hierarchy of §4.2: roles (internal nodes) and users
+    (leaves), related by [isa].  {!ancestors} computes the reflexive and
+    transitive closure of axioms 11–12, so a user acquires every rule
+    granted or denied to the roles above it. *)
+
+type kind = Role | User
+
+type t
+(** An immutable hierarchy.  [isa] edges may form any acyclic graph
+    (a role can specialise several roles). *)
+
+exception Unknown_subject of string
+exception Cycle of string
+
+val empty : t
+
+val add : t -> kind -> string -> t
+(** Declares a subject; re-declaring with the same kind is idempotent.
+    @raise Invalid_argument when re-declaring with a different kind. *)
+
+val add_role : t -> string -> t
+val add_user : t -> string -> t
+
+val add_isa : t -> sub:string -> super:string -> t
+(** @raise Unknown_subject if either end is undeclared.
+    @raise Cycle if the edge would create an [isa] cycle. *)
+
+val mem : t -> string -> bool
+val kind : t -> string -> kind option
+val subjects : t -> string list
+(** Sorted. *)
+
+val users : t -> string list
+val roles : t -> string list
+val supers : t -> string -> string list
+(** Direct [isa] edges only. *)
+
+val ancestors : t -> string -> string list
+(** Reflexive-transitive closure, sorted: every [s'] with [isa(s, s')]. *)
+
+val isa : t -> string -> string -> bool
+(** Reflexive and transitive. *)
+
+val of_list : (kind * string * string list) list -> t
+(** [(kind, name, supers)] triples; supers must already be listed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type outcome =
+  | Applied of Session.t * Secure_update.report
+  | Rejected of { report : Secure_update.report; violations : int }
+
+let apply ~schema ?root session op =
+  let session', report = Secure_update.apply session op in
+  match Xmldoc.Schema.validate ?root schema (Session.source session') with
+  | [] -> Applied (session', report)
+  | violations -> Rejected { report; violations = List.length violations }
+
+let apply_all ~schema ?root session ops =
+  let session, outcomes =
+    List.fold_left
+      (fun (session, outcomes) op ->
+        match apply ~schema ?root session op with
+        | Applied (session', _) as o -> (session', o :: outcomes)
+        | Rejected _ as o -> (session, o :: outcomes))
+      (session, []) ops
+  in
+  (session, List.rev outcomes)

@@ -1,0 +1,34 @@
+(** Integrity-checked secure updates — the other resolution of the
+    §4.4.2 confidentiality-vs-integrity conflict.
+
+    The paper prefers confidentiality: [xupdate:remove] deletes a whole
+    subtree even when the user cannot see parts of it, because rejecting
+    the operation "would reveal to the user the existence of data she is
+    not permitted to see".  When the database carries a document type
+    ({!Xmldoc.Schema}), an administrator may prefer integrity: apply each
+    operation transactionally and roll it back if the result violates the
+    schema.
+
+    Note the inherent trade-off the paper predicts: a rollback caused by
+    invisible data (e.g. removing a visible node whose invisible
+    descendant is required elsewhere — not expressible in our DTD subset,
+    but undeclared-element violations behave similarly) would constitute
+    exactly the inference channel the paper warns about.  The rejection
+    message therefore only states that the result would be invalid, never
+    which node was involved. *)
+
+type outcome =
+  | Applied of Session.t * Secure_update.report
+  | Rejected of { report : Secure_update.report; violations : int }
+      (** rolled back: the session is unchanged; only the violation
+          {e count} is disclosed *)
+
+val apply :
+  schema:Xmldoc.Schema.t -> ?root:string -> Session.t -> Xupdate.Op.t ->
+  outcome
+
+val apply_all :
+  schema:Xmldoc.Schema.t -> ?root:string -> Session.t -> Xupdate.Op.t list ->
+  Session.t * outcome list
+(** Transactional per operation: a rejected operation rolls back but the
+    sequence continues. *)

@@ -1,0 +1,30 @@
+module D = Xmldoc.Document
+
+let restricted = "RESTRICTED"
+
+(* Document order visits parents before children, so a single fold
+   implements the recursive axioms 15-17. *)
+let derive doc perm =
+  D.fold
+    (fun (n : Xmldoc.Node.t) view ->
+      if n.kind = Xmldoc.Node.Document then view (* axiom 15: always there *)
+      else
+        let parent_selected =
+          match Ordpath.parent n.id with
+          | None -> false
+          | Some pid -> D.mem view pid
+        in
+        if not parent_selected then view
+        else if Perm.holds perm Privilege.Read n.id then
+          D.add_node view n (* axiom 16 *)
+        else if Perm.holds perm Privilege.Position n.id then
+          D.add_node view { n with Xmldoc.Node.label = restricted } (* axiom 17 *)
+        else view)
+    doc D.empty
+
+let is_restricted view id =
+  match D.label view id with
+  | Some l -> String.equal l restricted
+  | None -> false
+
+let visible_count view = D.size view - 1

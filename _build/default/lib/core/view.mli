@@ -1,0 +1,20 @@
+(** View derivation (axioms 15–17): the pruned copy of the source database
+    a user is permitted to see.  A node is selected iff its parent is
+    selected and the user holds [read] or [position] on it; position-only
+    nodes are shown with the {!restricted} label.  Selected nodes keep
+    their source identifiers (the paper: "selected nodes are not
+    renumbered in the view"). *)
+
+val restricted : string
+(** ["RESTRICTED"] — the label of §2.1, after Sandhu & Jajodia. *)
+
+val derive : Xmldoc.Document.t -> Perm.t -> Xmldoc.Document.t
+(** The view as a first-class document: every query facility works on
+    it unchanged. *)
+
+val is_restricted : Xmldoc.Document.t -> Ordpath.t -> bool
+(** Is the node shown with the [RESTRICTED] label in this view?  (Checks
+    the label, so apply it to view documents only.) *)
+
+val visible_count : Xmldoc.Document.t -> int
+(** Number of nodes excluding the document node. *)

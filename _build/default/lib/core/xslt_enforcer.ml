@@ -1,0 +1,92 @@
+let read_mode = "read"
+let position_mode = "position"
+let catch_all_pattern = "//node() | //@*"
+let catch_all_priority = -1e9
+
+let apply_read_children =
+  Xslt.Ast.Apply_templates
+    {
+      select = Some (Xpath.Parser.parse "@* | node()");
+      mode = Some read_mode;
+    }
+
+let dispatch_self_to_position =
+  Xslt.Ast.Apply_templates
+    {
+      select = Some (Xpath.Parser.parse ".");
+      mode = Some position_mode;
+    }
+
+(* The RESTRICTED mask: an element wrapper for elements, a text node for
+   text — the two node kinds the paper's figures show masked. *)
+let restricted_mask =
+  Xslt.Ast.Choose
+    [
+      {
+        Xslt.Ast.test = Some (Xpath.Parser.parse "self::*");
+        body =
+          [
+            Xslt.Ast.Literal_element
+              {
+                name = View.restricted;
+                attrs = [];
+                body =
+                  [
+                    Xslt.Ast.Apply_templates
+                      { select = None; mode = Some read_mode };
+                  ];
+              };
+          ];
+      };
+      {
+        Xslt.Ast.test = Some (Xpath.Parser.parse "self::text()");
+        body = [ Xslt.Ast.Text View.restricted ];
+      };
+      { Xslt.Ast.test = None; body = [] };
+    ]
+
+let compile policy ~user =
+  let applicable = Policy.rules_for policy ~user in
+  let rule_template (r : Rule.t) =
+    let priority = float_of_int r.priority in
+    match r.privilege, r.decision with
+    | Privilege.Read, Rule.Accept ->
+      Some
+        (Xslt.Ast.template ~mode:read_mode ~priority r.path_src
+           [ Xslt.Ast.Copy [ apply_read_children ] ])
+    | Privilege.Read, Rule.Deny ->
+      Some
+        (Xslt.Ast.template ~mode:read_mode ~priority r.path_src
+           [ dispatch_self_to_position ])
+    | Privilege.Position, Rule.Accept ->
+      Some
+        (Xslt.Ast.template ~mode:position_mode ~priority r.path_src
+           [ restricted_mask ])
+    | Privilege.Position, Rule.Deny ->
+      Some (Xslt.Ast.template ~mode:position_mode ~priority r.path_src [])
+    | (Privilege.Insert | Privilege.Update | Privilege.Delete), _ ->
+      (* Write privileges do not affect the view. *)
+      None
+  in
+  Xslt.Ast.stylesheet
+    ([
+       (* Axiom 15: the document node is always selected; its children
+          enter the read mode. *)
+       Xslt.Ast.template "/"
+         [ Xslt.Ast.Apply_templates { select = None; mode = Some read_mode } ];
+       (* Closed world: nodes covered by no read rule may still be
+          position-visible; nodes covered by no position rule vanish. *)
+       Xslt.Ast.template ~mode:read_mode ~priority:catch_all_priority
+         catch_all_pattern
+         [ dispatch_self_to_position ];
+       Xslt.Ast.template ~mode:position_mode ~priority:catch_all_priority
+         catch_all_pattern [];
+     ]
+    @ List.filter_map rule_template applicable)
+
+let enforce policy doc ~user =
+  let vars = [ ("USER", Xpath.Value.Str user) ] in
+  Xslt.Engine.apply ~vars (compile policy ~user) doc
+
+let stylesheet_source policy ~user =
+  Xslt.Parse.to_string (compile policy ~user)

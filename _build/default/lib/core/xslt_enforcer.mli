@@ -1,0 +1,33 @@
+(** The XSLT-based security processor of §5: compiles a (policy, user)
+    pair into an XSLT stylesheet whose application to the source database
+    produces exactly the view of axioms 15–17.
+
+    The compilation maps the model onto XSLT 1.0 mechanics:
+    - each read rule becomes a template in mode [read] — accepts copy the
+      node and recurse, denies re-dispatch the node into mode [position];
+    - each position rule becomes a template in mode [position] — accepts
+      emit the [RESTRICTED] mask (an element or a text node, depending on
+      the kind of the current node) and recurse into mode [read], denies
+      emit nothing;
+    - rule priorities become template priorities, so XSLT's
+      highest-priority-wins conflict resolution computes axiom 14;
+    - low-priority catch-all templates implement the closed-world
+      default deny;
+    - [$USER] rules stay parameterised: the stylesheet is compiled once
+      per policy and evaluated with the session's variable bindings.
+
+    Known limitation (outside the paper's model): comment nodes visible
+    only through [position] are dropped rather than masked. *)
+
+val compile : Policy.t -> user:string -> Xslt.Ast.t
+(** Uses the rules applicable to [user] (its role closure).  The result
+    is independent of any document. *)
+
+val enforce : Policy.t -> Xmldoc.Document.t -> user:string -> Xmldoc.Document.t
+(** [Xslt.Engine.apply] of the compiled stylesheet, with [$USER] bound.
+    The output document is freshly numbered; it serializes identically
+    to {!View.derive}'s view. *)
+
+val stylesheet_source : Policy.t -> user:string -> string
+(** The generated stylesheet, printable XSLT (for inspection and the
+    quickstart example). *)

@@ -1,0 +1,1 @@
+lib/datalog/clause.ml: Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/datalog/clause.mli: Format Term

@@ -1,0 +1,1 @@
+lib/datalog/db.ml: Clause Format List Map Option Set String Term

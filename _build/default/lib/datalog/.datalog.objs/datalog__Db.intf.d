@@ -1,0 +1,1 @@
+lib/datalog/db.mli: Clause Format Term

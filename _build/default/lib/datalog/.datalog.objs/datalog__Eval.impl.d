@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Clause Db Int List Map Option Set String Term

@@ -1,0 +1,1 @@
+lib/datalog/eval.mli: Clause Db Term

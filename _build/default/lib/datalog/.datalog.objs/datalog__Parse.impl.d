@@ -1,0 +1,1 @@
+lib/datalog/parse.ml: Buffer Clause List Printf String Term

@@ -1,0 +1,1 @@
+lib/datalog/parse.mli: Clause

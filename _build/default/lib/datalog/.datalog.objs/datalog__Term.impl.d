@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Format Stdlib String

@@ -1,0 +1,100 @@
+type atom = {
+  pred : string;
+  args : Term.t list;
+}
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmp * Term.t * Term.t
+
+type t = {
+  head : atom;
+  body : literal list;
+}
+
+let atom pred args = { pred; args }
+let fact pred args = { head = { pred; args }; body = [] }
+let clause head body = { head; body }
+
+let vars_of_terms terms =
+  List.filter_map (function Term.Var v -> Some v | _ -> None) terms
+
+let head_vars t = List.sort_uniq String.compare (vars_of_terms t.head.args)
+
+let positive_body_vars t =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (function Pos a -> vars_of_terms a.args | Neg _ | Cmp _ -> [])
+       t.body)
+
+let check_safety t =
+  let positive = positive_body_vars t in
+  let bound v = List.mem v positive in
+  let check_vars where vars =
+    match List.find_opt (fun v -> not (bound v)) vars with
+    | None -> Ok ()
+    | Some v ->
+      Error
+        (Printf.sprintf "unsafe clause: variable %s in %s is not bound by a positive body atom"
+           v where)
+  in
+  let rec check_body = function
+    | [] -> Ok ()
+    | Pos _ :: rest -> check_body rest
+    | Neg a :: rest ->
+      (match check_vars ("not " ^ a.pred) (vars_of_terms a.args) with
+       | Ok () -> check_body rest
+       | Error _ as e -> e)
+    | Cmp (_, x, y) :: rest ->
+      (match check_vars "a comparison" (vars_of_terms [ x; y ]) with
+       | Ok () -> check_body rest
+       | Error _ as e -> e)
+  in
+  match check_vars ("the head of " ^ t.head.pred) (head_vars t) with
+  | Ok () -> check_body t.body
+  | Error _ as e -> e
+
+let atom_equal a b =
+  String.equal a.pred b.pred && List.equal Term.equal a.args b.args
+
+let literal_equal a b =
+  match a, b with
+  | Pos x, Pos y | Neg x, Neg y -> atom_equal x y
+  | Cmp (o, x, y), Cmp (o', x', y') ->
+    o = o' && Term.equal x x' && Term.equal y y'
+  | (Pos _ | Neg _ | Cmp _), _ -> false
+
+let equal a b =
+  atom_equal a.head b.head && List.equal literal_equal a.body b.body
+
+let cmp_to_string = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Ne -> "!="
+
+let pp_atom fmt { pred; args } =
+  if args = [] then Format.pp_print_string fmt pred
+  else
+    Format.fprintf fmt "%s(%s)" pred
+      (String.concat ", " (List.map Term.to_string args))
+
+let pp_literal fmt = function
+  | Pos a -> pp_atom fmt a
+  | Neg a -> Format.fprintf fmt "not %a" pp_atom a
+  | Cmp (op, x, y) ->
+    Format.fprintf fmt "%a %s %a" Term.pp x (cmp_to_string op) Term.pp y
+
+let pp fmt { head; body } =
+  if body = [] then Format.fprintf fmt "%a." pp_atom head
+  else
+    Format.fprintf fmt "%a :- %s." pp_atom head
+      (String.concat ", "
+         (List.map (Format.asprintf "%a" pp_literal) body))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,38 @@
+(** Horn clauses with stratified negation and comparison builtins — the
+    shape of every formula in the paper ("all the logical formulae given in
+    this paper are Horn clauses", §5). *)
+
+type atom = {
+  pred : string;
+  args : Term.t list;
+}
+
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type literal =
+  | Pos of atom
+  | Neg of atom
+  | Cmp of cmp * Term.t * Term.t
+
+type t = {
+  head : atom;
+  body : literal list;
+}
+
+val atom : string -> Term.t list -> atom
+val fact : string -> Term.t list -> t
+val clause : atom -> literal list -> t
+
+val head_vars : t -> string list
+val positive_body_vars : t -> string list
+
+val check_safety : t -> (unit, string) result
+(** Range restriction: every variable in the head, in a negated atom, or
+    in a comparison must occur in some positive body atom. *)
+
+val atom_equal : atom -> atom -> bool
+val equal : t -> t -> bool
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

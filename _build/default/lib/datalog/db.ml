@@ -1,0 +1,113 @@
+module Tuple = struct
+  type t = Term.t list
+
+  let compare = List.compare Term.compare
+end
+
+module TupleSet = Set.Make (Tuple)
+module StrMap = Map.Make (String)
+
+module TermMap = Map.Make (struct
+  type t = Term.t
+
+  let compare = Term.compare
+end)
+
+type relation = {
+  tuples : TupleSet.t;
+  by_first : TupleSet.t TermMap.t;
+}
+
+type t = relation StrMap.t
+
+let empty = StrMap.empty
+
+let empty_relation = { tuples = TupleSet.empty; by_first = TermMap.empty }
+
+let add (t : t) (a : Clause.atom) =
+  if not (List.for_all Term.is_ground a.Clause.args) then
+    invalid_arg "Db.add: non-ground atom";
+  let rel =
+    Option.value ~default:empty_relation (StrMap.find_opt a.Clause.pred t)
+  in
+  if TupleSet.mem a.Clause.args rel.tuples then t
+  else
+    let rel =
+      {
+        tuples = TupleSet.add a.Clause.args rel.tuples;
+        by_first =
+          (match a.Clause.args with
+           | [] -> rel.by_first
+           | first :: _ ->
+             let bucket =
+               Option.value ~default:TupleSet.empty
+                 (TermMap.find_opt first rel.by_first)
+             in
+             TermMap.add first (TupleSet.add a.Clause.args bucket) rel.by_first);
+      }
+    in
+    StrMap.add a.Clause.pred rel t
+
+let add_fact t pred args = add t (Clause.atom pred args)
+let add_all t atoms = List.fold_left add t atoms
+
+let mem (t : t) (a : Clause.atom) =
+  match StrMap.find_opt a.Clause.pred t with
+  | None -> false
+  | Some rel -> TupleSet.mem a.Clause.args rel.tuples
+
+let facts t pred =
+  match StrMap.find_opt pred t with
+  | None -> []
+  | Some rel -> TupleSet.elements rel.tuples
+
+let all t =
+  StrMap.fold
+    (fun pred rel acc ->
+      TupleSet.fold (fun args acc -> Clause.atom pred args :: acc) rel.tuples acc)
+    t []
+  |> List.rev
+
+let matching t pred pattern =
+  match StrMap.find_opt pred t with
+  | None -> []
+  | Some rel ->
+    let candidates =
+      match pattern with
+      | (Term.Sym _ | Term.Int _) as first :: _ ->
+        Option.value ~default:TupleSet.empty (TermMap.find_opt first rel.by_first)
+      | _ -> rel.tuples
+    in
+    let agrees tuple =
+      List.length tuple = List.length pattern
+      && List.for_all2
+           (fun p v ->
+             match p with Term.Var _ -> true | p -> Term.equal p v)
+           pattern tuple
+    in
+    TupleSet.fold
+      (fun tuple acc -> if agrees tuple then tuple :: acc else acc)
+      candidates []
+    |> List.rev
+
+let count t =
+  StrMap.fold (fun _ rel acc -> acc + TupleSet.cardinal rel.tuples) t 0
+
+let predicates t = List.map fst (StrMap.bindings t)
+
+let union a b =
+  StrMap.fold
+    (fun pred rel acc ->
+      TupleSet.fold (fun args acc -> add_fact acc pred args) rel.tuples acc)
+    b a
+
+let equal_on pred a b =
+  let rel t =
+    Option.value ~default:empty_relation (StrMap.find_opt pred t)
+  in
+  TupleSet.equal (rel a).tuples (rel b).tuples
+
+let pp fmt t =
+  List.iter
+    (fun atom -> Format.fprintf fmt "%a.@." Clause.pp_atom atom)
+    (all t)

@@ -1,0 +1,31 @@
+(** Fact store: ground atoms grouped by predicate, with a first-argument
+    index to speed up the joins the access-control rules perform. *)
+
+type t
+
+val empty : t
+
+val add : t -> Clause.atom -> t
+(** @raise Invalid_argument if the atom is not ground. *)
+
+val add_fact : t -> string -> Term.t list -> t
+val add_all : t -> Clause.atom list -> t
+val mem : t -> Clause.atom -> bool
+
+val facts : t -> string -> Term.t list list
+(** All tuples of a predicate, in insertion-independent sorted order. *)
+
+val all : t -> Clause.atom list
+
+val matching : t -> string -> Term.t list -> Term.t list list
+(** [matching db pred pattern]: tuples of [pred] that agree with [pattern]
+    on its ground positions.  Uses the first-argument index when the first
+    pattern position is ground. *)
+
+val count : t -> int
+val predicates : t -> string list
+val union : t -> t -> t
+val equal_on : string -> t -> t -> bool
+(** Do both stores hold the same tuples for the given predicate? *)
+
+val pp : Format.formatter -> t -> unit

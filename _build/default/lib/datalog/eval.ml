@@ -1,0 +1,261 @@
+exception Unsafe of string
+exception Unstratifiable of string
+
+module StrMap = Map.Make (String)
+module StrSet = Set.Make (String)
+
+(* --- substitutions ---------------------------------------------------- *)
+
+type subst = Term.t StrMap.t
+
+let apply_term (s : subst) = function
+  | Term.Var v as t -> (match StrMap.find_opt v s with Some g -> g | None -> t)
+  | t -> t
+
+let apply_atom s (a : Clause.atom) =
+  { a with Clause.args = List.map (apply_term s) a.Clause.args }
+
+(* Match a pattern atom against a ground tuple, extending [s]. *)
+let match_tuple s (pattern : Term.t list) (tuple : Term.t list) : subst option =
+  let rec go s ps ts =
+    match ps, ts with
+    | [], [] -> Some s
+    | p :: ps, t :: ts ->
+      (match apply_term s p with
+       | Term.Var v -> go (StrMap.add v t s) ps ts
+       | g -> if Term.equal g t then go s ps ts else None)
+    | _ -> None
+  in
+  go s pattern tuple
+
+let is_ground_atom s (a : Clause.atom) =
+  List.for_all (fun t -> Term.is_ground (apply_term s t)) a.Clause.args
+
+let eval_cmp s op x y : bool option =
+  match apply_term s x, apply_term s y with
+  | (Term.Var _, _ | _, Term.Var _) -> None
+  | gx, gy ->
+    let c = Term.compare gx gy in
+    Some
+      (match op with
+       | Clause.Lt -> c < 0
+       | Clause.Le -> c <= 0
+       | Clause.Gt -> c > 0
+       | Clause.Ge -> c >= 0
+       | Clause.Eq -> c = 0
+       | Clause.Ne -> c <> 0)
+
+(* --- stratification --------------------------------------------------- *)
+
+let stratify (program : Clause.t list) =
+  let idb =
+    List.fold_left
+      (fun acc (c : Clause.t) -> StrSet.add c.Clause.head.Clause.pred acc)
+      StrSet.empty program
+  in
+  let strata = ref StrMap.empty in
+  let stratum p = Option.value ~default:0 (StrMap.find_opt p !strata) in
+  (* In a stratifiable program every stratum is below the number of IDB
+     predicates; a stratum exceeding it witnesses a negative cycle. *)
+  let n = StrSet.cardinal idb in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (c : Clause.t) ->
+        let h = c.Clause.head.Clause.pred in
+        List.iter
+          (fun lit ->
+            let requirement =
+              match lit with
+              | Clause.Pos a when StrSet.mem a.Clause.pred idb ->
+                Some (stratum a.Clause.pred)
+              | Clause.Neg a when StrSet.mem a.Clause.pred idb ->
+                Some (stratum a.Clause.pred + 1)
+              | Clause.Pos _ | Clause.Neg _ | Clause.Cmp _ -> None
+            in
+            match requirement with
+            | Some r when stratum h < r ->
+              if r > n then
+                raise (Unstratifiable "negation through a recursive cycle");
+              strata := StrMap.add h r !strata;
+              changed := true
+            | _ -> ())
+          c.Clause.body)
+      program
+  done;
+  StrSet.fold (fun p acc -> (p, stratum p) :: acc) idb []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+
+(* --- body evaluation --------------------------------------------------
+
+   Positive literals are consumed left to right; negations and comparisons
+   are deferred until their variables are bound (they always become bound,
+   by the safety check).  [source] selects the fact source for the k-th
+   positive literal, which is how the semi-naive pass restricts one
+   occurrence to the delta. *)
+
+let eval_body ~(source : int -> Clause.atom -> Term.t list list) ~neg_db body
+    (emit : subst -> unit) =
+  let try_constraints s constraints =
+    (* Returns [Some remaining] if no bound constraint failed. *)
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | (Clause.Neg a as c) :: rest ->
+        if is_ground_atom s a then
+          if Db.mem neg_db (apply_atom s a) then None else go acc rest
+        else go (c :: acc) rest
+      | (Clause.Cmp (op, x, y) as c) :: rest ->
+        (match eval_cmp s op x y with
+         | Some true -> go acc rest
+         | Some false -> None
+         | None -> go (c :: acc) rest)
+      | Clause.Pos _ :: _ -> assert false
+    in
+    go [] constraints
+  in
+  let positives =
+    List.filteri (fun _ l -> match l with Clause.Pos _ -> true | _ -> false)
+      body
+  in
+  let constraints =
+    List.filter (function Clause.Pos _ -> false | _ -> true) body
+  in
+  let rec go k s positives constraints =
+    match try_constraints s constraints with
+    | None -> ()
+    | Some constraints ->
+      (match positives with
+       | [] ->
+         (* Safety guarantees constraints are ground here. *)
+         if constraints = [] then emit s
+         else (
+           match try_constraints s constraints with
+           | Some [] -> emit s
+           | Some _ | None -> ())
+       | Clause.Pos a :: rest ->
+         let pattern = List.map (apply_term s) a.Clause.args in
+         List.iter
+           (fun tuple ->
+             match match_tuple s pattern tuple with
+             | Some s' -> go (k + 1) s' rest constraints
+             | None -> ())
+           (source k a)
+       | (Clause.Neg _ | Clause.Cmp _) :: _ -> assert false)
+  in
+  go 0 StrMap.empty positives constraints
+
+let check_program program =
+  List.iter
+    (fun c ->
+      match Clause.check_safety c with
+      | Ok () -> ()
+      | Error msg -> raise (Unsafe (msg ^ " in " ^ Clause.to_string c)))
+    program
+
+(* --- semi-naive solve -------------------------------------------------- *)
+
+let solve edb program =
+  check_program program;
+  let strata = stratify program in
+  let stratum_of p = Option.value ~default:0 (List.assoc_opt p strata) in
+  let max_stratum = List.fold_left (fun m (_, s) -> max m s) 0 strata in
+  let db = ref edb in
+  for s = 0 to max_stratum do
+    let clauses =
+      List.filter
+        (fun (c : Clause.t) -> stratum_of c.Clause.head.Clause.pred = s)
+        program
+    in
+    let stratum_preds =
+      List.fold_left
+        (fun acc (c : Clause.t) -> StrSet.add c.Clause.head.Clause.pred acc)
+        StrSet.empty clauses
+    in
+    (* Round 0: every clause against the full database. *)
+    let fresh = ref [] in
+    let run_clause ~delta_at ~delta (c : Clause.t) =
+      let source k (a : Clause.atom) =
+        let from_db =
+          if delta_at = Some k then
+            Db.matching delta a.Clause.pred
+              (List.map (fun _ -> Term.Var "_any") a.Clause.args)
+          else Db.matching !db a.Clause.pred a.Clause.args
+        in
+        from_db
+      in
+      eval_body ~source ~neg_db:!db c.Clause.body (fun subst ->
+          let head = apply_atom subst c.Clause.head in
+          if not (Db.mem !db head) then begin
+            db := Db.add !db head;
+            fresh := head :: !fresh
+          end)
+    in
+    List.iter (fun c -> run_clause ~delta_at:None ~delta:Db.empty c) clauses;
+    (* Semi-naive rounds: one positive occurrence restricted to delta. *)
+    let rec iterate delta_facts =
+      if delta_facts <> [] then begin
+        let delta = Db.add_all Db.empty delta_facts in
+        fresh := [];
+        List.iter
+          (fun (c : Clause.t) ->
+            let positive_preds =
+              List.filteri (fun _ l ->
+                  match l with Clause.Pos _ -> true | _ -> false)
+                c.Clause.body
+            in
+            List.iteri
+              (fun k lit ->
+                match lit with
+                | Clause.Pos a when StrSet.mem a.Clause.pred stratum_preds ->
+                  run_clause ~delta_at:(Some k) ~delta c
+                | Clause.Pos _ | Clause.Neg _ | Clause.Cmp _ -> ())
+              positive_preds)
+          clauses;
+        iterate !fresh
+      end
+    in
+    iterate !fresh
+  done;
+  !db
+
+(* The delta source above matches all tuples of the delta relation; the
+   caller still unifies against the pattern, so correctness holds, but we
+   refine it here to use the pattern for index access. *)
+
+let query edb program pred pattern =
+  let db = solve edb program in
+  Db.matching db pred pattern
+
+(* --- naive reference --------------------------------------------------- *)
+
+let naive_solve edb program =
+  check_program program;
+  let strata = stratify program in
+  let stratum_of p = Option.value ~default:0 (List.assoc_opt p strata) in
+  let max_stratum = List.fold_left (fun m (_, s) -> max m s) 0 strata in
+  let db = ref edb in
+  for s = 0 to max_stratum do
+    let clauses =
+      List.filter
+        (fun (c : Clause.t) -> stratum_of c.Clause.head.Clause.pred = s)
+        program
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (c : Clause.t) ->
+          let source _k (a : Clause.atom) =
+            Db.matching !db a.Clause.pred a.Clause.args
+          in
+          eval_body ~source ~neg_db:!db c.Clause.body (fun subst ->
+              let head = apply_atom subst c.Clause.head in
+              if not (Db.mem !db head) then begin
+                db := Db.add !db head;
+                changed := true
+              end))
+        clauses
+    done
+  done;
+  !db

@@ -1,0 +1,28 @@
+(** Bottom-up evaluation: stratification followed by semi-naive fixpoint
+    per stratum.  Computes the perfect model of a stratified program — the
+    same least model the paper's Prolog prototype enumerates, under the
+    closed world assumption of §3. *)
+
+exception Unsafe of string
+(** A clause fails the range-restriction check. *)
+
+exception Unstratifiable of string
+(** Negation occurs in a recursive cycle. *)
+
+val stratify : Clause.t list -> (string * int) list
+(** Stratum number of every predicate defined by the program.
+    @raise Unstratifiable *)
+
+val solve : Db.t -> Clause.t list -> Db.t
+(** [solve edb program] extends [edb] with every fact derivable by
+    [program].
+    @raise Unsafe
+    @raise Unstratifiable *)
+
+val query : Db.t -> Clause.t list -> string -> Term.t list -> Term.t list list
+(** [query edb program pred pattern] solves and returns the tuples of
+    [pred] matching [pattern]. *)
+
+val naive_solve : Db.t -> Clause.t list -> Db.t
+(** Reference implementation (naive iteration to fixpoint), kept for
+    differential testing against {!solve}. *)

@@ -1,0 +1,208 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type token =
+  | IDENT of string  (* lower-case: symbol / predicate *)
+  | VARIABLE of string
+  | INTEGER of int
+  | QUOTED of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PERIOD
+  | TURNSTILE
+  | NOT
+  | OP of Clause.cmp
+  | EOF
+
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_lower c || is_upper c || is_digit c || c = '-' || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | '%' ->
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        loop (eol i) acc
+      | '(' -> loop (i + 1) (LPAREN :: acc)
+      | ')' -> loop (i + 1) (RPAREN :: acc)
+      | ',' -> loop (i + 1) (COMMA :: acc)
+      | '.' -> loop (i + 1) (PERIOD :: acc)
+      | ':' ->
+        if i + 1 < n && src.[i + 1] = '-' then loop (i + 2) (TURNSTILE :: acc)
+        else fail "unexpected ':' at offset %d" i
+      | '=' -> loop (i + 1) (OP Clause.Eq :: acc)
+      | '!' ->
+        if i + 1 < n && src.[i + 1] = '=' then loop (i + 2) (OP Clause.Ne :: acc)
+        else fail "unexpected '!' at offset %d" i
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then loop (i + 2) (OP Clause.Le :: acc)
+        else loop (i + 1) (OP Clause.Lt :: acc)
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then loop (i + 2) (OP Clause.Ge :: acc)
+        else loop (i + 1) (OP Clause.Gt :: acc)
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then fail "unterminated quoted symbol"
+          else if src.[j] = '\\' && j + 1 < n && src.[j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            scan (j + 2)
+          end
+          else if src.[j] = '\'' then j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let next = scan (i + 1) in
+        loop next (QUOTED (Buffer.contents buf) :: acc)
+      | '-' when i + 1 < n && is_digit src.[i + 1] ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let stop = num (i + 1) in
+        loop stop (INTEGER (int_of_string (String.sub src i (stop - i))) :: acc)
+      | c when is_digit c ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let stop = num i in
+        loop stop (INTEGER (int_of_string (String.sub src i (stop - i))) :: acc)
+      | c when is_lower c ->
+        let rec ident j =
+          if j < n && is_ident_char src.[j] then ident (j + 1) else j
+        in
+        let stop = ident i in
+        let word = String.sub src i (stop - i) in
+        if word = "not" then loop stop (NOT :: acc)
+        else loop stop (IDENT word :: acc)
+      | c when is_upper c ->
+        let rec ident j =
+          if j < n && is_ident_char src.[j] then ident (j + 1) else j
+        in
+        let stop = ident i in
+        loop stop (VARIABLE (String.sub src i (stop - i)) :: acc)
+      | c -> fail "unexpected character %C at offset %d" c i
+  in
+  loop 0 []
+
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> EOF | t :: _ -> t
+let advance c = match c.toks with [] -> () | _ :: r -> c.toks <- r
+
+let parse_term c =
+  match peek c with
+  | VARIABLE v ->
+    advance c;
+    Term.Var v
+  | IDENT s ->
+    advance c;
+    Term.Sym s
+  | QUOTED s ->
+    advance c;
+    Term.Sym s
+  | INTEGER i ->
+    advance c;
+    Term.Int i
+  | _ -> fail "expected a term"
+
+let parse_atom c =
+  match peek c with
+  | IDENT pred | QUOTED pred ->
+    advance c;
+    if peek c = LPAREN then begin
+      advance c;
+      let rec args acc =
+        let t = parse_term c in
+        match peek c with
+        | COMMA ->
+          advance c;
+          args (t :: acc)
+        | RPAREN ->
+          advance c;
+          List.rev (t :: acc)
+        | _ -> fail "expected ',' or ')' in atom arguments"
+      in
+      Clause.atom pred (args [])
+    end
+    else Clause.atom pred []
+  | _ -> fail "expected a predicate name"
+
+let parse_literal c =
+  match peek c with
+  | NOT ->
+    advance c;
+    Clause.Neg (parse_atom c)
+  | VARIABLE _ | INTEGER _ ->
+    (* comparison: term OP term *)
+    let x = parse_term c in
+    (match peek c with
+     | OP op ->
+       advance c;
+       Clause.Cmp (op, x, parse_term c)
+     | _ -> fail "expected a comparison operator")
+  | IDENT _ | QUOTED _ ->
+    (* Could be an atom or [sym OP term]; look ahead. *)
+    let saved = c.toks in
+    let a = parse_atom c in
+    (match peek c, a.Clause.args with
+     | OP op, [] ->
+       c.toks <- saved;
+       let x = parse_term c in
+       (match peek c with
+        | OP op' when op' = op ->
+          advance c;
+          Clause.Cmp (op, x, parse_term c)
+        | _ -> fail "expected a comparison operator")
+     | _ -> Clause.Pos a)
+  | _ -> fail "expected a literal"
+
+let parse_clause c =
+  let head = parse_atom c in
+  match peek c with
+  | PERIOD ->
+    advance c;
+    Clause.clause head []
+  | EOF -> Clause.clause head []
+  | TURNSTILE ->
+    advance c;
+    let rec body acc =
+      let l = parse_literal c in
+      match peek c with
+      | COMMA ->
+        advance c;
+        body (l :: acc)
+      | PERIOD ->
+        advance c;
+        List.rev (l :: acc)
+      | EOF -> List.rev (l :: acc)
+      | _ -> fail "expected ',' or '.' after a literal"
+    in
+    Clause.clause head (body [])
+  | _ -> fail "expected ':-' or '.' after the head"
+
+let program src =
+  let c = { toks = tokenize src } in
+  let rec loop acc =
+    if peek c = EOF then List.rev acc else loop (parse_clause c :: acc)
+  in
+  loop []
+
+let clause src =
+  match program src with
+  | [ cl ] -> cl
+  | _ -> fail "expected exactly one clause"
+
+let atom src =
+  let c = { toks = tokenize src } in
+  let a = parse_atom c in
+  (match peek c with PERIOD -> advance c | _ -> ());
+  if peek c <> EOF then fail "trailing tokens after the atom";
+  a

@@ -1,0 +1,25 @@
+(** Concrete syntax for programs and facts, in the usual Datalog style:
+
+    {v
+    % tree geometry (§3.3)
+    descendant(X, Y) :- child(X, Y).
+    descendant(X, Z) :- child(X, Y), descendant(Y, Z).
+    node('1.3', diagnosis).
+    cancelled(S, R, N, T) :- rule(deny, R, P, S2, T2), T2 > T.
+    v}
+
+    Identifiers starting with an upper-case letter or [_] are variables;
+    lower-case identifiers and ['...'] literals are symbols; integers are
+    priorities.  [not] introduces negation; [%] starts a comment. *)
+
+exception Error of string
+
+val program : string -> Clause.t list
+(** @raise Error on a syntax error. *)
+
+val clause : string -> Clause.t
+(** Parses a single clause (terminating ['.'] optional).
+    @raise Error *)
+
+val atom : string -> Clause.atom
+(** Parses a single (possibly non-ground) atom. @raise Error *)

@@ -1,0 +1,42 @@
+type t =
+  | Var of string
+  | Sym of string
+  | Int of int
+
+let var name = Var name
+let sym name = Sym name
+let int i = Int i
+
+let is_ground = function Var _ -> false | Sym _ | Int _ -> true
+
+let compare a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Var _, (Sym _ | Int _) -> -1
+  | Sym _, Var _ -> 1
+  | Sym x, Sym y -> String.compare x y
+  | Sym _, Int _ -> -1
+  | Int _, (Var _ | Sym _) -> 1
+  | Int x, Int y -> Stdlib.compare x y
+
+let equal a b = compare a b = 0
+
+let plain_symbol s =
+  s <> ""
+  && (s.[0] >= 'a' && s.[0] <= 'z')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '-')
+       s
+
+let to_string = function
+  | Var v -> v
+  | Int i -> string_of_int i
+  | Sym s ->
+    if plain_symbol s then s
+    else "'" ^ String.concat "\\'" (String.split_on_char '\'' s) ^ "'"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

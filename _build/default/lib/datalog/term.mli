@@ -1,0 +1,21 @@
+(** Terms of the Datalog dialect used to encode the paper's theory:
+    variables, symbolic constants (node identifiers, labels, subjects,
+    paths) and integers (rule priorities). *)
+
+type t =
+  | Var of string
+  | Sym of string
+  | Int of int
+
+val var : string -> t
+val sym : string -> t
+val int : int -> t
+
+val is_ground : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Symbols needing quoting are printed as ['...'] literals. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+(* Labels are lists of level suffixes; a suffix is a non-empty string over
+   'a'..'z' that never ends in 'a' (so there is always room below it).
+   Sibling order is lexicographic on the suffix; fresh suffixes come from
+   the classic fractional-indexing midpoint construction. *)
+
+type t = string list
+
+let document = []
+
+let digit_lo s i = if i < String.length s then Char.code s.[i] - Char.code 'a' else -1
+let digit_hi s i = if i < String.length s then Char.code s.[i] - Char.code 'a' else 26
+let chr d = Char.chr (d + Char.code 'a')
+
+(* Smallest convenient suffix strictly greater than [s], unbounded above. *)
+let after s =
+  let n = String.length s in
+  let rec first_non_z i = if i < n && s.[i] = 'z' then first_non_z (i + 1) else i in
+  let j = first_non_z 0 in
+  if j = n then s ^ "n"
+  else String.sub s 0 j ^ String.make 1 (Char.chr (Char.code s.[j] + 1))
+
+(* A suffix strictly between [lo] and [hi]; [hi = None] means unbounded.
+   Requires lo < hi.  Results never end in 'a'. *)
+let between_suffixes lo hi =
+  match hi with
+  | None -> if lo = "" then "n" else after lo
+  | Some hi ->
+    let buf = Buffer.create 8 in
+    let rec go i =
+      let da = digit_lo lo i and db = digit_hi hi i in
+      let mid = (da + db) / 2 in
+      if da = db then begin
+        Buffer.add_char buf (chr da);
+        go (i + 1)
+      end
+      else if db - da >= 2 && mid >= 1 then
+        (* room for a one-digit split that does not end in 'a' *)
+        Buffer.add_char buf (chr mid)
+      else if da >= 0 then begin
+        (* db = da + 1: keep lo's digit, then exceed lo's tail. *)
+        Buffer.add_char buf (chr da);
+        let tail =
+          if i + 1 <= String.length lo then
+            String.sub lo (i + 1) (String.length lo - i - 1)
+          else ""
+        in
+        Buffer.add_string buf (if tail = "" then "n" else after tail)
+      end
+      else begin
+        (* da = -1: descend below hi.  If hi continues with 'a' we must
+           follow it and keep splitting against its tail; otherwise any
+           'a'-prefixed suffix fits. *)
+        Buffer.add_char buf 'a';
+        if db = 0 then go (i + 1) else Buffer.add_string buf "n"
+      end
+    in
+    go 0;
+    Buffer.contents buf
+
+let compare a b = List.compare String.compare a b
+let equal a b = compare a b = 0
+let depth = List.length
+
+let parent = function
+  | [] -> None
+  | t ->
+    (match List.rev t with
+     | _ :: rev_rest -> Some (List.rev rev_rest)
+     | [] -> None)
+
+let rec is_prefix p t =
+  match p, t with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: p', y :: t' -> String.equal x y && is_prefix p' t'
+
+let is_ancestor ~ancestor t =
+  List.length ancestor < List.length t && is_prefix ancestor t
+
+let is_child ~parent:p t =
+  match parent t with Some q -> equal p q | None -> false
+
+let suffix_of ~parent:p t =
+  match List.rev t with
+  | s :: _ when is_child ~parent:p t -> s
+  | _ -> invalid_arg "Lsdx: not a child of the given parent"
+
+let child_under ~parent:p ~left ~right =
+  let lo = match left with None -> "" | Some l -> suffix_of ~parent:p l in
+  let hi = Option.map (fun r -> suffix_of ~parent:p r) right in
+  (match hi with
+   | Some h when String.compare lo h >= 0 ->
+     invalid_arg "Lsdx.child_under: left >= right"
+   | _ -> ());
+  p @ [ between_suffixes lo hi ]
+
+let first_child p = child_under ~parent:p ~left:None ~right:None
+let root = first_child document
+
+let append_after p ~last = child_under ~parent:p ~left:last ~right:None
+
+let to_string = function [] -> "/" | t -> String.concat "/" t
+
+let byte_size t = List.fold_left (fun acc s -> acc + String.length s) 0 t

@@ -1,0 +1,41 @@
+(** An alternative persistent labelling scheme in the LSDX style (Duong &
+    Zhang, cited as [8] by the paper): letter-string labels, one suffix
+    per level, ordered lexicographically.  Functionally equivalent to
+    {!Ordpath} — no renumbering on any insertion, all axes derivable from
+    labels — with a different growth trade-off (label {e length} grows
+    under both append-heavy and bisection-heavy insertion, instead of
+    ORDPATH's component values / carets).
+
+    The module exists as a second implementation of the numbering-scheme
+    contract of §3.1: the test-suite drives both schemes through
+    identical insertion scripts and checks they agree on order and
+    parenthood; the E14 ablation compares label sizes. *)
+
+type t
+
+val document : t
+val root : t
+
+val compare : t -> t -> int
+(** Document order: ancestors first, siblings left to right. *)
+
+val equal : t -> t -> bool
+val depth : t -> int
+val parent : t -> t option
+val is_ancestor : ancestor:t -> t -> bool
+val is_child : parent:t -> t -> bool
+
+val first_child : t -> t
+
+val child_under : parent:t -> left:t option -> right:t option -> t
+(** Fresh label for a child of [parent] strictly between the sibling
+    bounds.  @raise Invalid_argument on bad bounds, as {!Ordpath}. *)
+
+val append_after : t -> last:t option -> t
+
+val to_string : t -> string
+(** Slash-separated level suffixes, e.g. ["n/t/nb"]; document = ["/"]. *)
+
+val byte_size : t -> int
+(** Total label length in bytes — the growth metric of the E14
+    ablation. *)

@@ -1,0 +1,176 @@
+type t = int list
+
+let is_odd x = x land 1 <> 0
+let is_even x = x land 1 = 0
+
+let document = []
+let root = [ 1 ]
+
+(* A well-formed label is a sequence of levels, each level being zero or
+   more even components followed by exactly one odd component. *)
+let is_well_formed cs =
+  let rec check = function
+    | [] -> true
+    | c :: rest -> if is_odd c then check rest else rest <> [] && check rest
+  in
+  check cs
+
+let of_components cs =
+  if is_well_formed cs then cs
+  else invalid_arg "Ordpath.of_components: malformed label"
+
+let to_components t = t
+
+let rec compare a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' -> if x <> y then Int.compare x y else compare a' b'
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash t
+
+let depth t = List.length (List.filter is_odd t)
+
+(* The last level of a label is its trailing odd component together with
+   the maximal run of even components immediately before it. *)
+let parent = function
+  | [] -> None
+  | t ->
+    let rec drop_evens = function
+      | e :: rest when is_even e -> drop_evens rest
+      | rest -> rest
+    in
+    (match List.rev t with
+     | [] -> None
+     | _last :: rev_rest -> Some (List.rev (drop_evens rev_rest)))
+
+let rec is_prefix p t =
+  match p, t with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: p', y :: t' -> x = y && is_prefix p' t'
+
+let is_strict_prefix p t = List.length p < List.length t && is_prefix p t
+
+let is_ancestor ~ancestor t = is_strict_prefix ancestor t
+let is_ancestor_or_self ~ancestor t = is_prefix ancestor t
+
+let is_child ~parent:p t =
+  match parent t with Some q -> equal p q | None -> false
+
+let is_sibling a b =
+  (not (equal a b))
+  &&
+  match parent a, parent b with
+  | Some pa, Some pb -> equal pa pb
+  | _ -> false
+
+let next_odd_after x = if is_odd x then x + 2 else x + 1
+let prev_odd_before x = if is_odd x then x - 2 else x - 1
+
+(* [level_between left right] is a fresh level strictly between the sibling
+   levels [left] and [right] (either bound may be absent).  Levels compare
+   lexicographically; distinct valid levels never share an odd head, which
+   the recursion relies on. *)
+let rec level_between left right =
+  match left, right with
+  | None, None -> [ 1 ]
+  | Some (ha :: _), None -> [ next_odd_after ha ]
+  | None, Some (hb :: _) -> [ prev_odd_before hb ]
+  | Some (ha :: ta), Some (hb :: tb) ->
+    if ha = hb then begin
+      assert (is_even ha);
+      ha :: level_between (Some ta) (Some tb)
+    end
+    else if hb - ha >= 2 then begin
+      let o = if is_odd (ha + 1) then ha + 1 else ha + 2 in
+      if o < hb then [ o ] else (ha + 1) :: level_between None None
+    end
+    else begin
+      (* hb = ha + 1 *)
+      if is_odd ha then hb :: level_between None (Some tb)
+      else ha :: level_between (Some ta) None
+    end
+  | Some [], _ | _, Some [] ->
+    invalid_arg "Ordpath: empty level"
+
+let strip_parent ~parent:p t =
+  let rec strip p t =
+    match p, t with
+    | [], suffix -> suffix
+    | x :: p', y :: t' when x = y -> strip p' t'
+    | _ -> invalid_arg "Ordpath: not a child of the given parent"
+  in
+  strip p t
+
+let child_under ~parent:p ~left ~right =
+  let level_of bound =
+    match bound with
+    | None -> None
+    | Some b ->
+      if not (is_child ~parent:p b) then
+        invalid_arg "Ordpath.child_under: bound is not a child of parent";
+      Some (strip_parent ~parent:p b)
+  in
+  let ll = level_of left and rl = level_of right in
+  (match ll, rl with
+   | Some a, Some b when compare a b >= 0 ->
+     invalid_arg "Ordpath.child_under: left >= right"
+   | _ -> ());
+  p @ level_between ll rl
+
+let first_child p = p @ [ 1 ]
+
+let append_after p ~last = child_under ~parent:p ~left:last ~right:None
+
+let insert_before n =
+  match parent n with
+  | None -> invalid_arg "Ordpath.insert_before: document node"
+  | Some p -> child_under ~parent:p ~left:None ~right:(Some n)
+
+let between ~left ~right =
+  if not (is_sibling left right) then
+    invalid_arg "Ordpath.between: not siblings";
+  match parent left with
+  | None -> invalid_arg "Ordpath.between: document node"
+  | Some p -> child_under ~parent:p ~left:(Some left) ~right:(Some right)
+
+let relationship a b =
+  if equal a b then `Self
+  else if is_strict_prefix b a then `Ancestor
+  else if is_strict_prefix a b then `Descendant
+  else if compare b a < 0 then `Preceding
+  else `Following
+
+let to_string = function
+  | [] -> "/"
+  | t -> String.concat "." (List.map string_of_int t)
+
+let of_string s =
+  if s = "/" then []
+  else
+    match String.split_on_char '.' s with
+    | [] -> invalid_arg "Ordpath.of_string: empty"
+    | parts ->
+      let cs =
+        List.map
+          (fun p ->
+            match int_of_string_opt p with
+            | Some i -> i
+            | None -> invalid_arg "Ordpath.of_string: bad component")
+          parts
+      in
+      of_components cs
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,1 @@
+lib/workload/gen_doc.ml: Buffer Document List Printf Prng String Tree Xmldoc

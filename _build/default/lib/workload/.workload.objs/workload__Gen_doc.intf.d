@@ -1,0 +1,1 @@
+lib/workload/gen_doc.mli: Xmldoc

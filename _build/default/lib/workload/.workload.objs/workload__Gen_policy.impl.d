@@ -1,0 +1,1 @@
+lib/workload/gen_policy.ml: Core Gen_doc List Prng

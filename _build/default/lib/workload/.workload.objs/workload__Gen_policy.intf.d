@@ -1,0 +1,1 @@
+lib/workload/gen_policy.mli: Core Gen_doc

@@ -1,0 +1,1 @@
+lib/workload/gen_query.ml: Gen_doc List Printf Prng

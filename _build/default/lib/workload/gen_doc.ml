@@ -1,0 +1,114 @@
+open Xmldoc
+
+type config = {
+  patients : int;
+  visits_per_patient : int;
+  diagnosed_fraction : float;
+  seed : int;
+}
+
+let default =
+  { patients = 50; visits_per_patient = 3; diagnosed_fraction = 0.8; seed = 42 }
+
+let services =
+  [
+    "otolarynology"; "pneumology"; "cardiology"; "neurology"; "oncology";
+    "pediatrics"; "radiology"; "surgery";
+  ]
+
+let diagnoses =
+  [
+    "tonsillitis"; "pneumonia"; "arrhythmia"; "migraine"; "lymphoma";
+    "bronchitis"; "fracture"; "appendicitis"; "influenza"; "sinusitis";
+  ]
+
+let first_names =
+  [
+    "franck"; "robert"; "albert"; "gaston"; "henri"; "marie"; "claire";
+    "paul"; "lucie"; "jean"; "sophie"; "louis"; "emma"; "hugo"; "jules";
+    "lea"; "nina"; "victor"; "alice"; "simon";
+  ]
+
+let patient_name i =
+  let base = List.nth first_names (i mod List.length first_names) in
+  if i < List.length first_names then base
+  else Printf.sprintf "%s%d" base (i / List.length first_names)
+
+let patient_names config = List.init config.patients patient_name
+
+let visit rng i =
+  let rng, note =
+    Prng.pick rng
+      [ "routine"; "follow-up"; "emergency"; "vaccination"; "checkup" ]
+  in
+  let rng, day = Prng.int rng 28 in
+  let rng, month = Prng.int rng 12 in
+  ( rng,
+    Tree.element "visit"
+      [
+        Tree.attr "n" (string_of_int (i + 1));
+        Tree.element "date"
+          [ Tree.text (Printf.sprintf "2004-%02d-%02d" (month + 1) (day + 1)) ];
+        Tree.element "note" [ Tree.text note ];
+      ] )
+
+let patient rng i config =
+  let rng, service = Prng.pick rng services in
+  let rng, diagnosed = Prng.bool rng config.diagnosed_fraction in
+  let rng, diagnosis_text =
+    if diagnosed then
+      let rng, d = Prng.pick rng diagnoses in
+      (rng, [ Tree.text d ])
+    else (rng, [])
+  in
+  let rng, visit_count =
+    if config.visits_per_patient = 0 then (rng, 0)
+    else Prng.int rng (config.visits_per_patient + 1)
+  in
+  let rng, visits =
+    let rec go rng acc i =
+      if i = visit_count then (rng, List.rev acc)
+      else
+        let rng, v = visit rng i in
+        go rng (v :: acc) (i + 1)
+    in
+    go rng [] 0
+  in
+  ( rng,
+    Tree.element (patient_name i)
+      (Tree.element "service" [ Tree.text service ]
+       :: Tree.element "diagnosis" diagnosis_text
+       :: visits) )
+
+let dtd config =
+  let names = patient_names config in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "<!ELEMENT patients (%s)*>\n" (String.concat " | " names));
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf "<!ELEMENT %s (service, diagnosis, visit*)>\n" name))
+    names;
+  Buffer.add_string buf
+    {|<!ELEMENT service (#PCDATA)>
+<!ELEMENT diagnosis (#PCDATA)>
+<!ELEMENT visit (date, note)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT note (#PCDATA)>
+<!ATTLIST visit n CDATA #REQUIRED>
+|};
+  Buffer.contents buf
+
+let generate config =
+  let rng = Prng.create config.seed in
+  let _, patients =
+    let rec go rng acc i =
+      if i = config.patients then (rng, List.rev acc)
+      else
+        let rng, p = patient rng i config in
+        go rng (p :: acc) (i + 1)
+    in
+    go rng [] 0
+  in
+  Document.of_tree (Tree.element "patients" patients)

@@ -1,0 +1,28 @@
+(** Synthetic medical-records databases scaling the figure-2 schema: a
+    [patients] root holding one element per patient (named after the
+    patient, as in the paper), each with a service, an optional diagnosis
+    and a visit history.  Deterministic in the seed. *)
+
+type config = {
+  patients : int;
+  visits_per_patient : int;  (** upper bound; actual count is random *)
+  diagnosed_fraction : float;  (** patients with a diagnosis posed *)
+  seed : int;
+}
+
+val default : config
+(** 50 patients, up to 3 visits, 0.8 diagnosed, seed 42. *)
+
+val generate : config -> Xmldoc.Document.t
+
+val patient_names : config -> string list
+(** The patient element names of the generated database, in order —
+    usable as [$USER] logins. *)
+
+val services : string list
+val diagnoses : string list
+
+val dtd : config -> string
+(** A document type matching {!generate}'s output (one [ELEMENT]
+    declaration per patient name, plus the record structure), parseable
+    by {!Xmldoc.Schema.of_string}. *)

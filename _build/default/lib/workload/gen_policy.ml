@@ -1,0 +1,93 @@
+let hospital_staff = [ "beaufort"; "laporte"; "richard" ]
+
+let hospital (config : Gen_doc.config) =
+  let subjects =
+    Core.Subject.of_list
+      ([
+         (Core.Subject.Role, "staff", []);
+         (Core.Subject.Role, "secretary", [ "staff" ]);
+         (Core.Subject.Role, "doctor", [ "staff" ]);
+         (Core.Subject.Role, "epidemiologist", [ "staff" ]);
+         (Core.Subject.Role, "patient", []);
+         (Core.Subject.User, "beaufort", [ "secretary" ]);
+         (Core.Subject.User, "laporte", [ "doctor" ]);
+         (Core.Subject.User, "richard", [ "epidemiologist" ]);
+       ]
+      @ List.filter_map
+          (fun name ->
+            if List.mem name hospital_staff then None
+            else Some (Core.Subject.User, name, [ "patient" ]))
+          (Gen_doc.patient_names config))
+  in
+  Core.Policy.v subjects
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"staff"
+        ~priority:10;
+      Core.Rule.deny Core.Privilege.Read ~path:"//diagnosis/node()"
+        ~subject:"secretary" ~priority:11;
+      Core.Rule.accept Core.Privilege.Position ~path:"//diagnosis/node()"
+        ~subject:"secretary" ~priority:12;
+      Core.Rule.accept Core.Privilege.Read ~path:"/patients" ~subject:"patient"
+        ~priority:13;
+      Core.Rule.accept Core.Privilege.Read
+        ~path:"/patients/*[name() = $USER]/descendant-or-self::node()"
+        ~subject:"patient" ~priority:14;
+      Core.Rule.deny Core.Privilege.Read ~path:"/patients/*"
+        ~subject:"epidemiologist" ~priority:15;
+      Core.Rule.accept Core.Privilege.Position ~path:"/patients/*"
+        ~subject:"epidemiologist" ~priority:16;
+      Core.Rule.accept Core.Privilege.Insert ~path:"/patients"
+        ~subject:"secretary" ~priority:17;
+      Core.Rule.accept Core.Privilege.Update ~path:"/patients/*"
+        ~subject:"secretary" ~priority:18;
+      Core.Rule.accept Core.Privilege.Insert ~path:"//diagnosis"
+        ~subject:"doctor" ~priority:19;
+      Core.Rule.accept Core.Privilege.Update ~path:"//diagnosis/node()"
+        ~subject:"doctor" ~priority:20;
+      Core.Rule.accept Core.Privilege.Delete ~path:"//diagnosis/node()"
+        ~subject:"doctor" ~priority:21;
+    ]
+
+type random_config = {
+  rules : int;
+  deny_fraction : float;
+  seed : int;
+}
+
+let path_pool =
+  [
+    "//node()"; "/patients"; "/patients/node()"; "//service"; "//diagnosis";
+    "//diagnosis/node()"; "//visit"; "//visit/node()"; "//date"; "//note";
+    "//service/node()"; "//text()"; "/patients/*"; "//visit[@n = 1]";
+    "//*[diagnosis/text()]";
+  ]
+
+let random ?(paths = path_pool) { rules; deny_fraction; seed } =
+  let path_pool = paths in
+  let subjects =
+    Core.Subject.of_list
+      [
+        (Core.Subject.Role, "r1", []);
+        (Core.Subject.Role, "r2", [ "r1" ]);
+        (Core.Subject.User, "u", [ "r2" ]);
+      ]
+  in
+  let rng = Prng.create seed in
+  let _, rule_list =
+    let rec go rng acc i =
+      if i = rules then (rng, List.rev acc)
+      else
+        let rng, deny = Prng.bool rng deny_fraction in
+        let rng, path = Prng.pick rng path_pool in
+        let rng, privilege = Prng.pick rng Core.Privilege.all in
+        let rng, subject = Prng.pick rng [ "r1"; "r2"; "u" ] in
+        let rule =
+          Core.Rule.v
+            (if deny then Core.Rule.Deny else Core.Rule.Accept)
+            privilege ~path ~subject ~priority:(i + 1)
+        in
+        go rng (rule :: acc) (i + 1)
+    in
+    go rng [] 0
+  in
+  Core.Policy.v subjects rule_list

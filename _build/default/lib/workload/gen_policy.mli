@@ -1,0 +1,26 @@
+(** Policy generators.
+
+    {!hospital} scales the axiom-13 policy to the {!Gen_doc} databases
+    (same roles, same shapes, patients registered as users).
+
+    {!random} emits arbitrary accept/deny rule sequences over a pool of
+    path templates — input for the policy-size scaling bench (E9) and for
+    differential testing. *)
+
+val hospital : Gen_doc.config -> Core.Policy.t
+(** The figure-3 roles, one user per generated patient, and the twelve
+    axiom-13 rules. *)
+
+val hospital_staff : string list
+(** The non-patient logins of {!hospital}:
+    [beaufort; laporte; richard]. *)
+
+type random_config = {
+  rules : int;
+  deny_fraction : float;
+  seed : int;
+}
+
+val random : ?paths:string list -> random_config -> Core.Policy.t
+(** Roles [r1 <- r2 <- u(user)]; rules target the {!Gen_doc} schema's
+    element names unless a custom [paths] pool is supplied. *)

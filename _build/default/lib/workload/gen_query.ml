@@ -1,0 +1,38 @@
+let mix =
+  [
+    "/patients";
+    "/patients/*";
+    "//diagnosis";
+    "//diagnosis/text()";
+    "//service[text() = 'cardiology']";
+    "/patients/*[diagnosis/text()]";
+    "//visit[@n = 1]";
+    "/patients/*[position() = last()]";
+    "//visit/date/text()";
+    "/patients/*[count(visit) > 1]";
+    "//note[contains(text(), 'follow')]";
+    "/patients/*[service = 'pneumology']/diagnosis";
+  ]
+
+let templates =
+  [
+    (fun _ -> "/patients/*");
+    (fun name -> Printf.sprintf "/patients/%s" name);
+    (fun name -> Printf.sprintf "/patients/%s/diagnosis/text()" name);
+    (fun _ -> "//visit");
+    (fun name -> Printf.sprintf "//%s/visit[@n = 1]/date" name);
+    (fun _ -> "//diagnosis[text()]");
+    (fun name -> Printf.sprintf "/patients/*[name() = '%s']" name);
+  ]
+
+let random ~seed ~count =
+  let rng = Prng.create seed in
+  let names = Gen_doc.patient_names Gen_doc.default in
+  let rec go rng acc i =
+    if i = count then List.rev acc
+    else
+      let rng, template = Prng.pick rng templates in
+      let rng, name = Prng.pick rng names in
+      go rng (template name :: acc) (i + 1)
+  in
+  go rng [] 0

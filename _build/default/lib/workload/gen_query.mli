@@ -1,0 +1,8 @@
+(** Query workloads over the {!Gen_doc} schema: a fixed representative mix
+    (for throughput benches) and seeded random queries. *)
+
+val mix : string list
+(** Twelve queries exercising child steps, descendant steps, predicates,
+    positions, attributes and functions. *)
+
+val random : seed:int -> count:int -> string list

@@ -1,0 +1,48 @@
+type t = int64
+
+let create seed = Int64.of_int seed
+
+let next state =
+  let state = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (state, Int64.logxor z (Int64.shift_right_logical z 31))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let t, v = next t in
+  let v = Int64.to_int (Int64.shift_right_logical v 2) in
+  (t, v mod bound)
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs ->
+    let t, i = int t (List.length xs) in
+    (t, List.nth xs i)
+
+let pick_weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.pick_weighted: no weight";
+  let t, roll = int t total in
+  let rec go roll = function
+    | [] -> invalid_arg "Prng.pick_weighted: empty"
+    | (w, x) :: rest -> if roll < w then x else go (roll - w) rest
+  in
+  (t, go roll choices)
+
+let bool t p =
+  let t, v = int t 1_000_000 in
+  (t, float_of_int v < p *. 1_000_000.)
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  let t = ref t in
+  for i = Array.length arr - 1 downto 1 do
+    let t', j = int !t (i + 1) in
+    t := t';
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  (!t, Array.to_list arr)

@@ -1,0 +1,23 @@
+(** A small, pure, deterministic PRNG (splitmix64) so every workload is
+    reproducible from a seed, independent of [Stdlib.Random]'s global
+    state. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds produce equal streams. *)
+
+val next : t -> t * int64
+val int : t -> int -> t * int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val pick : t -> 'a list -> t * 'a
+(** Uniform choice. @raise Invalid_argument on an empty list. *)
+
+val pick_weighted : t -> (int * 'a) list -> t * 'a
+(** Choice proportional to the integer weights. *)
+
+val bool : t -> float -> t * bool
+(** [bool t p] is true with probability [p]. *)
+
+val shuffle : t -> 'a list -> t * 'a list

@@ -1,0 +1,1 @@
+lib/xmldoc/document.ml: Buffer List Node Option Ordpath Seq Tree

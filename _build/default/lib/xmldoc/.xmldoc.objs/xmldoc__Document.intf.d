@@ -1,0 +1,1 @@
+lib/xmldoc/document.mli: Node Ordpath Tree

@@ -1,0 +1,1 @@
+lib/xmldoc/invariants.ml: Document List Node Ordpath Printf

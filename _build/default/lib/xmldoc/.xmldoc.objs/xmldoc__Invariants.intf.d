@@ -1,0 +1,1 @@
+lib/xmldoc/invariants.mli: Document

@@ -1,0 +1,1 @@
+lib/xmldoc/node.ml: Format Ordpath String

@@ -1,0 +1,1 @@
+lib/xmldoc/node.mli: Format Ordpath

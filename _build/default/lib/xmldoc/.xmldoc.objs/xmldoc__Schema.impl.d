@@ -1,0 +1,1 @@
+lib/xmldoc/schema.ml: Document List Map Node Option Ordpath Printf String

@@ -1,0 +1,1 @@
+lib/xmldoc/schema.mli: Document

@@ -1,0 +1,1 @@
+lib/xmldoc/tree.ml: Format List String

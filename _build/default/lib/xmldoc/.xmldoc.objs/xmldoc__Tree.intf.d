@@ -1,0 +1,1 @@
+lib/xmldoc/tree.mli: Format

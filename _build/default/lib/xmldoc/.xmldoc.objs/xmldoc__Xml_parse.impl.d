@@ -1,0 +1,1 @@
+lib/xmldoc/xml_parse.ml: Buffer Document List Option Printf String Tree Uchar

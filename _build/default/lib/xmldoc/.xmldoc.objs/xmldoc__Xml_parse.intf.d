@@ -1,0 +1,1 @@
+lib/xmldoc/xml_parse.mli: Document Tree

@@ -1,0 +1,1 @@
+lib/xmldoc/xml_print.ml: Buffer Document Format List Node Option Ordpath Printf String Tree

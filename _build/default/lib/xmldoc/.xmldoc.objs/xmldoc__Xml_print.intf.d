@@ -1,0 +1,1 @@
+lib/xmldoc/xml_print.mli: Document Format Ordpath Tree

@@ -1,0 +1,198 @@
+type t = Node.t Ordpath.Map.t
+
+let document_node = Node.v ~id:Ordpath.document ~kind:Node.Document "/"
+let empty = Ordpath.Map.singleton Ordpath.document document_node
+
+let find t id = Ordpath.Map.find_opt id t
+let mem t id = Ordpath.Map.mem id t
+let label t id = Option.map (fun (n : Node.t) -> n.label) (find t id)
+let kind t id = Option.map (fun (n : Node.t) -> n.kind) (find t id)
+let size t = Ordpath.Map.cardinal t
+let nodes t = List.map snd (Ordpath.Map.bindings t)
+let fold f t acc = Ordpath.Map.fold (fun _ n acc -> f n acc) t acc
+let iter f t = Ordpath.Map.iter (fun _ n -> f n) t
+let equal a b = Ordpath.Map.equal Node.equal a b
+
+let kind_of_tree : Tree.t -> Node.kind = function
+  | Tree.Element _ -> Node.Element
+  | Tree.Attr _ -> Node.Attribute
+  | Tree.Text _ -> Node.Text
+  | Tree.Comment _ -> Node.Comment
+
+(* Number a fragment: the root gets [id]; children get consecutive fresh
+   sibling labels under it. *)
+let rec graft acc id (tree : Tree.t) =
+  let acc =
+    Ordpath.Map.add id (Node.v ~id ~kind:(kind_of_tree tree) (Tree.name tree)) acc
+  in
+  let acc, _last =
+    List.fold_left
+      (fun (acc, last) kid ->
+        let kid_id = Ordpath.append_after id ~last in
+        (graft acc kid_id kid, Some kid_id))
+      (acc, None) (Tree.children tree)
+  in
+  acc
+
+let of_forest trees =
+  let doc, _ =
+    List.fold_left
+      (fun (doc, last) tree ->
+        let id = Ordpath.append_after Ordpath.document ~last in
+        (graft doc id tree, Some id))
+      (empty, None) trees
+  in
+  doc
+
+let of_tree tree = of_forest [ tree ]
+
+(* Subtree scan: all strict descendants of [id] form a contiguous run of
+   keys right after [id] in the map. *)
+let descendants t id =
+  let seq = Ordpath.Map.to_seq_from id t in
+  let rec collect acc seq =
+    match seq () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons ((key, node), rest) ->
+      if Ordpath.equal key id then collect acc rest
+      else if Ordpath.is_ancestor ~ancestor:id key then
+        collect (node :: acc) rest
+      else List.rev acc
+  in
+  collect [] seq
+
+let descendant_or_self t id =
+  match find t id with
+  | None -> []
+  | Some n -> n :: descendants t id
+
+let children t id =
+  List.filter (fun (n : Node.t) -> Ordpath.is_child ~parent:id n.id)
+    (descendants t id)
+
+let element_children t id =
+  List.filter (fun (n : Node.t) -> n.kind <> Node.Attribute) (children t id)
+
+let attributes t id =
+  List.filter (fun (n : Node.t) -> n.kind = Node.Attribute) (children t id)
+
+let last_child t id =
+  match List.rev (children t id) with [] -> None | n :: _ -> Some n
+
+let root_element t =
+  List.find_opt
+    (fun (n : Node.t) -> n.kind = Node.Element)
+    (children t Ordpath.document)
+
+let parent t id =
+  match Ordpath.parent id with None -> None | Some pid -> find t pid
+
+let ancestors t id =
+  (* Accumulates outermost-first, so the reversal yields nearest-first. *)
+  let rec up acc id =
+    match Ordpath.parent id with
+    | None -> List.rev acc
+    | Some pid -> (match find t pid with
+      | None -> List.rev acc
+      | Some n -> up (n :: acc) pid)
+  in
+  up [] id
+
+let ancestor_or_self t id =
+  match find t id with None -> [] | Some n -> n :: ancestors t id
+
+let siblings t id =
+  match Ordpath.parent id with
+  | None -> []
+  | Some pid -> children t pid
+
+let following_siblings t id =
+  List.filter (fun (n : Node.t) -> Ordpath.compare n.id id > 0) (siblings t id)
+
+let preceding_siblings t id =
+  List.rev
+    (List.filter (fun (n : Node.t) -> Ordpath.compare n.id id < 0)
+       (siblings t id))
+
+let following t id =
+  let after_subtree (n : Node.t) =
+    Ordpath.compare n.id id > 0 && not (Ordpath.is_ancestor ~ancestor:id n.id)
+  in
+  List.filter after_subtree (nodes t)
+
+let preceding t id =
+  let ancestor_ids =
+    List.map (fun (n : Node.t) -> n.id) (ancestors t id)
+  in
+  let before (n : Node.t) =
+    Ordpath.compare n.id id < 0
+    && (not (List.exists (Ordpath.equal n.id) ancestor_ids))
+    && n.kind <> Node.Document
+  in
+  List.rev (List.filter before (nodes t))
+
+let is_child t ~child id = mem t child && Ordpath.is_child ~parent:id child
+
+let is_descendant t ~descendant id =
+  mem t descendant && Ordpath.is_ancestor ~ancestor:id descendant
+
+(* XPath string value: text descendants, not descending into attribute
+   nodes (their values are reachable only when the attribute itself is the
+   start node). *)
+let string_value t id =
+  match find t id with
+  | None -> ""
+  | Some (start : Node.t) ->
+    let buf = Buffer.create 32 in
+    let rec go (n : Node.t) =
+      match n.kind with
+      | Node.Text -> Buffer.add_string buf n.label
+      | Node.Attribute when not (Ordpath.equal n.id start.id) -> ()
+      | Node.Attribute | Node.Element | Node.Document | Node.Comment ->
+        List.iter go (children t n.id)
+    in
+    go start;
+    Buffer.contents buf
+
+let relabel t id new_label =
+  match find t id with
+  | None -> t
+  | Some n -> Ordpath.Map.add id { n with Node.label = new_label } t
+
+let add_node t (n : Node.t) = Ordpath.Map.add n.id n t
+
+let add_subtree t ~parent ~left ~right tree =
+  if not (mem t parent) then
+    invalid_arg "Document.add_subtree: unknown parent";
+  let id = Ordpath.child_under ~parent ~left ~right in
+  (graft t id tree, id)
+
+let append_tree t ~parent tree =
+  let last = Option.map (fun (n : Node.t) -> n.id) (last_child t parent) in
+  add_subtree t ~parent ~left:last ~right:None tree
+
+let remove_subtree t id =
+  if Ordpath.equal id Ordpath.document then t
+  else
+    List.fold_left
+      (fun acc (n : Node.t) -> Ordpath.Map.remove n.id acc)
+      t
+      (descendant_or_self t id)
+
+let rec to_tree t id : Tree.t option =
+  match find t id with
+  | None -> None
+  | Some (n : Node.t) ->
+    (match n.kind with
+     | Node.Text -> Some (Tree.Text n.label)
+     | Node.Comment -> Some (Tree.Comment n.label)
+     | Node.Attribute -> Some (Tree.Attr (n.label, string_value t id))
+     | Node.Element | Node.Document ->
+       let kids =
+         List.filter_map (fun (k : Node.t) -> to_tree t k.id) (children t id)
+       in
+       if n.kind = Node.Document then
+         (* The document node itself has no fragment form; wrap children
+            of the root element instead. *)
+         (match kids with [ only ] -> Some only | _ -> None)
+       else Some (Tree.Element (n.label, kids)))

@@ -1,0 +1,58 @@
+let check doc =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match Document.find doc Ordpath.document with
+   | None -> complain "the document node is missing"
+   | Some n ->
+     if n.Node.kind <> Node.Document then complain "the document node has a wrong kind";
+     if n.Node.label <> "/" then complain "the document node is mislabelled");
+  Document.iter
+    (fun (n : Node.t) ->
+      let id = Ordpath.to_string n.id in
+      (* Identifiers survive a components round-trip iff well-formed. *)
+      (match Ordpath.of_components (Ordpath.to_components n.id) with
+       | exception Invalid_argument _ -> complain "node %s: malformed identifier" id
+       | _ -> ());
+      (match n.kind with
+       | Node.Document ->
+         if not (Ordpath.equal n.id Ordpath.document) then
+           complain "node %s: non-root node of document kind" id
+       | Node.Element | Node.Attribute | Node.Text | Node.Comment ->
+         (match Ordpath.parent n.id with
+          | None -> complain "node %s: non-document node without a parent" id
+          | Some pid ->
+            if not (Document.mem doc pid) then
+              complain "node %s: parent %s missing" id (Ordpath.to_string pid)));
+      (match n.kind with
+       | Node.Text | Node.Comment ->
+         if Document.children doc n.id <> [] then
+           complain "node %s: %s node with children" id
+             (Node.kind_to_string n.kind)
+       | Node.Attribute ->
+         List.iter
+           (fun (k : Node.t) ->
+             if k.kind <> Node.Text then
+               complain "node %s: attribute with non-text child %s" id
+                 (Ordpath.to_string k.id))
+           (Document.children doc n.id)
+       | Node.Element | Node.Document -> ()))
+    doc;
+  List.iter
+    (fun (n : Node.t) ->
+      if n.kind = Node.Text then
+        complain "document-level text node %s" (Ordpath.to_string n.id))
+    (Document.children doc Ordpath.document);
+  List.rev !problems
+
+let check_document doc =
+  let base = check doc in
+  let elements =
+    List.filter
+      (fun (n : Node.t) -> n.kind = Node.Element)
+      (Document.children doc Ordpath.document)
+  in
+  if List.length elements > 1 then
+    base @ [ "more than one document-level element" ]
+  else base
+
+let is_valid doc = check doc = []

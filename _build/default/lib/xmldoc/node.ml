@@ -1,0 +1,30 @@
+type kind =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+
+type t = {
+  id : Ordpath.t;
+  kind : kind;
+  label : string;
+}
+
+let v ~id ~kind label = { id; kind; label }
+
+let kind_to_string = function
+  | Document -> "document"
+  | Element -> "element"
+  | Attribute -> "attribute"
+  | Text -> "text"
+  | Comment -> "comment"
+
+let equal a b =
+  Ordpath.equal a.id b.id && a.kind = b.kind && String.equal a.label b.label
+
+let pp fmt { id; kind; label } =
+  Format.fprintf fmt "%a:%s(%s)" Ordpath.pp id (kind_to_string kind) label
+
+let pp_fact fmt { id; label; _ } =
+  Format.fprintf fmt "node(%a, %s)" Ordpath.pp id label

@@ -1,0 +1,29 @@
+(** Nodes of the XML data model of §3.1: each node is a pair of a unique
+    persistent identifier and a label, plus a node kind.  Element labels are
+    tag names; text labels are the character data; attribute labels are the
+    attribute name (the attribute value is stored as a single text child,
+    which keeps the [(id, label)] model uniform and lets the paper's
+    rename/update axioms apply to attributes as well). *)
+
+type kind =
+  | Document  (** the unique parentless node, label ["/"] *)
+  | Element
+  | Attribute
+  | Text
+  | Comment
+
+type t = {
+  id : Ordpath.t;
+  kind : kind;
+  label : string;
+}
+
+val v : id:Ordpath.t -> kind:kind -> string -> t
+
+val kind_to_string : kind -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val pp_fact : Format.formatter -> t -> unit
+(** Prints the paper's [node(n, v)] fact notation, e.g.
+    [node(1.3, diagnosis)]. *)

@@ -1,0 +1,481 @@
+type regex =
+  | Name of string
+  | Seq of regex list
+  | Choice of regex list
+  | Opt of regex
+  | Star of regex
+  | Plus of regex
+
+type content_model =
+  | Empty
+  | Any
+  | Pcdata
+  | Mixed of string list
+  | Children of regex
+
+type attr_type =
+  | Cdata
+  | Id
+  | Idref
+  | Nmtoken
+  | Enum of string list
+
+type attr_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attr_decl = {
+  attr_name : string;
+  attr_type : attr_type;
+  default : attr_default;
+}
+
+module StrMap = Map.Make (String)
+
+type t = {
+  elements : content_model StrMap.t;
+  attlists : attr_decl list StrMap.t;
+}
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- content-model matching (Brzozowski derivatives) -------------------- *)
+
+(* Internal regex with the empty-word and empty-set constants. *)
+type d =
+  | DEps
+  | DFail
+  | DName of string
+  | DSeq of d * d
+  | DChoice of d * d
+  | DStar of d
+
+let rec lift = function
+  | Name n -> DName n
+  | Seq [] -> DEps
+  | Seq (r :: rest) -> DSeq (lift r, lift (Seq rest))
+  | Choice [] -> DFail
+  | Choice [ r ] -> lift r
+  | Choice (r :: rest) -> DChoice (lift r, lift (Choice rest))
+  | Opt r -> DChoice (lift r, DEps)
+  | Star r -> DStar (lift r)
+  | Plus r ->
+    let d = lift r in
+    DSeq (d, DStar d)
+
+let rec nullable = function
+  | DEps | DStar _ -> true
+  | DFail | DName _ -> false
+  | DSeq (a, b) -> nullable a && nullable b
+  | DChoice (a, b) -> nullable a || nullable b
+
+(* Light smart constructors keep the derivatives small. *)
+let seq a b =
+  match a, b with
+  | DFail, _ | _, DFail -> DFail
+  | DEps, r | r, DEps -> r
+  | a, b -> DSeq (a, b)
+
+let choice a b =
+  match a, b with
+  | DFail, r | r, DFail -> r
+  | a, b -> DChoice (a, b)
+
+let rec deriv d x =
+  match d with
+  | DEps | DFail -> DFail
+  | DName n -> if String.equal n x then DEps else DFail
+  | DSeq (a, b) ->
+    let first = seq (deriv a x) b in
+    if nullable a then choice first (deriv b x) else first
+  | DChoice (a, b) -> choice (deriv a x) (deriv b x)
+  | DStar r -> seq (deriv r x) (DStar r)
+
+let matches regex names =
+  nullable (List.fold_left deriv (lift regex) names)
+
+(* --- DTD parsing --------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | PCDATA_T
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | PIPE
+  | STAR_T
+  | PLUS_T
+  | QMARK
+  | STRING of string
+  | HASH of string  (* REQUIRED / IMPLIED / FIXED *)
+  | DECL_OPEN of string  (* ELEMENT / ATTLIST *)
+  | DECL_CLOSE
+  | EOF
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.' || c = ':'
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> loop (i + 1) acc
+      | '(' -> loop (i + 1) (LPAREN :: acc)
+      | ')' -> loop (i + 1) (RPAREN :: acc)
+      | ',' -> loop (i + 1) (COMMA :: acc)
+      | '|' -> loop (i + 1) (PIPE :: acc)
+      | '*' -> loop (i + 1) (STAR_T :: acc)
+      | '+' -> loop (i + 1) (PLUS_T :: acc)
+      | '?' -> loop (i + 1) (QMARK :: acc)
+      | '>' -> loop (i + 1) (DECL_CLOSE :: acc)
+      | '"' | '\'' ->
+        let quote = src.[i] in
+        let rec close j =
+          if j >= n then fail "unterminated string in DTD"
+          else if src.[j] = quote then j
+          else close (j + 1)
+        in
+        let stop = close (i + 1) in
+        loop (stop + 1) (STRING (String.sub src (i + 1) (stop - i - 1)) :: acc)
+      | '#' ->
+        let rec word j = if j < n && is_name_char src.[j] then word (j + 1) else j in
+        let stop = word (i + 1) in
+        let w = String.sub src (i + 1) (stop - i - 1) in
+        if w = "PCDATA" then loop stop (PCDATA_T :: acc)
+        else loop stop (HASH w :: acc)
+      | '<' ->
+        if i + 3 < n && String.sub src i 4 = "<!--" then begin
+          let rec close j =
+            if j + 2 >= n then fail "unterminated comment in DTD"
+            else if String.sub src j 3 = "-->" then j + 3
+            else close (j + 1)
+          in
+          loop (close (i + 4)) acc
+        end
+        else if i + 1 < n && src.[i + 1] = '!' then begin
+          let rec word j = if j < n && is_name_char src.[j] then word (j + 1) else j in
+          let stop = word (i + 2) in
+          loop stop (DECL_OPEN (String.sub src (i + 2) (stop - i - 2)) :: acc)
+        end
+        else fail "unexpected '<' in DTD"
+      | c when is_name_char c ->
+        let rec word j = if j < n && is_name_char src.[j] then word (j + 1) else j in
+        let stop = word i in
+        loop stop (IDENT (String.sub src i (stop - i)) :: acc)
+      | c -> fail "unexpected character %C in DTD" c
+  in
+  loop 0 []
+
+type cursor = { mutable toks : token list }
+
+let peek c = match c.toks with [] -> EOF | t :: _ -> t
+let advance c = match c.toks with [] -> () | _ :: r -> c.toks <- r
+
+let expect c t =
+  if peek c = t then advance c else fail "malformed DTD declaration"
+
+let ident c =
+  match peek c with
+  | IDENT n ->
+    advance c;
+    n
+  | _ -> fail "expected a name in DTD"
+
+(* children model: cp ::= (name | '(' choice-or-seq ')') modifier? *)
+let rec parse_cp c =
+  let base =
+    match peek c with
+    | IDENT n ->
+      advance c;
+      Name n
+    | LPAREN ->
+      advance c;
+      let inner = parse_group c in
+      expect c RPAREN;
+      inner
+    | _ -> fail "expected a content particle"
+  in
+  parse_modifier c base
+
+and parse_modifier c base =
+  match peek c with
+  | STAR_T ->
+    advance c;
+    Star base
+  | PLUS_T ->
+    advance c;
+    Plus base
+  | QMARK ->
+    advance c;
+    Opt base
+  | _ -> base
+
+and parse_group c =
+  let first = parse_cp c in
+  match peek c with
+  | COMMA ->
+    let rec more acc =
+      match peek c with
+      | COMMA ->
+        advance c;
+        more (parse_cp c :: acc)
+      | _ -> List.rev acc
+    in
+    Seq (more [ first ])
+  | PIPE ->
+    let rec more acc =
+      match peek c with
+      | PIPE ->
+        advance c;
+        more (parse_cp c :: acc)
+      | _ -> List.rev acc
+    in
+    Choice (more [ first ])
+  | _ -> Seq [ first ]
+
+let parse_content_model c =
+  match peek c with
+  | IDENT "EMPTY" ->
+    advance c;
+    Empty
+  | IDENT "ANY" ->
+    advance c;
+    Any
+  | LPAREN ->
+    advance c;
+    (match peek c with
+     | PCDATA_T ->
+       advance c;
+       (match peek c with
+        | RPAREN ->
+          advance c;
+          (* optional trailing * on (#PCDATA)* *)
+          (match peek c with STAR_T -> advance c | _ -> ());
+          Pcdata
+        | PIPE ->
+          let rec names acc =
+            match peek c with
+            | PIPE ->
+              advance c;
+              names (ident c :: acc)
+            | RPAREN ->
+              advance c;
+              expect c STAR_T;
+              List.rev acc
+            | _ -> fail "malformed mixed content model"
+          in
+          Mixed (names [])
+        | _ -> fail "malformed #PCDATA model")
+     | _ ->
+       let inner = parse_group c in
+       expect c RPAREN;
+       Children (parse_modifier c inner))
+  | _ -> fail "expected a content model"
+
+let parse_attr_decls c =
+  let rec loop acc =
+    match peek c with
+    | IDENT attr_name ->
+      advance c;
+      let attr_type =
+        match peek c with
+        | IDENT "CDATA" ->
+          advance c;
+          Cdata
+        | IDENT "ID" ->
+          advance c;
+          Id
+        | IDENT "IDREF" ->
+          advance c;
+          Idref
+        | IDENT "NMTOKEN" ->
+          advance c;
+          Nmtoken
+        | LPAREN ->
+          advance c;
+          let rec names acc =
+            let n = ident c in
+            match peek c with
+            | PIPE ->
+              advance c;
+              names (n :: acc)
+            | RPAREN ->
+              advance c;
+              List.rev (n :: acc)
+            | _ -> fail "malformed enumerated attribute type"
+          in
+          Enum (names [])
+        | _ -> fail "expected an attribute type"
+      in
+      let default =
+        match peek c with
+        | HASH "REQUIRED" ->
+          advance c;
+          Required
+        | HASH "IMPLIED" ->
+          advance c;
+          Implied
+        | HASH "FIXED" ->
+          advance c;
+          (match peek c with
+           | STRING s ->
+             advance c;
+             Fixed s
+           | _ -> fail "#FIXED needs a value")
+        | STRING s ->
+          advance c;
+          Default s
+        | _ -> fail "expected an attribute default"
+      in
+      loop ({ attr_name; attr_type; default } :: acc)
+    | DECL_CLOSE -> List.rev acc
+    | _ -> fail "malformed ATTLIST"
+  in
+  loop []
+
+let of_string src =
+  let c = { toks = tokenize src } in
+  let rec loop schema =
+    match peek c with
+    | EOF -> schema
+    | DECL_OPEN "ELEMENT" ->
+      advance c;
+      let name = ident c in
+      let model = parse_content_model c in
+      expect c DECL_CLOSE;
+      loop { schema with elements = StrMap.add name model schema.elements }
+    | DECL_OPEN "ATTLIST" ->
+      advance c;
+      let name = ident c in
+      let decls = parse_attr_decls c in
+      expect c DECL_CLOSE;
+      let existing =
+        Option.value ~default:[] (StrMap.find_opt name schema.attlists)
+      in
+      loop
+        { schema with attlists = StrMap.add name (existing @ decls) schema.attlists }
+    | DECL_OPEN d -> fail "unsupported declaration <!%s" d
+    | _ -> fail "expected a declaration"
+  in
+  loop { elements = StrMap.empty; attlists = StrMap.empty }
+
+let declared t = List.map fst (StrMap.bindings t.elements)
+let content_model t name = StrMap.find_opt name t.elements
+let attributes t name =
+  Option.value ~default:[] (StrMap.find_opt name t.attlists)
+
+(* --- validation ----------------------------------------------------------- *)
+
+let rec regex_to_string = function
+  | Name n -> n
+  | Seq rs -> "(" ^ String.concat ", " (List.map regex_to_string rs) ^ ")"
+  | Choice rs -> "(" ^ String.concat " | " (List.map regex_to_string rs) ^ ")"
+  | Opt r -> regex_to_string r ^ "?"
+  | Star r -> regex_to_string r ^ "*"
+  | Plus r -> regex_to_string r ^ "+"
+
+let is_nmtoken s =
+  s <> "" && String.for_all is_name_char s
+
+let validate ?root t doc =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  (match root, Document.root_element doc with
+   | Some expected, Some r ->
+     if not (String.equal r.Node.label expected) then
+       complain "root element is <%s>, expected <%s>" r.Node.label expected
+   | Some expected, None -> complain "no root element; expected <%s>" expected
+   | None, _ -> ());
+  Document.iter
+    (fun (n : Node.t) ->
+      if n.kind = Node.Element then begin
+        let where = Ordpath.to_string n.id in
+        match content_model t n.label with
+        | None -> complain "<%s> at %s is not declared" n.label where
+        | Some model ->
+          let kids = Document.children doc n.id in
+          let element_kids =
+            List.filter_map
+              (fun (k : Node.t) ->
+                if k.kind = Node.Element then Some k.label else None)
+              kids
+          in
+          let has_text =
+            List.exists (fun (k : Node.t) -> k.kind = Node.Text) kids
+          in
+          (match model with
+           | Any -> ()
+           | Empty ->
+             if element_kids <> [] || has_text then
+               complain "<%s> at %s must be EMPTY" n.label where
+           | Pcdata ->
+             if element_kids <> [] then
+               complain "<%s> at %s allows text only" n.label where
+           | Mixed allowed ->
+             List.iter
+               (fun kid ->
+                 if not (List.mem kid allowed) then
+                   complain "<%s> at %s does not allow <%s> in mixed content"
+                     n.label where kid)
+               element_kids
+           | Children regex ->
+             if has_text then
+               complain "<%s> at %s does not allow text content" n.label where;
+             if not (matches regex element_kids) then
+               complain "<%s> at %s: children (%s) do not match %s" n.label
+                 where
+                 (String.concat ", " element_kids)
+                 (regex_to_string regex));
+          (* attributes *)
+          let decls = attributes t n.label in
+          let present =
+            List.map
+              (fun (a : Node.t) -> (a.label, Document.string_value doc a.id))
+              (Document.attributes doc n.id)
+          in
+          List.iter
+            (fun (name, value) ->
+              match
+                List.find_opt (fun d -> String.equal d.attr_name name) decls
+              with
+              | None ->
+                complain "<%s> at %s: undeclared attribute %s" n.label where name
+              | Some d ->
+                (match d.attr_type with
+                 | Enum allowed when not (List.mem value allowed) ->
+                   complain "<%s> at %s: attribute %s = %S not in (%s)" n.label
+                     where name value
+                     (String.concat "|" allowed)
+                 | (Id | Idref | Nmtoken) when not (is_nmtoken value) ->
+                   complain "<%s> at %s: attribute %s = %S is not a name token"
+                     n.label where name value
+                 | _ -> ());
+                (match d.default with
+                 | Fixed fixed when not (String.equal value fixed) ->
+                   complain "<%s> at %s: attribute %s must be fixed to %S"
+                     n.label where name fixed
+                 | _ -> ()))
+            present;
+          List.iter
+            (fun d ->
+              if
+                d.default = Required
+                && not (List.mem_assoc d.attr_name present)
+              then
+                complain "<%s> at %s: missing required attribute %s" n.label
+                  where d.attr_name)
+            decls
+      end)
+    doc;
+  List.rev !problems
+
+let is_valid ?root t doc = validate ?root t doc = []

@@ -1,0 +1,78 @@
+(** Document types, which §3.1 sets aside ("for the sake of simplicity we
+    shall not consider the type of XML documents"): a DTD subset —
+    element content models and attribute lists — with validation.
+
+    Supported declarations:
+    {v
+    <!ELEMENT patients (patient* )>
+    <!ELEMENT patient (service, diagnosis?, visit* )>
+    <!ELEMENT service (#PCDATA)>
+    <!ELEMENT note (#PCDATA | b | i)* >
+    <!ELEMENT sep EMPTY>
+    <!ATTLIST visit n CDATA #REQUIRED kind (routine|emergency) "routine">
+    v}
+
+    Content models are matched with Brzozowski derivatives over the
+    sequence of child element names.  Combined with
+    [Core.Validated] this makes the integrity side of the paper's
+    §4.4.2 confidentiality-vs-integrity trade-off enforceable. *)
+
+type regex =
+  | Name of string
+  | Seq of regex list
+  | Choice of regex list
+  | Opt of regex
+  | Star of regex
+  | Plus of regex
+
+type content_model =
+  | Empty
+  | Any
+  | Pcdata  (** text only: [#PCDATA] *)
+  | Mixed of string list  (** [#PCDATA | a | b], repeated *)
+  | Children of regex
+
+type attr_type =
+  | Cdata
+  | Id
+  | Idref
+  | Nmtoken
+  | Enum of string list
+
+type attr_default =
+  | Required
+  | Implied
+  | Fixed of string
+  | Default of string
+
+type attr_decl = {
+  attr_name : string;
+  attr_type : attr_type;
+  default : attr_default;
+}
+
+type t
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parses a sequence of [<!ELEMENT …>] / [<!ATTLIST …>] declarations
+    (comments allowed).  @raise Parse_error *)
+
+val declared : t -> string list
+(** Declared element names, sorted. *)
+
+val content_model : t -> string -> content_model option
+val attributes : t -> string -> attr_decl list
+
+val matches : regex -> string list -> bool
+(** Does a sequence of child element names satisfy the model? *)
+
+val validate : ?root:string -> t -> Document.t -> string list
+(** Violations, human-readable; [[]] when valid.  Checks: the root
+    element name when [root] is given, every declared element's content
+    model and attribute list, and that no undeclared element or
+    attribute appears under a declared parent.  Elements with no
+    declaration at all are reported. *)
+
+val is_valid : ?root:string -> t -> Document.t -> bool

@@ -1,0 +1,40 @@
+type t =
+  | Element of string * t list
+  | Attr of string * string
+  | Text of string
+  | Comment of string
+
+let element name kids = Element (name, kids)
+let attr name value = Attr (name, value)
+let text s = Text s
+let comment s = Comment s
+
+let name = function
+  | Element (n, _) -> n
+  | Attr (n, _) -> n
+  | Text s -> s
+  | Comment s -> s
+
+let children = function
+  | Element (_, kids) -> kids
+  | Attr (_, value) -> [ Text value ]
+  | Text _ | Comment _ -> []
+
+let rec equal a b =
+  match a, b with
+  | Element (na, ka), Element (nb, kb) ->
+    String.equal na nb && List.equal equal ka kb
+  | Attr (na, va), Attr (nb, vb) -> String.equal na nb && String.equal va vb
+  | Text a, Text b | Comment a, Comment b -> String.equal a b
+  | (Element _ | Attr _ | Text _ | Comment _), _ -> false
+
+let rec size t = 1 + List.fold_left (fun acc k -> acc + size k) 0 (children t)
+
+let rec pp fmt = function
+  | Element (n, kids) ->
+    Format.fprintf fmt "@[<hv 2>%s(%a)@]" n
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+      kids
+  | Attr (n, v) -> Format.fprintf fmt "@%s=%S" n v
+  | Text s -> Format.fprintf fmt "%S" s
+  | Comment s -> Format.fprintf fmt "<!--%s-->" s

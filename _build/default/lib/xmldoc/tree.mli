@@ -1,0 +1,26 @@
+(** Un-numbered XML fragments: pure trees used as parser output and as the
+    [TREE] parameter of the XUpdate insertion operations (§3.4.2).  A
+    fragment becomes part of a document once {!Document.add_subtree}
+    allocates persistent identifiers for its nodes. *)
+
+type t =
+  | Element of string * t list
+  | Attr of string * string
+  | Text of string
+  | Comment of string
+
+val element : string -> t list -> t
+val attr : string -> string -> t
+val text : string -> t
+val comment : string -> t
+
+val name : t -> string
+(** The label the node will carry: tag name, attribute name, character
+    data, or comment text. *)
+
+val children : t -> t list
+val equal : t -> t -> bool
+val size : t -> int
+(** Total number of nodes, counting attribute values as text children. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,320 @@
+exception Error of { line : int; column : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  keep_comments : bool;
+  strip_whitespace : bool;
+}
+
+let fail st message = raise (Error { line = st.line; column = st.col; message })
+
+let eof st = st.pos >= String.length st.src
+
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    if st.src.[st.pos] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st <> c then fail st (Printf.sprintf "expected %C" c);
+  advance st
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= String.length st.src
+  && String.sub st.src st.pos n = prefix
+
+let skip_string st prefix =
+  if not (looking_at st prefix) then
+    fail st (Printf.sprintf "expected %S" prefix);
+  String.iter (fun _ -> advance st) prefix
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Character and entity references inside text and attribute values. *)
+let parse_reference st =
+  expect st '&';
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then fail st "unterminated entity reference";
+  let name = String.sub st.src start (st.pos - start) in
+  expect st ';';
+  match name with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    let numeric =
+      if String.length name > 1 && name.[0] = '#' then
+        let body = String.sub name 1 (String.length name - 1) in
+        let code =
+          if String.length body > 1 && (body.[0] = 'x' || body.[0] = 'X') then
+            int_of_string_opt ("0x" ^ String.sub body 1 (String.length body - 1))
+          else int_of_string_opt body
+        in
+        Option.map
+          (fun code ->
+            let buf = Buffer.create 4 in
+            Buffer.add_utf_8_uchar buf (Uchar.of_int code);
+            Buffer.contents buf)
+          code
+      else None
+    in
+    (match numeric with
+     | Some s -> s
+     | None -> fail st (Printf.sprintf "unknown entity &%s;" name))
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then fail st "expected a quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      Buffer.add_string buf (parse_reference st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_comment st =
+  skip_string st "<!--";
+  let start = st.pos in
+  let rec loop () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then begin
+      let body = String.sub st.src start (st.pos - start) in
+      skip_string st "-->";
+      body
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let parse_cdata st =
+  skip_string st "<![CDATA[";
+  let start = st.pos in
+  let rec loop () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let body = String.sub st.src start (st.pos - start) in
+      skip_string st "]]>";
+      body
+    end
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let skip_pi st =
+  skip_string st "<?";
+  while (not (eof st)) && not (looking_at st "?>") do
+    advance st
+  done;
+  if eof st then fail st "unterminated processing instruction";
+  skip_string st "?>"
+
+let skip_doctype st =
+  skip_string st "<!DOCTYPE";
+  (* Skip to the matching '>', allowing one level of bracketed subset. *)
+  let depth = ref 0 in
+  let rec loop () =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' ->
+        incr depth;
+        advance st;
+        loop ()
+      | ']' ->
+        decr depth;
+        advance st;
+        loop ()
+      | '>' when !depth = 0 -> advance st
+      | _ ->
+        advance st;
+        loop ()
+  in
+  loop ()
+
+let is_blank s = String.for_all is_space s
+
+let rec parse_element st : Tree.t =
+  expect st '<';
+  let name = parse_name st in
+  let rec parse_attrs acc =
+    skip_spaces st;
+    if is_name_start (peek st) then begin
+      let attr_name = parse_name st in
+      skip_spaces st;
+      expect st '=';
+      skip_spaces st;
+      let value = parse_attr_value st in
+      parse_attrs (Tree.Attr (attr_name, value) :: acc)
+    end
+    else List.rev acc
+  in
+  let attrs = parse_attrs [] in
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    Tree.Element (name, attrs)
+  end
+  else begin
+    expect st '>';
+    let kids = parse_content st name in
+    Tree.Element (name, attrs @ kids)
+  end
+
+and parse_content st element_name =
+  let buf = Buffer.create 16 in
+  let acc = ref [] in
+  let flush_text () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if s <> "" && not (st.strip_whitespace && is_blank s) then
+      acc := Tree.Text s :: !acc
+  in
+  let rec loop () =
+    if eof st then fail st (Printf.sprintf "unterminated element <%s>" element_name)
+    else if looking_at st "</" then begin
+      flush_text ();
+      skip_string st "</";
+      let close = parse_name st in
+      if close <> element_name then
+        fail st
+          (Printf.sprintf "mismatched close tag </%s> for <%s>" close
+             element_name);
+      skip_spaces st;
+      expect st '>'
+    end
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      let body = parse_comment st in
+      if st.keep_comments then acc := Tree.Comment body :: !acc;
+      loop ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      Buffer.add_string buf (parse_cdata st);
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text ();
+      skip_pi st;
+      loop ()
+    end
+    else if peek st = '<' && is_name_start (peek2 st) then begin
+      flush_text ();
+      acc := parse_element st :: !acc;
+      loop ()
+    end
+    else if peek st = '<' then fail st "unexpected '<'"
+    else if peek st = '&' then begin
+      Buffer.add_string buf (parse_reference st);
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  List.rev !acc
+
+let skip_prolog st =
+  skip_spaces st;
+  if looking_at st "<?" then skip_pi st;
+  let rec misc () =
+    skip_spaces st;
+    if looking_at st "<!--" then begin
+      ignore (parse_comment st);
+      misc ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      misc ()
+    end
+    else if looking_at st "<?" then begin
+      skip_pi st;
+      misc ()
+    end
+  in
+  misc ()
+
+let fragment_of_string ?(keep_comments = false) ?(strip_whitespace = true) src =
+  let st =
+    { src; pos = 0; line = 1; col = 1; keep_comments; strip_whitespace }
+  in
+  skip_prolog st;
+  if eof st || peek st <> '<' then fail st "expected a root element";
+  let root = parse_element st in
+  skip_spaces st;
+  (if (not (eof st)) && looking_at st "<!--" then
+     let rec trailing () =
+       skip_spaces st;
+       if looking_at st "<!--" then begin
+         ignore (parse_comment st);
+         trailing ()
+       end
+     in
+     trailing ());
+  skip_spaces st;
+  if not (eof st) then fail st "trailing content after the root element";
+  root
+
+let of_string ?keep_comments ?strip_whitespace src =
+  Document.of_tree (fragment_of_string ?keep_comments ?strip_whitespace src)
+
+let error_to_string = function
+  | Error { line; column; message } ->
+    Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line column message)
+  | _ -> None

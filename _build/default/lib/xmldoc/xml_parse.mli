@@ -1,0 +1,23 @@
+(** A small, dependency-free XML 1.0 parser covering the data model of the
+    paper: elements, attributes, character data (with the predefined and
+    numeric character references), CDATA sections and comments.  DOCTYPE
+    declarations and processing instructions are skipped.  Namespaces are
+    not interpreted; prefixed names are kept verbatim (which is how the
+    XUpdate wire syntax [xupdate:append] is recognised). *)
+
+exception Error of { line : int; column : int; message : string }
+
+val fragment_of_string :
+  ?keep_comments:bool -> ?strip_whitespace:bool -> string -> Tree.t
+(** Parses a single element (after an optional XML declaration).
+    [strip_whitespace] (default [true]) drops whitespace-only text nodes,
+    matching the data-centric reading of the paper's figures.
+    [keep_comments] defaults to [false].
+    @raise Error on malformed input. *)
+
+val of_string :
+  ?keep_comments:bool -> ?strip_whitespace:bool -> string -> Document.t
+(** [fragment_of_string] followed by {!Document.of_tree}. *)
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Error}; [None] on other exceptions. *)

@@ -1,0 +1,117 @@
+let escape ~in_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' when in_attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text = escape ~in_attr:false
+let escape_attr = escape ~in_attr:true
+
+let split_attrs kids =
+  List.partition (function Tree.Attr _ -> true | _ -> false) kids
+
+let rec emit_fragment buf ~indent depth (tree : Tree.t) =
+  let pad () = if indent then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match tree with
+  | Tree.Text s ->
+    pad ();
+    Buffer.add_string buf (escape_text s);
+    newline ()
+  | Tree.Comment s ->
+    pad ();
+    Buffer.add_string buf ("<!--" ^ s ^ "-->");
+    newline ()
+  | Tree.Attr (n, v) ->
+    (* A free-standing attribute only appears when serializing a fragment
+       rooted at an attribute node. *)
+    pad ();
+    Buffer.add_string buf (Printf.sprintf "%s=\"%s\"" n (escape_attr v));
+    newline ()
+  | Tree.Element (name, kids) ->
+    let attrs, content = split_attrs kids in
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (function
+        | Tree.Attr (n, v) ->
+          Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" n (escape_attr v))
+        | _ -> ())
+      attrs;
+    let mixed =
+      List.exists (function Tree.Text _ -> true | _ -> false) content
+    in
+    (match content with
+     | [] -> Buffer.add_string buf "/>"
+     | content when mixed || not indent ->
+       (* Mixed content must not gain whitespace: print compactly. *)
+       Buffer.add_char buf '>';
+       List.iter (emit_fragment buf ~indent:false 0) content;
+       Buffer.add_string buf (Printf.sprintf "</%s>" name)
+     | content ->
+       Buffer.add_char buf '>';
+       newline ();
+       List.iter (emit_fragment buf ~indent (depth + 1)) content;
+       pad ();
+       Buffer.add_string buf (Printf.sprintf "</%s>" name));
+    newline ()
+
+let fragment_to_string ?(indent = false) tree =
+  let buf = Buffer.create 256 in
+  emit_fragment buf ~indent 0 tree;
+  let s = Buffer.contents buf in
+  if indent then s else String.trim s
+
+let subtree_to_string ?indent doc id =
+  match Document.to_tree doc id with
+  | None -> ""
+  | Some tree -> fragment_to_string ?indent tree
+
+let to_string ?indent doc =
+  let tops = Document.children doc Ordpath.document in
+  String.concat
+    (match indent with Some true -> "" | _ -> "\n")
+    (List.filter_map
+       (fun (n : Node.t) ->
+         Option.map (fragment_to_string ?indent) (Document.to_tree doc n.id))
+       tops)
+
+let render_label (n : Node.t) =
+  match n.kind with
+  | Node.Document -> "/"
+  | Node.Element -> "/" ^ n.label
+  | Node.Attribute -> "@" ^ n.label
+  | Node.Text -> "text()" ^ n.label
+  | Node.Comment -> "comment()" ^ n.label
+
+let tree_view ?(show_ids = true) doc =
+  let buf = Buffer.create 256 in
+  Document.iter
+    (fun n ->
+      let indent = String.make (2 * Ordpath.depth n.id) ' ' in
+      if show_ids then
+        Buffer.add_string buf
+          (Printf.sprintf "%-12s %s%s\n" (Ordpath.to_string n.id) indent
+             (render_label n))
+      else Buffer.add_string buf (Printf.sprintf "%s%s\n" indent (render_label n)))
+    doc;
+  Buffer.contents buf
+
+let facts doc =
+  let items =
+    List.map
+      (fun (n : Node.t) ->
+        Printf.sprintf "node(%s, %s)" (Ordpath.to_string n.id) n.label)
+      (Document.nodes doc)
+  in
+  "{ " ^ String.concat ", " items ^ " }"
+
+let pp fmt doc = Format.pp_print_string fmt (tree_view doc)

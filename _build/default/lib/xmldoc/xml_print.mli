@@ -1,0 +1,31 @@
+(** Serializers: XML wire syntax (compact and indented), the ASCII tree
+    rendering used by the paper's figures, and the [F = { node(...), ... }]
+    fact-set notation of §3.3. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val fragment_to_string : ?indent:bool -> Tree.t -> string
+
+val to_string : ?indent:bool -> Document.t -> string
+(** Serializes every document-level node; the usual case is a single root
+    element. *)
+
+val subtree_to_string : ?indent:bool -> Document.t -> Ordpath.t -> string
+
+val tree_view : ?show_ids:bool -> Document.t -> string
+(** Figure-style rendering, one node per line, e.g.:
+    {v
+    /            /
+    1            /patients
+    1.1          /franck
+    1.1.1        /service
+    1.1.1.1      text()otolarynology
+    v} *)
+
+val facts : Document.t -> string
+(** The paper's set-of-facts notation:
+    [{ node(/, /), node(1, patients), ... }]. *)
+
+val pp : Format.formatter -> Document.t -> unit
+(** [tree_view] with identifiers. *)

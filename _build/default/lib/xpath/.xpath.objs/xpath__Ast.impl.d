@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/ast.mli: Format

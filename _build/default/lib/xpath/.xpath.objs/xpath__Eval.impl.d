@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Buffer Float Format List Ordpath Parser Printf Source String Value Xmldoc

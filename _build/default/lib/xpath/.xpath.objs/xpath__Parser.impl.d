@@ -1,0 +1,1 @@
+lib/xpath/parser.ml: Ast Lexer List Printf

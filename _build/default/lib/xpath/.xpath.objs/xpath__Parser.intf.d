@@ -1,0 +1,1 @@
+lib/xpath/parser.mli: Ast

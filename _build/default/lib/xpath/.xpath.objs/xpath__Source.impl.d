@@ -1,0 +1,1 @@
+lib/xpath/source.ml: Ordpath Xmldoc

@@ -1,0 +1,1 @@
+lib/xpath/source.mli: Ordpath Xmldoc

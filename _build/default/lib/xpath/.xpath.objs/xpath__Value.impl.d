@@ -1,0 +1,1 @@
+lib/xpath/value.ml: Ast Float Format List Ordpath Printf Source String

@@ -1,0 +1,1 @@
+lib/xpath/value.mli: Ast Format Ordpath Source

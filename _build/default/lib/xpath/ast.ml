@@ -1,0 +1,185 @@
+type axis =
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Following
+  | Following_sibling
+  | Parent
+  | Preceding
+  | Preceding_sibling
+  | Self
+
+type node_test =
+  | Name of string
+  | Star
+  | Text_test
+  | Node_test
+  | Comment_test
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Or of expr * expr
+  | And of expr * expr
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Union of expr * expr
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Call of string * expr list
+  | Path of path
+  | Filter of expr * expr list * step list
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : node_test;
+  preds : expr list;
+}
+
+let axis_of_string = function
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "attribute" -> Some Attribute
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "following" -> Some Following
+  | "following-sibling" -> Some Following_sibling
+  | "parent" -> Some Parent
+  | "preceding" -> Some Preceding
+  | "preceding-sibling" -> Some Preceding_sibling
+  | "self" -> Some Self
+  | _ -> None
+
+let axis_to_string = function
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Attribute -> "attribute"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Following -> "following"
+  | Following_sibling -> "following-sibling"
+  | Parent -> "parent"
+  | Preceding -> "preceding"
+  | Preceding_sibling -> "preceding-sibling"
+  | Self -> "self"
+
+let is_reverse_axis = function
+  | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling -> true
+  | Attribute | Child | Descendant | Descendant_or_self | Following
+  | Following_sibling | Parent | Self ->
+    false
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* '-' must be surrounded by spaces: a preceding name would otherwise
+   swallow it (NCNames may contain hyphens). *)
+let arith_to_string = function
+  | Add -> " + "
+  | Sub -> " - "
+  | Mul -> " * "
+  | Div -> " div "
+  | Mod -> " mod "
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else string_of_float f
+
+let test_to_string = function
+  | Name n -> n
+  | Star -> "*"
+  | Text_test -> "text()"
+  | Node_test -> "node()"
+  | Comment_test -> "comment()"
+
+(* Binding strength, loosest first; printing parenthesizes any operand
+   that does not bind strictly tighter than its context (a conservative
+   rule that is trivially re-parse-correct for the left-associative
+   grammar). *)
+let level = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Cmp ((Eq | Neq), _, _) -> 3
+  | Cmp ((Lt | Le | Gt | Ge), _, _) -> 4
+  | Arith ((Add | Sub), _, _) -> 5
+  | Arith ((Mul | Div | Mod), _, _) -> 6
+  | Neg _ -> 7
+  | Union _ -> 8
+  | Literal _ | Number _ | Var _ | Call _ | Path _ | Filter _ -> 9
+
+let rec expr_to_string e =
+  let operand parent_level child =
+    let s = expr_to_string child in
+    if level child > parent_level then s else "(" ^ s ^ ")"
+  in
+  (* The left operand of a left-associative operator may share the level. *)
+  let left_operand parent_level child =
+    let s = expr_to_string child in
+    if level child >= parent_level then s else "(" ^ s ^ ")"
+  in
+  match e with
+  | Or (a, b) ->
+    Printf.sprintf "%s or %s" (left_operand 1 a) (operand 1 b)
+  | And (a, b) ->
+    Printf.sprintf "%s and %s" (left_operand 2 a) (operand 2 b)
+  | Cmp (op, a, b) ->
+    let l = level e in
+    Printf.sprintf "%s %s %s" (left_operand l a) (cmp_to_string op)
+      (operand l b)
+  | Arith (op, a, b) ->
+    let l = level e in
+    Printf.sprintf "%s%s%s" (left_operand l a) (arith_to_string op)
+      (operand l b)
+  | Neg inner -> "-" ^ operand 6 inner
+  | Union (a, b) ->
+    Printf.sprintf "%s | %s" (left_operand 8 a) (operand 8 b)
+  | Literal s -> Printf.sprintf "%S" s
+  | Number f -> number_to_string f
+  | Var v -> "$" ^ v
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Path p -> path_to_string p
+  | Filter (e, preds, steps) ->
+    let base = Printf.sprintf "(%s)%s" (expr_to_string e) (preds_to_string preds) in
+    if steps = [] then base
+    else base ^ "/" ^ String.concat "/" (List.map step_to_string steps)
+
+and preds_to_string preds =
+  String.concat "" (List.map (fun p -> "[" ^ expr_to_string p ^ "]") preds)
+
+and step_to_string { axis; test; preds } =
+  let base =
+    match axis, test with
+    | Child, t -> test_to_string t
+    | Attribute, t -> "@" ^ test_to_string t
+    | Self, Node_test -> "."
+    | Parent, Node_test -> ".."
+    | axis, t -> axis_to_string axis ^ "::" ^ test_to_string t
+  in
+  base ^ preds_to_string preds
+
+and path_to_string { absolute; steps } =
+  let body = String.concat "/" (List.map step_to_string steps) in
+  if absolute then "/" ^ body else body
+
+let to_string = expr_to_string
+let pp fmt e = Format.pp_print_string fmt (to_string e)

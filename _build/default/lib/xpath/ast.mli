@@ -1,0 +1,64 @@
+(** Abstract syntax of the XPath 1.0 subset used as the query language of
+    §3.4 and as the [PATH] parameter of security rules (§4.3). *)
+
+type axis =
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Following
+  | Following_sibling
+  | Parent
+  | Preceding
+  | Preceding_sibling
+  | Self
+
+type node_test =
+  | Name of string
+  | Star
+  | Text_test
+  | Node_test
+  | Comment_test
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+type arith = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Or of expr * expr
+  | And of expr * expr
+  | Cmp of cmp * expr * expr
+  | Arith of arith * expr * expr
+  | Neg of expr
+  | Union of expr * expr
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Call of string * expr list
+  | Path of path
+  | Filter of expr * expr list * step list
+      (** primary expression, its predicates, then a relative
+          continuation, e.g. [(//a)[1]/b]. *)
+
+and path = {
+  absolute : bool;
+  steps : step list;
+}
+
+and step = {
+  axis : axis;
+  test : node_test;
+  preds : expr list;
+}
+
+val axis_of_string : string -> axis option
+val axis_to_string : axis -> string
+
+val is_reverse_axis : axis -> bool
+(** Reverse axes ([ancestor], [preceding], …) number their positions in
+    reverse document order. *)
+
+val pp : Format.formatter -> expr -> unit
+val to_string : expr -> string
+(** Re-prints an expression in XPath concrete syntax. *)

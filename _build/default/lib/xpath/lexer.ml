@@ -1,0 +1,164 @@
+type token =
+  | NAME of string
+  | NUMBER of float
+  | LITERAL of string
+  | VAR of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | DOT
+  | DOTDOT
+  | AT
+  | COMMA
+  | COLONCOLON
+  | SLASH
+  | DSLASH
+  | PIPE
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { pos : int; message : string }
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+(* NCName, possibly followed by a single ':' + NCName (a QName).  A '::'
+   axis separator is never consumed here. *)
+let lex_name src pos =
+  let n = String.length src in
+  let rec run i = if i < n && is_name_char src.[i] then run (i + 1) else i in
+  let stop = run (pos + 1) in
+  let stop =
+    if
+      stop < n - 1
+      && src.[stop] = ':'
+      && src.[stop + 1] <> ':'
+      && is_name_start src.[stop + 1]
+    then run (stop + 1)
+    else stop
+  in
+  (String.sub src pos (stop - pos), stop)
+
+let lex_number src pos =
+  let n = String.length src in
+  let rec digits i = if i < n && is_digit src.[i] then digits (i + 1) else i in
+  let stop = digits pos in
+  let stop =
+    if stop < n && src.[stop] = '.' then digits (stop + 1) else stop
+  in
+  let text = String.sub src pos (stop - pos) in
+  match float_of_string_opt text with
+  | Some f -> (f, stop)
+  | None -> raise (Error { pos; message = "bad number " ^ text })
+
+let lex_literal src pos =
+  let quote = src.[pos] in
+  let n = String.length src in
+  let rec find i =
+    if i >= n then raise (Error { pos; message = "unterminated literal" })
+    else if src.[i] = quote then i
+    else find (i + 1)
+  in
+  let stop = find (pos + 1) in
+  (String.sub src (pos + 1) (stop - pos - 1), stop + 1)
+
+let tokenize src =
+  let n = String.length src in
+  let rec loop pos acc =
+    if pos >= n then List.rev (EOF :: acc)
+    else
+      let c = src.[pos] in
+      let simple tok len = loop (pos + len) (tok :: acc) in
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> loop (pos + 1) acc
+      | '(' -> simple LPAREN 1
+      | ')' -> simple RPAREN 1
+      | '[' -> simple LBRACKET 1
+      | ']' -> simple RBRACKET 1
+      | '@' -> simple AT 1
+      | ',' -> simple COMMA 1
+      | '|' -> simple PIPE 1
+      | '+' -> simple PLUS 1
+      | '-' -> simple MINUS 1
+      | '*' -> simple STAR 1
+      | '=' -> simple EQ 1
+      | '/' ->
+        if pos + 1 < n && src.[pos + 1] = '/' then simple DSLASH 2
+        else simple SLASH 1
+      | ':' ->
+        if pos + 1 < n && src.[pos + 1] = ':' then simple COLONCOLON 2
+        else raise (Error { pos; message = "unexpected ':'" })
+      | '!' ->
+        if pos + 1 < n && src.[pos + 1] = '=' then simple NEQ 2
+        else raise (Error { pos; message = "unexpected '!'" })
+      | '<' ->
+        if pos + 1 < n && src.[pos + 1] = '=' then simple LE 2 else simple LT 1
+      | '>' ->
+        if pos + 1 < n && src.[pos + 1] = '=' then simple GE 2 else simple GT 1
+      | '"' | '\'' ->
+        let lit, stop = lex_literal src pos in
+        loop stop (LITERAL lit :: acc)
+      | '$' ->
+        if pos + 1 < n && is_name_start src.[pos + 1] then begin
+          let name, stop = lex_name src (pos + 1) in
+          loop stop (VAR name :: acc)
+        end
+        else raise (Error { pos; message = "expected a variable name after '$'" })
+      | '.' ->
+        if pos + 1 < n && src.[pos + 1] = '.' then simple DOTDOT 2
+        else if pos + 1 < n && is_digit src.[pos + 1] then begin
+          let f, stop = lex_number src pos in
+          loop stop (NUMBER f :: acc)
+        end
+        else simple DOT 1
+      | c when is_digit c ->
+        let f, stop = lex_number src pos in
+        loop stop (NUMBER f :: acc)
+      | c when is_name_start c ->
+        let name, stop = lex_name src pos in
+        loop stop (NAME name :: acc)
+      | c ->
+        raise (Error { pos; message = Printf.sprintf "unexpected character %C" c })
+  in
+  loop 0 []
+
+let token_to_string = function
+  | NAME s -> s
+  | NUMBER f -> string_of_float f
+  | LITERAL s -> Printf.sprintf "%S" s
+  | VAR v -> "$" ^ v
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | AT -> "@"
+  | COMMA -> ","
+  | COLONCOLON -> "::"
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | PIPE -> "|"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

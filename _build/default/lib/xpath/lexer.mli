@@ -1,0 +1,37 @@
+(** Tokenizer for XPath 1.0 expressions. *)
+
+type token =
+  | NAME of string  (** NCName or QName; axis/operator names are
+                        disambiguated by the parser *)
+  | NUMBER of float
+  | LITERAL of string
+  | VAR of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | DOT
+  | DOTDOT
+  | AT
+  | COMMA
+  | COLONCOLON
+  | SLASH
+  | DSLASH
+  | PIPE
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { pos : int; message : string }
+
+val tokenize : string -> token list
+(** @raise Error on an unrecognised character or unterminated literal. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,304 @@
+open Ast
+
+exception Error of string
+
+type cursor = {
+  mutable toks : Lexer.token list;
+}
+
+let peek c = match c.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let peek2 c =
+  match c.toks with _ :: t :: _ -> t | _ -> Lexer.EOF
+
+let advance c = match c.toks with [] -> () | _ :: rest -> c.toks <- rest
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let expect c tok =
+  if peek c = tok then advance c
+  else
+    fail "expected %s but found %s"
+      (Lexer.token_to_string tok)
+      (Lexer.token_to_string (peek c))
+
+let node_test_of_call = function
+  | "text" -> Some Text_test
+  | "node" -> Some Node_test
+  | "comment" -> Some Comment_test
+  | _ -> None
+
+(* The '//' abbreviation expands to /descendant-or-self::node()/. *)
+let dslash_step = { axis = Descendant_or_self; test = Node_test; preds = [] }
+
+let rec parse_expr c = parse_or c
+
+and parse_or c =
+  let rec loop left =
+    match peek c with
+    | Lexer.NAME "or" ->
+      advance c;
+      loop (Or (left, parse_and c))
+    | _ -> left
+  in
+  loop (parse_and c)
+
+and parse_and c =
+  let rec loop left =
+    match peek c with
+    | Lexer.NAME "and" ->
+      advance c;
+      loop (And (left, parse_equality c))
+    | _ -> left
+  in
+  loop (parse_equality c)
+
+and parse_equality c =
+  let rec loop left =
+    match peek c with
+    | Lexer.EQ ->
+      advance c;
+      loop (Cmp (Eq, left, parse_relational c))
+    | Lexer.NEQ ->
+      advance c;
+      loop (Cmp (Neq, left, parse_relational c))
+    | _ -> left
+  in
+  loop (parse_relational c)
+
+and parse_relational c =
+  let rec loop left =
+    match peek c with
+    | Lexer.LT ->
+      advance c;
+      loop (Cmp (Lt, left, parse_additive c))
+    | Lexer.LE ->
+      advance c;
+      loop (Cmp (Le, left, parse_additive c))
+    | Lexer.GT ->
+      advance c;
+      loop (Cmp (Gt, left, parse_additive c))
+    | Lexer.GE ->
+      advance c;
+      loop (Cmp (Ge, left, parse_additive c))
+    | _ -> left
+  in
+  loop (parse_additive c)
+
+and parse_additive c =
+  let rec loop left =
+    match peek c with
+    | Lexer.PLUS ->
+      advance c;
+      loop (Arith (Add, left, parse_multiplicative c))
+    | Lexer.MINUS ->
+      advance c;
+      loop (Arith (Sub, left, parse_multiplicative c))
+    | _ -> left
+  in
+  loop (parse_multiplicative c)
+
+and parse_multiplicative c =
+  let rec loop left =
+    match peek c with
+    | Lexer.STAR ->
+      advance c;
+      loop (Arith (Mul, left, parse_unary c))
+    | Lexer.NAME "div" ->
+      advance c;
+      loop (Arith (Div, left, parse_unary c))
+    | Lexer.NAME "mod" ->
+      advance c;
+      loop (Arith (Mod, left, parse_unary c))
+    | _ -> left
+  in
+  loop (parse_unary c)
+
+and parse_unary c =
+  match peek c with
+  | Lexer.MINUS ->
+    advance c;
+    Neg (parse_unary c)
+  | _ -> parse_union c
+
+and parse_union c =
+  let rec loop left =
+    match peek c with
+    | Lexer.PIPE ->
+      advance c;
+      loop (Union (left, parse_path_expr c))
+    | _ -> left
+  in
+  loop (parse_path_expr c)
+
+(* PathExpr ::= LocationPath
+              | FilterExpr (('/' | '//') RelativeLocationPath)? *)
+and parse_path_expr c =
+  let filter_start =
+    match peek c with
+    | Lexer.VAR _ | Lexer.LITERAL _ | Lexer.NUMBER _ | Lexer.LPAREN -> true
+    | Lexer.NAME name ->
+      peek2 c = Lexer.LPAREN && node_test_of_call name = None
+    | _ -> false
+  in
+  if not filter_start then Path (parse_location_path c)
+  else begin
+    let primary = parse_primary c in
+    let preds = parse_predicates c in
+    let steps =
+      match peek c with
+      | Lexer.SLASH ->
+        advance c;
+        parse_relative_steps c
+      | Lexer.DSLASH ->
+        advance c;
+        dslash_step :: parse_relative_steps c
+      | _ -> []
+    in
+    if preds = [] && steps = [] then primary else Filter (primary, preds, steps)
+  end
+
+and parse_primary c =
+  match peek c with
+  | Lexer.VAR v ->
+    advance c;
+    Var v
+  | Lexer.LITERAL s ->
+    advance c;
+    Literal s
+  | Lexer.NUMBER f ->
+    advance c;
+    Number f
+  | Lexer.LPAREN ->
+    advance c;
+    let e = parse_expr c in
+    expect c Lexer.RPAREN;
+    e
+  | Lexer.NAME f ->
+    advance c;
+    expect c Lexer.LPAREN;
+    let rec args acc =
+      if peek c = Lexer.RPAREN then List.rev acc
+      else begin
+        let a = parse_expr c in
+        if peek c = Lexer.COMMA then begin
+          advance c;
+          args (a :: acc)
+        end
+        else List.rev (a :: acc)
+      end
+    in
+    let arguments = args [] in
+    expect c Lexer.RPAREN;
+    Call (f, arguments)
+  | tok -> fail "unexpected token %s" (Lexer.token_to_string tok)
+
+and parse_predicates c =
+  let rec loop acc =
+    if peek c = Lexer.LBRACKET then begin
+      advance c;
+      let e = parse_expr c in
+      expect c Lexer.RBRACKET;
+      loop (e :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+and parse_location_path c =
+  match peek c with
+  | Lexer.SLASH ->
+    advance c;
+    let steps =
+      if starts_step c then parse_relative_steps c else []
+    in
+    { absolute = true; steps }
+  | Lexer.DSLASH ->
+    advance c;
+    { absolute = true; steps = dslash_step :: parse_relative_steps c }
+  | _ -> { absolute = false; steps = parse_relative_steps c }
+
+and starts_step c =
+  match peek c with
+  | Lexer.NAME _ | Lexer.STAR | Lexer.AT | Lexer.DOT | Lexer.DOTDOT -> true
+  | _ -> false
+
+and parse_relative_steps c =
+  let step = parse_step c in
+  match peek c with
+  | Lexer.SLASH ->
+    advance c;
+    step :: parse_relative_steps c
+  | Lexer.DSLASH ->
+    advance c;
+    step :: dslash_step :: parse_relative_steps c
+  | _ -> [ step ]
+
+and parse_step c =
+  match peek c with
+  | Lexer.DOT ->
+    advance c;
+    { axis = Self; test = Node_test; preds = parse_predicates c }
+  | Lexer.DOTDOT ->
+    advance c;
+    { axis = Parent; test = Node_test; preds = parse_predicates c }
+  | Lexer.AT ->
+    advance c;
+    let test = parse_node_test c in
+    { axis = Attribute; test; preds = parse_predicates c }
+  | Lexer.NAME name when peek2 c = Lexer.COLONCOLON ->
+    (match axis_of_string name with
+     | None -> fail "unknown axis %s" name
+     | Some axis ->
+       advance c;
+       advance c;
+       let test = parse_node_test c in
+       { axis; test; preds = parse_predicates c })
+  | Lexer.NAME _ | Lexer.STAR ->
+    let test = parse_node_test c in
+    { axis = Child; test; preds = parse_predicates c }
+  | tok -> fail "expected a step but found %s" (Lexer.token_to_string tok)
+
+and parse_node_test c =
+  match peek c with
+  | Lexer.STAR ->
+    advance c;
+    Star
+  | Lexer.NAME name when peek2 c = Lexer.LPAREN ->
+    (match node_test_of_call name with
+     | Some test ->
+       advance c;
+       advance c;
+       expect c Lexer.RPAREN;
+       test
+     | None -> fail "unknown node test %s()" name)
+  | Lexer.NAME name ->
+    advance c;
+    Name name
+  | tok -> fail "expected a node test but found %s" (Lexer.token_to_string tok)
+
+let parse src =
+  let toks =
+    try Lexer.tokenize src with
+    | Lexer.Error { pos; message } ->
+      fail "lexical error at offset %d: %s" pos message
+  in
+  let c = { toks } in
+  let e = parse_expr c in
+  if peek c <> Lexer.EOF then
+    fail "trailing tokens starting at %s" (Lexer.token_to_string (peek c));
+  e
+
+let rec selects_nodes = function
+  | Path _ | Filter _ -> true
+  | Union (a, b) -> selects_nodes a && selects_nodes b
+  | Var _ ->
+    (* A variable may be bound to a node-set at evaluation time. *)
+    true
+  | Or _ | And _ | Cmp _ | Arith _ | Neg _ | Literal _ | Number _ | Call _ ->
+    false
+
+let parse_path src =
+  let e = parse src in
+  if selects_nodes e then e
+  else fail "%S is not a location path" src

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the XPath 1.0 grammar (expressions and
+    location paths, abbreviated and unabbreviated syntax). *)
+
+exception Error of string
+
+val parse : string -> Ast.expr
+(** @raise Error on a syntax error. *)
+
+val parse_path : string -> Ast.expr
+(** Like {!parse} but insists the result is a location path (or a union /
+    filter of paths) — the shape required for the [PATH] parameter of
+    security rules and XUpdate operations.
+    @raise Error if the expression cannot select nodes. *)

@@ -1,0 +1,33 @@
+type t = {
+  find : Ordpath.t -> Xmldoc.Node.t option;
+  children : Ordpath.t -> Xmldoc.Node.t list;
+  parent : Ordpath.t -> Xmldoc.Node.t option;
+  descendants : Ordpath.t -> Xmldoc.Node.t list;
+  descendant_or_self : Ordpath.t -> Xmldoc.Node.t list;
+  ancestors : Ordpath.t -> Xmldoc.Node.t list;
+  ancestor_or_self : Ordpath.t -> Xmldoc.Node.t list;
+  following_siblings : Ordpath.t -> Xmldoc.Node.t list;
+  preceding_siblings : Ordpath.t -> Xmldoc.Node.t list;
+  following : Ordpath.t -> Xmldoc.Node.t list;
+  preceding : Ordpath.t -> Xmldoc.Node.t list;
+  attributes : Ordpath.t -> Xmldoc.Node.t list;
+  string_value : Ordpath.t -> string;
+}
+
+let of_document doc =
+  let module D = Xmldoc.Document in
+  {
+    find = D.find doc;
+    children = D.children doc;
+    parent = D.parent doc;
+    descendants = D.descendants doc;
+    descendant_or_self = D.descendant_or_self doc;
+    ancestors = D.ancestors doc;
+    ancestor_or_self = D.ancestor_or_self doc;
+    following_siblings = D.following_siblings doc;
+    preceding_siblings = D.preceding_siblings doc;
+    following = D.following doc;
+    preceding = D.preceding doc;
+    attributes = D.attributes doc;
+    string_value = D.string_value doc;
+  }

@@ -1,0 +1,23 @@
+(** The node source an XPath evaluation runs against.  The usual source is
+    a materialised {!Xmldoc.Document}; [Core.Lazy_view] provides a virtual
+    one that filters and relabels the source database on the fly — the
+    "apply filters reflecting the user privileges on the queries"
+    implementation direction of the paper's §5. *)
+
+type t = {
+  find : Ordpath.t -> Xmldoc.Node.t option;
+  children : Ordpath.t -> Xmldoc.Node.t list;
+  parent : Ordpath.t -> Xmldoc.Node.t option;
+  descendants : Ordpath.t -> Xmldoc.Node.t list;
+  descendant_or_self : Ordpath.t -> Xmldoc.Node.t list;
+  ancestors : Ordpath.t -> Xmldoc.Node.t list;
+  ancestor_or_self : Ordpath.t -> Xmldoc.Node.t list;
+  following_siblings : Ordpath.t -> Xmldoc.Node.t list;
+  preceding_siblings : Ordpath.t -> Xmldoc.Node.t list;
+  following : Ordpath.t -> Xmldoc.Node.t list;
+  preceding : Ordpath.t -> Xmldoc.Node.t list;
+  attributes : Ordpath.t -> Xmldoc.Node.t list;
+  string_value : Ordpath.t -> string;
+}
+
+val of_document : Xmldoc.Document.t -> t

@@ -1,0 +1,126 @@
+type t =
+  | Nodeset of Ordpath.t list
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+let nodeset ids = Nodeset (List.sort_uniq Ordpath.compare ids)
+
+let number_of_string s =
+  let s = String.trim s in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> Float.nan
+
+let string_of_number f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that still round-trips. *)
+    let s = Printf.sprintf "%.12g" f in
+    s
+
+let node_string (src : Source.t) id = src.Source.string_value id
+
+let to_string doc = function
+  | Str s -> s
+  | Num f -> string_of_number f
+  | Bool b -> if b then "true" else "false"
+  | Nodeset [] -> ""
+  | Nodeset (first :: _) -> node_string doc first
+
+let to_bool _doc = function
+  | Bool b -> b
+  | Num f -> (not (Float.is_nan f)) && f <> 0.
+  | Str s -> String.length s > 0
+  | Nodeset ns -> ns <> []
+
+let to_num doc = function
+  | Num f -> f
+  | Bool b -> if b then 1. else 0.
+  | Str s -> number_of_string s
+  | Nodeset _ as v -> number_of_string (to_string doc v)
+
+let nodes = function Nodeset ns -> ns | Bool _ | Num _ | Str _ -> []
+
+let cmp_num (op : Ast.cmp) a b =
+  match op with
+  | Ast.Eq -> a = b
+  | Ast.Neq -> a <> b
+  | Ast.Lt -> a < b
+  | Ast.Le -> a <= b
+  | Ast.Gt -> a > b
+  | Ast.Ge -> a >= b
+
+(* XPath 1.0 §3.4: with two node-sets, comparison is existential over
+   string values; a node-set against a boolean compares [boolean(ns)]
+   directly; a node-set against a number or string is existential over
+   the node string-values; otherwise = / != compare by the "strongest"
+   type (boolean > number > string) and orderings always compare
+   numbers. *)
+let compare_values doc op left right =
+  let flip = function
+    | Ast.Lt -> Ast.Gt
+    | Ast.Le -> Ast.Ge
+    | Ast.Gt -> Ast.Lt
+    | Ast.Ge -> Ast.Le
+    | (Ast.Eq | Ast.Neq) as op -> op
+  in
+  let rec go op left right =
+    match left, right with
+    | Nodeset l, Nodeset r ->
+      let strings ids = List.map (node_string doc) ids in
+      let pred a b =
+        match op with
+        | Ast.Eq -> String.equal a b
+        | Ast.Neq -> not (String.equal a b)
+        | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          cmp_num op (number_of_string a) (number_of_string b)
+      in
+      List.exists
+        (fun a -> List.exists (fun b -> pred a b) (strings r))
+        (strings l)
+    | Nodeset _, Bool b ->
+      (match op with
+       | Ast.Eq -> to_bool doc left = b
+       | Ast.Neq -> to_bool doc left <> b
+       | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+         cmp_num op (to_num doc left) (if b then 1. else 0.))
+    | Nodeset l, v ->
+      List.exists
+        (fun id ->
+          let s = node_string doc id in
+          match op, v with
+          | Ast.Eq, Num f -> number_of_string s = f
+          | Ast.Neq, Num f -> number_of_string s <> f
+          | Ast.Eq, Str s' -> String.equal s s'
+          | Ast.Neq, Str s' -> not (String.equal s s')
+          | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), v ->
+            cmp_num op (number_of_string s) (to_num doc v)
+          | (Ast.Eq | Ast.Neq), (Bool _ | Nodeset _) -> assert false)
+        l
+    | v, (Nodeset _ as ns) -> go (flip op) ns v
+    | l, r ->
+      (match op with
+       | Ast.Eq | Ast.Neq ->
+         let equal =
+           match l, r with
+           | Bool _, _ | _, Bool _ -> to_bool doc l = to_bool doc r
+           | Num _, _ | _, Num _ -> to_num doc l = to_num doc r
+           | _ -> String.equal (to_string doc l) (to_string doc r)
+         in
+         if op = Ast.Eq then equal else not equal
+       | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+         cmp_num op (to_num doc l) (to_num doc r))
+  in
+  go op left right
+
+let pp (_src : Source.t) fmt = function
+  | Nodeset ns ->
+    Format.fprintf fmt "nodeset{%s}"
+      (String.concat ", " (List.map Ordpath.to_string ns))
+  | Bool b -> Format.fprintf fmt "%b" b
+  | Num f -> Format.pp_print_string fmt (string_of_number f)
+  | Str s -> Format.fprintf fmt "%S" s

@@ -1,0 +1,32 @@
+(** The four XPath 1.0 value types and the standard conversion rules.
+    Node-sets are kept sorted in document order and de-duplicated. *)
+
+type t =
+  | Nodeset of Ordpath.t list
+  | Bool of bool
+  | Num of float
+  | Str of string
+
+val nodeset : Ordpath.t list -> t
+(** Sorts and de-duplicates. *)
+
+val to_bool : Source.t -> t -> bool
+val to_num : Source.t -> t -> float
+val to_string : Source.t -> t -> string
+
+val number_of_string : string -> float
+(** XPath [number()] semantics: optional sign and decimal; anything else
+    is NaN. *)
+
+val string_of_number : float -> string
+(** XPath number-to-string: integers print without a decimal point; NaN
+    prints ["NaN"]. *)
+
+val nodes : t -> Ordpath.t list
+(** The node list of a node-set; [[]] for other values. *)
+
+val compare_values : Source.t -> Ast.cmp -> t -> t -> bool
+(** Full XPath 1.0 comparison semantics, including the existential rules
+    when one or both operands are node-sets. *)
+
+val pp : Source.t -> Format.formatter -> t -> unit

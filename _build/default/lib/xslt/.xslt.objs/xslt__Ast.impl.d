@@ -1,0 +1,1 @@
+lib/xslt/ast.ml: Format List Printf String Xpath

@@ -1,0 +1,1 @@
+lib/xslt/ast.mli: Format Xpath

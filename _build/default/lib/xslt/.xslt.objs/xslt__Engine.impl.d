@@ -1,0 +1,1 @@
+lib/xslt/engine.ml: Ast Hashtbl List Ordpath Printf String Xmldoc Xpath

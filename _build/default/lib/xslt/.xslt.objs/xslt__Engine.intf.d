@@ -1,0 +1,1 @@
+lib/xslt/engine.mli: Ast Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/xslt/parse.ml: Ast Format List Option Printf String Tree Xml_parse Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/xslt/parse.mli: Ast Xmldoc

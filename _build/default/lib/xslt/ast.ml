@@ -1,0 +1,118 @@
+type instruction =
+  | Apply_templates of {
+      select : Xpath.Ast.expr option;
+      mode : string option;
+    }
+  | Copy of instruction list
+  | Copy_of of Xpath.Ast.expr
+  | Text of string
+  | Value_of of Xpath.Ast.expr
+  | Literal_element of {
+      name : string;
+      attrs : (string * string) list;
+      body : instruction list;
+    }
+  | Element_inst of {
+      name : Xpath.Ast.expr;
+      body : instruction list;
+    }
+  | Attribute_inst of {
+      name : Xpath.Ast.expr;
+      body : instruction list;
+    }
+  | Comment_inst of instruction list
+  | If of Xpath.Ast.expr * instruction list
+  | Choose of branch list
+
+and branch = {
+  test : Xpath.Ast.expr option;
+  body : instruction list;
+}
+
+type template = {
+  match_src : string;
+  match_expr : Xpath.Ast.expr;
+  mode : string option;
+  priority : float;
+  body : instruction list;
+}
+
+type t = {
+  templates : template list;
+}
+
+let template ?mode ?(priority = 0.) match_src body =
+  {
+    match_src;
+    match_expr = Xpath.Parser.parse_path match_src;
+    mode;
+    priority;
+    body;
+  }
+
+let stylesheet templates = { templates }
+
+(* Attribute-value-template rendering: literals stay bare, computed names
+   wear braces. *)
+let name_avt = function
+  | Xpath.Ast.Literal s -> s
+  | e -> "{" ^ Xpath.Ast.to_string e ^ "}"
+
+let rec pp_instruction fmt = function
+  | Apply_templates { select; mode } ->
+    Format.fprintf fmt "<xsl:apply-templates%s%s/>"
+      (match select with
+       | None -> ""
+       | Some e -> Printf.sprintf " select=%S" (Xpath.Ast.to_string e))
+      (match mode with None -> "" | Some m -> Printf.sprintf " mode=%S" m)
+  | Copy body ->
+    Format.fprintf fmt "@[<v 2><xsl:copy>%a@]@,</xsl:copy>" pp_body body
+  | Copy_of e ->
+    Format.fprintf fmt "<xsl:copy-of select=%S/>" (Xpath.Ast.to_string e)
+  | Text s -> Format.fprintf fmt "<xsl:text>%s</xsl:text>" s
+  | Value_of e ->
+    Format.fprintf fmt "<xsl:value-of select=%S/>" (Xpath.Ast.to_string e)
+  | Literal_element { name; attrs; body } ->
+    Format.fprintf fmt "@[<v 2><%s%s>%a@]@,</%s>" name
+      (String.concat ""
+         (List.map (fun (k, v) -> Printf.sprintf " %s=%S" k v) attrs))
+      pp_body body name
+  | Element_inst { name; body } ->
+    Format.fprintf fmt "@[<v 2><xsl:element name=%S>%a@]@,</xsl:element>"
+      (name_avt name) pp_body body
+  | Attribute_inst { name; body } ->
+    Format.fprintf fmt "@[<v 2><xsl:attribute name=%S>%a@]@,</xsl:attribute>"
+      (name_avt name) pp_body body
+  | Comment_inst body ->
+    Format.fprintf fmt "@[<v 2><xsl:comment>%a@]@,</xsl:comment>" pp_body body
+  | If (test, body) ->
+    Format.fprintf fmt "@[<v 2><xsl:if test=%S>%a@]@,</xsl:if>"
+      (Xpath.Ast.to_string test) pp_body body
+  | Choose branches ->
+    Format.fprintf fmt "@[<v 2><xsl:choose>";
+    List.iter
+      (fun { test; body } ->
+        match test with
+        | Some t ->
+          Format.fprintf fmt "@,@[<v 2><xsl:when test=%S>%a@]@,</xsl:when>"
+            (Xpath.Ast.to_string t) pp_body body
+        | None ->
+          Format.fprintf fmt "@,@[<v 2><xsl:otherwise>%a@]@,</xsl:otherwise>"
+            pp_body body)
+      branches;
+    Format.fprintf fmt "@]@,</xsl:choose>"
+
+and pp_body fmt body =
+  List.iter (fun i -> Format.fprintf fmt "@,%a" pp_instruction i) body
+
+let pp fmt { templates } =
+  Format.fprintf fmt "@[<v 2><xsl:stylesheet version=\"1.0\">";
+  List.iter
+    (fun t ->
+      Format.fprintf fmt
+        "@,@[<v 2><xsl:template match=%S%s priority=\"%g\">%a@]@,</xsl:template>"
+        t.match_src
+        (match t.mode with None -> "" | Some m -> Printf.sprintf " mode=%S" m)
+        t.priority pp_body t.body)
+    templates;
+  Format.fprintf fmt "@]@,</xsl:stylesheet>@."

@@ -1,0 +1,59 @@
+(** Abstract syntax of the XSLT 1.0 subset used by the security processor
+    of the paper's §5 ("we are currently implementing an XSLT-based
+    security processor based on our model"): template rules with match
+    patterns, modes and priorities, and the instructions needed to copy,
+    mask or prune nodes. *)
+
+type instruction =
+  | Apply_templates of {
+      select : Xpath.Ast.expr option;
+          (** default: child nodes (attributes excluded, as XSLT) *)
+      mode : string option;
+    }
+  | Copy of instruction list
+      (** shallow copy of the current node; the body produces element
+          content *)
+  | Copy_of of Xpath.Ast.expr  (** deep verbatim copy of selected nodes *)
+  | Text of string
+  | Value_of of Xpath.Ast.expr  (** string value of the selection *)
+  | Literal_element of {
+      name : string;
+      attrs : (string * string) list;
+      body : instruction list;
+    }
+  | Element_inst of {
+      name : Xpath.Ast.expr;  (** evaluated to the element name *)
+      body : instruction list;
+    }  (** [xsl:element] *)
+  | Attribute_inst of {
+      name : Xpath.Ast.expr;
+      body : instruction list;  (** instantiated and string-concatenated *)
+    }  (** [xsl:attribute] *)
+  | Comment_inst of instruction list  (** [xsl:comment] *)
+  | If of Xpath.Ast.expr * instruction list
+  | Choose of branch list
+
+and branch = {
+  test : Xpath.Ast.expr option;  (** [None] = [xsl:otherwise] *)
+  body : instruction list;
+}
+
+type template = {
+  match_src : string;
+  match_expr : Xpath.Ast.expr;
+  mode : string option;
+  priority : float;
+  body : instruction list;
+}
+
+type t = {
+  templates : template list;  (** stylesheet order: later wins ties *)
+}
+
+val template :
+  ?mode:string -> ?priority:float -> string -> instruction list -> template
+(** Parses the match pattern; default priority 0.
+    @raise Xpath.Parser.Error *)
+
+val stylesheet : template list -> t
+val pp : Format.formatter -> t -> unit

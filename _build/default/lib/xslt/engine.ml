@@ -1,0 +1,165 @@
+module D = Xmldoc.Document
+
+exception Error of string
+
+type state = {
+  doc : D.t;
+  env : Xpath.Eval.env;
+  src : Xpath.Source.t;
+  stylesheet : Ast.t;
+  (* memoised pattern match sets, keyed by pattern source *)
+  matches : (string, Ordpath.Set.t) Hashtbl.t;
+}
+
+let match_set st (t : Ast.template) =
+  match Hashtbl.find_opt st.matches t.match_src with
+  | Some s -> s
+  | None ->
+    let s =
+      try
+        List.fold_left
+          (fun acc id -> Ordpath.Set.add id acc)
+          Ordpath.Set.empty
+          (Xpath.Eval.select st.env t.match_expr)
+      with Xpath.Eval.Error msg ->
+        raise (Error (Printf.sprintf "pattern %s: %s" t.match_src msg))
+    in
+    Hashtbl.add st.matches t.match_src s;
+    s
+
+(* Highest priority wins; later stylesheet position breaks ties. *)
+let find_template st id mode =
+  let best =
+    List.fold_left
+      (fun best (t : Ast.template) ->
+        if t.mode <> mode then best
+        else if not (Ordpath.Set.mem id (match_set st t)) then best
+        else
+          match best with
+          | Some (b : Ast.template) when b.priority > t.priority -> best
+          | _ -> Some t)
+      None st.stylesheet.Ast.templates
+  in
+  best
+
+let tree_children st id =
+  List.filter
+    (fun (n : Xmldoc.Node.t) -> n.kind <> Xmldoc.Node.Attribute)
+    (D.children st.doc id)
+
+let eval st id expr =
+  Xpath.Eval.eval st.env ~context:id expr
+
+let select_nodes st id expr =
+  match eval st id expr with
+  | Xpath.Value.Nodeset ns -> ns
+  | _ -> raise (Error "select must evaluate to a node-set")
+
+let rec process st id mode : Xmldoc.Tree.t list =
+  match find_template st id mode with
+  | Some t -> exec_body st id mode t.Ast.body
+  | None ->
+    (* Built-in template rules. *)
+    (match D.kind st.doc id with
+     | Some (Xmldoc.Node.Document | Xmldoc.Node.Element) ->
+       List.concat_map
+         (fun (n : Xmldoc.Node.t) -> process st n.id mode)
+         (tree_children st id)
+     | Some Xmldoc.Node.Text ->
+       (match D.label st.doc id with
+        | Some s -> [ Xmldoc.Tree.Text s ]
+        | None -> [])
+     | Some (Xmldoc.Node.Attribute | Xmldoc.Node.Comment) | None -> [])
+
+and exec_body st id mode body =
+  List.concat_map (exec st id mode) body
+
+and exec st id mode : Ast.instruction -> Xmldoc.Tree.t list = function
+  | Ast.Apply_templates { select; mode = new_mode } ->
+    let mode = match new_mode with None -> mode | Some _ -> new_mode in
+    let targets =
+      match select with
+      | None -> List.map (fun (n : Xmldoc.Node.t) -> n.id) (tree_children st id)
+      | Some e -> select_nodes st id e
+    in
+    List.concat_map (fun t -> process st t mode) targets
+  | Ast.Copy body ->
+    (match D.find st.doc id with
+     | None -> []
+     | Some n ->
+       (match n.kind with
+        | Xmldoc.Node.Document -> exec_body st id mode body
+        | Xmldoc.Node.Element ->
+          [ Xmldoc.Tree.Element (n.label, exec_body st id mode body) ]
+        | Xmldoc.Node.Text -> [ Xmldoc.Tree.Text n.label ]
+        | Xmldoc.Node.Comment -> [ Xmldoc.Tree.Comment n.label ]
+        | Xmldoc.Node.Attribute ->
+          [ Xmldoc.Tree.Attr (n.label, D.string_value st.doc id) ]))
+  | Ast.Copy_of e ->
+    List.filter_map (D.to_tree st.doc) (select_nodes st id e)
+  | Ast.Text s -> [ Xmldoc.Tree.Text s ]
+  | Ast.Value_of e ->
+    let s = Xpath.Value.to_string st.src (eval st id e) in
+    if s = "" then [] else [ Xmldoc.Tree.Text s ]
+  | Ast.Literal_element { name; attrs; body } ->
+    [ Xmldoc.Tree.Element
+        ( name,
+          List.map (fun (k, v) -> Xmldoc.Tree.Attr (k, v)) attrs
+          @ exec_body st id mode body ) ]
+  | Ast.Element_inst { name; body } ->
+    let n = Xpath.Value.to_string st.src (eval st id name) in
+    if n = "" then raise (Error "xsl:element: empty name")
+    else [ Xmldoc.Tree.Element (n, exec_body st id mode body) ]
+  | Ast.Attribute_inst { name; body } ->
+    let n = Xpath.Value.to_string st.src (eval st id name) in
+    if n = "" then raise (Error "xsl:attribute: empty name")
+    else
+      let value =
+        String.concat ""
+          (List.map
+             (function
+               | Xmldoc.Tree.Text s -> s
+               | _ -> raise (Error "xsl:attribute: content must be text"))
+             (exec_body st id mode body))
+      in
+      [ Xmldoc.Tree.Attr (n, value) ]
+  | Ast.Comment_inst body ->
+    let text =
+      String.concat ""
+        (List.map
+           (function
+             | Xmldoc.Tree.Text s -> s
+             | _ -> raise (Error "xsl:comment: content must be text"))
+           (exec_body st id mode body))
+    in
+    [ Xmldoc.Tree.Comment text ]
+  | Ast.If (test, body) ->
+    if Xpath.Value.to_bool st.src (eval st id test) then
+      exec_body st id mode body
+    else []
+  | Ast.Choose branches ->
+    let rec first = function
+      | [] -> []
+      | { Ast.test = None; body } :: _ -> exec_body st id mode body
+      | { Ast.test = Some t; body } :: rest ->
+        if Xpath.Value.to_bool st.src (eval st id t) then
+          exec_body st id mode body
+        else first rest
+    in
+    first branches
+
+let make_state ?vars stylesheet doc =
+  {
+    doc;
+    env = Xpath.Eval.env ?vars doc;
+    src = Xpath.Source.of_document doc;
+    stylesheet;
+    matches = Hashtbl.create 16;
+  }
+
+let apply_to_trees ?vars stylesheet doc =
+  let st = make_state ?vars stylesheet doc in
+  process st Ordpath.document None
+
+let apply ?vars stylesheet doc =
+  D.of_forest (apply_to_trees ?vars stylesheet doc)

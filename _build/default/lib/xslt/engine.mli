@@ -1,0 +1,23 @@
+(** The XSLT processor: applies a stylesheet to a document.
+
+    Template selection follows XSLT 1.0 conflict resolution — among the
+    templates of the current mode whose pattern matches the node, the
+    highest priority wins, later stylesheet position breaking ties —
+    which is exactly the shape of the paper's axiom 14 and is what lets
+    the security compiler map rule priorities straight onto template
+    priorities. *)
+
+exception Error of string
+
+val apply :
+  ?vars:(string * Xpath.Value.t) list -> Ast.t -> Xmldoc.Document.t ->
+  Xmldoc.Document.t
+(** Starts at the document node with no mode.  Built-in rules as in
+    XSLT 1.0: document/element nodes apply templates to their children in
+    the current mode; text nodes copy their data; attributes and comments
+    produce nothing unless matched explicitly. *)
+
+val apply_to_trees :
+  ?vars:(string * Xpath.Value.t) list -> Ast.t -> Xmldoc.Document.t ->
+  Xmldoc.Tree.t list
+(** The raw result forest (before re-numbering into a document). *)

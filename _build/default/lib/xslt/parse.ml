@@ -1,0 +1,127 @@
+open Xmldoc
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let attr name kids =
+  List.find_map
+    (function Tree.Attr (n, v) when n = name -> Some v | _ -> None)
+    kids
+
+let content kids =
+  List.filter (function Tree.Attr _ -> false | _ -> true) kids
+
+let select_attr instr kids =
+  match attr "select" kids with
+  | Some s -> Xpath.Parser.parse s
+  | None -> fail "%s: missing select attribute" instr
+
+(* Computed names use the attribute-value-template brace convention:
+   name="{expr}" evaluates, anything else is the literal name. *)
+let name_expr v =
+  let n = String.length v in
+  if n >= 2 && v.[0] = '{' && v.[n - 1] = '}' then
+    Xpath.Parser.parse (String.sub v 1 (n - 2))
+  else Xpath.Ast.Literal v
+
+let rec instruction (t : Tree.t) : Ast.instruction list =
+  match t with
+  | Tree.Text s -> [ Ast.Text s ]
+  | Tree.Comment _ -> []
+  | Tree.Attr _ -> []
+  | Tree.Element ("xsl:apply-templates", kids) ->
+    [ Ast.Apply_templates
+        {
+          select = Option.map Xpath.Parser.parse (attr "select" kids);
+          mode = attr "mode" kids;
+        } ]
+  | Tree.Element ("xsl:copy", kids) ->
+    [ Ast.Copy (body (content kids)) ]
+  | Tree.Element ("xsl:copy-of", kids) ->
+    [ Ast.Copy_of (select_attr "xsl:copy-of" kids) ]
+  | Tree.Element ("xsl:text", kids) ->
+    [ Ast.Text
+        (String.concat ""
+           (List.map
+              (function
+                | Tree.Text s -> s
+                | _ -> fail "xsl:text: expected character content")
+              (content kids))) ]
+  | Tree.Element ("xsl:value-of", kids) ->
+    [ Ast.Value_of (select_attr "xsl:value-of" kids) ]
+  | Tree.Element ("xsl:element", kids) ->
+    (match attr "name" kids with
+     | None -> fail "xsl:element: missing name attribute"
+     | Some name ->
+       [ Ast.Element_inst { name = name_expr name; body = body (content kids) } ])
+  | Tree.Element ("xsl:attribute", kids) ->
+    (match attr "name" kids with
+     | None -> fail "xsl:attribute: missing name attribute"
+     | Some name ->
+       [ Ast.Attribute_inst { name = name_expr name; body = body (content kids) } ])
+  | Tree.Element ("xsl:comment", kids) ->
+    [ Ast.Comment_inst (body (content kids)) ]
+  | Tree.Element ("xsl:if", kids) ->
+    (match attr "test" kids with
+     | None -> fail "xsl:if: missing test attribute"
+     | Some test -> [ Ast.If (Xpath.Parser.parse test, body (content kids)) ])
+  | Tree.Element ("xsl:choose", kids) ->
+    let branch (k : Tree.t) : Ast.branch option =
+      match k with
+      | Tree.Element ("xsl:when", ks) ->
+        (match attr "test" ks with
+         | None -> fail "xsl:when: missing test attribute"
+         | Some test ->
+           Some { Ast.test = Some (Xpath.Parser.parse test);
+                  body = body (content ks) })
+      | Tree.Element ("xsl:otherwise", ks) ->
+        Some { Ast.test = None; body = body (content ks) }
+      | Tree.Comment _ | Tree.Text _ -> None
+      | t -> fail "xsl:choose: unexpected %s" (Tree.name t)
+    in
+    [ Ast.Choose (List.filter_map branch (content kids)) ]
+  | Tree.Element (name, _) when String.length name > 4
+                             && String.sub name 0 4 = "xsl:" ->
+    fail "unsupported instruction %s" name
+  | Tree.Element (name, kids) ->
+    let attrs =
+      List.filter_map
+        (function Tree.Attr (k, v) -> Some (k, v) | _ -> None)
+        kids
+    in
+    [ Ast.Literal_element { name; attrs; body = body (content kids) } ]
+
+and body kids = List.concat_map instruction kids
+
+let template (t : Tree.t) : Ast.template option =
+  match t with
+  | Tree.Element ("xsl:template", kids) ->
+    let match_src =
+      match attr "match" kids with
+      | Some m -> m
+      | None -> fail "xsl:template: missing match attribute"
+    in
+    let priority =
+      match attr "priority" kids with
+      | None -> 0.
+      | Some p ->
+        (match float_of_string_opt p with
+         | Some f -> f
+         | None -> fail "xsl:template: bad priority %s" p)
+    in
+    Some
+      (Ast.template ?mode:(attr "mode" kids) ~priority match_src
+         (body (content kids)))
+  | Tree.Comment _ | Tree.Text _ | Tree.Attr _ -> None
+  | t -> fail "expected xsl:template, found %s" (Tree.name t)
+
+let of_tree = function
+  | Tree.Element ("xsl:stylesheet", kids)
+  | Tree.Element ("xsl:transform", kids) ->
+    Ast.stylesheet (List.filter_map template (content kids))
+  | t -> fail "expected <xsl:stylesheet>, found %s" (Tree.name t)
+
+let of_string src = of_tree (Xml_parse.fragment_of_string src)
+
+let to_string sheet = Format.asprintf "%a" Ast.pp sheet

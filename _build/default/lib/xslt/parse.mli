@@ -1,0 +1,17 @@
+(** Parses the XML concrete syntax of the supported XSLT subset:
+    [xsl:stylesheet], [xsl:template] (match / mode / priority),
+    [xsl:apply-templates], [xsl:copy], [xsl:copy-of], [xsl:text],
+    [xsl:value-of], [xsl:if], [xsl:choose]/[xsl:when]/[xsl:otherwise],
+    plus literal result elements and text. *)
+
+exception Error of string
+
+val of_string : string -> Ast.t
+(** @raise Error on unsupported or malformed constructs,
+    [Xmldoc.Xml_parse.Error] on malformed XML,
+    [Xpath.Parser.Error] on a bad pattern or select expression. *)
+
+val of_tree : Xmldoc.Tree.t -> Ast.t
+
+val to_string : Ast.t -> string
+(** Pretty-prints a stylesheet; reparses to an equivalent one. *)

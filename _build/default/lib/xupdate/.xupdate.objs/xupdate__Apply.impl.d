@@ -1,0 +1,1 @@
+lib/xupdate/apply.ml: Content List Op Ordpath Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/xupdate/apply.mli: Op Ordpath Xmldoc Xpath

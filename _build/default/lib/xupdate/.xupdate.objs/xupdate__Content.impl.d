@@ -1,0 +1,1 @@
+lib/xupdate/content.ml: Format Fun List Option String Xmldoc Xpath

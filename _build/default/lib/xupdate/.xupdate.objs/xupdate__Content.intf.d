@@ -1,0 +1,1 @@
+lib/xupdate/content.mli: Format Ordpath Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/xupdate/op.ml: Content Format Xpath

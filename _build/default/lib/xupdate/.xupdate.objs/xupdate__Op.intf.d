@@ -1,0 +1,1 @@
+lib/xupdate/op.mli: Content Format Xmldoc Xpath

@@ -1,0 +1,1 @@
+lib/xupdate/xupdate_xml.ml: Content List Op Printf String Tree Xml_parse Xml_print Xmldoc Xpath

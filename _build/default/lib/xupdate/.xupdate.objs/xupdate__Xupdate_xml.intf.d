@@ -1,0 +1,1 @@
+lib/xupdate/xupdate_xml.mli: Op Xmldoc

@@ -1,0 +1,136 @@
+module D = Xmldoc.Document
+
+type outcome = {
+  doc : D.t;
+  targets : Ordpath.t list;
+  relabelled : Ordpath.t list;
+  removed : Ordpath.t list;
+  inserted : Ordpath.t list;
+  skipped : (Ordpath.t * string) list;
+}
+
+let empty_outcome doc targets =
+  { doc; targets; relabelled = []; removed = []; inserted = []; skipped = [] }
+
+let can_hold_children doc id =
+  match D.kind doc id with
+  | Some (Xmldoc.Node.Element | Xmldoc.Node.Document) -> true
+  | Some (Xmldoc.Node.Text | Xmldoc.Node.Comment | Xmldoc.Node.Attribute)
+  | None ->
+    false
+
+let relabel_targets outcome ids new_label =
+  List.fold_left
+    (fun acc id ->
+      match D.kind acc.doc id with
+      | None -> acc
+      | Some Xmldoc.Node.Document ->
+        { acc with skipped = (id, "the document node cannot be relabelled") :: acc.skipped }
+      | Some _ ->
+        {
+          acc with
+          doc = D.relabel acc.doc id new_label;
+          relabelled = id :: acc.relabelled;
+        })
+    outcome ids
+
+(* Fresh numbers for an inserted subtree come from the paper's
+   [create_number(n, n', o, n'')] predicate: allocation is relative to the
+   target node [n] and the operation kind [o], against the current
+   database.  Content instantiation (value-of) is evaluated on the same
+   database, with the target as context — the unsecured semantics. *)
+let insert_at ?vars outcome target content where =
+  let doc = outcome.doc in
+  let tree =
+    Content.instantiate ?vars (Xpath.Source.of_document doc) ~context:target
+      content
+  in
+  let skip reason =
+    { outcome with skipped = (target, reason) :: outcome.skipped }
+  in
+  match where with
+  | `Append ->
+    if not (can_hold_children doc target) then
+      skip "only element nodes accept children"
+    else
+      let doc, id = D.append_tree doc ~parent:target tree in
+      { outcome with doc; inserted = id :: outcome.inserted }
+  | `Before | `After ->
+    let before = where = `Before in
+    (match Ordpath.parent target with
+     | None -> skip "the document node has no siblings"
+     | Some parent ->
+       let siblings =
+         List.map (fun (n : Xmldoc.Node.t) -> n.id) (D.children doc parent)
+       in
+       let rec bounds prev = function
+         | [] -> (None, None) (* target vanished: treat as skip below *)
+         | s :: rest when Ordpath.equal s target ->
+           if before then (prev, Some s)
+           else (Some s, (match rest with [] -> None | next :: _ -> Some next))
+         | s :: rest -> bounds (Some s) rest
+       in
+       (match bounds None siblings with
+        | None, None when not (List.exists (Ordpath.equal target) siblings) ->
+          skip "target no longer present"
+        | left, right ->
+          let doc, id = D.add_subtree doc ~parent ~left ~right tree in
+          { outcome with doc; inserted = id :: outcome.inserted }))
+
+let finalize outcome =
+  {
+    outcome with
+    relabelled = List.rev outcome.relabelled;
+    removed = List.rev outcome.removed;
+    inserted = List.rev outcome.inserted;
+    skipped = List.rev outcome.skipped;
+  }
+
+let apply ?vars doc op =
+  let env = Xpath.Eval.env ?vars doc in
+  let targets = Xpath.Eval.select env (Op.path op) in
+  let outcome = empty_outcome doc targets in
+  let outcome =
+    match op with
+    | Op.Rename { new_label; _ } -> relabel_targets outcome targets new_label
+    | Op.Update { new_label; _ } ->
+      (* Formulae 4–5: the children of each addressed node take VNEW. *)
+      let children_of id =
+        List.map (fun (n : Xmldoc.Node.t) -> n.id) (D.children doc id)
+      in
+      relabel_targets outcome (List.concat_map children_of targets) new_label
+    | Op.Append { content; _ } ->
+      List.fold_left
+        (fun acc target -> insert_at ?vars acc target content `Append)
+        outcome targets
+    | Op.Insert_before { content; _ } ->
+      List.fold_left
+        (fun acc target -> insert_at ?vars acc target content `Before)
+        outcome targets
+    | Op.Insert_after { content; _ } ->
+      List.fold_left
+        (fun acc target -> insert_at ?vars acc target content `After)
+        outcome targets
+    | Op.Remove _ ->
+      List.fold_left
+        (fun acc target ->
+          if Ordpath.equal target Ordpath.document then
+            { acc with
+              skipped = (target, "the document node cannot be removed") :: acc.skipped
+            }
+          else if not (D.mem acc.doc target) then
+            (* Already gone: PATH selected both an ancestor and its
+               descendant. *)
+            acc
+          else
+            {
+              acc with
+              doc = D.remove_subtree acc.doc target;
+              removed = target :: acc.removed;
+            })
+        outcome targets
+  in
+  finalize outcome
+
+let apply_all ?vars doc ops =
+  List.fold_left (fun doc op -> (apply ?vars doc op).doc) doc ops

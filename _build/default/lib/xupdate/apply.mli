@@ -1,0 +1,29 @@
+(** Unsecured XUpdate evaluation — the semantics of §3.4 (formulae 2–9),
+    with target selection on the {e source} database.  This is the layer
+    the paper's §2.2 criticises when used directly by untrusted subjects;
+    the secure evaluator in [Core.Secure_update] re-derives it with
+    selection on the user's view. *)
+
+type outcome = {
+  doc : Xmldoc.Document.t;  (** the new database [dbnew] *)
+  targets : Ordpath.t list;
+      (** nodes addressed by [PATH], document order *)
+  relabelled : Ordpath.t list;
+      (** nodes whose label changed (rename/update) *)
+  removed : Ordpath.t list;  (** roots of removed subtrees *)
+  inserted : Ordpath.t list;
+      (** roots of freshly inserted copies of [TREE] *)
+  skipped : (Ordpath.t * string) list;
+      (** targets the operation does not apply to, with reasons (e.g.
+          appending under a text node) *)
+}
+
+val apply :
+  ?vars:(string * Xpath.Value.t) list -> Xmldoc.Document.t -> Op.t -> outcome
+(** @raise Xpath.Eval.Error if the path does not select nodes. *)
+
+val apply_all :
+  ?vars:(string * Xpath.Value.t) list ->
+  Xmldoc.Document.t -> Op.t list -> Xmldoc.Document.t
+(** Folds {!apply} over a modification list, as an
+    [<xupdate:modifications>] document does. *)

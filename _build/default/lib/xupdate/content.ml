@@ -1,0 +1,85 @@
+type t =
+  | Element of string * t list
+  | Attr of string * t list
+  | Text of string
+  | Comment of string
+  | Value_of of Xpath.Ast.expr
+
+let rec of_tree (tree : Xmldoc.Tree.t) =
+  match tree with
+  | Xmldoc.Tree.Element (name, kids) -> Element (name, List.map of_tree kids)
+  | Xmldoc.Tree.Attr (name, value) -> Attr (name, [ Text value ])
+  | Xmldoc.Tree.Text s -> Text s
+  | Xmldoc.Tree.Comment s -> Comment s
+
+let rec is_static = function
+  | Value_of _ -> false
+  | Element (_, kids) | Attr (_, kids) -> List.for_all is_static kids
+  | Text _ | Comment _ -> true
+
+let rec to_tree t : Xmldoc.Tree.t option =
+  match t with
+  | Value_of _ -> None
+  | Text s -> Some (Xmldoc.Tree.Text s)
+  | Comment s -> Some (Xmldoc.Tree.Comment s)
+  | Attr (name, parts) ->
+    let rec concat acc = function
+      | [] -> Some acc
+      | Text s :: rest -> concat (acc ^ s) rest
+      | (Value_of _ | Element _ | Attr _ | Comment _) :: _ -> None
+    in
+    Option.map (fun v -> Xmldoc.Tree.Attr (name, v)) (concat "" parts)
+  | Element (name, kids) ->
+    let kids = List.map to_tree kids in
+    if List.for_all Option.is_some kids then
+      Some (Xmldoc.Tree.Element (name, List.filter_map Fun.id kids))
+    else None
+
+let instantiate ?vars src ~context t =
+  let env = Xpath.Eval.env_of_source ?vars src in
+  let value_of expr =
+    Xpath.Value.to_string src (Xpath.Eval.eval env ~context expr)
+  in
+  let rec go = function
+    | Text s -> [ Xmldoc.Tree.Text s ]
+    | Comment s -> [ Xmldoc.Tree.Comment s ]
+    | Value_of expr ->
+      (match value_of expr with "" -> [] | s -> [ Xmldoc.Tree.Text s ])
+    | Attr (name, parts) ->
+      let value =
+        String.concat ""
+          (List.map
+             (function
+               | Text s -> s
+               | Value_of expr -> value_of expr
+               | Element _ | Attr _ | Comment _ ->
+                 raise (Xpath.Eval.Error "attribute content must be textual"))
+             parts)
+      in
+      [ Xmldoc.Tree.Attr (name, value) ]
+    | Element (name, kids) ->
+      [ Xmldoc.Tree.Element (name, List.concat_map go kids) ]
+  in
+  match go t with
+  | [ tree ] -> tree
+  | [] -> Xmldoc.Tree.Text ""
+  | _ -> assert false
+
+let rec equal a b =
+  match a, b with
+  | Element (na, ka), Element (nb, kb) | Attr (na, ka), Attr (nb, kb) ->
+    String.equal na nb && List.equal equal ka kb
+  | Text a, Text b | Comment a, Comment b -> String.equal a b
+  | Value_of a, Value_of b ->
+    String.equal (Xpath.Ast.to_string a) (Xpath.Ast.to_string b)
+  | (Element _ | Attr _ | Text _ | Comment _ | Value_of _), _ -> false
+
+let rec pp fmt = function
+  | Element (n, kids) ->
+    Format.fprintf fmt "%s(%a)" n
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+      kids
+  | Attr (n, parts) -> Format.fprintf fmt "@%s=%a" n (Format.pp_print_list pp) parts
+  | Text s -> Format.fprintf fmt "%S" s
+  | Comment s -> Format.fprintf fmt "<!--%s-->" s
+  | Value_of e -> Format.fprintf fmt "value-of(%s)" (Xpath.Ast.to_string e)

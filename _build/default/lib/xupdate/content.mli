@@ -1,0 +1,34 @@
+(** Content templates for the XUpdate insertion operations.  The working
+    draft allows constructed content to embed [xupdate:value-of]: a
+    fragment computed from the database at application time, relative to
+    the node being processed.  A template is {!instantiate}d into a plain
+    {!Xmldoc.Tree} against a node source — the secure evaluator passes the
+    user's {e view}, so computed content can never read data outside it
+    (the §2.2 principle extended to insertions). *)
+
+type t =
+  | Element of string * t list
+  | Attr of string * t list  (** value parts; instantiation concatenates *)
+  | Text of string
+  | Comment of string
+  | Value_of of Xpath.Ast.expr
+      (** string value of the selection, evaluated with the insertion
+          target as context node *)
+
+val of_tree : Xmldoc.Tree.t -> t
+(** Static content. *)
+
+val to_tree : t -> Xmldoc.Tree.t option
+(** [Some] iff the template is static (no [Value_of]). *)
+
+val is_static : t -> bool
+
+val instantiate :
+  ?vars:(string * Xpath.Value.t) list ->
+  Xpath.Source.t -> context:Ordpath.t -> t -> Xmldoc.Tree.t
+(** Evaluates every [Value_of] against the given source with the given
+    context node.
+    @raise Xpath.Eval.Error on evaluation failure. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

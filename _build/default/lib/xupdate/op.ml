@@ -1,0 +1,57 @@
+type t =
+  | Rename of { path : Xpath.Ast.expr; new_label : string }
+  | Update of { path : Xpath.Ast.expr; new_label : string }
+  | Append of { path : Xpath.Ast.expr; content : Content.t }
+  | Insert_before of { path : Xpath.Ast.expr; content : Content.t }
+  | Insert_after of { path : Xpath.Ast.expr; content : Content.t }
+  | Remove of { path : Xpath.Ast.expr }
+
+let path = function
+  | Rename { path; _ }
+  | Update { path; _ }
+  | Append { path; _ }
+  | Insert_before { path; _ }
+  | Insert_after { path; _ }
+  | Remove { path } ->
+    path
+
+let name = function
+  | Rename _ -> "xupdate:rename"
+  | Update _ -> "xupdate:update"
+  | Append _ -> "xupdate:append"
+  | Insert_before _ -> "xupdate:insert-before"
+  | Insert_after _ -> "xupdate:insert-after"
+  | Remove _ -> "xupdate:remove"
+
+let rename path new_label =
+  Rename { path = Xpath.Parser.parse_path path; new_label }
+
+let update path new_label =
+  Update { path = Xpath.Parser.parse_path path; new_label }
+
+let append_content path content =
+  Append { path = Xpath.Parser.parse_path path; content }
+
+let insert_before_content path content =
+  Insert_before { path = Xpath.Parser.parse_path path; content }
+
+let insert_after_content path content =
+  Insert_after { path = Xpath.Parser.parse_path path; content }
+
+let append path tree = append_content path (Content.of_tree tree)
+let insert_before path tree = insert_before_content path (Content.of_tree tree)
+let insert_after path tree = insert_after_content path (Content.of_tree tree)
+
+let remove path = Remove { path = Xpath.Parser.parse_path path }
+
+let pp fmt op =
+  match op with
+  | Rename { path; new_label } | Update { path; new_label } ->
+    Format.fprintf fmt "%s(%s -> %s)" (name op) (Xpath.Ast.to_string path)
+      new_label
+  | Append { path; content } | Insert_before { path; content }
+  | Insert_after { path; content } ->
+    Format.fprintf fmt "%s(%s, %a)" (name op) (Xpath.Ast.to_string path)
+      Content.pp content
+  | Remove { path } ->
+    Format.fprintf fmt "%s(%s)" (name op) (Xpath.Ast.to_string path)

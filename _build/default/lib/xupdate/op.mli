@@ -1,0 +1,41 @@
+(** The six XUpdate operations of §3.4.  Each carries the [PATH] selecting
+    target nodes and, where applicable, the new label [VNEW] or the
+    fragment [TREE] to insert. *)
+
+type t =
+  | Rename of { path : Xpath.Ast.expr; new_label : string }
+      (** relabel the nodes addressed by [path] (formulae 2–3) *)
+  | Update of { path : Xpath.Ast.expr; new_label : string }
+      (** relabel the {e children} of the nodes addressed by [path]
+          (formulae 4–5) *)
+  | Append of { path : Xpath.Ast.expr; content : Content.t }
+      (** insert the instantiated content as last child of each addressed
+          node (formula 7) *)
+  | Insert_before of { path : Xpath.Ast.expr; content : Content.t }
+      (** insert as immediately-preceding sibling *)
+  | Insert_after of { path : Xpath.Ast.expr; content : Content.t }
+      (** insert as immediately-following sibling *)
+  | Remove of { path : Xpath.Ast.expr }
+      (** delete the subtrees rooted at the addressed nodes
+          (formulae 8–9) *)
+
+val path : t -> Xpath.Ast.expr
+
+val name : t -> string
+(** The XUpdate instruction name, e.g. ["xupdate:insert-before"]. *)
+
+(** Convenience constructors parsing the path from concrete syntax.
+    All @raise Xpath.Parser.Error on a bad path. *)
+
+val rename : string -> string -> t
+val update : string -> string -> t
+val append : string -> Xmldoc.Tree.t -> t
+val insert_before : string -> Xmldoc.Tree.t -> t
+val insert_after : string -> Xmldoc.Tree.t -> t
+val remove : string -> t
+
+val append_content : string -> Content.t -> t
+val insert_before_content : string -> Content.t -> t
+val insert_after_content : string -> Content.t -> t
+
+val pp : Format.formatter -> t -> unit

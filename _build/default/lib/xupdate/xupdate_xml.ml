@@ -1,0 +1,155 @@
+open Xmldoc
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let find_attr name kids =
+  List.find_map
+    (function Tree.Attr (n, v) when n = name -> Some v | _ -> None)
+    kids
+
+let require_select instr kids =
+  match find_attr "select" kids with
+  | Some path -> Xpath.Parser.parse_path path
+  | None -> fail "%s: missing select attribute" instr
+
+let content kids =
+  List.filter (function Tree.Attr _ -> false | _ -> true) kids
+
+let select_expr instr kids =
+  match find_attr "select" kids with
+  | Some s -> Xpath.Parser.parse s
+  | None -> fail "%s: missing select attribute" instr
+
+(* Translate xupdate:element / attribute / text / comment / value-of
+   constructors; literal XML passes through. *)
+let rec build_content (t : Tree.t) : Content.t =
+  match t with
+  | Tree.Element ("xupdate:element", kids) ->
+    (match find_attr "name" kids with
+     | None -> fail "xupdate:element: missing name attribute"
+     | Some name ->
+       Content.Element (name, List.map build_content (content kids)))
+  | Tree.Element ("xupdate:attribute", kids) ->
+    (match find_attr "name" kids with
+     | None -> fail "xupdate:attribute: missing name attribute"
+     | Some name ->
+       Content.Attr
+         ( name,
+           List.map
+             (function
+               | Tree.Text s -> Content.Text s
+               | Tree.Element ("xupdate:value-of", ks) ->
+                 Content.Value_of (select_expr "xupdate:value-of" ks)
+               | _ -> fail "xupdate:attribute: expected text content")
+             (content kids) ))
+  | Tree.Element ("xupdate:text", kids) ->
+    Content.Text
+      (String.concat ""
+         (List.map
+            (function
+              | Tree.Text s -> s
+              | _ -> fail "xupdate:text: expected text content")
+            (content kids)))
+  | Tree.Element ("xupdate:comment", kids) ->
+    Content.Comment
+      (String.concat ""
+         (List.map
+            (function
+              | Tree.Text s -> s
+              | _ -> fail "xupdate:comment: expected text content")
+            (content kids)))
+  | Tree.Element ("xupdate:value-of", kids) ->
+    Content.Value_of (select_expr "xupdate:value-of" kids)
+  | Tree.Element (name, _kids) when String.length name > 8
+                                 && String.sub name 0 8 = "xupdate:" ->
+    fail "unexpected instruction %s inside content" name
+  | Tree.Element (name, kids) ->
+    Content.Element (name, List.map build_content kids)
+  | Tree.Attr (name, value) -> Content.Attr (name, [ Content.Text value ])
+  | Tree.Text s -> Content.Text s
+  | Tree.Comment s -> Content.Comment s
+
+let text_content instr kids =
+  match content kids with
+  | [ Tree.Text s ] -> s
+  | [] -> fail "%s: missing content" instr
+  | _ -> fail "%s: expected a single text content" instr
+
+let op_of_instruction (t : Tree.t) : Op.t list =
+  match t with
+  | Tree.Element (("xupdate:update" as instr), kids) ->
+    [ Op.Update { path = require_select instr kids;
+                  new_label = text_content instr kids } ]
+  | Tree.Element (("xupdate:rename" as instr), kids) ->
+    [ Op.Rename { path = require_select instr kids;
+                  new_label = text_content instr kids } ]
+  | Tree.Element (("xupdate:remove" as instr), kids) ->
+    [ Op.Remove { path = require_select instr kids } ]
+  | Tree.Element (("xupdate:append" as instr), kids) ->
+    let path = require_select instr kids in
+    List.map
+      (fun c -> Op.Append { path; content = build_content c })
+      (content kids)
+  | Tree.Element (("xupdate:insert-before" as instr), kids) ->
+    let path = require_select instr kids in
+    List.map
+      (fun c -> Op.Insert_before { path; content = build_content c })
+      (content kids)
+  | Tree.Element (("xupdate:insert-after" as instr), kids) ->
+    let path = require_select instr kids in
+    (* Reversed so consecutive insert-afters preserve content order. *)
+    List.rev_map
+      (fun c -> Op.Insert_after { path; content = build_content c })
+      (content kids)
+  | Tree.Element (name, _) -> fail "unknown XUpdate instruction %s" name
+  | Tree.Text _ -> fail "unexpected text at modification level"
+  | Tree.Attr _ | Tree.Comment _ -> []
+
+let ops_of_tree = function
+  | Tree.Element ("xupdate:modifications", kids) ->
+    List.concat_map op_of_instruction (content kids)
+  | t -> fail "expected <xupdate:modifications>, found %s" (Tree.name t)
+
+let ops_of_string src = ops_of_tree (Xml_parse.fragment_of_string src)
+
+let rec content_to_tree (c : Content.t) : Tree.t =
+  match c with
+  | Content.Attr (n, parts) ->
+    Tree.Element
+      ( "xupdate:attribute",
+        Tree.Attr ("name", n) :: List.map content_to_tree parts )
+  | Content.Element (n, kids) -> Tree.Element (n, List.map content_to_tree kids)
+  | Content.Comment s ->
+    (* Raw <!-- --> would be dropped on reparse; use the constructor. *)
+    Tree.Element ("xupdate:comment", [ Tree.Text s ])
+  | Content.Text s -> Tree.Text s
+  | Content.Value_of e ->
+    Tree.Element
+      ("xupdate:value-of", [ Tree.Attr ("select", Xpath.Ast.to_string e) ])
+
+let op_to_tree (op : Op.t) : Tree.t =
+  let select path = Tree.Attr ("select", Xpath.Ast.to_string path) in
+  match op with
+  | Op.Update { path; new_label } ->
+    Tree.Element ("xupdate:update", [ select path; Tree.Text new_label ])
+  | Op.Rename { path; new_label } ->
+    Tree.Element ("xupdate:rename", [ select path; Tree.Text new_label ])
+  | Op.Remove { path } -> Tree.Element ("xupdate:remove", [ select path ])
+  | Op.Append { path; content } ->
+    Tree.Element ("xupdate:append", [ select path; content_to_tree content ])
+  | Op.Insert_before { path; content } ->
+    Tree.Element
+      ("xupdate:insert-before", [ select path; content_to_tree content ])
+  | Op.Insert_after { path; content } ->
+    Tree.Element
+      ("xupdate:insert-after", [ select path; content_to_tree content ])
+
+let to_string ops =
+  Xml_print.fragment_to_string ~indent:true
+    (Tree.Element
+       ( "xupdate:modifications",
+         Tree.Attr ("version", "1.0")
+         :: Tree.Attr ("xmlns:xupdate", "http://www.xmldb.org/xupdate")
+         :: List.map op_to_tree ops ))

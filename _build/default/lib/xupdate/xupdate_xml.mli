@@ -1,0 +1,24 @@
+(** The XUpdate XML wire syntax (Laux & Martin, xmldb.org working draft):
+    parses an [<xupdate:modifications>] document into {!Op.t} values.
+
+    Supported instructions: [xupdate:update], [xupdate:rename],
+    [xupdate:append], [xupdate:insert-before], [xupdate:insert-after],
+    [xupdate:remove].  Content may mix literal XML with the
+    [xupdate:element] / [xupdate:attribute] / [xupdate:text] /
+    [xupdate:comment] constructors.
+
+    An insertion instruction containing several top-level content nodes
+    expands into one {!Op.t} per node (ordered so the result preserves
+    content order). *)
+
+exception Error of string
+
+val ops_of_string : string -> Op.t list
+(** @raise Error on malformed modification documents,
+    [Xmldoc.Xml_parse.Error] on malformed XML,
+    [Xpath.Parser.Error] on a bad [select] path. *)
+
+val ops_of_tree : Xmldoc.Tree.t -> Op.t list
+
+val to_string : Op.t list -> string
+(** Re-prints operations as an [<xupdate:modifications>] document. *)

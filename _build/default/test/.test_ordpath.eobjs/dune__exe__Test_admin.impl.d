@@ -1,0 +1,1 @@
+test/test_admin.ml: Alcotest Core List Xmldoc

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Core Document List Node Ordpath Printf QCheck Tree Workload Xml_parse Xmldoc Xpath Xupdate

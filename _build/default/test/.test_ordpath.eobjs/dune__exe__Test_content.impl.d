@@ -1,0 +1,1 @@
+test/test_content.ml: Alcotest Baselines Core Document List Printf Tree Xml_parse Xmldoc Xpath Xupdate

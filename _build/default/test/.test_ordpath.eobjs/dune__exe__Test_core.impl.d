@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Core Document Format List Node Option Ordpath Printf QCheck QCheck_alcotest String Tree Xml_parse Xml_print Xmldoc Xupdate

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_deep.ml: Alcotest Core Datalog Document List Node Ordpath Tree Workload Xml_parse Xml_print Xmldoc Xupdate

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Core Datalog Document List Node Option Ordpath Printf QCheck Tree Xml_parse Xmldoc Xupdate

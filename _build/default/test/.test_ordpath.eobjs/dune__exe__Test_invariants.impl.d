@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Core Document Invariants List Node Ordpath QCheck QCheck_alcotest Tree Workload Xmldoc Xupdate

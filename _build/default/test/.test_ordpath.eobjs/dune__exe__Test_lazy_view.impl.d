@@ -1,0 +1,1 @@
+test/test_lazy_view.ml: Alcotest Core Document List Node Ordpath Printf QCheck QCheck_alcotest Tree Workload Xml_print Xmldoc Xpath

@@ -1,0 +1,1 @@
+test/test_lazy_view.mli:

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Core List String Workload Xmldoc

@@ -1,0 +1,1 @@
+test/test_lsdx.ml: Alcotest List Lsdx Ordpath QCheck QCheck_alcotest Stdlib

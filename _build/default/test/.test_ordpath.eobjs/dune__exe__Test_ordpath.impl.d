@@ -1,0 +1,1 @@
+test/test_ordpath.ml: Alcotest List Ordpath Printf QCheck QCheck_alcotest

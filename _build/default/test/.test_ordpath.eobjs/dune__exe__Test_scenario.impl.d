@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Core Document Filename List Schema Tree Xml_parse Xml_print Xmldoc Xpath Xupdate

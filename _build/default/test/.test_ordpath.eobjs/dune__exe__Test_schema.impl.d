@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Core List Printf QCheck QCheck_alcotest Schema String Xml_parse Xmldoc Xupdate

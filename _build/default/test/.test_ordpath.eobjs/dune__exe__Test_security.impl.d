@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Baselines Core Document Format List Node Ordpath QCheck QCheck_alcotest String Tree Workload Xml_print Xmldoc Xupdate

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Core Document Fun List Node Option Printf String Workload Xmldoc Xpath

@@ -1,0 +1,1 @@
+test/test_xmldoc.ml: Alcotest Document List Node Option Ordpath QCheck QCheck_alcotest Tree Xml_parse Xml_print Xmldoc

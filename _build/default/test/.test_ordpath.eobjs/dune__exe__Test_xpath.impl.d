@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Document Format List Node Option Ordpath Printf QCheck QCheck_alcotest Xml_parse Xmldoc Xpath

@@ -1,0 +1,1 @@
+test/test_xpath_extra.ml: Alcotest Document Float List Node Option Ordpath Printf QCheck QCheck_alcotest String Xml_parse Xmldoc Xpath

@@ -1,0 +1,1 @@
+test/test_xslt.ml: Alcotest Core Document List Ordpath Printf QCheck QCheck_alcotest String Tree Workload Xml_parse Xml_print Xmldoc Xpath Xslt

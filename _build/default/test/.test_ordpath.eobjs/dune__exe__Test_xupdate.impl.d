@@ -1,0 +1,1 @@
+test/test_xupdate.ml: Alcotest Core Document List Node Option Ordpath QCheck QCheck_alcotest Tree Xml_parse Xmldoc Xupdate

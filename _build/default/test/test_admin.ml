@@ -1,0 +1,234 @@
+(* Tests for the administration / delegation model (the [10] extension the
+   paper references in §4.3): ownership, grant option, cascading
+   revocation. *)
+
+let subjects =
+  Core.Subject.of_list
+    [
+      (Core.Subject.Role, "staff", []);
+      (Core.Subject.User, "owner", []);
+      (Core.Subject.User, "alice", [ "staff" ]);
+      (Core.Subject.User, "bob", [ "staff" ]);
+      (Core.Subject.User, "carol", [ "staff" ]);
+    ]
+
+let doc () =
+  Xmldoc.Xml_parse.of_string
+    "<library><book>ocaml</book><book>xml</book><journal>vldb</journal></library>"
+
+let fresh () = Core.Admin.create ~owner:"owner" (Core.Policy.v subjects [])
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let err name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error _ -> ()
+
+let test_owner_can_grant () =
+  let admin = fresh () in
+  let admin =
+    ok (Core.Admin.grant admin (doc ()) ~issuer:"owner" Core.Privilege.Read
+          ~path:"//book" ~subject:"alice")
+  in
+  Alcotest.(check int) "one rule" 1
+    (List.length (Core.Policy.rules (Core.Admin.policy admin)));
+  Alcotest.(check (option string)) "attributed to owner" (Some "owner")
+    (Core.Admin.issuer_of admin
+       ~priority:(List.hd (Core.Policy.rules (Core.Admin.policy admin))).priority)
+
+let test_non_owner_needs_delegation () =
+  let admin = fresh () in
+  err "no authority"
+    (Core.Admin.grant admin (doc ()) ~issuer:"alice" Core.Privilege.Read
+       ~path:"//book" ~subject:"bob");
+  (* Delegate read over //book to alice. *)
+  let admin =
+    ok (Core.Admin.delegate admin (doc ()) ~issuer:"owner" Core.Privilege.Read
+          ~path:"//book" ~subject:"alice")
+  in
+  (* Now alice may grant within the delegated scope... *)
+  let admin2 =
+    ok (Core.Admin.grant admin (doc ()) ~issuer:"alice" Core.Privilege.Read
+          ~path:"//book[1]" ~subject:"bob")
+  in
+  Alcotest.(check int) "granted" 1
+    (List.length (Core.Policy.rules (Core.Admin.policy admin2)));
+  (* ... but not outside it (journal), not for other privileges, and not
+     delegate further (no grant option). *)
+  err "outside scope"
+    (Core.Admin.grant admin (doc ()) ~issuer:"alice" Core.Privilege.Read
+       ~path:"//journal" ~subject:"bob");
+  err "wrong privilege"
+    (Core.Admin.grant admin (doc ()) ~issuer:"alice" Core.Privilege.Delete
+       ~path:"//book" ~subject:"bob");
+  err "no grant option"
+    (Core.Admin.delegate admin (doc ()) ~issuer:"alice" Core.Privilege.Read
+       ~path:"//book" ~subject:"bob")
+
+let test_grant_option_chain () =
+  let admin = fresh () in
+  let admin =
+    ok (Core.Admin.delegate admin (doc ()) ~issuer:"owner" ~with_option:true
+          Core.Privilege.Read ~path:"//book" ~subject:"alice")
+  in
+  (* alice re-delegates to bob (she holds the option). *)
+  let admin =
+    ok (Core.Admin.delegate admin (doc ()) ~issuer:"alice"
+          Core.Privilege.Read ~path:"//book" ~subject:"bob")
+  in
+  (* bob can now grant. *)
+  let admin =
+    ok (Core.Admin.grant admin (doc ()) ~issuer:"bob" Core.Privilege.Read
+          ~path:"//book" ~subject:"carol")
+  in
+  Alcotest.(check int) "two delegations" 2
+    (List.length (Core.Admin.delegations admin));
+  Alcotest.(check int) "one rule" 1
+    (List.length (Core.Policy.rules (Core.Admin.policy admin)))
+
+let test_cascading_revocation () =
+  let d = doc () in
+  let admin = fresh () in
+  let admin =
+    ok (Core.Admin.delegate admin d ~issuer:"owner" ~with_option:true
+          Core.Privilege.Read ~path:"//book" ~subject:"alice")
+  in
+  let root_delegation = List.hd (Core.Admin.delegations admin) in
+  let admin =
+    ok (Core.Admin.delegate admin d ~issuer:"alice" Core.Privilege.Read
+          ~path:"//book" ~subject:"bob")
+  in
+  let admin =
+    ok (Core.Admin.grant admin d ~issuer:"bob" Core.Privilege.Read
+          ~path:"//book" ~subject:"carol")
+  in
+  (* Revoking the root delegation cascades through alice's delegation to
+     bob and bob's rule for carol. *)
+  let admin =
+    ok (Core.Admin.revoke_delegation admin d ~issuer:"owner"
+          ~timestamp:root_delegation.timestamp)
+  in
+  Alcotest.(check int) "all delegations gone" 0
+    (List.length (Core.Admin.delegations admin));
+  Alcotest.(check int) "dependent rule gone" 0
+    (List.length (Core.Policy.rules (Core.Admin.policy admin)))
+
+let test_cascade_spares_independent_grants () =
+  let d = doc () in
+  let admin = fresh () in
+  (* Two independent delegations to alice and bob. *)
+  let admin =
+    ok (Core.Admin.delegate admin d ~issuer:"owner" Core.Privilege.Read
+          ~path:"//book" ~subject:"alice")
+  in
+  let keep = List.hd (Core.Admin.delegations admin) in
+  let admin =
+    ok (Core.Admin.delegate admin d ~issuer:"owner" Core.Privilege.Read
+          ~path:"//journal" ~subject:"bob")
+  in
+  let admin =
+    ok (Core.Admin.grant admin d ~issuer:"alice" Core.Privilege.Read
+          ~path:"//book" ~subject:"carol")
+  in
+  let admin =
+    ok (Core.Admin.grant admin d ~issuer:"bob" Core.Privilege.Read
+          ~path:"//journal" ~subject:"carol")
+  in
+  (* Revoke bob's delegation: only bob's grant disappears. *)
+  let bob_delegation =
+    List.find
+      (fun (dg : Core.Admin.delegation) -> dg.subject = "bob")
+      (Core.Admin.delegations admin)
+  in
+  let admin =
+    ok (Core.Admin.revoke_delegation admin d ~issuer:"owner"
+          ~timestamp:bob_delegation.timestamp)
+  in
+  Alcotest.(check int) "alice's delegation survives" 1
+    (List.length (Core.Admin.delegations admin));
+  Alcotest.(check bool) "it is alice's" true
+    ((List.hd (Core.Admin.delegations admin)).timestamp = keep.timestamp);
+  let rules = Core.Policy.rules (Core.Admin.policy admin) in
+  Alcotest.(check int) "alice's grant survives" 1 (List.length rules);
+  Alcotest.(check string) "on books" "//book" (List.hd rules).path_src
+
+let test_revoke_rule_authority () =
+  let d = doc () in
+  let admin = fresh () in
+  let admin =
+    ok (Core.Admin.delegate admin d ~issuer:"owner" Core.Privilege.Read
+          ~path:"//book" ~subject:"alice")
+  in
+  let admin =
+    ok (Core.Admin.grant admin d ~issuer:"alice" Core.Privilege.Read
+          ~path:"//book" ~subject:"bob")
+  in
+  let rule = List.hd (Core.Policy.rules (Core.Admin.policy admin)) in
+  (* bob may not revoke alice's rule; alice and the owner may. *)
+  err "bob cannot revoke"
+    (Core.Admin.revoke_rule admin ~issuer:"bob" ~priority:rule.priority);
+  let by_alice =
+    ok (Core.Admin.revoke_rule admin ~issuer:"alice" ~priority:rule.priority)
+  in
+  Alcotest.(check int) "revoked by issuer" 0
+    (List.length (Core.Policy.rules (Core.Admin.policy by_alice)));
+  let by_owner =
+    ok (Core.Admin.revoke_rule admin ~issuer:"owner" ~priority:rule.priority)
+  in
+  Alcotest.(check int) "revoked by owner" 0
+    (List.length (Core.Policy.rules (Core.Admin.policy by_owner)))
+
+let test_admin_feeds_sessions () =
+  (* The administered policy drives ordinary sessions. *)
+  let d = doc () in
+  let admin = fresh () in
+  let admin =
+    ok (Core.Admin.grant admin d ~issuer:"owner" Core.Privilege.Read
+          ~path:"//node()" ~subject:"alice")
+  in
+  let session = Core.Session.login (Core.Admin.policy admin) d ~user:"alice" in
+  Alcotest.(check int) "alice sees the library" 7
+    (Core.View.visible_count (Core.Session.view session));
+  let bob = Core.Session.login (Core.Admin.policy admin) d ~user:"bob" in
+  Alcotest.(check int) "bob sees nothing" 0
+    (Core.View.visible_count (Core.Session.view bob))
+
+let test_unknown_subjects_rejected () =
+  let admin = fresh () in
+  err "unknown issuer"
+    (Core.Admin.grant admin (doc ()) ~issuer:"mallory" Core.Privilege.Read
+       ~path:"//book" ~subject:"alice");
+  err "unknown grantee"
+    (Core.Admin.grant admin (doc ()) ~issuer:"owner" Core.Privilege.Read
+       ~path:"//book" ~subject:"mallory");
+  match Core.Admin.create ~owner:"mallory" (Core.Policy.v subjects []) with
+  | exception Core.Subject.Unknown_subject _ -> ()
+  | _ -> Alcotest.fail "unknown owner should be rejected"
+
+let () =
+  Alcotest.run "admin"
+    [
+      ( "delegation",
+        [
+          Alcotest.test_case "owner grants" `Quick test_owner_can_grant;
+          Alcotest.test_case "delegation gates grants" `Quick
+            test_non_owner_needs_delegation;
+          Alcotest.test_case "grant-option chain" `Quick test_grant_option_chain;
+        ] );
+      ( "revocation",
+        [
+          Alcotest.test_case "cascade" `Quick test_cascading_revocation;
+          Alcotest.test_case "cascade spares independents" `Quick
+            test_cascade_spares_independent_grants;
+          Alcotest.test_case "rule revocation authority" `Quick
+            test_revoke_rule_authority;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "sessions" `Quick test_admin_feeds_sessions;
+          Alcotest.test_case "unknown subjects" `Quick
+            test_unknown_subjects_rejected;
+        ] );
+    ]

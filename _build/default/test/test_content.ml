@@ -1,0 +1,203 @@
+(* Tests for dynamic XUpdate content (xupdate:value-of): instantiation
+   semantics, the wire syntax, and — crucially — that the secure path
+   instantiates against the user's VIEW, so computed content cannot
+   smuggle invisible data into visible places. *)
+
+open Xmldoc
+module P = Core.Paper_example
+module Content = Xupdate.Content
+
+let doc () = Xml_parse.of_string P.document_xml
+
+let test_static_roundtrip () =
+  let tree =
+    Tree.element "a" [ Tree.attr "k" "v"; Tree.text "t"; Tree.element "b" [] ]
+  in
+  let c = Content.of_tree tree in
+  Alcotest.(check bool) "static" true (Content.is_static c);
+  (match Content.to_tree c with
+   | Some t -> Alcotest.(check bool) "roundtrip" true (Tree.equal tree t)
+   | None -> Alcotest.fail "expected static tree");
+  let dynamic =
+    Content.Element ("a", [ Content.Value_of (Xpath.Parser.parse ".") ])
+  in
+  Alcotest.(check bool) "dynamic" false (Content.is_static dynamic);
+  Alcotest.(check bool) "no static tree" true (Content.to_tree dynamic = None)
+
+let test_instantiate () =
+  let d = doc () in
+  let src = Xpath.Source.of_document d in
+  let franck = P.find d "franck" in
+  let content =
+    Content.Element
+      ( "summary",
+        [
+          Content.Attr
+            ( "who",
+              [ Content.Value_of (Xpath.Parser.parse "name(.)") ] );
+          Content.Text "diagnosis: ";
+          Content.Value_of (Xpath.Parser.parse "diagnosis");
+        ] )
+  in
+  let tree = Content.instantiate src ~context:franck content in
+  Alcotest.(check bool) "instantiated" true
+    (Tree.equal tree
+       (Tree.element "summary"
+          [ Tree.attr "who" "franck"; Tree.text "diagnosis: ";
+            Tree.text "tonsillitis" ]));
+  (* Empty evaluation yields no text node. *)
+  let empty =
+    Content.Element ("x", [ Content.Value_of (Xpath.Parser.parse "nothing") ])
+  in
+  Alcotest.(check bool) "empty value-of" true
+    (Tree.equal
+       (Content.instantiate src ~context:franck empty)
+       (Tree.element "x" []))
+
+let test_unsecured_apply_with_value_of () =
+  (* Append a summary into every patient, quoting its own service. *)
+  let d = doc () in
+  let op =
+    Xupdate.Op.append_content "/patients/*"
+      (Content.Element
+         ("svc-copy", [ Content.Value_of (Xpath.Parser.parse "service") ]))
+  in
+  let outcome = Xupdate.Apply.apply d op in
+  Alcotest.(check int) "two copies" 2 (List.length outcome.inserted);
+  Alcotest.(check (list string)) "per-target values"
+    [ "otolarynology"; "pneumology" ]
+    (List.map (Document.string_value outcome.doc) outcome.inserted)
+
+let test_wire_value_of () =
+  let ops =
+    Xupdate.Xupdate_xml.ops_of_string
+      {|<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:append select="/patients/franck">
+    <xupdate:element name="note">seen in <xupdate:value-of select="service"/></xupdate:element>
+  </xupdate:append>
+</xupdate:modifications>|}
+  in
+  let d = Xupdate.Apply.apply_all (doc ()) ops in
+  let note = Xpath.Eval.select_str d "/patients/franck/note" in
+  Alcotest.(check int) "one note" 1 (List.length note);
+  Alcotest.(check string) "value spliced" "seen in otolarynology"
+    (Document.string_value d (List.hd note));
+  (* Printing round-trips the value-of constructor. *)
+  let printed = Xupdate.Xupdate_xml.to_string ops in
+  let ops2 = Xupdate.Xupdate_xml.ops_of_string printed in
+  let d2 = Xupdate.Apply.apply_all (doc ()) ops2 in
+  Alcotest.(check bool) "same effect after reprint" true (Document.equal d d2)
+
+(* The crucial security case: a subject with insert-but-not-read tries to
+   copy secret content into a place it can read. *)
+let exfiltration_policy =
+  Core.Policy_lang.parse
+    {|role mole
+user spy isa mole
+grant read on /vault to mole
+grant read on /vault/public/descendant-or-self::node() to mole
+grant insert on /vault/public to mole|}
+
+let vault_xml =
+  {|<vault>
+  <public><board>hello</board></public>
+  <secret><code>1234</code></secret>
+</vault>|}
+
+let test_value_of_cannot_exfiltrate () =
+  let d = Xml_parse.of_string vault_xml in
+  (* Try to append <stolen>value-of //code</stolen> into the public area. *)
+  let op =
+    Xupdate.Op.append_content "/vault/public"
+      (Content.Element
+         ("stolen", [ Content.Value_of (Xpath.Parser.parse "//code") ]))
+  in
+  (* Under the source-write baseline the secret leaks. *)
+  let d_baseline, report =
+    Baselines.Source_write.apply exfiltration_policy d ~user:"spy" op
+  in
+  Alcotest.(check int) "baseline inserts" 1 (List.length report.inserted);
+  Alcotest.(check string) "baseline leaks the code" "1234"
+    (Document.string_value d_baseline (List.hd report.inserted));
+  (* Under the secure path the value-of runs on the view: no code there. *)
+  let session = Core.Session.login exfiltration_policy d ~user:"spy" in
+  let session, secure_report = Core.Secure_update.apply session op in
+  Alcotest.(check int) "secure insert applied" 1
+    (List.length secure_report.inserted);
+  Alcotest.(check string) "nothing exfiltrated" ""
+    (Document.string_value (Core.Session.source session)
+       (List.hd secure_report.inserted));
+  (* With position granted, the masked label is all that can be copied —
+     the probe must even address the node by its RESTRICTED view label,
+     because that is the only name the spy's view exposes. *)
+  let policy2 =
+    Core.Policy.grant exfiltration_policy Core.Privilege.Position
+      ~path:"//secret/descendant-or-self::node()" ~subject:"mole"
+  in
+  let masked_probe =
+    Xupdate.Op.append_content "/vault/public"
+      (Content.Element
+         ("stolen", [ Content.Value_of (Xpath.Parser.parse "//RESTRICTED") ]))
+  in
+  let session2 = Core.Session.login policy2 d ~user:"spy" in
+  let session2, report2 = Core.Secure_update.apply session2 masked_probe in
+  Alcotest.(check string) "only the mask is visible" "RESTRICTED"
+    (Document.string_value (Core.Session.source session2)
+       (List.hd report2.inserted))
+
+let test_datalog_parity_with_value_of () =
+  (* The logic encoding instantiates per target on the view, so parity
+     holds for dynamic content too. *)
+  let cases =
+    [
+      (P.laporte,
+       Xupdate.Op.append_content "//diagnosis"
+         (Content.Element
+            ("copy", [ Content.Value_of (Xpath.Parser.parse "..") ])));
+      (P.beaufort,
+       Xupdate.Op.insert_after_content "/patients/franck"
+         (Content.Element
+            ("echo", [ Content.Value_of (Xpath.Parser.parse "service") ])));
+    ]
+  in
+  List.iteri
+    (fun i (user, op) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parity case %d" i)
+        true
+        (Core.Logic_encoding.update_parity (P.login user) op))
+    cases
+
+let test_wire_errors () =
+  List.iter
+    (fun src ->
+      match Xupdate.Xupdate_xml.ops_of_string src with
+      | exception Xupdate.Xupdate_xml.Error _ -> ()
+      | _ -> Alcotest.failf "%S should fail" src)
+    [
+      (* value-of without select *)
+      "<xupdate:modifications><xupdate:append select='/a'><xupdate:value-of/></xupdate:append></xupdate:modifications>";
+      (* element inside attribute *)
+      "<xupdate:modifications><xupdate:append select='/a'><xupdate:attribute name='k'><b/></xupdate:attribute></xupdate:append></xupdate:modifications>";
+    ]
+
+let () =
+  Alcotest.run "content"
+    [
+      ( "instantiation",
+        [
+          Alcotest.test_case "static roundtrip" `Quick test_static_roundtrip;
+          Alcotest.test_case "instantiate" `Quick test_instantiate;
+          Alcotest.test_case "unsecured apply" `Quick
+            test_unsecured_apply_with_value_of;
+          Alcotest.test_case "wire syntax" `Quick test_wire_value_of;
+          Alcotest.test_case "wire errors" `Quick test_wire_errors;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "value-of cannot exfiltrate" `Quick
+            test_value_of_cannot_exfiltrate;
+          Alcotest.test_case "datalog parity" `Quick
+            test_datalog_parity_with_value_of;
+        ] );
+    ]

@@ -1,0 +1,758 @@
+(* Tests for the security model: subject closure (§4.2), conflict
+   resolution (§4.3), view derivation (§4.4.1), secure updates (§4.4.2),
+   the policy language, explanation, and Datalog parity with the paper's
+   axioms. *)
+
+open Xmldoc
+module P = Core.Paper_example
+
+let view_labels session =
+  List.map (fun (n : Node.t) -> n.label)
+    (Document.nodes (Core.Session.view session))
+
+let source_labels session =
+  List.map (fun (n : Node.t) -> n.label)
+    (Document.nodes (Core.Session.source session))
+
+let all_labels =
+  [
+    "/"; "patients";
+    "franck"; "service"; "otolarynology"; "diagnosis"; "tonsillitis";
+    "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+  ]
+
+(* --- subjects (fig. 3) ------------------------------------------------ *)
+
+let test_subject_closure () =
+  let s = P.subjects in
+  Alcotest.(check (list string)) "beaufort's ancestors"
+    [ "beaufort"; "secretary"; "staff" ]
+    (Core.Subject.ancestors s "beaufort");
+  Alcotest.(check bool) "reflexive" true (Core.Subject.isa s "staff" "staff");
+  Alcotest.(check bool) "transitive" true (Core.Subject.isa s "laporte" "staff");
+  Alcotest.(check bool) "patients are not staff" false
+    (Core.Subject.isa s "robert" "staff");
+  Alcotest.(check bool) "no reverse edge" false
+    (Core.Subject.isa s "staff" "doctor")
+
+let test_subject_cycles () =
+  let s = Core.Subject.of_list
+      [ (Core.Subject.Role, "a", []); (Core.Subject.Role, "b", [ "a" ]) ]
+  in
+  (match Core.Subject.add_isa s ~sub:"a" ~super:"b" with
+   | exception Core.Subject.Cycle _ -> ()
+   | _ -> Alcotest.fail "cycle should be rejected");
+  (match Core.Subject.add_isa s ~sub:"a" ~super:"a" with
+   | exception Core.Subject.Cycle _ -> ()
+   | _ -> Alcotest.fail "self-loop should be rejected");
+  (match Core.Subject.add_isa s ~sub:"a" ~super:"missing" with
+   | exception Core.Subject.Unknown_subject _ -> ()
+   | _ -> Alcotest.fail "unknown super should be rejected")
+
+let test_multiple_inheritance () =
+  let s =
+    Core.Subject.of_list
+      [
+        (Core.Subject.Role, "nurse", []);
+        (Core.Subject.Role, "admin", []);
+        (Core.Subject.User, "carla", [ "nurse"; "admin" ]);
+      ]
+  in
+  Alcotest.(check (list string)) "both roles"
+    [ "admin"; "carla"; "nurse" ]
+    (Core.Subject.ancestors s "carla")
+
+(* --- perm (axiom 14) --------------------------------------------------- *)
+
+let test_perm_secretary () =
+  let session = P.login P.beaufort in
+  let doc = Core.Session.source session in
+  let tonsillitis = P.find doc "tonsillitis" in
+  let diagnosis = P.find doc "diagnosis" in
+  let franck = P.find doc "franck" in
+  let patients = P.find doc "patients" in
+  let holds = Core.Session.holds session in
+  Alcotest.(check bool) "read on franck" true (holds Core.Privilege.Read franck);
+  Alcotest.(check bool) "read on diagnosis element" true
+    (holds Core.Privilege.Read diagnosis);
+  Alcotest.(check bool) "no read on diagnosis text" false
+    (holds Core.Privilege.Read tonsillitis);
+  Alcotest.(check bool) "position on diagnosis text" true
+    (holds Core.Privilege.Position tonsillitis);
+  Alcotest.(check bool) "insert on patients" true
+    (holds Core.Privilege.Insert patients);
+  Alcotest.(check bool) "update on patient elements" true
+    (holds Core.Privilege.Update franck);
+  Alcotest.(check bool) "no delete anywhere" false
+    (holds Core.Privilege.Delete franck)
+
+let test_perm_priority_override () =
+  (* A later grant cancels an earlier deny, and vice versa. *)
+  let subjects =
+    Core.Subject.of_list [ (Core.Subject.User, "u", []) ]
+  in
+  let doc = Xml_parse.of_string "<a><b>x</b></a>" in
+  let policy0 = Core.Policy.v subjects [] in
+  let p1 = Core.Policy.grant policy0 Core.Privilege.Read ~path:"//node()" ~subject:"u" in
+  let p2 = Core.Policy.deny p1 Core.Privilege.Read ~path:"//b" ~subject:"u" in
+  let p3 = Core.Policy.grant p2 Core.Privilege.Read ~path:"//b" ~subject:"u" in
+  let b = P.find doc "b" in
+  let s2 = Core.Session.login p2 doc ~user:"u" in
+  let s3 = Core.Session.login p3 doc ~user:"u" in
+  Alcotest.(check bool) "denied after deny" false
+    (Core.Session.holds s2 Core.Privilege.Read b);
+  Alcotest.(check bool) "restored by regrant" true
+    (Core.Session.holds s3 Core.Privilege.Read b);
+  (* Closed world: no rule means no privilege. *)
+  let s0 = Core.Session.login policy0 doc ~user:"u" in
+  Alcotest.(check bool) "closed world" false
+    (Core.Session.holds s0 Core.Privilege.Read b)
+
+let test_perm_user_variable () =
+  let session = P.login P.robert in
+  let doc = Core.Session.source session in
+  Alcotest.(check bool) "robert reads his record" true
+    (Core.Session.holds session Core.Privilege.Read (P.find doc "robert"));
+  Alcotest.(check bool) "robert cannot read franck" false
+    (Core.Session.holds session Core.Privilege.Read (P.find doc "franck"))
+
+(* --- views (§4.4.1) ---------------------------------------------------- *)
+
+let test_view_secretary () =
+  let session = P.login P.beaufort in
+  Alcotest.(check (list string)) "diagnosis contents RESTRICTED"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology"; "diagnosis"; "RESTRICTED";
+      "robert"; "service"; "pneumology"; "diagnosis"; "RESTRICTED";
+    ]
+    (view_labels session)
+
+let test_view_patient () =
+  let session = P.login P.robert in
+  Alcotest.(check (list string)) "own record only"
+    [ "/"; "patients"; "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia" ]
+    (view_labels session)
+
+let test_view_epidemiologist () =
+  let session = P.login P.richard in
+  Alcotest.(check (list string)) "patient names RESTRICTED"
+    [
+      "/"; "patients";
+      "RESTRICTED"; "service"; "otolarynology"; "diagnosis"; "tonsillitis";
+      "RESTRICTED"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (view_labels session)
+
+let test_view_doctor () =
+  let session = P.login P.laporte in
+  Alcotest.(check (list string)) "doctors see everything" all_labels
+    (view_labels session)
+
+let test_view_pruning () =
+  (* Fig. 1: denying both read and position on a node hides its whole
+     subtree, even parts that would otherwise be readable. *)
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  let doc = Xml_parse.of_string "<a><b><c>x</c></b><d/></a>" in
+  let policy =
+    Core.Policy.v subjects []
+    |> fun p -> Core.Policy.grant p Core.Privilege.Read ~path:"//node()" ~subject:"u"
+    |> fun p -> Core.Policy.deny p Core.Privilege.Read ~path:"//b" ~subject:"u"
+  in
+  let session = Core.Session.login policy doc ~user:"u" in
+  Alcotest.(check (list string)) "b's subtree pruned entirely"
+    [ "/"; "a"; "d" ]
+    (view_labels session);
+  (* Now grant position on b: the subtree reappears under RESTRICTED. *)
+  let policy2 =
+    Core.Policy.grant policy Core.Privilege.Position ~path:"//b" ~subject:"u"
+  in
+  let session2 = Core.Session.login policy2 doc ~user:"u" in
+  Alcotest.(check (list string)) "b RESTRICTED, subtree visible"
+    [ "/"; "a"; "RESTRICTED"; "c"; "x"; "d" ]
+    (view_labels session2)
+
+let test_view_ids_not_renumbered () =
+  let session = P.login P.robert in
+  let source = Core.Session.source session in
+  let view = Core.Session.view session in
+  Document.iter
+    (fun (n : Node.t) ->
+      match Document.find source n.id with
+      | Some m ->
+        Alcotest.(check bool) "same id and kind" true (m.kind = n.kind)
+      | None -> Alcotest.fail "view id absent from source")
+    view
+
+let test_queries_run_on_view () =
+  let session = P.login P.robert in
+  Alcotest.(check int) "robert sees one diagnosis" 1
+    (List.length (Core.Session.query session "//diagnosis"));
+  Alcotest.(check int) "source has two" 2
+    (List.length (Core.Session.query_source session "//diagnosis"));
+  let secretary = P.login P.beaufort in
+  Alcotest.(check int) "secretary sees two RESTRICTED nodes" 2
+    (List.length (Core.Session.query secretary "//diagnosis/node()"));
+  Alcotest.(check int) "RESTRICTED is addressable" 0
+    (List.length
+       (Core.Session.query secretary "//diagnosis/text()[. = 'tonsillitis']"))
+
+(* --- secure updates (§4.4.2) ------------------------------------------ *)
+
+let test_doctor_updates_diagnosis () =
+  let session = P.login P.laporte in
+  let op = Xupdate.Op.update "/patients/franck/diagnosis" "pharyngitis" in
+  let session, report = Core.Secure_update.apply session op in
+  Alcotest.(check bool) "fully applied" true
+    (Core.Secure_update.fully_applied report);
+  Alcotest.(check int) "one relabel" 1 (List.length report.relabelled);
+  Alcotest.(check (list string)) "diagnosis updated"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology"; "diagnosis"; "pharyngitis";
+      "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (source_labels session)
+
+let test_doctor_poses_diagnosis () =
+  let session = P.login P.laporte in
+  (* First remove franck's diagnosis content, then pose a new one. *)
+  let session, r1 =
+    Core.Secure_update.apply session
+      (Xupdate.Op.remove "/patients/franck/diagnosis/node()")
+  in
+  Alcotest.(check bool) "removal applied" true
+    (Core.Secure_update.fully_applied r1);
+  let session, r2 =
+    Core.Secure_update.apply session
+      (Xupdate.Op.append "/patients/franck/diagnosis" (Tree.text "laryngitis"))
+  in
+  Alcotest.(check bool) "append applied" true
+    (Core.Secure_update.fully_applied r2);
+  Alcotest.(check (list string)) "new diagnosis present"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology"; "diagnosis"; "laryngitis";
+      "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (source_labels session)
+
+let test_secretary_inserts_record () =
+  let session = P.login P.beaufort in
+  let albert =
+    Tree.element "albert"
+      [ Tree.element "service" [ Tree.text "cardiology" ];
+        Tree.element "diagnosis" [] ]
+  in
+  let session, report =
+    Core.Secure_update.apply session (Xupdate.Op.append "/patients" albert)
+  in
+  Alcotest.(check bool) "applied" true (Core.Secure_update.fully_applied report);
+  Alcotest.(check int) "one insert" 1 (List.length report.inserted);
+  Alcotest.(check int) "four new source nodes" 16
+    (Document.size (Core.Session.source session));
+  (* The secretary sees the new record (she created it and may read it). *)
+  Alcotest.(check int) "albert visible" 1
+    (List.length (Core.Session.query session "/patients/albert"))
+
+let test_secretary_renames_patient () =
+  let session = P.login P.beaufort in
+  let session, report =
+    Core.Secure_update.apply session
+      (Xupdate.Op.rename "/patients/franck" "francois")
+  in
+  Alcotest.(check bool) "applied" true (Core.Secure_update.fully_applied report);
+  Alcotest.(check int) "renamed" 1
+    (List.length (Core.Session.query session "/patients/francois"))
+
+let test_secretary_cannot_touch_diagnosis_text () =
+  let session = P.login P.beaufort in
+  (* xupdate:update on diagnosis needs update+read on the text child; the
+     secretary has neither. *)
+  let _, report =
+    Core.Secure_update.apply session
+      (Xupdate.Op.update "/patients/franck/diagnosis" "cured")
+  in
+  Alcotest.(check int) "denied" 1 (List.length report.denied);
+  Alcotest.(check int) "nothing relabelled" 0 (List.length report.relabelled);
+  (* Renaming the RESTRICTED node directly is also denied (it is a text
+     node, addressed with node(); an element shown RESTRICTED is
+     addressable by the RESTRICTED name test, cf. the next test). *)
+  let _, report2 =
+    Core.Secure_update.apply session
+      (Xupdate.Op.rename "/patients/franck/diagnosis/node()" "cured")
+  in
+  Alcotest.(check int) "rename denied" 1 (List.length report2.denied);
+  (match report2.denied with
+   | [ d ] ->
+     Alcotest.(check string) "update privilege missing first" "update"
+       (Core.Privilege.to_string d.privilege)
+   | _ -> Alcotest.fail "expected one denial")
+
+let test_restricted_rename_denied_on_read () =
+  (* A subject holding update but only position (not read) must not
+     rename: the prose of §4.4.2. *)
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  let doc = Xml_parse.of_string "<a><b>x</b></a>" in
+  let policy =
+    Core.Policy.v subjects []
+    |> fun p -> Core.Policy.grant p Core.Privilege.Read ~path:"/a" ~subject:"u"
+    |> fun p -> Core.Policy.grant p Core.Privilege.Position ~path:"//b" ~subject:"u"
+    |> fun p -> Core.Policy.grant p Core.Privilege.Update ~path:"//b" ~subject:"u"
+  in
+  let session = Core.Session.login policy doc ~user:"u" in
+  let _, report =
+    Core.Secure_update.apply session (Xupdate.Op.rename "/a/RESTRICTED" "c")
+  in
+  (match report.denied with
+   | [ d ] ->
+     Alcotest.(check string) "read denial" "read"
+       (Core.Privilege.to_string d.privilege)
+   | _ -> Alcotest.fail "expected exactly one denial");
+  Alcotest.(check int) "no relabel" 0 (List.length report.relabelled)
+
+let test_patient_cannot_reach_others () =
+  let session = P.login P.robert in
+  (* franck is not in robert's view: the operation selects nothing. *)
+  let _, report =
+    Core.Secure_update.apply session (Xupdate.Op.rename "/patients/franck" "x")
+  in
+  Alcotest.(check int) "no targets" 0 (List.length report.targets);
+  Alcotest.(check int) "no denials either" 0 (List.length report.denied)
+
+let test_remove_deletes_invisible_descendants () =
+  (* Axiom 25: confidentiality over integrity. *)
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  let doc = Xml_parse.of_string "<a><b><secret>s</secret><c/></b></a>" in
+  let policy =
+    Core.Policy.v subjects []
+    |> fun p -> Core.Policy.grant p Core.Privilege.Read ~path:"//node()" ~subject:"u"
+    |> fun p -> Core.Policy.deny p Core.Privilege.Read ~path:"//secret" ~subject:"u"
+    |> fun p -> Core.Policy.grant p Core.Privilege.Delete ~path:"//b" ~subject:"u"
+  in
+  let session = Core.Session.login policy doc ~user:"u" in
+  Alcotest.(check (list string)) "secret hidden" [ "/"; "a"; "b"; "c" ]
+    (view_labels session);
+  let session, report =
+    Core.Secure_update.apply session (Xupdate.Op.remove "//b")
+  in
+  Alcotest.(check bool) "applied" true (Core.Secure_update.fully_applied report);
+  Alcotest.(check (list string)) "secret removed too" [ "/"; "a" ]
+    (source_labels session)
+
+let test_insert_before_after () =
+  let session = P.login P.beaufort in
+  (* Secretaries hold insert on /patients, the parent of each record. *)
+  let session, r1 =
+    Core.Secure_update.apply session
+      (Xupdate.Op.insert_before "/patients/robert" (Tree.element "gaston" []))
+  in
+  Alcotest.(check bool) "before applied" true (Core.Secure_update.fully_applied r1);
+  let session, r2 =
+    Core.Secure_update.apply session
+      (Xupdate.Op.insert_after "/patients/robert" (Tree.element "henri" []))
+  in
+  Alcotest.(check bool) "after applied" true (Core.Secure_update.fully_applied r2);
+  Alcotest.(check (list string)) "sibling order"
+    [ "franck"; "gaston"; "robert"; "henri" ]
+    (List.map
+       (fun (n : Node.t) -> n.label)
+       (Document.element_children (Core.Session.source session)
+          (P.find (Core.Session.source session) "patients")))
+
+let test_insert_denied_without_privilege () =
+  let session = P.login P.richard in
+  (* Epidemiologists hold no insert privilege at all. *)
+  let _, report =
+    Core.Secure_update.apply session
+      (Xupdate.Op.append "/patients" (Tree.element "eve" []))
+  in
+  Alcotest.(check int) "denied" 1 (List.length report.denied);
+  (match report.denied with
+   | [ d ] ->
+     Alcotest.(check string) "insert" "insert"
+       (Core.Privilege.to_string d.privilege)
+   | _ -> Alcotest.fail "expected one denial")
+
+(* --- §2.2: the covert channel is closed -------------------------------- *)
+
+let covert_subjects =
+  Core.Subject.of_list
+    [ (Core.Subject.Role, "user_b", []); (Core.Subject.User, "spy", [ "user_b" ]) ]
+
+let covert_doc () =
+  Xml_parse.of_string
+    {|<employees>
+        <employee><name>alice</name><salary>3500</salary></employee>
+        <employee><name>bob</name><salary>2900</salary></employee>
+        <employee><name>carol</name><salary>4100</salary></employee>
+      </employees>|}
+
+(* user_B of §2.2: update privilege on the salary column, no read. *)
+let covert_policy =
+  Core.Policy.v covert_subjects []
+  |> fun p ->
+  Core.Policy.grant p Core.Privilege.Update ~path:"//salary/node()" ~subject:"user_b"
+  |> fun p ->
+  Core.Policy.grant p Core.Privilege.Update ~path:"//salary" ~subject:"user_b"
+
+let test_covert_channel_closed () =
+  let doc = covert_doc () in
+  (* The §2.2 probe: "UPDATE ... WHERE salary > 3000". *)
+  let probe = Xupdate.Op.update "//employee[salary > 3000]/salary" "9999" in
+  (* Unsecured evaluation on the source (the SQL / [10] behaviour):
+     the probe reveals there are two such employees. *)
+  let unsecured = Xupdate.Apply.apply doc probe in
+  Alcotest.(check int) "unsecured probe leaks 2 rows" 2
+    (List.length unsecured.relabelled);
+  (* Secured evaluation: the spy's view contains no salary values, so the
+     predicate can never consult them. *)
+  let session = Core.Session.login covert_policy doc ~user:"spy" in
+  Alcotest.(check (list string)) "spy sees nothing" [ "/" ]
+    (view_labels session);
+  let _, report = Core.Secure_update.apply session probe in
+  Alcotest.(check int) "secured probe selects nothing" 0
+    (List.length report.targets)
+
+(* --- policy language --------------------------------------------------- *)
+
+let test_policy_lang_roundtrip () =
+  let text = Core.Policy_lang.to_string P.policy in
+  let reparsed = Core.Policy_lang.parse text in
+  Alcotest.(check int) "same rule count"
+    (List.length (Core.Policy.rules P.policy))
+    (List.length (Core.Policy.rules reparsed));
+  Alcotest.(check bool) "rules equal" true
+    (List.equal Core.Rule.equal
+       (Core.Policy.rules P.policy)
+       (Core.Policy.rules reparsed));
+  (* Views derived from the reparsed policy are identical. *)
+  let s1 = Core.Session.login reparsed (P.document ()) ~user:P.beaufort in
+  let s2 = P.login P.beaufort in
+  Alcotest.(check bool) "same view" true
+    (Document.equal (Core.Session.view s1) (Core.Session.view s2))
+
+let test_policy_lang_errors () =
+  List.iter
+    (fun src ->
+      match Core.Policy_lang.parse src with
+      | exception Core.Policy_lang.Error _ -> ()
+      | _ -> Alcotest.failf "%S should fail" src)
+    [
+      "frob x";
+      "role";
+      "grant read //a to u";
+      "grant read on //a to nobody";
+      "user u isa ghost";
+      "grant fly on //a to u";
+      "role a\nrole b isa a\nisa a b";
+      "user u\ngrant read on //a to u priority 1\ndeny read on //a to u priority 1";
+    ]
+
+let test_policy_lang_quoted_paths () =
+  let p =
+    Core.Policy_lang.parse
+      "user u\ngrant read on \"//a[name() = 'x y']\" to u"
+  in
+  match Core.Policy.rules p with
+  | [ r ] -> Alcotest.(check string) "path kept" "//a[name() = 'x y']" r.path_src
+  | _ -> Alcotest.fail "expected one rule"
+
+(* --- explain ------------------------------------------------------------ *)
+
+let test_explain () =
+  let session = P.login P.beaufort in
+  let doc = Core.Session.source session in
+  let tonsillitis = P.find doc "tonsillitis" in
+  (match Core.Explain.visibility session tonsillitis with
+   | Core.Explain.Restricted { position; read_denied } ->
+     Alcotest.(check int) "position granted by rule 12" 12 position.priority;
+     (match read_denied with
+      | Some r -> Alcotest.(check int) "read denied by rule 11" 11 r.priority
+      | None -> Alcotest.fail "expected a deny rule")
+   | _ -> Alcotest.fail "expected Restricted");
+  let robert_session = P.login P.robert in
+  let franck = P.find doc "franck" in
+  (match Core.Explain.visibility robert_session franck with
+   | Core.Explain.Hidden { denied_by = None } -> ()
+   | _ -> Alcotest.fail "expected Hidden by closed world");
+  let pruned_session = P.login P.robert in
+  let tonsillitis_for_robert =
+    Core.Explain.visibility pruned_session tonsillitis
+  in
+  (match tonsillitis_for_robert with
+   | Core.Explain.Pruned _ | Core.Explain.Hidden _ -> ()
+   | _ -> Alcotest.fail "franck's diagnosis should be unreachable");
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec scan i = i + m <= n && (String.sub s i m = sub || scan (i + 1)) in
+    m = 0 || scan 0
+  in
+  let text = Core.Explain.describe session tonsillitis in
+  Alcotest.(check bool) "mentions RESTRICTED" true (contains text "RESTRICTED")
+
+(* --- datalog parity ------------------------------------------------------ *)
+
+let test_datalog_view_parity () =
+  List.iter
+    (fun user ->
+      Alcotest.(check bool)
+        (Printf.sprintf "view parity for %s" user)
+        true
+        (Core.Logic_encoding.view_parity (P.login user)))
+    [ P.beaufort; P.laporte; P.richard; P.robert; P.franck ]
+
+let test_datalog_perm_parity () =
+  List.iter
+    (fun user ->
+      Alcotest.(check bool)
+        (Printf.sprintf "perm parity for %s" user)
+        true
+        (Core.Logic_encoding.perm_parity (P.login user)))
+    [ P.beaufort; P.laporte; P.richard; P.robert ]
+
+let test_datalog_update_parity () =
+  let cases =
+    [
+      (P.laporte, Xupdate.Op.update "/patients/franck/diagnosis" "pharyngitis");
+      (P.laporte, Xupdate.Op.remove "//diagnosis/node()");
+      (P.laporte, Xupdate.Op.append "/patients/franck/diagnosis"
+         (Tree.text "flu"));
+      (P.beaufort, Xupdate.Op.rename "/patients/franck" "francois");
+      (P.beaufort, Xupdate.Op.update "/patients/franck/diagnosis" "cured");
+      (P.beaufort, Xupdate.Op.append "/patients"
+         (Tree.element "albert" [ Tree.element "service" [ Tree.text "cardio" ] ]));
+      (P.beaufort, Xupdate.Op.insert_before "/patients/robert"
+         (Tree.element "gaston" []));
+      (P.beaufort, Xupdate.Op.insert_after "/patients/franck"
+         (Tree.element "henri" []));
+      (P.richard, Xupdate.Op.remove "/patients/RESTRICTED");
+      (P.robert, Xupdate.Op.rename "/patients/robert" "bob");
+    ]
+  in
+  List.iteri
+    (fun i (user, op) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "update parity case %d (%s)" i user)
+        true
+        (Core.Logic_encoding.update_parity (P.login user) op))
+    cases
+
+(* --- properties ---------------------------------------------------------- *)
+
+let label_pool = [ "a"; "b"; "c"; "d"; "t1"; "t2" ]
+
+let doc_gen =
+  QCheck.Gen.(
+    let rec tree depth =
+      if depth = 0 then map Tree.text (oneofl [ "x"; "y"; "z" ])
+      else
+        frequency
+          [
+            (1, map Tree.text (oneofl [ "x"; "y"; "z" ]));
+            ( 3,
+              map2 Tree.element (oneofl label_pool)
+                (list_size (int_range 0 3) (tree (depth - 1))) );
+          ]
+    in
+    map2
+      (fun name kids -> Document.of_tree (Tree.element name kids))
+      (oneofl [ "root" ])
+      (list_size (int_range 0 4) (tree 2)))
+
+let policy_gen =
+  let subjects =
+    Core.Subject.of_list
+      [
+        (Core.Subject.Role, "r1", []);
+        (Core.Subject.Role, "r2", [ "r1" ]);
+        (Core.Subject.User, "u", [ "r2" ]);
+      ]
+  in
+  QCheck.Gen.(
+    let path =
+      oneofl
+        ([ "//node()"; "/root"; "/root/node()"; "//text()" ]
+        @ List.concat_map
+            (fun l -> [ "//" ^ l; "//" ^ l ^ "/node()"; "/root/" ^ l ])
+            label_pool)
+    in
+    let rule_gen i =
+      map3
+        (fun decision priv path ->
+          Core.Rule.v decision priv ~path ~subject:(if i mod 2 = 0 then "r1" else "r2")
+            ~priority:(i + 1))
+        (oneofl [ Core.Rule.Accept; Core.Rule.Deny ])
+        (oneofl Core.Privilege.all) path
+    in
+    sized_size (int_range 0 12) (fun n ->
+        let rec gen_rules i =
+          if i >= n then return []
+          else
+            rule_gen i >>= fun r ->
+            gen_rules (i + 1) >>= fun rest -> return (r :: rest)
+        in
+        map (fun rules -> Core.Policy.v subjects rules) (gen_rules 0)))
+
+let session_arb =
+  QCheck.make
+    ~print:(fun (doc, policy) ->
+      Xml_print.to_string doc ^ "\n" ^ Core.Policy_lang.to_string policy)
+    QCheck.Gen.(pair doc_gen policy_gen)
+
+let prop_view_parent_closed =
+  QCheck.Test.make ~count:120 ~name:"views are parent-closed and label-correct"
+    session_arb
+    (fun (doc, policy) ->
+      let session = Core.Session.login policy doc ~user:"u" in
+      let view = Core.Session.view session in
+      let perm = Core.Session.perm session in
+      Document.fold
+        (fun (n : Node.t) ok ->
+          ok
+          &&
+          if n.kind = Node.Document then true
+          else
+            let parent_in =
+              match Ordpath.parent n.id with
+              | None -> false
+              | Some p -> Document.mem view p
+            in
+            let source_label = Option.get (Document.label doc n.id) in
+            parent_in
+            && (if Core.Perm.holds perm Core.Privilege.Read n.id then
+                  String.equal n.label source_label
+                else
+                  String.equal n.label Core.View.restricted
+                  && Core.Perm.holds perm Core.Privilege.Position n.id))
+        view true)
+
+let prop_view_datalog_parity =
+  QCheck.Test.make ~count:60 ~name:"datalog view parity on random sessions"
+    session_arb
+    (fun (doc, policy) ->
+      Core.Logic_encoding.view_parity (Core.Session.login policy doc ~user:"u"))
+
+let op_gen =
+  QCheck.Gen.(
+    let path =
+      oneofl
+        ([ "//node()"; "/root" ]
+        @ List.map (fun l -> "//" ^ l) label_pool)
+    in
+    let tree = return (Tree.element "new" [ Tree.text "v" ]) in
+    oneof
+      [
+        map (fun p -> Xupdate.Op.rename p "renamed") path;
+        map (fun p -> Xupdate.Op.update p "updated") path;
+        map2 (fun p t -> Xupdate.Op.append p t) path tree;
+        map2 (fun p t -> Xupdate.Op.insert_before p t) path tree;
+        map2 (fun p t -> Xupdate.Op.insert_after p t) path tree;
+        map (fun p -> Xupdate.Op.remove p) path;
+      ])
+
+let prop_update_datalog_parity =
+  QCheck.Test.make ~count:80 ~name:"datalog dbnew parity on random updates"
+    (QCheck.make
+       ~print:(fun ((doc, policy), op) ->
+         Xml_print.to_string doc ^ "\n"
+         ^ Core.Policy_lang.to_string policy
+         ^ "\n" ^ Format.asprintf "%a" Xupdate.Op.pp op)
+       QCheck.Gen.(pair (pair doc_gen policy_gen) op_gen))
+    (fun ((doc, policy), op) ->
+      Core.Logic_encoding.update_parity
+        (Core.Session.login policy doc ~user:"u")
+        op)
+
+let prop_secure_targets_in_view =
+  QCheck.Test.make ~count:100
+    ~name:"secure update targets always lie in the view"
+    (QCheck.make
+       ~print:(fun ((doc, policy), op) ->
+         Xml_print.to_string doc ^ "\n"
+         ^ Core.Policy_lang.to_string policy
+         ^ "\n" ^ Format.asprintf "%a" Xupdate.Op.pp op)
+       QCheck.Gen.(pair (pair doc_gen policy_gen) op_gen))
+    (fun ((doc, policy), op) ->
+      let session = Core.Session.login policy doc ~user:"u" in
+      let view = Core.Session.view session in
+      let _, report = Core.Secure_update.apply session op in
+      List.for_all (Document.mem view) report.targets)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_view_parent_closed;
+        prop_view_datalog_parity;
+        prop_update_datalog_parity;
+        prop_secure_targets_in_view;
+      ]
+  in
+  Alcotest.run "core"
+    [
+      ( "subjects",
+        [
+          Alcotest.test_case "closure" `Quick test_subject_closure;
+          Alcotest.test_case "cycles" `Quick test_subject_cycles;
+          Alcotest.test_case "multiple inheritance" `Quick
+            test_multiple_inheritance;
+        ] );
+      ( "perm",
+        [
+          Alcotest.test_case "secretary privileges" `Quick test_perm_secretary;
+          Alcotest.test_case "priority override" `Quick
+            test_perm_priority_override;
+          Alcotest.test_case "$USER rules" `Quick test_perm_user_variable;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "secretary" `Quick test_view_secretary;
+          Alcotest.test_case "patient" `Quick test_view_patient;
+          Alcotest.test_case "epidemiologist" `Quick test_view_epidemiologist;
+          Alcotest.test_case "doctor" `Quick test_view_doctor;
+          Alcotest.test_case "pruning vs RESTRICTED" `Quick test_view_pruning;
+          Alcotest.test_case "no renumbering" `Quick
+            test_view_ids_not_renumbered;
+          Alcotest.test_case "queries on view" `Quick test_queries_run_on_view;
+        ] );
+      ( "secure updates",
+        [
+          Alcotest.test_case "doctor updates diagnosis" `Quick
+            test_doctor_updates_diagnosis;
+          Alcotest.test_case "doctor poses diagnosis" `Quick
+            test_doctor_poses_diagnosis;
+          Alcotest.test_case "secretary inserts record" `Quick
+            test_secretary_inserts_record;
+          Alcotest.test_case "secretary renames patient" `Quick
+            test_secretary_renames_patient;
+          Alcotest.test_case "secretary blocked on diagnosis" `Quick
+            test_secretary_cannot_touch_diagnosis_text;
+          Alcotest.test_case "RESTRICTED rename needs read" `Quick
+            test_restricted_rename_denied_on_read;
+          Alcotest.test_case "patient reaches own record only" `Quick
+            test_patient_cannot_reach_others;
+          Alcotest.test_case "remove deletes invisible nodes" `Quick
+            test_remove_deletes_invisible_descendants;
+          Alcotest.test_case "insert before/after" `Quick
+            test_insert_before_after;
+          Alcotest.test_case "insert denied" `Quick
+            test_insert_denied_without_privilege;
+          Alcotest.test_case "covert channel closed (§2.2)" `Quick
+            test_covert_channel_closed;
+        ] );
+      ( "policy language",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_policy_lang_roundtrip;
+          Alcotest.test_case "errors" `Quick test_policy_lang_errors;
+          Alcotest.test_case "quoted paths" `Quick test_policy_lang_quoted_paths;
+        ] );
+      ("explain", [ Alcotest.test_case "visibility" `Quick test_explain ]);
+      ( "datalog parity",
+        [
+          Alcotest.test_case "views" `Quick test_datalog_view_parity;
+          Alcotest.test_case "perms" `Quick test_datalog_perm_parity;
+          Alcotest.test_case "updates" `Quick test_datalog_update_parity;
+        ] );
+      ("property", qsuite);
+    ]

@@ -1,0 +1,211 @@
+(* Tests for the Datalog engine: parsing, safety, stratification, and
+   semi-naive vs naive evaluation. *)
+
+module T = Datalog.Term
+module C = Datalog.Clause
+
+let solve_facts edb program pred =
+  let db = Datalog.Eval.solve edb program in
+  Datalog.Db.facts db pred
+
+let program = Datalog.Parse.program
+
+let edb_of_strings atoms =
+  List.fold_left
+    (fun db s -> Datalog.Db.add db (Datalog.Parse.atom s))
+    Datalog.Db.empty atoms
+
+let test_parse () =
+  let c =
+    Datalog.Parse.clause
+      "perm(S, N, R) :- isa(S, S2), rule(accept, R, P, S2, T), not bad(S), T > 3."
+  in
+  Alcotest.(check string) "prints back"
+    "perm(S, N, R) :- isa(S, S2), rule(accept, R, P, S2, T), not bad(S), T > 3."
+    (C.to_string c);
+  let facts = program "a(1). b(x, 'hello world'). c." in
+  Alcotest.(check int) "three facts" 3 (List.length facts);
+  (match program "p(X) :- q(X)" with
+   | [ c ] -> Alcotest.(check string) "final period optional" "p(X) :- q(X)." (C.to_string c)
+   | _ -> Alcotest.fail "expected one clause")
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match program src with
+      | exception Datalog.Parse.Error _ -> ()
+      | _ -> Alcotest.failf "parse of %S should fail" src)
+    [ "p(X :- q(X)."; "p(X) :- ."; "P(x)."; "p(X) q(X)."; "p(X) :- not not q(X)." ]
+
+let test_safety () =
+  let unsafe = [
+    "p(X) :- q(Y).";
+    "p(X) :- q(X), not r(Y).";
+    "p(X) :- q(X), Y > 3.";
+  ] in
+  List.iter
+    (fun src ->
+      match Datalog.Eval.solve Datalog.Db.empty (program src) with
+      | exception Datalog.Eval.Unsafe _ -> ()
+      | _ -> Alcotest.failf "%S should be unsafe" src)
+    unsafe
+
+let test_transitive_closure () =
+  let edb =
+    edb_of_strings [ "edge(a, b)"; "edge(b, c)"; "edge(c, d)"; "edge(b, e)" ]
+  in
+  let prog =
+    program "path(X, Y) :- edge(X, Y). path(X, Z) :- edge(X, Y), path(Y, Z)."
+  in
+  let paths = solve_facts edb prog "path" in
+  Alcotest.(check int) "8 paths" 8 (List.length paths);
+  let db = Datalog.Eval.solve edb prog in
+  Alcotest.(check bool) "a->d" true
+    (Datalog.Db.mem db (Datalog.Parse.atom "path(a, d)"));
+  Alcotest.(check bool) "no d->a" false
+    (Datalog.Db.mem db (Datalog.Parse.atom "path(d, a)"))
+
+let test_negation () =
+  let edb = edb_of_strings [ "node(a)"; "node(b)"; "node(c)"; "edge(a, b)" ] in
+  let prog =
+    program
+      {|reachable(X) :- edge(a, X).
+        reachable(a) :- node(a).
+        unreachable(X) :- node(X), not reachable(X).|}
+  in
+  let unreachable = solve_facts edb prog "unreachable" in
+  Alcotest.(check (list string)) "only c"
+    [ "c" ]
+    (List.map (function [ T.Sym s ] -> s | _ -> "?") unreachable)
+
+let test_unstratifiable () =
+  let prog = program "p(X) :- q(X), not r(X). r(X) :- q(X), not p(X)." in
+  match Datalog.Eval.solve (edb_of_strings [ "q(a)" ]) prog with
+  | exception Datalog.Eval.Unstratifiable _ -> ()
+  | _ -> Alcotest.fail "expected Unstratifiable"
+
+let test_comparisons () =
+  let edb = edb_of_strings [ "n(1)"; "n(2)"; "n(3)"; "n(4)" ] in
+  let prog = program "big(X) :- n(X), X > 2. pair(X, Y) :- n(X), n(Y), X < Y." in
+  Alcotest.(check int) "big" 2 (List.length (solve_facts edb prog "big"));
+  Alcotest.(check int) "pairs" 6 (List.length (solve_facts edb prog "pair"))
+
+let test_builtin_priority_resolution () =
+  (* A miniature of axiom 14. *)
+  let edb =
+    edb_of_strings
+      [
+        "rule(accept, read, n1, 10)";
+        "rule(deny, read, n1, 11)";
+        "rule(accept, read, n1, 12)";
+        "rule(accept, read, n2, 5)";
+        "priority(10)"; "priority(11)"; "priority(12)"; "priority(5)";
+      ]
+  in
+  let prog =
+    program
+      {|cancelled(R, N, T) :- rule(deny, R, N, T2), priority(T), T2 > T.
+        perm(N, R) :- rule(accept, R, N, T), not cancelled(R, N, T).|}
+  in
+  let db = Datalog.Eval.solve edb prog in
+  Alcotest.(check bool) "n1 readable via priority 12" true
+    (Datalog.Db.mem db (Datalog.Parse.atom "perm(n1, read)"));
+  Alcotest.(check bool) "n2 readable" true
+    (Datalog.Db.mem db (Datalog.Parse.atom "perm(n2, read)"));
+  (* Remove the priority-12 accept: the deny at 11 must win. *)
+  let edb2 =
+    edb_of_strings
+      [
+        "rule(accept, read, n1, 10)";
+        "rule(deny, read, n1, 11)";
+        "priority(10)"; "priority(11)";
+      ]
+  in
+  let db2 = Datalog.Eval.solve edb2 prog in
+  Alcotest.(check bool) "deny wins" false
+    (Datalog.Db.mem db2 (Datalog.Parse.atom "perm(n1, read)"))
+
+let test_stratify () =
+  let prog =
+    program
+      {|a(X) :- e(X).
+        b(X) :- a(X), not c(X).
+        c(X) :- e(X), not a(X).
+        d(X) :- b(X), not c(X).|}
+  in
+  let strata = Datalog.Eval.stratify prog in
+  let s p = List.assoc p strata in
+  Alcotest.(check int) "a at 0" 0 (s "a");
+  Alcotest.(check bool) "c above a" true (s "c" > s "a");
+  Alcotest.(check bool) "b above c" true (s "b" > s "c");
+  Alcotest.(check bool) "d above c" true (s "d" > s "c")
+
+let test_db_matching () =
+  let edb =
+    edb_of_strings [ "f(a, 1)"; "f(a, 2)"; "f(b, 3)"; "g(a)" ]
+  in
+  Alcotest.(check int) "first-arg index" 2
+    (List.length (Datalog.Db.matching edb "f" [ T.Sym "a"; T.Var "X" ]));
+  Alcotest.(check int) "full scan" 3
+    (List.length (Datalog.Db.matching edb "f" [ T.Var "A"; T.Var "X" ]));
+  Alcotest.(check int) "ground second" 1
+    (List.length (Datalog.Db.matching edb "f" [ T.Var "A"; T.Int 3 ]));
+  Alcotest.(check int) "missing pred" 0
+    (List.length (Datalog.Db.matching edb "h" [ T.Var "X" ]))
+
+(* Differential: semi-naive vs naive on random edge sets. *)
+let prop_semi_naive_matches_naive =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 0 30)
+        (pair (int_range 0 8) (int_range 0 8)))
+  in
+  QCheck.Test.make ~count:100 ~name:"semi-naive = naive on closure+negation"
+    (QCheck.make ~print:QCheck.Print.(list (pair int int)) gen)
+    (fun edges ->
+      let edb =
+        List.fold_left
+          (fun db (a, b) ->
+            Datalog.Db.add_fact db "edge"
+              [ T.Sym (Printf.sprintf "v%d" a); T.Sym (Printf.sprintf "v%d" b) ])
+          Datalog.Db.empty edges
+      in
+      let edb =
+        List.fold_left
+          (fun db v -> Datalog.Db.add_fact db "vertex" [ T.Sym (Printf.sprintf "v%d" v) ])
+          edb
+          (List.sort_uniq compare (List.concat_map (fun (a, b) -> [ a; b ]) edges))
+      in
+      let prog =
+        program
+          {|path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            isolated(X) :- vertex(X), not path(X, X).|}
+      in
+      let a = Datalog.Eval.solve edb prog in
+      let b = Datalog.Eval.naive_solve edb prog in
+      Datalog.Db.equal_on "path" a b && Datalog.Db.equal_on "isolated" a b)
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "clauses" `Quick test_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "safety" `Quick test_safety;
+          Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "unstratifiable" `Quick test_unstratifiable;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "priority resolution" `Quick
+            test_builtin_priority_resolution;
+          Alcotest.test_case "stratify" `Quick test_stratify;
+          Alcotest.test_case "db matching" `Quick test_db_matching;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_semi_naive_matches_naive ] );
+    ]

@@ -1,0 +1,175 @@
+(* Failure-injection suite: random secure-update sequences must keep the
+   source database and every derived view structurally valid, preserve
+   the no-renumbering contract, and never widen a user's access. *)
+
+open Xmldoc
+module P = Core.Paper_example
+
+let test_valid_examples () =
+  Alcotest.(check (list string)) "paper example" []
+    (Invariants.check_document (P.document ()));
+  Alcotest.(check (list string)) "empty document" []
+    (Invariants.check Document.empty);
+  let generated =
+    Workload.Gen_doc.generate { Workload.Gen_doc.default with patients = 30 }
+  in
+  Alcotest.(check (list string)) "generated hospital" []
+    (Invariants.check_document generated)
+
+let test_detects_orphans_and_kinds () =
+  let doc = P.document () in
+  let orphan =
+    Document.add_node doc
+      (Node.v ~id:(Ordpath.of_string "5.1") ~kind:Node.Element "stray")
+  in
+  Alcotest.(check bool) "missing parent" false (Invariants.is_valid orphan);
+  let text_with_child =
+    let text_id = P.find doc "tonsillitis" in
+    Document.add_node doc
+      (Node.v ~id:(Ordpath.first_child text_id) ~kind:Node.Text "inside-text")
+  in
+  Alcotest.(check bool) "text node with a child" false
+    (Invariants.is_valid text_with_child);
+  let fake_document =
+    Document.add_node doc
+      (Node.v ~id:(Ordpath.of_string "7") ~kind:Node.Document "/")
+  in
+  Alcotest.(check bool) "second document-kind node" false
+    (Invariants.is_valid fake_document);
+  let two_roots =
+    fst
+      (Document.append_tree doc ~parent:Ordpath.document
+         (Tree.element "second-root" []))
+  in
+  Alcotest.(check bool) "tree invariant still fine" true
+    (Invariants.is_valid two_roots);
+  Alcotest.(check bool) "but not a single-root document" false
+    (Invariants.check_document two_roots = [])
+
+(* --- failure injection ---------------------------------------------------- *)
+
+let random_op rng =
+  let paths =
+    [ "//node()"; "/patients"; "/patients/*"; "//diagnosis"; "//service";
+      "//diagnosis/node()"; "//text()"; "//RESTRICTED"; "/patients/*[1]" ]
+  in
+  let labels = [ "x"; "renamed"; "updated" ] in
+  let rng, path = Workload.Prng.pick rng paths in
+  let rng, label = Workload.Prng.pick rng labels in
+  let tree = Tree.element "note" [ Tree.text "injected" ] in
+  let rng, op_kind = Workload.Prng.int rng 6 in
+  ( rng,
+    match op_kind with
+    | 0 -> Xupdate.Op.rename path label
+    | 1 -> Xupdate.Op.update path label
+    | 2 -> Xupdate.Op.append path tree
+    | 3 -> Xupdate.Op.insert_before path tree
+    | 4 -> Xupdate.Op.insert_after path tree
+    | _ -> Xupdate.Op.remove path )
+
+let users = [ P.beaufort; P.laporte; P.richard; P.robert ]
+
+let prop_updates_preserve_invariants =
+  QCheck.Test.make ~count:80
+    ~name:"random secure-update sequences keep source and views valid"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Workload.Prng.create seed in
+      let rng, steps = Workload.Prng.int rng 8 in
+      let rec go rng session i ok =
+        if (not ok) || i = steps then ok
+        else
+          let rng, user = Workload.Prng.pick rng users in
+          let rng, op = random_op rng in
+          let session =
+            Core.Session.login (Core.Session.policy session)
+              (Core.Session.source session) ~user
+          in
+          let session, _report = Core.Secure_update.apply session op in
+          let source_ok =
+            Invariants.check_document (Core.Session.source session) = []
+          in
+          let view_ok = Invariants.check (Core.Session.view session) = [] in
+          go rng session (i + 1) (ok && source_ok && view_ok)
+      in
+      go rng (P.login P.laporte) 0 true)
+
+let prop_no_renumbering_across_sequences =
+  (* The §3.1 contract holds per update: a node surviving an operation
+     keeps its identifier and kind.  (Across several operations an
+     identifier freed by a remove may legitimately be reallocated to a
+     fresh node, so the invariant is checked step by step.) *)
+  QCheck.Test.make ~count:60
+    ~name:"surviving nodes keep id and kind across each update"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Workload.Prng.create seed in
+      let rec go rng session i ok =
+        if (not ok) || i = 5 then ok
+        else
+          let rng, op = random_op rng in
+          let before = Core.Session.source session in
+          let session, _ = Core.Secure_update.apply session op in
+          let after = Core.Session.source session in
+          let step_ok =
+            Document.fold
+              (fun (n : Node.t) ok ->
+                ok
+                &&
+                match Document.find after n.id with
+                | None -> true (* removed *)
+                | Some m -> m.kind = n.kind)
+              before true
+          in
+          go rng session (i + 1) step_ok
+      in
+      go rng (P.login P.laporte) 0 true)
+
+let prop_view_monotone_under_foreign_updates =
+  (* A user's view never shows a node the user holds neither read nor
+     position on, no matter what other users did to the database. *)
+  QCheck.Test.make ~count:60 ~name:"views never over-expose after updates"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000))
+    (fun seed ->
+      let rng = Workload.Prng.create seed in
+      let rec go rng doc i =
+        if i = 4 then doc
+        else
+          let rng, user = Workload.Prng.pick rng users in
+          let rng, op = random_op rng in
+          let session = Core.Session.login P.policy doc ~user in
+          let session, _ = Core.Secure_update.apply session op in
+          go rng (Core.Session.source session) (i + 1)
+      in
+      let doc = go rng (P.document ()) 0 in
+      List.for_all
+        (fun user ->
+          let session = Core.Session.login P.policy doc ~user in
+          let perm = Core.Session.perm session in
+          Document.fold
+            (fun (n : Node.t) ok ->
+              ok
+              && (n.kind = Node.Document
+                 || Core.Perm.holds perm Core.Privilege.Read n.id
+                 || Core.Perm.holds perm Core.Privilege.Position n.id))
+            (Core.Session.view session)
+            true)
+        users)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "checks",
+        [
+          Alcotest.test_case "valid documents" `Quick test_valid_examples;
+          Alcotest.test_case "violations detected" `Quick
+            test_detects_orphans_and_kinds;
+        ] );
+      ( "failure injection",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_updates_preserve_invariants;
+            prop_no_renumbering_across_sequences;
+            prop_view_monotone_under_foreign_updates;
+          ] );
+    ]

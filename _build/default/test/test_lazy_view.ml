@@ -1,0 +1,179 @@
+(* Tests for the lazy (query-filtering) view of §5: every query answered
+   through the virtual source must agree with the materialised view, while
+   touching fewer nodes. *)
+
+open Xmldoc
+module P = Core.Paper_example
+
+let queries =
+  [
+    "/patients";
+    "/patients/*";
+    "//diagnosis";
+    "//diagnosis/node()";
+    "//service/text()";
+    "//RESTRICTED";
+    "/patients/*[service = 'pneumology']";
+    "/patients/*[diagnosis/text()]";
+    "//node()";
+    "/patients/*[1]";
+    "/patients/*[last()]/service";
+    "//text()[. = 'RESTRICTED']";
+    "//*[count(node()) > 1]";
+    "/patients/franck/following-sibling::*";
+    "//diagnosis/ancestor::*";
+    "//diagnosis/..";
+  ]
+
+let agree_on_paper_example user =
+  let session = P.login user in
+  let lazy_view = Core.Lazy_view.of_session session in
+  let materialized = Core.Session.view session in
+  List.iter
+    (fun q ->
+      let via_lazy = Core.Lazy_view.select_str lazy_view q in
+      let via_view = Xpath.Eval.select_str materialized q in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s for %s" q user)
+        (List.map Ordpath.to_string via_view)
+        (List.map Ordpath.to_string via_lazy))
+    queries
+
+let test_agreement_secretary () = agree_on_paper_example P.beaufort
+let test_agreement_patient () = agree_on_paper_example P.robert
+let test_agreement_epidemiologist () = agree_on_paper_example P.richard
+let test_agreement_doctor () = agree_on_paper_example P.laporte
+
+let test_labels_and_visibility () =
+  let session = P.login P.beaufort in
+  let lv = Core.Lazy_view.of_session session in
+  let doc = Core.Session.source session in
+  let tonsillitis = P.find doc "tonsillitis" in
+  let franck = P.find doc "franck" in
+  Alcotest.(check (option string)) "restricted label" (Some "RESTRICTED")
+    (Core.Lazy_view.label lv tonsillitis);
+  Alcotest.(check (option string)) "plain label" (Some "franck")
+    (Core.Lazy_view.label lv franck);
+  let robert_session = P.login P.robert in
+  let lv2 = Core.Lazy_view.of_session robert_session in
+  Alcotest.(check bool) "franck invisible to robert" false
+    (Core.Lazy_view.visible lv2 franck);
+  Alcotest.(check (option string)) "no label for invisible nodes" None
+    (Core.Lazy_view.label lv2 franck)
+
+let test_string_values_match () =
+  (* string-value seen through the lazy view must match the materialised
+     view (RESTRICTED text contributes the masked label). *)
+  List.iter
+    (fun user ->
+      let session = P.login user in
+      let lv = Core.Lazy_view.of_session session in
+      let view = Core.Session.view session in
+      let src = Core.Lazy_view.source lv in
+      Document.iter
+        (fun (n : Node.t) ->
+          Alcotest.(check string)
+            (Printf.sprintf "string-value of %s for %s"
+               (Ordpath.to_string n.id) user)
+            (Document.string_value view n.id)
+            (src.Xpath.Source.string_value n.id))
+        view)
+    [ P.beaufort; P.richard; P.robert ]
+
+let test_materialize_equals_view () =
+  List.iter
+    (fun user ->
+      let session = P.login user in
+      Alcotest.(check bool) (user ^ " materialize") true
+        (Document.equal
+           (Core.Lazy_view.materialize (Core.Lazy_view.of_session session))
+           (Core.Session.view session)))
+    [ P.beaufort; P.laporte; P.richard; P.robert ]
+
+let test_probes_fewer_nodes () =
+  (* A narrow query on a large database must not decide visibility for
+     every node. *)
+  let config = { Workload.Gen_doc.default with patients = 300; seed = 21 } in
+  let doc = Workload.Gen_doc.generate config in
+  let policy = Workload.Gen_policy.hospital config in
+  let session = Core.Session.login policy doc ~user:"laporte" in
+  let lv = Core.Lazy_view.of_session session in
+  let hits = Core.Lazy_view.select_str lv "/patients/*[2]/service" in
+  Alcotest.(check int) "one service" 1 (List.length hits);
+  let probed = Core.Lazy_view.probed_nodes lv in
+  let total = Document.size doc in
+  Alcotest.(check bool)
+    (Printf.sprintf "probed %d of %d nodes" probed total)
+    true
+    (probed < total / 2)
+
+(* Differential property over random documents, policies and queries. *)
+let label_pool = [ "a"; "b"; "c"; "d" ]
+
+let doc_gen =
+  QCheck.Gen.(
+    let rec tree depth =
+      if depth = 0 then map Tree.text (oneofl [ "x"; "y"; "z" ])
+      else
+        frequency
+          [
+            (1, map Tree.text (oneofl [ "x"; "y"; "z" ]));
+            ( 3,
+              map2 Tree.element (oneofl label_pool)
+                (list_size (int_range 0 3) (tree (depth - 1))) );
+          ]
+    in
+    map
+      (fun kids -> Document.of_tree (Tree.element "root" kids))
+      (list_size (int_range 0 4) (tree 2)))
+
+let query_pool =
+  [
+    "//node()"; "//a"; "//b/node()"; "//text()"; "/root/*"; "//RESTRICTED";
+    "//a[b]"; "//*[text() = 'x']"; "/root/*[1]"; "//c/ancestor::*";
+    "//*[. = 'RESTRICTED']"; "//a/following-sibling::node()";
+  ]
+
+let prop_lazy_equals_materialized =
+  QCheck.Test.make ~count:150
+    ~name:"lazy view answers = materialised view answers"
+    (QCheck.make
+       ~print:(fun (doc, seed, q) ->
+         Xml_print.to_string doc ^ Printf.sprintf " seed=%d q=%s" seed q)
+       QCheck.Gen.(triple doc_gen (int_range 0 10000) (oneofl query_pool)))
+    (fun (doc, seed, q) ->
+      let rule_paths =
+        [ "//node()"; "/root"; "/root/node()"; "//text()"; "//a"; "//b";
+          "//c/node()"; "//d"; "/root/a"; "//a/node()" ]
+      in
+      let policy =
+        Workload.Gen_policy.random ~paths:rule_paths
+          { rules = 8; deny_fraction = 0.4; seed }
+      in
+      let session = Core.Session.login policy doc ~user:"u" in
+      let lv = Core.Lazy_view.of_session session in
+      Core.Lazy_view.select_str lv q
+      = Xpath.Eval.select_str (Core.Session.view session) q)
+
+let () =
+  Alcotest.run "lazy_view"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "secretary" `Quick test_agreement_secretary;
+          Alcotest.test_case "patient" `Quick test_agreement_patient;
+          Alcotest.test_case "epidemiologist" `Quick
+            test_agreement_epidemiologist;
+          Alcotest.test_case "doctor" `Quick test_agreement_doctor;
+          Alcotest.test_case "string values" `Quick test_string_values_match;
+          Alcotest.test_case "materialize" `Quick test_materialize_equals_view;
+        ] );
+      ( "laziness",
+        [
+          Alcotest.test_case "labels and visibility" `Quick
+            test_labels_and_visibility;
+          Alcotest.test_case "probes fewer nodes" `Quick test_probes_fewer_nodes;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_lazy_equals_materialized ] );
+    ]

@@ -1,0 +1,117 @@
+(* Tests for the policy linter: dead rules, unreachable (pruned) grants,
+   idle subjects — and that the paper's own policy is clean. *)
+
+module P = Core.Paper_example
+
+let kinds findings =
+  List.map
+    (function
+      | Core.Policy_lint.Dead_rule (r, _) -> ("dead", r.Core.Rule.priority)
+      | Core.Policy_lint.Unreachable_grant (r, _) ->
+        ("unreachable", r.Core.Rule.priority)
+      | Core.Policy_lint.Idle_subject s -> ("idle:" ^ s, 0))
+    findings
+
+let test_paper_policy_is_clean () =
+  Alcotest.(check (list (pair string int))) "no findings" []
+    (kinds (Core.Policy_lint.analyse P.policy (P.document ())))
+
+let subjects =
+  Core.Subject.of_list
+    [
+      (Core.Subject.Role, "r", []);
+      (Core.Subject.Role, "lonely", []);
+      (Core.Subject.User, "u", [ "r" ]);
+      (Core.Subject.User, "idler", []);
+    ]
+
+let doc () = Xmldoc.Xml_parse.of_string "<a><b><c>x</c></b><d/></a>"
+
+let test_dead_rules () =
+  let policy =
+    Core.Policy.v subjects
+      [
+        (* 1: fully shadowed by 3 on the same nodes *)
+        Core.Rule.accept Core.Privilege.Read ~path:"//b" ~subject:"u" ~priority:1;
+        (* 2: selects nothing *)
+        Core.Rule.accept Core.Privilege.Read ~path:"//zzz" ~subject:"u" ~priority:2;
+        (* 3: shadows 1 *)
+        Core.Rule.deny Core.Privilege.Read ~path:"//b" ~subject:"u" ~priority:3;
+        (* 4: granted to a role with no users *)
+        Core.Rule.accept Core.Privilege.Read ~path:"//a" ~subject:"lonely"
+          ~priority:4;
+      ]
+  in
+  let findings = kinds (Core.Policy_lint.analyse policy (doc ())) in
+  Alcotest.(check bool) "rule 1 dead" true (List.mem ("dead", 1) findings);
+  Alcotest.(check bool) "rule 2 dead" true (List.mem ("dead", 2) findings);
+  Alcotest.(check bool) "rule 3 live" false (List.mem ("dead", 3) findings);
+  Alcotest.(check bool) "rule 4 dead (no user)" true
+    (List.mem ("dead", 4) findings);
+  Alcotest.(check bool) "idler reported" true
+    (List.mem ("idle:idler", 0) findings)
+
+let test_unreachable_grant () =
+  (* Read on c, but its ancestors a and b are never visible: the grant can
+     never surface in a view — the figure-1 pruning pitfall. *)
+  let policy =
+    Core.Policy.v subjects
+      [ Core.Rule.accept Core.Privilege.Read ~path:"//c" ~subject:"u"
+          ~priority:1 ]
+  in
+  let findings = kinds (Core.Policy_lint.analyse policy (doc ())) in
+  Alcotest.(check bool) "unreachable" true
+    (List.mem ("unreachable", 1) findings);
+  (* Granting position on the ancestors repairs it. *)
+  let repaired =
+    Core.Policy.grant policy Core.Privilege.Position
+      ~path:"/a/descendant-or-self::node()" ~subject:"u"
+  in
+  let findings = kinds (Core.Policy_lint.analyse repaired (doc ())) in
+  Alcotest.(check bool) "reachable after repair" false
+    (List.mem ("unreachable", 1) findings)
+
+let test_report_text () =
+  let policy =
+    Core.Policy.v subjects
+      [ Core.Rule.accept Core.Privilege.Read ~path:"//zzz" ~subject:"u"
+          ~priority:1 ]
+  in
+  let text = Core.Policy_lint.report policy (doc ()) in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec scan i = i + m <= n && (String.sub text i m = sub || scan (i + 1)) in
+    m = 0 || scan 0
+  in
+  Alcotest.(check bool) "mentions dead rule" true (contains "dead rule");
+  Alcotest.(check bool) "mentions idle subject" true (contains "idle subject")
+
+let test_hospital_policy_is_clean () =
+  let config = { Workload.Gen_doc.default with patients = 10; seed = 2 } in
+  let doc = Workload.Gen_doc.generate config in
+  let policy = Workload.Gen_policy.hospital config in
+  (* Rule 19 (insert on //diagnosis for doctors) is write-side and live;
+     the read-side rules are all reachable. *)
+  List.iter
+    (fun f ->
+      match f with
+      | Core.Policy_lint.Unreachable_grant _ ->
+        Alcotest.failf "unexpected: %s" (Core.Policy_lint.to_string f)
+      | Core.Policy_lint.Dead_rule _ | Core.Policy_lint.Idle_subject _ ->
+        Alcotest.failf "unexpected: %s" (Core.Policy_lint.to_string f))
+    (Core.Policy_lint.analyse policy doc)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "paper policy clean" `Quick
+            test_paper_policy_is_clean;
+          Alcotest.test_case "dead rules" `Quick test_dead_rules;
+          Alcotest.test_case "unreachable grants" `Quick test_unreachable_grant;
+          Alcotest.test_case "report text" `Quick test_report_text;
+          Alcotest.test_case "hospital policy clean" `Quick
+            test_hospital_policy_is_clean;
+        ] );
+    ]

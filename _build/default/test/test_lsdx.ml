@@ -1,0 +1,157 @@
+(* Tests for the LSDX-style labelling scheme, including a differential
+   check against Ordpath: both implementations of the §3.1 numbering
+   contract must agree on order and parenthood for identical insertion
+   scripts. *)
+
+let test_basics () =
+  Alcotest.(check string) "document" "/" (Lsdx.to_string Lsdx.document);
+  Alcotest.(check int) "document depth" 0 (Lsdx.depth Lsdx.document);
+  Alcotest.(check int) "root depth" 1 (Lsdx.depth Lsdx.root);
+  Alcotest.(check bool) "parent of root" true
+    (match Lsdx.parent Lsdx.root with
+     | Some p -> Lsdx.equal p Lsdx.document
+     | None -> false);
+  Alcotest.(check bool) "document before root" true
+    (Lsdx.compare Lsdx.document Lsdx.root < 0)
+
+let test_sibling_allocation () =
+  let p = Lsdx.root in
+  let a = Lsdx.first_child p in
+  let b = Lsdx.append_after p ~last:(Some a) in
+  let c = Lsdx.append_after p ~last:(Some b) in
+  Alcotest.(check bool) "a < b < c" true
+    (Lsdx.compare a b < 0 && Lsdx.compare b c < 0);
+  let m = Lsdx.child_under ~parent:p ~left:(Some a) ~right:(Some b) in
+  Alcotest.(check bool) "a < m < b" true
+    (Lsdx.compare a m < 0 && Lsdx.compare m b < 0);
+  let before = Lsdx.child_under ~parent:p ~left:None ~right:(Some a) in
+  Alcotest.(check bool) "before < a" true (Lsdx.compare before a < 0);
+  List.iter
+    (fun x -> Alcotest.(check bool) "child of p" true (Lsdx.is_child ~parent:p x))
+    [ a; b; c; m; before ]
+
+let test_ancestry () =
+  let p = Lsdx.root in
+  let c = Lsdx.first_child p in
+  let g = Lsdx.first_child c in
+  Alcotest.(check bool) "ancestor" true (Lsdx.is_ancestor ~ancestor:p g);
+  Alcotest.(check bool) "not descendant" false (Lsdx.is_ancestor ~ancestor:g p);
+  Alcotest.(check bool) "ancestor precedes" true (Lsdx.compare p g < 0);
+  Alcotest.(check int) "depth" 3 (Lsdx.depth g)
+
+let test_bad_bounds () =
+  let p = Lsdx.root in
+  let a = Lsdx.first_child p in
+  let b = Lsdx.append_after p ~last:(Some a) in
+  (match Lsdx.child_under ~parent:p ~left:(Some b) ~right:(Some a) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "left >= right must be rejected");
+  match Lsdx.child_under ~parent:a ~left:(Some b) ~right:None with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign bound must be rejected"
+
+(* Random sibling-insertion scenarios keep strict order (mirrors the
+   ordpath property). *)
+let prop_sibling_order =
+  QCheck.Test.make ~count:300 ~name:"random insertions keep strict order"
+    (QCheck.make ~print:QCheck.Print.(list int)
+       QCheck.Gen.(list_size (int_range 1 80) (int_range 0 1000)))
+    (fun choices ->
+      let parent = Lsdx.root in
+      let insert_at siblings gap_index =
+        let n = List.length siblings in
+        let gap = gap_index mod (n + 1) in
+        let left = if gap = 0 then None else Some (List.nth siblings (gap - 1)) in
+        let right = if gap = n then None else Some (List.nth siblings gap) in
+        let fresh = Lsdx.child_under ~parent ~left ~right in
+        let rec insert i = function
+          | rest when i = gap -> fresh :: rest
+          | [] -> [ fresh ]
+          | x :: rest -> x :: insert (i + 1) rest
+        in
+        insert 0 siblings
+      in
+      let siblings =
+        List.fold_left insert_at [ Lsdx.first_child parent ] choices
+      in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Lsdx.compare a b < 0 && sorted rest
+        | _ -> true
+      in
+      sorted siblings
+      && List.for_all (fun s -> Lsdx.is_child ~parent s) siblings)
+
+(* Differential: drive Ordpath and Lsdx through the same script; the
+   relative order of the created labels must agree everywhere. *)
+let prop_schemes_agree =
+  QCheck.Test.make ~count:200 ~name:"ordpath and lsdx agree on order"
+    (QCheck.make ~print:QCheck.Print.(list int)
+       QCheck.Gen.(list_size (int_range 1 50) (int_range 0 1000)))
+    (fun choices ->
+      let step (ord_sibs, lsdx_sibs) gap_index =
+        let n = List.length ord_sibs in
+        let gap = gap_index mod (n + 1) in
+        let bounds sibs =
+          ( (if gap = 0 then None else Some (List.nth sibs (gap - 1))),
+            if gap = n then None else Some (List.nth sibs gap) )
+        in
+        let ol, orr = bounds ord_sibs in
+        let ll, lr = bounds lsdx_sibs in
+        let o = Ordpath.child_under ~parent:Ordpath.root ~left:ol ~right:orr in
+        let l = Lsdx.child_under ~parent:Lsdx.root ~left:ll ~right:lr in
+        let rec insert i fresh = function
+          | rest when i = gap -> fresh :: rest
+          | [] -> [ fresh ]
+          | x :: rest -> x :: insert (i + 1) fresh rest
+        in
+        (insert 0 o ord_sibs, insert 0 l lsdx_sibs)
+      in
+      let ord_sibs, lsdx_sibs =
+        List.fold_left step
+          ([ Ordpath.first_child Ordpath.root ], [ Lsdx.first_child Lsdx.root ])
+          choices
+      in
+      (* Same length, and pairwise comparisons agree. *)
+      List.length ord_sibs = List.length lsdx_sibs
+      && List.for_all2
+           (fun o l ->
+             List.for_all2
+               (fun o' l' ->
+                 Stdlib.compare (Ordpath.compare o o' > 0)
+                   (Lsdx.compare l l' > 0)
+                 = 0)
+               ord_sibs lsdx_sibs)
+           ord_sibs lsdx_sibs)
+
+let prop_midpoint_always_fits =
+  (* Repeated bisection of the same pair never gets stuck. *)
+  QCheck.Test.make ~count:100 ~name:"repeated bisection always succeeds"
+    (QCheck.int_range 1 60)
+    (fun rounds ->
+      let parent = Lsdx.root in
+      let a = Lsdx.first_child parent in
+      let b = Lsdx.append_after parent ~last:(Some a) in
+      let rec go left right n =
+        n = 0
+        ||
+        let m = Lsdx.child_under ~parent ~left:(Some left) ~right:(Some right) in
+        Lsdx.compare left m < 0
+        && Lsdx.compare m right < 0
+        && go left m (n - 1)
+      in
+      go a b rounds)
+
+let () =
+  Alcotest.run "lsdx"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "sibling allocation" `Quick test_sibling_allocation;
+          Alcotest.test_case "ancestry" `Quick test_ancestry;
+          Alcotest.test_case "bad bounds" `Quick test_bad_bounds;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sibling_order; prop_schemes_agree; prop_midpoint_always_fits ] );
+    ]

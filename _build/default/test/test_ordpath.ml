@@ -1,0 +1,261 @@
+(* Tests for the persistent labelling scheme: document order, level
+   structure, geometry derivation, and the no-renumbering guarantee under
+   arbitrary insertion sequences. *)
+
+let op = Alcotest.testable Ordpath.pp Ordpath.equal
+
+let path cs = Ordpath.of_components cs
+
+(* --- unit tests ------------------------------------------------------ *)
+
+let test_document_and_root () =
+  Alcotest.(check string) "document prints /" "/" (Ordpath.to_string Ordpath.document);
+  Alcotest.(check int) "document depth" 0 (Ordpath.depth Ordpath.document);
+  Alcotest.(check int) "root depth" 1 (Ordpath.depth Ordpath.root);
+  Alcotest.(check (option op)) "parent of root" (Some Ordpath.document)
+    (Ordpath.parent Ordpath.root);
+  Alcotest.(check (option op)) "parent of document" None
+    (Ordpath.parent Ordpath.document)
+
+let test_well_formed () =
+  let ok cs = ignore (Ordpath.of_components cs) in
+  let bad cs =
+    Alcotest.check_raises "malformed"
+      (Invalid_argument "Ordpath.of_components: malformed label") (fun () ->
+        ignore (Ordpath.of_components cs))
+  in
+  ok [];
+  ok [ 1 ];
+  ok [ 1; 3 ];
+  ok [ 1; 2; 1 ];
+  ok [ -1 ];
+  ok [ 1; 0; 5; 3 ];
+  bad [ 2 ];
+  bad [ 1; 2 ];
+  bad [ 0 ]
+
+let test_order () =
+  let check_lt a b =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s < %s" (Ordpath.to_string a) (Ordpath.to_string b))
+      true
+      (Ordpath.compare a b < 0)
+  in
+  check_lt Ordpath.document (path [ 1 ]);
+  check_lt (path [ 1 ]) (path [ 1; 1 ]);
+  check_lt (path [ 1; 1 ]) (path [ 1; 3 ]);
+  check_lt (path [ 1; 2; 1 ]) (path [ 1; 3 ]);
+  check_lt (path [ 1; 1 ]) (path [ 1; 2; 1 ]);
+  check_lt (path [ -1 ]) (path [ 1 ])
+
+let test_parent () =
+  Alcotest.(check (option op)) "parent strips one level" (Some (path [ 1 ]))
+    (Ordpath.parent (path [ 1; 2; 1 ]));
+  Alcotest.(check (option op)) "caret components stay with their level"
+    (Some (path [ 1 ]))
+    (Ordpath.parent (path [ 1; 2; 0; 5 ]));
+  Alcotest.(check (option op)) "two plain levels" (Some (path [ 1 ]))
+    (Ordpath.parent (path [ 1; 3 ]))
+
+let test_ancestor () =
+  Alcotest.(check bool) "strict" false
+    (Ordpath.is_ancestor ~ancestor:(path [ 1 ]) (path [ 1 ]));
+  Alcotest.(check bool) "prefix" true
+    (Ordpath.is_ancestor ~ancestor:(path [ 1 ]) (path [ 1; 2; 1; 7 ]));
+  Alcotest.(check bool) "non-prefix" false
+    (Ordpath.is_ancestor ~ancestor:(path [ 1; 3 ]) (path [ 1; 5; 1 ]))
+
+let test_relationship () =
+  let check name expected a b =
+    let show = function
+      | `Self -> "self"
+      | `Ancestor -> "ancestor"
+      | `Descendant -> "descendant"
+      | `Preceding -> "preceding"
+      | `Following -> "following"
+    in
+    Alcotest.(check string) name (show expected) (show (Ordpath.relationship a b))
+  in
+  check "self" `Self (path [ 1 ]) (path [ 1 ]);
+  check "b ancestor of a" `Ancestor (path [ 1; 1 ]) (path [ 1 ]);
+  check "b descendant of a" `Descendant (path [ 1 ]) (path [ 1; 1 ]);
+  check "preceding" `Preceding (path [ 1; 3 ]) (path [ 1; 1 ]);
+  check "following" `Following (path [ 1; 1 ]) (path [ 1; 3 ])
+
+let test_first_and_append () =
+  let p = path [ 1 ] in
+  let c1 = Ordpath.first_child p in
+  Alcotest.check op "first child" (path [ 1; 1 ]) c1;
+  let c2 = Ordpath.append_after p ~last:(Some c1) in
+  Alcotest.check op "append" (path [ 1; 3 ]) c2;
+  let c3 = Ordpath.append_after p ~last:(Some c2) in
+  Alcotest.check op "append again" (path [ 1; 5 ]) c3
+
+let test_between_carets () =
+  let p = path [ 1 ] in
+  let a = path [ 1; 1 ] and b = path [ 1; 3 ] in
+  let m = Ordpath.child_under ~parent:p ~left:(Some a) ~right:(Some b) in
+  Alcotest.check op "caret insertion" (path [ 1; 2; 1 ]) m;
+  Alcotest.(check bool) "a < m" true (Ordpath.compare a m < 0);
+  Alcotest.(check bool) "m < b" true (Ordpath.compare m b < 0);
+  Alcotest.(check bool) "m is child of p" true (Ordpath.is_child ~parent:p m);
+  (* insert again between a and the caret label *)
+  let m2 = Ordpath.child_under ~parent:p ~left:(Some a) ~right:(Some m) in
+  Alcotest.(check bool) "a < m2 < m" true
+    (Ordpath.compare a m2 < 0 && Ordpath.compare m2 m < 0);
+  Alcotest.(check bool) "m2 child of p" true (Ordpath.is_child ~parent:p m2)
+
+let test_insert_before_first () =
+  let p = path [ 1 ] in
+  let c1 = path [ 1; 1 ] in
+  let before = Ordpath.child_under ~parent:p ~left:None ~right:(Some c1) in
+  Alcotest.check op "negative odd" (path [ 1; -1 ]) before;
+  Alcotest.(check bool) "before < c1" true (Ordpath.compare before c1 < 0)
+
+let test_string_roundtrip () =
+  List.iter
+    (fun cs ->
+      let t = path cs in
+      Alcotest.check op "roundtrip" t (Ordpath.of_string (Ordpath.to_string t)))
+    [ []; [ 1 ]; [ 1; 3 ]; [ 1; 2; 1 ]; [ -3; 0; 7 ] ]
+
+let test_bad_bounds () =
+  let p = path [ 1 ] in
+  Alcotest.(check bool) "left >= right rejected" true
+    (try
+       ignore
+         (Ordpath.child_under ~parent:p ~left:(Some (path [ 1; 3 ]))
+            ~right:(Some (path [ 1; 1 ])));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-child bound rejected" true
+    (try
+       ignore
+         (Ordpath.child_under ~parent:p ~left:(Some (path [ 3 ])) ~right:None);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- property tests --------------------------------------------------- *)
+
+(* A random insertion scenario: starting from one child under the root,
+   repeatedly pick a random gap among current siblings and allocate a label
+   there.  Invariants: all labels distinct, strictly ordered, all children
+   of the root, and labels allocated earlier never change (trivially true
+   by construction; we check they remain valid bounds). *)
+let sibling_scenario =
+  QCheck.make ~print:QCheck.Print.(list int)
+    QCheck.Gen.(list_size (int_range 1 60) (int_range 0 1000))
+
+let prop_sibling_insertions =
+  QCheck.Test.make ~name:"random sibling insertions keep strict order"
+    ~count:200 sibling_scenario (fun choices ->
+      let parent = Ordpath.root in
+      let insert_at siblings gap_index =
+        let n = List.length siblings in
+        let gap = gap_index mod (n + 1) in
+        let left = if gap = 0 then None else Some (List.nth siblings (gap - 1)) in
+        let right = if gap = n then None else Some (List.nth siblings gap) in
+        let fresh = Ordpath.child_under ~parent ~left ~right in
+        let rec insert i = function
+          | rest when i = gap -> fresh :: rest
+          | [] -> [ fresh ]
+          | x :: rest -> x :: insert (i + 1) rest
+        in
+        insert 0 siblings
+      in
+      let siblings =
+        List.fold_left insert_at [ Ordpath.first_child parent ] choices
+      in
+      let rec strictly_sorted = function
+        | a :: (b :: _ as rest) ->
+          Ordpath.compare a b < 0 && strictly_sorted rest
+        | [ _ ] | [] -> true
+      in
+      strictly_sorted siblings
+      && List.for_all (fun s -> Ordpath.is_child ~parent s) siblings)
+
+let prop_parent_of_child =
+  QCheck.Test.make ~name:"child_under result has the requested parent"
+    ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 4) small_nat) small_nat)
+    (fun (levels, k) ->
+      (* Build a parent by descending [levels], then allocate children. *)
+      let parent =
+        List.fold_left
+          (fun p _ -> Ordpath.first_child p)
+          Ordpath.document levels
+      in
+      let rec allocate last n =
+        if n = 0 then true
+        else
+          let c = Ordpath.append_after parent ~last in
+          Ordpath.parent c = Some parent
+          && (match last with
+              | None -> true
+              | Some l -> Ordpath.compare l c < 0)
+          && allocate (Some c) (n - 1)
+      in
+      allocate None ((k mod 5) + 1))
+
+let prop_compare_total_order =
+  let label_gen =
+    (* Generate valid labels: random levels, each a run of evens + odd. *)
+    QCheck.Gen.(
+      let level =
+        list_size (int_range 0 2) (map (fun i -> 2 * i) (int_range 0 5))
+        >>= fun evens ->
+        map (fun i -> evens @ [ (2 * i) + 1 ]) (int_range 0 5)
+      in
+      map List.concat (list_size (int_range 0 4) level))
+  in
+  let arb =
+    QCheck.make ~print:(fun cs -> Ordpath.to_string (Ordpath.of_components cs))
+      label_gen
+  in
+  QCheck.Test.make ~name:"compare is a total order consistent with equality"
+    ~count:300 (QCheck.pair arb arb) (fun (a, b) ->
+      let a = Ordpath.of_components a and b = Ordpath.of_components b in
+      let c1 = Ordpath.compare a b and c2 = Ordpath.compare b a in
+      (c1 = 0) = Ordpath.equal a b && (c1 > 0) = (c2 < 0))
+
+let prop_ancestor_iff_prefix_levels =
+  QCheck.Test.make ~name:"parent chain matches depth" ~count:200
+    QCheck.(int_range 1 6)
+    (fun depth ->
+      let rec descend p n = if n = 0 then p else descend (Ordpath.first_child p) (n - 1) in
+      let leaf = descend Ordpath.document depth in
+      let rec climb p count =
+        match Ordpath.parent p with
+        | None -> count
+        | Some q -> climb q (count + 1)
+      in
+      Ordpath.depth leaf = depth && climb leaf 0 = depth)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_sibling_insertions;
+        prop_parent_of_child;
+        prop_compare_total_order;
+        prop_ancestor_iff_prefix_levels;
+      ]
+  in
+  Alcotest.run "ordpath"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "document and root" `Quick test_document_and_root;
+          Alcotest.test_case "well-formedness" `Quick test_well_formed;
+          Alcotest.test_case "document order" `Quick test_order;
+          Alcotest.test_case "parent" `Quick test_parent;
+          Alcotest.test_case "ancestor" `Quick test_ancestor;
+          Alcotest.test_case "relationship" `Quick test_relationship;
+          Alcotest.test_case "first child and append" `Quick test_first_and_append;
+          Alcotest.test_case "caret insertion" `Quick test_between_carets;
+          Alcotest.test_case "insert before first" `Quick test_insert_before_first;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "bad bounds" `Quick test_bad_bounds;
+        ] );
+      ("property", qsuite);
+    ]

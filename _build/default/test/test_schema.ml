@@ -1,0 +1,250 @@
+(* Tests for the DTD subset: parsing, content-model matching (Brzozowski
+   derivatives), document validation, and the integrity-checked secure
+   updates of Core.Validated. *)
+
+open Xmldoc
+module P = Core.Paper_example
+
+let hospital_dtd =
+  {|<!-- the figure-2 schema, typed -->
+<!ELEMENT patients (franck | robert | albert)*>
+<!ELEMENT franck (service, diagnosis?)>
+<!ELEMENT robert (service, diagnosis?)>
+<!ELEMENT albert (service, diagnosis?)>
+<!ELEMENT service (#PCDATA)>
+<!ELEMENT diagnosis (#PCDATA)>|}
+
+let schema () = Schema.of_string hospital_dtd
+
+(* --- parsing -------------------------------------------------------------- *)
+
+let test_parse () =
+  let s = schema () in
+  Alcotest.(check (list string)) "declared elements"
+    [ "albert"; "diagnosis"; "franck"; "patients"; "robert"; "service" ]
+    (Schema.declared s);
+  (match Schema.content_model s "service" with
+   | Some Schema.Pcdata -> ()
+   | _ -> Alcotest.fail "service should be #PCDATA");
+  match Schema.content_model s "franck" with
+  | Some (Schema.Children _) -> ()
+  | _ -> Alcotest.fail "franck should have a children model"
+
+let test_parse_attlist () =
+  let s =
+    Schema.of_string
+      {|<!ELEMENT visit EMPTY>
+<!ATTLIST visit n CDATA #REQUIRED
+                kind (routine|emergency) "routine"
+                ref IDREF #IMPLIED
+                version CDATA #FIXED "1">|}
+  in
+  let decls = Schema.attributes s "visit" in
+  Alcotest.(check int) "four attributes" 4 (List.length decls);
+  let kind = List.find (fun (d : Schema.attr_decl) -> d.attr_name = "kind") decls in
+  (match kind.attr_type with
+   | Schema.Enum [ "routine"; "emergency" ] -> ()
+   | _ -> Alcotest.fail "kind should be enumerated");
+  Alcotest.(check bool) "default recorded" true
+    (kind.default = Schema.Default "routine")
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Schema.of_string src with
+      | exception Schema.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%S should fail" src)
+    [
+      "<!ELEMENT a>";
+      "<!ELEMENT a (b,)>";
+      "<!ELEMENT a (#PCDATA | b)>";
+      "<!ATTLIST a x>";
+      "<!ATTLIST a x CDATA>";
+      "<!FROBNICATE a>";
+      "<!ELEMENT a (b | )>";
+    ]
+
+(* --- content models -------------------------------------------------------- *)
+
+let test_matching () =
+  let check name model words expected =
+    let s = Schema.of_string (Printf.sprintf "<!ELEMENT x %s>" model) in
+    match Schema.content_model s "x" with
+    | Some (Schema.Children regex) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %s vs %s" name model (String.concat " " words))
+        expected (Schema.matches regex words)
+    | _ -> Alcotest.fail "expected a children model"
+  in
+  check "seq" "(a, b, c)" [ "a"; "b"; "c" ] true;
+  check "seq wrong order" "(a, b, c)" [ "a"; "c"; "b" ] false;
+  check "seq missing" "(a, b, c)" [ "a"; "b" ] false;
+  check "opt present" "(a, b?)" [ "a"; "b" ] true;
+  check "opt absent" "(a, b?)" [ "a" ] true;
+  check "star empty" "(a*)" [] true;
+  check "star many" "(a*)" [ "a"; "a"; "a" ] true;
+  check "plus empty" "(a+)" [] false;
+  check "plus one" "(a+)" [ "a" ] true;
+  check "choice left" "(a | b)" [ "a" ] true;
+  check "choice right" "(a | b)" [ "b" ] true;
+  check "choice neither" "(a | b)" [ "c" ] false;
+  check "nested" "((a | b)+, c?)" [ "b"; "a"; "c" ] true;
+  check "nested bad tail" "((a | b)+, c?)" [ "c"; "a" ] false;
+  check "star of seq" "((a, b)*)" [ "a"; "b"; "a"; "b" ] true;
+  check "star of seq odd" "((a, b)*)" [ "a"; "b"; "a" ] false;
+  check "ambiguous backtracking" "((a, a) | (a, a, a))" [ "a"; "a"; "a" ] true
+
+let test_validate_ok () =
+  Alcotest.(check (list string)) "figure 2 validates" []
+    (Schema.validate ~root:"patients" (schema ()) (P.document ()))
+
+let test_validate_violations () =
+  let s = schema () in
+  let bad_root = Xml_parse.of_string "<hospital/>" in
+  Alcotest.(check bool) "wrong root" false
+    (Schema.is_valid ~root:"patients" s bad_root);
+  let undeclared =
+    Xml_parse.of_string "<patients><zoe><service>s</service></zoe></patients>"
+  in
+  Alcotest.(check bool) "undeclared element" false (Schema.is_valid s undeclared);
+  let wrong_children =
+    Xml_parse.of_string "<patients><franck><diagnosis>d</diagnosis></franck></patients>"
+  in
+  Alcotest.(check bool) "missing service" false (Schema.is_valid s wrong_children);
+  let text_in_children =
+    Xml_parse.of_string "<patients>stray text</patients>"
+  in
+  Alcotest.(check bool) "text in element content" false
+    (Schema.is_valid s text_in_children);
+  let nested_element_in_pcdata =
+    Xml_parse.of_string
+      "<patients><franck><service><b>x</b></service><diagnosis>d</diagnosis></franck></patients>"
+  in
+  Alcotest.(check bool) "element in #PCDATA" false
+    (Schema.is_valid s nested_element_in_pcdata)
+
+let test_validate_attributes () =
+  let s =
+    Schema.of_string
+      {|<!ELEMENT v EMPTY>
+<!ATTLIST v n CDATA #REQUIRED kind (a|b) "a" ver CDATA #FIXED "1">|}
+  in
+  let ok = Xml_parse.of_string {|<v n="7" kind="b" ver="1"/>|} in
+  Alcotest.(check (list string)) "valid attributes" [] (Schema.validate s ok);
+  let missing = Xml_parse.of_string {|<v kind="a"/>|} in
+  Alcotest.(check bool) "missing required" false (Schema.is_valid s missing);
+  let bad_enum = Xml_parse.of_string {|<v n="7" kind="z"/>|} in
+  Alcotest.(check bool) "bad enum" false (Schema.is_valid s bad_enum);
+  let bad_fixed = Xml_parse.of_string {|<v n="7" ver="2"/>|} in
+  Alcotest.(check bool) "bad fixed" false (Schema.is_valid s bad_fixed);
+  let undeclared = Xml_parse.of_string {|<v n="7" rogue="x"/>|} in
+  Alcotest.(check bool) "undeclared attribute" false (Schema.is_valid s undeclared)
+
+(* --- validated secure updates ---------------------------------------------- *)
+
+let test_validated_apply () =
+  let s = schema () in
+  let doctor = P.login P.laporte in
+  (* A legal update: replace a diagnosis text. *)
+  (match
+     Core.Validated.apply ~schema:s ~root:"patients" doctor
+       (Xupdate.Op.update "/patients/franck/diagnosis" "flu")
+   with
+   | Core.Validated.Applied (session, _) ->
+     Alcotest.(check int) "applied" 1
+       (List.length
+          (Core.Session.query_source session "//text()[. = 'flu']"))
+   | Core.Validated.Rejected _ -> Alcotest.fail "legal update rejected");
+  (* An integrity-breaking update: doctors may delete diagnosis contents
+     but the schema allows it (diagnosis? is optional) — removing the
+     whole service, however, breaks (service, diagnosis?). *)
+  let secretary = P.login P.beaufort in
+  let policy_with_delete =
+    Core.Policy.grant P.policy Core.Privilege.Delete ~path:"//service"
+      ~subject:"secretary"
+  in
+  let secretary =
+    Core.Session.login policy_with_delete
+      (Core.Session.source secretary) ~user:P.beaufort
+  in
+  match
+    Core.Validated.apply ~schema:s ~root:"patients" secretary
+      (Xupdate.Op.remove "/patients/franck/service")
+  with
+  | Core.Validated.Rejected { violations; _ } ->
+    Alcotest.(check bool) "violations counted" true (violations > 0)
+  | Core.Validated.Applied _ -> Alcotest.fail "schema violation not caught"
+
+let test_validated_apply_all_transactional () =
+  let s = schema () in
+  let policy =
+    Core.Policy.grant P.policy Core.Privilege.Delete ~path:"//node()"
+      ~subject:"doctor"
+  in
+  let doctor = Core.Session.login policy (P.document ()) ~user:P.laporte in
+  let session, outcomes =
+    Core.Validated.apply_all ~schema:s ~root:"patients" doctor
+      [
+        Xupdate.Op.update "/patients/franck/diagnosis" "flu";
+        (* breaks the model: service becomes missing *)
+        Xupdate.Op.remove "/patients/franck/service";
+        (* still fine afterwards: the rejected op rolled back *)
+        Xupdate.Op.remove "/patients/robert/diagnosis";
+      ]
+  in
+  (match outcomes with
+   | [ Core.Validated.Applied _; Core.Validated.Rejected _;
+       Core.Validated.Applied _ ] -> ()
+   | _ -> Alcotest.fail "expected applied/rejected/applied");
+  Alcotest.(check (list string)) "final document still valid" []
+    (Schema.validate ~root:"patients" s (Core.Session.source session));
+  Alcotest.(check int) "franck's service survived the rollback" 1
+    (List.length
+       (Core.Session.query_source session "/patients/franck/service"))
+
+(* Property: the validator agrees with a generate-then-check oracle on
+   star models. *)
+let prop_star_model =
+  QCheck.Test.make ~count:200 ~name:"(a*, b?) matches iff shape holds"
+    (QCheck.make
+       ~print:QCheck.Print.(list string)
+       QCheck.Gen.(list_size (int_range 0 6) (oneofl [ "a"; "b"; "c" ])))
+    (fun words ->
+      let s = Schema.of_string "<!ELEMENT x (a*, b?)>" in
+      let regex =
+        match Schema.content_model s "x" with
+        | Some (Schema.Children r) -> r
+        | _ -> assert false
+      in
+      let rec shape = function
+        | [] -> true
+        | [ "b" ] -> true
+        | "a" :: rest -> shape rest
+        | _ -> false
+      in
+      Schema.matches regex words = shape words)
+
+let () =
+  Alcotest.run "schema"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "elements" `Quick test_parse;
+          Alcotest.test_case "attlist" `Quick test_parse_attlist;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "matching" `Quick test_matching;
+          Alcotest.test_case "figure 2 valid" `Quick test_validate_ok;
+          Alcotest.test_case "violations" `Quick test_validate_violations;
+          Alcotest.test_case "attributes" `Quick test_validate_attributes;
+        ] );
+      ( "validated updates",
+        [
+          Alcotest.test_case "apply" `Quick test_validated_apply;
+          Alcotest.test_case "transactional apply_all" `Quick
+            test_validated_apply_all_transactional;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_star_model ]);
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the workload generators: determinism, schema shape, and the
+   scaled hospital policy. *)
+
+open Xmldoc
+
+let test_prng_determinism () =
+  let stream seed n =
+    let rec go rng acc i =
+      if i = n then List.rev acc
+      else
+        let rng, v = Workload.Prng.int rng 1000 in
+        go rng (v :: acc) (i + 1)
+    in
+    go (Workload.Prng.create seed) [] 0
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (stream 42 20) (stream 42 20);
+  Alcotest.(check bool) "different seeds differ" true
+    (stream 42 20 <> stream 43 20)
+
+let test_prng_bounds () =
+  let rec go rng i =
+    if i = 0 then ()
+    else
+      let rng, v = Workload.Prng.int rng 7 in
+      Alcotest.(check bool) "in range" true (v >= 0 && v < 7);
+      go rng (i - 1)
+  in
+  go (Workload.Prng.create 1) 1000
+
+let test_prng_pick_weighted () =
+  let rng = Workload.Prng.create 5 in
+  let rec count rng zeros i =
+    if i = 0 then zeros
+    else
+      let rng, v = Workload.Prng.pick_weighted rng [ (9, 0); (1, 1) ] in
+      count rng (if v = 0 then zeros + 1 else zeros) (i - 1)
+  in
+  let zeros = count rng 0 1000 in
+  Alcotest.(check bool) "weighting roughly respected" true
+    (zeros > 800 && zeros < 980)
+
+let test_prng_shuffle () =
+  let original = List.init 20 Fun.id in
+  let _, shuffled = Workload.Prng.shuffle (Workload.Prng.create 9) original in
+  Alcotest.(check (list int)) "permutation" original
+    (List.sort compare shuffled);
+  Alcotest.(check bool) "actually shuffled" true (shuffled <> original)
+
+let test_gen_doc_shape () =
+  let config = { Workload.Gen_doc.default with patients = 25; seed = 1 } in
+  let doc = Workload.Gen_doc.generate config in
+  let root = Option.get (Document.root_element doc) in
+  Alcotest.(check string) "root is patients" "patients" root.label;
+  let records = Document.element_children doc root.id in
+  Alcotest.(check int) "25 records" 25 (List.length records);
+  List.iter
+    (fun (p : Node.t) ->
+      let kids =
+        List.map (fun (n : Node.t) -> n.label)
+          (Document.element_children doc p.id)
+      in
+      match kids with
+      | "service" :: "diagnosis" :: rest ->
+        Alcotest.(check bool) "only visits after" true
+          (List.for_all (String.equal "visit") rest)
+      | _ -> Alcotest.failf "bad record shape: %s" (String.concat "," kids))
+    records
+
+let test_gen_doc_determinism () =
+  let config = { Workload.Gen_doc.default with patients = 10; seed = 77 } in
+  Alcotest.(check bool) "same seed, same document" true
+    (Document.equal (Workload.Gen_doc.generate config)
+       (Workload.Gen_doc.generate config));
+  Alcotest.(check bool) "different seed, different document" true
+    (not
+       (Document.equal
+          (Workload.Gen_doc.generate config)
+          (Workload.Gen_doc.generate { config with seed = 78 })))
+
+let test_gen_doc_diagnosed_fraction () =
+  let config =
+    { Workload.Gen_doc.default with patients = 100; diagnosed_fraction = 0.0 }
+  in
+  let doc = Workload.Gen_doc.generate config in
+  Alcotest.(check int) "no diagnosis text when fraction 0" 0
+    (List.length (Xpath.Eval.select_str doc "//diagnosis/text()"));
+  let all =
+    Workload.Gen_doc.generate { config with diagnosed_fraction = 1.0 }
+  in
+  Alcotest.(check int) "all diagnosed when fraction 1" 100
+    (List.length (Xpath.Eval.select_str all "//diagnosis/text()"))
+
+let test_patient_names_unique () =
+  let config = { Workload.Gen_doc.default with patients = 60 } in
+  let names = Workload.Gen_doc.patient_names config in
+  Alcotest.(check int) "unique" 60
+    (List.length (List.sort_uniq String.compare names))
+
+let test_hospital_policy () =
+  let config = { Workload.Gen_doc.default with patients = 15; seed = 2 } in
+  let doc = Workload.Gen_doc.generate config in
+  let policy = Workload.Gen_policy.hospital config in
+  (* Every patient can log in and sees exactly their own record. *)
+  List.iter
+    (fun name ->
+      let session = Core.Session.login policy doc ~user:name in
+      let own = Core.Session.query session (Printf.sprintf "/patients/%s" name) in
+      Alcotest.(check int) (name ^ " sees own record") 1 (List.length own);
+      let others = Core.Session.query session "/patients/*" in
+      Alcotest.(check int) (name ^ " sees no other record") 1
+        (List.length others))
+    (Workload.Gen_doc.patient_names config);
+  (* Staff logins work too. *)
+  List.iter
+    (fun user -> ignore (Core.Session.login policy doc ~user))
+    Workload.Gen_policy.hospital_staff
+
+let test_random_policy () =
+  let policy =
+    Workload.Gen_policy.random { rules = 50; deny_fraction = 0.5; seed = 3 }
+  in
+  Alcotest.(check int) "50 rules" 50 (List.length (Core.Policy.rules policy));
+  (* Priorities are the issue order. *)
+  let priorities = List.map (fun (r : Core.Rule.t) -> r.priority) (Core.Policy.rules policy) in
+  Alcotest.(check (list int)) "ascending priorities"
+    (List.init 50 (fun i -> i + 1))
+    priorities;
+  (* Deterministic. *)
+  let policy2 =
+    Workload.Gen_policy.random { rules = 50; deny_fraction = 0.5; seed = 3 }
+  in
+  Alcotest.(check bool) "deterministic" true
+    (List.equal Core.Rule.equal (Core.Policy.rules policy)
+       (Core.Policy.rules policy2))
+
+let test_queries_parse_and_run () =
+  let doc = Workload.Gen_doc.generate Workload.Gen_doc.default in
+  List.iter
+    (fun q -> ignore (Xpath.Eval.select_str doc q))
+    (Workload.Gen_query.mix @ Workload.Gen_query.random ~seed:4 ~count:30)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "weighted pick" `Quick test_prng_pick_weighted;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
+        ] );
+      ( "documents",
+        [
+          Alcotest.test_case "shape" `Quick test_gen_doc_shape;
+          Alcotest.test_case "determinism" `Quick test_gen_doc_determinism;
+          Alcotest.test_case "diagnosed fraction" `Quick
+            test_gen_doc_diagnosed_fraction;
+          Alcotest.test_case "unique names" `Quick test_patient_names_unique;
+        ] );
+      ( "policies",
+        [
+          Alcotest.test_case "hospital" `Quick test_hospital_policy;
+          Alcotest.test_case "random" `Quick test_random_policy;
+        ] );
+      ( "queries",
+        [ Alcotest.test_case "parse and run" `Quick test_queries_parse_and_run ] );
+    ]

@@ -1,0 +1,335 @@
+(* Tests for the document store: construction, geometry predicates (§3.2),
+   parsing/printing roundtrips and subtree updates. *)
+
+open Xmldoc
+
+(* The paper's figure-2 database. *)
+let patients_xml =
+  {|<patients>
+  <franck>
+    <service>otolarynology</service>
+    <diagnosis>tonsillitis</diagnosis>
+  </franck>
+  <robert>
+    <service>pneumology</service>
+    <diagnosis>pneumonia</diagnosis>
+  </robert>
+</patients>|}
+
+let doc () = Xml_parse.of_string patients_xml
+
+let labels_of nodes = List.map (fun (n : Node.t) -> n.label) nodes
+
+let select_one doc label =
+  match
+    List.find_opt
+      (fun (n : Node.t) -> n.label = label)
+      (Document.nodes doc)
+  with
+  | Some n -> n.id
+  | None -> Alcotest.failf "node %s not found" label
+
+let test_parse_counts () =
+  let d = doc () in
+  (* document + patients + 2 * (patient + 2*(element+text)) = 12 *)
+  Alcotest.(check int) "node count" 12 (Document.size d);
+  let root = Option.get (Document.root_element d) in
+  Alcotest.(check string) "root label" "patients" root.label
+
+let test_children_order () =
+  let d = doc () in
+  let root = Option.get (Document.root_element d) in
+  Alcotest.(check (list string)) "children in document order"
+    [ "franck"; "robert" ]
+    (labels_of (Document.children d root.id));
+  let franck = select_one d "franck" in
+  Alcotest.(check (list string)) "franck's children"
+    [ "service"; "diagnosis" ]
+    (labels_of (Document.children d franck))
+
+let test_descendants () =
+  let d = doc () in
+  let franck = select_one d "franck" in
+  Alcotest.(check (list string)) "descendants in document order"
+    [ "service"; "otolarynology"; "diagnosis"; "tonsillitis" ]
+    (labels_of (Document.descendants d franck))
+
+let test_ancestors () =
+  let d = doc () in
+  let text = select_one d "tonsillitis" in
+  Alcotest.(check (list string)) "ancestors nearest first"
+    [ "diagnosis"; "franck"; "patients"; "/" ]
+    (labels_of (Document.ancestors d text))
+
+let test_siblings () =
+  let d = doc () in
+  let franck = select_one d "franck" in
+  Alcotest.(check (list string)) "following siblings" [ "robert" ]
+    (labels_of (Document.following_siblings d franck));
+  let robert = select_one d "robert" in
+  Alcotest.(check (list string)) "preceding siblings" [ "franck" ]
+    (labels_of (Document.preceding_siblings d robert))
+
+let test_following_preceding () =
+  let d = doc () in
+  let franck = select_one d "franck" in
+  Alcotest.(check (list string)) "following excludes own subtree"
+    [ "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia" ]
+    (labels_of (Document.following d franck));
+  let robert = select_one d "robert" in
+  Alcotest.(check (list string)) "preceding excludes ancestors, nearest first"
+    [ "tonsillitis"; "diagnosis"; "otolarynology"; "service"; "franck" ]
+    (labels_of (Document.preceding d robert))
+
+let test_string_value () =
+  let d = doc () in
+  let franck = select_one d "franck" in
+  Alcotest.(check string) "concatenated text" "otolarynologytonsillitis"
+    (Document.string_value d franck);
+  let text = select_one d "pneumonia" in
+  Alcotest.(check string) "text node value" "pneumonia"
+    (Document.string_value d text)
+
+let test_relabel () =
+  let d = doc () in
+  let service = select_one d "service" in
+  let d' = Document.relabel d service "department" in
+  Alcotest.(check (option string)) "relabelled" (Some "department")
+    (Document.label d' service);
+  Alcotest.(check (option string)) "original unchanged" (Some "service")
+    (Document.label d service);
+  Alcotest.(check int) "same size" (Document.size d) (Document.size d')
+
+let test_remove_subtree () =
+  let d = doc () in
+  let franck = select_one d "franck" in
+  let d' = Document.remove_subtree d franck in
+  Alcotest.(check int) "five nodes removed" (Document.size d - 5)
+    (Document.size d');
+  Alcotest.(check bool) "franck gone" false (Document.mem d' franck);
+  Alcotest.(check bool) "robert still there" true
+    (Document.mem d' (select_one d "robert"))
+
+let test_append_tree () =
+  let d = doc () in
+  let root = Option.get (Document.root_element d) in
+  let albert =
+    Tree.element "albert"
+      [
+        Tree.element "service" [ Tree.text "cardiology" ];
+        Tree.element "diagnosis" [];
+      ]
+  in
+  let d', id = Document.append_tree d ~parent:root.id albert in
+  Alcotest.(check int) "four nodes added" (Document.size d + 4)
+    (Document.size d');
+  Alcotest.(check (list string)) "albert is last"
+    [ "franck"; "robert"; "albert" ]
+    (labels_of (Document.children d' root.id));
+  Alcotest.(check bool) "fresh id after robert" true
+    (Ordpath.compare (select_one d "robert") id < 0);
+  (* Existing identifiers are untouched (no renumbering). *)
+  List.iter
+    (fun (n : Node.t) ->
+      Alcotest.(check bool) "old node intact" true
+        (match Document.find d' n.id with
+         | Some m -> Node.equal n m
+         | None -> false))
+    (Document.nodes d)
+
+let test_insert_between () =
+  let d = doc () in
+  let root = Option.get (Document.root_element d) in
+  let franck = select_one d "franck" and robert = select_one d "robert" in
+  let d', _ =
+    Document.add_subtree d ~parent:root.id ~left:(Some franck)
+      ~right:(Some robert)
+      (Tree.element "gaston" [])
+  in
+  Alcotest.(check (list string)) "inserted between"
+    [ "franck"; "gaston"; "robert" ]
+    (labels_of (Document.children d' root.id))
+
+let test_attributes () =
+  let d = Xml_parse.of_string {|<a id="7" lang="fr"><b/></a>|} in
+  let a = Option.get (Document.root_element d) in
+  Alcotest.(check (list string)) "attributes" [ "id"; "lang" ]
+    (labels_of (Document.attributes d a.id));
+  Alcotest.(check (list string)) "element children skip attributes" [ "b" ]
+    (labels_of (Document.element_children d a.id));
+  let id_attr = select_one d "id" in
+  Alcotest.(check string) "attribute string value" "7"
+    (Document.string_value d id_attr)
+
+let test_parse_errors () =
+  let bad src =
+    match Xml_parse.of_string src with
+    | exception Xml_parse.Error _ -> ()
+    | _ -> Alcotest.failf "parse of %S should fail" src
+  in
+  bad "";
+  bad "<a>";
+  bad "<a></b>";
+  bad "<a><b></a></b>";
+  bad "<a>&unknown;</a>";
+  bad "<a/><b/>";
+  bad "<a x=1/>"
+
+let test_parse_entities_cdata () =
+  let d = Xml_parse.of_string "<a>x &lt;&amp;&gt; <![CDATA[<raw>]]> &#65;&#x42;</a>" in
+  let a = Option.get (Document.root_element d) in
+  Alcotest.(check string) "decoded" "x <&> <raw> AB" (Document.string_value d a.id)
+
+let test_print_roundtrip () =
+  let d = doc () in
+  let printed = Xml_print.to_string d in
+  let d' = Xml_parse.of_string printed in
+  Alcotest.(check bool) "roundtrip equal" true (Document.equal d d')
+
+let test_print_escaping () =
+  let t = Tree.element "a" [ Tree.attr "k" "a\"b<c"; Tree.text "1 < 2 & 3" ] in
+  let printed = Xml_print.fragment_to_string t in
+  let d = Xml_parse.of_string printed in
+  let a = Option.get (Document.root_element d) in
+  Alcotest.(check string) "text survives" "1 < 2 & 3"
+    (Document.string_value d a.id);
+  let attr =
+    match Document.attributes d a.id with
+    | [ attr ] -> attr
+    | _ -> Alcotest.fail "expected one attribute"
+  in
+  Alcotest.(check string) "attr survives" "a\"b<c"
+    (Document.string_value d attr.id)
+
+let test_to_tree_roundtrip () =
+  let original =
+    Tree.element "r"
+      [
+        Tree.attr "x" "1";
+        Tree.element "a" [ Tree.text "hello" ];
+        Tree.element "b" [];
+      ]
+  in
+  let d = Document.of_tree original in
+  let root = Option.get (Document.root_element d) in
+  match Document.to_tree d root.id with
+  | Some t -> Alcotest.(check bool) "tree roundtrip" true (Tree.equal original t)
+  | None -> Alcotest.fail "to_tree failed"
+
+(* Property: parse . print = identity on generated documents. *)
+let tree_gen =
+  let open QCheck.Gen in
+  let label = oneofl [ "a"; "b"; "c"; "item"; "x1"; "long-name" ] in
+  let text = oneofl [ "t"; "hello world"; "1 < 2"; "a&b"; "Ümläut" ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then map Tree.text text
+      else
+        frequency
+          [
+            (2, map Tree.text text);
+            ( 3,
+              map2 Tree.element label
+                (list_size (int_range 0 3) (self (depth - 1))) );
+          ])
+    3
+
+let root_gen =
+  QCheck.Gen.(
+    map2
+      (fun name kids -> Tree.element name kids)
+      (oneofl [ "root"; "doc" ])
+      (list_size (int_range 0 4) tree_gen))
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (print t) = t" ~count:200
+    (QCheck.make ~print:Xml_print.fragment_to_string root_gen)
+    (fun tree ->
+      (* Printing merges nothing and strip_whitespace could drop text nodes
+         that are all blanks; the generator never produces blank text. *)
+      let printed = Xml_print.fragment_to_string tree in
+      let reparsed = Xml_parse.fragment_of_string printed in
+      (* Adjacent text nodes merge on reparse; normalize by comparing
+         string values and element structure. *)
+      let rec norm t =
+        match t with
+        | Tree.Element (n, kids) ->
+          Tree.Element (n, List.map norm (merge kids))
+        | t -> t
+      and merge = function
+        | Tree.Text a :: Tree.Text b :: rest -> merge (Tree.Text (a ^ b) :: rest)
+        | k :: rest -> k :: merge rest
+        | [] -> []
+      in
+      Tree.equal (norm tree) (norm reparsed))
+
+let prop_geometry_consistent =
+  QCheck.Test.make ~name:"descendants = transitive children" ~count:100
+    (QCheck.make ~print:Xml_print.fragment_to_string root_gen)
+    (fun tree ->
+      let d = Document.of_tree tree in
+      let rec via_children id =
+        let kids = Document.children d id in
+        List.concat_map
+          (fun (n : Node.t) -> n :: via_children n.id)
+          kids
+      in
+      Document.fold
+        (fun (n : Node.t) acc ->
+          acc
+          && List.equal Node.equal (Document.descendants d n.id)
+               (via_children n.id))
+        d true)
+
+let prop_parent_child_inverse =
+  QCheck.Test.make ~name:"parent is the inverse of children" ~count:100
+    (QCheck.make ~print:Xml_print.fragment_to_string root_gen)
+    (fun tree ->
+      let d = Document.of_tree tree in
+      Document.fold
+        (fun (n : Node.t) acc ->
+          acc
+          && List.for_all
+               (fun (k : Node.t) ->
+                 match Document.parent d k.id with
+                 | Some p -> Ordpath.equal p.id n.id
+                 | None -> false)
+               (Document.children d n.id))
+        d true)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_print_parse_roundtrip;
+        prop_geometry_consistent;
+        prop_parent_child_inverse;
+      ]
+  in
+  Alcotest.run "xmldoc"
+    [
+      ( "document",
+        [
+          Alcotest.test_case "parse counts" `Quick test_parse_counts;
+          Alcotest.test_case "children order" `Quick test_children_order;
+          Alcotest.test_case "descendants" `Quick test_descendants;
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+          Alcotest.test_case "siblings" `Quick test_siblings;
+          Alcotest.test_case "following/preceding" `Quick test_following_preceding;
+          Alcotest.test_case "string value" `Quick test_string_value;
+          Alcotest.test_case "relabel" `Quick test_relabel;
+          Alcotest.test_case "remove subtree" `Quick test_remove_subtree;
+          Alcotest.test_case "append tree" `Quick test_append_tree;
+          Alcotest.test_case "insert between" `Quick test_insert_between;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+        ] );
+      ( "parse/print",
+        [
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "entities and CDATA" `Quick test_parse_entities_cdata;
+          Alcotest.test_case "print roundtrip" `Quick test_print_roundtrip;
+          Alcotest.test_case "print escaping" `Quick test_print_escaping;
+          Alcotest.test_case "to_tree roundtrip" `Quick test_to_tree_roundtrip;
+        ] );
+      ("property", qsuite);
+    ]

@@ -1,0 +1,320 @@
+(* Tests for the XPath engine: lexer/parser, axes, predicates, functions,
+   comparison semantics, and the $USER session variable. *)
+
+open Xmldoc
+
+let hospital =
+  {|<patients>
+  <franck age="34">
+    <service>otolarynology</service>
+    <diagnosis>tonsillitis</diagnosis>
+  </franck>
+  <robert age="71">
+    <service>pneumology</service>
+    <diagnosis>pneumonia</diagnosis>
+  </robert>
+  <albert age="58">
+    <service>cardiology</service>
+    <diagnosis/>
+  </albert>
+</patients>|}
+
+let doc = Xml_parse.of_string hospital
+
+let labels ids =
+  List.map (fun id -> Option.value ~default:"?" (Document.label doc id)) ids
+
+let select ?vars src = Xpath.Eval.select_str ?vars doc src
+
+let check_labels name expected src =
+  Alcotest.(check (list string)) name expected (labels (select src))
+
+let check_count name expected src =
+  Alcotest.(check int) name expected (List.length (select src))
+
+(* --- parsing ---------------------------------------------------------- *)
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let e = Xpath.Parser.parse src in
+      let reprinted = Xpath.Ast.to_string e in
+      let e' = Xpath.Parser.parse reprinted in
+      Alcotest.(check string)
+        (Printf.sprintf "reparse of %s" src)
+        (Xpath.Ast.to_string e) (Xpath.Ast.to_string e'))
+    [
+      "/patients/franck/diagnosis";
+      "//diagnosis/*";
+      "/patients/descendant-or-self::node()";
+      "//*[name() = $USER]";
+      "/patients/*[position() = last()]";
+      "count(//diagnosis) > 2";
+      "1 + 2 * 3";
+      "//a | //b";
+      "(//franck)[1]/service";
+      "@age";
+      "../service";
+      "string-length(normalize-space(' x '))";
+      "-3 + 4";
+      "//franck[@age = 34]";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Xpath.Parser.parse src with
+      | exception Xpath.Parser.Error _ -> ()
+      | _ -> Alcotest.failf "parse of %S should fail" src)
+    [ "/patients/"; "//"; "foo("; "1 +"; "[x]"; "a::b"; "$"; "//*[" ]
+
+let test_parse_path_rejects_scalars () =
+  List.iter
+    (fun src ->
+      match Xpath.Parser.parse_path src with
+      | exception Xpath.Parser.Error _ -> ()
+      | _ -> Alcotest.failf "parse_path of %S should fail" src)
+    [ "1 + 2"; "count(//a)"; "'lit'"; "true()" ]
+
+(* --- selection -------------------------------------------------------- *)
+
+let test_absolute_paths () =
+  check_labels "root" [ "patients" ] "/patients";
+  check_labels "child chain" [ "diagnosis" ] "/patients/franck/diagnosis";
+  check_labels "document node" [ "/" ] "/";
+  check_labels "all patients" [ "franck"; "robert"; "albert" ] "/patients/*"
+
+let test_descendant_paths () =
+  check_labels "all diagnosis" [ "diagnosis"; "diagnosis"; "diagnosis" ]
+    "//diagnosis";
+  check_labels "text under diagnosis" [ "tonsillitis"; "pneumonia" ]
+    "//diagnosis/text()";
+  check_count "descendant-or-self star" 10 "//*";
+  check_labels "nested //" [ "tonsillitis"; "pneumonia" ] "//diagnosis//text()"
+
+let test_attribute_axis () =
+  check_labels "attributes" [ "age"; "age"; "age" ] "//@age";
+  check_labels "franck by attribute" [ "franck" ] "//*[@age = 34]";
+  check_labels "older than 50" [ "robert"; "albert" ] "/patients/*[@age > 50]"
+
+let test_parent_ancestor () =
+  check_labels "parent" [ "franck" ] "/patients/franck/diagnosis/..";
+  check_labels "ancestor" [ "/"; "patients"; "franck" ]
+    "/patients/franck/diagnosis/ancestor::node()";
+  check_labels "ancestor-or-self elements" [ "patients"; "franck"; "diagnosis" ]
+    "/patients/franck/diagnosis/ancestor-or-self::*"
+
+let test_sibling_axes () =
+  check_labels "following-sibling" [ "robert"; "albert" ]
+    "/patients/franck/following-sibling::*";
+  check_labels "preceding-sibling" [ "franck"; "robert" ]
+    "/patients/albert/preceding-sibling::*";
+  check_labels "first preceding sibling of albert" [ "robert" ]
+    "/patients/albert/preceding-sibling::*[1]"
+
+let test_positions () =
+  check_labels "first" [ "franck" ] "/patients/*[1]";
+  check_labels "last" [ "albert" ] "/patients/*[last()]";
+  check_labels "position filter" [ "robert" ] "/patients/*[position() = 2]";
+  check_labels "chained predicates" [ "robert" ]
+    "/patients/*[position() > 1][1]"
+
+let test_predicates () =
+  check_labels "by content" [ "robert" ]
+    "/patients/*[service = 'pneumology']";
+  check_labels "empty diagnosis" [ "albert" ]
+    "/patients/*[not(diagnosis/text())]";
+  check_labels "has diagnosis text" [ "franck"; "robert" ]
+    "/patients/*[diagnosis/text()]";
+  check_labels "and" [ "robert" ]
+    "/patients/*[diagnosis/text() and @age > 50]";
+  check_labels "or" [ "franck"; "albert" ]
+    "/patients/*[@age < 40 or not(diagnosis/text())]"
+
+let test_union () =
+  check_labels "union" [ "service"; "diagnosis" ]
+    "/patients/franck/service | /patients/franck/diagnosis";
+  check_labels "union dedups and sorts" [ "franck"; "robert"; "albert" ]
+    "/patients/* | /patients/franck"
+
+let test_filter_expr () =
+  check_labels "parenthesised filter" [ "franck" ] "(//*)[2]";
+  check_labels "filter then path" [ "otolarynology" ]
+    "(/patients/*)[1]/service/text()"
+
+let test_variables () =
+  let vars = [ ("USER", Xpath.Value.Str "robert") ] in
+  Alcotest.(check (list string)) "name() = $USER" [ "robert" ]
+    (labels (select ~vars "/patients/*[name() = $USER]"));
+  Alcotest.(check (list string)) "subtree of $USER"
+    [ "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia" ]
+    (labels (select ~vars "/patients/*[name() = $USER]/descendant-or-self::node()"));
+  (match select "/patients/*[name() = $USER]" with
+   | exception Xpath.Eval.Error _ -> ()
+   | _ -> Alcotest.fail "unbound variable should raise")
+
+let test_functions () =
+  let e = Xpath.Eval.env doc in
+  let vsrc = Xpath.Source.of_document doc in
+  let eval src =
+    Xpath.Eval.eval e ~context:Ordpath.document (Xpath.Parser.parse src)
+  in
+  let check_num name expected src =
+    match eval src with
+    | Xpath.Value.Num f -> Alcotest.(check (float 1e-9)) name expected f
+    | v -> Alcotest.failf "%s: expected number, got %s" name
+             (Format.asprintf "%a" (Xpath.Value.pp vsrc) v)
+  in
+  let check_str name expected src =
+    Alcotest.(check string) name expected (Xpath.Value.to_string vsrc (eval src))
+  in
+  let check_bool name expected src =
+    Alcotest.(check bool) name expected (Xpath.Value.to_bool vsrc (eval src))
+  in
+  check_num "count" 3. "count(//diagnosis)";
+  check_num "sum of ages" 163. "sum(//@age)";
+  check_num "arith" 7. "1 + 2 * 3";
+  check_num "div" 2.5 "5 div 2";
+  check_num "mod" 1. "7 mod 2";
+  check_num "floor" 2. "floor(2.7)";
+  check_num "ceiling" 3. "ceiling(2.1)";
+  check_num "round" 3. "round(2.5)";
+  check_num "unary minus" (-4.) "-(2 + 2)";
+  check_num "string-length" 5. "string-length('hello')";
+  check_str "concat" "ab-cd" "concat('ab', '-', 'cd')";
+  check_str "substring" "ell" "substring('hello', 2, 3)";
+  check_str "substring-before" "1999" "substring-before('1999/04/01', '/')";
+  check_str "substring-after" "04/01" "substring-after('1999/04/01', '/')";
+  check_str "normalize-space" "a b" "normalize-space('  a   b ')";
+  check_str "translate" "BAr" "translate('bar', 'abc', 'ABC')";
+  check_str "string of first node" "otolarynology" "string(//service)";
+  check_str "name" "patients" "name(/patients)";
+  check_bool "starts-with" true "starts-with('tonsillitis', 'ton')";
+  check_bool "contains" true "contains('tonsillitis', 'sill')";
+  check_bool "not" false "not(true())";
+  check_bool "boolean of empty nodeset" false "boolean(//nothing)";
+  check_bool "boolean of nonempty nodeset" true "boolean(//service)";
+  check_num "number conversion" 34. "number(//franck/@age)";
+  (match eval "frobnicate(1)" with
+   | exception Xpath.Eval.Error _ -> ()
+   | _ -> Alcotest.fail "unknown function should raise")
+
+let test_comparison_semantics () =
+  let e = Xpath.Eval.env doc in
+  let source = Xpath.Source.of_document doc in
+  let eval src =
+    Xpath.Value.to_bool source
+      (Xpath.Eval.eval e ~context:Ordpath.document (Xpath.Parser.parse src))
+  in
+  (* Existential node-set semantics. *)
+  Alcotest.(check bool) "exists equal" true (eval "//service = 'cardiology'");
+  Alcotest.(check bool) "exists not-equal" true (eval "//service != 'cardiology'");
+  Alcotest.(check bool) "no match" false (eval "//service = 'surgery'");
+  Alcotest.(check bool) "numeric existential" true (eval "//@age > 70");
+  Alcotest.(check bool) "numeric all below" false (eval "//@age > 100");
+  (* Node-set vs boolean compares boolean(ns). *)
+  Alcotest.(check bool) "empty ns = false()" true (eval "//nothing = false()");
+  Alcotest.(check bool) "nonempty ns = true()" true (eval "//service = true()");
+  (* Plain scalar comparisons. *)
+  Alcotest.(check bool) "string eq" true (eval "'a' = 'a'");
+  Alcotest.(check bool) "num coercion" true (eval "'2' = 2");
+  Alcotest.(check bool) "bool coercion" true (eval "1 = true()")
+
+let test_reverse_axis_positions () =
+  (* position() on a reverse axis counts nearest-first. *)
+  Alcotest.(check (list string)) "nearest ancestor first" [ "diagnosis" ]
+    (labels (select "//diagnosis/text()[. = 'tonsillitis']/ancestor::*[1]"))
+
+let test_self_and_dot () =
+  check_labels "dot" [ "patients" ] "/patients/.";
+  check_labels "self axis with test" [ "franck" ]
+    "/patients/franck/self::franck";
+  check_labels "self axis mismatched test" [] "/patients/franck/self::robert";
+  Alcotest.(check (list string)) "dot in predicate" [ "pneumology" ]
+    (labels (select "//service/text()[. = 'pneumology']"))
+
+let test_matches () =
+  let e = Xpath.Eval.env doc in
+  let expr = Xpath.Parser.parse "//diagnosis" in
+  let diag = select "//diagnosis" in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "matches selected" true (Xpath.Eval.matches e expr id))
+    diag;
+  let service = select "//service" in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "does not match others" false
+        (Xpath.Eval.matches e expr id))
+    service
+
+(* Property: //X selects exactly descendants with label X. *)
+let prop_dslash =
+  QCheck.Test.make ~name:"//name = filtered descendants" ~count:50
+    (QCheck.oneofl [ "service"; "diagnosis"; "franck"; "nothing" ])
+    (fun name ->
+      let via_xpath = select ("//" ^ name) in
+      let via_scan =
+        List.filter_map
+          (fun (n : Node.t) ->
+            if n.label = name && n.kind = Node.Element then Some n.id else None)
+          (Document.descendants doc Ordpath.document)
+      in
+      via_xpath = via_scan)
+
+(* Property: child::* steps compose like Document.children. *)
+let prop_star_children =
+  QCheck.Test.make ~name:"/patients/*/* equals two child scans" ~count:10
+    QCheck.unit
+    (fun () ->
+      let via_xpath = select "/patients/*/*" in
+      let root = Option.get (Document.root_element doc) in
+      let via_scan =
+        List.concat_map
+          (fun (n : Node.t) ->
+            List.filter_map
+              (fun (k : Node.t) ->
+                if k.kind = Node.Element then Some k.id else None)
+              (Document.children doc n.id))
+          (Document.element_children doc root.id)
+      in
+      via_xpath = List.sort_uniq Ordpath.compare via_scan)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest [ prop_dslash; prop_star_children ]
+  in
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse_path rejects scalars" `Quick
+            test_parse_path_rejects_scalars;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "absolute paths" `Quick test_absolute_paths;
+          Alcotest.test_case "descendant paths" `Quick test_descendant_paths;
+          Alcotest.test_case "attribute axis" `Quick test_attribute_axis;
+          Alcotest.test_case "parent/ancestor" `Quick test_parent_ancestor;
+          Alcotest.test_case "sibling axes" `Quick test_sibling_axes;
+          Alcotest.test_case "positions" `Quick test_positions;
+          Alcotest.test_case "predicates" `Quick test_predicates;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "filter expressions" `Quick test_filter_expr;
+          Alcotest.test_case "variables" `Quick test_variables;
+          Alcotest.test_case "self and dot" `Quick test_self_and_dot;
+          Alcotest.test_case "reverse axis positions" `Quick
+            test_reverse_axis_positions;
+          Alcotest.test_case "matches" `Quick test_matches;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "core library" `Quick test_functions;
+          Alcotest.test_case "comparison semantics" `Quick
+            test_comparison_semantics;
+        ] );
+      ("property", qsuite);
+    ]

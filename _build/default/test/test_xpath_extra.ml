@@ -1,0 +1,314 @@
+(* Edge cases for the XPath engine: number formatting, coercion corners,
+   parser precedence, axis boundary behaviour and error paths. *)
+
+open Xmldoc
+
+let doc =
+  Xml_parse.of_string
+    {|<inventory total="3">
+  <item price="10.5" qty="2">widget</item>
+  <item price="0" qty="0">gadget</item>
+  <item price="-4" qty="7">gizmo</item>
+  <empty/>
+</inventory>|}
+
+let vsrc = Xpath.Source.of_document doc
+let env = Xpath.Eval.env doc
+
+let eval src = Xpath.Eval.eval env ~context:Ordpath.document (Xpath.Parser.parse src)
+let num src = Xpath.Value.to_num vsrc (eval src)
+let str src = Xpath.Value.to_string vsrc (eval src)
+let boolean src = Xpath.Value.to_bool vsrc (eval src)
+let select src = Xpath.Eval.select_str doc src
+
+(* --- numbers ------------------------------------------------------------- *)
+
+let test_number_formatting () =
+  Alcotest.(check string) "integer without point" "3" (str "1 + 2");
+  Alcotest.(check string) "fraction" "0.5" (str "1 div 2");
+  Alcotest.(check string) "negative" "-4" (str "0 - 4");
+  Alcotest.(check string) "infinity" "Infinity" (str "1 div 0");
+  Alcotest.(check string) "-infinity" "-Infinity" (str "-1 div 0");
+  Alcotest.(check string) "NaN" "NaN" (str "0 div 0");
+  Alcotest.(check string) "NaN from text" "NaN" (str "number('abc')")
+
+let test_arithmetic_corners () =
+  Alcotest.(check bool) "NaN is not equal to itself" false (boolean "0 div 0 = 0 div 0");
+  Alcotest.(check bool) "NaN != NaN" true (boolean "0 div 0 != 0 div 0");
+  Alcotest.(check (float 1e-9)) "mod sign follows dividend" (-1.) (num "-7 mod 2");
+  Alcotest.(check (float 1e-9)) "mod fractional" 0.5 (num "2.5 mod 1");
+  Alcotest.(check (float 1e-9)) "double negation" 3. (num "- -3");
+  Alcotest.(check (float 1e-9)) "sum with negatives" 6.5 (num "sum(//@price)");
+  Alcotest.(check (float 1e-9)) "round half up" 3. (num "round(2.5)");
+  Alcotest.(check (float 1e-9)) "round negative" (-2.) (num "round(-2.5)");
+  Alcotest.(check (float 1e-9)) "boolean to number" 1. (num "number(true())")
+
+let test_coercions () =
+  Alcotest.(check bool) "empty nodeset != '' as existential" false
+    (boolean "//nothing = ''");
+  Alcotest.(check bool) "empty nodeset != anything" false
+    (boolean "//nothing = //nothing");
+  Alcotest.(check bool) "empty nodeset equals false()" true
+    (boolean "//nothing = false()");
+  Alcotest.(check bool) "string number equality" true (boolean "'10.5' = 10.5");
+  Alcotest.(check bool) "nodeset numeric compare" true (boolean "//@qty > 5");
+  Alcotest.(check bool) "existential both ways" true
+    (boolean "//@qty < //@price");
+  Alcotest.(check bool) "string of empty nodeset is empty" true
+    (boolean "string(//nothing) = ''")
+
+(* --- parser -------------------------------------------------------------- *)
+
+let test_precedence () =
+  Alcotest.(check bool) "or/and precedence" true
+    (boolean "true() or false() and false()");
+  Alcotest.(check bool) "comparison binds tighter than and" true
+    (boolean "1 < 2 and 3 < 4");
+  Alcotest.(check bool) "equality chains left" true (boolean "(1 = 1) = true()");
+  Alcotest.(check (float 1e-9)) "mul before add" 7. (num "1 + 2 * 3");
+  Alcotest.(check (float 1e-9)) "parens" 9. (num "(1 + 2) * 3");
+  Alcotest.(check (float 1e-9)) "div and mod same level" 1. (num "7 mod 3 * 1");
+  Alcotest.(check bool) "unary minus below union" true
+    (boolean "-1 < count(//item | //empty)")
+
+let test_parser_names_as_operators () =
+  (* 'and', 'or', 'div', 'mod' remain usable as element names. *)
+  let d = Xml_parse.of_string "<or><and>1</and><div>2</div><mod>3</mod></or>" in
+  Alcotest.(check int) "or element" 1
+    (List.length (Xpath.Eval.select_str d "/or"));
+  Alcotest.(check int) "and child" 1
+    (List.length (Xpath.Eval.select_str d "/or/and"));
+  Alcotest.(check int) "div by name" 1
+    (List.length (Xpath.Eval.select_str d "//div"));
+  Alcotest.(check bool) "and still an operator after an operand" true
+    (match Xpath.Eval.select_str d "/or[and and mod]" with
+     | [ _ ] -> true
+     | _ -> false)
+
+let test_qualified_names () =
+  let d = Xml_parse.of_string "<x:root><x:kid/><plain/></x:root>" in
+  Alcotest.(check int) "qname test" 1
+    (List.length (Xpath.Eval.select_str d "/x:root/x:kid"));
+  Alcotest.(check int) "qname star" 2
+    (List.length (Xpath.Eval.select_str d "/x:root/*"))
+
+(* --- axes ---------------------------------------------------------------- *)
+
+let test_axis_boundaries () =
+  Alcotest.(check int) "parent of document node is empty" 0
+    (List.length (select "/.."));
+  Alcotest.(check int) "following of last node" 0
+    (List.length (select "//empty/following::node()"));
+  Alcotest.(check int) "preceding of root element" 0
+    (List.length (select "/inventory/preceding::node()"));
+  Alcotest.(check int) "attribute parent" 3
+    (List.length (select "//@price/.."));
+  Alcotest.(check int) "ancestors of attribute include the document node" 3
+    (List.length (select "//item[1]/@price/ancestor::node()"));
+  Alcotest.(check int) "attributes not on child axis" 1
+    (List.length (select "//item[1]/node()"));
+  Alcotest.(check int) "attribute axis star" 7 (List.length (select "//@*"))
+
+let test_document_node_context () =
+  Alcotest.(check int) "self of document" 1 (List.length (select "/."));
+  (* 23 stored nodes minus 7 attributes and their 7 text values. *)
+  Alcotest.(check int) "descendant-or-self from document (tree nodes)" 9
+    (List.length (select "/descendant-or-self::node()"));
+  Alcotest.(check int) "root element is child of document" 1
+    (List.length (select "/child::node()"))
+
+let test_predicate_positions () =
+  Alcotest.(check int) "non-integer position never matches" 0
+    (List.length (select "//item[0.5]"));
+  Alcotest.(check int) "position 0 never matches" 0
+    (List.length (select "//item[0]"));
+  Alcotest.(check int) "beyond last" 0 (List.length (select "//item[99]"));
+  Alcotest.(check int) "last()" 1 (List.length (select "//item[last()]"));
+  (* first element child of each parent: inventory, first item *)
+  Alcotest.(check int) "predicate on //: per parent position" 2
+    (List.length (select "//*[1]"));
+  (* //item[1] finds the first item of each parent: one here. *)
+  Alcotest.(check int) "//item[1]" 1 (List.length (select "//item[1]"))
+
+let test_union_and_errors () =
+  Alcotest.(check int) "union of disjoint" 4
+    (List.length (select "//item | //empty"));
+  Alcotest.(check int) "self union" 3 (List.length (select "//item | //item"));
+  (match select "//item | 3" with
+   | exception Xpath.Eval.Error _ -> ()
+   | _ -> Alcotest.fail "union with number must fail");
+  (match select "count(//item)/x" with
+   | exception (Xpath.Eval.Error _ | Xpath.Parser.Error _) -> ()
+   | _ -> Alcotest.fail "path step from a number must fail");
+  (match eval "count(1)" with
+   | exception Xpath.Eval.Error _ -> ()
+   | _ -> Alcotest.fail "count of non-nodeset must fail");
+  (match eval "count()" with
+   | exception Xpath.Eval.Error _ -> ()
+   | _ -> Alcotest.fail "count without argument must fail")
+
+let test_string_functions_edges () =
+  Alcotest.(check string) "substring NaN start" "" (str "substring('abc', 0 div 0)");
+  Alcotest.(check string) "substring clamps low" "ab" (str "substring('abc', 0, 3)");
+  Alcotest.(check string) "substring infinity length" "bc" (str "substring('abc', 2)");
+  Alcotest.(check bool) "contains empty" true (boolean "contains('abc', '')");
+  Alcotest.(check bool) "starts-with empty" true (boolean "starts-with('abc', '')");
+  Alcotest.(check string) "substring-before absent" ""
+    (str "substring-before('abc', 'z')");
+  Alcotest.(check string) "substring-after absent" ""
+    (str "substring-after('abc', 'z')");
+  Alcotest.(check string) "translate shrinking" "bc"
+    (str "translate('abc', 'a', '')")
+
+let test_normalize_space_exact () =
+  Alcotest.(check string) "tabs and newlines" "e a b"
+    (str "normalize-space('\te  a \n b ')")
+
+let test_value_semantics_on_elements () =
+  Alcotest.(check string) "element string value" "widget" (str "string(//item)");
+  Alcotest.(check bool) "string value across children" true
+    (boolean "string(/inventory) = 'widgetgadgetgizmo'");
+  Alcotest.(check (float 1e-9)) "count nested" 4. (num "count(/inventory/*)")
+
+(* --- regression-style randomized checks ----------------------------------- *)
+
+let prop_position_slices =
+  QCheck.Test.make ~count:100 ~name:"//item[n] = nth of scan"
+    (QCheck.int_range 1 5)
+    (fun n ->
+      let via = select (Printf.sprintf "/inventory/item[%d]" n) in
+      let scan =
+        List.filteri (fun i _ -> i = n - 1)
+          (List.filter_map
+             (fun (m : Node.t) ->
+               if m.kind = Node.Element && m.label = "item" then Some m.id
+               else None)
+             (Document.children doc
+                (Option.get (Document.root_element doc)).id))
+      in
+      via = scan)
+
+(* Printer/parser fixpoint over generated ASTs: printing any expression
+   and re-parsing yields an expression that prints identically (so the
+   printer respects operator precedence). *)
+let ast_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun i -> Xpath.Ast.Number (float_of_int i)) (int_range 0 20);
+        map (fun s -> Xpath.Ast.Literal s) (oneofl [ "a"; "x y"; "" ]);
+        map (fun v -> Xpath.Ast.Var v) (oneofl [ "USER"; "v" ]);
+        oneofl
+          [
+            Xpath.Ast.Path
+              { absolute = true;
+                steps =
+                  [ { axis = Xpath.Ast.Child; test = Xpath.Ast.Name "item";
+                      preds = [] } ] };
+            Xpath.Ast.Call ("true", []);
+            Xpath.Ast.Call ("count",
+              [ Xpath.Ast.Path
+                  { absolute = true;
+                    steps =
+                      [ { axis = Xpath.Ast.Descendant_or_self;
+                          test = Xpath.Ast.Node_test; preds = [] } ] } ]);
+          ];
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        let sub = self (depth - 1) in
+        frequency
+          [
+            (2, leaf);
+            (2, map2 (fun a b -> Xpath.Ast.Or (a, b)) sub sub);
+            (2, map2 (fun a b -> Xpath.Ast.And (a, b)) sub sub);
+            ( 3,
+              map3
+                (fun op a b -> Xpath.Ast.Cmp (op, a, b))
+                (oneofl Xpath.Ast.[ Eq; Neq; Lt; Le; Gt; Ge ])
+                sub sub );
+            ( 3,
+              map3
+                (fun op a b -> Xpath.Ast.Arith (op, a, b))
+                (oneofl Xpath.Ast.[ Add; Sub; Mul; Div; Mod ])
+                sub sub );
+            (1, map (fun a -> Xpath.Ast.Neg a) sub);
+          ])
+    3
+
+let prop_print_parse_fixpoint =
+  QCheck.Test.make ~count:400 ~name:"print/parse fixpoint on generated ASTs"
+    (QCheck.make ~print:Xpath.Ast.to_string ast_gen)
+    (fun e ->
+      let printed = Xpath.Ast.to_string e in
+      match Xpath.Parser.parse printed with
+      | reparsed -> String.equal printed (Xpath.Ast.to_string reparsed)
+      | exception Xpath.Parser.Error _ -> false)
+
+let prop_print_parse_preserves_value =
+  QCheck.Test.make ~count:300
+    ~name:"re-parsed expressions evaluate identically"
+    (QCheck.make ~print:Xpath.Ast.to_string ast_gen)
+    (fun e ->
+      let ev expr =
+        match
+          Xpath.Eval.eval
+            (Xpath.Eval.env ~vars:[ ("USER", Xpath.Value.Str "u");
+                                    ("v", Xpath.Value.Num 3.) ] doc)
+            ~context:Ordpath.document expr
+        with
+        | Xpath.Value.Num f when Float.is_nan f -> Xpath.Value.Str "NaN-canon"
+        | v -> v
+      in
+      ev e = ev (Xpath.Parser.parse (Xpath.Ast.to_string e)))
+
+let prop_union_commutes =
+  let paths = [ "//item"; "//empty"; "//@price"; "//text()"; "/inventory" ] in
+  QCheck.Test.make ~count:60 ~name:"union commutes and is idempotent"
+    QCheck.(pair (oneofl paths) (oneofl paths))
+    (fun (a, b) ->
+      select (a ^ " | " ^ b) = select (b ^ " | " ^ a)
+      && select (a ^ " | " ^ a) = select a)
+
+let () =
+  Alcotest.run "xpath_extra"
+    [
+      ( "numbers",
+        [
+          Alcotest.test_case "formatting" `Quick test_number_formatting;
+          Alcotest.test_case "arithmetic corners" `Quick test_arithmetic_corners;
+          Alcotest.test_case "coercions" `Quick test_coercions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "operator names as elements" `Quick
+            test_parser_names_as_operators;
+          Alcotest.test_case "qualified names" `Quick test_qualified_names;
+        ] );
+      ( "axes",
+        [
+          Alcotest.test_case "boundaries" `Quick test_axis_boundaries;
+          Alcotest.test_case "document context" `Quick test_document_node_context;
+          Alcotest.test_case "predicate positions" `Quick test_predicate_positions;
+        ] );
+      ( "values",
+        [
+          Alcotest.test_case "union and errors" `Quick test_union_and_errors;
+          Alcotest.test_case "string function edges" `Quick
+            test_string_functions_edges;
+          Alcotest.test_case "normalize-space" `Quick test_normalize_space_exact;
+          Alcotest.test_case "element string values" `Quick
+            test_value_semantics_on_elements;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_position_slices; prop_union_commutes;
+            prop_print_parse_fixpoint; prop_print_parse_preserves_value;
+          ] );
+    ]

@@ -1,0 +1,268 @@
+(* Tests for the unsecured XUpdate semantics of §3.4 (the paper's worked
+   examples) and the XUpdate XML wire syntax. *)
+
+open Xmldoc
+
+let doc () = Xml_parse.of_string Core.Paper_example.document_xml
+
+let labels d =
+  List.map (fun (n : Node.t) -> n.label) (Document.nodes d)
+
+(* §3.4.1: xupdate:rename //service -> department. *)
+let test_rename_example () =
+  let outcome = Xupdate.Apply.apply (doc ()) (Xupdate.Op.rename "//service" "department") in
+  Alcotest.(check (list string)) "services renamed"
+    [
+      "/"; "patients";
+      "franck"; "department"; "otolarynology"; "diagnosis"; "tonsillitis";
+      "robert"; "department"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (labels outcome.doc);
+  Alcotest.(check int) "two targets" 2 (List.length outcome.targets);
+  Alcotest.(check int) "two relabelled" 2 (List.length outcome.relabelled)
+
+(* §3.4.1: xupdate:update /patients/franck/diagnosis -> pharyngitis. *)
+let test_update_example () =
+  let outcome =
+    Xupdate.Apply.apply (doc ())
+      (Xupdate.Op.update "/patients/franck/diagnosis" "pharyngitis")
+  in
+  Alcotest.(check (list string)) "diagnosis content updated"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology"; "diagnosis"; "pharyngitis";
+      "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (labels outcome.doc)
+
+(* §3.4.2: xupdate:append a new medical record under /patients. *)
+let test_append_example () =
+  let albert =
+    Tree.element "albert"
+      [ Tree.element "service" [ Tree.text "cardiology" ];
+        Tree.element "diagnosis" [] ]
+  in
+  let outcome = Xupdate.Apply.apply (doc ()) (Xupdate.Op.append "/patients" albert) in
+  Alcotest.(check (list string)) "albert appended"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology"; "diagnosis"; "tonsillitis";
+      "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+      "albert"; "service"; "cardiology"; "diagnosis";
+    ]
+    (labels outcome.doc);
+  (* Tree-geometry facts of §3.4.2: albert follows robert; the inserted
+     children are in order. *)
+  let d = outcome.doc in
+  let albert_id = List.hd outcome.inserted in
+  let robert_id =
+    (List.find
+       (fun (n : Node.t) -> n.label = "robert")
+       (Document.nodes d)).id
+  in
+  Alcotest.(check bool) "preceding_sibling(robert, albert)" true
+    (List.exists
+       (fun (n : Node.t) -> Ordpath.equal n.id robert_id)
+       (Document.preceding_siblings d albert_id))
+
+(* §3.4.3: xupdate:remove /patients/franck/diagnosis. *)
+let test_remove_example () =
+  let outcome =
+    Xupdate.Apply.apply (doc ()) (Xupdate.Op.remove "/patients/franck/diagnosis")
+  in
+  Alcotest.(check (list string)) "diagnosis subtree gone"
+    [
+      "/"; "patients";
+      "franck"; "service"; "otolarynology";
+      "robert"; "service"; "pneumology"; "diagnosis"; "pneumonia";
+    ]
+    (labels outcome.doc)
+
+let test_insert_before_after () =
+  let d = doc () in
+  let o1 =
+    Xupdate.Apply.apply d
+      (Xupdate.Op.insert_before "/patients/franck" (Tree.element "aaron" []))
+  in
+  let o2 =
+    Xupdate.Apply.apply o1.doc
+      (Xupdate.Op.insert_after "/patients/franck" (Tree.element "bella" []))
+  in
+  let patients =
+    (Option.get (Document.root_element o2.doc)).id
+  in
+  Alcotest.(check (list string)) "order"
+    [ "aaron"; "franck"; "bella"; "robert" ]
+    (List.map (fun (n : Node.t) -> n.label)
+       (Document.children o2.doc patients))
+
+let test_multi_target_insert () =
+  (* Inserting after every service: one copy per target (formula 7: "each
+     node is inserted at as many places as nodes addressed by PATH"). *)
+  let outcome =
+    Xupdate.Apply.apply (doc ())
+      (Xupdate.Op.insert_after "//service" (Tree.element "note" []))
+  in
+  Alcotest.(check int) "two copies" 2 (List.length outcome.inserted)
+
+let test_remove_nested_targets () =
+  (* //node() selects both franck and his descendants: removing franck
+     first must not break the removal of the rest. *)
+  let outcome = Xupdate.Apply.apply (doc ()) (Xupdate.Op.remove "//node()") in
+  Alcotest.(check (list string)) "everything below / gone" [ "/" ]
+    (labels outcome.doc)
+
+let test_no_renumbering () =
+  (* The numbering scheme contract of §3.1: identifiers of surviving nodes
+     are stable across arbitrary update sequences. *)
+  let d0 = doc () in
+  let o1 =
+    Xupdate.Apply.apply d0
+      (Xupdate.Op.insert_before "/patients/franck" (Tree.element "x" []))
+  in
+  let o2 = Xupdate.Apply.apply o1.doc (Xupdate.Op.remove "/patients/x") in
+  let o3 = Xupdate.Apply.apply o2.doc (Xupdate.Op.rename "//service" "dept") in
+  Document.iter
+    (fun (n : Node.t) ->
+      match Document.find o3.doc n.id with
+      | Some m ->
+        if n.label = "service" then
+          Alcotest.(check string) "renamed in place" "dept" m.label
+        else Alcotest.(check string) "label stable" n.label m.label
+      | None -> Alcotest.failf "node %s lost" (Ordpath.to_string n.id))
+    d0
+
+let test_skips () =
+  let d = doc () in
+  (* Appending under a text node is skipped, not an error. *)
+  let o =
+    Xupdate.Apply.apply d
+      (Xupdate.Op.append "//service/text()" (Tree.element "x" []))
+  in
+  Alcotest.(check int) "two skips" 2 (List.length o.skipped);
+  Alcotest.(check int) "no insertions" 0 (List.length o.inserted);
+  (* Renaming the document node is skipped. *)
+  let o2 = Xupdate.Apply.apply d (Xupdate.Op.rename "/" "boom") in
+  Alcotest.(check int) "skip document" 1 (List.length o2.skipped);
+  (* Removing the document node is skipped. *)
+  let o3 = Xupdate.Apply.apply d (Xupdate.Op.remove "/") in
+  Alcotest.(check int) "skip remove" 1 (List.length o3.skipped)
+
+(* --- wire syntax -------------------------------------------------------- *)
+
+let modifications =
+  {|<?xml version="1.0"?>
+<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:rename select="//service">department</xupdate:rename>
+  <xupdate:update select="/patients/franck/diagnosis">pharyngitis</xupdate:update>
+  <xupdate:append select="/patients">
+    <xupdate:element name="albert">
+      <xupdate:attribute name="id">77</xupdate:attribute>
+      <service>cardiology</service>
+      <xupdate:comment>new record</xupdate:comment>
+    </xupdate:element>
+  </xupdate:append>
+  <xupdate:insert-before select="/patients/franck">
+    <first/>
+    <second/>
+  </xupdate:insert-before>
+  <xupdate:insert-after select="/patients/robert">
+    <third/>
+    <fourth/>
+  </xupdate:insert-after>
+  <xupdate:remove select="//diagnosis"/>
+</xupdate:modifications>|}
+
+let test_wire_parse () =
+  let ops = Xupdate.Xupdate_xml.ops_of_string modifications in
+  Alcotest.(check int) "seven ops (multi-content expands)" 8 (List.length ops);
+  match List.nth ops 2 with
+  | Xupdate.Op.Append { content; _ } ->
+    (match Xupdate.Content.to_tree content with
+     | Some tree ->
+       Alcotest.(check string) "constructed element" "albert" (Tree.name tree);
+       (match tree with
+        | Tree.Element (_, Tree.Attr ("id", "77") :: _) -> ()
+        | _ -> Alcotest.fail "expected the id attribute first")
+     | None -> Alcotest.fail "static content expected")
+  | _ -> Alcotest.fail "expected an append op"
+
+let test_wire_apply_order () =
+  let ops = Xupdate.Xupdate_xml.ops_of_string modifications in
+  let d = Xupdate.Apply.apply_all (doc ()) ops in
+  let patients = (Option.get (Document.root_element d)).id in
+  Alcotest.(check (list string)) "content order preserved"
+    [ "first"; "second"; "franck"; "robert"; "third"; "fourth"; "albert" ]
+    (List.map (fun (n : Node.t) -> n.label) (Document.children d patients))
+
+let test_wire_roundtrip () =
+  let ops = Xupdate.Xupdate_xml.ops_of_string modifications in
+  let printed = Xupdate.Xupdate_xml.to_string ops in
+  let ops2 = Xupdate.Xupdate_xml.ops_of_string printed in
+  Alcotest.(check int) "same op count" (List.length ops) (List.length ops2);
+  let d1 = Xupdate.Apply.apply_all (doc ()) ops in
+  let d2 = Xupdate.Apply.apply_all (doc ()) ops2 in
+  Alcotest.(check bool) "same effect" true (Document.equal d1 d2)
+
+let test_wire_errors () =
+  List.iter
+    (fun src ->
+      match Xupdate.Xupdate_xml.ops_of_string src with
+      | exception Xupdate.Xupdate_xml.Error _ -> ()
+      | _ -> Alcotest.failf "%S should fail" src)
+    [
+      "<not-modifications/>";
+      "<xupdate:modifications><xupdate:rename>x</xupdate:rename></xupdate:modifications>";
+      "<xupdate:modifications><xupdate:frob select='/'/></xupdate:modifications>";
+      "<xupdate:modifications><xupdate:update select='//a'><b/></xupdate:update></xupdate:modifications>";
+      "<xupdate:modifications><xupdate:append select='//a'><xupdate:element>x</xupdate:element></xupdate:append></xupdate:modifications>";
+    ]
+
+(* Property: remove really removes — no descendant of a removed target
+   survives, and nothing else is lost. *)
+let prop_remove_exact =
+  QCheck.Test.make ~count:100 ~name:"remove removes exactly the subtrees"
+    (QCheck.oneofl [ "//service"; "//diagnosis"; "//franck"; "//nothing"; "//text()" ])
+    (fun path ->
+      let d = doc () in
+      let o = Xupdate.Apply.apply d (Xupdate.Op.remove path) in
+      let removed_under id =
+        List.exists
+          (fun t -> Ordpath.is_ancestor_or_self ~ancestor:t id)
+          o.targets
+      in
+      Document.fold
+        (fun (n : Node.t) ok ->
+          ok && Document.mem o.doc n.id = not (removed_under n.id))
+        d true)
+
+let () =
+  Alcotest.run "xupdate"
+    [
+      ( "paper examples (§3.4)",
+        [
+          Alcotest.test_case "rename" `Quick test_rename_example;
+          Alcotest.test_case "update" `Quick test_update_example;
+          Alcotest.test_case "append" `Quick test_append_example;
+          Alcotest.test_case "remove" `Quick test_remove_example;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "insert before/after" `Quick
+            test_insert_before_after;
+          Alcotest.test_case "multi-target insert" `Quick
+            test_multi_target_insert;
+          Alcotest.test_case "nested remove targets" `Quick
+            test_remove_nested_targets;
+          Alcotest.test_case "no renumbering" `Quick test_no_renumbering;
+          Alcotest.test_case "skips" `Quick test_skips;
+        ] );
+      ( "wire syntax",
+        [
+          Alcotest.test_case "parse" `Quick test_wire_parse;
+          Alcotest.test_case "apply order" `Quick test_wire_apply_order;
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "errors" `Quick test_wire_errors;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_remove_exact ]);
+    ]
