@@ -745,6 +745,120 @@ let e14 () =
   benchmark_group "ablation" tests
 
 (* ---------------------------------------------------------------------- *)
+(* E17: incremental maintenance vs from-scratch re-derivation              *)
+(* ---------------------------------------------------------------------- *)
+
+let e17 () =
+  section
+    "E17: incremental maintenance (Delta) vs from-scratch re-derivation";
+  (* A ~1k-node hospital shared by 8 sessions whose rules are all
+     downward, so every session takes the genuinely incremental path. *)
+  let config =
+    { Workload.Gen_doc.patients = 120; visits_per_patient = 2;
+      diagnosed_fraction = 0.8; seed = 17 }
+  in
+  let doc = Workload.Gen_doc.generate config in
+  Printf.printf "  document: %d nodes, 8 sessions, single-node renames\n"
+    (D.size doc);
+  let users = List.init 8 (Printf.sprintf "w%d") in
+  let subjects =
+    Core.Subject.of_list
+      ((Core.Subject.Role, "staff", [])
+       :: List.map (fun u -> (Core.Subject.User, u, [ "staff" ])) users)
+  in
+  let staff_rules =
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"staff"
+        ~priority:1;
+      Core.Rule.deny Core.Privilege.Read ~path:"//diagnosis/node()"
+        ~subject:"staff" ~priority:2;
+      Core.Rule.accept Core.Privilege.Position ~path:"//diagnosis/node()"
+        ~subject:"staff" ~priority:3;
+      Core.Rule.accept Core.Privilege.Update ~path:"//node()" ~subject:"staff"
+        ~priority:4;
+    ]
+  in
+  (* Per-user rule tails so the 8 permission sets genuinely differ. *)
+  let user_rules =
+    List.concat
+      (List.mapi
+         (fun i u ->
+           if i mod 2 = 0 then
+             [ Core.Rule.deny Core.Privilege.Read ~path:"//note" ~subject:u
+                 ~priority:(10 + i) ]
+           else
+             [ Core.Rule.deny Core.Privilege.Read ~path:"//visit/date"
+                 ~subject:u ~priority:(10 + i) ])
+         users)
+  in
+  let policy = Core.Policy.v subjects (staff_rules @ user_rules) in
+  let sessions = List.map (fun u -> Core.Session.login policy doc ~user:u) users in
+  check "E17" "all 8 sessions are downward-local"
+    (List.for_all Core.Session.policy_local sessions);
+  (* Pre-compute the update stream so both timed paths replay the same
+     (document, delta) sequence: 24 single-node renames on distinct
+     service elements. *)
+  let steps =
+    let rec go doc i acc =
+      if i > 24 then List.rev acc
+      else
+        let outcome =
+          Xupdate.Apply.apply doc
+            (Xupdate.Op.rename
+               (Printf.sprintf "/patients/*[%d]/service" (i * 4))
+               "department")
+        in
+        let delta =
+          Core.Delta.of_roots (Xupdate.Apply.affected_roots outcome)
+        in
+        go outcome.Xupdate.Apply.doc (i + 1) ((outcome.Xupdate.Apply.doc, delta) :: acc)
+    in
+    go doc 1 []
+  in
+  check "E17" "every step's delta is a single local subtree"
+    (List.for_all
+       (fun (_, delta) ->
+         match Core.Delta.roots delta with Some [ _ ] -> true | _ -> false)
+       steps);
+  let replay maintain =
+    let t0 = Sys.time () in
+    let finals =
+      List.fold_left
+        (fun sessions (doc, delta) ->
+          List.map (fun s -> maintain s doc delta) sessions)
+        sessions steps
+    in
+    (Sys.time () -. t0, finals)
+  in
+  let incremental_time, incremental =
+    replay (fun s doc delta -> Core.Session.apply_delta s doc delta)
+  in
+  let scratch_time, scratch =
+    replay (fun s doc _delta -> Core.Session.refresh s doc)
+  in
+  check "E17" "incremental sessions match from-scratch re-derivation"
+    (List.for_all2
+       (fun a b ->
+         D.equal (Core.Session.view a) (Core.Session.view b)
+         && List.for_all
+              (fun privilege ->
+                List.for_all
+                  (fun (n : Xmldoc.Node.t) ->
+                    Core.Session.holds a privilege n.id
+                    = Core.Session.holds b privilege n.id)
+                  (D.nodes (Core.Session.source a)))
+              Core.Privilege.all)
+       incremental scratch);
+  let speedup =
+    if incremental_time > 0. then scratch_time /. incremental_time
+    else Float.infinity
+  in
+  Printf.printf
+    "  24 writes x 8 sessions: from-scratch %.1f ms, incremental %.1f ms (%.1fx)\n"
+    (1000. *. scratch_time) (1000. *. incremental_time) speedup;
+  check "E17" "incremental maintenance is >= 5x faster" (speedup >= 5.)
+
+(* ---------------------------------------------------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
@@ -759,6 +873,7 @@ let () =
   e6 ();
   e10 ();
   e11 ();
+  e17 ();
   if not quick then begin
     e7 ();
     e8 ();

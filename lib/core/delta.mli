@@ -1,0 +1,53 @@
+(** The ordpath range affected by an XUpdate operation, and the locality
+    analysis that makes range-based invalidation sound.
+
+    Applying an operation (axioms 2–9) changes facts only inside the
+    subtrees rooted at the nodes it relabelled, removed or inserted
+    ({!Xupdate.Apply.affected_roots}).  For a session whose applicable
+    rules are all {e downward} paths ({!Xpath.Ast.is_downward}), the
+    selection of any node depends only on its own label and its ancestor
+    chain — so permissions, view membership and memoised visibility can
+    change {e only} inside that same range, and everything outside it
+    survives the write untouched.  Sessions with non-downward rules
+    (predicates, sibling or upward axes) fall back to {!all}, which is
+    plain full re-derivation.
+
+    Per-axiom ranges (see DESIGN.md, "Incremental maintenance"):
+    rename (2–3) touches the subtree of each renamed node; update (4–5)
+    the subtrees of the relabelled children; append / insert-before /
+    insert-after (6–7, 22–24) the freshly numbered subtree; remove (8–9,
+    25) the deleted subtree. *)
+
+type t =
+  | Local of Ordpath.t list
+      (** The union of the subtrees rooted at these nodes; normalized
+          (document order, no root an ancestor of another, no document
+          node, no duplicates).  [Local []] is the empty delta. *)
+  | All  (** Conservative: everything may have changed. *)
+
+val empty : t
+val all : t
+
+val of_roots : Ordpath.t list -> t
+(** Normalizes: sorts, deduplicates, drops roots covered by other roots.
+    A list containing the document node widens to {!All}. *)
+
+val union : t -> t -> t
+
+val is_empty : t -> bool
+
+val affects : t -> Ordpath.t -> bool
+(** Is the node inside the range, i.e. equal to or descending from an
+    affected root?  [All] affects every node. *)
+
+val roots : t -> Ordpath.t list option
+(** [Some roots] for a local delta, [None] for {!All}. *)
+
+val local_expr : Xpath.Ast.expr -> bool
+(** Alias of {!Xpath.Ast.is_downward}. *)
+
+val local_rules : Rule.t list -> bool
+(** Are all the rules' paths downward — i.e. is range-based invalidation
+    sound for a session governed by exactly these rules? *)
+
+val pp : Format.formatter -> t -> unit

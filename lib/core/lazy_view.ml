@@ -1,20 +1,28 @@
 module D = Xmldoc.Document
 
+type stats = { mutable hits : int; mutable misses : int }
+
 type t = {
   doc : D.t;
   perm : Perm.t;
   memo : (Ordpath.t, bool) Hashtbl.t;
+  stats : stats;
 }
 
-let create doc perm = { doc; perm; memo = Hashtbl.create 64 }
+let create doc perm =
+  { doc; perm; memo = Hashtbl.create 64; stats = { hits = 0; misses = 0 } }
+
 let of_session session = create (Session.source session) (Session.perm session)
 
 (* Axioms 15-17, demand-driven: a node is selected iff its parent is and
    the user holds read or position on it. *)
 let rec visible t id =
   match Hashtbl.find_opt t.memo id with
-  | Some v -> v
+  | Some v ->
+    t.stats.hits <- t.stats.hits + 1;
+    v
   | None ->
+    t.stats.misses <- t.stats.misses + 1;
     let v =
       if Ordpath.equal id Ordpath.document then D.mem t.doc id
       else if not (D.mem t.doc id) then false
@@ -28,6 +36,23 @@ let rec visible t id =
     in
     Hashtbl.add t.memo id v;
     v
+
+(* Delta-aware invalidation: only memoised visibility decisions inside
+   the affected range can have gone stale (the range is closed under
+   descendants, and a decision depends only on the node's own permissions
+   and its ancestors' — all inside the range whenever any of them is).
+   The surviving entries migrate to the rebased value; the old value must
+   not be used afterwards, as the table is shared, not copied. *)
+let rebase t doc perm delta =
+  match delta with
+  | Delta.All ->
+    { doc; perm; memo = Hashtbl.create 64; stats = t.stats }
+  | Delta.Local [] -> { t with doc; perm }
+  | Delta.Local _ ->
+    Hashtbl.filter_map_inplace
+      (fun id v -> if Delta.affects delta id then None else Some v)
+      t.memo;
+    { t with doc; perm }
 
 let label t id =
   if not (visible t id) then None
@@ -105,3 +130,9 @@ let select_str ?vars t src = select ?vars t (Xpath.Parser.parse_path src)
 
 let materialize t = View.derive t.doc t.perm
 let probed_nodes t = Hashtbl.length t.memo
+let hits t = t.stats.hits
+let misses t = t.stats.misses
+
+let reset_stats t =
+  t.stats.hits <- 0;
+  t.stats.misses <- 0

@@ -42,3 +42,22 @@ val materialize : t -> Xmldoc.Document.t
 val probed_nodes : t -> int
 (** How many distinct nodes have had their visibility decided so far —
     the work-saving measure the E13 bench reports. *)
+
+val rebase : t -> Xmldoc.Document.t -> Perm.t -> Delta.t -> t
+(** [rebase t doc perm delta] carries the memoised visibility decisions
+    over to the updated source and permissions, evicting only the entries
+    inside [delta] (a decision depends on the node and its ancestors
+    only, so entries outside an affected subtree are still valid for a
+    session whose rules are downward — widen to {!Delta.all} otherwise,
+    e.g. when {!Session.policy_local} is false).  The memo table is
+    shared, not copied: the old value must not be used after a rebase.
+    Hit/miss counters survive the rebase. *)
+
+val hits : t -> int
+(** Memo lookups answered from the cache since creation (or the last
+    {!reset_stats}). *)
+
+val misses : t -> int
+(** Memo lookups that had to decide visibility afresh. *)
+
+val reset_stats : t -> unit

@@ -35,6 +35,47 @@ let compute policy doc ~user =
 
 let user t = t.user
 
+(* Delta-aware re-resolution: with downward rule paths, a node's selection
+   depends only on its ancestor chain, so decisions outside the affected
+   range are still valid on the new document.  Inside the range, stale
+   entries (relabelled or removed nodes) are dropped and every surviving
+   or fresh node is re-matched against the applicable rules in ascending
+   priority — the same most-recent-wins fold as [compute], scoped to the
+   range. *)
+let update t policy doc delta =
+  match delta with
+  | Delta.All -> compute policy doc ~user:t.user
+  | Delta.Local [] -> t
+  | Delta.Local roots ->
+    let rules = Policy.rules_for policy ~user:t.user in
+    if not (Delta.local_rules rules) then compute policy doc ~user:t.user
+    else begin
+      let decisions =
+        Array.map
+          (Ordpath.Map.filter (fun id _ -> not (Delta.affects delta id)))
+          t.decisions
+      in
+      let affected =
+        List.concat_map
+          (fun root ->
+            List.map
+              (fun (n : Xmldoc.Node.t) -> n.id)
+              (Xmldoc.Document.descendant_or_self doc root))
+          roots
+      in
+      let src = Xpath.Source.of_document doc in
+      List.iter
+        (fun (r : Rule.t) ->
+          let i = privilege_index r.privilege in
+          List.iter
+            (fun id ->
+              if Xpath.Eval.matches_down src r.path id then
+                decisions.(i) <- Ordpath.Map.add id r decisions.(i))
+            affected)
+        rules;
+      { t with decisions }
+    end
+
 let deciding_rule t privilege id =
   Ordpath.Map.find_opt id t.decisions.(privilege_index privilege)
 

@@ -12,6 +12,15 @@ val compute : Policy.t -> Xmldoc.Document.t -> user:string -> t
 
 val user : t -> string
 
+val update : t -> Policy.t -> Xmldoc.Document.t -> Delta.t -> t
+(** [update t policy doc delta] re-resolves the permissions on the new
+    document [doc], re-evaluating rules only for nodes inside [delta]
+    (decisions outside an affected subtree cannot have changed when every
+    applicable rule path is downward — see {!Delta.local_rules}).  Falls
+    back to a full {!compute} on {!Delta.All} or when a non-downward rule
+    applies.  Equivalent to [compute policy doc ~user:(user t)] whenever
+    [delta] covers the differences between the old and new document. *)
+
 val holds : t -> Privilege.t -> Ordpath.t -> bool
 (** [perm(user, n, r)]. *)
 

@@ -16,6 +16,7 @@ type report = {
   inserted : Ordpath.t list;
   denied : denial list;
   skipped : (Ordpath.t * string) list;
+  delta : Delta.t;
 }
 
 type state = {
@@ -176,6 +177,7 @@ let apply session op =
             })
         st targets
   in
+  let delta = Delta.of_roots (st.relabelled @ st.removed @ st.inserted) in
   let report =
     {
       op;
@@ -185,9 +187,10 @@ let apply session op =
       inserted = List.rev st.inserted;
       denied = List.rev st.denied;
       skipped = List.rev st.skipped;
+      delta;
     }
   in
-  (Session.refresh session st.doc, report)
+  (Session.apply_delta session st.doc delta, report)
 
 let apply_all session ops =
   let session, reports =

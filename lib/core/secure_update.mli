@@ -35,12 +35,17 @@ type report = {
   inserted : Ordpath.t list;  (** roots of freshly numbered copies *)
   denied : denial list;
   skipped : (Ordpath.t * string) list;
+  delta : Delta.t;
+      (** the affected ordpath range — what other sessions sharing the
+          document must invalidate (see {!Serve}) *)
 }
 
 val apply : Session.t -> Xupdate.Op.t -> Session.t * report
-(** Applies the operation and returns the refreshed session (new source,
-    permissions and view).  The operation may succeed on some targets and
-    be denied on others (§4.4.2). *)
+(** Applies the operation and returns the rebased session: permissions
+    and view are maintained incrementally inside the report's [delta]
+    ({!Session.apply_delta}) rather than re-derived from scratch.  The
+    operation may succeed on some targets and be denied on others
+    (§4.4.2). *)
 
 val apply_all : Session.t -> Xupdate.Op.t list -> Session.t * report list
 

@@ -1,0 +1,81 @@
+type entry = {
+  mutable session : Session.t;
+  mutable lazy_view : Lazy_view.t;
+}
+
+type t = {
+  policy : Policy.t;
+  mutable source : Xmldoc.Document.t;
+  sessions : (string, entry) Hashtbl.t;
+  mutable writes : int;
+}
+
+let create policy source = { policy; source; sessions = Hashtbl.create 8; writes = 0 }
+
+let login t ~user =
+  if not (Hashtbl.mem t.sessions user) then begin
+    let session = Session.login t.policy t.source ~user in
+    Hashtbl.replace t.sessions user
+      { session; lazy_view = Lazy_view.of_session session }
+  end
+
+let logout t ~user = Hashtbl.remove t.sessions user
+
+let users t =
+  List.sort String.compare
+    (Hashtbl.fold (fun user _ acc -> user :: acc) t.sessions [])
+
+let source t = t.source
+let policy t = t.policy
+let writes t = t.writes
+
+let entry t ~user =
+  login t ~user;
+  Hashtbl.find t.sessions user
+
+let session t ~user = (entry t ~user).session
+let lazy_view t ~user = (entry t ~user).lazy_view
+let view t ~user = Session.view (session t ~user)
+
+let query t ~user q =
+  let e = entry t ~user in
+  Lazy_view.select_str
+    ~vars:(Session.user_vars e.session)
+    e.lazy_view q
+
+let rebase_entry source delta e =
+  let session = Session.apply_delta e.session source delta in
+  (* apply_delta widens internally for non-local sessions; the lazy memo
+     must be widened the same way, as its entries depend on the same
+     locality argument. *)
+  let lazy_delta = if Session.policy_local session then delta else Delta.all in
+  e.session <- session;
+  e.lazy_view <-
+    Lazy_view.rebase e.lazy_view source (Session.perm session) lazy_delta
+
+let update t ~user op =
+  let e = entry t ~user in
+  let session', report = Secure_update.apply e.session op in
+  t.source <- Session.source session';
+  t.writes <- t.writes + 1;
+  (* The writer's session is already rebased by Secure_update; its lazy
+     view and every other session get the broadcast delta. *)
+  e.session <- session';
+  let lazy_delta =
+    if Session.policy_local session' then report.Secure_update.delta
+    else Delta.all
+  in
+  e.lazy_view <-
+    Lazy_view.rebase e.lazy_view t.source (Session.perm session') lazy_delta;
+  Hashtbl.iter
+    (fun other e' ->
+      if not (String.equal other user) then
+        rebase_entry t.source report.Secure_update.delta e')
+    t.sessions;
+  report
+
+let update_all t ~user ops = List.map (update t ~user) ops
+
+let cache_stats t ~user =
+  let lv = lazy_view t ~user in
+  (Lazy_view.hits lv, Lazy_view.misses lv)

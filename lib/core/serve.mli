@@ -1,0 +1,60 @@
+(** A multi-session server: N logged sessions share one source document,
+    and every write broadcasts its {!Delta.t} so each session invalidates
+    only the affected ordpath range instead of re-deriving its
+    permissions and view from scratch — the update-aware enforcement the
+    §5 outlook calls for once several subjects query the same database
+    concurrently.
+
+    Each user carries both enforcement engines: the incrementally
+    maintained materialised view (axioms 15–17 via {!Session.apply_delta})
+    and a memoised {!Lazy_view} for query filtering, rebased on each
+    broadcast.  Sessions whose rules are not downward
+    ({!Session.policy_local}) transparently fall back to full
+    re-derivation on every write — same answers, no locality. *)
+
+type t
+
+val create : Policy.t -> Xmldoc.Document.t -> t
+
+val login : t -> user:string -> unit
+(** Registers a session for [user]; already-logged users keep their
+    session (and its caches).
+    @raise Session.Unknown_user *)
+
+val logout : t -> user:string -> unit
+
+val users : t -> string list
+(** Logged users, sorted. *)
+
+val source : t -> Xmldoc.Document.t
+(** The current shared source database. *)
+
+val policy : t -> Policy.t
+val writes : t -> int
+(** Number of update operations applied since {!create}. *)
+
+val session : t -> user:string -> Session.t
+(** @raise Session.Unknown_user if the user is not logged in. *)
+
+val lazy_view : t -> user:string -> Lazy_view.t
+
+val view : t -> user:string -> Xmldoc.Document.t
+(** The user's materialised view (incrementally maintained). *)
+
+val query : t -> user:string -> string -> Ordpath.t list
+(** Evaluates on the user's {e lazy} view, [$USER] bound.  Logs the user
+    in on first use.
+    @raise Session.Unknown_user
+    @raise Xpath.Parser.Error
+    @raise Xpath.Eval.Error *)
+
+val update : t -> user:string -> Xupdate.Op.t -> Secure_update.report
+(** Applies a secure update on behalf of [user] and broadcasts the
+    report's delta: every other session (and every lazy view) evicts only
+    the affected range.  Logs the user in on first use. *)
+
+val update_all :
+  t -> user:string -> Xupdate.Op.t list -> Secure_update.report list
+
+val cache_stats : t -> user:string -> int * int
+(** The user's lazy-view [(hits, misses)] counters. *)

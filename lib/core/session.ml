@@ -4,6 +4,9 @@ type t = {
   source : Xmldoc.Document.t;
   perm : Perm.t;
   view : Xmldoc.Document.t;
+  local : bool;
+      (* are all applicable rule paths downward, i.e. is delta-scoped
+         invalidation sound for this session? decided once at login *)
 }
 
 exception Unknown_user of string
@@ -13,13 +16,15 @@ let login policy source ~user =
     raise (Unknown_user user);
   let perm = Perm.compute policy source ~user in
   let view = View.derive source perm in
-  { user; policy; source; perm; view }
+  let local = Delta.local_rules (Policy.rules_for policy ~user) in
+  { user; policy; source; perm; view; local }
 
 let user t = t.user
 let policy t = t.policy
 let source t = t.source
 let perm t = t.perm
 let view t = t.view
+let policy_local t = t.local
 
 let holds t privilege id = Perm.holds t.perm privilege id
 
@@ -37,3 +42,13 @@ let refresh t source =
   let perm = Perm.compute t.policy source ~user:t.user in
   let view = View.derive source perm in
   { t with source; perm; view }
+
+let apply_delta t source delta =
+  let delta = if t.local then delta else Delta.all in
+  match delta with
+  | Delta.All -> refresh t source
+  | Delta.Local [] -> { t with source }
+  | Delta.Local _ ->
+    let perm = Perm.update t.perm t.policy source delta in
+    let view = View.patch source ~view:t.view perm delta in
+    { t with source; perm; view }

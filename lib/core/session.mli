@@ -34,5 +34,19 @@ val refresh : t -> Xmldoc.Document.t -> t
 (** Re-resolves permissions and re-derives the view after the source
     database changed. *)
 
+val apply_delta : t -> Xmldoc.Document.t -> Delta.t -> t
+(** [apply_delta t source delta] rebases the session onto the updated
+    source, re-resolving permissions ({!Perm.update}) and re-deriving the
+    view ({!View.patch}) only inside the affected range.  Equivalent to
+    [refresh t source] whenever [delta] covers the differences between
+    the old and new source; sessions whose rules are not all downward
+    (see {!policy_local}) silently widen the delta and pay the full
+    {!refresh}. *)
+
+val policy_local : t -> bool
+(** Are all the rules applicable to this session downward paths
+    ({!Delta.local_rules}), i.e. does {!apply_delta} actually work
+    incrementally for it? *)
+
 val user_vars : t -> (string * Xpath.Value.t) list
 (** The variable bindings of this session ([$USER]). *)

@@ -12,6 +12,16 @@ val derive : Xmldoc.Document.t -> Perm.t -> Xmldoc.Document.t
 (** The view as a first-class document: every query facility works on
     it unchanged. *)
 
+val patch :
+  Xmldoc.Document.t -> view:Xmldoc.Document.t -> Perm.t -> Delta.t ->
+  Xmldoc.Document.t
+(** [patch source ~view perm delta] re-derives the view incrementally:
+    nodes of the old [view] outside [delta] are kept, nodes inside are
+    re-selected by axioms 15–17 against the new [source] and [perm].
+    Equal to [derive source perm] whenever [delta] covers the update and
+    the session's rules are downward (see {!Delta.local_rules}); pass
+    {!Delta.all} otherwise. *)
+
 val is_restricted : Xmldoc.Document.t -> Ordpath.t -> bool
 (** Is the node shown with the [RESTRICTED] label in this view?  (Checks
     the label, so apply it to view documents only.) *)

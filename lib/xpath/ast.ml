@@ -183,3 +183,25 @@ and path_to_string { absolute; steps } =
 
 let to_string = expr_to_string
 let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* A path is "downward" when selection of a node depends only on the node
+   itself and its ancestor chain: every step walks down the tree (child,
+   descendant(-or-self), attribute, self) and carries no predicate.  Such
+   paths admit a per-node membership test ({!Eval.matches_down}) and are
+   the class for which update deltas stay local (see [Core.Delta]). *)
+let rec is_downward = function
+  | Union (a, b) -> is_downward a && is_downward b
+  | Path { steps; _ } ->
+    List.for_all
+      (fun { axis; preds; _ } ->
+        preds = []
+        &&
+        match axis with
+        | Child | Descendant | Descendant_or_self | Self | Attribute -> true
+        | Ancestor | Ancestor_or_self | Following | Following_sibling
+        | Parent | Preceding | Preceding_sibling ->
+          false)
+      steps
+  | Or _ | And _ | Cmp _ | Arith _ | Neg _ | Literal _ | Number _ | Var _
+  | Call _ | Filter _ ->
+    false

@@ -59,6 +59,14 @@ val is_reverse_axis : axis -> bool
 (** Reverse axes ([ancestor], [preceding], …) number their positions in
     reverse document order. *)
 
+val is_downward : expr -> bool
+(** Is the expression a predicate-free path (or union of paths) using only
+    the [child], [descendant], [descendant-or-self], [self] and
+    [attribute] axes?  Selection by such a path depends only on the node
+    and its ancestor chain, so membership is testable per node
+    ({!Eval.matches_down}) and document updates affect its selection only
+    inside the updated subtrees — the locality class of [Core.Delta]. *)
+
 val pp : Format.formatter -> expr -> unit
 val to_string : expr -> string
 (** Re-prints an expression in XPath concrete syntax. *)

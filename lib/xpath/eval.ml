@@ -322,3 +322,65 @@ let select_str ?vars doc src = select (env ?vars doc) (Parser.parse src)
 
 let matches env expr id =
   List.exists (Ordpath.equal id) (select env expr)
+
+(* Per-node membership for the downward class ({!Ast.is_downward}),
+   evaluated backwards over the reversed steps: the candidate's own label
+   and ancestor chain decide, so the test never enumerates the document.
+   Must agree with [select] membership on that class — mirrored details:
+   [select] starts at the document node even for relative paths, and the
+   tree axes (child/descendant) skip attribute nodes and their text
+   children (the [in_tree] filter of [axis_nodes]). *)
+let matches_down src expr id =
+  let in_tree (n : Xmldoc.Node.t) =
+    n.kind <> Xmldoc.Node.Attribute
+    &&
+    match src.Source.parent n.id with
+    | Some p -> p.kind <> Xmldoc.Node.Attribute
+    | None -> true
+  in
+  (* [steps_match rev_steps id]: does [id] end a chain consuming all the
+     steps, starting from the document node? *)
+  let rec steps_match rev_steps id =
+    match rev_steps with
+    | [] -> Ordpath.equal id Ordpath.document
+    | { axis; test; preds } :: rest ->
+      if preds <> [] then fail "matches_down: path carries a predicate"
+      else (
+        match src.Source.find id with
+        | None -> false
+        | Some n ->
+          test_matches axis test n
+          &&
+          let up_strict match_rest =
+            let rec up = function
+              | None -> false
+              | Some a -> match_rest a || up (Ordpath.parent a)
+            in
+            up (Ordpath.parent id)
+          in
+          (match axis with
+           | Self -> steps_match rest id
+           | Child ->
+             in_tree n
+             && (match Ordpath.parent id with
+                 | None -> false
+                 | Some p -> steps_match rest p)
+           | Attribute ->
+             n.kind = Xmldoc.Node.Attribute
+             && (match Ordpath.parent id with
+                 | None -> false
+                 | Some p -> steps_match rest p)
+           | Descendant -> in_tree n && up_strict (steps_match rest)
+           | Descendant_or_self ->
+             in_tree n && (steps_match rest id || up_strict (steps_match rest))
+           | Ancestor | Ancestor_or_self | Following | Following_sibling
+           | Parent | Preceding | Preceding_sibling ->
+             fail "matches_down: %s is not a downward axis"
+               (Ast.axis_to_string axis)))
+  in
+  let rec expr_matches = function
+    | Union (a, b) -> expr_matches a || expr_matches b
+    | Path { steps; _ } -> steps_match (List.rev steps) id
+    | e -> fail "matches_down: not a downward path: %s" (Ast.to_string e)
+  in
+  expr_matches expr

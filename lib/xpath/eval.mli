@@ -34,3 +34,11 @@ val select_str : ?vars:(string * Value.t) list ->
 val matches : env -> Ast.expr -> Ordpath.t -> bool
 (** [matches env path n]: is node [n] addressed by [path]?  (The
     [xpath(p, n, v)] test used by the access-control axioms.) *)
+
+val matches_down : Source.t -> Ast.expr -> Ordpath.t -> bool
+(** [matches_down src path n]: same membership test as {!matches}, but
+    decided from [n]'s label and ancestor chain alone — no document
+    enumeration.  Only defined on the {!Ast.is_downward} class; the
+    incremental permission maintenance of [Core.Perm.update] relies on it
+    to re-resolve rules inside an updated subtree.
+    @raise Error if [path] is not downward. *)

@@ -134,3 +134,12 @@ let apply ?vars doc op =
 
 let apply_all ?vars doc ops =
   List.fold_left (fun doc op -> (apply ?vars doc op).doc) doc ops
+
+(* The ordpath range an operation touched: every node whose facts may
+   differ between [db] and [dbnew] lies inside (or descends from) one of
+   these roots.  Rename/update relabel a node, so the node and — through
+   ancestor-label paths — its subtree may re-select; insert and remove
+   introduce or delete a whole subtree.  Skipped targets touched
+   nothing. *)
+let affected_roots outcome =
+  outcome.relabelled @ outcome.removed @ outcome.inserted

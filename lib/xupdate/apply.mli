@@ -27,3 +27,10 @@ val apply_all :
   Xmldoc.Document.t -> Op.t list -> Xmldoc.Document.t
 (** Folds {!apply} over a modification list, as an
     [<xupdate:modifications>] document does. *)
+
+val affected_roots : outcome -> Ordpath.t list
+(** The ordpath range the operation touched: every node whose [node(n,v)]
+    fact differs between [db] and [dbnew] is one of these roots or a
+    descendant of one (rename/update → the relabelled nodes, remove → the
+    deleted subtree roots, insert/append → the freshly numbered roots).
+    Input for the delta-aware invalidation of [Core.Delta]. *)

@@ -1,0 +1,514 @@
+(* Differential property tests for the incremental-maintenance engine:
+
+   (a) query filtering (Lazy_view) answers every query exactly as the
+       materialised View.derive view does;
+   (b) after an XUpdate operation, the incrementally maintained state
+       (Session.apply_delta / Perm.update / View.patch / Lazy_view.rebase)
+       is indistinguishable from a from-scratch re-derivation.
+
+   Every case is generated from a seeded PRNG (lib/workload); a failure
+   prints the minimal repro: the seed, the document facts, the policy and
+   the operation. *)
+
+open Xmldoc
+module D = Document
+module Op = Xupdate.Op
+module Prng = Workload.Prng
+
+let base_seed = 20250806
+let cases = 240
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Downward rule paths: sessions built from these take the genuinely
+   incremental path (Delta.Local); the default Gen_policy pool also
+   contains predicates, exercising the Delta.All fallback. *)
+let local_rule_paths =
+  [
+    "//node()"; "/patients"; "/patients/node()"; "//service"; "//diagnosis";
+    "//diagnosis/node()"; "//visit"; "//visit/node()"; "//date"; "//note";
+    "//service/node()"; "//text()"; "/patients/*";
+  ]
+
+let target_paths =
+  [
+    "/patients"; "/patients/*"; "//service"; "//diagnosis"; "//visit";
+    "//note"; "//date"; "//diagnosis/text()"; "//service/text()";
+    "/patients/*[1]"; "/patients/*[last()]"; "//visit[@n = 1]";
+  ]
+
+let new_labels = [ "department"; "cured"; "zeta"; "checked" ]
+
+let fragments =
+  [
+    Tree.element "extra" [ Tree.text "note" ];
+    Tree.text "addendum";
+    Tree.element "audit"
+      [ Tree.attr "by" "harness"; Tree.element "stamp" [ Tree.text "t0" ] ];
+  ]
+
+let random_op rng =
+  let rng, path = Prng.pick rng target_paths in
+  let rng, kind = Prng.int rng 6 in
+  match kind with
+  | 0 ->
+    let rng, l = Prng.pick rng new_labels in
+    (rng, Op.rename path l)
+  | 1 ->
+    let rng, l = Prng.pick rng new_labels in
+    (rng, Op.update path l)
+  | 2 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.append path tree)
+  | 3 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_before path tree)
+  | 4 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_after path tree)
+  | _ -> (rng, Op.remove path)
+
+let random_case seed =
+  let rng = Prng.create seed in
+  let rng, patients = Prng.int rng 5 in
+  let rng, visits = Prng.int rng 3 in
+  let config =
+    {
+      Workload.Gen_doc.patients = patients + 2;
+      visits_per_patient = visits;
+      diagnosed_fraction = 0.7;
+      seed;
+    }
+  in
+  let doc = Workload.Gen_doc.generate config in
+  let rng, use_local = Prng.bool rng 0.5 in
+  let rng, rules = Prng.int rng 8 in
+  let policy_config =
+    { Workload.Gen_policy.rules = rules + 4; deny_fraction = 0.3; seed }
+  in
+  let policy =
+    if use_local then
+      Workload.Gen_policy.random ~paths:local_rule_paths policy_config
+    else Workload.Gen_policy.random policy_config
+  in
+  let rng, op = random_op rng in
+  (rng, doc, policy, op)
+
+let repro ~seed ~doc ~policy ~op what =
+  Printf.sprintf
+    "%s\n--- repro (seed %d) ---\nfacts: %s\npolicy:\n%s\nop: %s"
+    what seed
+    (Xml_print.facts doc)
+    (Format.asprintf "%a" Core.Policy.pp policy)
+    (Format.asprintf "%a" Op.pp op)
+
+(* ------------------------------------------------------------------ *)
+(* (a) Lazy_view.select ≡ querying the View.derive materialisation     *)
+(* ------------------------------------------------------------------ *)
+
+let check_lazy_agreement ~seed ~doc ~policy ~op session =
+  let lv = Core.Lazy_view.of_session session in
+  let vars = Core.Session.user_vars session in
+  let view = Core.Session.view session in
+  List.iter
+    (fun q ->
+      let via_lazy =
+        List.map Ordpath.to_string (Core.Lazy_view.select_str ~vars lv q)
+      in
+      let via_view =
+        List.map Ordpath.to_string (Xpath.Eval.select_str ~vars view q)
+      in
+      if via_lazy <> via_view then
+        Alcotest.fail
+          (repro ~seed ~doc ~policy ~op
+             (Printf.sprintf
+                "lazy view disagrees with View.derive on %s:\n  lazy [%s]\n  view [%s]"
+                q
+                (String.concat "; " via_lazy)
+                (String.concat "; " via_view))))
+    (Workload.Gen_query.random ~seed ~count:4)
+
+(* ------------------------------------------------------------------ *)
+(* (b) incremental maintenance ≡ from-scratch re-derivation            *)
+(* ------------------------------------------------------------------ *)
+
+let all_ids before after =
+  let ids doc = List.map (fun (n : Node.t) -> n.id) (D.nodes doc) in
+  List.sort_uniq Ordpath.compare (ids before @ ids after)
+
+let check_incremental_update ~seed ~doc ~policy ~op session =
+  (* A primed lazy view: stale memo entries surviving a bad eviction
+     would be caught below. *)
+  let lv = Core.Lazy_view.of_session session in
+  ignore (Core.Lazy_view.select_str lv "//node()");
+  let session', report = Core.Secure_update.apply session op in
+  let source' = Core.Session.source session' in
+  let fresh = Core.Session.refresh session source' in
+  (* Views: patched vs derived from scratch. *)
+  if not (D.equal (Core.Session.view session') (Core.Session.view fresh)) then
+    Alcotest.fail
+      (repro ~seed ~doc ~policy ~op
+         (Printf.sprintf
+            "incremental view <> fresh view\n  incremental: %s\n  fresh: %s"
+            (Xml_print.facts (Core.Session.view session'))
+            (Xml_print.facts (Core.Session.view fresh))));
+  (* Permissions: every privilege on every (old or new) node. *)
+  let ids = all_ids doc source' in
+  List.iter
+    (fun privilege ->
+      List.iter
+        (fun id ->
+          let inc = Core.Session.holds session' privilege id in
+          let scr = Core.Session.holds fresh privilege id in
+          if inc <> scr then
+            Alcotest.fail
+              (repro ~seed ~doc ~policy ~op
+                 (Printf.sprintf "Perm.update disagrees on %s for %s"
+                    (Ordpath.to_string id)
+                    (Format.asprintf "%a" Core.Privilege.pp privilege))))
+        ids)
+    Core.Privilege.all;
+  (* Lazy view rebased with the report's delta: labels and visibility on
+     every node must match the fresh materialisation. *)
+  let lazy_delta =
+    if Core.Session.policy_local session' then report.Core.Secure_update.delta
+    else Core.Delta.all
+  in
+  let lv' =
+    Core.Lazy_view.rebase lv source' (Core.Session.perm session') lazy_delta
+  in
+  let fresh_view = Core.Session.view fresh in
+  List.iter
+    (fun id ->
+      let expect = D.label fresh_view id in
+      let got = Core.Lazy_view.label lv' id in
+      if got <> expect then
+        Alcotest.fail
+          (repro ~seed ~doc ~policy ~op
+             (Printf.sprintf
+                "rebased lazy view disagrees at %s: lazy %s, fresh %s (delta %s)"
+                (Ordpath.to_string id)
+                (Option.value ~default:"-" got)
+                (Option.value ~default:"-" expect)
+                (Format.asprintf "%a" Core.Delta.pp
+                   report.Core.Secure_update.delta))))
+    ids
+
+let test_differential () =
+  let locals = ref 0 in
+  for case = 0 to cases - 1 do
+    let seed = base_seed + case in
+    let _, doc, policy, op = random_case seed in
+    let session = Core.Session.login policy doc ~user:"u" in
+    if Core.Session.policy_local session then incr locals;
+    check_lazy_agreement ~seed ~doc ~policy ~op session;
+    check_incremental_update ~seed ~doc ~policy ~op session
+  done;
+  (* The generator must exercise both the genuinely incremental path and
+     the Delta.All fallback, or the test proves less than it claims. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "both paths exercised (%d/%d local)" !locals cases)
+    true
+    (!locals > cases / 5 && !locals < 4 * cases / 5)
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation boundaries (cache hit/miss accounting)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A bespoke database and a fully downward policy for user [u]:
+   - everything readable,
+   - //b invisible (read denied, no position),
+   - //e's text shown RESTRICTED (position only),
+   - write privileges everywhere, so denials come from read/position. *)
+let boundary_doc () =
+  D.of_tree
+    (Tree.element "root"
+       [
+         Tree.element "a" [ Tree.element "x" [ Tree.text "one" ] ];
+         Tree.element "b" [ Tree.element "c" [ Tree.text "two" ] ];
+         Tree.element "d" [ Tree.text "three" ];
+         Tree.element "e" [ Tree.text "secret" ];
+       ])
+
+let boundary_policy () =
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  Core.Policy.v subjects
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"u"
+        ~priority:1;
+      Core.Rule.deny Core.Privilege.Read ~path:"//b" ~subject:"u" ~priority:2;
+      Core.Rule.deny Core.Privilege.Read ~path:"//e/node()" ~subject:"u"
+        ~priority:3;
+      Core.Rule.accept Core.Privilege.Position ~path:"//e/node()" ~subject:"u"
+        ~priority:4;
+      Core.Rule.accept Core.Privilege.Update ~path:"//node()" ~subject:"u"
+        ~priority:5;
+      Core.Rule.accept Core.Privilege.Delete ~path:"//node()" ~subject:"u"
+        ~priority:6;
+      Core.Rule.accept Core.Privilege.Insert ~path:"//node()" ~subject:"u"
+        ~priority:7;
+    ]
+
+let find_by_label doc label =
+  match
+    List.find_opt (fun (n : Node.t) -> String.equal n.label label) (D.nodes doc)
+  with
+  | Some n -> n.id
+  | None -> Alcotest.failf "no node labelled %s" label
+
+(* Prime the memo over the whole document, apply [op], rebase with the
+   report's delta and return (rebased lazy view, new session, report). *)
+let primed_update op =
+  let doc = boundary_doc () in
+  let policy = boundary_policy () in
+  let session = Core.Session.login policy doc ~user:"u" in
+  Alcotest.(check bool) "boundary policy is downward" true
+    (Core.Session.policy_local session);
+  let lv = Core.Lazy_view.of_session session in
+  ignore (Core.Lazy_view.select_str lv "//node()");
+  let session', report = Core.Secure_update.apply session op in
+  let lv' =
+    Core.Lazy_view.rebase lv
+      (Core.Session.source session')
+      (Core.Session.perm session')
+      report.Core.Secure_update.delta
+  in
+  (doc, lv', session', report)
+
+(* After priming, probing [ids] again must be pure cache hits. *)
+let assert_all_hits lv ids =
+  let misses0 = Core.Lazy_view.misses lv in
+  List.iter (fun id -> ignore (Core.Lazy_view.visible lv id)) ids;
+  Alcotest.(check int) "unrelated entries still cached" misses0
+    (Core.Lazy_view.misses lv)
+
+let unrelated doc = List.map (find_by_label doc) [ "root"; "a"; "x"; "one" ]
+
+let test_boundary_document_root () =
+  let doc, lv, _, report = primed_update (Op.remove "/") in
+  Alcotest.(check bool) "no-op delta" true
+    (Core.Delta.is_empty report.Core.Secure_update.delta);
+  Alcotest.(check (list (pair string string))) "skipped, not applied"
+    [ ("/", "the document node cannot be removed") ]
+    (List.map
+       (fun (id, r) -> (Ordpath.to_string id, r))
+       report.Core.Secure_update.skipped);
+  assert_all_hits lv (unrelated doc @ List.map (find_by_label doc) [ "d"; "e" ])
+
+let test_boundary_invisible_target () =
+  (* //b is invisible, so the path selects nothing on the view: nothing
+     happens, and nothing is evicted. *)
+  let doc, lv, session', report = primed_update (Op.rename "//b" "leak") in
+  Alcotest.(check (list string)) "no targets on the view" []
+    (List.map Ordpath.to_string report.Core.Secure_update.targets);
+  Alcotest.(check bool) "no-op delta" true
+    (Core.Delta.is_empty report.Core.Secure_update.delta);
+  Alcotest.(check (option string)) "b untouched in the source" (Some "b")
+    (D.label (Core.Session.source session') (find_by_label doc "b"));
+  assert_all_hits lv (unrelated doc @ [ find_by_label doc "b" ])
+
+let test_boundary_restricted_target () =
+  (* //e/node() is shown RESTRICTED (position only): rename requires read
+     and is denied; the cache survives untouched. *)
+  let doc, lv, _, report = primed_update (Op.rename "//e/node()" "leak") in
+  Alcotest.(check int) "one target on the view" 1
+    (List.length report.Core.Secure_update.targets);
+  Alcotest.(check int) "denied" 1 (List.length report.Core.Secure_update.denied);
+  Alcotest.(check bool) "no-op delta" true
+    (Core.Delta.is_empty report.Core.Secure_update.delta);
+  assert_all_hits lv (unrelated doc @ [ find_by_label doc "secret" ])
+
+let test_boundary_adjacent_node () =
+  (* Renaming //d evicts exactly d's subtree (d and its text child); the
+     siblings a, b, e and their descendants stay cached. *)
+  let doc, lv, session', report = primed_update (Op.rename "//d" "dd") in
+  let d = find_by_label doc "d" in
+  let three = find_by_label doc "three" in
+  Alcotest.(check (list string)) "delta = subtree at d"
+    [ Ordpath.to_string d ]
+    (match Core.Delta.roots report.Core.Secure_update.delta with
+     | Some roots -> List.map Ordpath.to_string roots
+     | None -> [ "ALL" ]);
+  (* Unaffected neighbours answer from cache... *)
+  assert_all_hits lv
+    (unrelated doc @ List.map (find_by_label doc) [ "b"; "e"; "secret" ]);
+  (* ...while the affected subtree was evicted and re-decides. *)
+  let misses0 = Core.Lazy_view.misses lv in
+  Alcotest.(check bool) "renamed node visible again" true
+    (Core.Lazy_view.visible lv d);
+  Alcotest.(check bool) "its text visible again" true
+    (Core.Lazy_view.visible lv three);
+  Alcotest.(check int) "exactly the 2 evicted entries re-decided"
+    (misses0 + 2) (Core.Lazy_view.misses lv);
+  Alcotest.(check (option string)) "and carries the new label" (Some "dd")
+    (Core.Lazy_view.label lv d);
+  Alcotest.(check (option string)) "view agrees" (Some "dd")
+    (D.label (Core.Session.view session') d)
+
+(* ------------------------------------------------------------------ *)
+(* The multi-session Serve layer                                       *)
+(* ------------------------------------------------------------------ *)
+
+module P = Core.Paper_example
+
+let serve_paper () =
+  let serve = Core.Serve.create P.policy (P.document ()) in
+  List.iter
+    (fun user -> Core.Serve.login serve ~user)
+    [ P.beaufort; P.laporte; P.richard; P.robert ];
+  serve
+
+let assert_views_fresh serve =
+  List.iter
+    (fun user ->
+      let fresh =
+        Core.Session.login (Core.Serve.policy serve) (Core.Serve.source serve)
+          ~user
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s's served view = fresh login view" user)
+        true
+        (D.equal (Core.Serve.view serve ~user) (Core.Session.view fresh));
+      (* The lazy engine agrees with the maintained materialised view. *)
+      List.iter
+        (fun q ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s: %s via lazy" user q)
+            (List.map Ordpath.to_string
+               (Xpath.Eval.select_str
+                  ~vars:(Core.Session.user_vars fresh)
+                  (Core.Session.view fresh) q))
+            (List.map Ordpath.to_string (Core.Serve.query serve ~user q)))
+        [ "//node()"; "//diagnosis/node()"; "//RESTRICTED" ])
+    (Core.Serve.users serve)
+
+let test_serve_broadcast () =
+  let serve = serve_paper () in
+  (* Warm every session's lazy cache. *)
+  List.iter
+    (fun user -> ignore (Core.Serve.query serve ~user "//node()"))
+    (Core.Serve.users serve);
+  (* The doctor cures franck: one text node relabelled. *)
+  let report =
+    Core.Serve.update serve ~user:P.laporte
+      (Op.update "/patients/franck/diagnosis" "cured")
+  in
+  Alcotest.(check bool) "update fully applied" true
+    (Core.Secure_update.fully_applied report);
+  Alcotest.(check int) "one write recorded" 1 (Core.Serve.writes serve);
+  assert_views_fresh serve;
+  (* The secretary now removes robert's record entirely. *)
+  let report =
+    Core.Serve.update serve ~user:P.beaufort (Op.rename "/patients/robert" "r2")
+  in
+  Alcotest.(check bool) "rename applied" true
+    (Core.Secure_update.fully_applied report);
+  assert_views_fresh serve;
+  (* Writes were visible across sessions. *)
+  Alcotest.(check int) "doctor sees the secretary's rename" 1
+    (List.length (Core.Serve.query serve ~user:P.laporte "/patients/r2"));
+  Alcotest.(check int) "doctor sees his own cure" 1
+    (List.length
+       (Core.Serve.query serve ~user:P.laporte "//diagnosis[node() = 'cured']"))
+
+let test_serve_denied_write_keeps_caches () =
+  let serve = serve_paper () in
+  List.iter
+    (fun user -> ignore (Core.Serve.query serve ~user "//node()"))
+    (Core.Serve.users serve);
+  let misses_before =
+    List.map (fun u -> snd (Core.Serve.cache_stats serve ~user:u))
+      (Core.Serve.users serve)
+  in
+  (* Robert may not rename his own diagnosis: denied, no delta. *)
+  let report =
+    Core.Serve.update serve ~user:P.robert
+      (Op.rename "/patients/robert/diagnosis" "cured")
+  in
+  Alcotest.(check bool) "denied" true
+    (report.Core.Secure_update.denied <> []);
+  List.iter
+    (fun user -> ignore (Core.Serve.query serve ~user "//node()"))
+    (Core.Serve.users serve);
+  let misses_after =
+    List.map (fun u -> snd (Core.Serve.cache_stats serve ~user:u))
+      (Core.Serve.users serve)
+  in
+  (* Staff sessions are downward-local and the delta was empty: their
+     repeat query is pure cache hits.  (Patients carry a $USER rule, so
+     they fall back to full invalidation — their miss counters may
+     move.) *)
+  List.iter2
+    (fun user (before, after) ->
+      if List.mem user [ P.beaufort; P.laporte; P.richard ] then
+        Alcotest.(check int)
+          (Printf.sprintf "%s: no re-decisions after a denied write" user)
+          before after)
+    (Core.Serve.users serve)
+    (List.combine misses_before misses_after)
+
+let test_serve_random_traffic () =
+  (* 8 sessions, a stream of random single-op writes from rotating
+     writers; after every write each session's maintained view must equal
+     a fresh derivation. *)
+  let config =
+    { Workload.Gen_doc.patients = 12; visits_per_patient = 2;
+      diagnosed_fraction = 0.8; seed = 97 }
+  in
+  let doc = Workload.Gen_doc.generate config in
+  let policy = Workload.Gen_policy.hospital config in
+  let serve = Core.Serve.create policy doc in
+  let users =
+    Workload.Gen_policy.hospital_staff
+    @ [ "franck"; "robert"; "albert"; "gaston"; "henri" ]
+  in
+  List.iter (fun user -> Core.Serve.login serve ~user) users;
+  List.iter (fun user -> ignore (Core.Serve.query serve ~user "//node()")) users;
+  let writers = [ P.laporte; P.beaufort; P.laporte; P.richard; P.laporte ] in
+  let ops =
+    [
+      Op.update "//diagnosis[text()][1]" "cured";
+      Op.insert_after "/patients/*[1]" (Tree.element "aaron" [
+        Tree.element "service" [ Tree.text "surgery" ];
+        Tree.element "diagnosis" [] ]);
+      Op.append "//diagnosis[not(node())][1]" (Tree.text "flu");
+      Op.rename "/patients/*[2]" "anonymous";
+      Op.remove "//diagnosis/node()";
+    ]
+  in
+  List.iter2
+    (fun user op ->
+      ignore (Core.Serve.update serve ~user op);
+      assert_views_fresh serve)
+    writers ops
+
+let () =
+  Alcotest.run "differential"
+    [
+      ( "property",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d seeded cases, both equivalences" cases)
+            `Quick test_differential;
+        ] );
+      ( "invalidation-boundaries",
+        [
+          Alcotest.test_case "document root" `Quick test_boundary_document_root;
+          Alcotest.test_case "invisible target" `Quick
+            test_boundary_invisible_target;
+          Alcotest.test_case "RESTRICTED target" `Quick
+            test_boundary_restricted_target;
+          Alcotest.test_case "adjacent node" `Quick test_boundary_adjacent_node;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "writes broadcast deltas" `Quick
+            test_serve_broadcast;
+          Alcotest.test_case "denied writes keep caches" `Quick
+            test_serve_denied_write_keeps_caches;
+          Alcotest.test_case "random traffic, 8 sessions" `Quick
+            test_serve_random_traffic;
+        ] );
+    ]
