@@ -20,6 +20,26 @@ let check id description ok =
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
+(* Machine-readable results: one BENCH_E<k>.json per experiment, rows of
+   (experiment id, params, metric, value, unit) — the perf trajectory
+   tracked across PRs.  Timed rows are sourced from the Obs.Metrics
+   histogram layer or from the Bechamel estimates printed above them. *)
+let emit_json eid ~params rows =
+  let file = Printf.sprintf "BENCH_%s.json" eid in
+  let oc = open_out file in
+  output_string oc "[";
+  List.iteri
+    (fun i (metric, value, unit_) ->
+      if i > 0 then output_string oc ",";
+      output_string oc
+        (Printf.sprintf
+           "\n  {\"experiment\":%S,\"params\":%S,\"metric\":%S,\"value\":%.9g,\"unit\":%S}"
+           eid params metric value unit_))
+    rows;
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "  wrote %s (%d rows)\n%!" file (List.length rows)
+
 let labels_of doc =
   List.map (fun (n : Xmldoc.Node.t) -> n.label) (D.nodes doc)
 
@@ -349,6 +369,8 @@ let e11 () =
 open Bechamel
 open Toolkit
 
+(* Runs a Bechamel group, prints the human table, and returns the
+   per-test estimates as (name, nanoseconds) rows for [emit_json]. *)
 let benchmark_group name tests =
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
   let ols =
@@ -359,7 +381,7 @@ let benchmark_group name tests =
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
+  List.filter_map
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
       | Some [ est ] ->
@@ -369,9 +391,15 @@ let benchmark_group name tests =
           else if est > 1e3 then Printf.sprintf "%8.2f us" (est /. 1e3)
           else Printf.sprintf "%8.0f ns" est
         in
-        Printf.printf "  %-52s %s/run\n%!" name pretty
-      | _ -> Printf.printf "  %-52s (no estimate)\n%!" name)
+        Printf.printf "  %-52s %s/run\n%!" name pretty;
+        Some (name, est)
+      | _ ->
+        Printf.printf "  %-52s (no estimate)\n%!" name;
+        None)
     (List.sort compare rows)
+
+let emit_bechamel eid ~params rows =
+  emit_json eid ~params (List.map (fun (name, est) -> (name, est, "ns/run")) rows)
 
 let hospital n seed =
   let config = { Workload.Gen_doc.default with patients = n; seed } in
@@ -393,7 +421,8 @@ let e7 () =
           [ "beaufort"; "richard"; "robert" ])
       sizes
   in
-  benchmark_group "view" tests
+  emit_bechamel "E7" ~params:"hospital 10/100/1000 patients, 3 users"
+    (benchmark_group "view" tests)
 
 let e8 () =
   section "E8: XPath evaluation throughput (query mix on the view)";
@@ -418,7 +447,8 @@ let e8 () =
             fun () -> ignore (Core.Session.query_expr session e)));
     ]
   in
-  benchmark_group "xpath" tests
+  emit_bechamel "E8" ~params:"hospital 100 patients, doctor view"
+    (benchmark_group "xpath" tests)
 
 let e9 () =
   section "E9: conflict resolution vs policy size (axiom 14)";
@@ -433,7 +463,8 @@ let e9 () =
                ignore (Core.Perm.compute policy doc ~user:"u"))))
       [ 10; 100; 500 ]
   in
-  benchmark_group "perm" tests
+  emit_bechamel "E9" ~params:"hospital 50 patients, random policies"
+    (benchmark_group "perm" tests)
 
 let e12 () =
   section "E12: secure update throughput per operation (axioms 18-25)";
@@ -460,7 +491,8 @@ let e12 () =
           (Staged.stage (fun () -> ignore (Core.Secure_update.apply session op))))
       ops
   in
-  benchmark_group "update" tests
+  emit_bechamel "E12" ~params:"hospital 100 patients, per-op secure update"
+    (benchmark_group "update" tests)
 
 let e10_timing () =
   section "E10 (timing): Datalog derivation vs direct implementation";
@@ -475,7 +507,8 @@ let e10_timing () =
         (Staged.stage (fun () -> ignore (Core.Logic_encoding.derive_view session)));
     ]
   in
-  benchmark_group "parity" tests
+  emit_bechamel "E10" ~params:"hospital 20 patients, secretary"
+    (benchmark_group "parity" tests)
 
 let e13 () =
   section "E13: lazy view (query filtering, §5) vs materialised view";
@@ -504,17 +537,21 @@ let e13 () =
              ignore (Core.Lazy_view.select lv broad)));
     ]
   in
-  benchmark_group "lazy" tests;
+  let rows = benchmark_group "lazy" tests in
   (* Work-saving: how many visibility decisions does the narrow query
      need? *)
   let lv = Core.Lazy_view.create doc perm in
   ignore (Core.Lazy_view.select lv narrow);
+  let probed_fraction =
+    float_of_int (Core.Lazy_view.probed_nodes lv) /. float_of_int (D.size doc)
+  in
   Printf.printf
     "  narrow query decided visibility for %d of %d nodes (%.1f%%)\n"
     (Core.Lazy_view.probed_nodes lv) (D.size doc)
-    (100.
-    *. float_of_int (Core.Lazy_view.probed_nodes lv)
-    /. float_of_int (D.size doc))
+    (100. *. probed_fraction);
+  emit_json "E13" ~params:"hospital 1000 patients, doctor"
+    (("narrow query probed fraction", probed_fraction, "ratio")
+     :: List.map (fun (name, est) -> (name, est, "ns/run")) rows)
 
 let e15 () =
   section "E15: XSLT security processor (§5) vs direct view derivation";
@@ -535,7 +572,8 @@ let e15 () =
         (Staged.stage (fun () -> ignore (Core.View.derive doc perm)));
     ]
   in
-  benchmark_group "xslt" tests;
+  emit_bechamel "E15" ~params:"hospital 200 patients, secretary"
+    (benchmark_group "xslt" tests);
   let direct = Core.View.derive doc perm in
   let enforced = Xslt.Engine.apply ~vars sheet doc in
   check "E15" "stylesheet output serializes identically to the view"
@@ -580,7 +618,8 @@ let e16 () =
                   (Xupdate.Op.update "//diagnosis[text()][1]" "checked"))));
     ]
   in
-  benchmark_group "schema" tests
+  emit_bechamel "E16" ~params:"hospital 200 patients, DTD validation"
+    (benchmark_group "schema" tests)
 
 let e14 () =
   section "E14 (ablation): numbering scheme and Datalog engine choices";
@@ -742,24 +781,23 @@ let e14 () =
         (Staged.stage (fun () -> ignore (Datalog.Eval.naive_solve edb prog)));
     ]
   in
-  benchmark_group "ablation" tests
+  emit_bechamel "E14" ~params:"labelling ablation + chain-60 closure"
+    (benchmark_group "ablation" tests)
 
 (* ---------------------------------------------------------------------- *)
 (* E17: incremental maintenance vs from-scratch re-derivation              *)
 (* ---------------------------------------------------------------------- *)
 
-let e17 () =
-  section
-    "E17: incremental maintenance (Delta) vs from-scratch re-derivation";
-  (* A ~1k-node hospital shared by 8 sessions whose rules are all
-     downward, so every session takes the genuinely incremental path. *)
+(* Shared by E17 and E18: a ~1k-node hospital shared by 8 sessions whose
+   rules are all downward (so every session takes the genuinely
+   incremental path), plus a pre-computed stream of 24 single-node
+   renames replayed as (document, delta) pairs. *)
+let e17_workload () =
   let config =
     { Workload.Gen_doc.patients = 120; visits_per_patient = 2;
       diagnosed_fraction = 0.8; seed = 17 }
   in
   let doc = Workload.Gen_doc.generate config in
-  Printf.printf "  document: %d nodes, 8 sessions, single-node renames\n"
-    (D.size doc);
   let users = List.init 8 (Printf.sprintf "w%d") in
   let subjects =
     Core.Subject.of_list
@@ -793,11 +831,6 @@ let e17 () =
   in
   let policy = Core.Policy.v subjects (staff_rules @ user_rules) in
   let sessions = List.map (fun u -> Core.Session.login policy doc ~user:u) users in
-  check "E17" "all 8 sessions are downward-local"
-    (List.for_all Core.Session.policy_local sessions);
-  (* Pre-compute the update stream so both timed paths replay the same
-     (document, delta) sequence: 24 single-node renames on distinct
-     service elements. *)
   let steps =
     let rec go doc i acc =
       if i > 24 then List.rev acc
@@ -815,26 +848,50 @@ let e17 () =
     in
     go doc 1 []
   in
+  (doc, sessions, steps)
+
+(* Replays the whole update stream over all sessions, timing it through
+   the Obs histogram layer: the elapsed seconds reported to BENCH_E*.json
+   are exactly what the histogram observed. *)
+let replay_through sessions steps h maintain =
+  let sum0 = Obs.Metrics.sum h in
+  let finals =
+    Obs.Metrics.time h @@ fun () ->
+    List.fold_left
+      (fun sessions (doc, delta) ->
+        List.map (fun s -> maintain s doc delta) sessions)
+      sessions steps
+  in
+  (Obs.Metrics.sum h -. sum0, finals)
+
+let e17 () =
+  section
+    "E17: incremental maintenance (Delta) vs from-scratch re-derivation";
+  let doc, sessions, steps = e17_workload () in
+  Printf.printf "  document: %d nodes, 8 sessions, single-node renames\n"
+    (D.size doc);
+  check "E17" "all 8 sessions are downward-local"
+    (List.for_all Core.Session.policy_local sessions);
   check "E17" "every step's delta is a single local subtree"
     (List.for_all
        (fun (_, delta) ->
          match Core.Delta.roots delta with Some [ _ ] -> true | _ -> false)
        steps);
-  let replay maintain =
-    let t0 = Sys.time () in
-    let finals =
-      List.fold_left
-        (fun sessions (doc, delta) ->
-          List.map (fun s -> maintain s doc delta) sessions)
-        sessions steps
-    in
-    (Sys.time () -. t0, finals)
+  let h_incremental =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e17_incremental_seconds"
+      ~help:"E17 replay latency, incremental maintenance path"
+  in
+  let h_scratch =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e17_scratch_seconds"
+      ~help:"E17 replay latency, from-scratch re-derivation path"
   in
   let incremental_time, incremental =
-    replay (fun s doc delta -> Core.Session.apply_delta s doc delta)
+    replay_through sessions steps h_incremental (fun s doc delta ->
+        Core.Session.apply_delta s doc delta)
   in
   let scratch_time, scratch =
-    replay (fun s doc _delta -> Core.Session.refresh s doc)
+    replay_through sessions steps h_scratch (fun s doc _delta ->
+        Core.Session.refresh s doc)
   in
   check "E17" "incremental sessions match from-scratch re-derivation"
     (List.for_all2
@@ -856,7 +913,59 @@ let e17 () =
   Printf.printf
     "  24 writes x 8 sessions: from-scratch %.1f ms, incremental %.1f ms (%.1fx)\n"
     (1000. *. scratch_time) (1000. *. incremental_time) speedup;
-  check "E17" "incremental maintenance is >= 5x faster" (speedup >= 5.)
+  check "E17" "incremental maintenance is >= 5x faster" (speedup >= 5.);
+  emit_json "E17" ~params:"1391-node hospital, 8 sessions, 24 renames"
+    [ ("from-scratch replay", scratch_time, "s");
+      ("incremental replay", incremental_time, "s");
+      ("speedup", speedup, "x") ]
+
+(* ---------------------------------------------------------------------- *)
+(* E18: overhead of full observability on the E17 workload                 *)
+(* ---------------------------------------------------------------------- *)
+
+let e18 () =
+  section "E18: full instrumentation (trace + audit) overhead on E17 replay";
+  let _doc, sessions, steps = e17_workload () in
+  let h_baseline =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e18_baseline_seconds"
+      ~help:"E18 replay latency with tracing and auditing disabled"
+  in
+  let h_instrumented =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e18_instrumented_seconds"
+      ~help:"E18 replay latency with tracing and auditing enabled"
+  in
+  (* Best-of-7 after a warm-up replay, each run timed through the
+     histogram layer, dampens scheduler noise on a few-ms workload. *)
+  let best h instrumented =
+    Obs.Trace.set_enabled instrumented;
+    Obs.Audit.set_enabled instrumented;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Audit.set_enabled false;
+        Obs.Trace.clear ())
+      (fun () ->
+        let replay () =
+          fst
+            (replay_through sessions steps h (fun s doc delta ->
+                 Core.Session.apply_delta s doc delta))
+        in
+        ignore (replay ());
+        let rec go n acc = if n = 0 then acc else go (n - 1) (Float.min acc (replay ())) in
+        go 7 Float.infinity)
+  in
+  let baseline = best h_baseline false in
+  let instrumented = best h_instrumented true in
+  let overhead = (instrumented -. baseline) /. baseline in
+  Printf.printf
+    "  replay (24 writes x 8 sessions): off %.2f ms, on %.2f ms (%+.2f%%)\n"
+    (1000. *. baseline) (1000. *. instrumented) (100. *. overhead);
+  check "E18" "full instrumentation costs < 5% on the E17 replay"
+    (overhead < 0.05);
+  emit_json "E18" ~params:"E17 workload, best of 7, trace+audit on vs off"
+    [ ("baseline replay", baseline, "s");
+      ("instrumented replay", instrumented, "s");
+      ("overhead", 100. *. overhead, "%") ]
 
 (* ---------------------------------------------------------------------- *)
 
@@ -874,6 +983,7 @@ let () =
   e10 ();
   e11 ();
   e17 ();
+  e18 ();
   if not quick then begin
     e7 ();
     e8 ();

@@ -14,12 +14,9 @@ let read_file path =
 
 let load_doc path = Xmldoc.Xml_parse.of_string (read_file path)
 
-let with_session doc_path policy_path user f =
+let handle_errors f =
   try
-    let doc = load_doc doc_path in
-    let policy = Core.Policy_lang.parse (read_file policy_path) in
-    let session = Core.Session.login policy doc ~user in
-    f session;
+    f ();
     0
   with
   | Sys_error msg ->
@@ -39,6 +36,13 @@ let with_session doc_path policy_path user f =
   | Xpath.Parser.Error msg | Xpath.Eval.Error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
+
+let with_session doc_path policy_path user f =
+  handle_errors (fun () ->
+      let doc = load_doc doc_path in
+      let policy = Core.Policy_lang.parse (read_file policy_path) in
+      let session = Core.Session.login policy doc ~user in
+      f session)
 
 (* --- common arguments --------------------------------------------------- *)
 
@@ -376,6 +380,133 @@ let stylesheet_cmd =
              (the §5 enforcement path) and optionally apply it.")
     Term.(const run $ policy_arg2 $ user_arg $ apply_arg)
 
+(* --- stats ---------------------------------------------------------------- *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let stats_cmd =
+  let query_args =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"XPATH"
+          ~doc:"XPath queries to serve (each evaluated on the user's lazy \
+                view) before reporting.")
+  in
+  let update_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "update" ] ~docv:"XUPDATE"
+          ~doc:"Also apply this <xupdate:modifications> document through \
+                the secure write path.")
+  in
+  let spans_flag =
+    Arg.(
+      value & flag
+      & info [ "spans" ] ~doc:"Include the request span trees in the output.")
+  in
+  let run doc policy user queries update_file json spans =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        Obs.Trace.set_enabled true;
+        let serve = Core.Serve.create policy doc in
+        Core.Serve.login serve ~user;
+        List.iter
+          (fun q ->
+            let ids = Core.Serve.query serve ~user q in
+            if not json then
+              Printf.printf "query %-40s %d node(s)\n" q (List.length ids))
+          queries;
+        (match update_file with
+         | None -> ()
+         | Some path ->
+           let ops = Xupdate.Xupdate_xml.ops_of_string (read_file path) in
+           List.iter
+             (fun op -> ignore (Core.Serve.update serve ~user op))
+             ops);
+        Obs.Trace.set_enabled false;
+        if json then begin
+          if spans then
+            Printf.printf "{\"metrics\":%s,\"spans\":%s}\n"
+              (Obs.Metrics.to_json Obs.Metrics.default)
+              (Obs.Trace.roots_to_json ())
+          else print_endline (Obs.Metrics.to_json Obs.Metrics.default)
+        end
+        else begin
+          if spans then begin
+            print_endline "-- spans --";
+            List.iter
+              (fun s -> print_string (Obs.Trace.to_string s))
+              (Obs.Trace.roots ());
+            print_endline "-- metrics --"
+          end;
+          print_string (Obs.Metrics.to_prometheus Obs.Metrics.default)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Serve queries/updates with tracing on and report the metrics \
+             registry (Prometheus text or JSON) and request spans.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
+      $ json_flag $ spans_flag)
+
+(* --- audit ---------------------------------------------------------------- *)
+
+let audit_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Replay this repl script (see xmlsecu repl) with the audit \
+                log enabled; without it only the login is audited.")
+  in
+  let capacity_arg =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Audit ring capacity (oldest events are dropped past it).")
+  in
+  let run doc policy user script capacity json =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        Obs.Audit.set_capacity Obs.Audit.default capacity;
+        Obs.Audit.set_enabled true;
+        let session = Core.Session.login policy doc ~user in
+        (match script with
+         | None -> ()
+         | Some path ->
+           let ic = open_in path in
+           let session = Repl.run session ic ~prompt:false in
+           close_in ic;
+           ignore session);
+        Obs.Audit.set_enabled false;
+        if json then print_endline (Obs.Audit.to_json Obs.Audit.default)
+        else begin
+          print_endline "-- audit trail --";
+          List.iter
+            (fun e -> print_endline (Obs.Audit.event_to_string e))
+            (Obs.Audit.events Obs.Audit.default);
+          let d = Obs.Audit.dropped Obs.Audit.default in
+          Printf.printf "%d event(s)%s\n"
+            (Obs.Audit.length Obs.Audit.default)
+            (if d > 0 then Printf.sprintf " (%d older dropped)" d else "")
+        end)
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Replay a scripted session with the security audit log enabled \
+             and print every access decision with its deciding rule.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ script_arg $ capacity_arg
+      $ json_flag)
+
 (* --- repl ---------------------------------------------------------------- *)
 
 let repl_cmd =
@@ -434,7 +565,8 @@ let main =
              control model (VLDB SDM 2005).")
     [
       view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
-      stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd;
+      stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd; stats_cmd;
+      audit_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -1,5 +1,24 @@
 module D = Xmldoc.Document
 
+(* Registry-backed totals aggregated across every lazy view; the
+   per-instance stats below survive for Serve.cache_stats (deprecated
+   shim) and the E13 bench. *)
+let m_hits =
+  Obs.Metrics.counter Obs.Metrics.default "lazy_view_hits_total"
+    ~help:"Memoised visibility decisions answered from the cache"
+
+let m_misses =
+  Obs.Metrics.counter Obs.Metrics.default "lazy_view_misses_total"
+    ~help:"Visibility decisions computed afresh"
+
+let m_rebase_incremental =
+  Obs.Metrics.counter Obs.Metrics.default "lazy_view_rebase_incremental_total"
+    ~help:"Rebases that evicted only the delta range"
+
+let m_rebase_full =
+  Obs.Metrics.counter Obs.Metrics.default "lazy_view_rebase_full_total"
+    ~help:"Rebases that discarded the whole memo (Delta.All)"
+
 type stats = { mutable hits : int; mutable misses : int }
 
 type t = {
@@ -20,9 +39,11 @@ let rec visible t id =
   match Hashtbl.find_opt t.memo id with
   | Some v ->
     t.stats.hits <- t.stats.hits + 1;
+    Obs.Metrics.inc m_hits;
     v
   | None ->
     t.stats.misses <- t.stats.misses + 1;
+    Obs.Metrics.inc m_misses;
     let v =
       if Ordpath.equal id Ordpath.document then D.mem t.doc id
       else if not (D.mem t.doc id) then false
@@ -46,9 +67,11 @@ let rec visible t id =
 let rebase t doc perm delta =
   match delta with
   | Delta.All ->
+    Obs.Metrics.inc m_rebase_full;
     { doc; perm; memo = Hashtbl.create 64; stats = t.stats }
   | Delta.Local [] -> { t with doc; perm }
   | Delta.Local _ ->
+    Obs.Metrics.inc m_rebase_incremental;
     Hashtbl.filter_map_inplace
       (fun id v -> if Delta.affects delta id then None else Some v)
       t.memo;

@@ -28,10 +28,54 @@ type state = {
   skipped : (Ordpath.t * string) list;
 }
 
+let m_ops =
+  Obs.Metrics.counter Obs.Metrics.default "secure_update_ops_total"
+    ~help:"Secure XUpdate operations applied (axioms 18-25)"
+
+let m_denials =
+  Obs.Metrics.counter Obs.Metrics.default "secure_update_denials_total"
+    ~help:"Per-node privilege denials during secure updates"
+
+let m_skips =
+  Obs.Metrics.counter Obs.Metrics.default "secure_update_skips_total"
+    ~help:"Targets skipped (downgraded) during secure updates"
+
+let h_apply =
+  Obs.Metrics.histogram Obs.Metrics.default "secure_update_seconds"
+    ~help:"Secure update latency incl. incremental view maintenance"
+
+(* The deciding rule behind a privilege check, rendered the way Explain
+   reports it — what the audit trail shows next to each decision. *)
+let rule_string session privilege id =
+  match Perm.deciding_rule (Session.perm session) privilege id with
+  | Some r -> Format.asprintf "%a" Rule.pp r
+  | None -> "no applicable rule (closed world)"
+
+(* Every privilege check of axioms 18-25 goes through here so the audit
+   log sees each access decision with its deciding rule. *)
+let audited_holds session ~action privilege id =
+  let ok = Session.holds session privilege id in
+  if Obs.Audit.enabled () then
+    Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
+      ~privilege:(Privilege.to_string privilege)
+      ~target:(Ordpath.to_string id)
+      ~rule:(rule_string session privilege id)
+      (if ok then Obs.Audit.Allowed else Obs.Audit.Denied);
+  ok
+
 let deny st ~target ~node privilege reason =
+  Obs.Metrics.inc m_denials;
   { st with denied = { target; node; privilege; reason } :: st.denied }
 
-let skip st target reason = { st with skipped = (target, reason) :: st.skipped }
+let skip ?session ?(action = "") st target reason =
+  Obs.Metrics.inc m_skips;
+  (match session with
+   | Some session when Obs.Audit.enabled () ->
+     Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
+       ~target:(Ordpath.to_string target) ~detail:("skipped: " ^ reason)
+       Obs.Audit.Denied
+   | _ -> ());
+  { st with skipped = (target, reason) :: st.skipped }
 
 let can_hold_children doc id =
   match D.kind doc id with
@@ -40,16 +84,16 @@ let can_hold_children doc id =
 
 (* Rename a single node: requires update, and the view label must be the
    original one (read privilege) — a RESTRICTED node cannot be renamed. *)
-let rename_node session st ~target id new_label =
-  if not (Session.holds session Privilege.Update id) then
+let rename_node session st ~action ~target id new_label =
+  if not (audited_holds session ~action Privilege.Update id) then
     deny st ~target ~node:id Privilege.Update "update privilege required"
-  else if not (Session.holds session Privilege.Read id) then
+  else if not (audited_holds session ~action Privilege.Read id) then
     deny st ~target ~node:id Privilege.Read
       "the node is shown RESTRICTED and cannot be relabelled"
   else
     match D.kind st.doc id with
     | Some Xmldoc.Node.Document | None ->
-      skip st target "the document node cannot be relabelled"
+      skip ~session ~action st target "the document node cannot be relabelled"
     | Some _ ->
       {
         st with
@@ -68,15 +112,15 @@ let instantiate_on_view session ~target content =
     (Xpath.Source.of_document (Session.view session))
     ~context:target content
 
-let insert_tree session st ~target content where =
+let insert_tree session st ~action ~target content where =
   let source_doc = st.doc in
   match where with
   | `Append ->
-    if not (Session.holds session Privilege.Insert target) then
+    if not (audited_holds session ~action Privilege.Insert target) then
       deny st ~target ~node:target Privilege.Insert
         "insert privilege required on the addressed node"
     else if not (can_hold_children source_doc target) then
-      skip st target "only element nodes accept children"
+      skip ~session ~action st target "only element nodes accept children"
     else
       let tree = instantiate_on_view session ~target content in
       let doc, id = D.append_tree source_doc ~parent:target tree in
@@ -84,9 +128,9 @@ let insert_tree session st ~target content where =
   | `Before | `After ->
     let before = where = `Before in
     (match Ordpath.parent target with
-     | None -> skip st target "the document node has no siblings"
+     | None -> skip ~session ~action st target "the document node has no siblings"
      | Some parent ->
-       if not (Session.holds session Privilege.Insert parent) then
+       if not (audited_holds session ~action Privilege.Insert parent) then
          deny st ~target ~node:parent Privilege.Insert
            "insert privilege required on the parent of the addressed node"
        else
@@ -104,18 +148,26 @@ let insert_tree session st ~target content where =
            | s :: rest -> bounds (Some s) rest
          in
          (match bounds None siblings with
-          | None -> skip st target "target no longer present"
+          | None -> skip ~session ~action st target "target no longer present"
           | Some (left, right) ->
             let tree = instantiate_on_view session ~target content in
             let doc, id = D.add_subtree source_doc ~parent ~left ~right tree in
             { st with doc; inserted = id :: st.inserted }))
 
 let apply session op =
+  Obs.Metrics.inc m_ops;
+  Obs.Metrics.time h_apply @@ fun () ->
+  Obs.Trace.with_span "secure_update.apply" @@ fun () ->
+  let action = Op.name op in
+  Obs.Trace.annotate "op" action;
+  Obs.Trace.annotate "user" (Session.user session);
   let view = Session.view session in
   let targets =
-    Xpath.Eval.select
-      (Xpath.Eval.env ~vars:(Session.user_vars session) view)
-      (Op.path op)
+    (* Target selection happens on the view (axioms 18-25). *)
+    Obs.Trace.with_span "xpath.eval_targets" (fun () ->
+        Xpath.Eval.select
+          (Xpath.Eval.env ~vars:(Session.user_vars session) view)
+          (Op.path op))
   in
   let st =
     {
@@ -128,10 +180,12 @@ let apply session op =
     }
   in
   let st =
+    Obs.Trace.with_span "xupdate.apply" @@ fun () ->
     match op with
     | Op.Rename { new_label; _ } ->
       List.fold_left
-        (fun st target -> rename_node session st ~target target new_label)
+        (fun st target ->
+          rename_node session st ~action ~target target new_label)
         st targets
     | Op.Update { new_label; _ } ->
       (* Axioms 20-21: relabel the view-children of each addressed node;
@@ -139,24 +193,29 @@ let apply session op =
       List.fold_left
         (fun st target ->
           match D.children view target with
-          | [] -> skip st target "the addressed node has no visible children"
+          | [] ->
+            skip ~session ~action st target
+              "the addressed node has no visible children"
           | kids ->
             List.fold_left
               (fun st (kid : Xmldoc.Node.t) ->
-                rename_node session st ~target kid.id new_label)
+                rename_node session st ~action ~target kid.id new_label)
               st kids)
         st targets
     | Op.Append { content; _ } ->
       List.fold_left
-        (fun st target -> insert_tree session st ~target content `Append)
+        (fun st target ->
+          insert_tree session st ~action ~target content `Append)
         st targets
     | Op.Insert_before { content; _ } ->
       List.fold_left
-        (fun st target -> insert_tree session st ~target content `Before)
+        (fun st target ->
+          insert_tree session st ~action ~target content `Before)
         st targets
     | Op.Insert_after { content; _ } ->
       List.fold_left
-        (fun st target -> insert_tree session st ~target content `After)
+        (fun st target ->
+          insert_tree session st ~action ~target content `After)
         st targets
     | Op.Remove _ ->
       List.fold_left
@@ -165,8 +224,9 @@ let apply session op =
             (* Inside a subtree removed by an earlier target. *)
             st
           else if Ordpath.equal target Ordpath.document then
-            skip st target "the document node cannot be removed"
-          else if not (Session.holds session Privilege.Delete target) then
+            skip ~session ~action st target "the document node cannot be removed"
+          else if not (audited_holds session ~action Privilege.Delete target)
+          then
             deny st ~target ~node:target Privilege.Delete
               "delete privilege required on the addressed node"
           else
@@ -190,6 +250,20 @@ let apply session op =
       delta;
     }
   in
+  if Obs.Audit.enabled () then
+    Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
+      ~target:(Xpath.Ast.to_string (Op.path op))
+      ~detail:
+        (Printf.sprintf
+           "%d target(s): %d relabelled, %d removed, %d inserted, %d denied, \
+            %d skipped"
+           (List.length report.targets)
+           (List.length report.relabelled)
+           (List.length report.removed)
+           (List.length report.inserted)
+           (List.length report.denied)
+           (List.length report.skipped))
+      (if report.denied = [] then Obs.Audit.Allowed else Obs.Audit.Denied);
   (Session.apply_delta session st.doc delta, report)
 
 let apply_all session ops =

@@ -10,6 +10,36 @@ type t = {
   mutable writes : int;
 }
 
+(* Server-level instrumentation; per-stage spans come from Session,
+   Secure_update and Lazy_view. *)
+let m_queries =
+  Obs.Metrics.counter Obs.Metrics.default "serve_queries_total"
+    ~help:"Queries served on lazy views"
+
+let m_updates =
+  Obs.Metrics.counter Obs.Metrics.default "serve_updates_total"
+    ~help:"Secure updates applied through the server"
+
+let m_fanout =
+  Obs.Metrics.counter Obs.Metrics.default "serve_broadcast_sessions_total"
+    ~help:"Per-session delta rebases caused by broadcasts"
+
+let m_rebase_incremental =
+  Obs.Metrics.counter Obs.Metrics.default "serve_rebase_incremental_total"
+    ~help:"Broadcast rebases that stayed delta-scoped (policy-local)"
+
+let m_rebase_full =
+  Obs.Metrics.counter Obs.Metrics.default "serve_rebase_full_total"
+    ~help:"Broadcast rebases widened to a full refresh (non-local rules)"
+
+let h_query =
+  Obs.Metrics.histogram Obs.Metrics.default "serve_query_seconds"
+    ~help:"End-to-end query latency (parse + lazy evaluation)"
+
+let h_update =
+  Obs.Metrics.histogram Obs.Metrics.default "serve_update_seconds"
+    ~help:"End-to-end update latency (secure apply + broadcast)"
+
 let create policy source = { policy; source; sessions = Hashtbl.create 8; writes = 0 }
 
 let login t ~user =
@@ -38,22 +68,54 @@ let lazy_view t ~user = (entry t ~user).lazy_view
 let view t ~user = Session.view (session t ~user)
 
 let query t ~user q =
+  Obs.Metrics.inc m_queries;
+  Obs.Metrics.time h_query @@ fun () ->
+  Obs.Trace.with_span "serve.query" @@ fun () ->
+  Obs.Trace.annotate "user" user;
   let e = entry t ~user in
-  Lazy_view.select_str
-    ~vars:(Session.user_vars e.session)
-    e.lazy_view q
+  let expr =
+    Obs.Trace.with_span "xpath.parse" (fun () -> Xpath.Parser.parse_path q)
+  in
+  let ids =
+    Obs.Trace.with_span "query.eval" (fun () ->
+        Lazy_view.select ~vars:(Session.user_vars e.session) e.lazy_view expr)
+  in
+  if Obs.Audit.enabled () then
+    Obs.Audit.record Obs.Audit.default ~user ~action:"query" ~privilege:"read"
+      ~target:q
+      ~detail:(Printf.sprintf "%d node(s) on the lazy view" (List.length ids))
+      Obs.Audit.Allowed;
+  ids
 
 let rebase_entry source delta e =
+  Obs.Metrics.inc m_fanout;
+  Obs.Trace.with_span "session.rebase" @@ fun () ->
   let session = Session.apply_delta e.session source delta in
+  Obs.Trace.annotate "user" (Session.user session);
   (* apply_delta widens internally for non-local sessions; the lazy memo
      must be widened the same way, as its entries depend on the same
      locality argument. *)
-  let lazy_delta = if Session.policy_local session then delta else Delta.all in
+  let lazy_delta =
+    if Session.policy_local session then begin
+      Obs.Metrics.inc m_rebase_incremental;
+      Obs.Trace.annotate "mode" "incremental";
+      delta
+    end
+    else begin
+      Obs.Metrics.inc m_rebase_full;
+      Obs.Trace.annotate "mode" "full-refresh";
+      Delta.all
+    end
+  in
   e.session <- session;
   e.lazy_view <-
     Lazy_view.rebase e.lazy_view source (Session.perm session) lazy_delta
 
 let update t ~user op =
+  Obs.Metrics.inc m_updates;
+  Obs.Metrics.time h_update @@ fun () ->
+  Obs.Trace.with_span "serve.update" @@ fun () ->
+  Obs.Trace.annotate "user" user;
   let e = entry t ~user in
   let session', report = Secure_update.apply e.session op in
   t.source <- Session.source session';
@@ -62,16 +124,25 @@ let update t ~user op =
      view and every other session get the broadcast delta. *)
   e.session <- session';
   let lazy_delta =
-    if Session.policy_local session' then report.Secure_update.delta
-    else Delta.all
+    if Session.policy_local session' then begin
+      Obs.Metrics.inc m_rebase_incremental;
+      report.Secure_update.delta
+    end
+    else begin
+      Obs.Metrics.inc m_rebase_full;
+      Delta.all
+    end
   in
   e.lazy_view <-
-    Lazy_view.rebase e.lazy_view t.source (Session.perm session') lazy_delta;
-  Hashtbl.iter
-    (fun other e' ->
-      if not (String.equal other user) then
-        rebase_entry t.source report.Secure_update.delta e')
-    t.sessions;
+    Obs.Trace.with_span "lazy_view.rebase" (fun () ->
+        Lazy_view.rebase e.lazy_view t.source (Session.perm session')
+          lazy_delta);
+  Obs.Trace.with_span "serve.broadcast" (fun () ->
+      Hashtbl.iter
+        (fun other e' ->
+          if not (String.equal other user) then
+            rebase_entry t.source report.Secure_update.delta e')
+        t.sessions);
   report
 
 let update_all t ~user ops = List.map (update t ~user) ops

@@ -57,4 +57,10 @@ val update_all :
   t -> user:string -> Xupdate.Op.t list -> Secure_update.report list
 
 val cache_stats : t -> user:string -> int * int
-(** The user's lazy-view [(hits, misses)] counters. *)
+(** The user's lazy-view [(hits, misses)] counters.
+
+    @deprecated Thin shim kept for compatibility: the same counters (and
+    the widen-to-full-refresh events this accessor never exposed) are
+    aggregated in {!Obs.Metrics.default} as [lazy_view_hits_total],
+    [lazy_view_misses_total], [serve_rebase_incremental_total] and
+    [serve_rebase_full_total]. *)

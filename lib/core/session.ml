@@ -11,13 +11,59 @@ type t = {
 
 exception Unknown_user of string
 
+(* Observability (all no-ops unless enabled; see lib/obs). *)
+let m_logins =
+  Obs.Metrics.counter Obs.Metrics.default "session_logins_total"
+    ~help:"Sessions opened (perm resolution + view derivation)"
+
+let m_queries =
+  Obs.Metrics.counter Obs.Metrics.default "session_queries_total"
+    ~help:"XPath queries evaluated on materialised views"
+
+let m_refresh_full =
+  Obs.Metrics.counter Obs.Metrics.default "session_refresh_full_total"
+    ~help:"Full perm+view re-derivations (login excluded)"
+
+let m_patch_incremental =
+  Obs.Metrics.counter Obs.Metrics.default "session_patch_incremental_total"
+    ~help:"Delta-scoped perm+view maintenance passes (Perm.update/View.patch)"
+
+let m_delta_noop =
+  Obs.Metrics.counter Obs.Metrics.default "session_delta_noop_total"
+    ~help:"apply_delta calls whose delta was empty"
+
+let m_delta_widened =
+  Obs.Metrics.counter Obs.Metrics.default "session_delta_widened_total"
+    ~help:"apply_delta calls widened to a full refresh because the \
+           session's rules are not all downward"
+
+let h_login =
+  Obs.Metrics.histogram Obs.Metrics.default "session_login_seconds"
+    ~help:"Login latency (perm resolution + view derivation)"
+
 let login policy source ~user =
   if not (Subject.mem (Policy.subjects policy) user) then
     raise (Unknown_user user);
-  let perm = Perm.compute policy source ~user in
-  let view = View.derive source perm in
-  let local = Delta.local_rules (Policy.rules_for policy ~user) in
-  { user; policy; source; perm; view; local }
+  Obs.Metrics.time h_login (fun () ->
+      Obs.Trace.with_span "session.login" (fun () ->
+          Obs.Trace.annotate "user" user;
+          let perm =
+            Obs.Trace.with_span "perm.compute" (fun () ->
+                Perm.compute policy source ~user)
+          in
+          let view =
+            Obs.Trace.with_span "view.derive" (fun () ->
+                View.derive source perm)
+          in
+          let local = Delta.local_rules (Policy.rules_for policy ~user) in
+          Obs.Metrics.inc m_logins;
+          if Obs.Audit.enabled () then
+            Obs.Audit.record Obs.Audit.default ~user ~action:"login"
+              ~detail:
+                (Printf.sprintf "view: %d nodes; %s" (View.visible_count view)
+                   (if local then "delta-local" else "non-local rules"))
+              Obs.Audit.Allowed;
+          { user; policy; source; perm; view; local }))
 
 let user t = t.user
 let policy t = t.policy
@@ -31,24 +77,60 @@ let holds t privilege id = Perm.holds t.perm privilege id
 let user_vars t = [ ("USER", Xpath.Value.Str t.user) ]
 
 let query_expr t expr =
-  Xpath.Eval.select (Xpath.Eval.env ~vars:(user_vars t) t.view) expr
+  Obs.Metrics.inc m_queries;
+  Obs.Trace.with_span "query.eval" (fun () ->
+      Xpath.Eval.select (Xpath.Eval.env ~vars:(user_vars t) t.view) expr)
 
-let query t src = query_expr t (Xpath.Parser.parse_path src)
+let query t src =
+  Obs.Trace.with_span "session.query" (fun () ->
+      let expr =
+        Obs.Trace.with_span "xpath.parse" (fun () ->
+            Xpath.Parser.parse_path src)
+      in
+      let ids = query_expr t expr in
+      if Obs.Audit.enabled () then
+        Obs.Audit.record Obs.Audit.default ~user:t.user ~action:"query"
+          ~privilege:"read" ~target:src
+          ~detail:(Printf.sprintf "%d node(s) on the view" (List.length ids))
+          Obs.Audit.Allowed;
+      ids)
 
 let query_source t src =
   Xpath.Eval.select_str ~vars:(user_vars t) t.source src
 
 let refresh t source =
-  let perm = Perm.compute t.policy source ~user:t.user in
-  let view = View.derive source perm in
-  { t with source; perm; view }
+  Obs.Metrics.inc m_refresh_full;
+  Obs.Trace.with_span "session.refresh" (fun () ->
+      Obs.Trace.annotate "user" t.user;
+      let perm =
+        Obs.Trace.with_span "perm.compute" (fun () ->
+            Perm.compute t.policy source ~user:t.user)
+      in
+      let view =
+        Obs.Trace.with_span "view.derive" (fun () -> View.derive source perm)
+      in
+      { t with source; perm; view })
 
 let apply_delta t source delta =
+  (match delta with
+   | Delta.All -> ()
+   | Delta.Local _ -> if not t.local then Obs.Metrics.inc m_delta_widened);
   let delta = if t.local then delta else Delta.all in
   match delta with
   | Delta.All -> refresh t source
-  | Delta.Local [] -> { t with source }
+  | Delta.Local [] ->
+    Obs.Metrics.inc m_delta_noop;
+    { t with source }
   | Delta.Local _ ->
-    let perm = Perm.update t.perm t.policy source delta in
-    let view = View.patch source ~view:t.view perm delta in
-    { t with source; perm; view }
+    Obs.Metrics.inc m_patch_incremental;
+    Obs.Trace.with_span "session.apply_delta" (fun () ->
+        Obs.Trace.annotate "user" t.user;
+        let perm =
+          Obs.Trace.with_span "perm.update" (fun () ->
+              Perm.update t.perm t.policy source delta)
+        in
+        let view =
+          Obs.Trace.with_span "view.patch" (fun () ->
+              View.patch source ~view:t.view perm delta)
+        in
+        { t with source; perm; view })

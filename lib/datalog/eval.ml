@@ -1,6 +1,24 @@
 exception Unsafe of string
 exception Unstratifiable of string
 
+(* Rule-evaluation counters (Obs.Metrics.default): how much bottom-up
+   work the logical executions of the axioms perform. *)
+let m_clause_evals =
+  Obs.Metrics.counter Obs.Metrics.default "datalog_clause_evals_total"
+    ~help:"Clause body evaluations across all solve calls"
+
+let m_facts_derived =
+  Obs.Metrics.counter Obs.Metrics.default "datalog_facts_derived_total"
+    ~help:"Fresh facts added to the database by solve"
+
+let m_rounds =
+  Obs.Metrics.counter Obs.Metrics.default "datalog_seminaive_rounds_total"
+    ~help:"Semi-naive delta rounds across all solve calls"
+
+let m_solves =
+  Obs.Metrics.counter Obs.Metrics.default "datalog_solves_total"
+    ~help:"Bottom-up solve calls (semi-naive and naive)"
+
 module StrMap = Map.Make (String)
 module StrSet = Set.Make (String)
 
@@ -157,6 +175,7 @@ let check_program program =
 
 let solve edb program =
   check_program program;
+  Obs.Metrics.inc m_solves;
   let strata = stratify program in
   let stratum_of p = Option.value ~default:0 (List.assoc_opt p strata) in
   let max_stratum = List.fold_left (fun m (_, s) -> max m s) 0 strata in
@@ -175,6 +194,7 @@ let solve edb program =
     (* Round 0: every clause against the full database. *)
     let fresh = ref [] in
     let run_clause ~delta_at ~delta (c : Clause.t) =
+      Obs.Metrics.inc m_clause_evals;
       let source k (a : Clause.atom) =
         let from_db =
           if delta_at = Some k then
@@ -188,6 +208,7 @@ let solve edb program =
           let head = apply_atom subst c.Clause.head in
           if not (Db.mem !db head) then begin
             db := Db.add !db head;
+            Obs.Metrics.inc m_facts_derived;
             fresh := head :: !fresh
           end)
     in
@@ -195,6 +216,7 @@ let solve edb program =
     (* Semi-naive rounds: one positive occurrence restricted to delta. *)
     let rec iterate delta_facts =
       if delta_facts <> [] then begin
+        Obs.Metrics.inc m_rounds;
         let delta = Db.add_all Db.empty delta_facts in
         fresh := [];
         List.iter
@@ -231,6 +253,7 @@ let query edb program pred pattern =
 
 let naive_solve edb program =
   check_program program;
+  Obs.Metrics.inc m_solves;
   let strata = stratify program in
   let stratum_of p = Option.value ~default:0 (List.assoc_opt p strata) in
   let max_stratum = List.fold_left (fun m (_, s) -> max m s) 0 strata in
@@ -246,6 +269,7 @@ let naive_solve edb program =
       changed := false;
       List.iter
         (fun (c : Clause.t) ->
+          Obs.Metrics.inc m_clause_evals;
           let source _k (a : Clause.atom) =
             Db.matching !db a.Clause.pred a.Clause.args
           in
@@ -253,6 +277,7 @@ let naive_solve edb program =
               let head = apply_atom subst c.Clause.head in
               if not (Db.mem !db head) then begin
                 db := Db.add !db head;
+                Obs.Metrics.inc m_facts_derived;
                 changed := true
               end))
         clauses

@@ -1,0 +1,96 @@
+type decision = Allowed | Denied
+
+type event = {
+  seq : int;
+  time : float;
+  user : string;
+  action : string;
+  privilege : string;
+  target : string;
+  decision : decision;
+  rule : string;
+  detail : string;
+}
+
+type t = {
+  mutable capacity : int;
+  ring : event Queue.t;
+  mutable seen : int;
+  mutable sink : (event -> unit) option;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Obs.Audit.create: capacity < 1";
+  { capacity; ring = Queue.create (); seen = 0; sink = None }
+
+let default = create ()
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let set_capacity t capacity =
+  if capacity < 1 then invalid_arg "Obs.Audit.set_capacity: capacity < 1";
+  t.capacity <- capacity;
+  while Queue.length t.ring > capacity do
+    ignore (Queue.pop t.ring)
+  done
+
+let capacity t = t.capacity
+let set_sink t sink = t.sink <- sink
+
+let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
+    ?(detail = "") decision =
+  let event =
+    {
+      seq = t.seen;
+      time = Unix.gettimeofday ();
+      user;
+      action;
+      privilege;
+      target;
+      decision;
+      rule;
+      detail;
+    }
+  in
+  t.seen <- t.seen + 1;
+  Queue.push event t.ring;
+  if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
+  match t.sink with None -> () | Some f -> f event
+
+let events t = List.of_seq (Queue.to_seq t.ring)
+let length t = Queue.length t.ring
+let seen t = t.seen
+let dropped t = t.seen - Queue.length t.ring
+
+let clear t =
+  Queue.clear t.ring;
+  t.seen <- 0
+
+let decision_to_string = function Allowed -> "allow" | Denied -> "deny"
+
+let event_to_string e =
+  Printf.sprintf "#%-4d %-10s %-18s %-8s %-10s %-5s %s%s" e.seq e.user
+    e.action
+    (if e.privilege = "" then "-" else e.privilege)
+    (if e.target = "" then "-" else e.target)
+    (decision_to_string e.decision)
+    (if e.rule = "" then "-" else e.rule)
+    (if e.detail = "" then "" else " (" ^ e.detail ^ ")")
+
+let event_to_json e =
+  Printf.sprintf
+    "{\"seq\":%d,\"user\":%s,\"action\":%s,\"privilege\":%s,\"target\":%s,\
+     \"decision\":%s,\"rule\":%s,\"detail\":%s}"
+    e.seq
+    (Metrics.json_string e.user)
+    (Metrics.json_string e.action)
+    (Metrics.json_string e.privilege)
+    (Metrics.json_string e.target)
+    (Metrics.json_string (decision_to_string e.decision))
+    (Metrics.json_string e.rule)
+    (Metrics.json_string e.detail)
+
+let to_json t =
+  "[" ^ String.concat "," (List.map event_to_json (events t)) ^ "]"

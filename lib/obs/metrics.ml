@@ -1,0 +1,185 @@
+type counter = {
+  c_name : string;
+  c_help : string;
+  mutable c_value : int;
+}
+
+(* Fixed log-scale bucket bounds, in seconds: 1µs, 2µs, 4µs, … ~8.4s,
+   then +Inf.  Fixed bounds keep exposition comparable across runs and
+   make observation a constant-time scan with no allocation. *)
+let bucket_bounds =
+  Array.init 24 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_counts : int array; (* one per bound, non-cumulative; overflow last *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type t = {
+  mutable counters : counter list; (* insertion order, newest first *)
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; histograms = [] }
+let default = create ()
+
+let counter ?(help = "") t name =
+  match List.find_opt (fun c -> String.equal c.c_name name) t.counters with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_help = help; c_value = 0 } in
+    t.counters <- c :: t.counters;
+    c
+
+let inc c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.Metrics.add: negative amount";
+  c.c_value <- c.c_value + n
+
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let histogram ?(help = "") t name =
+  match List.find_opt (fun h -> String.equal h.h_name name) t.histograms with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_help = help;
+        h_counts = Array.make (Array.length bucket_bounds + 1) 0;
+        h_sum = 0.;
+        h_count = 0;
+      }
+    in
+    t.histograms <- h :: t.histograms;
+    h
+
+let observe h v =
+  let n = Array.length bucket_bounds in
+  let rec slot i = if i >= n || v <= bucket_bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_count <- h.h_count + 1
+
+let count h = h.h_count
+let sum h = h.h_sum
+
+let buckets h =
+  let acc = ref 0 in
+  let cumulative =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           acc := !acc + c;
+           let bound =
+             if i < Array.length bucket_bounds then bucket_bounds.(i)
+             else infinity
+           in
+           (bound, !acc))
+         h.h_counts)
+  in
+  cumulative
+
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+
+let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let counters t =
+  List.map (fun c -> (c.c_name, c.c_value)) (by_name (fun c -> c.c_name) t.counters)
+
+let histogram_names t =
+  List.map (fun h -> h.h_name) (by_name (fun h -> h.h_name) t.histograms)
+
+let le_label bound =
+  if bound = infinity then "+Inf" else Printf.sprintf "%g" bound
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun c ->
+      if c.c_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value))
+    (by_name (fun c -> c.c_name) t.counters);
+  List.iter
+    (fun h ->
+      if h.h_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+      List.iter
+        (fun (bound, c) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+               (le_label bound) c))
+        (buckets h);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %.9f\n" h.h_name h.h_sum);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name h.h_count))
+    (by_name (fun h -> h.h_name) t.histograms);
+  Buffer.contents buf
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float v =
+  if v = infinity then "\"+Inf\""
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%s:%d" (json_string name) v))
+    (counters t);
+  Buffer.add_string buf "},\"histograms\":{";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "%s:{\"count\":%d,\"sum\":%s,\"buckets\":["
+           (json_string h.h_name) h.h_count (json_float h.h_sum));
+      List.iteri
+        (fun j (bound, c) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float bound) c))
+        (buckets h);
+      Buffer.add_string buf "]}")
+    (by_name (fun h -> h.h_name) t.histograms);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let reset t =
+  List.iter (fun c -> c.c_value <- 0) t.counters;
+  List.iter
+    (fun h ->
+      Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+      h.h_sum <- 0.;
+      h.h_count <- 0)
+    t.histograms

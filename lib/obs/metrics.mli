@@ -1,0 +1,77 @@
+(** Metrics registry: named monotonic counters and latency histograms
+    with Prometheus-style text exposition and JSON dumps.
+
+    A registry is a flat namespace of instruments; registering the same
+    name twice returns the same instrument, so modules can resolve their
+    counters once at initialisation and increment a plain record field on
+    the hot path.  Counter increments and histogram observations never
+    allocate.  Recorded values carry no wall-clock dependence beyond the
+    [Unix.gettimeofday] spans fed into histograms by {!time}. *)
+
+type t
+(** A registry. *)
+
+type counter
+type histogram
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry every instrumented module reports into. *)
+
+(** {1 Counters} *)
+
+val counter : ?help:string -> t -> string -> counter
+(** Registers (or finds) the monotonic counter [name].  [help] is kept
+    first-wins for exposition. *)
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative amount (counters are
+    monotonic). *)
+
+val value : counter -> int
+val counter_name : counter -> string
+
+(** {1 Histograms} *)
+
+val histogram : ?help:string -> t -> string -> histogram
+(** Registers (or finds) a latency histogram with fixed log-scale buckets
+    (powers of two from 1µs to ~8s, plus +Inf).  Observations are in
+    seconds. *)
+
+val observe : histogram -> float -> unit
+val count : histogram -> int
+val sum : histogram -> float
+
+val buckets : histogram -> (float * int) list
+(** Cumulative [(upper_bound_seconds, count)] pairs, +Inf last
+    (represented as [infinity]). *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Runs the thunk and observes its [Unix.gettimeofday] duration;
+    observes even when the thunk raises. *)
+
+(** {1 Exposition} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val histogram_names : t -> string list
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format (counters and histograms, sorted
+    by name). *)
+
+val to_json : t -> string
+
+val reset : t -> unit
+(** Zeroes every instrument (registrations survive).  For tests and
+    benches only — production counters are monotonic. *)
+
+(** {1 JSON plumbing} *)
+
+val json_string : string -> string
+(** Escapes and quotes a string for JSON; shared by the other [Obs]
+    emitters. *)

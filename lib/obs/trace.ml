@@ -1,0 +1,109 @@
+type span = {
+  name : string;
+  start : float;
+  mutable elapsed : float;
+  mutable children : span list;
+  mutable meta : (string * string) list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+(* Innermost-first stack of open spans; children accumulate reversed and
+   are put in execution order when the span closes. *)
+let stack : span list ref = ref []
+
+let max_roots = 256
+
+let finished : span list ref = ref [] (* newest first, length <= max_roots *)
+let finished_len = ref 0
+let dropped_count = ref 0
+
+let dropped () = !dropped_count
+
+let clear () =
+  finished := [];
+  finished_len := 0;
+  dropped_count := 0
+
+let close span =
+  span.elapsed <- Unix.gettimeofday () -. span.start;
+  span.children <- List.rev span.children;
+  span.meta <- List.rev span.meta;
+  match !stack with
+  | parent :: _ -> parent.children <- span :: parent.children
+  | [] ->
+    finished := span :: !finished;
+    incr finished_len;
+    if !finished_len > max_roots then begin
+      (* Drop the oldest retained root; the copy only happens on
+         overflow and the list is bounded. *)
+      finished := List.filteri (fun i _ -> i < max_roots) !finished;
+      finished_len := max_roots;
+      incr dropped_count
+    end
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let span =
+      { name; start = Unix.gettimeofday (); elapsed = 0.; children = [];
+        meta = [] }
+    in
+    stack := span :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+         | s :: rest when s == span -> stack := rest
+         | other ->
+           (* Defensive: unwind to below this span if inner spans leaked
+              (Fun.protect makes this unreachable in practice). *)
+           let rec pop = function
+             | s :: rest -> if s == span then rest else pop rest
+             | [] -> []
+           in
+           stack := pop other);
+        close span)
+      f
+  end
+
+let annotate key value =
+  if !enabled_flag then
+    match !stack with
+    | [] -> ()
+    | span :: _ -> span.meta <- (key, value) :: span.meta
+
+let roots () = List.rev !finished
+
+let to_string span =
+  let buf = Buffer.create 256 in
+  let rec go indent span =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s %.1fus%s\n" indent span.name
+         (span.elapsed *. 1e6)
+         (match span.meta with
+          | [] -> ""
+          | kvs ->
+            " ["
+            ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+            ^ "]"));
+    List.iter (go (indent ^ "  ")) span.children
+  in
+  go "" span;
+  Buffer.contents buf
+
+let rec span_to_json span =
+  Printf.sprintf
+    "{\"name\":%s,\"elapsed_seconds\":%.9f,\"meta\":{%s},\"children\":[%s]}"
+    (Metrics.json_string span.name) span.elapsed
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "%s:%s" (Metrics.json_string k)
+              (Metrics.json_string v))
+          span.meta))
+    (String.concat "," (List.map span_to_json span.children))
+
+let roots_to_json () =
+  "[" ^ String.concat "," (List.map span_to_json (roots ())) ^ "]"

@@ -1,0 +1,182 @@
+(* Decision explanation (Explain) and its agreement with the audit
+   trail: every constructor of [Explain.visibility] is exercised, and on
+   seeded random (document, policy) pairs each audited access decision
+   carries exactly the rule [Explain.privilege] names. *)
+
+module P = Core.Paper_example
+module D = Xmldoc.Document
+module E = Core.Explain
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let find_label doc label =
+  match
+    D.fold
+      (fun (n : Xmldoc.Node.t) acc ->
+        if acc = None && String.equal n.label label then Some n.id else acc)
+      doc None
+  with
+  | Some id -> id
+  | None -> Alcotest.failf "no node labelled %s" label
+
+(* -- the five visibility constructors ---------------------------------- *)
+
+let test_visible () =
+  let doc = P.document () in
+  match E.visibility (P.login P.laporte) (P.find doc "franck") with
+  | E.Visible r ->
+    Alcotest.(check bool) "deciding rule is an accept" true
+      (r.Core.Rule.decision = Core.Rule.Accept)
+  | _ -> Alcotest.fail "doctor should see franck as Visible"
+
+let test_restricted () =
+  let doc = P.document () in
+  match E.visibility (P.login P.beaufort) (P.find doc "tonsillitis") with
+  | E.Restricted { position; read_denied } ->
+    Alcotest.(check bool) "position granted by an accept rule" true
+      (position.Core.Rule.decision = Core.Rule.Accept);
+    Alcotest.(check bool) "read denied by a named rule" true
+      (match read_denied with
+       | Some r -> r.Core.Rule.decision = Core.Rule.Deny
+       | None -> false)
+  | _ -> Alcotest.fail "secretary should see diagnosis text as Restricted"
+
+let test_hidden_closed_world () =
+  let doc = P.document () in
+  match E.visibility (P.login P.robert) (P.find doc "franck") with
+  | E.Hidden { denied_by = None } -> ()
+  | _ ->
+    Alcotest.fail
+      "robert should see franck's record as Hidden with no applicable rule"
+
+let abc_doc () = Xmldoc.Xml_parse.of_string "<a><b><c/></b></a>"
+
+let abc_policy () =
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  Core.Policy.v subjects
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"u"
+        ~priority:1;
+      Core.Rule.deny Core.Privilege.Read ~path:"/a/b" ~subject:"u" ~priority:2;
+    ]
+
+let test_hidden_denied_and_pruned () =
+  let doc = abc_doc () in
+  let session = Core.Session.login (abc_policy ()) doc ~user:"u" in
+  let b = find_label doc "b" and c = find_label doc "c" in
+  (match E.visibility session b with
+   | E.Hidden { denied_by = Some r } ->
+     Alcotest.(check bool) "b hidden by the priority-2 deny" true
+       (r.Core.Rule.decision = Core.Rule.Deny && r.Core.Rule.priority = 2)
+   | _ -> Alcotest.fail "b should be Hidden with a deciding deny rule");
+  match E.visibility session c with
+  | E.Pruned ancestor ->
+    Alcotest.(check bool) "c pruned by its hidden ancestor b" true
+      (Ordpath.equal ancestor b)
+  | _ -> Alcotest.fail "c should be Pruned (readable under a hidden parent)"
+
+let test_no_such_node () =
+  let session = P.login P.laporte in
+  (match E.visibility session (Ordpath.of_string "1.9.9.9") with
+   | E.No_such_node -> ()
+   | _ -> Alcotest.fail "1.9.9.9 should be No_such_node");
+  Alcotest.(check bool) "describe mentions non-existence" true
+    (contains (E.describe session (Ordpath.of_string "1.9.9.9")) "does not exist")
+
+(* -- audit trail vs Explain -------------------------------------------- *)
+
+(* Secure updates audit each per-node privilege check against the
+   pre-update session, so [Explain.privilege] on that same session must
+   name exactly the rule the event recorded — and agree on the verdict. *)
+let check_audit_matches_explain session events =
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Obs.Audit.event) ->
+      match Core.Privilege.of_string e.privilege with
+      | Some priv when e.rule <> "" ->
+        incr checked;
+        let id = Ordpath.of_string e.target in
+        let explain = E.privilege session priv id in
+        Alcotest.(check bool)
+          (Printf.sprintf "event #%d: explain %S carries rule %S" e.seq
+             explain e.rule)
+          true (contains explain e.rule);
+        let granted = contains explain "granted by" in
+        Alcotest.(check bool)
+          (Printf.sprintf "event #%d: decision agrees with explain" e.seq)
+          granted
+          (e.decision = Obs.Audit.Allowed)
+      | _ -> ())
+    events;
+  !checked
+
+let random_ops =
+  [
+    Xupdate.Op.rename "//service" "department";
+    Xupdate.Op.update "//diagnosis" "reviewed";
+    Xupdate.Op.append "//service" (Xmldoc.Tree.text "annex");
+    Xupdate.Op.remove "//diagnosis/node()";
+  ]
+
+let test_audit_matches_explain () =
+  let total = ref 0 in
+  List.iter
+    (fun seed ->
+      let config = { Workload.Gen_doc.default with patients = 6; seed } in
+      let doc = Workload.Gen_doc.generate config in
+      let policy = Workload.Gen_policy.hospital config in
+      List.iter
+        (fun user ->
+          let session = Core.Session.login policy doc ~user in
+          Obs.Audit.clear Obs.Audit.default;
+          Obs.Audit.set_enabled true;
+          Fun.protect ~finally:(fun () -> Obs.Audit.set_enabled false)
+            (fun () ->
+              List.iter
+                (fun op -> ignore (Core.Secure_update.apply session op))
+                random_ops);
+          let events = Obs.Audit.events Obs.Audit.default in
+          Obs.Audit.clear Obs.Audit.default;
+          total := !total + check_audit_matches_explain session events)
+        [ "beaufort"; "laporte"; "richard" ])
+    [ 3; 17; 42 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d audited decisions" !total)
+    true (!total > 50)
+
+let test_paper_example_audit () =
+  let session = P.login P.laporte in
+  Obs.Audit.clear Obs.Audit.default;
+  Obs.Audit.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Audit.set_enabled false) (fun () ->
+      ignore
+        (Core.Secure_update.apply session
+           (Xupdate.Op.update "/patients/franck/diagnosis" "pharyngitis")));
+  let events = Obs.Audit.events Obs.Audit.default in
+  Obs.Audit.clear Obs.Audit.default;
+  let n = check_audit_matches_explain session events in
+  Alcotest.(check bool) "per-node decisions were audited" true (n >= 2)
+
+let () =
+  Alcotest.run "explain"
+    [
+      ( "visibility",
+        [
+          Alcotest.test_case "visible" `Quick test_visible;
+          Alcotest.test_case "restricted" `Quick test_restricted;
+          Alcotest.test_case "hidden (closed world)" `Quick
+            test_hidden_closed_world;
+          Alcotest.test_case "hidden (denied) and pruned" `Quick
+            test_hidden_denied_and_pruned;
+          Alcotest.test_case "no such node" `Quick test_no_such_node;
+        ] );
+      ( "audit agreement",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example_audit;
+          Alcotest.test_case "seeded random (doc, policy) pairs" `Quick
+            test_audit_matches_explain;
+        ] );
+    ]

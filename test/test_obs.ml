@@ -1,0 +1,306 @@
+(* The observability layer itself: metrics registry semantics, span
+   nesting well-formedness, audit ring bounding, and the differential
+   guarantee that enabling full instrumentation changes no enforcement
+   answer. *)
+
+module P = Core.Paper_example
+module M = Obs.Metrics
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* -- counters ----------------------------------------------------------- *)
+
+let test_counter_monotonic () =
+  let r = M.create () in
+  let c = M.counter r "requests_total" in
+  Alcotest.(check int) "starts at zero" 0 (M.value c);
+  let prev = ref 0 in
+  for i = 1 to 100 do
+    if i mod 3 = 0 then M.add c i else M.inc c;
+    Alcotest.(check bool) "value never decreases" true (M.value c > !prev);
+    prev := M.value c
+  done;
+  Alcotest.(check bool) "add 0 is allowed" true
+    (M.add c 0;
+     M.value c = !prev);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Obs.Metrics.add: negative amount") (fun () ->
+      M.add c (-1))
+
+let test_counter_same_name () =
+  let r = M.create () in
+  let a = M.counter r "shared" ~help:"first" in
+  let b = M.counter r "shared" ~help:"second" in
+  M.inc a;
+  M.inc b;
+  Alcotest.(check int) "one instrument behind one name" 2 (M.value a);
+  Alcotest.(check int) "registry lists it once" 1 (List.length (M.counters r))
+
+(* -- histograms --------------------------------------------------------- *)
+
+let test_histogram_consistency () =
+  let r = M.create () in
+  let h = M.histogram r "latency_seconds" in
+  let samples = [ 1e-7; 3e-6; 5e-3; 0.25; 2.0; 100. ] in
+  List.iter (M.observe h) samples;
+  Alcotest.(check int) "count" (List.length samples) (M.count h);
+  Alcotest.(check (float 1e-9)) "sum" (List.fold_left ( +. ) 0. samples)
+    (M.sum h);
+  let buckets = M.buckets h in
+  let counts = List.map snd buckets in
+  Alcotest.(check bool) "cumulative counts are non-decreasing" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length counts - 1) counts)
+       (List.tl counts));
+  (match List.rev buckets with
+   | (bound, total) :: _ ->
+     Alcotest.(check bool) "+Inf bucket holds every observation" true
+       (bound = infinity && total = List.length samples)
+   | [] -> Alcotest.fail "no buckets");
+  let x = M.time h (fun () -> 42) in
+  Alcotest.(check int) "time returns the thunk's value" 42 x;
+  Alcotest.(check int) "time observes once" (List.length samples + 1)
+    (M.count h)
+
+let test_exposition () =
+  let r = M.create () in
+  M.inc (M.counter r "hits_total" ~help:"Cache hits");
+  M.observe (M.histogram r "dur_seconds") 0.002;
+  let prom = M.to_prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("prometheus text has " ^ needle) true
+        (contains prom needle))
+    [ "hits_total 1"; "Cache hits"; "dur_seconds_count 1"; "dur_seconds_bucket" ];
+  let json = M.to_json r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json dump has " ^ needle) true
+        (contains json needle))
+    [ "\"hits_total\""; "\"dur_seconds\"" ];
+  M.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0
+    (M.value (M.counter r "hits_total"))
+
+(* -- spans -------------------------------------------------------------- *)
+
+let with_tracing f =
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.clear ())
+    f
+
+(* A closed span tree is well-formed iff every child closed within its
+   parent: elapsed set, children in execution order, child time bounded
+   by the parent's. *)
+let rec well_formed (s : Obs.Trace.span) =
+  s.elapsed >= 0.
+  && List.for_all
+       (fun (c : Obs.Trace.span) ->
+         c.start >= s.start && c.elapsed <= s.elapsed && well_formed c)
+       s.children
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span "outer" (fun () ->
+      Obs.Trace.annotate "k" "v";
+      Obs.Trace.with_span "first" (fun () -> ignore (Sys.opaque_identity 1));
+      Obs.Trace.with_span "second" (fun () ->
+          Obs.Trace.with_span "grandchild" ignore));
+  match Obs.Trace.roots () with
+  | [ root ] ->
+    Alcotest.(check string) "root name" "outer" root.Obs.Trace.name;
+    Alcotest.(check (list string)) "children in execution order"
+      [ "first"; "second" ]
+      (List.map (fun (s : Obs.Trace.span) -> s.name) root.children);
+    Alcotest.(check bool) "annotation attached" true
+      (List.mem ("k", "v") root.meta);
+    Alcotest.(check bool) "tree is well-formed" true (well_formed root);
+    Alcotest.(check bool) "rendering shows the nesting" true
+      (contains (Obs.Trace.to_string root) "grandchild")
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+let test_span_exception_safety () =
+  with_tracing @@ fun () ->
+  (try Obs.Trace.with_span "boom" (fun () -> raise Exit) with Exit -> ());
+  Obs.Trace.with_span "after" ignore;
+  match Obs.Trace.roots () with
+  | [ boom; after ] ->
+    Alcotest.(check string) "raising span still closed" "boom"
+      boom.Obs.Trace.name;
+    Alcotest.(check bool) "raising span recorded its duration" true
+      (boom.Obs.Trace.elapsed >= 0.);
+    Alcotest.(check string) "stack unwound: next span is a root" "after"
+      after.Obs.Trace.name
+  | roots -> Alcotest.failf "expected 2 roots, got %d" (List.length roots)
+
+let test_span_root_bounding () =
+  with_tracing @@ fun () ->
+  let extra = 10 in
+  for i = 1 to Obs.Trace.max_roots + extra do
+    Obs.Trace.with_span (Printf.sprintf "s%d" i) ignore
+  done;
+  let roots = Obs.Trace.roots () in
+  Alcotest.(check int) "retains at most max_roots"
+    Obs.Trace.max_roots (List.length roots);
+  Alcotest.(check int) "drops are counted" extra (Obs.Trace.dropped ());
+  Alcotest.(check string) "oldest retained root"
+    (Printf.sprintf "s%d" (extra + 1))
+    (List.hd roots).Obs.Trace.name
+
+let test_span_disabled_is_transparent () =
+  Obs.Trace.clear ();
+  Alcotest.(check bool) "tracing is off by default" false (Obs.Trace.enabled ());
+  Alcotest.(check int) "with_span is just the thunk" 7
+    (Obs.Trace.with_span "ignored" (fun () -> 7));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Trace.roots ()))
+
+(* -- audit ring --------------------------------------------------------- *)
+
+let test_audit_ring_bounding () =
+  let log = Obs.Audit.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Audit.record log ~user:"u" ~action:"query"
+      ~target:(string_of_int i)
+      (if i mod 2 = 0 then Obs.Audit.Allowed else Obs.Audit.Denied)
+  done;
+  Alcotest.(check int) "length bounded by capacity" 4 (Obs.Audit.length log);
+  Alcotest.(check int) "all events counted" 10 (Obs.Audit.seen log);
+  Alcotest.(check int) "overflow counted" 6 (Obs.Audit.dropped log);
+  Alcotest.(check (list string)) "newest events retained, oldest first"
+    [ "6"; "7"; "8"; "9" ]
+    (List.map (fun (e : Obs.Audit.event) -> e.target) (Obs.Audit.events log));
+  Obs.Audit.set_capacity log 2;
+  Alcotest.(check (list string)) "shrinking drops the oldest" [ "8"; "9" ]
+    (List.map (fun (e : Obs.Audit.event) -> e.target) (Obs.Audit.events log));
+  Obs.Audit.clear log;
+  Alcotest.(check int) "clear empties the ring" 0 (Obs.Audit.length log)
+
+let test_audit_sink () =
+  let log = Obs.Audit.create ~capacity:8 () in
+  let seen = ref [] in
+  Obs.Audit.set_sink log
+    (Some (fun (e : Obs.Audit.event) -> seen := e.action :: !seen));
+  Obs.Audit.record log ~user:"u" ~action:"login" Obs.Audit.Allowed;
+  Obs.Audit.record log ~user:"u" ~action:"query" Obs.Audit.Denied;
+  Obs.Audit.set_sink log None;
+  Obs.Audit.record log ~user:"u" ~action:"unseen" Obs.Audit.Allowed;
+  Alcotest.(check (list string)) "sink offered each event in order"
+    [ "login"; "query" ] (List.rev !seen)
+
+(* -- differential: instrumentation changes no answer -------------------- *)
+
+(* One scripted multi-session scenario on the paper's example, rendered
+   to a canonical transcript: views, query answers, per-privilege holds
+   and update reports.  Run once with everything off and once with
+   tracing + auditing on — the transcripts must be identical. *)
+let scenario () =
+  let buf = Buffer.create 4096 in
+  let server = Core.Serve.create P.policy (P.document ()) in
+  let users = [ P.beaufort; P.laporte; P.richard; P.robert ] in
+  List.iter (fun user -> Core.Serve.login server ~user) users;
+  let record_queries () =
+    List.iter
+      (fun user ->
+        List.iter
+          (fun q ->
+            let ids = Core.Serve.query server ~user q in
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s -> [%s]\n" user q
+                 (String.concat " " (List.map Ordpath.to_string ids))))
+          [ "//diagnosis"; "//node()"; "//RESTRICTED" ])
+      users
+  in
+  record_queries ();
+  List.iter
+    (fun (user, op) ->
+      let report = Core.Serve.update server ~user op in
+      Buffer.add_string buf
+        (Format.asprintf "%s: %a\n" user Core.Secure_update.pp_report report))
+    [
+      (P.laporte, Xupdate.Op.update "/patients/franck/diagnosis" "pharyngitis");
+      (P.beaufort, Xupdate.Op.rename "//service" "department");
+      (P.laporte, Xupdate.Op.remove "//diagnosis/node()");
+    ];
+  record_queries ();
+  List.iter
+    (fun user ->
+      Buffer.add_string buf
+        (Printf.sprintf "view %s: %s\n" user
+           (Xmldoc.Xml_print.facts (Core.Serve.view server ~user)));
+      let session = Core.Serve.session server ~user in
+      Xmldoc.Document.fold
+        (fun (n : Xmldoc.Node.t) () ->
+          List.iter
+            (fun priv ->
+              if Core.Session.holds session priv n.id then
+                Buffer.add_string buf
+                  (Printf.sprintf "holds %s %s %s\n" user
+                     (Core.Privilege.to_string priv)
+                     (Ordpath.to_string n.id)))
+            Core.Privilege.all)
+        (Core.Serve.source server) ())
+    users;
+  Buffer.contents buf
+
+let test_differential_instrumentation () =
+  let plain = scenario () in
+  Obs.Trace.set_enabled true;
+  Obs.Trace.clear ();
+  Obs.Audit.set_enabled true;
+  Obs.Audit.clear Obs.Audit.default;
+  let instrumented =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Trace.set_enabled false;
+        Obs.Audit.set_enabled false;
+        Obs.Trace.clear ();
+        Obs.Audit.clear Obs.Audit.default)
+      scenario
+  in
+  Alcotest.(check bool) "scenario transcript is non-trivial" true
+    (String.length plain > 1000);
+  Alcotest.(check string)
+    "views, answers, holds and reports identical with instrumentation on"
+    plain instrumented
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter monotonicity" `Quick
+            test_counter_monotonic;
+          Alcotest.test_case "same name, same counter" `Quick
+            test_counter_same_name;
+          Alcotest.test_case "histogram consistency" `Quick
+            test_histogram_consistency;
+          Alcotest.test_case "prometheus and json exposition" `Quick
+            test_exposition;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "root bounding" `Quick test_span_root_bounding;
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_span_disabled_is_transparent;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "ring bounding" `Quick test_audit_ring_bounding;
+          Alcotest.test_case "sink" `Quick test_audit_sink;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "instrumentation changes no answer" `Quick
+            test_differential_instrumentation;
+        ] );
+    ]
