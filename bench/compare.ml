@@ -1,0 +1,162 @@
+(* Bench regression gate: compares the JSON rows a bench run wrote under
+   bench/results/ against the committed copies in bench/baselines/.
+
+     compare.exe [--tolerance T] BASELINE_DIR RESULTS_DIR
+
+   Rules, per row matched on (experiment, metric):
+   - unit "s" (a timing): current must be <= baseline * (1 + T);
+   - unit "x" (a speedup): current must be >= baseline * (1 - T), unless
+     the baseline itself is < 1 — a sub-1 recorded speedup means the
+     check was hardware-gated when the baseline was taken (e.g. the E20
+     scaling run on a single-core box), so the row is informational;
+   - any other unit (counts, percentages): informational.
+
+   Exit status 1 on any violated row or missing file/row. *)
+
+let tolerance = ref 0.5
+
+type row = {
+  experiment : string;
+  metric : string;
+  value : float;
+  unit_ : string;
+}
+
+(* The emitter (bench/main.ml emit_json) writes one object per line with
+   double-quoted fields, which this reader parses with plain string
+   scanning — no JSON library in the image. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let field line name =
+  match find_sub line (Printf.sprintf "\"%s\":" name) with
+  | None -> None
+  | Some i ->
+    if i < String.length line && line.[i] = '"' then begin
+      match String.index_from_opt line (i + 1) '"' with
+      | None -> None
+      | Some j -> Some (String.sub line (i + 1) (j - i - 1))
+    end
+    else begin
+      let j = ref i in
+      while
+        !j < String.length line
+        && (match line.[!j] with
+            | ',' | '}' | ']' -> false
+            | _ -> true)
+      do
+        incr j
+      done;
+      Some (String.trim (String.sub line i (!j - i)))
+    end
+
+let rows_of_file path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         ( field line "experiment",
+           field line "metric",
+           field line "value",
+           field line "unit" )
+       with
+       | Some experiment, Some metric, Some value, Some unit_ ->
+         (match float_of_string_opt value with
+          | Some value ->
+            rows := { experiment; metric; value; unit_ } :: !rows
+          | None -> ())
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let failures = ref 0
+
+let report status name detail =
+  if status = "FAIL" then incr failures;
+  Printf.printf "  [%s] %-50s %s\n" status name detail
+
+let compare_row tol current_rows (b : row) =
+  let name = Printf.sprintf "%s / %s" b.experiment b.metric in
+  match
+    List.find_opt
+      (fun (r : row) -> r.experiment = b.experiment && r.metric = b.metric)
+      current_rows
+  with
+  | None -> report "FAIL" name "row missing from current results"
+  | Some r ->
+    let detail verdict bound =
+      Printf.sprintf "current %.4g %s vs baseline %.4g (%s %.4g)" r.value
+        r.unit_ b.value verdict bound
+    in
+    (match b.unit_ with
+     | "s" ->
+       let bound = b.value *. (1. +. tol) in
+       if r.value <= bound then report "PASS" name (detail "limit" bound)
+       else report "FAIL" name (detail "limit" bound)
+     | "x" when b.value >= 1. ->
+       let bound = b.value *. (1. -. tol) in
+       if r.value >= bound then report "PASS" name (detail "floor" bound)
+       else report "FAIL" name (detail "floor" bound)
+     | _ ->
+       report "INFO" name
+         (Printf.sprintf "current %.4g %s vs baseline %.4g (not enforced)"
+            r.value r.unit_ b.value))
+
+let () =
+  let dirs = ref [] in
+  let rec parse_args = function
+    | "--tolerance" :: t :: rest ->
+      tolerance := float_of_string t;
+      parse_args rest
+    | d :: rest ->
+      dirs := d :: !dirs;
+      parse_args rest
+    | [] -> ()
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let baseline_dir, results_dir =
+    match List.rev !dirs with
+    | [ b; r ] -> (b, r)
+    | _ ->
+      prerr_endline
+        "usage: compare.exe [--tolerance T] BASELINE_DIR RESULTS_DIR";
+      exit 2
+  in
+  let baseline_files =
+    Sys.readdir baseline_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+  in
+  if baseline_files = [] then begin
+    Printf.eprintf "no baseline *.json under %s\n" baseline_dir;
+    exit 2
+  end;
+  Printf.printf "comparing %d baseline file(s), tolerance %.0f%%\n"
+    (List.length baseline_files)
+    (!tolerance *. 100.);
+  List.iter
+    (fun file ->
+      let current_path = Filename.concat results_dir file in
+      Printf.printf "%s:\n" file;
+      if not (Sys.file_exists current_path) then
+        report "FAIL" file "missing from results directory"
+      else begin
+        let baseline = rows_of_file (Filename.concat baseline_dir file) in
+        let current = rows_of_file current_path in
+        List.iter (compare_row !tolerance current) baseline
+      end)
+    baseline_files;
+  if !failures > 0 then begin
+    Printf.printf "%d REGRESSION(S) vs baselines\n" !failures;
+    exit 1
+  end
+  else print_endline "no bench regressions vs baselines"

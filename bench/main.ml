@@ -20,12 +20,21 @@ let check id description ok =
 
 let section title = Printf.printf "\n== %s ==\n%!" title
 
-(* Machine-readable results: one BENCH_E<k>.json per experiment, rows of
-   (experiment id, params, metric, value, unit) — the perf trajectory
-   tracked across PRs.  Timed rows are sourced from the Obs.Metrics
-   histogram layer or from the Bechamel estimates printed above them. *)
+(* Machine-readable results: one BENCH_E<k>.json per experiment under
+   bench/results/ (gitignored; commit curated copies to bench/baselines/
+   for the CI regression gate), rows of (experiment id, params, metric,
+   value, unit) — the perf trajectory tracked across PRs.  Timed rows are
+   sourced from the Obs.Metrics histogram layer or from the Bechamel
+   estimates printed above them. *)
+let results_dir = Filename.concat "bench" "results"
+
 let emit_json eid ~params rows =
-  let file = Printf.sprintf "BENCH_%s.json" eid in
+  if not (Sys.file_exists "bench" && Sys.is_directory "bench") then
+    (* keep working when run from an odd cwd: fall back to ./results *)
+    (try Unix.mkdir "bench" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (try Unix.mkdir results_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let file = Filename.concat results_dir (Printf.sprintf "BENCH_%s.json" eid) in
   let oc = open_out file in
   output_string oc "[";
   List.iteri
@@ -788,17 +797,16 @@ let e14 () =
 (* E17: incremental maintenance vs from-scratch re-derivation              *)
 (* ---------------------------------------------------------------------- *)
 
-(* Shared by E17 and E18: a ~1k-node hospital shared by 8 sessions whose
-   rules are all downward (so every session takes the genuinely
-   incremental path), plus a pre-computed stream of 24 single-node
-   renames replayed as (document, delta) pairs. *)
-let e17_workload () =
+(* The 1391-node hospital with an all-downward staff policy plus per-user
+   rule tails (so the permission sets genuinely differ per user), shared
+   by E17-E20. *)
+let staff_workload n_users =
   let config =
     { Workload.Gen_doc.patients = 120; visits_per_patient = 2;
       diagnosed_fraction = 0.8; seed = 17 }
   in
   let doc = Workload.Gen_doc.generate config in
-  let users = List.init 8 (Printf.sprintf "w%d") in
+  let users = List.init n_users (Printf.sprintf "w%d") in
   let subjects =
     Core.Subject.of_list
       ((Core.Subject.Role, "staff", [])
@@ -816,7 +824,6 @@ let e17_workload () =
         ~priority:4;
     ]
   in
-  (* Per-user rule tails so the 8 permission sets genuinely differ. *)
   let user_rules =
     List.concat
       (List.mapi
@@ -829,7 +836,14 @@ let e17_workload () =
                  ~subject:u ~priority:(10 + i) ])
          users)
   in
-  let policy = Core.Policy.v subjects (staff_rules @ user_rules) in
+  (doc, Core.Policy.v subjects (staff_rules @ user_rules), users)
+
+(* Shared by E17 and E18: the hospital shared by 8 sessions whose rules
+   are all downward (so every session takes the genuinely incremental
+   path), plus a pre-computed stream of 24 single-node renames replayed
+   as (document, delta) pairs. *)
+let e17_workload () =
+  let doc, policy, users = staff_workload 8 in
   let sessions = List.map (fun u -> Core.Session.login policy doc ~user:u) users in
   let steps =
     let rec go doc i acc =
@@ -968,6 +982,126 @@ let e18 () =
       ("overhead", 100. *. overhead, "%") ]
 
 (* ---------------------------------------------------------------------- *)
+(* E19: one-pass compiled policy resolution vs the per-rule loop           *)
+(* ---------------------------------------------------------------------- *)
+
+let e19 () =
+  section "E19: compiled one-pass Perm.compute vs the per-rule loop";
+  let doc, policy, users = staff_workload 8 in
+  Printf.printf "  document: %d nodes, %d rules, %d users\n" (D.size doc)
+    (List.length (Core.Policy.rules policy))
+    (List.length users);
+  (* Same decisions first: the per-rule loop is the reference. *)
+  let same_facts u =
+    let a = Core.Perm.compute policy doc ~user:u in
+    let b = Core.Perm.compute_per_rule policy doc ~user:u in
+    Core.Perm.facts a doc = Core.Perm.facts b doc
+  in
+  check "E19" "compiled decisions = per-rule decisions (all 8 users)"
+    (List.for_all same_facts users);
+  let h_compiled =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e19_compiled_seconds"
+      ~help:"E19 conflict resolution, compiled one-pass matcher"
+  in
+  let h_per_rule =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e19_per_rule_seconds"
+      ~help:"E19 conflict resolution, per-rule Eval.select loop"
+  in
+  (* Best-of-5 of resolving all 8 users, timed through the histogram
+     layer; one warm-up round each. *)
+  let best h compute =
+    let round () =
+      let s0 = Obs.Metrics.sum h in
+      Obs.Metrics.time h (fun () ->
+          List.iter (fun u -> ignore (compute policy doc ~user:u)) users);
+      Obs.Metrics.sum h -. s0
+    in
+    ignore (round ());
+    let rec go n acc =
+      if n = 0 then acc else go (n - 1) (Float.min acc (round ()))
+    in
+    go 5 Float.infinity
+  in
+  let compiled = best h_compiled Core.Perm.compute in
+  let per_rule = best h_per_rule Core.Perm.compute_per_rule in
+  let speedup = if compiled > 0. then per_rule /. compiled else Float.infinity in
+  Printf.printf
+    "  8 users x full policy: per-rule %.2f ms, compiled %.2f ms (%.1fx)\n"
+    (1000. *. per_rule) (1000. *. compiled) speedup;
+  check "E19" "compiled resolution is >= 5x faster" (speedup >= 5.);
+  emit_json "E19" ~params:"1391-node hospital, 12 rules, 8 users, best of 5"
+    [ ("per-rule resolution", per_rule, "s");
+      ("compiled resolution", compiled, "s");
+      ("speedup", speedup, "x") ]
+
+(* ---------------------------------------------------------------------- *)
+(* E20: parallel broadcast fan-out (Core.Pool) on Serve.update            *)
+(* ---------------------------------------------------------------------- *)
+
+let e20 () =
+  section "E20: Serve.update broadcast fan-out, pool 1 vs 4 domains";
+  let doc, policy, users = staff_workload 33 in
+  let writer = List.hd users in
+  let ops =
+    List.init 12 (fun i ->
+        Xupdate.Op.rename
+          (Printf.sprintf "/patients/*[%d]/service" ((i + 1) * 8))
+          "department")
+  in
+  let replay pool_size h =
+    let serve =
+      Core.Serve.create ~pool:(Core.Pool.create pool_size) policy doc
+    in
+    Core.Serve.login_many serve users;
+    let s0 = Obs.Metrics.sum h in
+    Obs.Metrics.time h (fun () ->
+        List.iter (fun op -> ignore (Core.Serve.update serve ~user:writer op))
+          ops);
+    (Obs.Metrics.sum h -. s0, serve)
+  in
+  let h1 =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e20_pool1_seconds"
+      ~help:"E20 write replay, sequential broadcast (pool 1)"
+  in
+  let h4 =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e20_pool4_seconds"
+      ~help:"E20 write replay, parallel broadcast (pool 4)"
+  in
+  let t1, serve1 = replay 1 h1 in
+  let t4, serve4 = replay 4 h4 in
+  Printf.printf "  %d sessions, %d writes: pool 1 %.2f ms, pool 4 %.2f ms\n"
+    (List.length users) (List.length ops) (1000. *. t1) (1000. *. t4);
+  (* Pool size 1 runs the exact sequential code path; pool 4 must agree
+     with it bit for bit on every session's state. *)
+  check "E20" "pool 4 sessions = sequential sessions (bit for bit)"
+    (List.for_all
+       (fun user ->
+         D.equal (Core.Serve.view serve1 ~user) (Core.Serve.view serve4 ~user)
+         && Core.Serve.query serve1 ~user "//node()"
+            = Core.Serve.query serve4 ~user "//node()")
+       users);
+  let domains = Core.Pool.default_size () in
+  let speedup = if t4 > 0. then t1 /. t4 else Float.infinity in
+  if domains >= 4 then begin
+    Printf.printf "  %d hardware domains: speedup %.2fx\n" domains speedup;
+    check "E20" "broadcast scales >= 2x from pool 1 to pool 4"
+      (speedup >= 2.)
+  end
+  else
+    Printf.printf
+      "  only %d hardware domain(s): %.2fx measured; the >= 2x scaling \
+       check needs >= 4 cores and is skipped here\n"
+      domains speedup;
+  emit_json "E20"
+    ~params:
+      (Printf.sprintf "1391-node hospital, 33 sessions, 12 writes, %d domains"
+         domains)
+    [ ("pool 1 replay", t1, "s");
+      ("pool 4 replay", t4, "s");
+      ("speedup", speedup, "x");
+      ("hardware domains", float_of_int domains, "count") ]
+
+(* ---------------------------------------------------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
@@ -984,6 +1118,8 @@ let () =
   e11 ();
   e17 ();
   e18 ();
+  e19 ();
+  e20 ();
   if not quick then begin
     e7 ();
     e8 ();

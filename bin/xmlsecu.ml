@@ -407,13 +407,28 @@ let stats_cmd =
       value & flag
       & info [ "spans" ] ~doc:"Include the request span trees in the output.")
   in
-  let run doc policy user queries update_file json spans =
+  let pool_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pool" ] ~docv:"N"
+          ~doc:"Worker-domain pool size for broadcast fan-out and batch \
+                logins (1 = sequential).")
+  in
+  let logins_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "login" ] ~docv:"USER"
+          ~doc:"Log this additional user in (repeatable); their sessions \
+                are rebased on every update broadcast.")
+  in
+  let run doc policy user queries update_file json spans pool logins =
     handle_errors (fun () ->
         let doc = load_doc doc in
         let policy = Core.Policy_lang.parse (read_file policy) in
         Obs.Trace.set_enabled true;
-        let serve = Core.Serve.create policy doc in
+        let serve = Core.Serve.create ~pool:(Core.Pool.create pool) policy doc in
         Core.Serve.login serve ~user;
+        Core.Serve.login_many serve logins;
         List.iter
           (fun q ->
             let ids = Core.Serve.query serve ~user q in
@@ -452,7 +467,7 @@ let stats_cmd =
              registry (Prometheus text or JSON) and request spans.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
-      $ json_flag $ spans_flag)
+      $ json_flag $ spans_flag $ pool_arg $ logins_arg)
 
 (* --- audit ---------------------------------------------------------------- *)
 

@@ -1,8 +1,7 @@
 module D = Xmldoc.Document
 
 (* Registry-backed totals aggregated across every lazy view; the
-   per-instance stats below survive for Serve.cache_stats (deprecated
-   shim) and the E13 bench. *)
+   per-instance stats below survive for tests and the E13 bench. *)
 let m_hits =
   Obs.Metrics.counter Obs.Metrics.default "lazy_view_hits_total"
     ~help:"Memoised visibility decisions answered from the cache"
@@ -144,6 +143,9 @@ let source t : Xpath.Source.t =
     preceding = lift D.preceding;
     attributes = lift D.attributes;
     string_value = string_value t;
+    (* No index: remapping rewrites labels (RESTRICTED) on the fly, so the
+       source document's label index would both miss and leak. *)
+    by_label = None;
   }
 
 let select ?vars t expr =

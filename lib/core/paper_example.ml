@@ -69,10 +69,6 @@ let policy_text = Policy_lang.to_string policy
 let login user = Session.login policy (document ()) ~user
 
 let find doc label =
-  match
-    List.find_opt
-      (fun (n : Xmldoc.Node.t) -> String.equal n.label label)
-      (Xmldoc.Document.nodes doc)
-  with
-  | Some n -> n.id
+  match Xmldoc.Document.find_labelled doc label with
+  | Some n -> n.Xmldoc.Node.id
   | None -> raise Not_found

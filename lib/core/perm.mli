@@ -7,8 +7,18 @@
 type t
 
 val compute : Policy.t -> Xmldoc.Document.t -> user:string -> t
-(** Evaluates every applicable rule's path on the source document, with
-    [$USER] bound to [user], in ascending priority order. *)
+(** Resolves every applicable rule against the source document.  Rules in
+    the downward fragment — in practice almost all of them — are merged
+    into one {!Xpath.Compile} automaton and resolved for all five
+    privileges in a single top-down pass; the rest are evaluated
+    individually with [$USER] bound to [user].  The two result streams
+    merge by rule priority, reproducing the ascending most-recent-wins
+    order of axiom 14. *)
+
+val compute_per_rule : Policy.t -> Xmldoc.Document.t -> user:string -> t
+(** The pre-compilation implementation: one [Eval.select] per applicable
+    rule, ascending priority.  Semantically equal to {!compute}; kept as
+    the differential-testing and benchmarking baseline. *)
 
 val user : t -> string
 

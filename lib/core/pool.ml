@@ -1,0 +1,100 @@
+type t = { size : int }
+
+let m_runs =
+  Obs.Metrics.counter Obs.Metrics.default "pool_runs_total"
+    ~help:"Task batches executed through Core.Pool"
+
+let m_tasks =
+  Obs.Metrics.counter Obs.Metrics.default "pool_tasks_total"
+    ~help:"Tasks executed through Core.Pool (all workers)"
+
+let m_spawned =
+  Obs.Metrics.counter Obs.Metrics.default "pool_domains_spawned_total"
+    ~help:"Helper domains spawned for pool batches"
+
+(* Per-slot utilisation counters, registered on first use; the registry
+   deduplicates by name so repeated lookups are cheap and idempotent. *)
+let worker_counter =
+  let tbl : (int, Obs.Metrics.counter) Hashtbl.t = Hashtbl.create 8 in
+  let lock = Mutex.create () in
+  fun i ->
+    Mutex.lock lock;
+    let c =
+      match Hashtbl.find_opt tbl i with
+      | Some c -> c
+      | None ->
+        let c =
+          Obs.Metrics.counter Obs.Metrics.default
+            (Printf.sprintf "pool_worker_%d_tasks_total" i)
+            ~help:"Tasks executed by this pool worker slot"
+        in
+        Hashtbl.add tbl i c;
+        c
+    in
+    Mutex.unlock lock;
+    c
+
+let create size =
+  if size < 1 then invalid_arg "Core.Pool.create: size < 1";
+  { size }
+
+let size t = t.size
+
+let default_size () = Domain.recommended_domain_count ()
+
+let run t tasks =
+  match tasks with
+  | [] -> ()
+  | tasks ->
+    Obs.Metrics.inc m_runs;
+    Obs.Metrics.add m_tasks (List.length tasks);
+    if t.size = 1 then begin
+      let c0 = worker_counter 0 in
+      List.iter
+        (fun task ->
+          Obs.Metrics.inc c0;
+          task 0)
+        tasks
+    end
+    else begin
+      let arr = Array.of_list tasks in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker slot =
+        let c = worker_counter slot in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < Array.length arr then begin
+            (try
+               Obs.Metrics.inc c;
+               arr.(i) slot
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               (* keep the first failure; the batch still drains so no
+                  task is silently skipped *)
+               ignore
+                 (Atomic.compare_and_set failure None (Some (e, bt))));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let helpers = min t.size (Array.length arr) - 1 in
+      Obs.Metrics.add m_spawned helpers;
+      let domains =
+        List.init helpers (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+      in
+      worker 0;
+      List.iter Domain.join domains;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let out = Array.make (Array.length arr) None in
+  run t
+    (List.init (Array.length arr) (fun i _slot ->
+         out.(i) <- Some (f arr.(i))));
+  Array.to_list (Array.map Option.get out)

@@ -1,0 +1,41 @@
+(** A Domain-based work pool for the server's fan-out paths.
+
+    A pool of size [n] runs a batch of independent tasks on up to [n]
+    domains: the calling domain is worker 0 and up to [n - 1] helper
+    domains are spawned per batch, all pulling tasks from a shared
+    queue.  Size 1 runs every task in the caller, in order — exactly the
+    sequential semantics the server had before pools existed, which is
+    the differential baseline ({e pool 1 ≡ sequential}, bit for bit).
+
+    Tasks in one batch must be independent (the server hands each worker
+    disjoint session entries).  Worker domains have their own
+    {!Obs.Trace} span stacks, so spans opened inside a task surface as
+    separate roots rather than children of the caller's span; tasks
+    receive their worker index to annotate spans with the domain that
+    ran them.
+
+    Utilisation is aggregated in {!Obs.Metrics.default}:
+    [pool_runs_total], [pool_tasks_total], [pool_domains_spawned_total]
+    and per-slot [pool_worker_<i>_tasks_total]. *)
+
+type t
+
+val create : int -> t
+(** [create size] — [size >= 1] workers.
+    @raise Invalid_argument on [size < 1]. *)
+
+val size : t -> int
+
+val default_size : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    available to this process. *)
+
+val run : t -> (int -> unit) list -> unit
+(** Executes all tasks, each applied to the index of the worker slot
+    running it, and waits for completion.  If tasks raise, one of the
+    exceptions is re-raised after the batch drains; the others are
+    dropped. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] (order preserved).  Same exception behaviour as
+    {!run}. *)

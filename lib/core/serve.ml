@@ -6,8 +6,12 @@ type entry = {
 type t = {
   policy : Policy.t;
   mutable source : Xmldoc.Document.t;
+  lock : Mutex.t;
+      (* guards [sessions] (and [source]/[writes] writes): pool workers
+         never touch the table, but login can race a broadcast snapshot *)
   sessions : (string, entry) Hashtbl.t;
   mutable writes : int;
+  pool : Pool.t;
 }
 
 (* Server-level instrumentation; per-stage spans come from Session,
@@ -40,28 +44,81 @@ let h_update =
   Obs.Metrics.histogram Obs.Metrics.default "serve_update_seconds"
     ~help:"End-to-end update latency (secure apply + broadcast)"
 
-let create policy source = { policy; source; sessions = Hashtbl.create 8; writes = 0 }
+let h_broadcast =
+  Obs.Metrics.histogram Obs.Metrics.default "serve_broadcast_seconds"
+    ~help:"Broadcast fan-out latency (all non-writer rebases)"
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ?(pool = Pool.create 1) policy source =
+  {
+    policy;
+    source;
+    lock = Mutex.create ();
+    sessions = Hashtbl.create 8;
+    writes = 0;
+    pool;
+  }
+
+let pool t = t.pool
+
+let fresh_entry t ~user =
+  let session = Session.login t.policy t.source ~user in
+  { session; lazy_view = Lazy_view.of_session session }
 
 let login t ~user =
-  if not (Hashtbl.mem t.sessions user) then begin
-    let session = Session.login t.policy t.source ~user in
-    Hashtbl.replace t.sessions user
-      { session; lazy_view = Lazy_view.of_session session }
+  if not (locked t (fun () -> Hashtbl.mem t.sessions user)) then begin
+    let e = fresh_entry t ~user in
+    locked t (fun () ->
+        if not (Hashtbl.mem t.sessions user) then
+          Hashtbl.replace t.sessions user e)
   end
 
-let logout t ~user = Hashtbl.remove t.sessions user
+(* Login-time fan-out: conflict resolution ([Perm.compute], inside
+   [Session.login]) is the expensive part and is independent per user, so
+   fresh sessions build on the pool and register under the lock
+   afterwards.  All-or-nothing: if any login raises, none of this batch's
+   fresh sessions is registered. *)
+let login_many t users =
+  let users = List.sort_uniq String.compare users in
+  let fresh =
+    locked t (fun () ->
+        List.filter (fun u -> not (Hashtbl.mem t.sessions u)) users)
+  in
+  let arr = Array.of_list fresh in
+  let out = Array.make (Array.length arr) None in
+  Pool.run t.pool
+    (List.init (Array.length arr) (fun i _slot ->
+         out.(i) <- Some (fresh_entry t ~user:arr.(i))));
+  locked t (fun () ->
+      Array.iteri
+        (fun i entry ->
+          match entry with
+          | Some e ->
+            if not (Hashtbl.mem t.sessions arr.(i)) then
+              Hashtbl.replace t.sessions arr.(i) e
+          | None -> ())
+        out)
+
+let logout t ~user = locked t (fun () -> Hashtbl.remove t.sessions user)
 
 let users t =
   List.sort String.compare
-    (Hashtbl.fold (fun user _ acc -> user :: acc) t.sessions [])
+    (locked t (fun () ->
+         Hashtbl.fold (fun user _ acc -> user :: acc) t.sessions []))
 
 let source t = t.source
 let policy t = t.policy
 let writes t = t.writes
 
 let entry t ~user =
-  login t ~user;
-  Hashtbl.find t.sessions user
+  match locked t (fun () -> Hashtbl.find_opt t.sessions user) with
+  | Some e -> e
+  | None ->
+    login t ~user;
+    locked t (fun () -> Hashtbl.find t.sessions user)
 
 let session t ~user = (entry t ~user).session
 let lazy_view t ~user = (entry t ~user).lazy_view
@@ -87,9 +144,12 @@ let query t ~user q =
       Obs.Audit.Allowed;
   ids
 
-let rebase_entry source delta e =
+let rebase_entry ?slot source delta e =
   Obs.Metrics.inc m_fanout;
   Obs.Trace.with_span "session.rebase" @@ fun () ->
+  (match slot with
+   | Some slot -> Obs.Trace.annotate "domain" (string_of_int slot)
+   | None -> ());
   let session = Session.apply_delta e.session source delta in
   Obs.Trace.annotate "user" (Session.user session);
   (* apply_delta widens internally for non-local sessions; the lazy memo
@@ -118,8 +178,9 @@ let update t ~user op =
   Obs.Trace.annotate "user" user;
   let e = entry t ~user in
   let session', report = Secure_update.apply e.session op in
-  t.source <- Session.source session';
-  t.writes <- t.writes + 1;
+  locked t (fun () ->
+      t.source <- Session.source session';
+      t.writes <- t.writes + 1);
   (* The writer's session is already rebased by Secure_update; its lazy
      view and every other session get the broadcast delta. *)
   e.session <- session';
@@ -137,16 +198,25 @@ let update t ~user op =
     Obs.Trace.with_span "lazy_view.rebase" (fun () ->
         Lazy_view.rebase e.lazy_view t.source (Session.perm session')
           lazy_delta);
-  Obs.Trace.with_span "serve.broadcast" (fun () ->
-      Hashtbl.iter
-        (fun other e' ->
-          if not (String.equal other user) then
-            rebase_entry t.source report.Secure_update.delta e')
-        t.sessions);
+  (* Fan-out over a lock-free snapshot: entries are disjoint per user, so
+     workers never contend; pool size 1 reproduces the sequential
+     broadcast exactly. *)
+  let others =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun other e' acc ->
+            if String.equal other user then acc else e' :: acc)
+          t.sessions [])
+  in
+  let source = t.source and delta = report.Secure_update.delta in
+  Obs.Metrics.time h_broadcast (fun () ->
+      Obs.Trace.with_span "serve.broadcast" (fun () ->
+          Obs.Trace.annotate "sessions" (string_of_int (List.length others));
+          Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
+          Pool.run t.pool
+            (List.map
+               (fun e' slot -> rebase_entry ~slot source delta e')
+               others)));
   report
 
 let update_all t ~user ops = List.map (update t ~user) ops
-
-let cache_stats t ~user =
-  let lv = lazy_view t ~user in
-  (Lazy_view.hits lv, Lazy_view.misses lv)

@@ -14,11 +14,24 @@
 
 type t
 
-val create : Policy.t -> Xmldoc.Document.t -> t
+val create : ?pool:Pool.t -> Policy.t -> Xmldoc.Document.t -> t
+(** [?pool] (default: size 1, i.e. sequential) runs the write-broadcast
+    fan-out and {!login_many} batches on its workers.  The session table
+    is mutex-guarded; each session entry is still owned by one worker at
+    a time, so answers are identical for every pool size. *)
+
+val pool : t -> Pool.t
 
 val login : t -> user:string -> unit
 (** Registers a session for [user]; already-logged users keep their
     session (and its caches).
+    @raise Session.Unknown_user *)
+
+val login_many : t -> string list -> unit
+(** Batch {!login}: conflict resolution for the fresh users runs on the
+    pool (one task per user).  If any login raises (e.g.
+    [Session.Unknown_user]), no fresh session from this batch is
+    registered.
     @raise Session.Unknown_user *)
 
 val logout : t -> user:string -> unit
@@ -55,12 +68,3 @@ val update : t -> user:string -> Xupdate.Op.t -> Secure_update.report
 
 val update_all :
   t -> user:string -> Xupdate.Op.t list -> Secure_update.report list
-
-val cache_stats : t -> user:string -> int * int
-(** The user's lazy-view [(hits, misses)] counters.
-
-    @deprecated Thin shim kept for compatibility: the same counters (and
-    the widen-to-full-refresh events this accessor never exposed) are
-    aggregated in {!Obs.Metrics.default} as [lazy_view_hits_total],
-    [lazy_view_misses_total], [serve_rebase_incremental_total] and
-    [serve_rebase_full_total]. *)

@@ -13,6 +13,9 @@ type event = {
 }
 
 type t = {
+  lock : Mutex.t;
+      (* serialises ring mutation: decisions are recorded from every
+         Core.Pool worker domain during parallel fan-outs *)
   mutable capacity : int;
   ring : event Queue.t;
   mutable seen : int;
@@ -21,26 +24,30 @@ type t = {
 
 let create ?(capacity = 1024) () =
   if capacity < 1 then invalid_arg "Obs.Audit.create: capacity < 1";
-  { capacity; ring = Queue.create (); seen = 0; sink = None }
+  { lock = Mutex.create (); capacity; ring = Queue.create (); seen = 0;
+    sink = None }
 
 let default = create ()
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
 let set_capacity t capacity =
   if capacity < 1 then invalid_arg "Obs.Audit.set_capacity: capacity < 1";
+  Mutex.lock t.lock;
   t.capacity <- capacity;
   while Queue.length t.ring > capacity do
     ignore (Queue.pop t.ring)
-  done
+  done;
+  Mutex.unlock t.lock
 
 let capacity t = t.capacity
 let set_sink t sink = t.sink <- sink
 
 let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
     ?(detail = "") decision =
+  Mutex.lock t.lock;
   let event =
     {
       seq = t.seen;
@@ -57,7 +64,9 @@ let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
   t.seen <- t.seen + 1;
   Queue.push event t.ring;
   if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
-  match t.sink with None -> () | Some f -> f event
+  let sink = t.sink in
+  Mutex.unlock t.lock;
+  match sink with None -> () | Some f -> f event
 
 let events t = List.of_seq (Queue.to_seq t.ring)
 let length t = Queue.length t.ring
@@ -65,8 +74,10 @@ let seen t = t.seen
 let dropped t = t.seen - Queue.length t.ring
 
 let clear t =
+  Mutex.lock t.lock;
   Queue.clear t.ring;
-  t.seen <- 0
+  t.seen <- 0;
+  Mutex.unlock t.lock
 
 let decision_to_string = function Allowed -> "allow" | Denied -> "deny"
 

@@ -1,7 +1,10 @@
+(* Instruments are shared across domains (the Core.Pool fan-out
+   increments them from workers): counters are atomics, histograms take a
+   per-instrument mutex, and registration itself is serialised. *)
 type counter = {
   c_name : string;
   c_help : string;
-  mutable c_value : int;
+  c_value : int Atomic.t;
 }
 
 (* Fixed log-scale bucket bounds, in seconds: 1µs, 2µs, 4µs, … ~8.4s,
@@ -13,37 +16,47 @@ let bucket_bounds =
 type histogram = {
   h_name : string;
   h_help : string;
+  h_lock : Mutex.t;
   h_counts : int array; (* one per bound, non-cumulative; overflow last *)
   mutable h_sum : float;
   mutable h_count : int;
 }
 
 type t = {
+  reg_lock : Mutex.t;
   mutable counters : counter list; (* insertion order, newest first *)
   mutable histograms : histogram list;
 }
 
-let create () = { counters = []; histograms = [] }
+let create () =
+  { reg_lock = Mutex.create (); counters = []; histograms = [] }
+
 let default = create ()
 
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let counter ?(help = "") t name =
+  locked t.reg_lock @@ fun () ->
   match List.find_opt (fun c -> String.equal c.c_name name) t.counters with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_help = help; c_value = 0 } in
+    let c = { c_name = name; c_help = help; c_value = Atomic.make 0 } in
     t.counters <- c :: t.counters;
     c
 
-let inc c = c.c_value <- c.c_value + 1
+let inc c = Atomic.incr c.c_value
 
 let add c n =
   if n < 0 then invalid_arg "Obs.Metrics.add: negative amount";
-  c.c_value <- c.c_value + n
+  ignore (Atomic.fetch_and_add c.c_value n)
 
-let value c = c.c_value
+let value c = Atomic.get c.c_value
 let counter_name c = c.c_name
 
 let histogram ?(help = "") t name =
+  locked t.reg_lock @@ fun () ->
   match List.find_opt (fun h -> String.equal h.h_name name) t.histograms with
   | Some h -> h
   | None ->
@@ -51,6 +64,7 @@ let histogram ?(help = "") t name =
       {
         h_name = name;
         h_help = help;
+        h_lock = Mutex.create ();
         h_counts = Array.make (Array.length bucket_bounds + 1) 0;
         h_sum = 0.;
         h_count = 0;
@@ -63,6 +77,7 @@ let observe h v =
   let n = Array.length bucket_bounds in
   let rec slot i = if i >= n || v <= bucket_bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
+  locked h.h_lock @@ fun () ->
   h.h_counts.(i) <- h.h_counts.(i) + 1;
   h.h_sum <- h.h_sum +. v;
   h.h_count <- h.h_count + 1
@@ -93,7 +108,9 @@ let time h f =
 let by_name name_of l = List.sort (fun a b -> compare (name_of a) (name_of b)) l
 
 let counters t =
-  List.map (fun c -> (c.c_name, c.c_value)) (by_name (fun c -> c.c_name) t.counters)
+  List.map
+    (fun c -> (c.c_name, Atomic.get c.c_value))
+    (by_name (fun c -> c.c_name) t.counters)
 
 let histogram_names t =
   List.map (fun h -> h.h_name) (by_name (fun h -> h.h_name) t.histograms)
@@ -108,7 +125,8 @@ let to_prometheus t =
       if c.c_help <> "" then
         Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
-      Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value))
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" c.c_name (Atomic.get c.c_value)))
     (by_name (fun c -> c.c_name) t.counters);
   List.iter
     (fun h ->
@@ -176,9 +194,10 @@ let to_json t =
   Buffer.contents buf
 
 let reset t =
-  List.iter (fun c -> c.c_value <- 0) t.counters;
+  List.iter (fun c -> Atomic.set c.c_value 0) t.counters;
   List.iter
     (fun h ->
+      locked h.h_lock @@ fun () ->
       Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
       h.h_sum <- 0.;
       h.h_count <- 0)

@@ -6,16 +6,24 @@ type span = {
   mutable meta : (string * string) list;
 }
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
-(* Innermost-first stack of open spans; children accumulate reversed and
-   are put in execution order when the span closes. *)
-let stack : span list ref = ref []
+(* Innermost-first stack of open spans, one stack per domain: a span
+   opened inside a Core.Pool worker nests under whatever that worker has
+   open (usually nothing, so it finishes as its own root), never under a
+   span of another domain. *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let max_roots = 256
 
+(* Finished roots are shared across domains; the mutex serialises the
+   push (and the occasional overflow trim). *)
+let finished_lock = Mutex.create ()
 let finished : span list ref = ref [] (* newest first, length <= max_roots *)
 let finished_len = ref 0
 let dropped_count = ref 0
@@ -23,17 +31,20 @@ let dropped_count = ref 0
 let dropped () = !dropped_count
 
 let clear () =
+  Mutex.lock finished_lock;
   finished := [];
   finished_len := 0;
-  dropped_count := 0
+  dropped_count := 0;
+  Mutex.unlock finished_lock
 
 let close span =
   span.elapsed <- Unix.gettimeofday () -. span.start;
   span.children <- List.rev span.children;
   span.meta <- List.rev span.meta;
-  match !stack with
+  match !(stack ()) with
   | parent :: _ -> parent.children <- span :: parent.children
   | [] ->
+    Mutex.lock finished_lock;
     finished := span :: !finished;
     incr finished_len;
     if !finished_len > max_roots then begin
@@ -42,15 +53,17 @@ let close span =
       finished := List.filteri (fun i _ -> i < max_roots) !finished;
       finished_len := max_roots;
       incr dropped_count
-    end
+    end;
+    Mutex.unlock finished_lock
 
 let with_span name f =
-  if not !enabled_flag then f ()
+  if not (Atomic.get enabled_flag) then f ()
   else begin
     let span =
       { name; start = Unix.gettimeofday (); elapsed = 0.; children = [];
         meta = [] }
     in
+    let stack = stack () in
     stack := span :: !stack;
     Fun.protect
       ~finally:(fun () ->
@@ -69,8 +82,8 @@ let with_span name f =
   end
 
 let annotate key value =
-  if !enabled_flag then
-    match !stack with
+  if Atomic.get enabled_flag then
+    match !(stack ()) with
     | [] -> ()
     | span :: _ -> span.meta <- (key, value) :: span.meta
 

@@ -52,7 +52,13 @@ let rec is_prefix p t =
   | _, [] -> false
   | x :: p', y :: t' -> x = y && is_prefix p' t'
 
-let is_strict_prefix p t = List.length p < List.length t && is_prefix p t
+(* One walk, no length passes: [p] is a strict prefix iff [p] runs out
+   while [t] still has components. *)
+let rec is_strict_prefix p t =
+  match p, t with
+  | [], _ :: _ -> true
+  | _, [] -> false
+  | x :: p', y :: t' -> x = y && is_strict_prefix p' t'
 
 let is_ancestor ~ancestor t = is_strict_prefix ancestor t
 let is_ancestor_or_self ~ancestor t = is_prefix ancestor t

@@ -100,6 +100,18 @@ let dtd config =
 |};
   Buffer.contents buf
 
+let pick_labelled rng doc ~label ~count =
+  match Document.by_label doc label with
+  | [] -> (rng, [])
+  | ids ->
+    let rec go rng acc i =
+      if i = count then (rng, List.rev acc)
+      else
+        let rng, id = Prng.pick rng ids in
+        go rng (id :: acc) (i + 1)
+    in
+    go rng [] 0
+
 let generate config =
   let rng = Prng.create config.seed in
   let _, patients =

@@ -22,6 +22,13 @@ val patient_names : config -> string list
 val services : string list
 val diagnoses : string list
 
+val pick_labelled :
+  Prng.t -> Xmldoc.Document.t -> label:string -> count:int ->
+  Prng.t * Ordpath.t list
+(** [count] update targets drawn (with replacement) among the nodes
+    carrying [label], via the document's per-label index — no tree scan.
+    Empty when no node carries the label. *)
+
 val dtd : config -> string
 (** A document type matching {!generate}'s output (one [ELEMENT]
     declaration per patient name, plus the record structure), parseable

@@ -1,17 +1,75 @@
-type t = Node.t Ordpath.Map.t
+module Labels = Map.Make (String)
+
+(* The node map plus a persistent per-label index (label -> ids of the
+   nodes carrying it, every kind).  The index is maintained by the same
+   primitive mutators the XUpdate layer drives, so it stays exact under
+   incremental maintenance; ordpath-set order is document order. *)
+type t = {
+  nodes : Node.t Ordpath.Map.t;
+  index : Ordpath.Set.t Labels.t;
+}
+
+let index_add index label id =
+  Labels.update label
+    (function
+      | None -> Some (Ordpath.Set.singleton id)
+      | Some ids -> Some (Ordpath.Set.add id ids))
+    index
+
+let index_remove index label id =
+  Labels.update label
+    (function
+      | None -> None
+      | Some ids ->
+        let ids = Ordpath.Set.remove id ids in
+        if Ordpath.Set.is_empty ids then None else Some ids)
+    index
+
+let put t (n : Node.t) =
+  let index =
+    match Ordpath.Map.find_opt n.id t.nodes with
+    | Some old -> index_add (index_remove t.index old.Node.label old.Node.id) n.label n.id
+    | None -> index_add t.index n.label n.id
+  in
+  { nodes = Ordpath.Map.add n.id n t.nodes; index }
+
+let delete t id =
+  match Ordpath.Map.find_opt id t.nodes with
+  | None -> t
+  | Some n ->
+    { nodes = Ordpath.Map.remove id t.nodes;
+      index = index_remove t.index n.Node.label id }
 
 let document_node = Node.v ~id:Ordpath.document ~kind:Node.Document "/"
-let empty = Ordpath.Map.singleton Ordpath.document document_node
 
-let find t id = Ordpath.Map.find_opt id t
-let mem t id = Ordpath.Map.mem id t
+let empty =
+  {
+    nodes = Ordpath.Map.singleton Ordpath.document document_node;
+    index = index_add Labels.empty document_node.Node.label Ordpath.document;
+  }
+
+let find t id = Ordpath.Map.find_opt id t.nodes
+let mem t id = Ordpath.Map.mem id t.nodes
 let label t id = Option.map (fun (n : Node.t) -> n.label) (find t id)
 let kind t id = Option.map (fun (n : Node.t) -> n.kind) (find t id)
-let size t = Ordpath.Map.cardinal t
-let nodes t = List.map snd (Ordpath.Map.bindings t)
-let fold f t acc = Ordpath.Map.fold (fun _ n acc -> f n acc) t acc
-let iter f t = Ordpath.Map.iter (fun _ n -> f n) t
-let equal a b = Ordpath.Map.equal Node.equal a b
+let size t = Ordpath.Map.cardinal t.nodes
+let nodes t = List.map snd (Ordpath.Map.bindings t.nodes)
+let fold f t acc = Ordpath.Map.fold (fun _ n acc -> f n acc) t.nodes acc
+let iter f t = Ordpath.Map.iter (fun _ n -> f n) t.nodes
+let equal a b = Ordpath.Map.equal Node.equal a.nodes b.nodes
+
+let by_label t label =
+  match Labels.find_opt label t.index with
+  | None -> []
+  | Some ids -> Ordpath.Set.elements ids
+
+let labelled t label =
+  List.filter_map (fun id -> find t id) (by_label t label)
+
+let find_labelled t label =
+  match Labels.find_opt label t.index with
+  | None -> None
+  | Some ids -> find t (Ordpath.Set.min_elt ids)
 
 let kind_of_tree : Tree.t -> Node.kind = function
   | Tree.Element _ -> Node.Element
@@ -23,7 +81,7 @@ let kind_of_tree : Tree.t -> Node.kind = function
    sibling labels under it. *)
 let rec graft acc id (tree : Tree.t) =
   let acc =
-    Ordpath.Map.add id (Node.v ~id ~kind:(kind_of_tree tree) (Tree.name tree)) acc
+    put acc (Node.v ~id ~kind:(kind_of_tree tree) (Tree.name tree))
   in
   let acc, _last =
     List.fold_left
@@ -49,7 +107,7 @@ let of_tree tree = of_forest [ tree ]
 (* Subtree scan: all strict descendants of [id] form a contiguous run of
    keys right after [id] in the map. *)
 let descendants t id =
-  let seq = Ordpath.Map.to_seq_from id t in
+  let seq = Ordpath.Map.to_seq_from id t.nodes in
   let rec collect acc seq =
     match seq () with
     | Seq.Nil -> List.rev acc
@@ -157,9 +215,9 @@ let string_value t id =
 let relabel t id new_label =
   match find t id with
   | None -> t
-  | Some n -> Ordpath.Map.add id { n with Node.label = new_label } t
+  | Some n -> put t { n with Node.label = new_label }
 
-let add_node t (n : Node.t) = Ordpath.Map.add n.id n t
+let add_node t (n : Node.t) = put t n
 
 let add_subtree t ~parent ~left ~right tree =
   if not (mem t parent) then
@@ -175,7 +233,7 @@ let remove_subtree t id =
   if Ordpath.equal id Ordpath.document then t
   else
     List.fold_left
-      (fun acc (n : Node.t) -> Ordpath.Map.remove n.id acc)
+      (fun acc (n : Node.t) -> delete acc n.id)
       t
       (descendant_or_self t id)
 

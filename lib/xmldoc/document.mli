@@ -40,6 +40,23 @@ val equal : t -> t -> bool
 val root_element : t -> Node.t option
 (** The first element child of the document node. *)
 
+(** {1 Per-label index}
+
+    The database maintains a persistent label → nodes index alongside the
+    node map, kept exact by every mutator below (including the
+    no-renumbering XUpdate primitives) — descendant name-tests and
+    workload target selection read it instead of scanning the tree. *)
+
+val by_label : t -> string -> Ordpath.t list
+(** All nodes (any kind) carrying exactly this label, in document
+    order. *)
+
+val labelled : t -> string -> Node.t list
+(** {!by_label}, resolved to nodes. *)
+
+val find_labelled : t -> string -> Node.t option
+(** The first node (document order) carrying this label. *)
+
 (** {1 Geometry (§3.2)} *)
 
 val parent : t -> Ordpath.t -> Node.t option

@@ -1,0 +1,291 @@
+open Ast
+
+(* NFA over top-down tree traversal.  A state stands for "this many steps
+   of some path consumed, ending at the current node".  Three transition
+   kinds:
+
+   - [consume]: fires while descending one level, against the child node
+     being entered.  [K_tree] requires the child to be an in-tree node
+     (not an attribute, nor an attribute's text value) and tests with
+     principal kind Element — the child and descendant axes.  [K_attr]
+     requires an attribute child and tests with principal kind Attribute
+     — the attribute axis.
+
+   - [eps]: unconditional, consumes nothing.  Used to enter the loop
+     state a descendant step compiles to.
+
+   - [self_eps]: conditional on the *current* node (already consumed),
+     consumes nothing.  [need_tree] distinguishes descendant-or-self's
+     self branch (axis enumeration is tree-filtered) from the self axis
+     (which is not).
+
+   A descendant step [q -- descendant::t --> q'] becomes a fresh loop
+   state [l] with [q --eps--> l], [l --consume(K_tree, node())--> l] and
+   [l --consume(K_tree, t)--> q']: the loop keeps the obligation alive
+   down the tree, the exit consumes the matching node, and strictness is
+   inherent (an exit always descends at least one level). *)
+
+type kindreq = K_tree | K_attr
+
+type 'a state = {
+  mutable eps : int list;
+  mutable self_eps : (bool * node_test * int) list;
+      (* need_tree, test, target *)
+  mutable consume : (kindreq * node_test * int) list;
+  mutable accepts : 'a list;
+}
+
+type 'a t = { states : 'a state array }
+
+let state_count t = Array.length t.states
+
+let compile rules =
+  let rev_states = ref [] in
+  let count = ref 0 in
+  let fresh () =
+    let s = { eps = []; self_eps = []; consume = []; accepts = [] } in
+    rev_states := s :: !rev_states;
+    let i = !count in
+    incr count;
+    (i, s)
+  in
+  let _, start = fresh () in
+  let add_path payload steps =
+    let rec go (q : 'a state) = function
+      | [] -> q.accepts <- payload :: q.accepts
+      | { axis; test; preds } :: rest ->
+        if preds <> [] then
+          invalid_arg "Xpath.Compile.compile: path carries a predicate";
+        let i', s' = fresh () in
+        (match axis with
+         | Child -> q.consume <- (K_tree, test, i') :: q.consume
+         | Attribute -> q.consume <- (K_attr, test, i') :: q.consume
+         | Self -> q.self_eps <- (false, test, i') :: q.self_eps
+         | Descendant | Descendant_or_self ->
+           if axis = Descendant_or_self then
+             q.self_eps <- (true, test, i') :: q.self_eps;
+           let li, l = fresh () in
+           q.eps <- li :: q.eps;
+           l.consume <- [ (K_tree, Node_test, li); (K_tree, test, i') ]
+         | (Ancestor | Ancestor_or_self | Following | Following_sibling
+           | Parent | Preceding | Preceding_sibling) as axis ->
+           invalid_arg
+             (Printf.sprintf "Xpath.Compile.compile: %s is not a downward axis"
+                (Ast.axis_to_string axis)));
+        go s' rest
+    in
+    go start steps
+  in
+  let rec add_expr payload = function
+    | Union (a, b) ->
+      add_expr payload a;
+      add_expr payload b
+    | Path { steps; _ } -> add_path payload steps
+    | e ->
+      invalid_arg
+        (Printf.sprintf "Xpath.Compile.compile: not a downward path: %s"
+           (Ast.to_string e))
+  in
+  List.iter (fun (payload, expr) -> add_expr payload expr) rules;
+  { states = Array.of_list (List.rev !rev_states) }
+
+(* ---- Running ---- *)
+
+(* Node classification during traversal, derived from the node's kind and
+   its parent's class.  [C_skip] is an attribute's text value: unreachable
+   by any downward axis, so states never survive there. *)
+type cls = C_tree | C_attr | C_skip
+
+let cls_code = function C_tree -> 0 | C_attr -> 1 | C_skip -> 2
+
+let kind_code : Xmldoc.Node.kind -> int = function
+  | Xmldoc.Node.Document -> 0
+  | Xmldoc.Node.Element -> 1
+  | Xmldoc.Node.Attribute -> 2
+  | Xmldoc.Node.Text -> 3
+  | Xmldoc.Node.Comment -> 4
+
+let child_cls parent_cls (n : Xmldoc.Node.t) =
+  if n.kind = Xmldoc.Node.Attribute then C_attr
+  else match parent_cls with C_attr -> C_skip | C_tree | C_skip -> C_tree
+
+let test_ok principal (test : node_test) (n : Xmldoc.Node.t) =
+  match test with
+  | Node_test -> true
+  | Text_test -> n.kind = Xmldoc.Node.Text
+  | Comment_test -> n.kind = Xmldoc.Node.Comment
+  | Star -> n.kind = principal
+  | Name name -> n.kind = principal && String.equal n.label name
+
+(* ε-closure of [set] evaluated at node [n] of class [cls]; returns the
+   sorted state list.  Self transitions have principal kind Element (the
+   self and descendant-or-self axes). *)
+let closure t cls (n : Xmldoc.Node.t) set =
+  let mark = Array.make (Array.length t.states) false in
+  let rec add i =
+    if not mark.(i) then begin
+      mark.(i) <- true;
+      let s = t.states.(i) in
+      List.iter add s.eps;
+      List.iter
+        (fun (need_tree, test, j) ->
+          if (not need_tree || cls = C_tree)
+             && test_ok Xmldoc.Node.Element test n
+          then add j)
+        s.self_eps
+    end
+  in
+  List.iter add set;
+  let acc = ref [] in
+  for i = Array.length mark - 1 downto 0 do
+    if mark.(i) then acc := i :: !acc
+  done;
+  !acc
+
+(* One descent: the state set at a child node from its parent's set. *)
+let step t cls (n : Xmldoc.Node.t) parent_set =
+  let raw =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun (kreq, test, j) ->
+            let fires =
+              match kreq with
+              | K_tree -> cls = C_tree && test_ok Xmldoc.Node.Element test n
+              | K_attr -> cls = C_attr && test_ok Xmldoc.Node.Attribute test n
+            in
+            if fires then Some j else None)
+          t.states.(i).consume)
+      parent_set
+  in
+  closure t cls n raw
+
+(* Per-traversal determinisation: state sets are interned to small ids and
+   one transition is computed per (parent set, node class, kind, label)
+   key, so repeated shapes cost one integer-keyed hash lookup.  Labels are
+   interned to small ids so the key packs into a single int.  Private to
+   the traversal — the compiled automaton itself is never mutated. *)
+type 'a run = {
+  t : 'a t;
+  ids : (int list, int) Hashtbl.t;  (* state set -> set id *)
+  mutable set_arr : int list array;  (* set id -> state set *)
+  mutable payload_arr : 'a list array;  (* set id -> accepted payloads *)
+  mutable n_sets : int;
+  labels : (string, int) Hashtbl.t;  (* label -> label id *)
+  memo : (int, int) Hashtbl.t;  (* packed transition key -> set id *)
+}
+
+let new_run t =
+  { t; ids = Hashtbl.create 64;
+    set_arr = Array.make 16 []; payload_arr = Array.make 16 [];
+    n_sets = 0; labels = Hashtbl.create 64; memo = Hashtbl.create 256 }
+
+let intern run set =
+  match Hashtbl.find_opt run.ids set with
+  | Some id -> id
+  | None ->
+    let id = run.n_sets in
+    Hashtbl.add run.ids set id;
+    if id = Array.length run.set_arr then begin
+      run.set_arr <- Array.append run.set_arr (Array.make id []);
+      run.payload_arr <- Array.append run.payload_arr (Array.make id [])
+    end;
+    run.set_arr.(id) <- set;
+    run.payload_arr.(id) <-
+      List.concat_map (fun i -> run.t.states.(i).accepts) set;
+    run.n_sets <- id + 1;
+    id
+
+let label_id run label =
+  match Hashtbl.find run.labels label with
+  | i -> i
+  | exception Not_found ->
+    let i = Hashtbl.length run.labels in
+    Hashtbl.add run.labels label i;
+    i
+
+(* Packed key: label ids stay well under 2^20 for any realistic document,
+   and set ids are bounded by the number of distinct reachable state sets
+   (tiny), so the pack cannot collide within a 63-bit int. *)
+let transition run ~parent_id cls (n : Xmldoc.Node.t) =
+  (* Name tests only ever inspect Element and Attribute labels, so other
+     kinds share one label slot and skip the string hash. *)
+  let lid =
+    match n.kind with
+    | Xmldoc.Node.Element | Xmldoc.Node.Attribute -> label_id run n.label
+    | _ -> 0
+  in
+  let key =
+    (((parent_id * 3 + cls_code cls) * 5 + kind_code n.kind) lsl 20) lor lid
+  in
+  match Hashtbl.find run.memo key with
+  | id -> id
+  | exception Not_found ->
+    let id = intern run (step run.t cls n run.set_arr.(parent_id)) in
+    Hashtbl.add run.memo key id;
+    id
+
+(* State at the document node: closure of the start state. *)
+let enter_document run (n : Xmldoc.Node.t) =
+  intern run (closure run.t C_tree n [ 0 ])
+
+(* The traversal keeps the current ancestor chain's (id, set id, class)
+   entries on a stack instead of a per-node side table: document order
+   visits a node's parent before the node and pops are amortised O(1), so
+   threading state costs one [is_ancestor] check per node instead of
+   hashing ordpaths. *)
+type frame = { f_id : Ordpath.t; f_set : int; f_cls : cls }
+
+(* Shared per-node logic: compute the node's (set id, class) from the top
+   of the stack, push it, fold [f] over accepted payloads. *)
+let visit run stack acc (n : Xmldoc.Node.t) ~f =
+  let rec unwind () =
+    match !stack with
+    | top :: rest
+      when not (Ordpath.is_ancestor ~ancestor:top.f_id n.id) ->
+      stack := rest;
+      unwind ()
+    | _ -> ()
+  in
+  let finish set_id cls =
+    stack := { f_id = n.id; f_set = set_id; f_cls = cls } :: !stack;
+    match run.payload_arr.(set_id) with
+    | [] -> acc
+    | payloads -> f acc n payloads
+  in
+  if Ordpath.equal n.id Ordpath.document then
+    finish (enter_document run n) C_tree
+  else begin
+    unwind ();
+    match !stack with
+    | [] -> acc (* orphan: no state can have survived *)
+    | top :: _ ->
+      (* [top] is the nearest visited ancestor — the parent in any
+         well-formed document. *)
+      let cls = child_cls top.f_cls n in
+      finish (transition run ~parent_id:top.f_set cls n) cls
+  end
+
+let fold t doc ~init ~f =
+  let run = new_run t in
+  let stack = ref [] in
+  Xmldoc.Document.fold (fun n acc -> visit run stack acc n ~f) doc init
+
+let fold_subtree t doc ~root ~init ~f =
+  if not (Xmldoc.Document.mem doc root) then init
+  else begin
+    let run = new_run t in
+    let stack = ref [] in
+    (* Re-thread the automaton down the strict ancestor chain, outermost
+       first, without folding [f] over it. *)
+    let ancestors =
+      List.rev (Xmldoc.Document.ancestors doc root)
+    in
+    List.iter
+      (fun n -> ignore (visit run stack init n ~f:(fun acc _ _ -> acc)))
+      ancestors;
+    List.fold_left
+      (fun acc n -> visit run stack acc n ~f)
+      init
+      (Xmldoc.Document.descendant_or_self doc root)
+  end

@@ -1,0 +1,42 @@
+(** One-pass compiled matcher for the downward fragment ({!Ast.is_downward}).
+
+    [compile] merges any number of payload-carrying downward paths into a
+    single NFA keyed by label tests; a traversal then resolves {e all}
+    payloads for {e every} node in one top-down pass over the document,
+    threading the automaton state from parent to child, instead of one
+    {!Eval.select} per path.  Matching agrees with {!Eval.select}
+    membership on the fragment (starting context = document node, the
+    tree axes skipping attribute nodes and their text values).
+
+    The compiled value is immutable — it can be shared freely across
+    domains (see [Core.Pool]); the determinised state-set memo is private
+    to each traversal. *)
+
+type 'a t
+(** An automaton whose accepting states carry ['a] payloads. *)
+
+val compile : ('a * Ast.expr) list -> 'a t
+(** Merge the given (payload, path) pairs — each expression a union of
+    downward paths — into one automaton.
+    @raise Invalid_argument if an expression is outside the downward
+    fragment (guard with {!Ast.is_downward}). *)
+
+val state_count : 'a t -> int
+(** Number of NFA states (diagnostics). *)
+
+val fold :
+  'a t -> Xmldoc.Document.t -> init:'b ->
+  f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** Single document-order pass; [f] is called exactly once for every node
+    at least one payload accepts (document node included), with the
+    accepted payloads.  Payload order within the list is unspecified and
+    a payload may repeat when several of its paths accept the node. *)
+
+val fold_subtree :
+  'a t -> Xmldoc.Document.t -> root:Ordpath.t -> init:'b ->
+  f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** {!fold} restricted to the subtree rooted at [root] (inclusive): the
+    automaton state is re-threaded down the ancestor chain of [root] and
+    the traversal then covers only the subtree — the delta-locality path
+    of [Core.Perm.update].  No-op returning [init] when [root] is not in
+    the document. *)

@@ -126,7 +126,26 @@ and eval_steps env start steps =
 
 and eval_step env start { axis; test; preds } =
   let candidates =
-    List.filter (test_matches axis test) (axis_nodes env axis start)
+    (* Descendant name-tests answer from the per-label index when the
+       source has one: the index is in document order (= axis order for
+       the downward axes), so predicate numbering is unaffected.  The
+       subtree and [in_tree] checks reapply the axis semantics the slow
+       path gets from [axis_nodes]. *)
+    match axis, test, env.src.Source.by_label with
+    | (Descendant | Descendant_or_self), Name name, Some labelled ->
+      let or_self = axis = Descendant_or_self in
+      List.filter
+        (fun (n : Xmldoc.Node.t) ->
+          n.kind = Xmldoc.Node.Element
+          && (match env.src.Source.parent n.id with
+              | Some p -> p.kind <> Xmldoc.Node.Attribute
+              | None -> true)
+          && ((or_self && Ordpath.equal n.id start)
+             || (not (Ordpath.equal n.id start)
+                && Ordpath.is_ancestor ~ancestor:start n.id)))
+        (labelled name)
+    | _ ->
+      List.filter (test_matches axis test) (axis_nodes env axis start)
   in
   let ids = List.map (fun (n : Xmldoc.Node.t) -> n.id) candidates in
   (* Each predicate re-numbers the surviving nodes in axis order. *)

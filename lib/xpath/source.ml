@@ -12,6 +12,10 @@ type t = {
   preceding : Ordpath.t -> Xmldoc.Node.t list;
   attributes : Ordpath.t -> Xmldoc.Node.t list;
   string_value : Ordpath.t -> string;
+  by_label : (string -> Xmldoc.Node.t list) option;
+      (* label -> all nodes carrying it, document order; [None] when the
+         source cannot answer from an index (e.g. a lazy view, whose
+         RESTRICTED remapping changes labels on the fly) *)
 }
 
 let of_document doc =
@@ -30,4 +34,5 @@ let of_document doc =
     preceding = D.preceding doc;
     attributes = D.attributes doc;
     string_value = D.string_value doc;
+    by_label = Some (D.labelled doc);
   }

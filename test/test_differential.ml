@@ -419,7 +419,7 @@ let test_serve_denied_write_keeps_caches () =
     (fun user -> ignore (Core.Serve.query serve ~user "//node()"))
     (Core.Serve.users serve);
   let misses_before =
-    List.map (fun u -> snd (Core.Serve.cache_stats serve ~user:u))
+    List.map (fun u -> Core.Lazy_view.misses (Core.Serve.lazy_view serve ~user:u))
       (Core.Serve.users serve)
   in
   (* Robert may not rename his own diagnosis: denied, no delta. *)
@@ -433,7 +433,7 @@ let test_serve_denied_write_keeps_caches () =
     (fun user -> ignore (Core.Serve.query serve ~user "//node()"))
     (Core.Serve.users serve);
   let misses_after =
-    List.map (fun u -> snd (Core.Serve.cache_stats serve ~user:u))
+    List.map (fun u -> Core.Lazy_view.misses (Core.Serve.lazy_view serve ~user:u))
       (Core.Serve.users serve)
   in
   (* Staff sessions are downward-local and the delta was empty: their

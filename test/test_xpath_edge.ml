@@ -1,0 +1,154 @@
+(* Lexer/parser edge cases for the path classes the compiler must
+   classify: what stays in the downward fragment (compiled), what falls
+   back to the general evaluator, and how abbreviations desugar. *)
+
+module Ast = Xpath.Ast
+module P = Xpath.Parser
+
+let parse = P.parse_path
+
+let is_downward src = Ast.is_downward (parse src)
+
+let roundtrips src =
+  let ast = parse src in
+  let printed = Ast.to_string ast in
+  Alcotest.(check string)
+    (Printf.sprintf "%s: reparse of %S is stable" src printed)
+    printed
+    (Ast.to_string (parse printed))
+
+(* -- classification ------------------------------------------------- *)
+
+let test_downward_class () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (src ^ " is downward") true (is_downward src);
+      roundtrips src)
+    [
+      "/patients"; "//diagnosis"; "/patients//date"; "//visit/@n";
+      "/patients/*"; "//text()"; "//comment()"; "@*";
+      "descendant::note"; "descendant-or-self::visit"; "self::node()";
+      "/patients/franck/.";
+      "./service"; "//diagnosis/self::*";
+      "attribute::node()"; "attribute::*";
+      "//service | //diagnosis"; "/patients/node() | //visit/@n";
+    ]
+
+let test_fallback_class () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (src ^ " needs fallback") false (is_downward src);
+      roundtrips src)
+    [
+      (* predicates, including nested ones *)
+      "/patients/*[1]";
+      "//visit[@n = 1]";
+      "//visit[note[text() = 'routine']]";
+      "//*[diagnosis/text()]";
+      "/patients/*[name() = $USER]/descendant-or-self::node()";
+      (* non-downward axes *)
+      "//date/parent::*"; "//date/..";
+      "//visit/following-sibling::visit";
+      "//visit/preceding-sibling::*";
+      "//diagnosis/ancestor::node()";
+      "//diagnosis/ancestor-or-self::*";
+      "//service/following::note";
+      "//note/preceding::service";
+    ]
+
+(* The compiler refuses exactly the fallback class. *)
+let test_compile_guard () =
+  List.iter
+    (fun src ->
+      match Xpath.Compile.compile [ ((), parse src) ] with
+      | _ -> ()
+      | exception Invalid_argument _ ->
+        Alcotest.failf "%s: downward path refused by the compiler" src)
+    [ "/patients//date"; "//visit/@n"; "self::node()"; "//a | /b" ];
+  List.iter
+    (fun src ->
+      match Xpath.Compile.compile [ ((), parse src) ] with
+      | _ -> Alcotest.failf "%s: fallback path accepted by the compiler" src
+      | exception Invalid_argument _ -> ())
+    [ "//visit[@n = 1]"; "//date/parent::*"; "//date/.." ]
+
+(* -- abbreviation desugaring ---------------------------------------- *)
+
+let steps src =
+  match parse src with
+  | Ast.Path { steps; _ } -> steps
+  | e -> Alcotest.failf "%s: parsed to non-path %s" src (Ast.to_string e)
+
+let test_dslash_desugar () =
+  (* Leading and mid-path [//] insert descendant-or-self::node(). *)
+  (match steps "/patients//date" with
+   | [ { Ast.axis = Child; test = Name "patients"; _ };
+       { Ast.axis = Descendant_or_self; test = Node_test; _ };
+       { Ast.axis = Child; test = Name "date"; _ } ] ->
+     ()
+   | s ->
+     Alcotest.failf "/patients//date: unexpected desugaring (%d steps)"
+       (List.length s));
+  (match steps "//diagnosis" with
+   | [ { Ast.axis = Descendant_or_self; test = Node_test; _ };
+       { Ast.axis = Child; test = Name "diagnosis"; _ } ] ->
+     ()
+   | s ->
+     Alcotest.failf "//diagnosis: unexpected desugaring (%d steps)"
+       (List.length s))
+
+let test_abbreviations () =
+  (match steps "//visit/@n" with
+   | [ _; _; { Ast.axis = Attribute; test = Name "n"; _ } ] -> ()
+   | _ -> Alcotest.fail "@n did not desugar to attribute::n");
+  (match steps "." with
+   | [ { Ast.axis = Self; test = Node_test; _ } ] -> ()
+   | _ -> Alcotest.fail ". did not desugar to self::node()");
+  (match steps ".." with
+   | [ { Ast.axis = Parent; test = Node_test; _ } ] -> ()
+   | _ -> Alcotest.fail ".. did not desugar to parent::node()")
+
+(* -- lexing of hyphenated axis names and kind tests ------------------ *)
+
+let test_lexer_edges () =
+  (* descendant-or-self is one token, not descendant minus or minus self *)
+  (match steps "descendant-or-self::note" with
+   | [ { Ast.axis = Descendant_or_self; test = Name "note"; _ } ] -> ()
+   | _ -> Alcotest.fail "descendant-or-self:: lexed wrong");
+  (* NCNames may contain hyphens and digits *)
+  (match steps "/patient-record2" with
+   | [ { Ast.axis = Child; test = Name "patient-record2"; _ } ] -> ()
+   | _ -> Alcotest.fail "hyphenated name lexed wrong");
+  (* kind tests need the parens *)
+  (match steps "/text" with
+   | [ { Ast.axis = Child; test = Name "text"; _ } ] -> ()
+   | _ -> Alcotest.fail "bare 'text' must be a name test");
+  (match steps "//text()" with
+   | [ _; { Ast.axis = Child; test = Text_test; _ } ] -> ()
+   | _ -> Alcotest.fail "text() must be a kind test");
+  (* errors stay errors *)
+  List.iter
+    (fun src ->
+      match parse src with
+      | exception P.Error _ -> ()
+      | e ->
+        Alcotest.failf "%s: expected a parse error, got %s" src
+          (Ast.to_string e))
+    [ "/patients["; "//"; "foo::bar"; "@"; "/patients/*[" ]
+
+let () =
+  Alcotest.run "xpath-edge"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "downward fragment" `Quick test_downward_class;
+          Alcotest.test_case "fallback fragment" `Quick test_fallback_class;
+          Alcotest.test_case "compiler guard" `Quick test_compile_guard;
+        ] );
+      ( "desugaring",
+        [
+          Alcotest.test_case "// expansion" `Quick test_dslash_desugar;
+          Alcotest.test_case "abbreviations" `Quick test_abbreviations;
+          Alcotest.test_case "lexer edges" `Quick test_lexer_edges;
+        ] );
+    ]
