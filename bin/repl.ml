@@ -49,10 +49,19 @@ let split_arg rest =
 let print_report report =
   Format.printf "%a@." Core.Secure_update.pp_report report
 
+(* Every repl write is a single-op tolerant transaction (§4.4.2: denied
+   targets stay in the report); failures re-raise so the loop's inline
+   error handling keeps its historical behaviour. *)
 let run_secure session op =
-  let session', report = Core.Secure_update.apply session op in
-  print_report report;
-  session'
+  match Core.Txn.commit ~on_denial:`Tolerate session [ op ] with
+  | Ok { Core.Txn.session = session'; reports = [ report ]; _ } ->
+    print_report report;
+    session'
+  | Ok _ -> session
+  | Error (Core.Txn.Failed { exn; _ }) -> raise exn
+  | Error err ->
+    Printf.printf "rolled back: %s\n" (Core.Txn.error_to_string err);
+    session
 
 let handle session line =
   let command, rest = split_command line in

@@ -14,35 +14,52 @@ let read_file path =
 
 let load_doc path = Xmldoc.Xml_parse.of_string (read_file path)
 
+(* Structured one-line errors with distinct exit codes, so scripts (and
+   the CI harness) can tell a bad XPath from a bad policy from a corrupt
+   store without scraping messages.  1 stays the generic I/O code;
+   cmdliner reserves 123-125. *)
+let code_io = 1
+let code_xml = 2
+let code_policy = 3
+let code_user = 4
+let code_xpath = 5
+let code_xupdate = 6
+let code_schema = 7
+let code_store = 8
+let code_txn = 9
+
+let err code category fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "xmlsecu: %s error: %s\n" category s;
+      code)
+    fmt
+
 let handle_errors f =
-  try
-    f ();
-    0
-  with
-  | Sys_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    1
+  try f () with
+  | Sys_error msg -> err code_io "io" "%s" msg
   | Xmldoc.Xml_parse.Error _ as e ->
-    Printf.eprintf "error: %s\n"
+    err code_xml "xml" "%s"
       (Option.value ~default:"XML parse error"
-         (Xmldoc.Xml_parse.error_to_string e));
-    1
+         (Xmldoc.Xml_parse.error_to_string e))
   | Core.Policy_lang.Error { line; message } ->
-    Printf.eprintf "error: policy line %d: %s\n" line message;
-    1
-  | Core.Session.Unknown_user u ->
-    Printf.eprintf "error: unknown user %s\n" u;
-    1
+    err code_policy "policy" "line %d: %s" line message
+  | Core.Session.Unknown_user u -> err code_user "session" "unknown user %s" u
   | Xpath.Parser.Error msg | Xpath.Eval.Error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    1
+    err code_xpath "xpath" "%s" msg
+  | Xupdate.Xupdate_xml.Error msg -> err code_xupdate "xupdate" "%s" msg
+  | Xmldoc.Schema.Parse_error msg -> err code_schema "schema" "DTD: %s" msg
+  | Store.Error msg -> err code_store "store" "%s" msg
+  | Core.Txn.Aborted e ->
+    err code_txn "txn" "%s" (Core.Txn.error_to_string e)
 
 let with_session doc_path policy_path user f =
   handle_errors (fun () ->
       let doc = load_doc doc_path in
       let policy = Core.Policy_lang.parse (read_file policy_path) in
       let session = Core.Session.login policy doc ~user in
-      f session)
+      f session;
+      0)
 
 (* --- common arguments --------------------------------------------------- *)
 
@@ -131,6 +148,53 @@ let query_cmd =
 
 (* --- update ---------------------------------------------------------------- *)
 
+let persist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"DIR"
+        ~doc:"Durable store directory (write-ahead journal + snapshots).  A \
+              fresh directory is initialised from --doc; an existing one is \
+              recovered first, and --doc is only used as the initial state.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:"With --persist: also write a snapshot automatically every N \
+              committed transactions (0 = never).")
+
+let fsync_flag =
+  Arg.(
+    value & flag
+    & info [ "fsync" ]
+        ~doc:"With --persist: fsync(2) the journal after every transaction.")
+
+(* Open (or initialise) a durable store and return it with the state the
+   server must start from: a fresh directory adopts the --doc document;
+   an existing one is recovered through the secure replay, and --doc is
+   ignored for state (it only seeded the store originally). *)
+let open_store ~policy ~doc_path ~fsync ~snapshot_every dir =
+  let store = Store.open_dir ~fsync ~snapshot_every dir in
+  if Store.is_fresh store then begin
+    let doc = load_doc doc_path in
+    Store.init store doc;
+    (store, doc)
+  end
+  else begin
+    let r = Core.Txn.recover policy dir in
+    (store, r.Core.Txn.doc)
+  end
+
+let write_output output xml =
+  match output with
+  | None -> print_endline xml
+  | Some path ->
+    let oc = open_out path in
+    output_string oc xml;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+
 let update_cmd =
   let xupdate_arg =
     Arg.(
@@ -146,28 +210,131 @@ let update_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the updated database here (default: stdout).")
   in
-  let run doc policy user xupdate_file output =
-    with_session doc policy user (fun session ->
+  let atomic_flag =
+    Arg.(
+      value & flag
+      & info [ "atomic" ]
+          ~doc:"All-or-nothing: any denied target aborts and rolls back the \
+                whole batch (default: the paper's §4.4.2 per-target tolerant \
+                semantics).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Commit the batch N times, as N transactions (a write storm; \
+                per-op reports are only printed when N = 1).")
+  in
+  let run doc policy_path user xupdate_file output atomic repeat persist
+      snapshot_every fsync =
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy_path) in
         let ops = Xupdate.Xupdate_xml.ops_of_string (read_file xupdate_file) in
-        let session, reports = Core.Secure_update.apply_all session ops in
-        List.iter
-          (fun r -> Format.printf "%a@.@." Core.Secure_update.pp_report r)
-          reports;
-        let xml =
-          Xmldoc.Xml_print.to_string ~indent:true (Core.Session.source session)
+        let on_denial = if atomic then `Abort else `Tolerate in
+        let store, source =
+          match persist with
+          | None -> (None, load_doc doc)
+          | Some dir ->
+            let store, source =
+              open_store ~policy ~doc_path:doc ~fsync ~snapshot_every dir
+            in
+            (Some store, source)
         in
-        match output with
-        | None -> print_endline xml
-        | Some path ->
-          let oc = open_out path in
-          output_string oc xml;
-          close_out oc;
-          Printf.printf "wrote %s\n" path)
+        Fun.protect
+          ~finally:(fun () -> Option.iter Store.close store)
+          (fun () ->
+            let serve = Core.Serve.create ?persist:store policy source in
+            Core.Serve.login serve ~user;
+            let code = ref 0 in
+            (try
+               for _ = 1 to repeat do
+                 match Core.Serve.commit ~on_denial serve ~user ops with
+                 | Ok { Core.Serve.reports; _ } ->
+                   if repeat = 1 then
+                     List.iter
+                       (fun r ->
+                         Format.printf "%a@.@." Core.Secure_update.pp_report r)
+                       reports
+                 | Error e ->
+                   Printf.eprintf "xmlsecu: txn error: %s\n"
+                     (Core.Txn.error_to_string e);
+                   code := code_txn;
+                   raise Exit
+               done
+             with Exit -> ());
+            if !code = 0 then
+              write_output output
+                (Xmldoc.Xml_print.to_string ~indent:true
+                   (Core.Serve.source serve));
+            !code))
   in
   Cmd.v
     (Cmd.info "update"
-       ~doc:"Apply XUpdate operations through the secure write path.")
-    Term.(const run $ doc_arg $ policy_arg $ user_arg $ xupdate_arg $ output_arg)
+       ~doc:"Apply XUpdate operations through the transactional secure write \
+             path, optionally journalled to a durable store.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ xupdate_arg $ output_arg
+      $ atomic_flag $ repeat_arg $ persist_arg $ snapshot_every_arg
+      $ fsync_flag)
+
+(* --- snapshot / recover ----------------------------------------------------- *)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Durable store directory (see update --persist).")
+
+let snapshot_cmd =
+  let run policy_path dir =
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy_path) in
+        let r = Core.Txn.recover policy dir in
+        let store = Store.open_dir dir in
+        Fun.protect
+          ~finally:(fun () -> Store.close store)
+          (fun () -> Store.snapshot store r.Core.Txn.doc);
+        Printf.printf "snapshot written at seq %d (%d txn(s) replayed)\n"
+          r.Core.Txn.seq r.Core.Txn.replayed;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Recover the store's current state and write a snapshot, so the \
+             next recovery replays only the journal tail.")
+    Term.(const run $ policy_arg $ store_dir_arg)
+
+let recover_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the recovered database here (default: stdout).")
+  in
+  let run policy_path dir render output =
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy_path) in
+        let r = Core.Txn.recover policy dir in
+        Printf.printf
+          "recovered seq %d (snapshot %d, %d txn(s) replayed, %d torn byte(s) \
+           dropped)\n"
+          r.Core.Txn.seq r.Core.Txn.snapshot_seq r.Core.Txn.replayed
+          r.Core.Txn.torn_bytes;
+        (match output with
+         | None -> render_doc render r.Core.Txn.doc
+         | Some _ ->
+           write_output output
+             (Xmldoc.Xml_print.to_string ~indent:true r.Core.Txn.doc));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Rebuild the database from a durable store: latest valid \
+             snapshot plus secure replay of the journal tail (a torn final \
+             record is dropped).  Read-only; prints the recovered sequence \
+             number.")
+    Term.(const run $ policy_arg $ store_dir_arg $ render_arg $ output_arg)
 
 (* --- explain ---------------------------------------------------------------- *)
 
@@ -203,25 +370,18 @@ let check_cmd =
       & info [] ~docv:"POLICY" ~doc:"Policy file to validate.")
   in
   let run path =
-    try
-      let policy = Core.Policy_lang.parse (read_file path) in
-      let subjects = Core.Policy.subjects policy in
-      Printf.printf "%d subjects (%d roles, %d users), %d rules\n"
-        (List.length (Core.Subject.subjects subjects))
-        (List.length (Core.Subject.roles subjects))
-        (List.length (Core.Subject.users subjects))
-        (List.length (Core.Policy.rules policy));
-      List.iter
-        (fun r -> Format.printf "  %a@." Core.Rule.pp r)
-        (Core.Policy.rules policy);
-      0
-    with
-    | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Core.Policy_lang.Error { line; message } ->
-      Printf.eprintf "error: line %d: %s\n" line message;
-      1
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file path) in
+        let subjects = Core.Policy.subjects policy in
+        Printf.printf "%d subjects (%d roles, %d users), %d rules\n"
+          (List.length (Core.Subject.subjects subjects))
+          (List.length (Core.Subject.roles subjects))
+          (List.length (Core.Subject.users subjects))
+          (List.length (Core.Policy.rules policy));
+        List.iter
+          (fun r -> Format.printf "  %a@." Core.Rule.pp r)
+          (Core.Policy.rules policy);
+        0)
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse and validate a policy file.")
@@ -251,31 +411,19 @@ let compare_cmd =
 
 let lint_cmd =
   let run doc_path policy_path =
-    try
-      let doc = load_doc doc_path in
-      let policy = Core.Policy_lang.parse (read_file policy_path) in
-      match Core.Policy_lint.analyse policy doc with
-      | [] ->
-        print_endline "policy is clean";
-        0
-      | findings ->
-        List.iter
-          (fun f -> print_endline (Core.Policy_lint.to_string f))
-          findings;
-        Printf.printf "%d finding(s)\n" (List.length findings);
-        1
-    with
-    | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Core.Policy_lang.Error { line; message } ->
-      Printf.eprintf "error: policy line %d: %s\n" line message;
-      1
-    | Xmldoc.Xml_parse.Error _ as e ->
-      Printf.eprintf "error: %s\n"
-        (Option.value ~default:"XML parse error"
-           (Xmldoc.Xml_parse.error_to_string e));
-      1
+    handle_errors (fun () ->
+        let doc = load_doc doc_path in
+        let policy = Core.Policy_lang.parse (read_file policy_path) in
+        match Core.Policy_lint.analyse policy doc with
+        | [] ->
+          print_endline "policy is clean";
+          0
+        | findings ->
+          List.iter
+            (fun f -> print_endline (Core.Policy_lint.to_string f))
+            findings;
+          Printf.printf "%d finding(s)\n" (List.length findings);
+          1)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -305,29 +453,17 @@ let validate_cmd =
       & info [ "root" ] ~docv:"NAME" ~doc:"Expected root element name.")
   in
   let run doc_path dtd_path root =
-    try
-      let doc = load_doc doc_path in
-      let schema = Xmldoc.Schema.of_string (read_file dtd_path) in
-      match Xmldoc.Schema.validate ?root schema doc with
-      | [] ->
-        print_endline "valid";
-        0
-      | violations ->
-        List.iter print_endline violations;
-        Printf.printf "%d violation(s)\n" (List.length violations);
-        1
-    with
-    | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Xmldoc.Schema.Parse_error msg ->
-      Printf.eprintf "error: DTD: %s\n" msg;
-      1
-    | Xmldoc.Xml_parse.Error _ as e ->
-      Printf.eprintf "error: %s\n"
-        (Option.value ~default:"XML parse error"
-           (Xmldoc.Xml_parse.error_to_string e));
-      1
+    handle_errors (fun () ->
+        let doc = load_doc doc_path in
+        let schema = Xmldoc.Schema.of_string (read_file dtd_path) in
+        match Xmldoc.Schema.validate ?root schema doc with
+        | [] ->
+          print_endline "valid";
+          0
+        | violations ->
+          List.iter print_endline violations;
+          Printf.printf "%d violation(s)\n" (List.length violations);
+          1)
   in
   Cmd.v
     (Cmd.info "validate" ~doc:"Validate a document against a DTD subset.")
@@ -350,29 +486,17 @@ let stylesheet_cmd =
           ~doc:"Also apply the stylesheet to this document and print the result.")
   in
   let run policy user apply_to =
-    try
-      let policy = Core.Policy_lang.parse (read_file policy) in
-      print_string (Core.Xslt_enforcer.stylesheet_source policy ~user);
-      (match apply_to with
-       | None -> ()
-       | Some path ->
-         let doc = load_doc path in
-         let out = Core.Xslt_enforcer.enforce policy doc ~user in
-         print_endline "<!-- stylesheet applied: -->";
-         print_endline (Xmldoc.Xml_print.to_string ~indent:true out));
-      0
-    with
-    | Sys_error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      1
-    | Core.Policy_lang.Error { line; message } ->
-      Printf.eprintf "error: policy line %d: %s\n" line message;
-      1
-    | Xmldoc.Xml_parse.Error _ as e ->
-      Printf.eprintf "error: %s\n"
-        (Option.value ~default:"XML parse error"
-           (Xmldoc.Xml_parse.error_to_string e));
-      1
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        print_string (Core.Xslt_enforcer.stylesheet_source policy ~user);
+        (match apply_to with
+         | None -> ()
+         | Some path ->
+           let doc = load_doc path in
+           let out = Core.Xslt_enforcer.enforce policy doc ~user in
+           print_endline "<!-- stylesheet applied: -->";
+           print_endline (Xmldoc.Xml_print.to_string ~indent:true out));
+        0)
   in
   Cmd.v
     (Cmd.info "stylesheet"
@@ -421,45 +545,59 @@ let stats_cmd =
           ~doc:"Log this additional user in (repeatable); their sessions \
                 are rebased on every update broadcast.")
   in
-  let run doc policy user queries update_file json spans pool logins =
+  let run doc policy user queries update_file json spans pool logins persist =
     handle_errors (fun () ->
-        let doc = load_doc doc in
         let policy = Core.Policy_lang.parse (read_file policy) in
-        Obs.Trace.set_enabled true;
-        let serve = Core.Serve.create ~pool:(Core.Pool.create pool) policy doc in
-        Core.Serve.login serve ~user;
-        Core.Serve.login_many serve logins;
-        List.iter
-          (fun q ->
-            let ids = Core.Serve.query serve ~user q in
-            if not json then
-              Printf.printf "query %-40s %d node(s)\n" q (List.length ids))
-          queries;
-        (match update_file with
-         | None -> ()
-         | Some path ->
-           let ops = Xupdate.Xupdate_xml.ops_of_string (read_file path) in
-           List.iter
-             (fun op -> ignore (Core.Serve.update serve ~user op))
-             ops);
-        Obs.Trace.set_enabled false;
-        if json then begin
-          if spans then
-            Printf.printf "{\"metrics\":%s,\"spans\":%s}\n"
-              (Obs.Metrics.to_json Obs.Metrics.default)
-              (Obs.Trace.roots_to_json ())
-          else print_endline (Obs.Metrics.to_json Obs.Metrics.default)
-        end
-        else begin
-          if spans then begin
-            print_endline "-- spans --";
+        let store, source =
+          match persist with
+          | None -> (None, load_doc doc)
+          | Some dir ->
+            let store, source =
+              open_store ~policy ~doc_path:doc ~fsync:false ~snapshot_every:0
+                dir
+            in
+            (Some store, source)
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Store.close store)
+          (fun () ->
+            Obs.Trace.set_enabled true;
+            let serve =
+              Core.Serve.create ~pool:(Core.Pool.create pool) ?persist:store
+                policy source
+            in
+            Core.Serve.login serve ~user;
+            Core.Serve.login_many serve logins;
             List.iter
-              (fun s -> print_string (Obs.Trace.to_string s))
-              (Obs.Trace.roots ());
-            print_endline "-- metrics --"
-          end;
-          print_string (Obs.Metrics.to_prometheus Obs.Metrics.default)
-        end)
+              (fun q ->
+                let ids = Core.Serve.query serve ~user q in
+                if not json then
+                  Printf.printf "query %-40s %d node(s)\n" q (List.length ids))
+              queries;
+            (match update_file with
+             | None -> ()
+             | Some path ->
+               let ops = Xupdate.Xupdate_xml.ops_of_string (read_file path) in
+               ignore (Core.Serve.update_all serve ~user ops));
+            Obs.Trace.set_enabled false;
+            if json then begin
+              if spans then
+                Printf.printf "{\"metrics\":%s,\"spans\":%s}\n"
+                  (Obs.Metrics.to_json Obs.Metrics.default)
+                  (Obs.Trace.roots_to_json ())
+              else print_endline (Obs.Metrics.to_json Obs.Metrics.default)
+            end
+            else begin
+              if spans then begin
+                print_endline "-- spans --";
+                List.iter
+                  (fun s -> print_string (Obs.Trace.to_string s))
+                  (Obs.Trace.roots ());
+                print_endline "-- metrics --"
+              end;
+              print_string (Obs.Metrics.to_prometheus Obs.Metrics.default)
+            end;
+            0))
   in
   Cmd.v
     (Cmd.info "stats"
@@ -467,7 +605,7 @@ let stats_cmd =
              registry (Prometheus text or JSON) and request spans.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
-      $ json_flag $ spans_flag $ pool_arg $ logins_arg)
+      $ json_flag $ spans_flag $ pool_arg $ logins_arg $ persist_arg)
 
 (* --- audit ---------------------------------------------------------------- *)
 
@@ -512,7 +650,8 @@ let audit_cmd =
           Printf.printf "%d event(s)%s\n"
             (Obs.Audit.length Obs.Audit.default)
             (if d > 0 then Printf.sprintf " (%d older dropped)" d else "")
-        end)
+        end;
+        0)
   in
   Cmd.v
     (Cmd.info "audit"
@@ -581,7 +720,7 @@ let main =
     [
       view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
       stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd; stats_cmd;
-      audit_cmd;
+      audit_cmd; snapshot_cmd; recover_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

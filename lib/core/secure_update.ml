@@ -52,28 +52,37 @@ let rule_string session privilege id =
   | None -> "no applicable rule (closed world)"
 
 (* Every privilege check of axioms 18-25 goes through here so the audit
-   log sees each access decision with its deciding rule. *)
-let audited_holds session ~action privilege id =
+   log sees each access decision with its deciding rule.  The event is
+   handed to [emit] rather than recorded directly: a live [apply] runs it
+   immediately, a staged op (see {!Txn}) queues it so an aborted
+   transaction leaves the audit ring untouched.  The event strings are
+   built eagerly, at decision time, so the deciding rule reflects the
+   permissions the check actually consulted. *)
+let audited_holds ~emit session ~action privilege id =
   let ok = Session.holds session privilege id in
-  if Obs.Audit.enabled () then
-    Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
-      ~privilege:(Privilege.to_string privilege)
-      ~target:(Ordpath.to_string id)
-      ~rule:(rule_string session privilege id)
-      (if ok then Obs.Audit.Allowed else Obs.Audit.Denied);
+  if Obs.Audit.enabled () then begin
+    let user = Session.user session in
+    let privilege_s = Privilege.to_string privilege in
+    let target = Ordpath.to_string id in
+    let rule = rule_string session privilege id in
+    let decision = if ok then Obs.Audit.Allowed else Obs.Audit.Denied in
+    emit (fun () ->
+        Obs.Audit.record Obs.Audit.default ~user ~action
+          ~privilege:privilege_s ~target ~rule decision)
+  end;
   ok
 
 let deny st ~target ~node privilege reason =
-  Obs.Metrics.inc m_denials;
   { st with denied = { target; node; privilege; reason } :: st.denied }
 
-let skip ?session ?(action = "") st target reason =
-  Obs.Metrics.inc m_skips;
+let skip ~emit ?session ?(action = "") st target reason =
   (match session with
    | Some session when Obs.Audit.enabled () ->
-     Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
-       ~target:(Ordpath.to_string target) ~detail:("skipped: " ^ reason)
-       Obs.Audit.Denied
+     let user = Session.user session in
+     let target_s = Ordpath.to_string target in
+     emit (fun () ->
+         Obs.Audit.record Obs.Audit.default ~user ~action ~target:target_s
+           ~detail:("skipped: " ^ reason) Obs.Audit.Denied)
    | _ -> ());
   { st with skipped = (target, reason) :: st.skipped }
 
@@ -84,16 +93,17 @@ let can_hold_children doc id =
 
 (* Rename a single node: requires update, and the view label must be the
    original one (read privilege) — a RESTRICTED node cannot be renamed. *)
-let rename_node session st ~action ~target id new_label =
-  if not (audited_holds session ~action Privilege.Update id) then
+let rename_node ~emit session st ~action ~target id new_label =
+  if not (audited_holds ~emit session ~action Privilege.Update id) then
     deny st ~target ~node:id Privilege.Update "update privilege required"
-  else if not (audited_holds session ~action Privilege.Read id) then
+  else if not (audited_holds ~emit session ~action Privilege.Read id) then
     deny st ~target ~node:id Privilege.Read
       "the node is shown RESTRICTED and cannot be relabelled"
   else
     match D.kind st.doc id with
     | Some Xmldoc.Node.Document | None ->
-      skip ~session ~action st target "the document node cannot be relabelled"
+      skip ~emit ~session ~action st target
+        "the document node cannot be relabelled"
     | Some _ ->
       {
         st with
@@ -112,15 +122,15 @@ let instantiate_on_view session ~target content =
     (Xpath.Source.of_document (Session.view session))
     ~context:target content
 
-let insert_tree session st ~action ~target content where =
+let insert_tree ~emit session st ~action ~target content where =
   let source_doc = st.doc in
   match where with
   | `Append ->
-    if not (audited_holds session ~action Privilege.Insert target) then
+    if not (audited_holds ~emit session ~action Privilege.Insert target) then
       deny st ~target ~node:target Privilege.Insert
         "insert privilege required on the addressed node"
     else if not (can_hold_children source_doc target) then
-      skip ~session ~action st target "only element nodes accept children"
+      skip ~emit ~session ~action st target "only element nodes accept children"
     else
       let tree = instantiate_on_view session ~target content in
       let doc, id = D.append_tree source_doc ~parent:target tree in
@@ -128,9 +138,11 @@ let insert_tree session st ~action ~target content where =
   | `Before | `After ->
     let before = where = `Before in
     (match Ordpath.parent target with
-     | None -> skip ~session ~action st target "the document node has no siblings"
+     | None ->
+       skip ~emit ~session ~action st target
+         "the document node has no siblings"
      | Some parent ->
-       if not (audited_holds session ~action Privilege.Insert parent) then
+       if not (audited_holds ~emit session ~action Privilege.Insert parent) then
          deny st ~target ~node:parent Privilege.Insert
            "insert privilege required on the parent of the addressed node"
        else
@@ -148,16 +160,19 @@ let insert_tree session st ~action ~target content where =
            | s :: rest -> bounds (Some s) rest
          in
          (match bounds None siblings with
-          | None -> skip ~session ~action st target "target no longer present"
+          | None ->
+            skip ~emit ~session ~action st target "target no longer present"
           | Some (left, right) ->
             let tree = instantiate_on_view session ~target content in
             let doc, id = D.add_subtree source_doc ~parent ~left ~right tree in
             { st with doc; inserted = id :: st.inserted }))
 
-let apply session op =
-  Obs.Metrics.inc m_ops;
-  Obs.Metrics.time h_apply @@ fun () ->
-  Obs.Trace.with_span "secure_update.apply" @@ fun () ->
+(* The shared op-application core: selects targets on the view, folds the
+   per-axiom logic over them and builds the report — with {e no} registry
+   side effects.  Audit events flow through [emit]; the counters are the
+   caller's business ([apply] records them immediately,
+   {!record_committed} at a transaction's commit point). *)
+let run ~emit session op =
   let action = Op.name op in
   Obs.Trace.annotate "op" action;
   Obs.Trace.annotate "user" (Session.user session);
@@ -185,7 +200,7 @@ let apply session op =
     | Op.Rename { new_label; _ } ->
       List.fold_left
         (fun st target ->
-          rename_node session st ~action ~target target new_label)
+          rename_node ~emit session st ~action ~target target new_label)
         st targets
     | Op.Update { new_label; _ } ->
       (* Axioms 20-21: relabel the view-children of each addressed node;
@@ -194,28 +209,28 @@ let apply session op =
         (fun st target ->
           match D.children view target with
           | [] ->
-            skip ~session ~action st target
+            skip ~emit ~session ~action st target
               "the addressed node has no visible children"
           | kids ->
             List.fold_left
               (fun st (kid : Xmldoc.Node.t) ->
-                rename_node session st ~action ~target kid.id new_label)
+                rename_node ~emit session st ~action ~target kid.id new_label)
               st kids)
         st targets
     | Op.Append { content; _ } ->
       List.fold_left
         (fun st target ->
-          insert_tree session st ~action ~target content `Append)
+          insert_tree ~emit session st ~action ~target content `Append)
         st targets
     | Op.Insert_before { content; _ } ->
       List.fold_left
         (fun st target ->
-          insert_tree session st ~action ~target content `Before)
+          insert_tree ~emit session st ~action ~target content `Before)
         st targets
     | Op.Insert_after { content; _ } ->
       List.fold_left
         (fun st target ->
-          insert_tree session st ~action ~target content `After)
+          insert_tree ~emit session st ~action ~target content `After)
         st targets
     | Op.Remove _ ->
       List.fold_left
@@ -224,8 +239,10 @@ let apply session op =
             (* Inside a subtree removed by an earlier target. *)
             st
           else if Ordpath.equal target Ordpath.document then
-            skip ~session ~action st target "the document node cannot be removed"
-          else if not (audited_holds session ~action Privilege.Delete target)
+            skip ~emit ~session ~action st target
+              "the document node cannot be removed"
+          else if
+            not (audited_holds ~emit session ~action Privilege.Delete target)
           then
             deny st ~target ~node:target Privilege.Delete
               "delete privilege required on the addressed node"
@@ -250,21 +267,48 @@ let apply session op =
       delta;
     }
   in
-  if Obs.Audit.enabled () then
-    Obs.Audit.record Obs.Audit.default ~user:(Session.user session) ~action
-      ~target:(Xpath.Ast.to_string (Op.path op))
-      ~detail:
-        (Printf.sprintf
-           "%d target(s): %d relabelled, %d removed, %d inserted, %d denied, \
-            %d skipped"
-           (List.length report.targets)
-           (List.length report.relabelled)
-           (List.length report.removed)
-           (List.length report.inserted)
-           (List.length report.denied)
-           (List.length report.skipped))
-      (if report.denied = [] then Obs.Audit.Allowed else Obs.Audit.Denied);
-  (Session.apply_delta session st.doc delta, report)
+  if Obs.Audit.enabled () then begin
+    let user = Session.user session in
+    let target = Xpath.Ast.to_string (Op.path op) in
+    let detail =
+      Printf.sprintf
+        "%d target(s): %d relabelled, %d removed, %d inserted, %d denied, \
+         %d skipped"
+        (List.length report.targets)
+        (List.length report.relabelled)
+        (List.length report.removed)
+        (List.length report.inserted)
+        (List.length report.denied)
+        (List.length report.skipped)
+    in
+    let decision =
+      if report.denied = [] then Obs.Audit.Allowed else Obs.Audit.Denied
+    in
+    emit (fun () ->
+        Obs.Audit.record Obs.Audit.default ~user ~action ~target ~detail
+          decision)
+  end;
+  (st.doc, report)
+
+let record_committed reports =
+  List.iter
+    (fun (r : report) ->
+      Obs.Metrics.inc m_ops;
+      Obs.Metrics.add m_denials (List.length r.denied);
+      Obs.Metrics.add m_skips (List.length r.skipped))
+    reports
+
+let apply session op =
+  Obs.Metrics.time h_apply @@ fun () ->
+  Obs.Trace.with_span "secure_update.apply" @@ fun () ->
+  let doc, report = run ~emit:(fun event -> event ()) session op in
+  record_committed [ report ];
+  (Session.apply_delta session doc report.delta, report)
+
+let stage ~defer session op =
+  Obs.Trace.with_span "secure_update.stage" @@ fun () ->
+  let doc, report = run ~emit:(fun event -> Queue.add event defer) session op in
+  (Session.apply_delta ~quiet:true session doc report.delta, report)
 
 let apply_all session ops =
   let session, reports =

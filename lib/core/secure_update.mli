@@ -47,6 +47,23 @@ val apply : Session.t -> Xupdate.Op.t -> Session.t * report
     operation may succeed on some targets and be denied on others
     (§4.4.2). *)
 
+val stage :
+  defer:(unit -> unit) Queue.t -> Session.t -> Xupdate.Op.t ->
+  Session.t * report
+(** [apply] with {e zero} registry side effects — the building block of
+    {!Txn}.  The semantics (target selection on the view, per-axiom
+    privilege checks, incremental rebase of the returned session) are
+    identical, but no metric counter moves and every audit event is
+    pushed onto [defer] instead of the ring; a transaction runs the
+    queued events only at its commit point, so an aborted batch is
+    observationally absent. *)
+
+val record_committed : report list -> unit
+(** Folds staged reports into the per-op counters
+    ([secure_update_ops_total] / [..._denials_total] / [..._skips_total])
+    — the metrics half of the commit point.  [apply] is exactly
+    [stage] + [record_committed] + audit flush. *)
+
 val apply_all : Session.t -> Xupdate.Op.t list -> Session.t * report list
 
 val fully_applied : report -> bool

@@ -12,6 +12,9 @@ type t = {
   sessions : (string, entry) Hashtbl.t;
   mutable writes : int;
   pool : Pool.t;
+  persist : Store.t option;
+      (* write-ahead journal: every committed batch is appended before it
+         becomes visible to readers *)
 }
 
 (* Server-level instrumentation; per-stage spans come from Session,
@@ -52,7 +55,7 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let create ?(pool = Pool.create 1) policy source =
+let create ?(pool = Pool.create 1) ?persist policy source =
   {
     policy;
     source;
@@ -60,9 +63,11 @@ let create ?(pool = Pool.create 1) policy source =
     sessions = Hashtbl.create 8;
     writes = 0;
     pool;
+    persist;
   }
 
 let pool t = t.pool
+let persist t = t.persist
 
 let fresh_entry t ~user =
   let session = Session.login t.policy t.source ~user in
@@ -171,52 +176,90 @@ let rebase_entry ?slot source delta e =
   e.lazy_view <-
     Lazy_view.rebase e.lazy_view source (Session.perm session) lazy_delta
 
-let update t ~user op =
-  Obs.Metrics.inc m_updates;
-  Obs.Metrics.time h_update @@ fun () ->
-  Obs.Trace.with_span "serve.update" @@ fun () ->
-  Obs.Trace.annotate "user" user;
-  let e = entry t ~user in
-  let session', report = Secure_update.apply e.session op in
-  locked t (fun () ->
-      t.source <- Session.source session';
-      t.writes <- t.writes + 1);
-  (* The writer's session is already rebased by Secure_update; its lazy
-     view and every other session get the broadcast delta. *)
-  e.session <- session';
-  let lazy_delta =
-    if Session.policy_local session' then begin
-      Obs.Metrics.inc m_rebase_incremental;
-      report.Secure_update.delta
-    end
-    else begin
-      Obs.Metrics.inc m_rebase_full;
-      Delta.all
-    end
-  in
-  e.lazy_view <-
-    Obs.Trace.with_span "lazy_view.rebase" (fun () ->
-        Lazy_view.rebase e.lazy_view t.source (Session.perm session')
-          lazy_delta);
-  (* Fan-out over a lock-free snapshot: entries are disjoint per user, so
-     workers never contend; pool size 1 reproduces the sequential
-     broadcast exactly. *)
-  let others =
-    locked t (fun () ->
-        Hashtbl.fold
-          (fun other e' acc ->
-            if String.equal other user then acc else e' :: acc)
-          t.sessions [])
-  in
-  let source = t.source and delta = report.Secure_update.delta in
-  Obs.Metrics.time h_broadcast (fun () ->
-      Obs.Trace.with_span "serve.broadcast" (fun () ->
-          Obs.Trace.annotate "sessions" (string_of_int (List.length others));
-          Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
-          Pool.run t.pool
-            (List.map
-               (fun e' slot -> rebase_entry ~slot source delta e')
-               others)));
-  report
+type committed = {
+  reports : Secure_update.report list;
+  delta : Delta.t;
+}
 
-let update_all t ~user ops = List.map (update t ~user) ops
+(* Every mutation routes through here: one Txn.commit staging the whole
+   batch on the writer's view, then — only on success — journal append,
+   registration under the lock, and a single per-batch broadcast fan-out
+   of the merged delta (one rebase per session per batch, not per op). *)
+let commit ?(on_denial = `Abort) t ~user ops =
+  let t0 = Unix.gettimeofday () in
+  Obs.Trace.with_span "serve.commit" @@ fun () ->
+  Obs.Trace.annotate "user" user;
+  Obs.Trace.annotate "ops" (string_of_int (List.length ops));
+  let e = entry t ~user in
+  match Txn.commit ~on_denial e.session ops with
+  | Error _ as err -> err
+  | Ok { Txn.session = session'; reports; delta } ->
+    let source' = Session.source session' in
+    (* Durability before visibility: the batch is in the journal before
+       any reader can observe it. *)
+    (match t.persist with
+     | Some store when reports <> [] ->
+       let mode =
+         match on_denial with `Abort -> `Atomic | `Tolerate -> `Tolerant
+       in
+       ignore (Store.append store ~user ~mode ~doc:source' ops)
+     | _ -> ());
+    locked t (fun () ->
+        t.source <- source';
+        t.writes <- t.writes + List.length reports);
+    Obs.Metrics.add m_updates (List.length reports);
+    (* The writer's session is already rebased by the transaction; its
+       lazy view and every other session get the merged delta. *)
+    e.session <- session';
+    let lazy_delta =
+      if Session.policy_local session' then begin
+        Obs.Metrics.inc m_rebase_incremental;
+        delta
+      end
+      else begin
+        Obs.Metrics.inc m_rebase_full;
+        Delta.all
+      end
+    in
+    e.lazy_view <-
+      Obs.Trace.with_span "lazy_view.rebase" (fun () ->
+          Lazy_view.rebase e.lazy_view source' (Session.perm session')
+            lazy_delta);
+    (* Fan-out over a lock-free snapshot: entries are disjoint per user,
+       so workers never contend; pool size 1 reproduces the sequential
+       broadcast exactly. *)
+    let others =
+      locked t (fun () ->
+          Hashtbl.fold
+            (fun other e' acc ->
+              if String.equal other user then acc else e' :: acc)
+            t.sessions [])
+    in
+    if reports <> [] then
+      Obs.Metrics.time h_broadcast (fun () ->
+          Obs.Trace.with_span "serve.broadcast" (fun () ->
+              Obs.Trace.annotate "sessions"
+                (string_of_int (List.length others));
+              Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
+              Pool.run t.pool
+                (List.map
+                   (fun e' slot -> rebase_entry ~slot source' delta e')
+                   others)));
+    Obs.Metrics.observe h_update (Unix.gettimeofday () -. t0);
+    Ok { reports; delta }
+
+(* The historical per-op entry point, now a thin tolerant wrapper: §4.4.2
+   semantics (partial per-target denials stay in the report) over a
+   single-op transaction. *)
+let update t ~user op =
+  match commit ~on_denial:`Tolerate t ~user [ op ] with
+  | Ok { reports = [ report ]; _ } -> report
+  | Ok _ -> assert false
+  | Error (Txn.Failed { exn; _ }) -> raise exn
+  | Error err -> raise (Txn.Aborted err)
+
+let update_all t ~user ops =
+  match commit ~on_denial:`Tolerate t ~user ops with
+  | Ok { reports; _ } -> reports
+  | Error (Txn.Failed { exn; _ }) -> raise exn
+  | Error err -> raise (Txn.Aborted err)

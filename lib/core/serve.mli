@@ -14,13 +14,20 @@
 
 type t
 
-val create : ?pool:Pool.t -> Policy.t -> Xmldoc.Document.t -> t
+val create : ?pool:Pool.t -> ?persist:Store.t -> Policy.t -> Xmldoc.Document.t -> t
 (** [?pool] (default: size 1, i.e. sequential) runs the write-broadcast
     fan-out and {!login_many} batches on its workers.  The session table
     is mutex-guarded; each session entry is still owned by one worker at
-    a time, so answers are identical for every pool size. *)
+    a time, so answers are identical for every pool size.
+
+    [?persist] attaches a write-ahead journal: every committed batch is
+    appended ({!Store.append}) before it becomes visible to readers, so
+    {!Txn.recover} reproduces the exact pre-crash state.  The caller is
+    responsible for opening the store on the matching document (fresh
+    store initialised from [source], or [source] = recovered state). *)
 
 val pool : t -> Pool.t
+val persist : t -> Store.t option
 
 val login : t -> user:string -> unit
 (** Registers a session for [user]; already-logged users keep their
@@ -61,10 +68,30 @@ val query : t -> user:string -> string -> Ordpath.t list
     @raise Xpath.Parser.Error
     @raise Xpath.Eval.Error *)
 
+type committed = {
+  reports : Secure_update.report list;  (** one per op, in order *)
+  delta : Delta.t;  (** merged — what the single broadcast covered *)
+}
+
+val commit :
+  ?on_denial:[ `Abort | `Tolerate ] ->
+  t -> user:string -> Xupdate.Op.t list ->
+  (committed, Txn.error) result
+(** The authoritative write path: stages the batch as one {!Txn} on
+    [user]'s session, journals it (when [?persist] is attached), then
+    broadcasts the {e merged} delta once — every other session (and every
+    lazy view) rebases once per batch, not once per op.  On [Error]
+    nothing is observable: no source change, no journal record, no
+    broadcast, no metric beyond [txn_aborts_total].  Logs the user in on
+    first use. *)
+
 val update : t -> user:string -> Xupdate.Op.t -> Secure_update.report
-(** Applies a secure update on behalf of [user] and broadcasts the
-    report's delta: every other session (and every lazy view) evicts only
-    the affected range.  Logs the user in on first use. *)
+(** Thin wrapper: [commit ~on_denial:`Tolerate] of the single op — the
+    paper's §4.4.2 semantics, where an op may succeed on some targets
+    and be denied on others.  Re-raises the op's exception if it failed
+    (matching the historical behaviour of the per-op path). *)
 
 val update_all :
   t -> user:string -> Xupdate.Op.t list -> Secure_update.report list
+(** [commit ~on_denial:`Tolerate] of the whole batch: per-target denial
+    semantics per op, one broadcast for the batch. *)

@@ -98,8 +98,8 @@ let query t src =
 let query_source t src =
   Xpath.Eval.select_str ~vars:(user_vars t) t.source src
 
-let refresh t source =
-  Obs.Metrics.inc m_refresh_full;
+let refresh ?(quiet = false) t source =
+  if not quiet then Obs.Metrics.inc m_refresh_full;
   Obs.Trace.with_span "session.refresh" (fun () ->
       Obs.Trace.annotate "user" t.user;
       let perm =
@@ -111,18 +111,19 @@ let refresh t source =
       in
       { t with source; perm; view })
 
-let apply_delta t source delta =
+let apply_delta ?(quiet = false) t source delta =
+  let count c = if not quiet then Obs.Metrics.inc c in
   (match delta with
    | Delta.All -> ()
-   | Delta.Local _ -> if not t.local then Obs.Metrics.inc m_delta_widened);
+   | Delta.Local _ -> if not t.local then count m_delta_widened);
   let delta = if t.local then delta else Delta.all in
   match delta with
-  | Delta.All -> refresh t source
+  | Delta.All -> refresh ~quiet t source
   | Delta.Local [] ->
-    Obs.Metrics.inc m_delta_noop;
+    count m_delta_noop;
     { t with source }
   | Delta.Local _ ->
-    Obs.Metrics.inc m_patch_incremental;
+    count m_patch_incremental;
     Obs.Trace.with_span "session.apply_delta" (fun () ->
         Obs.Trace.annotate "user" t.user;
         let perm =

@@ -30,11 +30,13 @@ val query_source : t -> string -> Ordpath.t list
 (** Trusted evaluation on the source database — what a security officer
     (not a regular subject) would see.  Used by baselines and tests. *)
 
-val refresh : t -> Xmldoc.Document.t -> t
+val refresh : ?quiet:bool -> t -> Xmldoc.Document.t -> t
 (** Re-resolves permissions and re-derives the view after the source
-    database changed. *)
+    database changed.  [quiet] (default [false]) suppresses the session
+    counters — {!Txn} stages speculative rebases that must leave the
+    metrics registry untouched if the transaction aborts. *)
 
-val apply_delta : t -> Xmldoc.Document.t -> Delta.t -> t
+val apply_delta : ?quiet:bool -> t -> Xmldoc.Document.t -> Delta.t -> t
 (** [apply_delta t source delta] rebases the session onto the updated
     source, re-resolving permissions ({!Perm.update}) and re-deriving the
     view ({!View.patch}) only inside the affected range.  Equivalent to

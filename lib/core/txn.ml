@@ -1,0 +1,169 @@
+(* The transactional write engine: a batch of XUpdate operations staged
+   op-by-op on the submitting user's view (each op sees the effects of
+   the previous one, exactly as a sequential Secure_update.apply would),
+   validated end-to-end, and committed atomically.  All staging happens
+   on persistent values, so rollback is free: abort simply drops the
+   staged session, and because staging is registry-silent
+   (Secure_update.stage + quiet rebases), the only observable trace of
+   an aborted batch is the txn_aborts_total counter. *)
+
+type committed = {
+  session : Session.t;
+  reports : Secure_update.report list;
+  delta : Delta.t;
+}
+
+type error =
+  | Denied of {
+      index : int;
+      op : Xupdate.Op.t;
+      denials : Secure_update.denial list;
+    }
+  | Invalid of {
+      reports : Secure_update.report list;
+      violations : string list;
+    }
+  | Failed of { index : int; op : Xupdate.Op.t; exn : exn }
+
+exception Aborted of error
+
+let m_commits =
+  Obs.Metrics.counter Obs.Metrics.default "txn_commits_total"
+    ~help:"Transactions committed (all ops staged, validation passed)"
+
+let m_aborts =
+  Obs.Metrics.counter Obs.Metrics.default "txn_aborts_total"
+    ~help:"Transactions rolled back (denial, validation failure or exception)"
+
+let m_txn_ops =
+  Obs.Metrics.counter Obs.Metrics.default "txn_ops_total"
+    ~help:"XUpdate operations inside committed transactions"
+
+let h_commit =
+  Obs.Metrics.histogram Obs.Metrics.default "txn_commit_seconds"
+    ~help:"Latency of committed transactions (staging + validation + flush)"
+
+let merged_delta reports =
+  List.fold_left
+    (fun acc (r : Secure_update.report) -> Delta.union acc r.delta)
+    Delta.empty reports
+
+let pp_error fmt = function
+  | Denied { index; op; denials } ->
+    Format.fprintf fmt
+      "op %d (%s) denied on %d node(s); transaction rolled back" index
+      (Xupdate.Op.name op) (List.length denials)
+  | Invalid { violations; _ } ->
+    Format.fprintf fmt "validation failed, transaction rolled back: %s"
+      (String.concat "; " violations)
+  | Failed { index; op; exn } ->
+    Format.fprintf fmt "op %d (%s) failed, transaction rolled back: %s" index
+      (Xupdate.Op.name op) (Printexc.to_string exn)
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
+    ops =
+  Obs.Trace.with_span "txn.commit" @@ fun () ->
+  Obs.Trace.annotate "user" (Session.user session);
+  Obs.Trace.annotate "ops" (string_of_int (List.length ops));
+  let t0 = Unix.gettimeofday () in
+  let defer = Queue.create () in
+  let abort err =
+    Obs.Trace.annotate "outcome" "aborted";
+    Obs.Metrics.inc m_aborts;
+    Error err
+  in
+  let rec stage_all i session reports = function
+    | [] -> Ok (session, List.rev reports)
+    | op :: rest -> (
+      match Secure_update.stage ~defer session op with
+      | exception exn -> Error (Failed { index = i; op; exn })
+      | session', report ->
+        if on_denial = `Abort && report.Secure_update.denied <> [] then
+          Error
+            (Denied { index = i; op; denials = report.Secure_update.denied })
+        else stage_all (i + 1) session' (report :: reports) rest)
+  in
+  match stage_all 0 session [] ops with
+  | Error err -> abort err
+  | Ok (session', reports) -> (
+    match
+      Obs.Trace.with_span "txn.validate" (fun () ->
+          validate (Session.source session'))
+    with
+    | exception exn ->
+      abort (Invalid { reports; violations = [ Printexc.to_string exn ] })
+    | _ :: _ as violations -> abort (Invalid { reports; violations })
+    | [] ->
+      (* Commit point: the staged observations become real. *)
+      Queue.iter (fun event -> event ()) defer;
+      Secure_update.record_committed reports;
+      Obs.Metrics.inc m_commits;
+      Obs.Metrics.add m_txn_ops (List.length reports);
+      Obs.Metrics.observe h_commit (Unix.gettimeofday () -. t0);
+      Obs.Trace.annotate "outcome" "committed";
+      Ok { session = session'; reports; delta = merged_delta reports })
+
+let commit_exn ?on_denial ?validate session ops =
+  match commit ?on_denial ?validate session ops with
+  | Ok c -> c
+  | Error err -> raise (Aborted err)
+
+(* Crash recovery: Store.recover parameterised with the secure replay.
+   A journal record holds the submitting user and the ops as submitted;
+   re-running them through the same commit path over the same policy is
+   deterministic — ordpath allocation depends only on the document, and
+   target selection only on the user's view — so the recovered store is
+   Document.equal to the pre-crash state at the last commit boundary.
+   Sessions are cached across records and rebased with each commit's
+   merged delta, mirroring what Serve does live. *)
+
+type recovered = {
+  doc : Xmldoc.Document.t;
+  seq : int;
+  snapshot_seq : int;
+  replayed : int;
+  torn_bytes : int;
+}
+
+let recover policy dir =
+  Obs.Trace.with_span "txn.recover" @@ fun () ->
+  let sessions : (string, Session.t) Hashtbl.t = Hashtbl.create 8 in
+  let replay doc ~user ~mode ops =
+    let session =
+      match Hashtbl.find_opt sessions user with
+      | Some s -> s
+      | None -> Session.login policy doc ~user
+    in
+    let on_denial =
+      match mode with `Atomic -> `Abort | `Tolerant -> `Tolerate
+    in
+    match commit ~on_denial session ops with
+    | Error err ->
+      raise
+        (Store.Error
+           (Printf.sprintf "replay aborted for user %s: %s" user
+              (error_to_string err)))
+    | Ok c ->
+      let doc' = Session.source c.session in
+      let others =
+        Hashtbl.fold
+          (fun u s acc -> if String.equal u user then acc else (u, s) :: acc)
+          sessions []
+      in
+      Hashtbl.replace sessions user c.session;
+      List.iter
+        (fun (u, s) ->
+          Hashtbl.replace sessions u (Session.apply_delta s doc' c.delta))
+        others;
+      doc'
+  in
+  let r = Store.recover ~replay dir in
+  {
+    doc = r.Store.doc;
+    seq = r.Store.seq;
+    snapshot_seq = r.Store.snapshot_seq;
+    replayed = r.Store.replayed;
+    torn_bytes = r.Store.torn_bytes;
+  }

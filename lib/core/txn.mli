@@ -1,0 +1,88 @@
+(** Atomic transactions over the secure update pipeline.
+
+    The paper formalises each XUpdate operation as a single derivation
+    step (axioms 18–25); an [<xupdate:modifications>] document is a
+    {e sequence} of such steps.  A transaction stages the sequence
+    op-by-op on the submitting user's view — each op selecting its
+    targets on the view produced by the previous one, exactly as
+    sequential {!Secure_update.apply} would — then validates the final
+    document end-to-end and commits atomically.
+
+    Rollback is observationally complete: staging happens on persistent
+    values with the registry silenced ({!Secure_update.stage},
+    [Session.apply_delta ~quiet:true]), so an aborted batch leaves the
+    source, every session, the audit ring and all metrics bit-for-bit
+    untouched except for one [txn_aborts_total] increment.  Audit events
+    of the staged privilege checks are queued and run only at the commit
+    point (their decision and deciding-rule strings are captured at
+    check time). *)
+
+type committed = {
+  session : Session.t;  (** the rebased writer session *)
+  reports : Secure_update.report list;  (** one per op, in order *)
+  delta : Delta.t;
+      (** union of the per-op deltas — what one broadcast must cover
+          (see {!Serve}) *)
+}
+
+type error =
+  | Denied of {
+      index : int;
+      op : Xupdate.Op.t;
+      denials : Secure_update.denial list;
+    }  (** an op hit a privilege denial under [`Abort] *)
+  | Invalid of {
+      reports : Secure_update.report list;
+      violations : string list;
+    }
+      (** end-to-end validation rejected the staged document; the staged
+          reports are returned for diagnosis (nothing was applied) *)
+  | Failed of { index : int; op : Xupdate.Op.t; exn : exn }
+      (** an op raised (e.g. {!Xpath.Eval.Error}) *)
+
+exception Aborted of error
+
+val commit :
+  ?on_denial:[ `Abort | `Tolerate ] ->
+  ?validate:(Xmldoc.Document.t -> string list) ->
+  Session.t -> Xupdate.Op.t list ->
+  (committed, error) result
+(** [commit session ops] stages, validates and commits the batch.
+
+    [on_denial] (default [`Abort]) selects between strict atomicity and
+    the paper's §4.4.2 semantics: [`Tolerate] lets an op succeed on some
+    targets and be denied on others (the denials stay in its report) —
+    that mode is what the thin per-op wrappers ({!Serve.update}, the CLI
+    [update] command) use to preserve the historical behaviour.
+
+    [validate] (default {!Xmldoc.Invariants.check}) runs on the staged
+    final document; any returned violation aborts.  {!Validated} passes
+    schema validation here. *)
+
+val commit_exn :
+  ?on_denial:[ `Abort | `Tolerate ] ->
+  ?validate:(Xmldoc.Document.t -> string list) ->
+  Session.t -> Xupdate.Op.t list -> committed
+(** @raise Aborted instead of returning [Error]. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Crash recovery} *)
+
+type recovered = {
+  doc : Xmldoc.Document.t;  (** the state at the last commit boundary *)
+  seq : int;  (** sequence number of the last replayed transaction *)
+  snapshot_seq : int;  (** the snapshot recovery started from *)
+  replayed : int;  (** journal records replayed on top of it *)
+  torn_bytes : int;  (** bytes of torn final record(s) discarded *)
+}
+
+val recover : Policy.t -> string -> recovered
+(** [recover policy dir] = {!Store.recover} with the secure replay:
+    latest valid snapshot + deterministic re-execution of the journal
+    tail through {!commit} (per-record mode preserved, sessions cached
+    and rebased across records).  Replay needs no renumbering because
+    ordpath identifiers are persistent — the snapshot serialisation keeps
+    them and insertion re-derives the same fresh labels.
+    @raise Store.Error on a corrupt store or a replay divergence. *)

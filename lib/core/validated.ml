@@ -2,11 +2,25 @@ type outcome =
   | Applied of Session.t * Secure_update.report
   | Rejected of { report : Secure_update.report; violations : int }
 
+(* A schema-checked update is a single-op transaction whose end-to-end
+   validation is the DTD: Txn stages it (tolerant per-target denials,
+   §4.4.2), validates the staged document, and aborts — leaving session
+   and registries untouched — on any violation. *)
 let apply ~schema ?root session op =
-  let session', report = Secure_update.apply session op in
-  match Xmldoc.Schema.validate ?root schema (Session.source session') with
-  | [] -> Applied (session', report)
-  | violations -> Rejected { report; violations = List.length violations }
+  match
+    Txn.commit ~on_denial:`Tolerate
+      ~validate:(fun doc -> Xmldoc.Schema.validate ?root schema doc)
+      session [ op ]
+  with
+  | Ok { Txn.session = session'; reports = [ report ]; _ } ->
+    Applied (session', report)
+  | Ok _ -> assert false
+  | Error (Txn.Invalid { reports = [ report ]; violations }) ->
+    Rejected { report; violations = List.length violations }
+  | Error (Txn.Failed { exn; _ }) -> raise exn
+  | Error _ ->
+    (* Tolerant single-op commits only abort through validation. *)
+    assert false
 
 let apply_all ~schema ?root session ops =
   let session, outcomes =

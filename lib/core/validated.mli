@@ -26,6 +26,9 @@ type outcome =
 val apply :
   schema:Xmldoc.Schema.t -> ?root:string -> Session.t -> Xupdate.Op.t ->
   outcome
+(** Routed through {!Txn.commit} with the schema as the end-to-end
+    validation: a rejected op is a rolled-back transaction, so neither
+    metrics nor the audit ring retain any trace of it. *)
 
 val apply_all :
   schema:Xmldoc.Schema.t -> ?root:string -> Session.t -> Xupdate.Op.t list ->

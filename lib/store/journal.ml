@@ -1,0 +1,155 @@
+(* The append-only write-ahead journal: one framed record per committed
+   transaction.  Framing is [magic "TXN!" | 8-byte BE payload length |
+   4-byte BE Adler-32 of the payload | payload]; the payload is a <txn>
+   envelope (seq, user, mode) wrapping the canonical compact XUpdate-XML
+   of the batch.  A scan stops at the first frame that is short, fails
+   its checksum or does not parse — everything before it is the valid
+   prefix, everything after is a torn tail the writer did not complete. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type mode = [ `Atomic | `Tolerant ]
+
+type record = {
+  seq : int;
+  user : string;
+  mode : mode;
+  ops : Xupdate.Op.t list;
+}
+
+let header_line = "xmlsecu-journal 1\n"
+let magic = "TXN!"
+
+(* Adler-32 (RFC 1950), hand-rolled — cheap, and strong enough to decide
+   where a torn tail begins. *)
+let adler32 s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  (!b lsl 16) lor !a
+
+let mode_to_string = function `Atomic -> "atomic" | `Tolerant -> "tolerant"
+
+let mode_of_string = function
+  | "atomic" -> `Atomic
+  | "tolerant" -> `Tolerant
+  | s -> fail "unknown transaction mode %S" s
+
+(* The ops are printed compactly (no indentation whitespace) and reparsed
+   with whitespace kept, so even whitespace-only text content round-trips
+   exactly. *)
+let payload r =
+  Xmldoc.Xml_print.fragment_to_string ~indent:false
+    (Xmldoc.Tree.Element
+       ( "txn",
+         [
+           Xmldoc.Tree.Attr ("seq", string_of_int r.seq);
+           Xmldoc.Tree.Attr ("user", r.user);
+           Xmldoc.Tree.Attr ("mode", mode_to_string r.mode);
+           Xupdate.Xupdate_xml.to_tree r.ops;
+         ] ))
+
+let record_of_payload s =
+  let tree =
+    try Xmldoc.Xml_parse.fragment_of_string ~strip_whitespace:false s
+    with Xmldoc.Xml_parse.Error _ -> fail "unparseable journal record"
+  in
+  match tree with
+  | Xmldoc.Tree.Element ("txn", kids) -> (
+    let attr name =
+      match
+        List.find_map
+          (function
+            | Xmldoc.Tree.Attr (n, v) when String.equal n name -> Some v
+            | _ -> None)
+          kids
+      with
+      | Some v -> v
+      | None -> fail "journal record missing %s attribute" name
+    in
+    let seq =
+      match int_of_string_opt (attr "seq") with
+      | Some n when n > 0 -> n
+      | _ -> fail "bad journal record seq %S" (attr "seq")
+    in
+    let mods =
+      match
+        List.find_opt
+          (function
+            | Xmldoc.Tree.Element ("xupdate:modifications", _) -> true
+            | _ -> false)
+          kids
+      with
+      | Some t -> t
+      | None -> fail "journal record missing xupdate:modifications"
+    in
+    match Xupdate.Xupdate_xml.ops_of_tree mods with
+    | ops ->
+      { seq; user = attr "user"; mode = mode_of_string (attr "mode"); ops }
+    | exception (Xupdate.Xupdate_xml.Error _ | Xpath.Parser.Error _) ->
+      fail "journal record holds malformed XUpdate")
+  | _ -> fail "journal record is not a <txn> element"
+
+let encode r =
+  let p = payload r in
+  let len = String.length p in
+  let buf = Buffer.create (len + 16) in
+  Buffer.add_string buf magic;
+  let add_be n width =
+    for i = width - 1 downto 0 do
+      Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+    done
+  in
+  add_be len 8;
+  add_be (adler32 p) 4;
+  Buffer.add_string buf p;
+  Buffer.contents buf
+
+type scan = {
+  records : record list;  (* the valid prefix, in journal order *)
+  valid_bytes : int;  (* file offset just past the last valid record *)
+  torn_bytes : int;  (* trailing bytes not forming a valid record *)
+}
+
+let be s off width =
+  let n = ref 0 in
+  for i = 0 to width - 1 do
+    n := (!n lsl 8) lor Char.code s.[off + i]
+  done;
+  !n
+
+let scan_string s =
+  let n = String.length s in
+  let hl = String.length header_line in
+  if n < hl || not (String.equal (String.sub s 0 hl) header_line) then
+    fail "bad journal header";
+  let rec go off acc =
+    if off + 16 > n then (acc, off)
+    else if not (String.equal (String.sub s off 4) magic) then (acc, off)
+    else
+      let len = be s (off + 4) 8 in
+      let crc = be s (off + 12) 4 in
+      if len < 0 || len > n - (off + 16) then (acc, off)
+      else
+        let p = String.sub s (off + 16) len in
+        if adler32 p <> crc then (acc, off)
+        else
+          match record_of_payload p with
+          | r -> go (off + 16 + len) (r :: acc)
+          | exception Error _ -> (acc, off)
+  in
+  let records, valid_bytes = go hl [] in
+  { records = List.rev records; valid_bytes; torn_bytes = n - valid_bytes }
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan path = scan_string (read_file path)

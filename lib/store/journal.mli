@@ -1,0 +1,54 @@
+(** Write-ahead journal framing: one record per committed transaction.
+
+    On disk: a header line, then a sequence of
+    [magic | 8-byte BE length | 4-byte BE Adler-32 | payload] frames.
+    The payload is a [<txn seq user mode>] envelope wrapping the
+    compact canonical XUpdate-XML of the batch
+    ({!Xupdate.Xupdate_xml.to_tree}), so a journal is inspectable with
+    any XML tooling yet byte-exact under reparse.
+
+    A {!scan} accepts the longest valid prefix: the first short,
+    checksum-failing or unparseable frame ends it, and everything after
+    that offset is a torn tail — exactly what a crash mid-append
+    produces. *)
+
+exception Error of string
+
+type mode = [ `Atomic | `Tolerant ]
+(** Whether the transaction was committed under [`Abort] or [`Tolerate]
+    denial semantics — replay must preserve it (a tolerated record may
+    legitimately contain denials). *)
+
+type record = {
+  seq : int;  (** 1-based, contiguous *)
+  user : string;
+  mode : mode;
+  ops : Xupdate.Op.t list;
+}
+
+val header_line : string
+val magic : string
+
+val adler32 : string -> int
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode
+
+val payload : record -> string
+val record_of_payload : string -> record
+(** @raise Error on malformed payloads. *)
+
+val encode : record -> string
+(** The full frame (magic + length + checksum + payload). *)
+
+type scan = {
+  records : record list;
+  valid_bytes : int;
+      (** file offset just past the last valid record — where a repair
+          truncates to, and where appends resume *)
+  torn_bytes : int;
+}
+
+val scan_string : string -> scan
+val scan : string -> scan
+(** @raise Error when the file is unreadable or its header is wrong
+    (a torn {e tail} is not an error; a bad {e header} is). *)

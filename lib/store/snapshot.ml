@@ -1,0 +1,82 @@
+(* Periodic snapshots: the canonical id-preserving serialisation of the
+   whole document, named by the transaction sequence number it covers.
+   Written atomically (temp file + rename) so a crash mid-snapshot never
+   clobbers an older good one; the loader falls back past corrupt or
+   torn snapshots to the newest loadable. *)
+
+exception Error of string
+
+let header = "xmlsecu-snapshot 1"
+
+let file_name seq = Printf.sprintf "snapshot-%012d.snap" seq
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> raise (Error m) in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write ~dir ~seq doc =
+  let path = Filename.concat dir (file_name seq) in
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out_bin tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (header ^ "\n");
+         output_string oc (Printf.sprintf "seq %d\n" seq);
+         output_string oc (Xmldoc.Xml_print.to_canonical doc);
+         flush oc);
+     Sys.rename tmp path
+   with Sys_error m -> raise (Error m));
+  path
+
+let load path =
+  let s = read_file path in
+  let line_end from =
+    match String.index_from_opt s from '\n' with
+    | Some i -> i
+    | None -> raise (Error (path ^ ": truncated snapshot"))
+  in
+  let nl1 = line_end 0 in
+  if not (String.equal (String.sub s 0 nl1) header) then
+    raise (Error (path ^ ": bad snapshot header"));
+  let nl2 = line_end (nl1 + 1) in
+  let seq =
+    match
+      String.split_on_char ' ' (String.sub s (nl1 + 1) (nl2 - nl1 - 1))
+    with
+    | [ "seq"; n ] -> (
+      match int_of_string_opt n with
+      | Some seq when seq >= 0 -> seq
+      | _ -> raise (Error (path ^ ": bad snapshot seq")))
+    | _ -> raise (Error (path ^ ": bad snapshot seq line"))
+  in
+  let doc =
+    try
+      Xmldoc.Xml_parse.of_canonical
+        (String.sub s (nl2 + 1) (String.length s - nl2 - 1))
+    with Xmldoc.Xml_parse.Error _ ->
+      raise (Error (path ^ ": corrupt snapshot body"))
+  in
+  (seq, doc)
+
+(* Newest first; seqs parsed from the file names. *)
+let list ~dir =
+  (try Array.to_list (Sys.readdir dir) with Sys_error m -> raise (Error m))
+  |> List.filter_map (fun f ->
+         match Scanf.sscanf f "snapshot-%d.snap%!" (fun n -> n) with
+         | n -> Some (n, Filename.concat dir f)
+         | exception _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+
+let load_latest ~dir =
+  let rec go = function
+    | [] -> None
+    | (_, path) :: rest -> (
+      match load path with
+      | seq, doc -> Some (seq, doc)
+      | exception Error _ -> go rest)
+  in
+  go (list ~dir)

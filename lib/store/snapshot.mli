@@ -1,0 +1,26 @@
+(** Snapshots: the canonical id-preserving serialisation
+    ({!Xmldoc.Xml_print.to_canonical}) of the document at a transaction
+    boundary, named by the covered sequence number.  Because ordpath
+    identifiers are persistent, a reloaded snapshot is
+    {!Xmldoc.Document.equal} to the original — journal replay continues
+    from it without renumbering. *)
+
+exception Error of string
+
+val header : string
+val file_name : int -> string
+
+val write : dir:string -> seq:int -> Xmldoc.Document.t -> string
+(** Atomic (temp file + rename); returns the path.
+    @raise Error on I/O failure. *)
+
+val load : string -> int * Xmldoc.Document.t
+(** @raise Error on a corrupt or truncated snapshot. *)
+
+val list : dir:string -> (int * string) list
+(** All snapshots, newest first. *)
+
+val load_latest : dir:string -> (int * Xmldoc.Document.t) option
+(** The newest {e loadable} snapshot — corrupt ones are skipped, so a
+    crash mid-snapshot (or bit rot in the latest file) falls back to the
+    previous good one. *)

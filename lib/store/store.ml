@@ -1,0 +1,187 @@
+module Journal = Journal
+module Snapshot = Snapshot
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let m_appends =
+  Obs.Metrics.counter Obs.Metrics.default "store_journal_appends_total"
+    ~help:"Transactions appended to the write-ahead journal"
+
+let m_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "store_journal_bytes_total"
+    ~help:"Bytes appended to the write-ahead journal"
+
+let m_fsyncs =
+  Obs.Metrics.counter Obs.Metrics.default "store_journal_fsyncs_total"
+    ~help:"fsync(2) calls after journal appends"
+
+let m_snapshots =
+  Obs.Metrics.counter Obs.Metrics.default "store_snapshots_total"
+    ~help:"Snapshots written"
+
+let m_recoveries =
+  Obs.Metrics.counter Obs.Metrics.default "store_recoveries_total"
+    ~help:"Crash recoveries performed"
+
+let m_replayed =
+  Obs.Metrics.counter Obs.Metrics.default "store_recovered_txns_total"
+    ~help:"Journal records replayed during recoveries"
+
+let m_torn =
+  Obs.Metrics.counter Obs.Metrics.default "store_torn_bytes_total"
+    ~help:"Torn journal tail bytes discarded (truncated record after a crash)"
+
+let h_append =
+  Obs.Metrics.histogram Obs.Metrics.default "store_append_seconds"
+    ~help:"Journal append latency (encode + write + flush [+ fsync])"
+
+let h_snapshot =
+  Obs.Metrics.histogram Obs.Metrics.default "store_snapshot_seconds"
+    ~help:"Snapshot write latency"
+
+let h_recover =
+  Obs.Metrics.histogram Obs.Metrics.default "store_recover_seconds"
+    ~help:"Recovery latency (snapshot load + journal replay)"
+
+type t = {
+  dir : string;
+  fsync : bool;
+  snapshot_every : int;
+  mutable seq : int;
+  mutable has_history : bool;
+  oc : out_channel;
+}
+
+let journal_path dir = Filename.concat dir "journal.log"
+
+let dir t = t.dir
+let seq t = t.seq
+let is_fresh t = not t.has_history
+
+let open_dir ?(fsync = false) ?(snapshot_every = 0) dir =
+  (try
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+     else if not (Sys.is_directory dir) then fail "%s: not a directory" dir
+   with Sys_error m -> fail "%s" m);
+  let jp = journal_path dir in
+  if not (Sys.file_exists jp) then begin
+    try
+      let oc = open_out_bin jp in
+      output_string oc Journal.header_line;
+      close_out oc
+    with Sys_error m -> fail "%s" m
+  end;
+  let scan = try Journal.scan jp with Journal.Error m -> fail "%s" m in
+  (* Repair: drop any torn tail so appends resume on a record boundary. *)
+  if scan.Journal.torn_bytes > 0 then begin
+    Obs.Metrics.add m_torn scan.Journal.torn_bytes;
+    try
+      let fd = Unix.openfile jp [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd scan.Journal.valid_bytes;
+      Unix.close fd
+    with Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e)
+  end;
+  let journal_seq =
+    match List.rev scan.Journal.records with
+    | r :: _ -> r.Journal.seq
+    | [] -> 0
+  in
+  let snapshots = try Snapshot.list ~dir with Snapshot.Error m -> fail "%s" m in
+  let snapshot_seq = match snapshots with (n, _) :: _ -> n | [] -> 0 in
+  let oc =
+    try open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 jp
+    with Sys_error m -> fail "%s" m
+  in
+  {
+    dir;
+    fsync;
+    snapshot_every;
+    seq = max journal_seq snapshot_seq;
+    has_history = scan.Journal.records <> [] || snapshots <> [];
+    oc;
+  }
+
+let snapshot t doc =
+  Obs.Metrics.time h_snapshot @@ fun () ->
+  Obs.Trace.with_span "store.snapshot" @@ fun () ->
+  Obs.Trace.annotate "seq" (string_of_int t.seq);
+  (try ignore (Snapshot.write ~dir:t.dir ~seq:t.seq doc)
+   with Snapshot.Error m -> fail "%s" m);
+  t.has_history <- true;
+  Obs.Metrics.inc m_snapshots
+
+let init t doc =
+  if t.has_history then fail "%s: store already initialised" t.dir;
+  snapshot t doc
+
+let append t ~user ~mode ~doc ops =
+  Obs.Metrics.time h_append @@ fun () ->
+  Obs.Trace.with_span "store.append" @@ fun () ->
+  if is_fresh t then fail "%s: store not initialised (no base snapshot)" t.dir;
+  let seq = t.seq + 1 in
+  let bytes = Journal.encode { Journal.seq; user; mode; ops } in
+  (try
+     output_string t.oc bytes;
+     flush t.oc;
+     if t.fsync then begin
+       Unix.fsync (Unix.descr_of_out_channel t.oc);
+       Obs.Metrics.inc m_fsyncs
+     end
+   with
+   | Sys_error m -> fail "%s" m
+   | Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
+  t.seq <- seq;
+  Obs.Metrics.inc m_appends;
+  Obs.Metrics.add m_bytes (String.length bytes);
+  if t.snapshot_every > 0 && seq mod t.snapshot_every = 0 then snapshot t doc;
+  seq
+
+let close t = close_out_noerr t.oc
+
+type recovery = {
+  doc : Xmldoc.Document.t;
+  seq : int;
+  snapshot_seq : int;
+  replayed : int;
+  torn_bytes : int;
+}
+
+let recover ~replay dir =
+  Obs.Metrics.time h_recover @@ fun () ->
+  Obs.Trace.with_span "store.recover" @@ fun () ->
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    fail "%s: no such store" dir;
+  let jp = journal_path dir in
+  let scan =
+    if Sys.file_exists jp then
+      try Journal.scan jp with Journal.Error m -> fail "%s" m
+    else { Journal.records = []; valid_bytes = 0; torn_bytes = 0 }
+  in
+  let snapshot_seq, doc0 =
+    match Snapshot.load_latest ~dir with
+    | Some (seq, doc) -> (seq, doc)
+    | None ->
+      if scan.Journal.records <> [] then
+        fail "%s: journal without a loadable base snapshot" dir;
+      (0, Xmldoc.Document.empty)
+  in
+  let doc, seq, replayed =
+    List.fold_left
+      (fun (doc, seq, k) (r : Journal.record) ->
+        if r.Journal.seq <= snapshot_seq then (doc, seq, k)
+        else if r.Journal.seq <> seq + 1 then
+          fail "%s: journal gap (expected seq %d, found %d)" dir (seq + 1)
+            r.Journal.seq
+        else
+          ( replay doc ~user:r.Journal.user ~mode:r.Journal.mode r.Journal.ops,
+            r.Journal.seq,
+            k + 1 ))
+      (doc0, snapshot_seq, 0) scan.Journal.records
+  in
+  Obs.Metrics.inc m_recoveries;
+  Obs.Metrics.add m_replayed replayed;
+  Obs.Metrics.add m_torn scan.Journal.torn_bytes;
+  Obs.Trace.annotate "replayed" (string_of_int replayed);
+  { doc; seq; snapshot_seq; replayed; torn_bytes = scan.Journal.torn_bytes }

@@ -1,0 +1,70 @@
+(** Durability for the transactional write pipeline (see {!Txn}): an
+    append-only write-ahead {!Journal} of committed transactions plus
+    periodic {!Snapshot}s, and crash recovery = newest loadable snapshot
+    + replay of the journal tail, truncating a torn final record.
+
+    The store is deliberately policy-agnostic: it records {e what} was
+    committed (user, mode, ops); {!recover} is parameterised by the
+    secure replay function, which {!Txn.recover} supplies.  Single
+    writer; no locking across processes. *)
+
+module Journal = Journal
+module Snapshot = Snapshot
+
+exception Error of string
+
+type t
+(** An open store directory: [journal.log] plus [snapshot-*.snap]. *)
+
+val open_dir : ?fsync:bool -> ?snapshot_every:int -> string -> t
+(** Creates the directory and an empty journal when missing; scans the
+    journal, truncating any torn tail so appends resume on a record
+    boundary.  [fsync] (default [false]) forces an [fsync(2)] after each
+    append; [snapshot_every] (default [0] = never) writes a snapshot
+    automatically every N appends.
+    @raise Error on I/O failure or a corrupt journal header. *)
+
+val dir : t -> string
+val seq : t -> int
+(** Sequence number of the last recorded transaction (0 when fresh). *)
+
+val is_fresh : t -> bool
+(** No snapshot and no journal record yet — {!init} is required before
+    the first {!append}. *)
+
+val init : t -> Xmldoc.Document.t -> unit
+(** Writes the base snapshot (seq 0) for a fresh store.
+    @raise Error if the store already has history. *)
+
+val append :
+  t -> user:string -> mode:Journal.mode -> doc:Xmldoc.Document.t ->
+  Xupdate.Op.t list -> int
+(** Journals one committed transaction and returns its sequence number.
+    [doc] is the post-commit document, used only when [snapshot_every]
+    triggers an automatic snapshot.
+    @raise Error on I/O failure or an uninitialised store. *)
+
+val snapshot : t -> Xmldoc.Document.t -> unit
+(** Writes a snapshot covering the current sequence number. *)
+
+val close : t -> unit
+
+type recovery = {
+  doc : Xmldoc.Document.t;
+  seq : int;  (** last transaction reflected in [doc] *)
+  snapshot_seq : int;
+  replayed : int;
+  torn_bytes : int;  (** discarded torn-tail bytes (not repaired here) *)
+}
+
+val recover :
+  replay:
+    (Xmldoc.Document.t -> user:string -> mode:Journal.mode ->
+     Xupdate.Op.t list -> Xmldoc.Document.t) ->
+  string -> recovery
+(** Read-only recovery: loads the newest loadable snapshot and folds
+    [replay] over the journal records past it.  The torn tail (if any)
+    is ignored — {!open_dir} is what repairs it on the next write
+    session.
+    @raise Error on a corrupt store, a journal gap, or when [replay]
+    raises it (e.g. {!Txn.recover} on a replay divergence). *)

@@ -318,3 +318,79 @@ let error_to_string = function
   | Error { line; column; message } ->
     Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line column message)
   | _ -> None
+
+(* Canonical id-preserving deserialisation — the inverse of
+   {!Xml_print.to_canonical}.  Nodes arrive in document order (parents
+   first), so rebuilding is a fold of {!Document.add_node} with the
+   caller-chosen persistent identifiers. *)
+
+let canonical_err line message = raise (Error { line; column = 0; message })
+
+let unescape_canonical line s =
+  if not (String.contains s '%') then s
+  else begin
+    let n = String.length s in
+    let buf = Buffer.create n in
+    let rec go i =
+      if i < n then
+        if s.[i] = '%' then begin
+          if i + 2 >= n then canonical_err line "truncated % escape";
+          (match String.sub s (i + 1) 2 with
+           | "25" -> Buffer.add_char buf '%'
+           | "0A" -> Buffer.add_char buf '\n'
+           | "0D" -> Buffer.add_char buf '\r'
+           | e -> canonical_err line ("unknown escape %" ^ e));
+          go (i + 3)
+        end
+        else begin
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+        end
+    in
+    go 0;
+    Buffer.contents buf
+  end
+
+let canonical_kind line = function
+  | 'D' -> Node.Document
+  | 'E' -> Node.Element
+  | 'A' -> Node.Attribute
+  | 'T' -> Node.Text
+  | 'C' -> Node.Comment
+  | c -> canonical_err line (Printf.sprintf "unknown node kind %C" c)
+
+let of_canonical src =
+  match String.split_on_char '\n' src with
+  | [] -> canonical_err 1 "empty canonical document"
+  | header :: lines ->
+    if String.trim header <> Xml_print.canonical_header then
+      canonical_err 1
+        (Printf.sprintf "bad canonical header (expected %S)"
+           Xml_print.canonical_header);
+    let doc, _ =
+      List.fold_left
+        (fun (doc, lineno) line ->
+          if line = "" then (doc, lineno + 1)
+          else begin
+            let n = String.length line in
+            if n < 3 || line.[1] <> ' ' then
+              canonical_err lineno "malformed canonical line";
+            let kind = canonical_kind lineno line.[0] in
+            let sp =
+              try String.index_from line 2 ' '
+              with Not_found -> canonical_err lineno "malformed canonical line"
+            in
+            let id_src = String.sub line 2 (sp - 2) in
+            let id =
+              try Ordpath.of_string id_src
+              with _ ->
+                canonical_err lineno ("bad node identifier " ^ id_src)
+            in
+            let label =
+              unescape_canonical lineno (String.sub line (sp + 1) (n - sp - 1))
+            in
+            (Document.add_node doc (Node.v ~id ~kind label), lineno + 1)
+          end)
+        (Document.empty, 2) lines
+    in
+    doc

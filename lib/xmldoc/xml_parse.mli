@@ -19,5 +19,12 @@ val of_string :
   ?keep_comments:bool -> ?strip_whitespace:bool -> string -> Document.t
 (** [fragment_of_string] followed by {!Document.of_tree}. *)
 
+val of_canonical : string -> Document.t
+(** Parses the canonical id-preserving serialisation written by
+    {!Xml_print.to_canonical}, reconstructing every node under its
+    original persistent identifier ([of_canonical (to_canonical d)] is
+    {!Document.equal} to [d]).
+    @raise Error on malformed input. *)
+
 val error_to_string : exn -> string option
 (** Human-readable rendering of {!Error}; [None] on other exceptions. *)

@@ -84,6 +84,55 @@ let to_string ?indent doc =
          Option.map (fragment_to_string ?indent) (Document.to_tree doc n.id))
        tops)
 
+(* Canonical id-preserving serialisation (store snapshots): one node per
+   line, [<kind-letter> <ordpath> <escaped-label>], document order.  The
+   XML wire syntax cannot serve here: re-parsing it assigns fresh dense
+   identifiers, while recovery needs the exact persistent numbering so a
+   journal replays without renumbering.  Labels are percent-escaped just
+   enough ('%', newline, carriage return) to keep the format line-based;
+   the label is the final field, so spaces pass through verbatim. *)
+
+let canonical_header = "xmlsecu-canonical 1"
+
+let escape_canonical s =
+  if String.exists (fun c -> c = '%' || c = '\n' || c = '\r') s then begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '%' -> Buffer.add_string buf "%25"
+        | '\n' -> Buffer.add_string buf "%0A"
+        | '\r' -> Buffer.add_string buf "%0D"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+  else s
+
+let kind_letter = function
+  | Node.Document -> 'D'
+  | Node.Element -> 'E'
+  | Node.Attribute -> 'A'
+  | Node.Text -> 'T'
+  | Node.Comment -> 'C'
+
+let to_canonical doc =
+  let buf = Buffer.create (Document.size doc * 16) in
+  Buffer.add_string buf canonical_header;
+  Buffer.add_char buf '\n';
+  Document.iter
+    (fun (n : Node.t) ->
+      if not (Ordpath.equal n.id Ordpath.document) then begin
+        Buffer.add_char buf (kind_letter n.kind);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Ordpath.to_string n.id);
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (escape_canonical n.label);
+        Buffer.add_char buf '\n'
+      end)
+    doc;
+  Buffer.contents buf
+
 let render_label (n : Node.t) =
   match n.kind with
   | Node.Document -> "/"

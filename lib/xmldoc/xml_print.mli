@@ -13,6 +13,19 @@ val to_string : ?indent:bool -> Document.t -> string
 
 val subtree_to_string : ?indent:bool -> Document.t -> Ordpath.t -> string
 
+val canonical_header : string
+(** First line of the canonical serialisation, ["xmlsecu-canonical 1"]. *)
+
+val to_canonical : Document.t -> string
+(** Canonical {e id-preserving} serialisation: header line, then one line
+    per non-document node in document order —
+    [<kind-letter> <ordpath> <escaped-label>].  Unlike {!to_string}, the
+    persistent identifiers survive, so
+    {!Xml_parse.of_canonical} reconstructs a store that is
+    {!Document.equal} to the original — the exactness store snapshots and
+    journal replay rely on.  Labels are percent-escaped ([%25]/[%0A]/[%0D])
+    to keep the format line-based. *)
+
 val tree_view : ?show_ids:bool -> Document.t -> string
 (** Figure-style rendering, one node per line, e.g.:
     {v

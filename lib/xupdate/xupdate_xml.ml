@@ -112,7 +112,8 @@ let ops_of_tree = function
     List.concat_map op_of_instruction (content kids)
   | t -> fail "expected <xupdate:modifications>, found %s" (Tree.name t)
 
-let ops_of_string src = ops_of_tree (Xml_parse.fragment_of_string src)
+let ops_of_string ?strip_whitespace src =
+  ops_of_tree (Xml_parse.fragment_of_string ?strip_whitespace src)
 
 let rec content_to_tree (c : Content.t) : Tree.t =
   match c with
@@ -146,10 +147,12 @@ let op_to_tree (op : Op.t) : Tree.t =
     Tree.Element
       ("xupdate:insert-after", [ select path; content_to_tree content ])
 
-let to_string ops =
-  Xml_print.fragment_to_string ~indent:true
-    (Tree.Element
-       ( "xupdate:modifications",
-         Tree.Attr ("version", "1.0")
-         :: Tree.Attr ("xmlns:xupdate", "http://www.xmldb.org/xupdate")
-         :: List.map op_to_tree ops ))
+let to_tree ops =
+  Tree.Element
+    ( "xupdate:modifications",
+      Tree.Attr ("version", "1.0")
+      :: Tree.Attr ("xmlns:xupdate", "http://www.xmldb.org/xupdate")
+      :: List.map op_to_tree ops )
+
+let to_string ?(indent = true) ops =
+  Xml_print.fragment_to_string ~indent (to_tree ops)

@@ -13,12 +13,22 @@
 
 exception Error of string
 
-val ops_of_string : string -> Op.t list
-(** @raise Error on malformed modification documents,
+val ops_of_string : ?strip_whitespace:bool -> string -> Op.t list
+(** [strip_whitespace] (default [true]) is forwarded to the XML parser;
+    the journal passes [false] so whitespace-only text content survives
+    a round trip.
+    @raise Error on malformed modification documents,
     [Xmldoc.Xml_parse.Error] on malformed XML,
     [Xpath.Parser.Error] on a bad [select] path. *)
 
 val ops_of_tree : Xmldoc.Tree.t -> Op.t list
 
-val to_string : Op.t list -> string
-(** Re-prints operations as an [<xupdate:modifications>] document. *)
+val to_tree : Op.t list -> Xmldoc.Tree.t
+(** The [<xupdate:modifications>] element (with version and namespace
+    attributes) for a list of operations — the journal embeds it inside
+    its per-transaction envelope. *)
+
+val to_string : ?indent:bool -> Op.t list -> string
+(** Re-prints operations as an [<xupdate:modifications>] document.
+    [indent] defaults to [true]; the journal prints compactly
+    ([~indent:false]) so reparsing with whitespace kept is exact. *)

@@ -111,7 +111,8 @@ let test_check () =
   check_contains "check" output "12 rules";
   let bad = write_temp ".acl" "grant read on //a to ghost" in
   let code, output = run [ "check"; bad ] in
-  Alcotest.(check int) "exit 1 on bad policy" 1 code;
+  Alcotest.(check int) "exit 3 on bad policy" 3 code;
+  check_contains "bad policy" output "policy error";
   check_contains "bad policy" output "unknown subject"
 
 let test_compare () =
@@ -195,16 +196,108 @@ quit|}
   check_contains "repl" output "unknown command bogus-command";
   check_contains "repl" output "node(1.1.3.1, cured)"
 
+(* Every error family maps to a structured one-line message on stderr and
+   its own exit code — no raw exceptions/backtraces leak to the user. *)
 let test_errors () =
   let doc = doc_file () and policy = policy_file () in
   let code, output = run [ "view"; "-d"; doc; "-p"; policy; "-u"; "nobody" ] in
-  Alcotest.(check int) "unknown user: exit 1" 1 code;
+  Alcotest.(check int) "unknown user: exit 4" 4 code;
+  check_contains "unknown user" output "xmlsecu: session error";
   check_contains "unknown user" output "unknown user";
   let bad_xml = write_temp ".xml" "<broken" in
-  let code, _ = run [ "view"; "-d"; bad_xml; "-p"; policy; "-u"; "robert" ] in
-  Alcotest.(check int) "bad xml: exit 1" 1 code;
+  let code, output = run [ "view"; "-d"; bad_xml; "-p"; policy; "-u"; "robert" ] in
+  Alcotest.(check int) "bad xml: exit 2" 2 code;
+  check_contains "bad xml" output "xmlsecu: xml error";
   let code, _ = run [ "view"; "-d"; doc; "-p"; "/nonexistent"; "-u"; "robert" ] in
-  Alcotest.(check bool) "missing file fails" true (code <> 0)
+  Alcotest.(check bool) "missing file fails" true (code <> 0);
+  let code, output =
+    run [ "query"; "-d"; doc; "-p"; policy; "-u"; "robert"; "//[bad" ]
+  in
+  Alcotest.(check int) "bad xpath: exit 5" 5 code;
+  check_contains "bad xpath" output "xmlsecu: xpath error";
+  Alcotest.(check bool) "no backtrace" false (contains output "Raised at");
+  let bad_xupdate = write_temp ".xml" "<xupdate:modifications" in
+  let code, output =
+    run [ "update"; "-d"; doc; "-p"; policy; "-u"; "robert"; bad_xupdate ]
+  in
+  Alcotest.(check int) "bad xupdate envelope: exit 2" 2 code;
+  check_contains "bad xupdate envelope" output "xmlsecu: xml error";
+  let wrong_root = write_temp ".xml" "<not-modifications/>" in
+  let code, output =
+    run [ "update"; "-d"; doc; "-p"; policy; "-u"; "robert"; wrong_root ]
+  in
+  Alcotest.(check int) "bad xupdate: exit 6" 6 code;
+  check_contains "bad xupdate" output "xmlsecu: xupdate error";
+  Alcotest.(check bool) "no backtrace" false (contains output "Raised at");
+  let bad_dtd = write_temp ".dtd" "<!ELEMENT" in
+  let code, output = run [ "validate"; doc; "--dtd"; bad_dtd ] in
+  Alcotest.(check int) "bad dtd: exit 7" 7 code;
+  check_contains "bad dtd" output "xmlsecu: schema error"
+
+let test_atomic () =
+  let doc = doc_file () and policy = policy_file () in
+  let xupdate =
+    write_temp ".xml"
+      {|<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:update select="/patients/franck/diagnosis">pharyngitis</xupdate:update>
+</xupdate:modifications>|}
+  in
+  let code, output =
+    run [ "update"; "-d"; doc; "-p"; policy; "-u"; "beaufort"; "--atomic"; xupdate ]
+  in
+  Alcotest.(check int) "atomic denial: exit 9" 9 code;
+  check_contains "atomic denial" output "xmlsecu: txn error";
+  check_contains "atomic denial" output "rolled back";
+  (* The permitted writer commits the same batch atomically. *)
+  let code, output =
+    run [ "update"; "-d"; doc; "-p"; policy; "-u"; "laporte"; "--atomic"; xupdate ]
+  in
+  Alcotest.(check int) "atomic commit: exit 0" 0 code;
+  check_contains "atomic commit" output "pharyngitis"
+
+let test_persist () =
+  let doc = doc_file () and policy = policy_file () in
+  let dir = Filename.temp_file "xmlsecu" ".store" in
+  Sys.remove dir;
+  let xupdate =
+    write_temp ".xml"
+      {|<xupdate:modifications version="1.0" xmlns:xupdate="http://www.xmldb.org/xupdate">
+  <xupdate:update select="/patients/franck/diagnosis">pharyngitis</xupdate:update>
+</xupdate:modifications>|}
+  in
+  let reference = Filename.temp_file "xmlsecu" ".xml" in
+  let code, _ =
+    run
+      [ "update"; "-d"; doc; "-p"; policy; "-u"; "laporte"; "--persist"; dir;
+        "--repeat"; "3"; "-o"; reference; xupdate ]
+  in
+  Alcotest.(check int) "persisted update: exit 0" 0 code;
+  let code, output = run [ "recover"; "-p"; policy; dir; "--xml" ] in
+  Alcotest.(check int) "recover: exit 0" 0 code;
+  check_contains "recover" output "recovered seq 3";
+  check_contains "recover" output "pharyngitis";
+  let code, output = run [ "snapshot"; "-p"; policy; dir ] in
+  Alcotest.(check int) "snapshot: exit 0" 0 code;
+  check_contains "snapshot" output "snapshot written at seq 3";
+  (* Recovery after the snapshot replays nothing and agrees byte-for-byte
+     with the pre-crash database. *)
+  let recovered = Filename.temp_file "xmlsecu" ".xml" in
+  let code, output =
+    run [ "recover"; "-p"; policy; dir; "-o"; recovered ]
+  in
+  Alcotest.(check int) "recover from snapshot: exit 0" 0 code;
+  check_contains "recover from snapshot" output "0 txn(s) replayed";
+  let slurp path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  Alcotest.(check string) "recovered = reference" (slurp reference)
+    (slurp recovered);
+  let code, output = run [ "recover"; "-p"; policy; "/nonexistent-store" ] in
+  Alcotest.(check int) "missing store: exit 8" 8 code;
+  check_contains "missing store" output "xmlsecu: store error"
 
 let () =
   (* Only meaningful when the binary has been built (dune deps ensure it). *)
@@ -228,5 +321,7 @@ let () =
           Alcotest.test_case "repl" `Quick test_repl;
           Alcotest.test_case "lint" `Quick test_lint;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "atomic" `Quick test_atomic;
+          Alcotest.test_case "persist" `Quick test_persist;
         ] );
     ]

@@ -1,0 +1,538 @@
+(* The transactional write pipeline:
+
+   (a) equivalence — a tolerant [Txn.commit] of a random batch produces
+       exactly the state and reports of sequential [Secure_update.apply];
+   (b) atomicity — an aborting transaction (denied op, failing op, or
+       end-to-end validation failure, injected at a random position) is
+       observationally absent: source, views, audit ring and every metric
+       except [txn_aborts_total] are bit-for-bit untouched (≥200 seeded
+       cases);
+   (c) recovery — for {e every} byte-prefix of the journal,
+       [Txn.recover] reproduces the exact document at the last commit
+       boundary inside the prefix, and re-resolved permissions agree. *)
+
+open Xmldoc
+module D = Document
+module Op = Xupdate.Op
+module Prng = Workload.Prng
+
+let base_seed = 20250806
+
+(* ------------------------------------------------------------------ *)
+(* Generators (same pools as test_differential)                        *)
+(* ------------------------------------------------------------------ *)
+
+let target_paths =
+  [
+    "/patients"; "/patients/*"; "//service"; "//diagnosis"; "//visit";
+    "//note"; "//date"; "//diagnosis/text()"; "//service/text()";
+    "/patients/*[1]"; "/patients/*[last()]"; "//visit[@n = 1]";
+  ]
+
+let new_labels = [ "department"; "cured"; "zeta"; "checked" ]
+
+let fragments =
+  [
+    Tree.element "extra" [ Tree.text "note" ];
+    Tree.text "addendum";
+    Tree.element "audit"
+      [ Tree.attr "by" "harness"; Tree.element "stamp" [ Tree.text "t0" ] ];
+  ]
+
+let random_op rng =
+  let rng, path = Prng.pick rng target_paths in
+  let rng, kind = Prng.int rng 6 in
+  match kind with
+  | 0 ->
+    let rng, l = Prng.pick rng new_labels in
+    (rng, Op.rename path l)
+  | 1 ->
+    let rng, l = Prng.pick rng new_labels in
+    (rng, Op.update path l)
+  | 2 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.append path tree)
+  | 3 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_before path tree)
+  | 4 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_after path tree)
+  | _ -> (rng, Op.remove path)
+
+let random_batch rng n =
+  let rec go rng n acc =
+    if n = 0 then (rng, List.rev acc)
+    else
+      let rng, op = random_op rng in
+      go rng (n - 1) (op :: acc)
+  in
+  go rng n []
+
+let random_case seed =
+  let rng = Prng.create seed in
+  let rng, patients = Prng.int rng 5 in
+  let rng, visits = Prng.int rng 3 in
+  let doc =
+    Workload.Gen_doc.generate
+      {
+        Workload.Gen_doc.patients = patients + 2;
+        visits_per_patient = visits;
+        diagnosed_fraction = 0.7;
+        seed;
+      }
+  in
+  let rng, rules = Prng.int rng 8 in
+  let policy =
+    Workload.Gen_policy.random
+      { Workload.Gen_policy.rules = rules + 4; deny_fraction = 0.3; seed }
+  in
+  let rng, n = Prng.int rng 5 in
+  let rng, ops = random_batch rng (n + 1) in
+  (rng, doc, policy, ops)
+
+let pp_ops ops =
+  String.concat "; " (List.map (Format.asprintf "%a" Op.pp) ops)
+
+let repro ~seed ~doc ~policy ~ops what =
+  Printf.sprintf
+    "%s\n--- repro (seed %d) ---\nfacts: %s\npolicy:\n%s\nops: %s" what seed
+    (Xml_print.facts doc)
+    (Format.asprintf "%a" Core.Policy.pp policy)
+    (pp_ops ops)
+
+(* ------------------------------------------------------------------ *)
+(* (a) Txn.commit ≡ sequential Secure_update.apply                     *)
+(* ------------------------------------------------------------------ *)
+
+let render_report = Format.asprintf "%a" Core.Secure_update.pp_report
+
+let test_equivalence () =
+  let cases = 150 in
+  for case = 0 to cases - 1 do
+    let seed = base_seed + case in
+    let _, doc, policy, ops = random_case seed in
+    let fail what = Alcotest.fail (repro ~seed ~doc ~policy ~ops what) in
+    let s_seq, reports_seq =
+      Core.Secure_update.apply_all (Core.Session.login policy doc ~user:"u") ops
+    in
+    match
+      Core.Txn.commit ~on_denial:`Tolerate
+        (Core.Session.login policy doc ~user:"u")
+        ops
+    with
+    | Error err ->
+      fail
+        (Printf.sprintf "tolerant commit aborted: %s"
+           (Core.Txn.error_to_string err))
+    | Ok { Core.Txn.session = s_txn; reports = reports_txn; delta } ->
+      if not (D.equal (Core.Session.source s_txn) (Core.Session.source s_seq))
+      then fail "transactional source <> sequential source";
+      if not (D.equal (Core.Session.view s_txn) (Core.Session.view s_seq)) then
+        fail "transactional view <> sequential view";
+      List.iteri
+        (fun i (a, b) ->
+          let a = render_report a and b = render_report b in
+          if a <> b then
+            fail
+              (Printf.sprintf "report %d differs\ntxn: %s\nseq: %s" i a b))
+        (List.combine reports_txn reports_seq);
+      (* The merged delta is the union of the per-op deltas. *)
+      let manual =
+        List.fold_left
+          (fun acc (r : Core.Secure_update.report) ->
+            Core.Delta.union acc r.delta)
+          Core.Delta.empty reports_txn
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "merged delta (seed %d)" seed)
+        (Format.asprintf "%a" Core.Delta.pp manual)
+        (Format.asprintf "%a" Core.Delta.pp delta)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* (b) atomicity: aborts are observationally absent                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Fully-downward policy where update/insert/delete are granted
+   everywhere but //e's text is RESTRICTED (position without read), so
+   [rename //e/node()] is deterministically denied. *)
+let denial_doc () =
+  D.of_tree
+    (Tree.element "root"
+       [
+         Tree.element "a" [ Tree.element "x" [ Tree.text "one" ] ];
+         Tree.element "d" [ Tree.text "three" ];
+         Tree.element "e" [ Tree.text "secret" ];
+       ])
+
+let denial_policy () =
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  Core.Policy.v subjects
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"u"
+        ~priority:1;
+      Core.Rule.deny Core.Privilege.Read ~path:"//e/node()" ~subject:"u"
+        ~priority:2;
+      Core.Rule.accept Core.Privilege.Position ~path:"//e/node()" ~subject:"u"
+        ~priority:3;
+      Core.Rule.accept Core.Privilege.Update ~path:"//node()" ~subject:"u"
+        ~priority:4;
+      Core.Rule.accept Core.Privilege.Delete ~path:"//node()" ~subject:"u"
+        ~priority:5;
+      Core.Rule.accept Core.Privilege.Insert ~path:"//node()" ~subject:"u"
+        ~priority:6;
+    ]
+
+let denial_ops rng =
+  let pool =
+    [
+      Op.update "//d" "cured"; Op.rename "//a" "b"; Op.remove "//x";
+      Op.append "//d" (Tree.element "extra" [ Tree.text "n" ]);
+      Op.insert_after "//a" (Tree.element "tail" []);
+    ]
+  in
+  let rec go rng n acc =
+    if n = 0 then (rng, List.rev acc)
+    else
+      let rng, op = Prng.pick rng pool in
+      go rng (n - 1) (op :: acc)
+  in
+  let rng, n = Prng.int rng 4 in
+  go rng n []
+
+let histogram_counts () =
+  List.map
+    (fun name ->
+      (name, Obs.Metrics.count (Obs.Metrics.histogram Obs.Metrics.default name)))
+    (Obs.Metrics.histogram_names Obs.Metrics.default)
+
+(* One abort case: run [commit] (expected to return [Error]) and assert
+   the world is unchanged except for one [txn_aborts_total] tick. *)
+let assert_clean_abort ~name ~session ?validate ops expect =
+  let doc0 = Core.Session.source session in
+  let view0 = Core.Session.view session in
+  let counters0 = Obs.Metrics.counters Obs.Metrics.default in
+  let hists0 = histogram_counts () in
+  let audit0 = Obs.Audit.to_json Obs.Audit.default in
+  (match Core.Txn.commit ?validate session ops with
+   | Ok _ -> Alcotest.failf "%s: expected an abort" name
+   | Error err ->
+     (match (expect, err) with
+      | `Denied, Core.Txn.Denied _
+      | `Failed, Core.Txn.Failed _
+      | `Invalid, Core.Txn.Invalid _ -> ()
+      | _ ->
+        Alcotest.failf "%s: wrong abort class: %s" name
+          (Core.Txn.error_to_string err)));
+  if not (D.equal (Core.Session.source session) doc0) then
+    Alcotest.failf "%s: source changed across an abort" name;
+  if not (D.equal (Core.Session.view session) view0) then
+    Alcotest.failf "%s: view changed across an abort" name;
+  Alcotest.(check string)
+    (Printf.sprintf "%s: audit ring untouched" name)
+    audit0
+    (Obs.Audit.to_json Obs.Audit.default);
+  Alcotest.(check (list (pair string int)))
+    (Printf.sprintf "%s: no histogram observed" name)
+    hists0 (histogram_counts ());
+  let counters1 = Obs.Metrics.counters Obs.Metrics.default in
+  List.iter
+    (fun (n, v1) ->
+      let v0 = try List.assoc n counters0 with Not_found -> 0 in
+      let expect = if n = "txn_aborts_total" then v0 + 1 else v0 in
+      if v1 <> expect then
+        Alcotest.failf "%s: counter %s moved across an abort (%d -> %d)" name n
+          v0 v1)
+    counters1
+
+let test_atomicity () =
+  Obs.Audit.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.Audit.set_enabled false) @@ fun () ->
+  let cases = 210 in
+  for case = 0 to cases - 1 do
+    let seed = base_seed + 10_000 + case in
+    let rng = Prng.create seed in
+    let rng, scenario = Prng.int rng 3 in
+    match scenario with
+    | 0 ->
+      (* A deterministically denied op at a random position in a batch of
+         permitted ops. *)
+      let rng, prefix = denial_ops rng in
+      let _, suffix = denial_ops rng in
+      let ops = prefix @ [ Op.rename "//e/node()" "leak" ] @ suffix in
+      let session =
+        Core.Session.login (denial_policy ()) (denial_doc ()) ~user:"u"
+      in
+      assert_clean_abort ~name:(Printf.sprintf "denied (seed %d)" seed)
+        ~session ops `Denied
+    | 1 ->
+      (* An op that raises at evaluation time (unbound variable in a
+         predicate) at a random position in a random batch.  Denials may
+         legitimately abort first. *)
+      let _, doc, policy, ops = random_case seed in
+      let rng, pos = Prng.int (Prng.create (seed + 1)) (List.length ops + 1) in
+      ignore rng;
+      let ops =
+        List.filteri (fun i _ -> i < pos) ops
+        @ [ Op.remove "//service[$no_such_variable = 1]" ]
+        @ List.filteri (fun i _ -> i >= pos) ops
+      in
+      let session = Core.Session.login policy doc ~user:"u" in
+      let name = Printf.sprintf "failing (seed %d)" seed in
+      (* A denial earlier in the batch aborts before the bad op; and a
+         view with no matching candidates never evaluates the predicate
+         at all — then force an abort through validation instead, so
+         every case exercises rollback. *)
+      (match Core.Txn.commit session ops with
+       | Error (Core.Txn.Denied _) ->
+         assert_clean_abort ~name ~session ops `Denied
+       | Error (Core.Txn.Failed _) ->
+         assert_clean_abort ~name ~session ops `Failed
+       | _ ->
+         assert_clean_abort ~name ~session
+           ~validate:(fun _ -> [ "forced violation" ])
+           ops `Invalid)
+    | _ ->
+      (* End-to-end validation rejects the staged document. *)
+      let _, doc, policy, ops = random_case seed in
+      let session = Core.Session.login policy doc ~user:"u" in
+      let expect =
+        match Core.Txn.commit session ops with
+        | Error (Core.Txn.Denied _) -> `Denied
+        | _ -> `Invalid
+      in
+      assert_clean_abort ~name:(Printf.sprintf "invalid (seed %d)" seed)
+        ~session
+        ~validate:(fun _ -> [ "forced violation" ])
+        ops expect
+  done
+
+(* The scenario-1/2 pre-probes above run commits of their own; make sure
+   the counters they move are the transaction counters we think they are
+   (the pre-probe commit is itself abort-clean, so the probe + the real
+   run tick txn_aborts_total twice — assert_clean_abort snapshots after
+   the probe, so it sees exactly one). *)
+
+let test_commit_metrics () =
+  let session =
+    Core.Session.login (denial_policy ()) (denial_doc ()) ~user:"u"
+  in
+  let commits0 =
+    List.assoc "txn_commits_total" (Obs.Metrics.counters Obs.Metrics.default)
+  in
+  (match Core.Txn.commit session [ Op.update "//d" "cured" ] with
+   | Ok c ->
+     Alcotest.(check int) "one report" 1 (List.length c.Core.Txn.reports)
+   | Error e -> Alcotest.failf "commit failed: %s" (Core.Txn.error_to_string e));
+  Alcotest.(check int) "txn_commits_total ticked" (commits0 + 1)
+    (List.assoc "txn_commits_total" (Obs.Metrics.counters Obs.Metrics.default))
+
+(* ------------------------------------------------------------------ *)
+(* (c) crash recovery at every journal byte-prefix                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_temp_dir () =
+  let path = Filename.temp_file "xmlsecu-txn" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let spit path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+module P = Core.Paper_example
+
+(* A deterministic multi-writer script where every batch commits. *)
+let script =
+  [
+    (P.laporte, [ Op.update "/patients/franck/diagnosis" "pharyngitis" ]);
+    (P.beaufort, [ Op.rename "/patients/robert" "r2" ]);
+    ( P.laporte,
+      [
+        Op.update "/patients/franck/diagnosis" "cured";
+        Op.append "/patients/franck/diagnosis" (Tree.text "confirmed");
+      ] );
+    ( P.beaufort,
+      [
+        Op.rename "/patients/r2" "robert";
+        Op.append "/patients"
+          (Tree.element "zoe" [ Tree.element "service" [ Tree.text "surgery" ] ]);
+      ] );
+    (P.laporte, [ Op.remove "/patients/franck/diagnosis/node()" ]);
+  ]
+
+let build_store dir =
+  let store = Store.open_dir dir in
+  let doc0 = P.document () in
+  Store.init store doc0;
+  let journal = Filename.concat dir "journal.log" in
+  let serve = Core.Serve.create ~persist:store P.policy doc0 in
+  (* boundaries: (journal size at the commit point, seq, expected doc),
+     oldest first, starting with the empty journal. *)
+  let boundaries = ref [ (file_size journal, 0, doc0) ] in
+  List.iteri
+    (fun i (user, ops) ->
+      match Core.Serve.commit serve ~user ops with
+      | Ok _ ->
+        boundaries :=
+          (file_size journal, i + 1, Core.Serve.source serve) :: !boundaries
+      | Error e ->
+        Alcotest.failf "script step %d aborted: %s" i
+          (Core.Txn.error_to_string e))
+    script;
+  Store.close store;
+  (List.rev !boundaries, slurp journal)
+
+(* Copy the store with the journal truncated to [p] bytes. *)
+let truncated_copy src bytes p =
+  let dir = mk_temp_dir () in
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".snap" then
+        spit (Filename.concat dir f) (slurp (Filename.concat src f)))
+    (Sys.readdir src);
+  spit (Filename.concat dir "journal.log") (String.sub bytes 0 p);
+  dir
+
+let check_recovered ~p ~expected_seq ~expected_doc ~torn r =
+  if r.Core.Txn.seq <> expected_seq then
+    Alcotest.failf "prefix %d: recovered seq %d, expected %d" p r.Core.Txn.seq
+      expected_seq;
+  if r.Core.Txn.torn_bytes <> torn then
+    Alcotest.failf "prefix %d: torn %d, expected %d" p r.Core.Txn.torn_bytes
+      torn;
+  if not (D.equal r.Core.Txn.doc expected_doc) then
+    Alcotest.failf "prefix %d: recovered state diverges\ngot:  %s\nwant: %s" p
+      (Xml_print.facts r.Core.Txn.doc)
+      (Xml_print.facts expected_doc)
+
+(* Permissions re-resolved on the recovered document agree with the
+   pre-crash ones: every user's freshly derived view is equal. *)
+let check_perm_agreement recovered expected =
+  List.iter
+    (fun user ->
+      let vr =
+        Core.Session.view (Core.Session.login P.policy recovered ~user)
+      in
+      let ve = Core.Session.view (Core.Session.login P.policy expected ~user) in
+      if not (D.equal vr ve) then
+        Alcotest.failf "recovered view for %s diverges" user)
+    [ P.laporte; P.beaufort; P.richard; P.robert ]
+
+let test_recovery_every_prefix () =
+  let src = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf src) @@ fun () ->
+  let boundaries, bytes = build_store src in
+  let base = match boundaries with (b, _, _) :: _ -> b | [] -> 0 in
+  Alcotest.(check int) "script fully journalled"
+    (List.length script + 1) (List.length boundaries);
+  for p = base to String.length bytes do
+    (* The last boundary at or below p is the recoverable state. *)
+    let off, seq, doc =
+      List.fold_left
+        (fun acc (off, seq, doc) -> if off <= p then (off, seq, doc) else acc)
+        (List.hd boundaries) boundaries
+    in
+    let dir = truncated_copy src bytes p in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let r = Core.Txn.recover P.policy dir in
+    check_recovered ~p ~expected_seq:seq ~expected_doc:doc ~torn:(p - off) r;
+    (* Permission agreement on every commit boundary (cheap enough since
+       boundaries are few; intermediate prefixes reuse the same doc). *)
+    if p = off then check_perm_agreement r.Core.Txn.doc doc
+  done;
+  (* Full journal recovers the final state with nothing torn. *)
+  let r = Core.Txn.recover P.policy src in
+  let _, seq, final = List.nth boundaries (List.length boundaries - 1) in
+  check_recovered ~p:(String.length bytes) ~expected_seq:seq
+    ~expected_doc:final ~torn:0 r;
+  check_perm_agreement r.Core.Txn.doc final
+
+let test_recovery_corrupt_middle () =
+  let src = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf src) @@ fun () ->
+  let boundaries, bytes = build_store src in
+  (* Flip a byte inside the third record: recovery stops at seq 2 and
+     discards everything after, checksum first. *)
+  let off2, seq2, doc2 = List.nth boundaries 2 in
+  let corrupt = Bytes.of_string bytes in
+  Bytes.set corrupt (off2 + 20)
+    (Char.chr (Char.code (Bytes.get corrupt (off2 + 20)) lxor 0x01));
+  let dir = truncated_copy src (Bytes.to_string corrupt) (Bytes.length corrupt) in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r = Core.Txn.recover P.policy dir in
+  Alcotest.(check int) "stops before the corrupt record" seq2 r.Core.Txn.seq;
+  Alcotest.(check int) "rest is torn"
+    (String.length bytes - off2)
+    r.Core.Txn.torn_bytes;
+  Alcotest.(check bool) "state at the last good boundary" true
+    (D.equal r.Core.Txn.doc doc2)
+
+let test_recovery_with_snapshots () =
+  (* Auto-snapshot every 2 commits: recovery starts from the newest
+     snapshot and replays only the tail; the result is unchanged. *)
+  let src = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf src) @@ fun () ->
+  let store = Store.open_dir ~snapshot_every:2 src in
+  let doc0 = P.document () in
+  Store.init store doc0;
+  let serve = Core.Serve.create ~persist:store P.policy doc0 in
+  List.iter
+    (fun (user, ops) ->
+      match Core.Serve.commit serve ~user ops with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Core.Txn.error_to_string e))
+    script;
+  let final = Core.Serve.source serve in
+  Store.close store;
+  let r = Core.Txn.recover P.policy src in
+  Alcotest.(check int) "recovered seq" (List.length script) r.Core.Txn.seq;
+  Alcotest.(check int) "replays only past the snapshot" 1 r.Core.Txn.replayed;
+  Alcotest.(check int) "snapshot at seq 4" 4 r.Core.Txn.snapshot_seq;
+  Alcotest.(check bool) "state equal" true (D.equal r.Core.Txn.doc final)
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "150 seeded batches ≡ sequential apply" `Quick
+            test_equivalence;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "210 seeded aborts are observationally absent"
+            `Quick test_atomicity;
+          Alcotest.test_case "commit metrics" `Quick test_commit_metrics;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "every journal byte-prefix" `Quick
+            test_recovery_every_prefix;
+          Alcotest.test_case "corrupt middle record" `Quick
+            test_recovery_corrupt_middle;
+          Alcotest.test_case "snapshot + tail replay" `Quick
+            test_recovery_with_snapshots;
+        ] );
+    ]
