@@ -195,6 +195,74 @@ let write_output output xml =
     close_out oc;
     Printf.printf "wrote %s\n" path
 
+(* --- live monitoring ------------------------------------------------------ *)
+
+let monitor_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "monitor-port" ] ~docv:"PORT"
+        ~doc:"Serve /metrics, /healthz, /tracez, /auditz and /eventz on \
+              this loopback port while the command runs (0 picks an \
+              ephemeral port; the chosen one is printed to stderr).")
+
+(* Health probes for /healthz: journal directory writability, snapshot
+   lag against --snapshot-every, and pool responsiveness (an actual
+   no-op batch, not just a size report). *)
+let monitor_probes ~store ~pool () =
+  let store_probes =
+    match store with
+    | None -> []
+    | Some store ->
+      let every = Store.snapshot_every store in
+      let lag = Store.snapshot_lag store in
+      let ok = every = 0 || lag < 2 * every in
+      let age =
+        match Store.seconds_since_snapshot () with
+        | Some s -> Printf.sprintf "%.1fs since last snapshot" s
+        | None -> "no snapshot this run"
+      in
+      [
+        Monitor.writable_dir_probe (Store.dir store);
+        Monitor.probe ~name:"snapshot_age" ~ok
+          ~detail:
+            (if every = 0 then "automatic snapshots off"
+             else Printf.sprintf "lag %d txn(s) of every %d; %s" lag every age);
+      ]
+  in
+  let pool_probes =
+    match pool with
+    | None -> []
+    | Some pool -> (
+      match Core.Pool.run pool [ (fun _ -> ()) ] with
+      | () ->
+        [
+          Monitor.probe ~name:"pool" ~ok:true
+            ~detail:
+              (Printf.sprintf "responsive (size %d)" (Core.Pool.size pool));
+        ]
+      | exception e ->
+        [
+          Monitor.probe ~name:"pool" ~ok:false
+            ~detail:(Printexc.to_string e);
+        ])
+  in
+  store_probes @ pool_probes
+
+let with_monitor ?store ?pool monitor_port f =
+  match monitor_port with
+  | None -> f ()
+  | Some port ->
+    (* A live scrape without the event log is half blind; monitoring
+       opt-in turns it on (counters and gauges are always on). *)
+    Obs.Events.set_enabled true;
+    let m =
+      Monitor.start ~port ~probes:(fun () -> monitor_probes ~store ~pool ()) ()
+    in
+    Printf.eprintf "xmlsecu: monitoring on http://127.0.0.1:%d\n%!"
+      (Monitor.port m);
+    Fun.protect ~finally:(fun () -> Monitor.stop m) f
+
 let update_cmd =
   let xupdate_arg =
     Arg.(
@@ -226,7 +294,7 @@ let update_cmd =
                 per-op reports are only printed when N = 1).")
   in
   let run doc policy_path user xupdate_file output atomic repeat persist
-      snapshot_every fsync =
+      snapshot_every fsync monitor_port =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy_path) in
         let ops = Xupdate.Xupdate_xml.ops_of_string (read_file xupdate_file) in
@@ -245,6 +313,8 @@ let update_cmd =
           (fun () ->
             let serve = Core.Serve.create ?persist:store policy source in
             Core.Serve.login serve ~user;
+            with_monitor ?store ~pool:(Core.Serve.pool serve) monitor_port
+            @@ fun () ->
             let code = ref 0 in
             (try
                for _ = 1 to repeat do
@@ -275,7 +345,7 @@ let update_cmd =
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ xupdate_arg $ output_arg
       $ atomic_flag $ repeat_arg $ persist_arg $ snapshot_every_arg
-      $ fsync_flag)
+      $ fsync_flag $ monitor_port_arg)
 
 (* --- snapshot / recover ----------------------------------------------------- *)
 
@@ -545,7 +615,8 @@ let stats_cmd =
           ~doc:"Log this additional user in (repeatable); their sessions \
                 are rebased on every update broadcast.")
   in
-  let run doc policy user queries update_file json spans pool logins persist =
+  let run doc policy user queries update_file json spans pool logins persist
+      monitor_port =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy) in
         let store, source =
@@ -566,6 +637,8 @@ let stats_cmd =
               Core.Serve.create ~pool:(Core.Pool.create pool) ?persist:store
                 policy source
             in
+            with_monitor ?store ~pool:(Core.Serve.pool serve) monitor_port
+            @@ fun () ->
             Core.Serve.login serve ~user;
             Core.Serve.login_many serve logins;
             List.iter
@@ -605,7 +678,163 @@ let stats_cmd =
              registry (Prometheus text or JSON) and request spans.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
-      $ json_flag $ spans_flag $ pool_arg $ logins_arg $ persist_arg)
+      $ json_flag $ spans_flag $ pool_arg $ logins_arg $ persist_arg
+      $ monitor_port_arg)
+
+(* --- monitor -------------------------------------------------------------- *)
+
+let monitor_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Port to serve on (default 0 = ephemeral; the chosen port \
+                is printed).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Exit after this many seconds (0 = run until killed).")
+  in
+  let pool_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pool" ] ~docv:"N"
+          ~doc:"Worker-domain pool size for broadcast fan-out (1 = \
+                sequential).")
+  in
+  let logins_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "login" ] ~docv:"USER"
+          ~doc:"Log this additional user in (repeatable).")
+  in
+  let run doc policy user port duration pool logins persist snapshot_every
+      fsync =
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        let store, source =
+          match persist with
+          | None -> (None, load_doc doc)
+          | Some dir ->
+            let store, source =
+              open_store ~policy ~doc_path:doc ~fsync ~snapshot_every dir
+            in
+            (Some store, source)
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Store.close store)
+          (fun () ->
+            let serve =
+              Core.Serve.create ~pool:(Core.Pool.create pool) ?persist:store
+                policy source
+            in
+            Core.Serve.login serve ~user;
+            Core.Serve.login_many serve logins;
+            (* The monitor process is all about visibility: turn every
+               observability layer on. *)
+            Obs.Trace.set_enabled true;
+            Obs.Audit.set_enabled true;
+            Obs.Events.set_enabled true;
+            let m =
+              Monitor.start ~port
+                ~probes:(fun () ->
+                  monitor_probes ~store ~pool:(Some (Core.Serve.pool serve)) ())
+                ()
+            in
+            Printf.printf
+              "xmlsecu: serving http://127.0.0.1:%d{/metrics,/healthz,/tracez,/auditz,/eventz}\n%!"
+              (Monitor.port m);
+            Fun.protect
+              ~finally:(fun () -> Monitor.stop m)
+              (fun () ->
+                if duration > 0. then Unix.sleepf duration
+                else
+                  while true do
+                    Unix.sleepf 3600.
+                  done);
+            0))
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:"Run a logged-in server and serve the live monitoring surface \
+             (/metrics, /healthz, /tracez, /auditz, /eventz) over HTTP \
+             until killed.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ port_arg $ duration_arg
+      $ pool_arg $ logins_arg $ persist_arg $ snapshot_every_arg $ fsync_flag)
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let query_args =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"XPATH"
+          ~doc:"XPath queries to serve (each evaluated on the user's lazy \
+                view) while tracing.")
+  in
+  let update_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "update" ] ~docv:"XUPDATE"
+          ~doc:"Also apply this <xupdate:modifications> document through \
+                the secure write path while tracing.")
+  in
+  let chrome_flag =
+    Arg.(
+      value & flag
+      & info [ "chrome" ]
+          ~doc:"Emit Chrome trace-event JSON (load it in chrome://tracing \
+                or Perfetto) instead of indented span trees.")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace here (default: stdout).")
+  in
+  let run doc policy user queries update_file chrome json output =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        Obs.Trace.set_enabled true;
+        let serve = Core.Serve.create policy doc in
+        Core.Serve.login serve ~user;
+        List.iter (fun q -> ignore (Core.Serve.query serve ~user q)) queries;
+        (match update_file with
+         | None -> ()
+         | Some path ->
+           let ops = Xupdate.Xupdate_xml.ops_of_string (read_file path) in
+           ignore (Core.Serve.update_all serve ~user ops));
+        Obs.Trace.set_enabled false;
+        let rendered =
+          if chrome then Obs.Trace.to_chrome_json ()
+          else if json then Obs.Trace.roots_to_json ()
+          else
+            String.concat ""
+              (List.map Obs.Trace.to_string (Obs.Trace.roots ()))
+        in
+        (match output with
+         | None -> print_string rendered
+         | Some path ->
+           let oc = open_out path in
+           output_string oc rendered;
+           close_out oc;
+           Printf.printf "wrote %s\n" path);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Serve queries/updates with span tracing on and export the span \
+             trees (text, JSON, or Chrome trace-event format).")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
+      $ chrome_flag $ json_flag $ output_arg)
 
 (* --- audit ---------------------------------------------------------------- *)
 
@@ -720,7 +949,7 @@ let main =
     [
       view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
       stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd; stats_cmd;
-      audit_cmd; snapshot_cmd; recover_cmd;
+      audit_cmd; snapshot_cmd; recover_cmd; monitor_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

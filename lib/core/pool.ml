@@ -12,6 +12,10 @@ let m_spawned =
   Obs.Metrics.counter Obs.Metrics.default "pool_domains_spawned_total"
     ~help:"Helper domains spawned for pool batches"
 
+let g_inflight =
+  Obs.Metrics.gauge Obs.Metrics.default "pool_inflight_tasks"
+    ~help:"Tasks queued or running in the current pool batch"
+
 (* Per-slot utilisation counters, registered on first use; the registry
    deduplicates by name so repeated lookups are cheap and idempotent. *)
 let worker_counter =
@@ -47,49 +51,66 @@ let run t tasks =
   | [] -> ()
   | tasks ->
     Obs.Metrics.inc m_runs;
-    Obs.Metrics.add m_tasks (List.length tasks);
-    if t.size = 1 then begin
-      let c0 = worker_counter 0 in
-      List.iter
-        (fun task ->
-          Obs.Metrics.inc c0;
-          task 0)
-        tasks
-    end
-    else begin
-      let arr = Array.of_list tasks in
-      let next = Atomic.make 0 in
-      let failure = Atomic.make None in
-      let worker slot =
-        let c = worker_counter slot in
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < Array.length arr then begin
-            (try
-               Obs.Metrics.inc c;
-               arr.(i) slot
-             with e ->
-               let bt = Printexc.get_raw_backtrace () in
-               (* keep the first failure; the batch still drains so no
-                  task is silently skipped *)
-               ignore
-                 (Atomic.compare_and_set failure None (Some (e, bt))));
+    let n = List.length tasks in
+    Obs.Metrics.add m_tasks n;
+    (* Queue-depth gauge: +batch on entry, -1 as each task finishes; the
+       protect rewinds whatever is left if a task escapes (size-1 path)
+       so the gauge returns to its resting level either way. *)
+    Obs.Metrics.add_gauge g_inflight (float n);
+    let done_count = Atomic.make 0 in
+    let task_done () =
+      Atomic.incr done_count;
+      Obs.Metrics.add_gauge g_inflight (-1.)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Metrics.add_gauge g_inflight
+          (float (Atomic.get done_count - n)))
+      (fun () ->
+        if t.size = 1 then begin
+          let c0 = worker_counter 0 in
+          List.iter
+            (fun task ->
+              Obs.Metrics.inc c0;
+              task 0;
+              task_done ())
+            tasks
+        end
+        else begin
+          let arr = Array.of_list tasks in
+          let next = Atomic.make 0 in
+          let failure = Atomic.make None in
+          let worker slot =
+            let c = worker_counter slot in
+            let rec loop () =
+              let i = Atomic.fetch_and_add next 1 in
+              if i < Array.length arr then begin
+                (try
+                   Obs.Metrics.inc c;
+                   arr.(i) slot
+                 with e ->
+                   let bt = Printexc.get_raw_backtrace () in
+                   (* keep the first failure; the batch still drains so no
+                      task is silently skipped *)
+                   ignore
+                     (Atomic.compare_and_set failure None (Some (e, bt))));
+                task_done ();
+                loop ()
+              end
+            in
             loop ()
-          end
-        in
-        loop ()
-      in
-      let helpers = min t.size (Array.length arr) - 1 in
-      Obs.Metrics.add m_spawned helpers;
-      let domains =
-        List.init helpers (fun k -> Domain.spawn (fun () -> worker (k + 1)))
-      in
-      worker 0;
-      List.iter Domain.join domains;
-      match Atomic.get failure with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> ()
-    end
+          in
+          let helpers = min t.size (Array.length arr) - 1 in
+          Obs.Metrics.add m_spawned helpers;
+          let domains =
+            List.init helpers (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+          in
+          worker 0;
+          List.iter Domain.join domains;
+          match Atomic.get failure with
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ()
+        end)
 
 let map t f xs =
   let arr = Array.of_list xs in

@@ -44,6 +44,11 @@ let h_apply =
   Obs.Metrics.histogram Obs.Metrics.default "secure_update_seconds"
     ~help:"Secure update latency incl. incremental view maintenance"
 
+let f_decisions =
+  Obs.Metrics.family Obs.Metrics.default "decisions_total"
+    ~labels:[ "privilege"; "decision" ]
+    ~help:"Per-node privilege check outcomes (axioms 18-25)"
+
 (* The deciding rule behind a privilege check, rendered the way Explain
    reports it — what the audit trail shows next to each decision. *)
 let rule_string session privilege id =
@@ -60,6 +65,14 @@ let rule_string session privilege id =
    permissions the check actually consulted. *)
 let audited_holds ~emit session ~action privilege id =
   let ok = Session.holds session privilege id in
+  (* The labelled cell is resolved at decision time but incremented
+     through [emit], like the audit event: an aborted transaction must
+     not move decisions_total either. *)
+  let cell =
+    Obs.Metrics.labels f_decisions
+      [ Privilege.to_string privilege; (if ok then "allow" else "deny") ]
+  in
+  emit (fun () -> Obs.Metrics.inc cell);
   if Obs.Audit.enabled () then begin
     let user = Session.user session in
     let privilege_s = Privilege.to_string privilege in

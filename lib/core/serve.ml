@@ -51,9 +51,17 @@ let h_broadcast =
   Obs.Metrics.histogram Obs.Metrics.default "serve_broadcast_seconds"
     ~help:"Broadcast fan-out latency (all non-writer rebases)"
 
+let g_sessions =
+  Obs.Metrics.gauge Obs.Metrics.default "serve_sessions"
+    ~help:"Currently logged-in sessions"
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Call with the lock held (or from single-threaded setup paths). *)
+let sync_session_gauge t =
+  Obs.Metrics.set_gauge g_sessions (float (Hashtbl.length t.sessions))
 
 let create ?(pool = Pool.create 1) ?persist policy source =
   {
@@ -78,7 +86,8 @@ let login t ~user =
     let e = fresh_entry t ~user in
     locked t (fun () ->
         if not (Hashtbl.mem t.sessions user) then
-          Hashtbl.replace t.sessions user e)
+          Hashtbl.replace t.sessions user e;
+        sync_session_gauge t)
   end
 
 (* Login-time fan-out: conflict resolution ([Perm.compute], inside
@@ -105,9 +114,13 @@ let login_many t users =
             if not (Hashtbl.mem t.sessions arr.(i)) then
               Hashtbl.replace t.sessions arr.(i) e
           | None -> ())
-        out)
+        out;
+      sync_session_gauge t)
 
-let logout t ~user = locked t (fun () -> Hashtbl.remove t.sessions user)
+let logout t ~user =
+  locked t (fun () ->
+      Hashtbl.remove t.sessions user;
+      sync_session_gauge t)
 
 let users t =
   List.sort String.compare
@@ -149,7 +162,7 @@ let query t ~user q =
       Obs.Audit.Allowed;
   ids
 
-let rebase_entry ?slot source delta e =
+let rebase_entry ?slot ?txn source delta e =
   Obs.Metrics.inc m_fanout;
   Obs.Trace.with_span "session.rebase" @@ fun () ->
   (match slot with
@@ -172,6 +185,16 @@ let rebase_entry ?slot source delta e =
       Delta.all
     end
   in
+  (* Pool workers run on other domains, where the ambient correlation id
+     is absent — the writer's id travels explicitly. *)
+  Obs.Events.emit ?txn
+    (Obs.Events.Rebase
+       {
+         user = Session.user session;
+         mode =
+           (if Session.policy_local session then "incremental"
+            else "full-refresh");
+       });
   e.session <- session;
   e.lazy_view <-
     Lazy_view.rebase e.lazy_view source (Session.perm session) lazy_delta
@@ -186,10 +209,15 @@ type committed = {
    registration under the lock, and a single per-batch broadcast fan-out
    of the merged delta (one rebase per session per batch, not per op). *)
 let commit ?(on_denial = `Abort) t ~user ops =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Mono.now () in
   Obs.Trace.with_span "serve.commit" @@ fun () ->
   Obs.Trace.annotate "user" user;
   Obs.Trace.annotate "ops" (string_of_int (List.length ops));
+  (* One correlation id covers the whole write: Txn.commit reuses the
+     ambient id, and the journal append / fsync / snapshot events inside
+     Store.append inherit it from the same scope. *)
+  let txn = Obs.Events.next_txn () in
+  Obs.Events.with_txn txn @@ fun () ->
   let e = entry t ~user in
   match Txn.commit ~on_denial e.session ops with
   | Error _ as err -> err
@@ -241,11 +269,13 @@ let commit ?(on_denial = `Abort) t ~user ops =
               Obs.Trace.annotate "sessions"
                 (string_of_int (List.length others));
               Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
+              Obs.Events.emit
+                (Obs.Events.Broadcast { sessions = List.length others });
               Pool.run t.pool
                 (List.map
-                   (fun e' slot -> rebase_entry ~slot source' delta e')
+                   (fun e' slot -> rebase_entry ~slot ~txn source' delta e')
                    others)));
-    Obs.Metrics.observe h_update (Unix.gettimeofday () -. t0);
+    Obs.Metrics.observe h_update (Obs.Mono.now () -. t0);
     Ok { reports; delta }
 
 (* The historical per-op entry point, now a thin tolerant wrapper: §4.4.2

@@ -43,6 +43,24 @@ let h_commit =
   Obs.Metrics.histogram Obs.Metrics.default "txn_commit_seconds"
     ~help:"Latency of committed transactions (staging + validation + flush)"
 
+(* Outcome family: commit / abort / tolerated_denial (a `Tolerate commit
+   that downgraded at least one denied target, §4.4.2).  The abort cell
+   is the one labelled instrument an aborted transaction is allowed to
+   move — it is the family view of txn_aborts_total. *)
+let f_outcomes =
+  Obs.Metrics.family Obs.Metrics.default "txn_outcomes_total"
+    ~labels:[ "outcome" ]
+    ~help:"Transaction outcomes by kind"
+
+let cell_commit = Obs.Metrics.labels f_outcomes [ "commit" ]
+let cell_abort = Obs.Metrics.labels f_outcomes [ "abort" ]
+let cell_tolerated = Obs.Metrics.labels f_outcomes [ "tolerated_denial" ]
+
+let f_ops_by_kind =
+  Obs.Metrics.family Obs.Metrics.default "xupdate_ops_total"
+    ~labels:[ "kind" ]
+    ~help:"Committed XUpdate operations by operation kind"
+
 let merged_delta reports =
   List.fold_left
     (fun acc (r : Secure_update.report) -> Delta.union acc r.delta)
@@ -67,11 +85,26 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
   Obs.Trace.with_span "txn.commit" @@ fun () ->
   Obs.Trace.annotate "user" (Session.user session);
   Obs.Trace.annotate "ops" (string_of_int (List.length ops));
-  let t0 = Unix.gettimeofday () in
+  (* Correlation id: reuse the ambient one when a caller (Serve.commit)
+     already opened a transaction scope, otherwise start our own so a
+     standalone commit's events still correlate. *)
+  let txn =
+    match Obs.Events.current_txn () with
+    | 0 -> Obs.Events.next_txn ()
+    | id -> id
+  in
+  Obs.Events.with_txn txn @@ fun () ->
+  Obs.Trace.annotate "txn" (string_of_int txn);
+  Obs.Events.emit
+    (Obs.Events.Txn_begin
+       { user = Session.user session; ops = List.length ops });
+  let t0 = Obs.Mono.now () in
   let defer = Queue.create () in
   let abort err =
     Obs.Trace.annotate "outcome" "aborted";
     Obs.Metrics.inc m_aborts;
+    Obs.Metrics.inc cell_abort;
+    Obs.Events.emit (Obs.Events.Abort { reason = error_to_string err });
     Error err
   in
   let rec stage_all i session reports = function
@@ -80,9 +113,19 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
       match Secure_update.stage ~defer session op with
       | exception exn -> Error (Failed { index = i; op; exn })
       | session', report ->
-        if on_denial = `Abort && report.Secure_update.denied <> [] then
+        Obs.Events.emit
+          (Obs.Events.Stage { index = i; op = Xupdate.Op.name op });
+        if on_denial = `Abort && report.Secure_update.denied <> [] then begin
+          Obs.Events.emit
+            (Obs.Events.Denial
+               {
+                 index = i;
+                 op = Xupdate.Op.name op;
+                 denied = List.length report.Secure_update.denied;
+               });
           Error
             (Denied { index = i; op; denials = report.Secure_update.denied })
+        end
         else stage_all (i + 1) session' (report :: reports) rest)
   in
   match stage_all 0 session [] ops with
@@ -94,14 +137,32 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
     with
     | exception exn ->
       abort (Invalid { reports; violations = [ Printexc.to_string exn ] })
-    | _ :: _ as violations -> abort (Invalid { reports; violations })
+    | _ :: _ as violations ->
+      Obs.Events.emit
+        (Obs.Events.Validation_failure { violations = List.length violations });
+      abort (Invalid { reports; violations })
     | [] ->
       (* Commit point: the staged observations become real. *)
       Queue.iter (fun event -> event ()) defer;
       Secure_update.record_committed reports;
       Obs.Metrics.inc m_commits;
       Obs.Metrics.add m_txn_ops (List.length reports);
-      Obs.Metrics.observe h_commit (Unix.gettimeofday () -. t0);
+      let denied =
+        List.fold_left
+          (fun acc (r : Secure_update.report) ->
+            acc + List.length r.denied)
+          0 reports
+      in
+      Obs.Metrics.inc (if denied > 0 then cell_tolerated else cell_commit);
+      List.iter
+        (fun (r : Secure_update.report) ->
+          Obs.Metrics.inc
+            (Obs.Metrics.labels f_ops_by_kind
+               [ Xupdate.Op.name r.Secure_update.op ]))
+        reports;
+      Obs.Metrics.observe h_commit (Obs.Mono.now () -. t0);
+      Obs.Events.emit
+        (Obs.Events.Commit { ops = List.length reports; denied });
       Obs.Trace.annotate "outcome" "committed";
       Ok { session = session'; reports; delta = merged_delta reports })
 

@@ -1,0 +1,243 @@
+(* A minimal HTTP/1.0 exporter over Unix sockets: one accept-loop thread,
+   one short-lived thread per connection, no third-party HTTP stack.  The
+   endpoints only read the process-wide Obs registries (plus the caller's
+   health probes), so serving a scrape never takes any lock a mutation
+   path holds for long — a write storm and a scrape proceed together.
+
+   Threads (not pool domains) carry the accept loop: the Core.Pool is a
+   batch executor whose workers live only for one fan-out, while the
+   exporter must outlive every batch.  systhreads interleave with the
+   domain runtime, so a blocked accept costs nothing. *)
+
+type probe = { name : string; ok : bool; detail : string }
+
+let probe ~name ~ok ~detail = { name; ok; detail }
+
+let writable_dir_probe dir =
+  let ok, detail =
+    if not (Sys.file_exists dir) then (false, "missing")
+    else if not (Sys.is_directory dir) then (false, "not a directory")
+    else
+      (* access(2) answers for the effective uid — but root passes W_OK
+         on read-only directories, so prove writability by creating and
+         removing a probe file. *)
+      let tmp = Filename.concat dir ".healthz-probe" in
+      match
+        let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+        Unix.close fd;
+        Sys.remove tmp
+      with
+      | () -> (true, "writable")
+      | exception (Unix.Unix_error _ | Sys_error _) -> (false, "not writable")
+  in
+  { name = "journal_dir"; ok; detail }
+
+let f_requests =
+  Obs.Metrics.family Obs.Metrics.default "monitor_requests_total"
+    ~labels:[ "path"; "status" ]
+    ~help:"HTTP requests served by the monitoring endpoint"
+
+type t = {
+  sock : Unix.file_descr;
+  m_port : int;
+  thread : Thread.t;
+  stopping : bool Atomic.t;
+}
+
+let port t = t.m_port
+
+type response = { status : int; content_type : string; body : string }
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let json_response status body =
+  { status; content_type = "application/json"; body }
+
+let prometheus_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let health_body probes =
+  let ok = List.for_all (fun p -> p.ok) probes in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"status\":%s,\"probes\":["
+       (Obs.Metrics.json_string (if ok then "ok" else "degraded")));
+  List.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":%s,\"ok\":%b,\"detail\":%s}"
+           (Obs.Metrics.json_string p.name)
+           p.ok
+           (Obs.Metrics.json_string p.detail)))
+    probes;
+  Buffer.add_string buf "]}";
+  (ok, Buffer.contents buf)
+
+(* "/eventz?txn=12" -> ("/eventz", [("txn", "12")]) *)
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    let path = String.sub target 0 i in
+    let query = String.sub target (i + 1) (String.length target - i - 1) in
+    let params =
+      List.filter_map
+        (fun kv ->
+          match String.index_opt kv '=' with
+          | None -> None
+          | Some j ->
+            Some
+              ( String.sub kv 0 j,
+                String.sub kv (j + 1) (String.length kv - j - 1) ))
+        (String.split_on_char '&' query)
+    in
+    (path, params)
+
+let handle ~probes ~meth ~target =
+  if meth <> "GET" then
+    json_response 405 "{\"error\":\"only GET is supported\"}"
+  else
+    let path, params = split_target target in
+    match path with
+    | "/metrics" ->
+      {
+        status = 200;
+        content_type = prometheus_content_type;
+        body = Obs.Metrics.to_prometheus Obs.Metrics.default;
+      }
+    | "/healthz" ->
+      let ok, body = health_body (probes ()) in
+      json_response (if ok then 200 else 503) body
+    | "/tracez" ->
+      if List.mem_assoc "chrome" params then
+        json_response 200 (Obs.Trace.to_chrome_json ())
+      else json_response 200 (Obs.Trace.roots_to_json ())
+    | "/auditz" -> json_response 200 (Obs.Audit.to_json Obs.Audit.default)
+    | "/eventz" -> (
+      match List.assoc_opt "txn" params with
+      | None -> json_response 200 (Obs.Events.to_json ())
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some txn when txn > 0 ->
+          json_response 200 (Obs.Events.to_json ~txn ())
+        | _ ->
+          json_response 400
+            "{\"error\":\"txn must be a positive integer\"}"))
+    | _ -> json_response 404 "{\"error\":\"unknown endpoint\"}"
+
+(* Read until the blank line ending the request head; HTTP/1.0, no body
+   on GET, so nothing else is needed.  Bounded so a hostile peer cannot
+   grow the buffer. *)
+let read_head fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec go () =
+    if Buffer.length buf > 8192 then Buffer.contents buf
+    else
+      let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
+      if n = 0 then Buffer.contents buf
+      else begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let has_terminator =
+          let rec find i =
+            i >= 0
+            && (String.sub s i 2 = "\n\n"
+                || (i + 3 < String.length s && String.sub s i 4 = "\r\n\r\n")
+                || find (i - 1))
+          in
+          String.length s >= 2 && find (String.length s - 2)
+        in
+        if has_terminator then s else go ()
+      end
+  in
+  go ()
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let serve_connection ~probes fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let head = read_head fd in
+      let request_line =
+        match String.index_opt head '\n' with
+        | Some i -> String.trim (String.sub head 0 i)
+        | None -> String.trim head
+      in
+      let resp =
+        match String.split_on_char ' ' request_line with
+        | meth :: target :: _ -> handle ~probes ~meth ~target
+        | _ -> json_response 400 "{\"error\":\"malformed request line\"}"
+      in
+      let path_label =
+        match String.split_on_char ' ' request_line with
+        | _ :: target :: _ -> fst (split_target target)
+        | _ -> "malformed"
+      in
+      Obs.Metrics.inc
+        (Obs.Metrics.labels f_requests
+           [ path_label; string_of_int resp.status ]);
+      write_all fd
+        (Printf.sprintf
+           "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: \
+            %d\r\nConnection: close\r\n\r\n%s"
+           resp.status (status_text resp.status) resp.content_type
+           (String.length resp.body) resp.body))
+
+let no_probes () = []
+
+let start ?(addr = "127.0.0.1") ?(port = 0) ?(probes = no_probes) () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port))
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 16;
+  let m_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | conn, _ ->
+            ignore (Thread.create (fun () -> serve_connection ~probes conn) ());
+            loop ()
+          | exception Unix.Unix_error _ ->
+            (* The listening socket was closed by [stop] (or the accept
+               failed terminally); either way the loop ends. *)
+            if not (Atomic.get stopping) then ()
+        in
+        loop ())
+      ()
+  in
+  { sock; m_port; thread; stopping }
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    Thread.join t.thread
+  end

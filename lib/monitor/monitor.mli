@@ -1,0 +1,53 @@
+(** Live monitoring endpoint: a dependency-free HTTP/1.0 exporter over
+    [Unix] sockets serving the process-wide [Obs] registries.
+
+    Endpoints:
+    - [GET /metrics] — Prometheus text exposition
+      ([text/plain; version=0.0.4]) of every counter, gauge, labelled
+      family and histogram;
+    - [GET /healthz] — JSON probe report; HTTP 200 when every probe
+      passes, 503 otherwise (so [curl -f] has proper liveness-probe
+      exit semantics);
+    - [GET /tracez] — completed span trees as JSON
+      ([?chrome=1] for Chrome trace-event format);
+    - [GET /auditz] — the audit ring as JSON;
+    - [GET /eventz] — the transaction event log as JSON;
+      [?txn=<id>] filters to one correlation id.
+
+    The accept loop runs on a dedicated systhread (one more per in-flight
+    connection), so scrapes proceed concurrently with mutations on the
+    main domain and with pool fan-outs. *)
+
+type t
+(** A running exporter. *)
+
+type probe = { name : string; ok : bool; detail : string }
+
+val probe : name:string -> ok:bool -> detail:string -> probe
+
+val writable_dir_probe : string -> probe
+(** Health of a journal directory: exists, is a directory, and a probe
+    file can actually be created in it (checked by creating one — root
+    passes [access(2)] even on read-only directories). *)
+
+val start :
+  ?addr:string -> ?port:int -> ?probes:(unit -> probe list) -> unit -> t
+(** Binds [addr] (default loopback) on [port] (default 0 = ephemeral;
+    read the chosen one back with {!port}) and serves until {!stop}.
+    [probes] is sampled on each [/healthz] request.
+    @raise Unix.Unix_error when the port cannot be bound. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Closes the listening socket and joins the accept loop.  Idempotent. *)
+
+(**/**)
+
+(* Exposed for tests. *)
+type response = { status : int; content_type : string; body : string }
+
+val handle :
+  probes:(unit -> probe list) -> meth:string -> target:string -> response
+
+val split_target : string -> string * (string * string) list

@@ -1,0 +1,1 @@
+external now : unit -> float = "xmlsecu_obs_mono_now"

@@ -1,0 +1,10 @@
+(** Monotonic time source for durations.
+
+    Wall-clock jumps (NTP steps, manual clock changes) corrupt latency
+    histograms and span durations computed from [Unix.gettimeofday];
+    every duration in [Obs] is measured against this clock instead.
+    Wall-clock time is kept only for event {e timestamps}. *)
+
+val now : unit -> float
+(** Seconds on [CLOCK_MONOTONIC].  The epoch is arbitrary — only
+    differences between two [now] readings are meaningful. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for latency measurement.  OCaml 5.1's Unix module has
+   no clock_gettime binding and the mtime package is not a dependency, so
+   this one-function stub reads CLOCK_MONOTONIC directly.  Returns seconds
+   as a double; the epoch is arbitrary (boot-relative on Linux), only
+   differences are meaningful. */
+
+#include <time.h>
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+CAMLprim value xmlsecu_obs_mono_now(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -38,7 +38,7 @@ let clear () =
   Mutex.unlock finished_lock
 
 let close span =
-  span.elapsed <- Unix.gettimeofday () -. span.start;
+  span.elapsed <- Mono.now () -. span.start;
   span.children <- List.rev span.children;
   span.meta <- List.rev span.meta;
   match !(stack ()) with
@@ -60,7 +60,7 @@ let with_span name f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let span =
-      { name; start = Unix.gettimeofday (); elapsed = 0.; children = [];
+      { name; start = Mono.now (); elapsed = 0.; children = [];
         meta = [] }
     in
     let stack = stack () in
@@ -120,3 +120,41 @@ let rec span_to_json span =
 
 let roots_to_json () =
   "[" ^ String.concat "," (List.map span_to_json (roots ())) ^ "]"
+
+(* Chrome trace-event format (chrome://tracing, Perfetto, speedscope):
+   one complete event (ph "X") per span, timestamps and durations in
+   microseconds.  Span starts are monotonic-clock readings, so we rebase
+   them against the earliest start across all roots — viewers only care
+   about relative placement.  Each root tree gets its own tid so
+   concurrent requests land on separate rows. *)
+let to_chrome_json () =
+  let roots = roots () in
+  let base =
+    List.fold_left (fun acc s -> Float.min acc s.start) infinity roots
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let emit tid span =
+    let rec go span =
+      if !first then first := false else Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":%s,\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{%s}}"
+           (Metrics.json_string span.name)
+           ((span.start -. base) *. 1e6)
+           (span.elapsed *. 1e6)
+           tid
+           (String.concat ","
+              (List.map
+                 (fun (k, v) ->
+                   Printf.sprintf "%s:%s" (Metrics.json_string k)
+                     (Metrics.json_string v))
+                 span.meta)));
+      List.iter go span.children
+    in
+    go span
+  in
+  List.iteri (fun i root -> emit (i + 1) root) roots;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

@@ -10,7 +10,7 @@
 
 type span = {
   name : string;
-  start : float;  (** [Unix.gettimeofday] at entry *)
+  start : float;  (** {!Mono.now} at entry (monotonic; arbitrary epoch) *)
   mutable elapsed : float;  (** seconds; set when the span closes *)
   mutable children : span list;  (** in execution order once closed *)
   mutable meta : (string * string) list;  (** in annotation order *)
@@ -45,3 +45,8 @@ val to_string : span -> string
 
 val span_to_json : span -> string
 val roots_to_json : unit -> string
+
+val to_chrome_json : unit -> string
+(** Completed roots in Chrome trace-event format (one [ph:"X"] complete
+    event per span, µs timestamps rebased to the earliest root, one tid
+    per root tree); loadable in [chrome://tracing] or Perfetto. *)

@@ -6,6 +6,10 @@
 
 exception Error of string
 
+let m_fallbacks =
+  Obs.Metrics.counter Obs.Metrics.default "store_snapshot_fallbacks_total"
+    ~help:"Corrupt or torn snapshots skipped while loading the newest"
+
 let header = "xmlsecu-snapshot 1"
 
 let file_name seq = Printf.sprintf "snapshot-%012d.snap" seq
@@ -77,6 +81,8 @@ let load_latest ~dir =
     | (_, path) :: rest -> (
       match load path with
       | seq, doc -> Some (seq, doc)
-      | exception Error _ -> go rest)
+      | exception Error _ ->
+        Obs.Metrics.inc m_fallbacks;
+        go rest)
   in
   go (list ~dir)

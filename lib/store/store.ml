@@ -45,11 +45,35 @@ let h_recover =
   Obs.Metrics.histogram Obs.Metrics.default "store_recover_seconds"
     ~help:"Recovery latency (snapshot load + journal replay)"
 
+let h_fsync =
+  Obs.Metrics.histogram Obs.Metrics.default "store_fsync_seconds"
+    ~help:"fsync(2) latency on the journal after an append"
+
+let g_journal_bytes =
+  Obs.Metrics.gauge Obs.Metrics.default "store_journal_bytes"
+    ~help:"Current size of the write-ahead journal on disk"
+
+(* Monotonic instant of the most recent snapshot write in this process;
+   nan until the first one.  Feeds the seconds-since-snapshot gauge the
+   health endpoint compares against --snapshot-every. *)
+let last_snapshot_at = Atomic.make Float.nan
+
+let seconds_since_snapshot () =
+  let t = Atomic.get last_snapshot_at in
+  if Float.is_nan t then None else Some (Obs.Mono.now () -. t)
+
+let () =
+  Obs.Metrics.gauge_fn Obs.Metrics.default "store_seconds_since_snapshot"
+    ~help:"Seconds since the last snapshot write (-1 before the first)"
+    (fun () ->
+      match seconds_since_snapshot () with Some s -> s | None -> -1.)
+
 type t = {
   dir : string;
   fsync : bool;
   snapshot_every : int;
   mutable seq : int;
+  mutable snap_seq : int; (* seq covered by the newest snapshot; 0 = none *)
   mutable has_history : bool;
   oc : out_channel;
 }
@@ -94,14 +118,21 @@ let open_dir ?(fsync = false) ?(snapshot_every = 0) dir =
     try open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 jp
     with Sys_error m -> fail "%s" m
   in
+  (try Obs.Metrics.set_gauge g_journal_bytes (float (Unix.stat jp).st_size)
+   with Unix.Unix_error _ -> ());
   {
     dir;
     fsync;
     snapshot_every;
     seq = max journal_seq snapshot_seq;
+    snap_seq = snapshot_seq;
     has_history = scan.Journal.records <> [] || snapshots <> [];
     oc;
   }
+
+let snapshot_every t = t.snapshot_every
+
+let snapshot_lag t = t.seq - t.snap_seq
 
 let snapshot t doc =
   Obs.Metrics.time h_snapshot @@ fun () ->
@@ -110,7 +141,10 @@ let snapshot t doc =
   (try ignore (Snapshot.write ~dir:t.dir ~seq:t.seq doc)
    with Snapshot.Error m -> fail "%s" m);
   t.has_history <- true;
-  Obs.Metrics.inc m_snapshots
+  t.snap_seq <- t.seq;
+  Atomic.set last_snapshot_at (Obs.Mono.now ());
+  Obs.Metrics.inc m_snapshots;
+  Obs.Events.emit (Obs.Events.Snapshot { seq = t.seq })
 
 let init t doc =
   if t.has_history then fail "%s: store already initialised" t.dir;
@@ -125,9 +159,15 @@ let append t ~user ~mode ~doc ops =
   (try
      output_string t.oc bytes;
      flush t.oc;
+     Obs.Events.emit
+       (Obs.Events.Journal_append { seq; bytes = String.length bytes });
      if t.fsync then begin
+       let t0 = Obs.Mono.now () in
        Unix.fsync (Unix.descr_of_out_channel t.oc);
-       Obs.Metrics.inc m_fsyncs
+       let dt = Obs.Mono.now () -. t0 in
+       Obs.Metrics.inc m_fsyncs;
+       Obs.Metrics.observe h_fsync dt;
+       Obs.Events.emit (Obs.Events.Fsync { seconds = dt })
      end
    with
    | Sys_error m -> fail "%s" m
@@ -135,6 +175,7 @@ let append t ~user ~mode ~doc ops =
   t.seq <- seq;
   Obs.Metrics.inc m_appends;
   Obs.Metrics.add m_bytes (String.length bytes);
+  Obs.Metrics.add_gauge g_journal_bytes (float (String.length bytes));
   if t.snapshot_every > 0 && seq mod t.snapshot_every = 0 then snapshot t doc;
   seq
 
@@ -174,10 +215,12 @@ let recover ~replay dir =
         else if r.Journal.seq <> seq + 1 then
           fail "%s: journal gap (expected seq %d, found %d)" dir (seq + 1)
             r.Journal.seq
-        else
+        else begin
+          Obs.Events.emit (Obs.Events.Replay { seq = r.Journal.seq });
           ( replay doc ~user:r.Journal.user ~mode:r.Journal.mode r.Journal.ops,
             r.Journal.seq,
-            k + 1 ))
+            k + 1 )
+        end)
       (doc0, snapshot_seq, 0) scan.Journal.records
   in
   Obs.Metrics.inc m_recoveries;

@@ -28,6 +28,19 @@ val dir : t -> string
 val seq : t -> int
 (** Sequence number of the last recorded transaction (0 when fresh). *)
 
+val snapshot_every : t -> int
+(** The automatic-snapshot period this store was opened with (0 =
+    never). *)
+
+val snapshot_lag : t -> int
+(** Transactions journalled since the newest snapshot — the health
+    probe compares this against [snapshot_every]. *)
+
+val seconds_since_snapshot : unit -> float option
+(** Monotonic seconds since the last snapshot written by this process
+    (any store); [None] before the first.  Also exposed as the
+    [store_seconds_since_snapshot] gauge. *)
+
 val is_fresh : t -> bool
 (** No snapshot and no journal record yet — {!init} is required before
     the first {!append}. *)

@@ -11,6 +11,113 @@ let contains s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
+(* Strict recursive-descent JSON well-formedness check: exactly one value
+   spanning the whole input, with full string-escape validation.  Used on
+   every JSON surface the observability layer exposes. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else raise Exit in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else raise Exit in
+  let is_digit c = c >= '0' && c <= '9' in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> obj ()
+    | '[' -> arr ()
+    | '"' -> string_lit ()
+    | 't' -> lit "true"
+    | 'f' -> lit "false"
+    | 'n' -> lit "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> raise Exit
+  and lit w = String.iter expect w
+  and number () =
+    if peek () = '-' then advance ();
+    let digits () =
+      if not (is_digit (peek ())) then raise Exit;
+      while !pos < n && is_digit s.[!pos] do
+        advance ()
+      done
+    in
+    digits ();
+    if !pos < n && s.[!pos] = '.' then (advance (); digits ());
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      advance ();
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then advance ();
+      digits ()
+    end
+  and string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> advance (); go ()
+         | 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> advance ()
+             | _ -> raise Exit
+           done;
+           go ()
+         | _ -> raise Exit)
+      | c when Char.code c >= 0x20 -> advance (); go ()
+      | _ -> raise Exit
+    in
+    go ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); members ()
+        | '}' -> advance ()
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then advance ()
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | ',' -> advance (); elems ()
+        | ']' -> advance ()
+        | _ -> raise Exit
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ()
+  with
+  | () -> !pos = n
+  | exception Exit -> false
+
 (* -- counters ----------------------------------------------------------- *)
 
 let test_counter_monotonic () =
@@ -84,6 +191,187 @@ let test_exposition () =
   M.reset r;
   Alcotest.(check int) "reset zeroes counters" 0
     (M.value (M.counter r "hits_total"))
+
+(* -- gauges ------------------------------------------------------------- *)
+
+let test_gauge_semantics () =
+  let r = M.create () in
+  let g = M.gauge r "queue_depth" ~help:"Tasks in flight" in
+  Alcotest.(check (float 0.)) "starts at zero" 0. (M.gauge_value g);
+  M.set_gauge g 5.;
+  M.add_gauge g 2.5;
+  M.add_gauge g (-4.);
+  Alcotest.(check (float 1e-9)) "moves both ways" 3.5 (M.gauge_value g);
+  let g' = M.gauge r "queue_depth" in
+  M.add_gauge g' 1.;
+  Alcotest.(check (float 1e-9)) "same name, same gauge" 4.5 (M.gauge_value g);
+  Alcotest.(check int) "registry lists it once" 1 (List.length (M.gauges r));
+  M.reset r;
+  Alcotest.(check (float 0.)) "reset zeroes gauges" 0. (M.gauge_value g)
+
+let test_gauge_fn () =
+  let r = M.create () in
+  let level = ref 7. in
+  M.gauge_fn r "water_level" ~help:"Sampled each read" (fun () -> !level);
+  M.gauge_fn r "water_level" (fun () -> 999.);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "sampled at read time; first registration wins"
+    [ ("water_level", 7.) ] (M.gauges r);
+  level := 8.;
+  Alcotest.(check (list (pair string (float 1e-9)))) "tracks the callback"
+    [ ("water_level", 8.) ] (M.gauges r);
+  Alcotest.(check bool) "exposed in prometheus text" true
+    (contains (M.to_prometheus r) "water_level 8\n")
+
+(* -- labelled families -------------------------------------------------- *)
+
+let test_family_cells () =
+  let r = M.create () in
+  let f = M.family r "decisions_total" ~labels:[ "privilege"; "decision" ] in
+  let a = M.labels f [ "read"; "allow" ] in
+  let b = M.labels f [ "read"; "allow" ] in
+  M.inc a;
+  M.inc b;
+  Alcotest.(check int) "same values, same cell" 2 (M.value a);
+  M.inc (M.labels f [ "read"; "deny" ]);
+  Alcotest.(check (list (pair (list string) int))) "cells sorted"
+    [ ([ "read"; "allow" ], 2); ([ "read"; "deny" ], 1) ]
+    (M.family_cells f);
+  Alcotest.(check string) "cell name carries rendered labels"
+    "decisions_total{privilege=\"read\",decision=\"allow\"}" (M.counter_name a);
+  Alcotest.(check int) "family cells are not plain counters" 0
+    (List.length (M.counters r));
+  (match M.families r with
+   | [ (n, pairs, v); _ ] ->
+     Alcotest.(check string) "families reports the family name"
+       "decisions_total" n;
+     Alcotest.(check (list (pair string string))) "label pairs in family order"
+       [ ("privilege", "read"); ("decision", "allow") ]
+       pairs;
+     Alcotest.(check int) "cell value" 2 v
+   | l -> Alcotest.failf "expected 2 family cells, got %d" (List.length l));
+  M.reset r;
+  Alcotest.(check int) "reset zeroes family cells" 0 (M.value a)
+
+let test_family_misuse () =
+  let r = M.create () in
+  Alcotest.check_raises "no label names rejected"
+    (Invalid_argument "Obs.Metrics.family: no label names") (fun () ->
+      ignore (M.family r "bare_total" ~labels:[]));
+  let f = M.family r "shaped_total" ~labels:[ "a"; "b" ] in
+  Alcotest.check_raises "label mismatch on re-register"
+    (Invalid_argument
+       "Obs.Metrics.family: shaped_total re-registered with different labels")
+    (fun () -> ignore (M.family r "shaped_total" ~labels:[ "a" ]));
+  Alcotest.check_raises "value arity mismatch"
+    (Invalid_argument "Obs.Metrics.labels: shaped_total wants 2 label values")
+    (fun () -> ignore (M.labels f [ "only-one" ]))
+
+(* -- exposition format -------------------------------------------------- *)
+
+let test_exposition_escaping () =
+  let r = M.create () in
+  ignore (M.counter r "esc_total" ~help:"line1\nline2 \\ done");
+  let f = M.family r "fam_total" ~labels:[ "k" ] ~help:"family help" in
+  M.inc (M.labels f [ "a\\b\"c\nd" ]);
+  M.set_gauge (M.gauge r "depth" ~help:"How deep") 2.;
+  M.observe (M.histogram r "lat_seconds" ~help:"Latency") 0.001;
+  let prom = M.to_prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        ("exposition has " ^ String.escaped needle)
+        true (contains prom needle))
+    [
+      "# HELP esc_total line1\\nline2 \\\\ done\n";
+      "# TYPE esc_total counter\n";
+      "# TYPE depth gauge\n";
+      "depth 2\n";
+      "# TYPE fam_total counter\n";
+      "fam_total{k=\"a\\\\b\\\"c\\nd\"} 1\n";
+      "# TYPE lat_seconds histogram\n";
+      "lat_seconds_bucket{le=\"+Inf\"} 1\n";
+    ]
+
+(* Undo sample-line rendering: ["f{k=\"v\"} 3"] -> [("f", [k, v], 3.)],
+   unescaping label values — the inverse of the exposition renderer. *)
+let parse_sample line =
+  let name_end =
+    match String.index_opt line '{' with
+    | Some i -> i
+    | None -> String.rindex line ' '
+  in
+  let name = String.sub line 0 name_end in
+  let labels, rest_start =
+    if line.[name_end] <> '{' then ([], name_end)
+    else begin
+      let labels = ref [] in
+      let i = ref (name_end + 1) in
+      while line.[!i] <> '}' do
+        let eq = String.index_from line !i '=' in
+        let key = String.sub line !i (eq - !i) in
+        assert (line.[eq + 1] = '"');
+        let buf = Buffer.create 16 in
+        let j = ref (eq + 2) in
+        while line.[!j] <> '"' do
+          (if line.[!j] = '\\' then begin
+             (match line.[!j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'
+              | c -> Buffer.add_char buf c);
+             j := !j + 2
+           end
+           else begin
+             Buffer.add_char buf line.[!j];
+             incr j
+           end)
+        done;
+        labels := (key, Buffer.contents buf) :: !labels;
+        i := if line.[!j + 1] = ',' then !j + 2 else !j + 1
+      done;
+      (List.rev !labels, !i + 1)
+    end
+  in
+  let value =
+    float_of_string
+      (String.trim
+         (String.sub line rest_start (String.length line - rest_start)))
+  in
+  (name, labels, value)
+
+let test_exposition_round_trip () =
+  let r = M.create () in
+  M.add (M.counter r "c_total" ~help:"plain") 3;
+  M.set_gauge (M.gauge r "g_level") (-2.5);
+  let f = M.family r "f_total" ~labels:[ "p"; "d" ] in
+  M.add (M.labels f [ "wr\"ite"; "al\\low\n" ]) 4;
+  M.inc (M.labels f [ "read"; "deny" ]);
+  let samples =
+    List.map parse_sample
+      (List.filter
+         (fun l -> l <> "" && l.[0] <> '#')
+         (String.split_on_char '\n' (M.to_prometheus r)))
+  in
+  let find name labels =
+    match
+      List.find_opt (fun (n, ls, _) -> n = name && ls = labels) samples
+    with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.failf "sample %s not in own exposition" name
+  in
+  Alcotest.(check (float 0.)) "counter round-trips" 3. (find "c_total" []);
+  Alcotest.(check (float 1e-9)) "gauge round-trips" (-2.5) (find "g_level" []);
+  Alcotest.(check (float 0.)) "hostile label values round-trip" 4.
+    (find "f_total" [ ("p", "wr\"ite"); ("d", "al\\low\n") ]);
+  Alcotest.(check (float 0.)) "second cell independent" 1.
+    (find "f_total" [ ("p", "read"); ("d", "deny") ]);
+  List.iter
+    (fun (name, pairs, v) ->
+      Alcotest.(check (float 0.))
+        (name ^ " cell agrees with the registry")
+        (float_of_int v) (find name pairs))
+    (M.families r);
+  Alcotest.(check bool) "registry json dump is well-formed" true
+    (json_well_formed (M.to_json r))
 
 (* -- spans -------------------------------------------------------------- *)
 
@@ -194,6 +482,138 @@ let test_audit_sink () =
   Alcotest.(check (list string)) "sink offered each event in order"
     [ "login"; "query" ] (List.rev !seen)
 
+(* -- chrome trace export ------------------------------------------------ *)
+
+let test_chrome_export () =
+  with_tracing @@ fun () ->
+  Obs.Trace.with_span "update" (fun () ->
+      Obs.Trace.annotate "user" "laporte";
+      Obs.Trace.with_span "stage" ignore;
+      Obs.Trace.with_span "journal" ignore);
+  Obs.Trace.with_span "broadcast" ignore;
+  let json = Obs.Trace.to_chrome_json () in
+  Alcotest.(check bool) "chrome json is well-formed" true
+    (json_well_formed json);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("chrome json has " ^ needle) true
+        (contains json needle))
+    [
+      "\"traceEvents\"";
+      "\"ph\":\"X\"";
+      "\"name\":\"stage\"";
+      "\"user\":\"laporte\"";
+      "\"displayTimeUnit\":\"ms\"";
+      (* one tid per root tree: the two roots land on separate rows *)
+      "\"tid\":1";
+      "\"tid\":2";
+    ];
+  Alcotest.(check bool) "timestamps are rebased to the earliest root" true
+    (contains json "\"ts\":0.000")
+
+(* -- events ------------------------------------------------------------- *)
+
+let with_events f =
+  Obs.Events.set_enabled true;
+  Obs.Events.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.set_enabled false;
+      Obs.Events.clear ();
+      Obs.Events.set_capacity Obs.Events.default_capacity;
+      Obs.Events.set_sink None)
+    f
+
+let kind_names evs =
+  List.map (fun (e : Obs.Events.event) -> Obs.Events.kind_name e.kind) evs
+
+let test_events_disabled_is_transparent () =
+  Alcotest.(check bool) "recording is off by default" false
+    (Obs.Events.enabled ());
+  Obs.Events.emit (Obs.Events.Custom { name = "noop"; detail = "" });
+  Alcotest.(check int) "disabled emit records nothing" 0 (Obs.Events.length ())
+
+let test_events_correlation () =
+  with_events @@ fun () ->
+  let t1 = Obs.Events.next_txn () in
+  let t2 = Obs.Events.next_txn () in
+  Alcotest.(check bool) "correlation ids are positive and distinct" true
+    (t1 > 0 && t2 > t1);
+  Alcotest.(check int) "no ambient id at rest" 0 (Obs.Events.current_txn ());
+  Obs.Events.with_txn t1 (fun () ->
+      Alcotest.(check int) "ambient id set" t1 (Obs.Events.current_txn ());
+      Obs.Events.emit (Obs.Events.Txn_begin { user = "u"; ops = 1 });
+      Obs.Events.with_txn t2 (fun () ->
+          Obs.Events.emit (Obs.Events.Stage { index = 0; op = "rename" }));
+      Alcotest.(check int) "nested scope restored" t1
+        (Obs.Events.current_txn ());
+      (* another domain's worker would pass the id explicitly *)
+      Obs.Events.emit ~txn:t2 (Obs.Events.Fsync { seconds = 0.001 });
+      Obs.Events.emit (Obs.Events.Commit { ops = 1; denied = 0 }));
+  Alcotest.(check int) "scope restored on exit" 0 (Obs.Events.current_txn ());
+  (try Obs.Events.with_txn t1 (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check int) "scope restored on raise" 0 (Obs.Events.current_txn ());
+  Alcotest.(check (list string)) "by_txn reconstructs t1's story in order"
+    [ "txn_begin"; "commit" ]
+    (kind_names (Obs.Events.by_txn t1));
+  Alcotest.(check (list string)) "ambient nesting and explicit ?txn both land"
+    [ "stage"; "fsync" ]
+    (kind_names (Obs.Events.by_txn t2));
+  Alcotest.(check int) "four events total" 4 (Obs.Events.length ())
+
+let test_events_capacity () =
+  with_events @@ fun () ->
+  Obs.Events.set_capacity 4;
+  for i = 1 to 10 do
+    Obs.Events.emit (Obs.Events.Replay { seq = i })
+  done;
+  Alcotest.(check int) "length bounded by capacity" 4 (Obs.Events.length ());
+  Alcotest.(check int) "drops counted" 6 (Obs.Events.dropped ());
+  Alcotest.(check (list int)) "newest retained, oldest first" [ 7; 8; 9; 10 ]
+    (List.filter_map
+       (fun (e : Obs.Events.event) ->
+         match e.kind with Obs.Events.Replay { seq } -> Some seq | _ -> None)
+       (Obs.Events.events ()));
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Obs.Events.set_capacity") (fun () ->
+      Obs.Events.set_capacity 0);
+  Obs.Events.clear ();
+  Alcotest.(check int) "clear empties the ring" 0 (Obs.Events.length ())
+
+let test_events_sink_and_json () =
+  with_events @@ fun () ->
+  let seen = ref [] in
+  Obs.Events.set_sink
+    (Some (fun (e : Obs.Events.event) ->
+       seen := Obs.Events.kind_name e.kind :: !seen));
+  let txn = Obs.Events.next_txn () in
+  Obs.Events.with_txn txn (fun () ->
+      Obs.Events.emit (Obs.Events.Journal_append { seq = 1; bytes = 120 });
+      Obs.Events.emit (Obs.Events.Broadcast { sessions = 3 }));
+  Obs.Events.set_sink None;
+  Obs.Events.emit (Obs.Events.Snapshot { seq = 1 });
+  Alcotest.(check (list string)) "sink offered each event in order"
+    [ "journal_append"; "broadcast" ]
+    (List.rev !seen);
+  let jsonl_lines =
+    List.filter
+      (fun l -> l <> "")
+      (String.split_on_char '\n' (Obs.Events.to_jsonl ~txn ()))
+  in
+  Alcotest.(check int) "jsonl: one line per correlated event" 2
+    (List.length jsonl_lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "each jsonl line is a well-formed object" true
+        (json_well_formed line))
+    jsonl_lines;
+  Alcotest.(check bool) "filtered json dump is well-formed" true
+    (json_well_formed (Obs.Events.to_json ~txn ()));
+  Alcotest.(check bool) "full json dump is well-formed" true
+    (json_well_formed (Obs.Events.to_json ()));
+  Alcotest.(check bool) "filter excludes the uncorrelated event" false
+    (contains (Obs.Events.to_json ~txn ()) "snapshot")
+
 (* -- differential: instrumentation changes no answer -------------------- *)
 
 (* One scripted multi-session scenario on the paper's example, rendered
@@ -283,6 +703,14 @@ let () =
             test_histogram_consistency;
           Alcotest.test_case "prometheus and json exposition" `Quick
             test_exposition;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "callback gauges" `Quick test_gauge_fn;
+          Alcotest.test_case "family cells" `Quick test_family_cells;
+          Alcotest.test_case "family misuse" `Quick test_family_misuse;
+          Alcotest.test_case "exposition escaping" `Quick
+            test_exposition_escaping;
+          Alcotest.test_case "exposition round-trip" `Quick
+            test_exposition_round_trip;
         ] );
       ( "trace",
         [
@@ -292,6 +720,16 @@ let () =
           Alcotest.test_case "root bounding" `Quick test_span_root_bounding;
           Alcotest.test_case "disabled is transparent" `Quick
             test_span_disabled_is_transparent;
+          Alcotest.test_case "chrome trace export" `Quick test_chrome_export;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_events_disabled_is_transparent;
+          Alcotest.test_case "correlation ids" `Quick test_events_correlation;
+          Alcotest.test_case "ring capacity" `Quick test_events_capacity;
+          Alcotest.test_case "sink and json dumps" `Quick
+            test_events_sink_and_json;
         ] );
       ( "audit",
         [

@@ -208,11 +208,14 @@ let histogram_counts () =
     (Obs.Metrics.histogram_names Obs.Metrics.default)
 
 (* One abort case: run [commit] (expected to return [Error]) and assert
-   the world is unchanged except for one [txn_aborts_total] tick. *)
+   the world is unchanged except for one [txn_aborts_total] tick and its
+   labelled mirror, the [txn_outcomes_total{outcome="abort"}] cell. *)
 let assert_clean_abort ~name ~session ?validate ops expect =
   let doc0 = Core.Session.source session in
   let view0 = Core.Session.view session in
   let counters0 = Obs.Metrics.counters Obs.Metrics.default in
+  let gauges0 = Obs.Metrics.gauges Obs.Metrics.default in
+  let families0 = Obs.Metrics.families Obs.Metrics.default in
   let hists0 = histogram_counts () in
   let audit0 = Obs.Audit.to_json Obs.Audit.default in
   (match Core.Txn.commit ?validate session ops with
@@ -244,7 +247,35 @@ let assert_clean_abort ~name ~session ?validate ops expect =
       if v1 <> expect then
         Alcotest.failf "%s: counter %s moved across an abort (%d -> %d)" name n
           v0 v1)
-    counters1
+    counters1;
+  (* Settable gauges must not move; callback gauges (seconds-since-
+     snapshot and friends) sample external state, so allow clock drift
+     between the two reads. *)
+  Alcotest.(check (list (pair string (float 0.25))))
+    (Printf.sprintf "%s: gauges untouched" name)
+    gauges0
+    (Obs.Metrics.gauges Obs.Metrics.default);
+  List.iter
+    (fun (n, pairs, v1) ->
+      let v0 =
+        match
+          List.find_opt (fun (n0, p0, _) -> n0 = n && p0 = pairs) families0
+        with
+        | Some (_, _, v) -> v
+        | None -> 0
+      in
+      let expect =
+        if n = "txn_outcomes_total" && pairs = [ ("outcome", "abort") ] then
+          v0 + 1
+        else v0
+      in
+      if v1 <> expect then
+        Alcotest.failf "%s: family cell %s%s moved across an abort (%d -> %d)"
+          name n
+          (String.concat ","
+             (List.map (fun (k, v) -> Printf.sprintf "{%s=%s}" k v) pairs))
+          v0 v1)
+    (Obs.Metrics.families Obs.Metrics.default)
 
 let test_atomicity () =
   Obs.Audit.set_enabled true;
