@@ -1336,6 +1336,119 @@ let e22 () =
       ("monitoring overhead", 100. *. overhead, "%") ]
 
 (* ---------------------------------------------------------------------- *)
+(* E23: permission-equivalence classes — 1e5 sessions over ~25 profiles    *)
+(* ---------------------------------------------------------------------- *)
+
+(* The multi-tenant shape the class layer exists for: many users, few
+   distinct permission profiles.  25 roles with disjoint downward rule
+   sets (distinct priorities → distinct profiles), 100 000 users spread
+   over them, no per-user rules.  login_many must collapse the fleet to
+   25 classes, so both wall time and resident state scale with the
+   profile count; the per-user baseline is sampled over 64 dedicated
+   Session.logins and extrapolated. *)
+let e23 () =
+  section "E23: equivalence classes — 1e5 sessions, 25 profiles";
+  let n_users = 100_000 in
+  let n_roles = 25 in
+  let sample = 64 in
+  let config =
+    { Workload.Gen_doc.patients = 120; visits_per_patient = 2;
+      diagnosed_fraction = 0.8; seed = 23 }
+  in
+  let doc = Workload.Gen_doc.generate config in
+  let deny_paths =
+    [| "//diagnosis/node()"; "//note"; "//visit/date"; "//service/node()";
+       "//visit/node()" |]
+  in
+  let roles = Array.init n_roles (Printf.sprintf "role%d") in
+  let users = List.init n_users (Printf.sprintf "u%d") in
+  let subjects =
+    Core.Subject.of_list
+      (Array.to_list
+         (Array.map (fun r -> (Core.Subject.Role, r, [])) roles)
+      @ List.mapi
+          (fun i u -> (Core.Subject.User, u, [ roles.(i mod n_roles) ]))
+          users)
+  in
+  let rules =
+    List.concat
+      (List.init n_roles (fun i ->
+           let p = deny_paths.(i mod Array.length deny_paths) in
+           [
+             Core.Rule.accept Core.Privilege.Read ~path:"//node()"
+               ~subject:roles.(i) ~priority:((3 * i) + 1);
+             Core.Rule.deny Core.Privilege.Read ~path:p ~subject:roles.(i)
+               ~priority:((3 * i) + 2);
+             Core.Rule.accept Core.Privilege.Position ~path:p
+               ~subject:roles.(i) ~priority:((3 * i) + 3);
+           ]))
+  in
+  let policy = Core.Policy.v subjects rules in
+  let live_bytes () =
+    Gc.full_major ();
+    float (Gc.stat ()).Gc.live_words *. float (Sys.word_size / 8)
+  in
+  (* Per-user baseline, sampled: dedicated sessions with materialised
+     secure views (what serving without the class layer costs). *)
+  let keep = Array.make sample None in
+  let m0 = live_bytes () in
+  let t0 = Unix.gettimeofday () in
+  for j = 0 to sample - 1 do
+    let s = Core.Session.login policy doc ~user:(Printf.sprintf "u%d" j) in
+    ignore (Core.Session.view s);
+    keep.(j) <- Some s
+  done;
+  let t_per_login = (Unix.gettimeofday () -. t0) /. float sample in
+  let bytes_per_session = (live_bytes () -. m0) /. float sample in
+  Array.fill keep 0 sample None;
+  (* The class-shared server. *)
+  let m1 = live_bytes () in
+  let t1 = Unix.gettimeofday () in
+  let serve = Core.Serve.create policy doc in
+  Core.Serve.login_many serve users;
+  let t_many = Unix.gettimeofday () -. t1 in
+  let total_bytes = live_bytes () -. m1 in
+  let classes = Core.Serve.classes serve in
+  let bytes_per_user = total_bytes /. float n_users in
+  let mem_ratio = bytes_per_session *. float n_users /. total_bytes in
+  let speedup = t_per_login *. float n_users /. t_many in
+  Printf.printf
+    "  %d users -> %d classes; login_many %.2f s (per-user est. %.1f s)\n"
+    n_users classes t_many (t_per_login *. float n_users);
+  Printf.printf
+    "  resident: %.0f B/user shared vs %.0f B/session dedicated (%.0fx)\n"
+    bytes_per_user bytes_per_session mem_ratio;
+  check "E23" "the fleet collapses to exactly the 25 role profiles"
+    (classes = n_roles);
+  check "E23" "the class-count gauge tracks it"
+    (List.assoc_opt "serve_permission_classes"
+       (Obs.Metrics.gauges Obs.Metrics.default)
+     = Some (float classes));
+  check "E23" "memory scales with classes, not sessions (>= 20x)"
+    (mem_ratio >= 20.);
+  check "E23" "login_many beats per-user logins (>= 20x)" (speedup >= 20.);
+  (* Served answers stay per-user correct under the sharing. *)
+  check "E23" "spot check: served views equal dedicated logins"
+    (List.for_all
+       (fun u ->
+         D.equal
+           (Core.Serve.view serve ~user:u)
+           (Core.Session.view (Core.Session.login policy doc ~user:u)))
+       [ "u0"; "u1"; "u24"; "u99999" ]);
+  emit_json "E23"
+    ~params:
+      (Printf.sprintf "%d users, %d role profiles, 1391-node hospital"
+         n_users n_roles)
+    [
+      ("permission classes", float classes, "classes");
+      ("login_many wall", t_many, "s");
+      ("bytes per user (class-shared)", bytes_per_user, "bytes");
+      ("bytes per session (dedicated)", bytes_per_session, "bytes");
+      ("memory ratio vs dedicated sessions", mem_ratio, "x");
+      ("login speedup vs dedicated sessions", speedup, "x");
+    ]
+
+(* ---------------------------------------------------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
@@ -1356,6 +1469,7 @@ let () =
   e20 ();
   e21 ();
   e22 ();
+  e23 ();
   if not quick then begin
     e7 ();
     e8 ();

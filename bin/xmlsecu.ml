@@ -125,10 +125,30 @@ let query_cmd =
       & info [ "source" ]
           ~doc:"Evaluate on the source instead (security-officer mode).")
   in
-  let run doc policy user q on_source =
+  let rewrite_flag =
+    Arg.(
+      value & flag
+      & info [ "rewrite" ]
+          ~doc:
+            "Evaluate through the rewrite-based read path: the query runs \
+             directly on the shared source in product with the user's \
+             visibility (no view materialisation); queries outside the \
+             downward fragment fall back to the lazy-view evaluator. \
+             Answers are identical to the default view evaluation.")
+  in
+  let run doc policy user q on_source rewrite =
     with_session doc policy user (fun session ->
         let ids =
           if on_source then Core.Session.query_source session q
+          else if rewrite then begin
+            let lv = Core.Lazy_view.of_session session in
+            let plan = Core.Rewrite.plan_str q in
+            Printf.eprintf "rewrite: %s path\n%!"
+              (if Core.Rewrite.compiled plan then "compiled" else "fallback");
+            Core.Rewrite.select
+              ~vars:(Core.Session.user_vars session)
+              plan lv
+          end
           else Core.Session.query session q
         in
         let d =
@@ -144,7 +164,9 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query on the user's view.")
-    Term.(const run $ doc_arg $ policy_arg $ user_arg $ query_arg $ source_flag)
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ query_arg $ source_flag
+      $ rewrite_flag)
 
 (* --- update ---------------------------------------------------------------- *)
 

@@ -153,6 +153,7 @@ let select ?vars t expr =
 
 let select_str ?vars t src = select ?vars t (Xpath.Parser.parse_path src)
 
+let doc t = t.doc
 let materialize t = View.derive t.doc t.perm
 let probed_nodes t = Hashtbl.length t.memo
 let hits t = t.stats.hits

@@ -29,6 +29,16 @@ val label : t -> Ordpath.t -> string option
 val source : t -> Xpath.Source.t
 (** The virtual {!Xpath.Source} for {!Xpath.Eval.env_of_source}. *)
 
+val doc : t -> Xmldoc.Document.t
+(** The underlying shared source database (trusted callers only — the
+    compiled {!Rewrite} read path folds over it with {!visible}/{!remap}
+    applied per node). *)
+
+val remap : t -> Xmldoc.Node.t -> Xmldoc.Node.t
+(** The node as the view presents it: unchanged under [read], label
+    replaced by [RESTRICTED] under position-only.  Does {e not} check
+    {!visible} — pair it with a visibility test. *)
+
 val select :
   ?vars:(string * Xpath.Value.t) list -> t -> Xpath.Ast.expr ->
   Ordpath.t list

@@ -268,6 +268,29 @@ let compute_per_rule policy doc ~user =
 
 let user t = t.user
 
+let with_user t user = { t with user }
+
+(* Permission-equivalence signature.  Priorities are unique within a
+   policy, so the ascending priority list identifies the applicable rule
+   list exactly; when no applicable rule mentions [$USER], every
+   selection — and hence every decision store [compute] builds — is
+   independent of the user name.  Users whose rules do mention [$USER]
+   get their name appended, making them singleton classes (their
+   decisions genuinely depend on who is asking). *)
+let profile policy ~user =
+  let rules = Policy.rules_for policy ~user in
+  let b = Buffer.create 64 in
+  List.iter
+    (fun (r : Rule.t) ->
+      Buffer.add_string b (string_of_int r.priority);
+      Buffer.add_char b ';')
+    rules;
+  if List.exists Rule.uses_user_variable rules then begin
+    Buffer.add_char b '$';
+    Buffer.add_string b user
+  end;
+  Buffer.contents b
+
 (* Delta-aware re-resolution: with downward rule paths, a node's selection
    depends only on its ancestor chain, so decisions outside the affected
    range are still valid on the new document.  Inside the range, stale

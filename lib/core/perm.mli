@@ -22,6 +22,20 @@ val compute_per_rule : Policy.t -> Xmldoc.Document.t -> user:string -> t
 
 val user : t -> string
 
+val with_user : t -> string -> t
+(** Renames the store's user without recomputing anything: the decision
+    arrays are shared physically.  Sound exactly when both users have the
+    same {!profile} — see {!Session.impersonate}. *)
+
+val profile : Policy.t -> user:string -> string
+(** The user's permission-equivalence signature.  Two users with equal
+    profiles provably receive identical decision stores from {!compute}
+    on any document: priorities are unique, so the signature's priority
+    list identifies the applicable rule list, and when no applicable rule
+    mentions [$USER] (see {!Rule.uses_user_variable}) rule selections
+    cannot depend on the user.  Users carrying a [$USER] rule have their
+    name folded into the signature, i.e. they form singleton classes. *)
+
 val update : t -> Policy.t -> Xmldoc.Document.t -> Delta.t -> t
 (** [update t policy doc delta] re-resolves the permissions on the new
     document [doc], re-evaluating rules only for nodes inside [delta]

@@ -46,6 +46,16 @@ let size t = t.size
 
 let default_size () = Domain.recommended_domain_count ()
 
+(* [POOL_SIZE=4 dune runtest] stress-runs every pool path without touching
+   call sites: this is the default pool of [Serve.create]. *)
+let of_env () =
+  match Sys.getenv_opt "POOL_SIZE" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> create n
+     | Some _ | None -> create 1)
+  | None -> create 1
+
 let run t tasks =
   match tasks with
   | [] -> ()

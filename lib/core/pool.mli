@@ -30,6 +30,12 @@ val default_size : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism
     available to this process. *)
 
+val of_env : unit -> t
+(** A pool sized from the [POOL_SIZE] environment variable; unset,
+    unparsable or sub-1 values give size 1 (the sequential baseline).
+    This is [Serve.create]'s default pool, so [POOL_SIZE=4 dune runtest]
+    runs the whole suite through real multi-domain fan-outs. *)
+
 val run : t -> (int -> unit) list -> unit
 (** Executes all tasks, each applied to the index of the worker slot
     running it, and waits for completion.  If tasks raise, one of the

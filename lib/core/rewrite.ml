@@ -1,0 +1,59 @@
+(* The virtual-security-view read path (§5's "applying filters reflecting
+   the user privileges on the queries"): instead of materialising a view
+   per user, a downward query is compiled to its automaton once and run
+   over the *shared* source in product with the user's visibility
+   predicate — Compile.fold_view prunes hidden subtrees wholesale and
+   feeds the automaton the view labels (RESTRICTED under position-only),
+   so name tests can neither match what the user must not read nor miss
+   what the view renames.  Queries outside the downward fragment fall
+   back to the memoised Lazy_view evaluator, which enforces the same
+   axioms per axis call.  Both paths return exactly what evaluating the
+   query on the View.derive materialisation would — the property
+   test/test_rewrite.ml pins down differentially. *)
+
+let m_compiled =
+  Obs.Metrics.counter Obs.Metrics.default "rewrite_compiled_total"
+    ~help:"Queries answered by the compiled rewrite (automaton x visibility)"
+
+let m_fallback =
+  Obs.Metrics.counter Obs.Metrics.default "rewrite_fallback_total"
+    ~help:"Queries outside the downward fragment served via the lazy view"
+
+type t = {
+  expr : Xpath.Ast.expr;
+  compiled : unit Xpath.Compile.t option;
+}
+
+(* Downward queries can never mention $USER (Var is outside the
+   fragment), so one compiled plan is sound for every user — and, a
+   fortiori, shareable across a whole server. *)
+let plan expr =
+  let compiled =
+    if Xpath.Ast.is_downward expr then
+      Some (Xpath.Compile.compile [ ((), expr) ])
+    else None
+  in
+  { expr; compiled }
+
+let plan_str src = plan (Xpath.Parser.parse_path src)
+
+let compiled t = Option.is_some t.compiled
+let expr t = t.expr
+
+let select ?vars t lv =
+  match t.compiled with
+  | Some auto ->
+    Obs.Metrics.inc m_compiled;
+    Obs.Trace.with_span "rewrite.select" (fun () ->
+        List.rev
+          (Xpath.Compile.fold_view auto (Lazy_view.doc lv)
+             ~view:(fun (n : Xmldoc.Node.t) ->
+               if Lazy_view.visible lv n.id then Some (Lazy_view.remap lv n)
+               else None)
+             ~init:[]
+             ~f:(fun acc (n : Xmldoc.Node.t) _ -> n.id :: acc)))
+  | None ->
+    Obs.Metrics.inc m_fallback;
+    Lazy_view.select ?vars lv t.expr
+
+let select_str ?vars lv src = select ?vars (plan_str src) lv

@@ -1,0 +1,46 @@
+(** Rewrite-based secure read path: evaluate a user query directly on the
+    shared source document, in product with the user's visibility, with
+    no per-user view materialisation.
+
+    A downward query ({!Xpath.Ast.is_downward}) compiles to one
+    {!Xpath.Compile} automaton; {!select} runs it through
+    {!Xpath.Compile.fold_view} with the {!Lazy_view}'s visibility and
+    label remapping as the view callback — hidden subtrees are pruned
+    wholesale and position-only nodes present their [RESTRICTED] label to
+    the automaton's name tests.  Non-downward queries (predicates, upward
+    axes, [$USER]) fall back to {!Lazy_view.select}, which enforces the
+    same axioms per axis call.  Either way the answers are exactly those
+    of evaluating the query on the {!View.derive} materialisation, in
+    document order — the equivalence [test/test_rewrite.ml] checks
+    differentially on seeded (policy, document, query) triples.
+
+    A plan mentions neither the user nor the policy: downward queries
+    cannot reference [$USER], so one compiled plan is shared across all
+    sessions (see [Serve]'s plan cache). *)
+
+type t
+(** A planned query: the parsed expression plus, when the query is
+    downward, its compiled automaton. *)
+
+val plan : Xpath.Ast.expr -> t
+
+val plan_str : string -> t
+(** @raise Xpath.Parser.Error *)
+
+val compiled : t -> bool
+(** Did the query compile (downward fragment), i.e. will {!select} take
+    the one-pass product path rather than the lazy-view fallback? *)
+
+val expr : t -> Xpath.Ast.expr
+
+val select :
+  ?vars:(string * Xpath.Value.t) list -> t -> Lazy_view.t -> Ordpath.t list
+(** Answers on the virtual view, ascending document order.  [vars]
+    ([$USER]) only affects the fallback path — a compiled plan is
+    variable-free by construction. *)
+
+val select_str :
+  ?vars:(string * Xpath.Value.t) list -> Lazy_view.t -> string ->
+  Ordpath.t list
+(** [plan_str] + {!select} (one-shot; callers with repeated queries
+    should cache the plan). *)

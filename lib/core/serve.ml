@@ -1,15 +1,35 @@
-type entry = {
-  mutable session : Session.t;
+(* Permission-equivalence classes (see Perm.profile): users whose
+   applicable rules are identical and $USER-free provably resolve to the
+   same decision store, the same materialised view and the same lazy
+   visibility — so the server keeps ONE shared state per class (the
+   representative session + lazy view) and a thin per-user handle.
+   Logins, broadcast rebases and memory all scale with the number of
+   distinct permission profiles, not the number of sessions.  Users with
+   a $USER rule form singleton classes and behave exactly as before. *)
+
+type shared = {
+  profile : string;
+  mutable rep : Session.t;
+      (* representative session; its identity is the first member that
+         created the class (member handles impersonate it on demand) *)
   mutable lazy_view : Lazy_view.t;
+  mutable members : int;
 }
+
+type entry = { user : string; cls : shared }
 
 type t = {
   policy : Policy.t;
   mutable source : Xmldoc.Document.t;
   lock : Mutex.t;
-      (* guards [sessions] (and [source]/[writes] writes): pool workers
-         never touch the table, but login can race a broadcast snapshot *)
+      (* guards [sessions]/[classes]/[plans] (and [source]/[writes]
+         writes): pool workers never touch the tables, but login can race
+         a broadcast snapshot *)
   sessions : (string, entry) Hashtbl.t;
+  classes : (string, shared) Hashtbl.t;  (* Perm.profile -> shared state *)
+  plans : (string, Rewrite.t) Hashtbl.t;
+      (* query text -> compiled rewrite; plans are user- and
+         policy-independent, so one cache serves every session *)
   mutable writes : int;
   pool : Pool.t;
   persist : Store.t option;
@@ -29,7 +49,7 @@ let m_updates =
 
 let m_fanout =
   Obs.Metrics.counter Obs.Metrics.default "serve_broadcast_sessions_total"
-    ~help:"Per-session delta rebases caused by broadcasts"
+    ~help:"Per-class delta rebases caused by broadcasts"
 
 let m_rebase_incremental =
   Obs.Metrics.counter Obs.Metrics.default "serve_rebase_incremental_total"
@@ -55,20 +75,28 @@ let g_sessions =
   Obs.Metrics.gauge Obs.Metrics.default "serve_sessions"
     ~help:"Currently logged-in sessions"
 
+let g_classes =
+  Obs.Metrics.gauge Obs.Metrics.default "serve_permission_classes"
+    ~help:"Distinct permission-equivalence classes among logged sessions"
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* Call with the lock held (or from single-threaded setup paths). *)
-let sync_session_gauge t =
-  Obs.Metrics.set_gauge g_sessions (float (Hashtbl.length t.sessions))
+let sync_gauges t =
+  Obs.Metrics.set_gauge g_sessions (float (Hashtbl.length t.sessions));
+  Obs.Metrics.set_gauge g_classes (float (Hashtbl.length t.classes))
 
-let create ?(pool = Pool.create 1) ?persist policy source =
+let create ?pool ?persist policy source =
+  let pool = match pool with Some p -> p | None -> Pool.of_env () in
   {
     policy;
     source;
     lock = Mutex.create ();
     sessions = Hashtbl.create 8;
+    classes = Hashtbl.create 8;
+    plans = Hashtbl.create 8;
     writes = 0;
     pool;
     persist;
@@ -77,55 +105,126 @@ let create ?(pool = Pool.create 1) ?persist policy source =
 let pool t = t.pool
 let persist t = t.persist
 
-let fresh_entry t ~user =
-  let session = Session.login t.policy t.source ~user in
-  { session; lazy_view = Lazy_view.of_session session }
+let check_known t ~user =
+  if not (Subject.mem (Policy.subjects t.policy) user) then
+    raise (Session.Unknown_user user)
+
+let fresh_shared t ~profile ~user =
+  let rep = Session.login t.policy t.source ~user in
+  { profile; rep; lazy_view = Lazy_view.of_session rep; members = 0 }
+
+(* Call with the lock held: binds [user] to its class (which must be in
+   [t.classes]). *)
+let register t ~user cls =
+  cls.members <- cls.members + 1;
+  Hashtbl.replace t.sessions user { user; cls }
 
 let login t ~user =
   if not (locked t (fun () -> Hashtbl.mem t.sessions user)) then begin
-    let e = fresh_entry t ~user in
+    check_known t ~user;
+    let profile = Perm.profile t.policy ~user in
+    (* The expensive representative login happens outside the lock; the
+       class table is re-checked under the lock (another thread may have
+       created — or drained — the class meanwhile). *)
+    let prebuilt =
+      if locked t (fun () -> Hashtbl.mem t.classes profile) then None
+      else Some (fresh_shared t ~profile ~user)
+    in
     locked t (fun () ->
-        if not (Hashtbl.mem t.sessions user) then
-          Hashtbl.replace t.sessions user e;
-        sync_session_gauge t)
+        if not (Hashtbl.mem t.sessions user) then begin
+          let cls =
+            match Hashtbl.find_opt t.classes profile with
+            | Some cls -> cls
+            | None ->
+              let cls =
+                match prebuilt with
+                | Some cls -> cls
+                | None -> fresh_shared t ~profile ~user
+              in
+              Hashtbl.replace t.classes profile cls;
+              cls
+          in
+          register t ~user cls;
+          sync_gauges t
+        end)
   end
 
 (* Login-time fan-out: conflict resolution ([Perm.compute], inside
-   [Session.login]) is the expensive part and is independent per user, so
-   fresh sessions build on the pool and register under the lock
-   afterwards.  All-or-nothing: if any login raises, none of this batch's
-   fresh sessions is registered. *)
+   [Session.login]) is the expensive part and is needed once per NEW
+   permission class, not once per user — representative logins run on the
+   pool, then every fresh user binds to its class under the lock.
+   All-or-nothing: if any representative login raises, no fresh session
+   from this batch is registered. *)
 let login_many t users =
   let users = List.sort_uniq String.compare users in
   let fresh =
     locked t (fun () ->
         List.filter (fun u -> not (Hashtbl.mem t.sessions u)) users)
   in
-  let arr = Array.of_list fresh in
-  let out = Array.make (Array.length arr) None in
+  List.iter (fun user -> check_known t ~user) fresh;
+  let profiles =
+    List.map (fun u -> (u, Perm.profile t.policy ~user:u)) fresh
+  in
+  let need =
+    let seen = Hashtbl.create 16 in
+    locked t (fun () ->
+        List.filter
+          (fun (_, p) ->
+            if Hashtbl.mem t.classes p || Hashtbl.mem seen p then false
+            else begin
+              Hashtbl.add seen p ();
+              true
+            end)
+          profiles)
+  in
+  let arr = Array.of_list need in
+  let built = Array.make (Array.length arr) None in
   Pool.run t.pool
     (List.init (Array.length arr) (fun i _slot ->
-         out.(i) <- Some (fresh_entry t ~user:arr.(i))));
+         let user, profile = arr.(i) in
+         built.(i) <- Some (fresh_shared t ~profile ~user)));
   locked t (fun () ->
-      Array.iteri
-        (fun i entry ->
-          match entry with
-          | Some e ->
-            if not (Hashtbl.mem t.sessions arr.(i)) then
-              Hashtbl.replace t.sessions arr.(i) e
+      Array.iter
+        (function
+          | Some cls ->
+            if not (Hashtbl.mem t.classes cls.profile) then
+              Hashtbl.replace t.classes cls.profile cls
           | None -> ())
-        out;
-      sync_session_gauge t)
+        built;
+      List.iter
+        (fun (user, profile) ->
+          if not (Hashtbl.mem t.sessions user) then begin
+            let cls =
+              match Hashtbl.find_opt t.classes profile with
+              | Some cls -> cls
+              | None ->
+                (* the class was drained by a concurrent logout between
+                   the [need] probe and here: rebuild under the lock *)
+                let cls = fresh_shared t ~profile ~user in
+                Hashtbl.replace t.classes profile cls;
+                cls
+            in
+            register t ~user cls
+          end)
+        profiles;
+      sync_gauges t)
 
 let logout t ~user =
   locked t (fun () ->
-      Hashtbl.remove t.sessions user;
-      sync_session_gauge t)
+      (match Hashtbl.find_opt t.sessions user with
+       | Some e ->
+         Hashtbl.remove t.sessions user;
+         e.cls.members <- e.cls.members - 1;
+         if e.cls.members <= 0 then Hashtbl.remove t.classes e.cls.profile
+       | None -> ());
+      sync_gauges t)
 
 let users t =
   List.sort String.compare
     (locked t (fun () ->
          Hashtbl.fold (fun user _ acc -> user :: acc) t.sessions []))
+
+let classes t = locked t (fun () -> Hashtbl.length t.classes)
 
 let source t = t.source
 let policy t = t.policy
@@ -138,9 +237,26 @@ let entry t ~user =
     login t ~user;
     locked t (fun () -> Hashtbl.find t.sessions user)
 
-let session t ~user = (entry t ~user).session
-let lazy_view t ~user = (entry t ~user).lazy_view
+let session t ~user = Session.impersonate (entry t ~user).cls.rep ~user
+let lazy_view t ~user = (entry t ~user).cls.lazy_view
 let view t ~user = Session.view (session t ~user)
+
+(* Compiled rewrite plans are keyed by query text and shared across every
+   session: a downward plan cannot mention $USER and never depends on the
+   policy (the visibility product happens at evaluation time). *)
+let plan_for t q =
+  match locked t (fun () -> Hashtbl.find_opt t.plans q) with
+  | Some plan -> plan
+  | None ->
+    let plan =
+      Obs.Trace.with_span "xpath.parse" (fun () -> Rewrite.plan_str q)
+    in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.plans q with
+        | Some plan -> plan
+        | None ->
+          Hashtbl.replace t.plans q plan;
+          plan)
 
 let query t ~user q =
   Obs.Metrics.inc m_queries;
@@ -148,27 +264,29 @@ let query t ~user q =
   Obs.Trace.with_span "serve.query" @@ fun () ->
   Obs.Trace.annotate "user" user;
   let e = entry t ~user in
-  let expr =
-    Obs.Trace.with_span "xpath.parse" (fun () -> Xpath.Parser.parse_path q)
-  in
+  let plan = plan_for t q in
   let ids =
     Obs.Trace.with_span "query.eval" (fun () ->
-        Lazy_view.select ~vars:(Session.user_vars e.session) e.lazy_view expr)
+        Rewrite.select
+          ~vars:[ ("USER", Xpath.Value.Str user) ]
+          plan e.cls.lazy_view)
   in
   if Obs.Audit.enabled () then
     Obs.Audit.record Obs.Audit.default ~user ~action:"query" ~privilege:"read"
       ~target:q
-      ~detail:(Printf.sprintf "%d node(s) on the lazy view" (List.length ids))
+      ~detail:
+        (Printf.sprintf "%d node(s), %s path" (List.length ids)
+           (if Rewrite.compiled plan then "rewritten" else "fallback"))
       Obs.Audit.Allowed;
   ids
 
-let rebase_entry ?slot ?txn source delta e =
+let rebase_class ?slot ?txn source delta cls =
   Obs.Metrics.inc m_fanout;
   Obs.Trace.with_span "session.rebase" @@ fun () ->
   (match slot with
    | Some slot -> Obs.Trace.annotate "domain" (string_of_int slot)
    | None -> ());
-  let session = Session.apply_delta e.session source delta in
+  let session = Session.apply_delta cls.rep source delta in
   Obs.Trace.annotate "user" (Session.user session);
   (* apply_delta widens internally for non-local sessions; the lazy memo
      must be widened the same way, as its entries depend on the same
@@ -195,9 +313,9 @@ let rebase_entry ?slot ?txn source delta e =
            (if Session.policy_local session then "incremental"
             else "full-refresh");
        });
-  e.session <- session;
-  e.lazy_view <-
-    Lazy_view.rebase e.lazy_view source (Session.perm session) lazy_delta
+  cls.rep <- session;
+  cls.lazy_view <-
+    Lazy_view.rebase cls.lazy_view source (Session.perm session) lazy_delta
 
 type committed = {
   reports : Secure_update.report list;
@@ -207,7 +325,8 @@ type committed = {
 (* Every mutation routes through here: one Txn.commit staging the whole
    batch on the writer's view, then — only on success — journal append,
    registration under the lock, and a single per-batch broadcast fan-out
-   of the merged delta (one rebase per session per batch, not per op). *)
+   of the merged delta (one rebase per equivalence class per batch, not
+   per session per op). *)
 let commit ?(on_denial = `Abort) t ~user ops =
   let t0 = Obs.Mono.now () in
   Obs.Trace.with_span "serve.commit" @@ fun () ->
@@ -219,7 +338,7 @@ let commit ?(on_denial = `Abort) t ~user ops =
   let txn = Obs.Events.next_txn () in
   Obs.Events.with_txn txn @@ fun () ->
   let e = entry t ~user in
-  match Txn.commit ~on_denial e.session ops with
+  match Txn.commit ~on_denial (Session.impersonate e.cls.rep ~user) ops with
   | Error _ as err -> err
   | Ok { Txn.session = session'; reports; delta } ->
     let source' = Session.source session' in
@@ -236,9 +355,10 @@ let commit ?(on_denial = `Abort) t ~user ops =
         t.source <- source';
         t.writes <- t.writes + List.length reports);
     Obs.Metrics.add m_updates (List.length reports);
-    (* The writer's session is already rebased by the transaction; its
-       lazy view and every other session get the merged delta. *)
-    e.session <- session';
+    (* The writer's class is already rebased by the transaction (the
+       staged session shares the class's decision profile); its lazy view
+       and every other class get the merged delta. *)
+    e.cls.rep <- Session.impersonate session' ~user:(Session.user e.cls.rep);
     let lazy_delta =
       if Session.policy_local session' then begin
         Obs.Metrics.inc m_rebase_incremental;
@@ -249,19 +369,18 @@ let commit ?(on_denial = `Abort) t ~user ops =
         Delta.all
       end
     in
-    e.lazy_view <-
+    e.cls.lazy_view <-
       Obs.Trace.with_span "lazy_view.rebase" (fun () ->
-          Lazy_view.rebase e.lazy_view source' (Session.perm session')
+          Lazy_view.rebase e.cls.lazy_view source' (Session.perm session')
             lazy_delta);
-    (* Fan-out over a lock-free snapshot: entries are disjoint per user,
-       so workers never contend; pool size 1 reproduces the sequential
+    (* Fan-out over a lock-free snapshot: classes are disjoint, so
+       workers never contend; pool size 1 reproduces the sequential
        broadcast exactly. *)
     let others =
       locked t (fun () ->
           Hashtbl.fold
-            (fun other e' acc ->
-              if String.equal other user then acc else e' :: acc)
-            t.sessions [])
+            (fun _ cls acc -> if cls == e.cls then acc else cls :: acc)
+            t.classes [])
     in
     if reports <> [] then
       Obs.Metrics.time h_broadcast (fun () ->
@@ -273,7 +392,7 @@ let commit ?(on_denial = `Abort) t ~user ops =
                 (Obs.Events.Broadcast { sessions = List.length others });
               Pool.run t.pool
                 (List.map
-                   (fun e' slot -> rebase_entry ~slot ~txn source' delta e')
+                   (fun cls slot -> rebase_class ~slot ~txn source' delta cls)
                    others)));
     Obs.Metrics.observe h_update (Obs.Mono.now () -. t0);
     Ok { reports; delta }

@@ -5,20 +5,32 @@
     §5 outlook calls for once several subjects query the same database
     concurrently.
 
-    Each user carries both enforcement engines: the incrementally
+    Sessions are grouped into {e permission-equivalence classes}
+    ({!Perm.profile}): users whose applicable rules are identical and
+    [$USER]-free provably resolve to the same decisions, so they share
+    one session state — one decision store, one materialised view, one
+    memoised {!Lazy_view}, one broadcast rebase.  Logins, fan-out work
+    and memory scale with the number of distinct permission profiles,
+    not the number of logged users; users carrying a [$USER] rule form
+    singleton classes and behave exactly as dedicated sessions.
+
+    Each class carries both enforcement engines: the incrementally
     maintained materialised view (axioms 15–17 via {!Session.apply_delta})
     and a memoised {!Lazy_view} for query filtering, rebased on each
-    broadcast.  Sessions whose rules are not downward
-    ({!Session.policy_local}) transparently fall back to full
-    re-derivation on every write — same answers, no locality. *)
+    broadcast; {!query} answers through the compiled {!Rewrite} read path
+    (plans cached per query text, shared by every session).  Classes
+    whose rules are not downward ({!Session.policy_local}) transparently
+    fall back to full re-derivation on every write — same answers, no
+    locality. *)
 
 type t
 
 val create : ?pool:Pool.t -> ?persist:Store.t -> Policy.t -> Xmldoc.Document.t -> t
-(** [?pool] (default: size 1, i.e. sequential) runs the write-broadcast
-    fan-out and {!login_many} batches on its workers.  The session table
-    is mutex-guarded; each session entry is still owned by one worker at
-    a time, so answers are identical for every pool size.
+(** [?pool] (default: {!Pool.of_env}, i.e. sequential unless [POOL_SIZE]
+    says otherwise) runs the write-broadcast fan-out and {!login_many}
+    batches on its workers.  The session and class tables are
+    mutex-guarded; each class is still owned by one worker at a time, so
+    answers are identical for every pool size.
 
     [?persist] attaches a write-ahead journal: every committed batch is
     appended ({!Store.append}) before it becomes visible to readers, so
@@ -31,20 +43,26 @@ val persist : t -> Store.t option
 
 val login : t -> user:string -> unit
 (** Registers a session for [user]; already-logged users keep their
-    session (and its caches).
+    session (and its caches).  Joining an existing permission class costs
+    O(1) — conflict resolution runs only when [user]'s profile is new.
     @raise Session.Unknown_user *)
 
 val login_many : t -> string list -> unit
-(** Batch {!login}: conflict resolution for the fresh users runs on the
-    pool (one task per user).  If any login raises (e.g.
-    [Session.Unknown_user]), no fresh session from this batch is
-    registered.
+(** Batch {!login}: conflict resolution runs once per {e new} permission
+    class on the pool (one task per class, not per user); every other
+    fresh user binds to its class in O(1).  If any representative login
+    raises (e.g. [Session.Unknown_user]), no fresh session from this
+    batch is registered.
     @raise Session.Unknown_user *)
 
 val logout : t -> user:string -> unit
 
 val users : t -> string list
 (** Logged users, sorted. *)
+
+val classes : t -> int
+(** Number of distinct permission-equivalence classes among the logged
+    sessions — what server memory actually scales with. *)
 
 val source : t -> Xmldoc.Document.t
 (** The current shared source database. *)
@@ -54,16 +72,22 @@ val writes : t -> int
 (** Number of update operations applied since {!create}. *)
 
 val session : t -> user:string -> Session.t
-(** @raise Session.Unknown_user if the user is not logged in. *)
+(** The user's session — the class representative impersonated to
+    [user] (see {!Session.impersonate}); permissions and views are the
+    shared class state.
+    @raise Session.Unknown_user if the user is not logged in. *)
 
 val lazy_view : t -> user:string -> Lazy_view.t
+(** The user's {e class}'s lazy view — shared by every member. *)
 
 val view : t -> user:string -> Xmldoc.Document.t
 (** The user's materialised view (incrementally maintained). *)
 
 val query : t -> user:string -> string -> Ordpath.t list
-(** Evaluates on the user's {e lazy} view, [$USER] bound.  Logs the user
-    in on first use.
+(** Evaluates through the {!Rewrite} read path on the user's class state
+    ([$USER] bound on the fallback path; compiled plans are cached per
+    query text and shared across sessions).  Logs the user in on first
+    use.
     @raise Session.Unknown_user
     @raise Xpath.Parser.Error
     @raise Xpath.Eval.Error *)

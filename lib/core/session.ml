@@ -65,6 +65,18 @@ let login policy source ~user =
               Obs.Audit.Allowed;
           { user; policy; source; perm; view; local }))
 
+(* Equivalence-class sharing (see Perm.profile): a member session is the
+   representative's record with only the identity swapped — the perm
+   store, the materialised view and the source are shared physically, so
+   an impersonated session costs one small record, not a login. *)
+let impersonate t ~user =
+  if String.equal user t.user then t
+  else begin
+    if not (Subject.mem (Policy.subjects t.policy) user) then
+      raise (Unknown_user user);
+    { t with user; perm = Perm.with_user t.perm user }
+  end
+
 let user t = t.user
 let policy t = t.policy
 let source t = t.source

@@ -11,6 +11,14 @@ val login : Policy.t -> Xmldoc.Document.t -> user:string -> t
 (** @raise Unknown_user if the user is not declared in the policy's
     subject hierarchy. *)
 
+val impersonate : t -> user:string -> t
+(** [impersonate t ~user] is [t] with the identity swapped to [user]; the
+    permission store, materialised view and source are shared physically
+    (no recomputation).  Sound exactly when [user] has the same
+    {!Perm.profile} as [t]'s user — the sharing primitive behind
+    {!Serve}'s permission-equivalence classes.
+    @raise Unknown_user if [user] is not in the policy's hierarchy. *)
+
 val user : t -> string
 val policy : t -> Policy.t
 val source : t -> Xmldoc.Document.t

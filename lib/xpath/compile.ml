@@ -271,6 +271,34 @@ let fold t doc ~init ~f =
   let stack = ref [] in
   Xmldoc.Document.fold (fun n acc -> visit run stack acc n ~f) doc init
 
+(* The automaton run over a *virtual* document: [view] prunes (None) or
+   remaps (Some n', same identifier) each source node.  Pruned subtrees
+   are contiguous in document order, so skipping them costs one ancestor
+   check per node against the last pruned root — no side table.  The
+   remapped node is what the automaton consumes, so name tests see the
+   virtual labels, never the source's. *)
+let fold_view t doc ~view ~init ~f =
+  let run = new_run t in
+  let stack = ref [] in
+  let pruned = ref None in
+  Xmldoc.Document.fold
+    (fun (n : Xmldoc.Node.t) acc ->
+      let skip =
+        match !pruned with
+        | Some root -> Ordpath.is_ancestor_or_self ~ancestor:root n.id
+        | None -> false
+      in
+      if skip then acc
+      else begin
+        pruned := None;
+        match view n with
+        | None ->
+          pruned := Some n.id;
+          acc
+        | Some n' -> visit run stack acc n' ~f
+      end)
+    doc init
+
 let fold_subtree t doc ~root ~init ~f =
   if not (Xmldoc.Document.mem doc root) then init
   else begin

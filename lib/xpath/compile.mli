@@ -32,6 +32,19 @@ val fold :
     accepted payloads.  Payload order within the list is unspecified and
     a payload may repeat when several of its paths accept the node. *)
 
+val fold_view :
+  'a t -> Xmldoc.Document.t ->
+  view:(Xmldoc.Node.t -> Xmldoc.Node.t option) ->
+  init:'b -> f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** {!fold} over the {e virtual} document induced by [view]: a node for
+    which [view] returns [None] is pruned together with its whole
+    subtree; otherwise the returned node (which must keep the source
+    identifier, but may carry a different label — e.g. [RESTRICTED])
+    is what the automaton consumes and what [f] receives.  Equivalent
+    to materialising the virtual document and running {!fold} on it —
+    the product of the query automaton with the visibility predicate,
+    computed in one shared pass ([Core.Rewrite]'s read path). *)
+
 val fold_subtree :
   'a t -> Xmldoc.Document.t -> root:Ordpath.t -> init:'b ->
   f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b

@@ -1,0 +1,115 @@
+(* Minimal-counterexample shrinker shared by the differential harnesses
+   (test_differential.ml, test_rewrite.ml).
+
+   Greedy fixed-point reduction under a failure predicate: a candidate
+   reduction is kept iff the failure still reproduces on it, so the
+   result is a locally minimal (document, policy, query) triple that
+   still fails — small enough to read and to replay by hand.  Shrink
+   order follows the harness contract: document subtrees first (the bulk
+   of the noise), then policy rules, then query branches/steps.
+
+   When XMLSECU_SHRINK_DIR is set, [save] also writes each shrunk repro
+   to a file there — CI uploads the directory as an artifact. *)
+
+module D = Xmldoc.Document
+
+(* Remove whole subtrees while the failure persists.  Document order
+   visits parents before children, so large prunes are attempted first;
+   passes repeat until a fixed point. *)
+let document ~fails doc =
+  let rec pass doc =
+    let ids =
+      List.filter_map
+        (fun (n : Xmldoc.Node.t) ->
+          if Ordpath.equal n.id Ordpath.document then None else Some n.id)
+        (D.nodes doc)
+    in
+    let step (doc, changed) id =
+      if not (D.mem doc id) then (doc, changed)
+      else
+        let candidate = D.remove_subtree doc id in
+        if D.size candidate < D.size doc && fails candidate then
+          (candidate, true)
+        else (doc, changed)
+    in
+    let doc', changed = List.fold_left step (doc, false) ids in
+    if changed then pass doc' else doc'
+  in
+  if fails doc then pass doc else doc
+
+(* Revoke rules one at a time while the failure persists. *)
+let policy ~fails p =
+  let rec pass p =
+    let priorities =
+      List.map (fun (r : Core.Rule.t) -> r.priority) (Core.Policy.rules p)
+    in
+    let step (p, changed) priority =
+      let candidate = Core.Policy.revoke p ~priority in
+      if fails candidate then (candidate, true) else (p, changed)
+    in
+    let p', changed = List.fold_left step (p, false) priorities in
+    if changed then pass p' else p'
+  in
+  if fails p then pass p else p
+
+(* Candidate reductions of a query: each union branch on its own, and
+   each path with trailing steps dropped. *)
+let query_candidates (e : Xpath.Ast.expr) =
+  let rec branches = function
+    | Xpath.Ast.Union (a, b) -> branches a @ branches b
+    | e -> [ e ]
+  in
+  let truncations = function
+    | Xpath.Ast.Path { absolute; steps } when List.length steps > 1 ->
+      List.init
+        (List.length steps - 1)
+        (fun k ->
+          Xpath.Ast.Path
+            { absolute; steps = List.filteri (fun i _ -> i <= k) steps })
+    | _ -> []
+  in
+  let bs = branches e in
+  (if List.length bs > 1 then bs else []) @ List.concat_map truncations bs
+
+let query ~fails e =
+  let rec pass e =
+    match List.find_opt fails (query_candidates e) with
+    | Some e' -> pass e'
+    | None -> e
+  in
+  if fails e then pass e else e
+
+(* Document first, then policy, then query — each stage shrinks against
+   the others' already-shrunk values. *)
+let triple ~fails (d, p, q) =
+  let d = document ~fails:(fun d -> fails (d, p, q)) d in
+  let p = policy ~fails:(fun p -> fails (d, p, q)) p in
+  let q = query ~fails:(fun q -> fails (d, p, q)) q in
+  (d, p, q)
+
+let render ~seed ~doc ~policy ?query ?op what =
+  Printf.sprintf "%s\n--- shrunk repro (seed %d) ---\nfacts: %s\npolicy:\n%s%s%s"
+    what seed
+    (Xmldoc.Xml_print.facts doc)
+    (Format.asprintf "%a" Core.Policy.pp policy)
+    (match query with
+     | Some q -> Printf.sprintf "\nquery: %s" q
+     | None -> "")
+    (match op with Some o -> Printf.sprintf "\nop: %s" o | None -> "")
+
+(* Persist a repro for the CI artifact upload; a missing/unwritable
+   directory silently degrades to print-only. *)
+let save ~name ~seed text =
+  match Sys.getenv_opt "XMLSECU_SHRINK_DIR" with
+  | None -> ()
+  | Some dir ->
+    (try
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+       let file =
+         Filename.concat dir (Printf.sprintf "%s-seed%d.txt" name seed)
+       in
+       let oc = open_out file in
+       output_string oc text;
+       output_char oc '\n';
+       close_out oc
+     with Sys_error _ | Unix.Unix_error _ -> ())

@@ -1,0 +1,32 @@
+(** Minimal-counterexample shrinking for the differential harnesses: each
+    function greedily reduces its input while the failure predicate keeps
+    returning [true], to a locally minimal value that still fails.  The
+    predicates must be pure (re-runnable); they are called many times. *)
+
+val document :
+  fails:(Xmldoc.Document.t -> bool) -> Xmldoc.Document.t -> Xmldoc.Document.t
+(** Removes whole subtrees (parents before children, to a fixed point). *)
+
+val policy : fails:(Core.Policy.t -> bool) -> Core.Policy.t -> Core.Policy.t
+(** Revokes rules one at a time (to a fixed point). *)
+
+val query :
+  fails:(Xpath.Ast.expr -> bool) -> Xpath.Ast.expr -> Xpath.Ast.expr
+(** Tries each union branch alone, then trailing-step truncations. *)
+
+val triple :
+  fails:(Xmldoc.Document.t * Core.Policy.t * Xpath.Ast.expr -> bool) ->
+  Xmldoc.Document.t * Core.Policy.t * Xpath.Ast.expr ->
+  Xmldoc.Document.t * Core.Policy.t * Xpath.Ast.expr
+(** Document first, then policy, then query, each against the others'
+    already-shrunk values. *)
+
+val render :
+  seed:int -> doc:Xmldoc.Document.t -> policy:Core.Policy.t ->
+  ?query:string -> ?op:string -> string -> string
+(** The repro message: the failure description plus the shrunk triple in
+    replayable form (facts, policy, query/op, seed). *)
+
+val save : name:string -> seed:int -> string -> unit
+(** Writes the repro under [$XMLSECU_SHRINK_DIR/<name>-seed<seed>.txt]
+    when the variable is set (the CI artifact hook); no-op otherwise. *)

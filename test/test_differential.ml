@@ -121,7 +121,7 @@ let check_lazy_agreement ~seed ~doc ~policy ~op session =
         List.map Ordpath.to_string (Xpath.Eval.select_str ~vars view q)
       in
       if via_lazy <> via_view then
-        Alcotest.fail
+        failwith
           (repro ~seed ~doc ~policy ~op
              (Printf.sprintf
                 "lazy view disagrees with View.derive on %s:\n  lazy [%s]\n  view [%s]"
@@ -148,7 +148,7 @@ let check_incremental_update ~seed ~doc ~policy ~op session =
   let fresh = Core.Session.refresh session source' in
   (* Views: patched vs derived from scratch. *)
   if not (D.equal (Core.Session.view session') (Core.Session.view fresh)) then
-    Alcotest.fail
+    failwith
       (repro ~seed ~doc ~policy ~op
          (Printf.sprintf
             "incremental view <> fresh view\n  incremental: %s\n  fresh: %s"
@@ -163,7 +163,7 @@ let check_incremental_update ~seed ~doc ~policy ~op session =
           let inc = Core.Session.holds session' privilege id in
           let scr = Core.Session.holds fresh privilege id in
           if inc <> scr then
-            Alcotest.fail
+            failwith
               (repro ~seed ~doc ~policy ~op
                  (Printf.sprintf "Perm.update disagrees on %s for %s"
                     (Ordpath.to_string id)
@@ -185,7 +185,7 @@ let check_incremental_update ~seed ~doc ~policy ~op session =
       let expect = D.label fresh_view id in
       let got = Core.Lazy_view.label lv' id in
       if got <> expect then
-        Alcotest.fail
+        failwith
           (repro ~seed ~doc ~policy ~op
              (Printf.sprintf
                 "rebased lazy view disagrees at %s: lazy %s, fresh %s (delta %s)"
@@ -196,15 +196,44 @@ let check_incremental_update ~seed ~doc ~policy ~op session =
                    report.Core.Secure_update.delta))))
     ids
 
+let run_checks ~seed ~doc ~policy ~op =
+  let session = Core.Session.login policy doc ~user:"u" in
+  check_lazy_agreement ~seed ~doc ~policy ~op session;
+  check_incremental_update ~seed ~doc ~policy ~op session;
+  session
+
 let test_differential () =
   let locals = ref 0 in
   for case = 0 to cases - 1 do
     let seed = base_seed + case in
     let _, doc, policy, op = random_case seed in
-    let session = Core.Session.login policy doc ~user:"u" in
-    if Core.Session.policy_local session then incr locals;
-    check_lazy_agreement ~seed ~doc ~policy ~op session;
-    check_incremental_update ~seed ~doc ~policy ~op session
+    match run_checks ~seed ~doc ~policy ~op with
+    | session -> if Core.Session.policy_local session then incr locals
+    | exception e ->
+      (* Shrink to a minimal failing triple before reporting: document
+         subtrees first, then policy rules (the op stays as generated —
+         its path usually is the point of the failure). *)
+      let still_fails doc policy =
+        match run_checks ~seed ~doc ~policy ~op with
+        | _ -> false
+        | exception _ -> true
+      in
+      let doc' =
+        Test_support.Shrink.document
+          ~fails:(fun d -> still_fails d policy)
+          doc
+      in
+      let policy' =
+        Test_support.Shrink.policy ~fails:(still_fails doc') policy
+      in
+      let msg = match e with Failure m -> m | e -> Printexc.to_string e in
+      let text =
+        Test_support.Shrink.render ~seed ~doc:doc' ~policy:policy'
+          ~op:(Format.asprintf "%a" Op.pp op)
+          msg
+      in
+      Test_support.Shrink.save ~name:"differential" ~seed text;
+      Alcotest.fail text
   done;
   (* The generator must exercise both the genuinely incremental path and
      the Delta.All fallback, or the test proves less than it claims. *)

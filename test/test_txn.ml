@@ -543,6 +543,103 @@ let test_recovery_with_snapshots () =
   Alcotest.(check int) "snapshot at seq 4" 4 r.Core.Txn.snapshot_seq;
   Alcotest.(check bool) "state equal" true (D.equal r.Core.Txn.doc final)
 
+(* Recovery under a policy whose rules are NOT all downward: predicate
+   and $USER paths force Perm's per-rule fallback evaluator both while
+   the script commits and when permissions are re-resolved on the
+   recovered document.  The recovered state and every user's re-derived
+   view must agree with the pre-crash ones. *)
+let nd_subjects =
+  Core.Subject.of_list
+    [
+      (Core.Subject.Role, "staff", []);
+      (Core.Subject.Role, "patient", []);
+      (Core.Subject.User, "w", [ "staff" ]);
+      (Core.Subject.User, "franck", [ "patient" ]);
+      (Core.Subject.User, "robert", [ "patient" ]);
+    ]
+
+let nd_policy =
+  Core.Policy.v nd_subjects
+    [
+      Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"staff"
+        ~priority:1;
+      Core.Rule.accept Core.Privilege.Update ~path:"//node()" ~subject:"staff"
+        ~priority:2;
+      Core.Rule.accept Core.Privilege.Insert ~path:"//node()" ~subject:"staff"
+        ~priority:3;
+      Core.Rule.accept Core.Privilege.Delete ~path:"//node()" ~subject:"staff"
+        ~priority:4;
+      (* Non-downward: a predicate span and the $USER self-record rule. *)
+      Core.Rule.accept Core.Privilege.Read ~path:"/patients"
+        ~subject:"patient" ~priority:5;
+      Core.Rule.accept Core.Privilege.Read
+        ~path:"/patients/*[name() = $USER]/descendant-or-self::node()"
+        ~subject:"patient" ~priority:6;
+      Core.Rule.deny Core.Privilege.Read ~path:"//*[diagnosis/text()]/note"
+        ~subject:"patient" ~priority:7;
+    ]
+
+let nd_script =
+  [
+    ("w", [ Op.update "/patients/franck/diagnosis" "pharyngitis" ]);
+    ( "w",
+      [
+        Op.append "/patients/franck"
+          (Tree.element "note" [ Tree.text "follow-up" ]);
+      ] );
+    ("w", [ Op.update "/patients/franck/diagnosis" "cured" ]);
+  ]
+
+let nd_perm_agreement recovered expected =
+  List.iter
+    (fun user ->
+      let vr =
+        Core.Session.view (Core.Session.login nd_policy recovered ~user)
+      in
+      let ve =
+        Core.Session.view (Core.Session.login nd_policy expected ~user)
+      in
+      if not (D.equal vr ve) then
+        Alcotest.failf "recovered fallback view for %s diverges" user)
+    [ "w"; "franck"; "robert" ]
+
+let test_recovery_non_downward () =
+  let src = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf src) @@ fun () ->
+  let store = Store.open_dir src in
+  let doc0 = P.document () in
+  Store.init store doc0;
+  let journal = Filename.concat src "journal.log" in
+  let serve = Core.Serve.create ~persist:store nd_policy doc0 in
+  let boundaries = ref [ (file_size journal, 0, doc0) ] in
+  List.iteri
+    (fun i (user, ops) ->
+      match Core.Serve.commit serve ~user ops with
+      | Ok _ ->
+        boundaries :=
+          (file_size journal, i + 1, Core.Serve.source serve) :: !boundaries
+      | Error e ->
+        Alcotest.failf "nd script step %d aborted: %s" i
+          (Core.Txn.error_to_string e))
+    nd_script;
+  let final = Core.Serve.source serve in
+  Store.close store;
+  let boundaries = List.rev !boundaries in
+  let bytes = slurp journal in
+  (* Full journal: final state, nothing torn, fallback views agree. *)
+  let r = Core.Txn.recover nd_policy src in
+  check_recovered ~p:(String.length bytes)
+    ~expected_seq:(List.length nd_script) ~expected_doc:final ~torn:0 r;
+  nd_perm_agreement r.Core.Txn.doc final;
+  (* Truncated to an interior commit boundary: the $USER and predicate
+     rules must re-resolve identically on the partial replay too. *)
+  let off1, seq1, doc1 = List.nth boundaries 1 in
+  let dir = truncated_copy src bytes off1 in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let r1 = Core.Txn.recover nd_policy dir in
+  check_recovered ~p:off1 ~expected_seq:seq1 ~expected_doc:doc1 ~torn:0 r1;
+  nd_perm_agreement r1.Core.Txn.doc doc1
+
 let () =
   Alcotest.run "txn"
     [
@@ -565,5 +662,7 @@ let () =
             test_recovery_corrupt_middle;
           Alcotest.test_case "snapshot + tail replay" `Quick
             test_recovery_with_snapshots;
+          Alcotest.test_case "non-downward rule paths (fallback perms)"
+            `Quick test_recovery_non_downward;
         ] );
     ]
