@@ -50,6 +50,7 @@ let handle_errors f =
   | Xupdate.Xupdate_xml.Error msg -> err code_xupdate "xupdate" "%s" msg
   | Xmldoc.Schema.Parse_error msg -> err code_schema "schema" "DTD: %s" msg
   | Store.Error msg -> err code_store "store" "%s" msg
+  | Store.Audit_log.Error msg -> err code_store "store" "audit journal: %s" msg
   | Core.Txn.Aborted e ->
     err code_txn "txn" "%s" (Core.Txn.error_to_string e)
 
@@ -275,15 +276,54 @@ let with_monitor ?store ?pool monitor_port f =
   match monitor_port with
   | None -> f ()
   | Some port ->
-    (* A live scrape without the event log is half blind; monitoring
-       opt-in turns it on (counters and gauges are always on). *)
+    (* A live scrape without the event log, rule telemetry and plan log
+       is half blind; monitoring opt-in turns them on (counters and
+       gauges are always on). *)
     Obs.Events.set_enabled true;
+    Obs.Rulestats.set_enabled true;
+    Obs.Planlog.set_enabled true;
     let m =
       Monitor.start ~port ~probes:(fun () -> monitor_probes ~store ~pool ()) ()
     in
     Printf.eprintf "xmlsecu: monitoring on http://127.0.0.1:%d\n%!"
       (Monitor.port m);
     Fun.protect ~finally:(fun () -> Monitor.stop m) f
+
+(* --- durable audit journal ------------------------------------------------ *)
+
+let audit_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-dir" ] ~docv:"DIR"
+        ~doc:"Persist every audit event to a durable, size-rotated audit \
+              journal in this directory (framed records, crash-recoverable \
+              longest-valid-prefix reads; see xmlsecu audit-read).  Implies \
+              audit recording.")
+
+let audit_max_bytes_arg =
+  Arg.(
+    value
+    & opt int Store.Audit_log.default_max_bytes
+    & info [ "audit-max-bytes" ] ~docv:"BYTES"
+        ~doc:"With --audit-dir: rotate to a fresh segment once the current \
+              one would exceed this size.")
+
+(* Enables audit recording and streams every event through the durable
+   sink for the duration of [f]; the sink is detached before the journal
+   closes so a late event from another thread cannot hit a closed fd. *)
+let with_audit_journal ?(fsync = false) ~max_bytes audit_dir f =
+  match audit_dir with
+  | None -> f ()
+  | Some dir ->
+    let log = Store.Audit_log.open_dir ~fsync ~max_bytes dir in
+    Obs.Audit.set_sink Obs.Audit.default (Some (Store.Audit_log.sink log));
+    Obs.Audit.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Audit.set_sink Obs.Audit.default None;
+        Store.Audit_log.close log)
+      f
 
 let update_cmd =
   let xupdate_arg =
@@ -316,7 +356,7 @@ let update_cmd =
                 per-op reports are only printed when N = 1).")
   in
   let run doc policy_path user xupdate_file output atomic repeat persist
-      snapshot_every fsync monitor_port =
+      snapshot_every fsync monitor_port audit_dir audit_max_bytes =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy_path) in
         let ops = Xupdate.Xupdate_xml.ops_of_string (read_file xupdate_file) in
@@ -334,9 +374,13 @@ let update_cmd =
           ~finally:(fun () -> Option.iter Store.close store)
           (fun () ->
             let serve = Core.Serve.create ?persist:store policy source in
-            Core.Serve.login serve ~user;
             with_monitor ?store ~pool:(Core.Serve.pool serve) monitor_port
             @@ fun () ->
+            with_audit_journal ~fsync ~max_bytes:audit_max_bytes audit_dir
+            @@ fun () ->
+            (* Login after the telemetry switches are on, so the
+               login-time conflict resolution is itself counted. *)
+            Core.Serve.login serve ~user;
             let code = ref 0 in
             (try
                for _ = 1 to repeat do
@@ -367,7 +411,7 @@ let update_cmd =
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ xupdate_arg $ output_arg
       $ atomic_flag $ repeat_arg $ persist_arg $ snapshot_every_arg
-      $ fsync_flag $ monitor_port_arg)
+      $ fsync_flag $ monitor_port_arg $ audit_dir_arg $ audit_max_bytes_arg)
 
 (* --- snapshot / recover ----------------------------------------------------- *)
 
@@ -438,19 +482,47 @@ let explain_cmd =
       & info [] ~docv:"XPATH"
           ~doc:"Path selecting the source nodes to explain.")
   in
-  let run doc policy user path =
-    with_session doc policy user (fun session ->
-        let ids = Core.Session.query_source session path in
-        if ids = [] then print_endline "no node selected"
-        else
-          List.iter
-            (fun id -> print_string (Core.Explain.describe session id))
-            ids)
+  let plan_flag =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:"Explain the query instead of its nodes: serve XPATH through \
+                the secure read path and print the recorded execution plan \
+                — rewrite vs fallback, automaton product states, nodes \
+                visited and pruned, answer count, deciding rules, \
+                permission class and latency.")
+  in
+  let run doc policy user path plan_mode json =
+    if not plan_mode then
+      with_session doc policy user (fun session ->
+          let ids = Core.Session.query_source session path in
+          if ids = [] then print_endline "no node selected"
+          else
+            List.iter
+              (fun id -> print_string (Core.Explain.describe session id))
+              ids)
+    else
+      handle_errors (fun () ->
+          let doc = load_doc doc in
+          let policy = Core.Policy_lang.parse (read_file policy) in
+          Obs.Planlog.set_enabled true;
+          let serve = Core.Serve.create policy doc in
+          Core.Serve.login serve ~user;
+          ignore (Core.Serve.query serve ~user path);
+          (match List.rev (Obs.Planlog.recent ()) with
+           | plan :: _ ->
+             if json then print_endline (Obs.Planlog.plan_to_json plan)
+             else print_string (Obs.Planlog.plan_to_string plan)
+           | [] -> print_endline "no plan recorded");
+          0)
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Explain why nodes are visible, RESTRICTED or hidden for the user.")
-    Term.(const run $ doc_arg $ policy_arg $ user_arg $ node_arg)
+       ~doc:"Explain why nodes are visible, RESTRICTED or hidden for the \
+             user — or, with --plan, how a query executed.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ node_arg $ plan_flag
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Emit the plan as JSON."))
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -733,7 +805,7 @@ let monitor_cmd =
           ~doc:"Log this additional user in (repeatable).")
   in
   let run doc policy user port duration pool logins persist snapshot_every
-      fsync =
+      fsync audit_dir audit_max_bytes =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy) in
         let store, source =
@@ -752,13 +824,18 @@ let monitor_cmd =
               Core.Serve.create ~pool:(Core.Pool.create pool) ?persist:store
                 policy source
             in
-            Core.Serve.login serve ~user;
-            Core.Serve.login_many serve logins;
             (* The monitor process is all about visibility: turn every
-               observability layer on. *)
+               observability layer on — before any login, so the
+               login-time conflict resolutions are counted too. *)
             Obs.Trace.set_enabled true;
             Obs.Audit.set_enabled true;
             Obs.Events.set_enabled true;
+            Obs.Rulestats.set_enabled true;
+            Obs.Planlog.set_enabled true;
+            with_audit_journal ~fsync ~max_bytes:audit_max_bytes audit_dir
+            @@ fun () ->
+            Core.Serve.login serve ~user;
+            Core.Serve.login_many serve logins;
             let m =
               Monitor.start ~port
                 ~probes:(fun () ->
@@ -766,7 +843,7 @@ let monitor_cmd =
                 ()
             in
             Printf.printf
-              "xmlsecu: serving http://127.0.0.1:%d{/metrics,/healthz,/tracez,/auditz,/eventz}\n%!"
+              "xmlsecu: serving http://127.0.0.1:%d{/metrics,/healthz,/tracez,/auditz,/eventz,/rulez,/slowz,/explainz}\n%!"
               (Monitor.port m);
             Fun.protect
               ~finally:(fun () -> Monitor.stop m)
@@ -781,11 +858,12 @@ let monitor_cmd =
   Cmd.v
     (Cmd.info "monitor"
        ~doc:"Run a logged-in server and serve the live monitoring surface \
-             (/metrics, /healthz, /tracez, /auditz, /eventz) over HTTP \
-             until killed.")
+             (/metrics, /healthz, /tracez, /auditz, /eventz, /rulez, \
+             /slowz, /explainz) over HTTP until killed.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ port_arg $ duration_arg
-      $ pool_arg $ logins_arg $ persist_arg $ snapshot_every_arg $ fsync_flag)
+      $ pool_arg $ logins_arg $ persist_arg $ snapshot_every_arg $ fsync_flag
+      $ audit_dir_arg $ audit_max_bytes_arg)
 
 (* --- trace ---------------------------------------------------------------- *)
 
@@ -912,6 +990,182 @@ let audit_cmd =
       const run $ doc_arg $ policy_arg $ user_arg $ script_arg $ capacity_arg
       $ json_flag)
 
+(* --- coverage ------------------------------------------------------------- *)
+
+let coverage_cmd =
+  let query_args =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"XPATH"
+          ~doc:"XPath queries to serve (each evaluated on the user's lazy \
+                view) before reporting.")
+  in
+  let update_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "update" ] ~docv:"XUPDATE"
+          ~doc:"Also apply this <xupdate:modifications> document through \
+                the secure write path (its delta re-resolution is counted \
+                too).")
+  in
+  let logins_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "login" ] ~docv:"USER"
+          ~doc:"Log this additional user in (repeatable); their applicable \
+                rules join the coverage report.")
+  in
+  let strict_flag =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero when any rule decided zero nodes (a \
+                runtime-shadowed candidate) — the CI-gate mode.")
+  in
+  let run doc policy user queries update_file logins strict json =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        (* Before the first login: conflict resolution at login time is
+           exactly what the telemetry must observe. *)
+        Obs.Rulestats.set_enabled true;
+        let serve = Core.Serve.create policy doc in
+        Core.Serve.login serve ~user;
+        Core.Serve.login_many serve logins;
+        List.iter (fun q -> ignore (Core.Serve.query serve ~user q)) queries;
+        (match update_file with
+         | None -> ()
+         | Some path ->
+           let ops = Xupdate.Xupdate_xml.ops_of_string (read_file path) in
+           ignore (Core.Serve.update_all serve ~user ops));
+        if json then print_endline (Obs.Rulestats.to_json ())
+        else print_string (Obs.Rulestats.to_string ());
+        let shadowed = Obs.Rulestats.shadowed () in
+        if not json then
+          Printf.printf "%d rule(s), %d runtime-shadowed candidate(s)\n"
+            (List.length (Obs.Rulestats.reports ()))
+            (List.length shadowed);
+        if strict && shadowed <> [] then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:"Report per-rule decision coverage: how many nodes each \
+             applicable rule matched and actually decided under \
+             most-recent-wins resolution.  Rules with zero decisions are \
+             runtime-shadowed candidates (cross-check with xmlsecu lint's \
+             static analysis).")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
+      $ logins_arg $ strict_flag $ json_flag)
+
+(* --- slow ----------------------------------------------------------------- *)
+
+let slow_cmd =
+  let query_args =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"XPATH"
+          ~doc:"XPath queries to serve while the plan log records.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float (Obs.Planlog.default_threshold *. 1000.)
+      & info [ "threshold-ms" ] ~docv:"MS"
+          ~doc:"Slow-query latency threshold in milliseconds; plans at or \
+                above it land in the slow ring.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Serve each query N times (warm caches surface the steady \
+                state).")
+  in
+  let all_flag =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Print every recorded plan, not just the slow ones.")
+  in
+  let run doc policy user queries threshold_ms repeat all json =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        Obs.Planlog.set_enabled true;
+        Obs.Planlog.set_threshold (threshold_ms /. 1000.);
+        let serve = Core.Serve.create policy doc in
+        Core.Serve.login serve ~user;
+        for _ = 1 to max 1 repeat do
+          List.iter (fun q -> ignore (Core.Serve.query serve ~user q)) queries
+        done;
+        let plans = if all then Obs.Planlog.recent () else Obs.Planlog.slow () in
+        if json then
+          print_endline
+            (if all then Obs.Planlog.recent_json () else Obs.Planlog.slow_json ())
+        else begin
+          List.iter (fun p -> print_string (Obs.Planlog.plan_to_string p)) plans;
+          Printf.printf "%d of %d plan(s)%s\n" (List.length plans)
+            (Obs.Planlog.seen ())
+            (if all then ""
+             else
+               Printf.sprintf " at or above %.3fms" (Obs.Planlog.threshold () *. 1000.))
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "slow"
+       ~doc:"Serve queries with the plan log on and print the slow-query \
+             log: every plan whose latency met the threshold, with its \
+             read path, traversal counters and deciding rules.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ query_args $ threshold_arg
+      $ repeat_arg $ all_flag $ json_flag)
+
+(* --- audit-read ------------------------------------------------------------ *)
+
+let audit_read_cmd =
+  let dir_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Audit journal directory (see --audit-dir).")
+  in
+  let run dir json =
+    handle_errors (fun () ->
+        let scan = Store.Audit_log.scan dir in
+        if json then begin
+          Printf.printf "{\"events\":[%s],\"files\":[%s],\"valid_bytes\":%d,\"torn_bytes\":%d}\n"
+            (String.concat ","
+               (List.map Obs.Audit.event_to_json scan.Store.Audit_log.events))
+            (String.concat ","
+               (List.map Obs.Metrics.json_string scan.Store.Audit_log.files))
+            scan.Store.Audit_log.valid_bytes scan.Store.Audit_log.torn_bytes
+        end
+        else begin
+          List.iter
+            (fun e -> print_endline (Obs.Audit.event_to_string e))
+            scan.Store.Audit_log.events;
+          Printf.printf
+            "%d event(s) from %d segment(s), %d valid byte(s), %d torn \
+             byte(s) dropped\n"
+            (List.length scan.Store.Audit_log.events)
+            (List.length scan.Store.Audit_log.files)
+            scan.Store.Audit_log.valid_bytes scan.Store.Audit_log.torn_bytes
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "audit-read"
+       ~doc:"Read a durable audit journal back: the longest valid prefix of \
+             every segment (a torn final record after a crash is dropped), \
+             oldest first.")
+    Term.(const run $ dir_pos $ json_flag)
+
 (* --- repl ---------------------------------------------------------------- *)
 
 let repl_cmd =
@@ -972,6 +1226,7 @@ let main =
       view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
       stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd; stats_cmd;
       audit_cmd; snapshot_cmd; recover_cmd; monitor_cmd; trace_cmd;
+      coverage_cmd; slow_cmd; audit_read_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

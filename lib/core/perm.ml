@@ -140,24 +140,94 @@ let winners_of rules =
   done;
   !out
 
+(* Per-rule decision telemetry.  [stats_index rules] registers every
+   applicable rule with the global registry and returns a priority-keyed
+   lookup (priorities are unique within a policy, so the key identifies
+   the rule exactly); [None] while recording is disabled, so the hot
+   paths below stay allocation-free. *)
+let stats_index rules =
+  if not (Obs.Rulestats.enabled ()) then None
+  else begin
+    let tbl = Hashtbl.create (2 * List.length rules + 1) in
+    List.iter
+      (fun (r : Rule.t) ->
+        let e =
+          (* Formatting the description dominates registration, and a
+             rule re-resolves on every broadcast — only pay it once. *)
+          match Obs.Rulestats.find ~key:r.priority with
+          | Some e -> e
+          | None ->
+            Obs.Rulestats.register ~key:r.priority
+              ~privilege:(Privilege.to_string r.privilege)
+              ~desc:(Format.asprintf "%a" Rule.pp r)
+        in
+        Hashtbl.replace tbl r.priority e)
+      rules;
+    Some (fun (r : Rule.t) -> Hashtbl.find tbl r.Rule.priority)
+  end
+
+(* Decided = present in a final decision store: folding the stores after
+   conflict resolution is exact for both the compiled and the fallback
+   path (a downward winner later overridden by a fallback rule is not
+   counted), unlike counting winners inside the traversal. *)
+let count_decided stats (stores : Rule.t Dmap.t array) =
+  match stats with
+  | None -> ()
+  | Some entry_of ->
+    Array.iter
+      (fun store ->
+        Dmap.fold
+          (fun _ (r : Rule.t) () -> Obs.Rulestats.add_decided (entry_of r) 1)
+          store ())
+      stores
+
 (* [node_pusher () acc id rules] prepends [id]'s winning (id, rule) pair
    onto [acc.(privilege)].  Ids arrive in ascending document order, so the
    accumulators are descending rev-lists ready for [Dmap.of_rev_list].
    A node revisited through nested delta roots would emit the same
    winners; {!Delta.of_roots} guarantees disjoint roots, so ids are in
-   fact unique. *)
-let node_pusher () =
-  let cache : (Rule.t list * (int * Rule.t) list) list ref = ref [] in
+   fact unique.
+
+   With [?stats], every node also bumps the matched counter of each
+   distinct rule in its payload list.  The distinct-rule list is cached
+   alongside the winners under the same physical-equality key (the
+   matcher hands every node of one state set the same physical list), so
+   the per-node telemetry cost is one list walk of already-resolved
+   entries — no hashing. *)
+let node_pusher ?stats () =
+  let cache :
+      (Rule.t list * ((int * Rule.t) list * Obs.Rulestats.entry list)) list ref
+      =
+    ref []
+  in
   fun (acc : (Ordpath.t * Rule.t) list array) id rules ->
     let rec lookup = function
       | (key, w) :: _ when key == rules -> w
       | _ :: rest -> lookup rest
       | [] ->
-        let w = winners_of rules in
+        let entries =
+          match stats with
+          | None -> []
+          | Some entry_of ->
+            (* A payload list repeats a rule when several of its paths
+               accept the node; matched counts nodes, so dedupe. *)
+            let seen = Hashtbl.create 8 in
+            List.filter_map
+              (fun (r : Rule.t) ->
+                if Hashtbl.mem seen r.Rule.priority then None
+                else begin
+                  Hashtbl.add seen r.Rule.priority ();
+                  Some (entry_of r)
+                end)
+              rules
+        in
+        let w = (winners_of rules, entries) in
         cache := (rules, w) :: !cache;
         w
     in
-    List.iter (fun (i, r) -> acc.(i) <- (id, r) :: acc.(i)) (lookup !cache)
+    let winners, entries = lookup !cache in
+    List.iter (fun e -> Obs.Rulestats.add_matched e 1) entries;
+    List.iter (fun (i, r) -> acc.(i) <- (id, r) :: acc.(i)) winners
 
 let matcher_of_rules rules =
   Xpath.Compile.compile (List.map (fun (r : Rule.t) -> (r, r.Rule.path)) rules)
@@ -175,7 +245,7 @@ let higher_priority (a : Rule.t) (b : Rule.t) =
    ($USER bound), sharing selections across rules with identical path
    text, and merge the resulting decisions into [decisions] by rule
    priority. *)
-let merge_fallback doc ~user decisions rules =
+let merge_fallback ?stats doc ~user decisions rules =
   match rules with
   | [] -> decisions
   | rules ->
@@ -194,7 +264,12 @@ let merge_fallback doc ~user decisions rules =
     List.iter
       (fun (r : Rule.t) ->
         let i = privilege_index r.privilege in
-        List.iter (fun id -> extras.(i) <- (id, r) :: extras.(i)) (select r))
+        let ids = select r in
+        (match stats with
+        | Some entry_of ->
+          Obs.Rulestats.add_matched (entry_of r) (List.length ids)
+        | None -> ());
+        List.iter (fun id -> extras.(i) <- (id, r) :: extras.(i)) ids)
       rules;
     Array.mapi
       (fun i base ->
@@ -220,18 +295,21 @@ let merge_fallback doc ~user decisions rules =
       decisions
 
 let compute policy doc ~user =
-  let downward, fallback = partition_rules (Policy.rules_for policy ~user) in
+  let rules = Policy.rules_for policy ~user in
+  let stats = stats_index rules in
+  let downward, fallback = partition_rules rules in
   let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
   (match downward with
    | [] -> ()
    | downward ->
      let matcher = matcher_of_rules downward in
-     let push = node_pusher () in
+     let push = node_pusher ?stats () in
      Xpath.Compile.fold matcher doc ~init:() ~f:(fun () n rules ->
        push acc n.Xmldoc.Node.id rules));
   let decisions =
-    merge_fallback doc ~user (Array.map Dmap.of_rev_list acc) fallback
+    merge_fallback ?stats doc ~user (Array.map Dmap.of_rev_list acc) fallback
   in
+  count_decided stats decisions;
   { user; decisions }
 
 (* The pre-compilation implementation — one [Eval.select] per applicable
@@ -308,19 +386,23 @@ let update t policy doc delta =
     let rules = Policy.rules_for policy ~user:t.user in
     if not (Delta.local_rules rules) then compute policy doc ~user:t.user
     else begin
+      let stats = stats_index rules in
       let matcher = matcher_of_rules rules in
       let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
-      let push = node_pusher () in
+      let push = node_pusher ?stats () in
       List.iter
         (fun root ->
           Xpath.Compile.fold_subtree matcher doc ~root ~init:()
             ~f:(fun () n rules -> push acc n.Xmldoc.Node.id rules))
         roots;
+      let additions = Array.map Dmap.of_rev_list acc in
+      (* Decided over the re-resolved spans only — the unaffected bulk
+         was already counted when its decisions were first computed. *)
+      count_decided stats additions;
       let decisions =
         Array.map2
           (fun base additions -> Dmap.splice base roots additions)
-          t.decisions
-          (Array.map Dmap.of_rev_list acc)
+          t.decisions additions
       in
       { t with decisions }
     end

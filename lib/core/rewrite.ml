@@ -40,13 +40,13 @@ let plan_str src = plan (Xpath.Parser.parse_path src)
 let compiled t = Option.is_some t.compiled
 let expr t = t.expr
 
-let select ?vars t lv =
+let select ?vars ?stats t lv =
   match t.compiled with
   | Some auto ->
     Obs.Metrics.inc m_compiled;
     Obs.Trace.with_span "rewrite.select" (fun () ->
         List.rev
-          (Xpath.Compile.fold_view auto (Lazy_view.doc lv)
+          (Xpath.Compile.fold_view ?stats auto (Lazy_view.doc lv)
              ~view:(fun (n : Xmldoc.Node.t) ->
                if Lazy_view.visible lv n.id then Some (Lazy_view.remap lv n)
                else None)
@@ -54,6 +54,19 @@ let select ?vars t lv =
              ~f:(fun acc (n : Xmldoc.Node.t) _ -> n.id :: acc)))
   | None ->
     Obs.Metrics.inc m_fallback;
-    Lazy_view.select ?vars lv t.expr
+    (* No automaton on this path; approximate "visited" by the delta in
+       memoised visibility probes the evaluation forces. *)
+    let before =
+      match stats with
+      | Some _ -> Lazy_view.probed_nodes lv
+      | None -> 0
+    in
+    let ids = Lazy_view.select ?vars lv t.expr in
+    (match stats with
+    | Some s ->
+      s.Xpath.Compile.visited <-
+        s.Xpath.Compile.visited + (Lazy_view.probed_nodes lv - before)
+    | None -> ());
+    ids
 
 let select_str ?vars lv src = select ?vars (plan_str src) lv

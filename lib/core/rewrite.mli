@@ -34,10 +34,16 @@ val compiled : t -> bool
 val expr : t -> Xpath.Ast.expr
 
 val select :
-  ?vars:(string * Xpath.Value.t) list -> t -> Lazy_view.t -> Ordpath.t list
+  ?vars:(string * Xpath.Value.t) list -> ?stats:Xpath.Compile.stats ->
+  t -> Lazy_view.t -> Ordpath.t list
 (** Answers on the virtual view, ascending document order.  [vars]
     ([$USER]) only affects the fallback path — a compiled plan is
-    variable-free by construction. *)
+    variable-free by construction.  [?stats] fills traversal counters for
+    plan explainability: on the compiled path exactly as
+    {!Xpath.Compile.fold_view} defines them; on the fallback path
+    [visited] is the number of fresh visibility probes the evaluation
+    forced ([states] and [pruned] stay untouched — there is no automaton
+    product). *)
 
 val select_str :
   ?vars:(string * Xpath.Value.t) list -> Lazy_view.t -> string ->

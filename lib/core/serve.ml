@@ -30,6 +30,9 @@ type t = {
   plans : (string, Rewrite.t) Hashtbl.t;
       (* query text -> compiled rewrite; plans are user- and
          policy-independent, so one cache serves every session *)
+  rule_descs : (int, string) Hashtbl.t;
+      (* priority -> rendered rule; priorities are unique within the
+         policy, and rendering a rule is too slow for every plan record *)
   mutable writes : int;
   pool : Pool.t;
   persist : Store.t option;
@@ -97,6 +100,7 @@ let create ?pool ?persist policy source =
     sessions = Hashtbl.create 8;
     classes = Hashtbl.create 8;
     plans = Hashtbl.create 8;
+    rule_descs = Hashtbl.create 8;
     writes = 0;
     pool;
     persist;
@@ -111,12 +115,20 @@ let check_known t ~user =
 
 let fresh_shared t ~profile ~user =
   let rep = Session.login t.policy t.source ~user in
+  if Obs.Rulestats.enabled () then
+    Obs.Rulestats.note_class ~profile
+      ~keys:
+        (List.map
+           (fun (r : Rule.t) -> r.Rule.priority)
+           (Policy.rules_for t.policy ~user));
   { profile; rep; lazy_view = Lazy_view.of_session rep; members = 0 }
 
 (* Call with the lock held: binds [user] to its class (which must be in
    [t.classes]). *)
 let register t ~user cls =
   cls.members <- cls.members + 1;
+  if Obs.Rulestats.enabled () then
+    Obs.Rulestats.note_member ~profile:cls.profile;
   Hashtbl.replace t.sessions user { user; cls }
 
 let login t ~user =
@@ -258,24 +270,71 @@ let plan_for t q =
           Hashtbl.replace t.plans q plan;
           plan)
 
+(* Rendering a rule runs the Format machinery — far too slow per plan
+   record, and queries keep resolving to the same few rules, so the
+   rendered strings are memoised by priority for the server's lifetime. *)
+let rule_desc t (r : Rule.t) =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.rule_descs r.Rule.priority with
+      | Some desc -> desc
+      | None ->
+        let desc = Format.asprintf "%a" Rule.pp r in
+        Hashtbl.replace t.rule_descs r.Rule.priority desc;
+        desc)
+
+(* Deciding rules over (a bounded prefix of) the answer set: which rules
+   actually granted Read on what the query returned.  Bounded so a
+   100k-answer query costs at most [budget] binary searches of telemetry
+   overhead. *)
+let deciding_rules_of t perm ids ~budget =
+  let seen = Hashtbl.create 8 in
+  let rec go budget acc = function
+    | [] -> List.rev acc
+    | _ when budget <= 0 -> List.rev acc
+    | id :: rest -> (
+      match Perm.deciding_rule perm Privilege.Read id with
+      | Some (r : Rule.t) when not (Hashtbl.mem seen r.Rule.priority) ->
+        Hashtbl.add seen r.Rule.priority ();
+        go (budget - 1) (rule_desc t r :: acc) rest
+      | _ -> go (budget - 1) acc rest)
+  in
+  go budget [] ids
+
 let query t ~user q =
   Obs.Metrics.inc m_queries;
-  Obs.Metrics.time h_query @@ fun () ->
   Obs.Trace.with_span "serve.query" @@ fun () ->
   Obs.Trace.annotate "user" user;
+  let t0 = Obs.Mono.now () in
   let e = entry t ~user in
   let plan = plan_for t q in
+  let stats =
+    if Obs.Planlog.enabled () then Some (Xpath.Compile.stats ()) else None
+  in
   let ids =
     Obs.Trace.with_span "query.eval" (fun () ->
         Rewrite.select
           ~vars:[ ("USER", Xpath.Value.Str user) ]
-          plan e.cls.lazy_view)
+          ?stats plan e.cls.lazy_view)
   in
+  let seconds = Obs.Mono.now () -. t0 in
+  Obs.Metrics.observe h_query seconds;
+  let answers = lazy (List.length ids) in
+  (match stats with
+  | Some s ->
+    ignore
+      (Obs.Planlog.record ~user ~query:q
+         ~compiled:(Rewrite.compiled plan)
+         ~states:s.Xpath.Compile.states ~visited:s.Xpath.Compile.visited
+         ~pruned:s.Xpath.Compile.pruned
+         ~answers:(Lazy.force answers)
+         ~rules:(deciding_rules_of t (Session.perm e.cls.rep) ids ~budget:16)
+         ~cls:e.cls.profile ~seconds)
+  | None -> ());
   if Obs.Audit.enabled () then
     Obs.Audit.record Obs.Audit.default ~user ~action:"query" ~privilege:"read"
       ~target:q
       ~detail:
-        (Printf.sprintf "%d node(s), %s path" (List.length ids)
+        (Printf.sprintf "%d node(s), %s path" (Lazy.force answers)
            (if Rewrite.compiled plan then "rewritten" else "fallback"))
       Obs.Audit.Allowed;
   ids

@@ -100,8 +100,10 @@ let split_target target =
     (path, params)
 
 let handle ~probes ~meth ~target =
-  if meth <> "GET" then
-    json_response 405 "{\"error\":\"only GET is supported\"}"
+  (* HEAD is GET without the body; [serve_connection] omits it while
+     keeping the Content-Length the GET would have carried. *)
+  if meth <> "GET" && meth <> "HEAD" then
+    json_response 405 "{\"error\":\"only GET and HEAD are supported\"}"
   else
     let path, params = split_target target in
     match path with
@@ -119,6 +121,9 @@ let handle ~probes ~meth ~target =
         json_response 200 (Obs.Trace.to_chrome_json ())
       else json_response 200 (Obs.Trace.roots_to_json ())
     | "/auditz" -> json_response 200 (Obs.Audit.to_json Obs.Audit.default)
+    | "/rulez" -> json_response 200 (Obs.Rulestats.to_json ())
+    | "/slowz" -> json_response 200 (Obs.Planlog.slow_json ())
+    | "/explainz" -> json_response 200 (Obs.Planlog.recent_json ())
     | "/eventz" -> (
       match List.assoc_opt "txn" params with
       | None -> json_response 200 (Obs.Events.to_json ())
@@ -181,10 +186,11 @@ let serve_connection ~probes fd =
         | Some i -> String.trim (String.sub head 0 i)
         | None -> String.trim head
       in
-      let resp =
+      let meth, resp =
         match String.split_on_char ' ' request_line with
-        | meth :: target :: _ -> handle ~probes ~meth ~target
-        | _ -> json_response 400 "{\"error\":\"malformed request line\"}"
+        | meth :: target :: _ -> (meth, handle ~probes ~meth ~target)
+        | _ ->
+          ("GET", json_response 400 "{\"error\":\"malformed request line\"}")
       in
       let path_label =
         match String.split_on_char ' ' request_line with
@@ -194,12 +200,16 @@ let serve_connection ~probes fd =
       Obs.Metrics.inc
         (Obs.Metrics.labels f_requests
            [ path_label; string_of_int resp.status ]);
+      (* Every response is a live reading — caching a scrape would serve
+         stale telemetry, so tell intermediaries not to store it.  A HEAD
+         response carries the GET's Content-Length but no body. *)
       write_all fd
         (Printf.sprintf
            "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: \
-            %d\r\nConnection: close\r\n\r\n%s"
+            %d\r\nCache-Control: no-store\r\nConnection: close\r\n\r\n%s"
            resp.status (status_text resp.status) resp.content_type
-           (String.length resp.body) resp.body))
+           (String.length resp.body)
+           (if meth = "HEAD" then "" else resp.body)))
 
 let no_probes () = []
 

@@ -12,7 +12,16 @@
       ([?chrome=1] for Chrome trace-event format);
     - [GET /auditz] — the audit ring as JSON;
     - [GET /eventz] — the transaction event log as JSON;
-      [?txn=<id>] filters to one correlation id.
+      [?txn=<id>] filters to one correlation id;
+    - [GET /rulez] — per-rule decision telemetry ([Obs.Rulestats]):
+      matched/decided/overridden counters and permission classes;
+    - [GET /slowz] — the slow-query plan ring ([Obs.Planlog]);
+    - [GET /explainz] — the recent-query plan ring.
+
+    [HEAD] is answered on every endpoint: same status and headers
+    (including the [Content-Length] the GET would carry), empty body.
+    Every response carries [Cache-Control: no-store] — a scrape is a
+    live reading and must not be served stale by an intermediary.
 
     The accept loop runs on a dedicated systhread (one more per in-flight
     connection), so scrapes proceed concurrently with mutations on the

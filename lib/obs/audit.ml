@@ -3,6 +3,7 @@ type decision = Allowed | Denied
 type event = {
   seq : int;
   time : float;
+  mono : float;
   user : string;
   action : string;
   privilege : string;
@@ -47,11 +48,15 @@ let set_sink t sink = t.sink <- sink
 
 let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
     ?(detail = "") decision =
+  (* Wall time is display-only; ordering and intervals come from the
+     monotonic clock, which an NTP step cannot reorder. *)
+  let time = Unix.gettimeofday () and mono = Mono.now () in
   Mutex.lock t.lock;
   let event =
     {
       seq = t.seen;
-      time = Unix.gettimeofday ();
+      time;
+      mono;
       user;
       action;
       privilege;
@@ -92,9 +97,9 @@ let event_to_string e =
 
 let event_to_json e =
   Printf.sprintf
-    "{\"seq\":%d,\"user\":%s,\"action\":%s,\"privilege\":%s,\"target\":%s,\
+    "{\"seq\":%d,\"time\":%.6f,\"user\":%s,\"action\":%s,\"privilege\":%s,\"target\":%s,\
      \"decision\":%s,\"rule\":%s,\"detail\":%s}"
-    e.seq
+    e.seq e.time
     (Metrics.json_string e.user)
     (Metrics.json_string e.action)
     (Metrics.json_string e.privilege)

@@ -13,7 +13,10 @@ type decision = Allowed | Denied
 
 type event = {
   seq : int;  (** global sequence number, 0-based *)
-  time : float;  (** [Unix.gettimeofday] at recording *)
+  time : float;  (** [Unix.gettimeofday] at recording — display only *)
+  mono : float;
+      (** {!Mono.now} at recording — ordering and intervals; wall-clock
+          steps cannot reorder or corrupt it *)
   user : string;
   action : string;
       (** what was being decided: ["login"], ["query"],

@@ -21,7 +21,7 @@ type kind =
   | Replay of { seq : int }
   | Custom of { name : string; detail : string }
 
-type event = { id : int; txn : int; time : float; kind : kind }
+type event = { id : int; txn : int; time : float; mono : float; kind : kind }
 
 let enabled_flag = Atomic.make false
 let set_enabled b = Atomic.set enabled_flag b
@@ -63,10 +63,12 @@ let set_sink s = sink := s
 let emit ?txn kind =
   if Atomic.get enabled_flag then begin
     let txn = match txn with Some t -> t | None -> current_txn () in
-    let time = Unix.gettimeofday () in
+    (* Wall time is kept for display; ordering and intervals come from
+       the monotonic clock, immune to NTP steps. *)
+    let time = Unix.gettimeofday () and mono = Mono.now () in
     Mutex.lock lock;
     incr next_id;
-    let e = { id = !next_id; txn; time; kind } in
+    let e = { id = !next_id; txn; time; mono; kind } in
     incr seen;
     Queue.push e ring;
     if Queue.length ring > !capacity then ignore (Queue.pop ring);
@@ -147,6 +149,7 @@ let event_to_json e =
     [ ("id", string_of_int e.id);
       ("txn", string_of_int e.txn);
       ("time", Printf.sprintf "%.6f" e.time);
+      ("mono", Printf.sprintf "%.9f" e.mono);
       ("kind", Metrics.json_string (kind_name e.kind)) ]
     @ kind_fields e.kind
   in

@@ -34,8 +34,11 @@ type kind =
 type event = {
   id : int;  (** ring-wide sequence number, 1-based *)
   txn : int;  (** correlation id; 0 = outside any transaction *)
-  time : float;  (** wall-clock ([Unix.gettimeofday]) — timestamps keep
-                     wall time, only durations use the monotonic clock *)
+  time : float;  (** wall-clock ([Unix.gettimeofday]) — display only *)
+  mono : float;
+      (** {!Mono.now} at emission — ordering and intervals between
+          events come from this clock, so an NTP step between two
+          pipeline stages cannot reorder a transaction's timeline *)
   kind : kind;
 }
 

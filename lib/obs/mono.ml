@@ -1,1 +1,3 @@
-external now : unit -> float = "xmlsecu_obs_mono_now"
+external now : unit -> (float[@unboxed])
+  = "xmlsecu_obs_mono_now" "xmlsecu_obs_mono_now_unboxed"
+[@@noalloc]

@@ -9,9 +9,19 @@
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
 
-CAMLprim value xmlsecu_obs_mono_now(value unit)
+/* The unboxed variant is the hot path: with [@@unboxed] [@@noalloc] on
+   the OCaml side, reading the clock is a plain (vDSO) call with no
+   float boxing — it runs twice per traced span.  clock_gettime never
+   raises, allocates or calls back into the runtime. */
+CAMLprim double xmlsecu_obs_mono_now_unboxed(value unit)
 {
   struct timespec ts;
+  (void)unit;
   clock_gettime(CLOCK_MONOTONIC, &ts);
-  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+CAMLprim value xmlsecu_obs_mono_now(value unit)
+{
+  return caml_copy_double(xmlsecu_obs_mono_now_unboxed(unit));
 }

@@ -21,19 +21,24 @@ let stack () = Domain.DLS.get stack_key
 
 let max_roots = 256
 
-(* Finished roots are shared across domains; the mutex serialises the
-   push (and the occasional overflow trim). *)
+(* Finished roots live in a fixed circular buffer shared across
+   domains; the mutex serialises pushes.  A saturated buffer must stay
+   O(1) per close — a traced server closes one root per request, and an
+   earlier list-based trim rebuilt all [max_roots] cells on every close
+   once full, which E18 measured as double-digit overhead. *)
 let finished_lock = Mutex.create ()
-let finished : span list ref = ref [] (* newest first, length <= max_roots *)
-let finished_len = ref 0
+let ring : span option array = Array.make max_roots None
+let head = ref 0 (* next write position *)
+let count = ref 0
 let dropped_count = ref 0
 
 let dropped () = !dropped_count
 
 let clear () =
   Mutex.lock finished_lock;
-  finished := [];
-  finished_len := 0;
+  Array.fill ring 0 max_roots None;
+  head := 0;
+  count := 0;
   dropped_count := 0;
   Mutex.unlock finished_lock
 
@@ -45,15 +50,11 @@ let close span =
   | parent :: _ -> parent.children <- span :: parent.children
   | [] ->
     Mutex.lock finished_lock;
-    finished := span :: !finished;
-    incr finished_len;
-    if !finished_len > max_roots then begin
-      (* Drop the oldest retained root; the copy only happens on
-         overflow and the list is bounded. *)
-      finished := List.filteri (fun i _ -> i < max_roots) !finished;
-      finished_len := max_roots;
-      incr dropped_count
-    end;
+    (match ring.(!head) with
+     | Some _ -> incr dropped_count (* overwrote the oldest root *)
+     | None -> incr count);
+    ring.(!head) <- Some span;
+    head := (!head + 1) mod max_roots;
     Mutex.unlock finished_lock
 
 let with_span name f =
@@ -87,7 +88,18 @@ let annotate key value =
     | [] -> ()
     | span :: _ -> span.meta <- (key, value) :: span.meta
 
-let roots () = List.rev !finished
+let roots () =
+  Mutex.lock finished_lock;
+  let n = !count in
+  let start = (!head - n + max_roots) mod max_roots in
+  let out =
+    List.init n (fun i ->
+        match ring.((start + i) mod max_roots) with
+        | Some s -> s
+        | None -> assert false)
+  in
+  Mutex.unlock finished_lock;
+  out
 
 let to_string span =
   let buf = Buffer.create 256 in

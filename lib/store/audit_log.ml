@@ -1,0 +1,314 @@
+(* Durable audit journal: every Obs.Audit event, framed with the same
+   [magic | length | Adler-32 | payload] discipline as the write-ahead
+   journal (Journal.frame), appended to size-rotated segment files
+   audit-NNNNNN.log.  The in-memory audit ring is bounded and lossy by
+   design; this sink is the unbounded, crash-recoverable record.  A
+   reader accepts the longest valid prefix of each segment, so a crash
+   mid-append costs at most the torn final frame. *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let header_line = "xmlsecu-audit 1\n"
+let magic = "AUD!"
+
+let m_appends =
+  Obs.Metrics.counter Obs.Metrics.default "audit_journal_appends_total"
+    ~help:"Audit events appended to the durable audit journal"
+
+let m_bytes =
+  Obs.Metrics.counter Obs.Metrics.default "audit_journal_bytes_total"
+    ~help:"Bytes appended to the durable audit journal"
+
+let m_rotations =
+  Obs.Metrics.counter Obs.Metrics.default "audit_journal_rotations_total"
+    ~help:"Audit journal segment rotations"
+
+(* The payload is one compact <audit/> element — inspectable with any
+   XML tooling, byte-exact under reparse (attribute values escape).
+   Built straight into a buffer: the append path runs once per access
+   decision, so it skips the Tree/pretty-printer round trip. *)
+let payload (e : Obs.Audit.event) =
+  let decision =
+    match e.Obs.Audit.decision with
+    | Obs.Audit.Allowed -> "allow"
+    | Obs.Audit.Denied -> "deny"
+  in
+  let b = Buffer.create 192 in
+  let attr name v =
+    Buffer.add_char b ' ';
+    Buffer.add_string b name;
+    Buffer.add_string b "=\"";
+    Buffer.add_string b (Xmldoc.Xml_print.escape_attr v);
+    Buffer.add_char b '"'
+  in
+  Buffer.add_string b "<audit";
+  attr "seq" (string_of_int e.seq);
+  attr "time" (Printf.sprintf "%.6f" e.time);
+  attr "mono" (Printf.sprintf "%.9f" e.mono);
+  attr "user" e.user;
+  attr "action" e.action;
+  attr "privilege" e.privilege;
+  attr "target" e.target;
+  attr "decision" decision;
+  attr "rule" e.rule;
+  attr "detail" e.detail;
+  Buffer.add_string b "/>";
+  Buffer.contents b
+
+let event_of_payload s : Obs.Audit.event =
+  let tree =
+    try Xmldoc.Xml_parse.fragment_of_string ~strip_whitespace:false s
+    with Xmldoc.Xml_parse.Error _ -> fail "unparseable audit record"
+  in
+  match tree with
+  | Xmldoc.Tree.Element ("audit", kids) ->
+    let attr name =
+      match
+        List.find_map
+          (function
+            | Xmldoc.Tree.Attr (n, v) when String.equal n name -> Some v
+            | _ -> None)
+          kids
+      with
+      | Some v -> v
+      | None -> fail "audit record missing %s attribute" name
+    in
+    let int_attr name =
+      match int_of_string_opt (attr name) with
+      | Some n -> n
+      | None -> fail "bad audit record %s %S" name (attr name)
+    in
+    let float_attr name =
+      match float_of_string_opt (attr name) with
+      | Some f -> f
+      | None -> fail "bad audit record %s %S" name (attr name)
+    in
+    let decision =
+      match attr "decision" with
+      | "allow" -> Obs.Audit.Allowed
+      | "deny" -> Obs.Audit.Denied
+      | d -> fail "bad audit record decision %S" d
+    in
+    {
+      Obs.Audit.seq = int_attr "seq";
+      time = float_attr "time";
+      mono = float_attr "mono";
+      user = attr "user";
+      action = attr "action";
+      privilege = attr "privilege";
+      target = attr "target";
+      decision;
+      rule = attr "rule";
+      detail = attr "detail";
+    }
+  | _ -> fail "audit record is not an <audit> element"
+
+let encode e = Journal.frame ~magic (payload e)
+
+(* Segment files: audit-000001.log, audit-000002.log, … in one
+   directory.  The index orders segments; a reader concatenates their
+   valid prefixes. *)
+let segment_name index = Printf.sprintf "audit-%06d.log" index
+
+let segment_index name =
+  match Scanf.sscanf_opt name "audit-%06d.log%!" (fun i -> i) with
+  | Some i when i > 0 -> Some i
+  | _ -> None
+
+let segments dir =
+  match Sys.readdir dir with
+  | entries ->
+    List.sort compare
+      (List.filter_map segment_index (Array.to_list entries))
+  | exception Sys_error m -> fail "%s" m
+
+let default_max_bytes = 4 * 1024 * 1024
+
+type t = {
+  dir : string;
+  fsync : bool;
+  max_bytes : int;
+  lock : Mutex.t;
+      (* appends come from every thread/domain that records an audit
+         event (the sink runs outside the ring lock) *)
+  buf : Buffer.t;
+      (* group commit: under [fsync:false] frames accumulate here and
+         reach the fd in one write per ~[flush_bytes], not one write
+         per event — the append path runs on every access decision and
+         a syscall per decision is the dominant cost.  A crash loses at
+         most the buffered tail, always on a frame boundary; [fsync]
+         mode bypasses the buffer entirely. *)
+  mutable index : int;
+  mutable fd : Unix.file_descr;
+  mutable size : int;
+      (* logical bytes in the current segment: written + buffered *)
+  mutable closed : bool;
+}
+
+let flush_bytes = 8192
+
+let open_segment dir index ~at =
+  let path = Filename.concat dir (segment_name index) in
+  let fd =
+    try Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (e, _, _) -> fail "%s: %s" path (Unix.error_message e)
+  in
+  (match at with
+   | Some off ->
+     (* Resume on a record boundary: drop the torn tail, seek to it. *)
+     (try
+        Unix.ftruncate fd off;
+        ignore (Unix.lseek fd off Unix.SEEK_SET)
+      with Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        fail "%s: %s" path (Unix.error_message e))
+   | None ->
+     let h = Bytes.of_string header_line in
+     ignore (Unix.write fd h 0 (Bytes.length h)));
+  fd
+
+(* Longest valid prefix of one segment: checksum-valid frames whose
+   payloads also parse.  Returns the events and the resume offset. *)
+let scan_segment path =
+  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let frames =
+    try Journal.scan_frames ~magic ~header:header_line s
+    with Journal.Error m -> fail "%s: %s" path m
+  in
+  let rec take acc valid = function
+    | [] -> (acc, valid)
+    | (p, endoff) :: rest -> (
+      match event_of_payload p with
+      | e -> take (e :: acc) endoff rest
+      | exception Error _ -> (acc, valid))
+  in
+  let events, valid_bytes = take [] (String.length header_line) frames in
+  (List.rev events, valid_bytes, String.length s - valid_bytes)
+
+let open_dir ?(fsync = false) ?(max_bytes = default_max_bytes) dir =
+  if max_bytes < 1024 then
+    invalid_arg "Audit_log.open_dir: max_bytes < 1024";
+  (try
+     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+     else if not (Sys.is_directory dir) then fail "%s: not a directory" dir
+   with Sys_error m -> fail "%s" m);
+  let index, at, size =
+    match List.rev (segments dir) with
+    | [] -> (1, None, String.length header_line)
+    | last :: _ ->
+      let _, valid, _ = scan_segment (Filename.concat dir (segment_name last)) in
+      (last, Some valid, valid)
+  in
+  {
+    dir;
+    fsync;
+    max_bytes;
+    lock = Mutex.create ();
+    buf = Buffer.create flush_bytes;
+    index;
+    fd = open_segment dir index ~at;
+    size;
+    closed = false;
+  }
+
+let dir t = t.dir
+let segment t = Filename.concat t.dir (segment_name t.index)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let flush_locked t =
+  if Buffer.length t.buf > 0 then begin
+    let pending = Buffer.contents t.buf in
+    Buffer.clear t.buf;
+    try write_all t.fd pending
+    with Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e)
+  end
+
+let append t event =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.closed then fail "audit journal is closed";
+      let f = encode event in
+      if t.size + String.length f > t.max_bytes
+         && t.size > String.length header_line
+      then begin
+        (* Rotate: the current segment stays behind as history; appends
+           continue in a fresh one so no single file grows unbounded. *)
+        flush_locked t;
+        Unix.close t.fd;
+        Obs.Metrics.inc m_rotations;
+        t.index <- t.index + 1;
+        t.fd <- open_segment t.dir t.index ~at:None;
+        t.size <- String.length header_line
+      end;
+      if t.fsync then begin
+        (try write_all t.fd f
+         with Unix.Unix_error (e, _, _) -> fail "%s" (Unix.error_message e));
+        (try Unix.fsync t.fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        Buffer.add_string t.buf f;
+        if Buffer.length t.buf >= flush_bytes then flush_locked t
+      end;
+      t.size <- t.size + String.length f;
+      Obs.Metrics.inc m_appends;
+      Obs.Metrics.add m_bytes (String.length f))
+
+(* [sink t] plugs straight into [Obs.Audit.set_sink].  Failures are
+   swallowed after the journal is closed — a late event from another
+   thread must not crash the process during shutdown. *)
+let sink t event = try append t event with Error _ -> ()
+
+let flush t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> if not t.closed then flush_locked t)
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if not t.closed then begin
+        (try flush_locked t with Error _ -> ());
+        t.closed <- true;
+        (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+        Unix.close t.fd
+      end)
+
+type scan = {
+  events : Obs.Audit.event list;
+  files : string list;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let scan dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    fail "%s: not a directory" dir;
+  let idxs = segments dir in
+  let events, files, valid, torn =
+    List.fold_left
+      (fun (es, fs, v, t) idx ->
+        let path = Filename.concat dir (segment_name idx) in
+        let segment_events, valid_bytes, torn_bytes = scan_segment path in
+        (es @ segment_events, fs @ [ path ], v + valid_bytes, t + torn_bytes))
+      ([], [], 0, 0) idxs
+  in
+  { events; files; valid_bytes = valid; torn_bytes = torn }

@@ -1,0 +1,79 @@
+(** Durable audit journal: a size-rotated, crash-recoverable sink for
+    {!Obs.Audit} events.
+
+    The in-memory audit ring is bounded and lossy by design; this sink
+    makes the audit trail durable.  Each event is one framed record —
+    {!Journal.frame}'s [magic | 8-byte BE length | 4-byte BE Adler-32 |
+    payload] discipline with magic ["AUD!"] — whose payload is a compact
+    [<audit/>] element, so segments are inspectable with XML tooling yet
+    byte-exact under reparse.  Segments [audit-NNNNNN.log] rotate once
+    they would exceed [max_bytes]; {!scan} concatenates the longest
+    valid prefix of every segment in index order, so a crash mid-append
+    costs at most the final torn frame ({!open_dir} truncates it before
+    resuming). *)
+
+exception Error of string
+
+val header_line : string
+val magic : string
+
+val payload : Obs.Audit.event -> string
+val event_of_payload : string -> Obs.Audit.event
+(** @raise Error on malformed payloads. *)
+
+val encode : Obs.Audit.event -> string
+(** The full frame. *)
+
+val default_max_bytes : int
+(** 4 MiB. *)
+
+type t
+
+val open_dir : ?fsync:bool -> ?max_bytes:int -> string -> t
+(** Creates [dir] if needed, resumes appending to the highest-index
+    segment (truncating any torn tail to the last record boundary), or
+    starts [audit-000001.log].  [fsync] (default off) forces every
+    append to stable storage.
+    @raise Error on I/O failure.
+    @raise Invalid_argument when [max_bytes < 1024]. *)
+
+val dir : t -> string
+val segment : t -> string
+(** Path of the segment currently being appended to. *)
+
+val append : t -> Obs.Audit.event -> unit
+(** Thread-safe; rotates first when the frame would push the current
+    segment past [max_bytes].  Under [fsync:false] frames are group
+    committed: they accumulate in-process and reach the segment in one
+    write per ~8 KiB (and on rotation, {!flush} and {!close}), so a
+    crash loses at most the buffered tail — always on a frame boundary.
+    [fsync:true] writes and syncs every event individually.
+    @raise Error after {!close} or on I/O failure. *)
+
+val sink : t -> Obs.Audit.event -> unit
+(** {!append} with post-{!close} errors swallowed — plug straight into
+    [Obs.Audit.set_sink] without racing shutdown. *)
+
+val flush : t -> unit
+(** Push any group-committed frames to the segment file.  No-op after
+    {!close} or under [fsync:true].  @raise Error on I/O failure. *)
+
+val close : t -> unit
+(** Flushes buffered frames, fsyncs and closes the current segment.
+    Idempotent; I/O failures at this point are swallowed. *)
+
+(** {1 Reading} *)
+
+type scan = {
+  events : Obs.Audit.event list;
+      (** every recoverable event, segment order then file order *)
+  files : string list;  (** the segment paths scanned, index order *)
+  valid_bytes : int;  (** summed valid prefixes across segments *)
+  torn_bytes : int;  (** summed torn tails across segments *)
+}
+
+val scan : string -> scan
+(** Longest-valid-prefix read of every segment in [dir]: a frame that is
+    short, checksum-failing or semantically unparseable ends that
+    segment's prefix.  @raise Error when [dir] is missing or a segment
+    has a corrupt header. *)

@@ -25,12 +25,22 @@ let magic = "TXN!"
 (* Adler-32 (RFC 1950), hand-rolled — cheap, and strong enough to decide
    where a torn tail begins. *)
 let adler32 s =
+  (* Deferred modulo: 5552 is the largest chunk for which [b] stays
+     below 2^63 with every byte at 0xff, so one [mod] per chunk gives
+     the same sums as one per byte. *)
   let a = ref 1 and b = ref 0 in
-  String.iter
-    (fun c ->
-      a := (!a + Char.code c) mod 65521;
-      b := (!b + !a) mod 65521)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let stop = min n (!i + 5552) in
+    while !i < stop do
+      a := !a + Char.code (String.unsafe_get s !i);
+      b := !b + !a;
+      incr i
+    done;
+    a := !a mod 65521;
+    b := !b mod 65521
+  done;
   (!b lsl 16) lor !a
 
 let mode_to_string = function `Atomic -> "atomic" | `Tolerant -> "tolerant"
@@ -95,11 +105,14 @@ let record_of_payload s =
       fail "journal record holds malformed XUpdate")
   | _ -> fail "journal record is not a <txn> element"
 
-let encode r =
-  let p = payload r in
+(* Generic framing, shared with the audit journal ({!Audit_log}): any
+   payload stream framed as [magic | 8-byte BE length | 4-byte BE
+   Adler-32 | payload] gets the same torn-tail discipline for free. *)
+let frame ~magic:m p =
+  if String.length m <> 4 then invalid_arg "Journal.frame: magic must be 4 bytes";
   let len = String.length p in
   let buf = Buffer.create (len + 16) in
-  Buffer.add_string buf magic;
+  Buffer.add_string buf m;
   let add_be n width =
     for i = width - 1 downto 0 do
       Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
@@ -109,6 +122,8 @@ let encode r =
   add_be (adler32 p) 4;
   Buffer.add_string buf p;
   Buffer.contents buf
+
+let encode r = frame ~magic (payload r)
 
 type scan = {
   records : record list;  (* the valid prefix, in journal order *)
@@ -123,28 +138,44 @@ let be s off width =
   done;
   !n
 
-let scan_string s =
+let scan_frames ~magic:m ~header s =
+  if String.length m <> 4 then
+    invalid_arg "Journal.scan_frames: magic must be 4 bytes";
   let n = String.length s in
-  let hl = String.length header_line in
-  if n < hl || not (String.equal (String.sub s 0 hl) header_line) then
+  let hl = String.length header in
+  if n < hl || not (String.equal (String.sub s 0 hl) header) then
     fail "bad journal header";
   let rec go off acc =
-    if off + 16 > n then (acc, off)
-    else if not (String.equal (String.sub s off 4) magic) then (acc, off)
+    if off + 16 > n then acc
+    else if not (String.equal (String.sub s off 4) m) then acc
     else
       let len = be s (off + 4) 8 in
       let crc = be s (off + 12) 4 in
-      if len < 0 || len > n - (off + 16) then (acc, off)
+      if len < 0 || len > n - (off + 16) then acc
       else
         let p = String.sub s (off + 16) len in
-        if adler32 p <> crc then (acc, off)
-        else
-          match record_of_payload p with
-          | r -> go (off + 16 + len) (r :: acc)
-          | exception Error _ -> (acc, off)
+        if adler32 p <> crc then acc else go (off + 16 + len) ((p, off + 16 + len) :: acc)
   in
-  let records, valid_bytes = go hl [] in
-  { records = List.rev records; valid_bytes; torn_bytes = n - valid_bytes }
+  List.rev (go hl [])
+
+let scan_string s =
+  let frames = scan_frames ~magic ~header:header_line s in
+  (* A checksum-valid frame whose payload does not parse still ends the
+     valid prefix — the semantic content, not just the framing, must be
+     sound for appends to resume past it. *)
+  let rec take acc valid = function
+    | [] -> (acc, valid)
+    | (p, endoff) :: rest -> (
+      match record_of_payload p with
+      | r -> take (r :: acc) endoff rest
+      | exception Error _ -> (acc, valid))
+  in
+  let records, valid_bytes = take [] (String.length header_line) frames in
+  {
+    records = List.rev records;
+    valid_bytes;
+    torn_bytes = String.length s - valid_bytes;
+  }
 
 let read_file path =
   let ic = try open_in_bin path with Sys_error m -> fail "%s" m in

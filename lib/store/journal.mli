@@ -40,6 +40,25 @@ val record_of_payload : string -> record
 val encode : record -> string
 (** The full frame (magic + length + checksum + payload). *)
 
+(** {1 Generic framing}
+
+    The frame discipline, decoupled from the transaction payload, so
+    other durable logs (the audit journal, {!Audit_log}) inherit the
+    same torn-tail semantics. *)
+
+val frame : magic:string -> string -> string
+(** [frame ~magic payload] = [magic | 8-byte BE length | 4-byte BE
+    Adler-32 | payload].  @raise Invalid_argument unless [magic] is
+    exactly 4 bytes. *)
+
+val scan_frames : magic:string -> header:string -> string -> (string * int) list
+(** Checksum-valid frames of a file image, in order, each paired with
+    the offset just past its frame (= where the valid prefix ends if
+    this frame is the last accepted one).  Scanning stops at the first
+    short, wrong-magic or checksum-failing frame.
+    @raise Error when the header is wrong.
+    @raise Invalid_argument unless [magic] is exactly 4 bytes. *)
+
 type scan = {
   records : record list;
   valid_bytes : int;

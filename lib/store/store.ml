@@ -1,5 +1,6 @@
 module Journal = Journal
 module Snapshot = Snapshot
+module Audit_log = Audit_log
 
 exception Error of string
 

@@ -10,6 +10,7 @@
 
 module Journal = Journal
 module Snapshot = Snapshot
+module Audit_log = Audit_log
 
 exception Error of string
 

@@ -1,15 +1,29 @@
+let needs_escape ~in_attr s =
+  let rec go i =
+    i < String.length s
+    && (match String.unsafe_get s i with
+       | '<' | '>' | '&' -> true
+       | '"' when in_attr -> true
+       | _ -> go (i + 1))
+  in
+  go 0
+
 let escape ~in_attr s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '<' -> Buffer.add_string buf "&lt;"
-      | '>' -> Buffer.add_string buf "&gt;"
-      | '&' -> Buffer.add_string buf "&amp;"
-      | '"' when in_attr -> Buffer.add_string buf "&quot;"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+  (* Most strings escape to themselves; skip the copy for those. *)
+  if not (needs_escape ~in_attr s) then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '"' when in_attr -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
 
 let escape_text = escape ~in_attr:false
 let escape_attr = escape ~in_attr:true

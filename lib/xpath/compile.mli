@@ -32,7 +32,22 @@ val fold :
     accepted payloads.  Payload order within the list is unspecified and
     a payload may repeat when several of its paths accept the node. *)
 
+type stats = {
+  mutable visited : int;  (** nodes the automaton consumed *)
+  mutable pruned : int;
+      (** nodes skipped wholesale — a pruned root plus every node inside
+          its contiguous ordpath range *)
+  mutable states : int;  (** distinct determinised state sets interned *)
+}
+(** Per-traversal counters for plan explainability.  This library sits
+    below the observability layer, so the counters are a plain mutable
+    record; callers aggregate them (see [Obs.Planlog]). *)
+
+val stats : unit -> stats
+(** A fresh all-zero counter record. *)
+
 val fold_view :
+  ?stats:stats ->
   'a t -> Xmldoc.Document.t ->
   view:(Xmldoc.Node.t -> Xmldoc.Node.t option) ->
   init:'b -> f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
@@ -43,7 +58,9 @@ val fold_view :
     is what the automaton consumes and what [f] receives.  Equivalent
     to materialising the virtual document and running {!fold} on it —
     the product of the query automaton with the visibility predicate,
-    computed in one shared pass ([Core.Rewrite]'s read path). *)
+    computed in one shared pass ([Core.Rewrite]'s read path).  When
+    [?stats] is given its counters are incremented in place (visited and
+    pruned per node, states once at the end of the pass). *)
 
 val fold_subtree :
   'a t -> Xmldoc.Document.t -> root:Ordpath.t -> init:'b ->

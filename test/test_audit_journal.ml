@@ -1,0 +1,265 @@
+(* The durable audit journal in isolation:
+
+   (a) the <audit/> payload round-trips every field byte-exactly,
+       including XML-special characters;
+   (b) append/scan recover exactly what was written, across size-based
+       segment rotation, in order;
+   (c) the longest-valid-prefix discipline: a torn or corrupted tail
+       drops only the damaged frame and everything after it in that
+       segment, never a valid record, and open_dir resumes cleanly on
+       the truncated boundary;
+   (d) wiring the journal as the Obs.Audit sink makes the durable trail
+       agree with the in-memory ring. *)
+
+module A = Obs.Audit
+module J = Store.Audit_log
+
+let mk_temp_dir () =
+  let path = Filename.temp_file "xmlsecu-audit" "" in
+  Sys.remove path;
+  Sys.mkdir path 0o755;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let slurp path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let spit path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let event ?(seq = 0) ?(user = "laporte") ?(action = "query")
+    ?(privilege = "read") ?(target = "//diagnosis") ?(decision = A.Allowed)
+    ?(rule = "grant read on //node() to staff priority 10") ?(detail = "") ()
+    : A.event =
+  {
+    seq;
+    time = 1000.5 +. float_of_int seq;
+    mono = 42.125 +. float_of_int seq;
+    user;
+    action;
+    privilege;
+    target;
+    decision;
+    rule;
+    detail;
+  }
+
+let check_event msg (a : A.event) (b : A.event) =
+  Alcotest.(check int) (msg ^ ": seq") a.seq b.seq;
+  Alcotest.(check (float 0.)) (msg ^ ": mono") a.mono b.mono;
+  Alcotest.(check string) (msg ^ ": user") a.user b.user;
+  Alcotest.(check string) (msg ^ ": action") a.action b.action;
+  Alcotest.(check string) (msg ^ ": privilege") a.privilege b.privilege;
+  Alcotest.(check string) (msg ^ ": target") a.target b.target;
+  Alcotest.(check bool) (msg ^ ": decision") true (a.decision = b.decision);
+  Alcotest.(check string) (msg ^ ": rule") a.rule b.rule;
+  Alcotest.(check string) (msg ^ ": detail") a.detail b.detail
+
+(* ------------------------------------------------------------------ *)
+(* (a) payload round-trip                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_payload_roundtrip () =
+  let plain = event () in
+  check_event "plain" plain (J.event_of_payload (J.payload plain));
+  let hostile =
+    event ~user:"o'malley <admin>" ~action:"xupdate:rename"
+      ~target:"//*[@x=\"1\" and name() < 'z']" ~decision:A.Denied
+      ~rule:"deny read on //diagnosis/node() to \"secretary\""
+      ~detail:"quotes \" & ampersands < > here" ()
+  in
+  check_event "xml-special characters survive" hostile
+    (J.event_of_payload (J.payload hostile));
+  Alcotest.(check bool) "payload is a single <audit/> element" true
+    (String.length (J.payload plain) > 0
+    && String.sub (J.payload plain) 0 7 = "<audit ");
+  Alcotest.check_raises "garbage payload rejected"
+    (J.Error "audit record is not an <audit> element") (fun () ->
+      ignore (J.event_of_payload "<other/>"))
+
+(* ------------------------------------------------------------------ *)
+(* (b) append/scan and rotation                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_append_scan () =
+  let dir = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = J.open_dir dir in
+  let events = List.init 5 (fun i -> event ~seq:i ()) in
+  List.iter (J.append log) events;
+  J.close log;
+  J.close log (* idempotent *);
+  let s = J.scan dir in
+  Alcotest.(check int) "one segment" 1 (List.length s.J.files);
+  Alcotest.(check int) "no torn bytes" 0 s.J.torn_bytes;
+  Alcotest.(check int) "all events recovered" 5 (List.length s.J.events);
+  List.iter2 (check_event "recovered in order") events s.J.events;
+  Alcotest.check_raises "append after close fails loudly"
+    (J.Error "audit journal is closed") (fun () ->
+      J.append log (event ()));
+  J.sink log (event ()) (* sink swallows the post-close error *);
+  Alcotest.check_raises "tiny segments rejected"
+    (Invalid_argument "Audit_log.open_dir: max_bytes < 1024") (fun () ->
+      ignore (J.open_dir ~max_bytes:16 dir))
+
+let test_flush_visibility () =
+  (* Group commit buffers small appends; [flush] makes them readable
+     without closing the journal. *)
+  let dir = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = J.open_dir dir in
+  Fun.protect ~finally:(fun () -> J.close log) @@ fun () ->
+  J.append log (event ~seq:1 ());
+  J.append log (event ~seq:2 ());
+  J.flush log;
+  let s = J.scan dir in
+  Alcotest.(check int) "flushed events visible mid-flight" 2
+    (List.length s.J.events);
+  J.append log (event ~seq:3 ());
+  J.flush log;
+  J.flush log (* idempotent on an empty buffer *);
+  Alcotest.(check int) "later flush appends the rest" 3
+    (List.length (J.scan dir).J.events)
+
+let test_rotation () =
+  let dir = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = J.open_dir ~max_bytes:1024 dir in
+  let events = List.init 40 (fun i -> event ~seq:i ()) in
+  List.iter (J.append log) events;
+  J.close log;
+  let s = J.scan dir in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 KiB segments force rotation (got %d files)"
+       (List.length s.J.files))
+    true
+    (List.length s.J.files > 1);
+  Alcotest.(check int) "rotation loses nothing" 40 (List.length s.J.events);
+  Alcotest.(check int) "no torn bytes across segments" 0 s.J.torn_bytes;
+  List.iter2 (check_event "order preserved across segments") events
+    s.J.events;
+  (* every segment carries the header line *)
+  List.iter
+    (fun f ->
+      let contents = slurp f in
+      Alcotest.(check string) "segment header"
+        J.header_line
+        (String.sub contents 0 (String.length J.header_line)))
+    s.J.files
+
+(* ------------------------------------------------------------------ *)
+(* (c) torn tails and resumption                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_torn_tail_recovery () =
+  let dir = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = J.open_dir dir in
+  let events = List.init 6 (fun i -> event ~seq:i ()) in
+  List.iter (J.append log) events;
+  let seg = J.segment log in
+  J.close log;
+  (* tear the last frame mid-payload, as a crash mid-write would *)
+  let contents = slurp seg in
+  spit seg (String.sub contents 0 (String.length contents - 20));
+  let s = J.scan dir in
+  Alcotest.(check int) "torn frame dropped, prefix kept" 5
+    (List.length s.J.events);
+  Alcotest.(check bool) "torn bytes reported" true (s.J.torn_bytes > 0);
+  Alcotest.(check int) "valid + torn spans the whole file"
+    (String.length contents - 20)
+    (s.J.valid_bytes + s.J.torn_bytes);
+  (* reopening truncates the torn tail and resumes on the boundary *)
+  let log = J.open_dir dir in
+  J.append log (event ~seq:100 ());
+  J.close log;
+  let s = J.scan dir in
+  Alcotest.(check int) "resumed journal is whole again" 6
+    (List.length s.J.events);
+  Alcotest.(check int) "no torn bytes after resumption" 0 s.J.torn_bytes;
+  (match List.rev s.J.events with
+  | last :: _ -> Alcotest.(check int) "new record follows the prefix" 100
+                   last.A.seq
+  | [] -> assert false);
+  (* corrupting a checksum ends the prefix at that frame *)
+  let contents = slurp seg in
+  let flip = Bytes.of_string contents in
+  let off = String.length contents - 3 in
+  Bytes.set flip off (Char.chr (Char.code (Bytes.get flip off) lxor 0xff));
+  spit seg (Bytes.to_string flip);
+  let s = J.scan dir in
+  Alcotest.(check int) "checksum failure drops only the damaged frame" 5
+    (List.length s.J.events);
+  Alcotest.check_raises "a corrupt header is loud, not a silent empty scan"
+    (J.Error (Printf.sprintf "%s: bad journal header" seg)) (fun () ->
+      spit seg "not an audit journal\n";
+      ignore (J.scan dir));
+  Alcotest.check_raises "a missing directory is loud"
+    (J.Error "/nonexistent-audit-dir: not a directory") (fun () ->
+      ignore (J.scan "/nonexistent-audit-dir"))
+
+(* ------------------------------------------------------------------ *)
+(* (d) ring/journal agreement through the sink                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_agreement () =
+  let dir = mk_temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let log = J.open_dir dir in
+  A.set_enabled true;
+  A.clear A.default;
+  A.set_sink A.default (Some (J.sink log));
+  Fun.protect
+    ~finally:(fun () ->
+      A.set_sink A.default None;
+      A.set_enabled false;
+      A.clear A.default)
+  @@ fun () ->
+  A.record A.default ~user:"laporte" ~action:"login" A.Allowed;
+  A.record A.default ~user:"beaufort" ~action:"query" ~privilege:"read"
+    ~target:"//diagnosis" ~rule:"rule 11" A.Denied;
+  A.record A.default ~user:"laporte" ~action:"xupdate:update"
+    ~privilege:"update" ~target:"1.3.5" A.Allowed;
+  J.close log;
+  let ring = A.events A.default in
+  let s = J.scan dir in
+  Alcotest.(check int) "journal holds one record per ring event"
+    (List.length ring)
+    (List.length s.J.events);
+  List.iter2 (check_event "durable trail agrees with the ring") ring
+    s.J.events
+
+let () =
+  Alcotest.run "audit_journal"
+    [
+      ( "payload",
+        [ Alcotest.test_case "round-trip" `Quick test_payload_roundtrip ] );
+      ( "segments",
+        [
+          Alcotest.test_case "append and scan" `Quick test_append_scan;
+          Alcotest.test_case "flush visibility" `Quick test_flush_visibility;
+          Alcotest.test_case "rotation" `Quick test_rotation;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "torn tails and resumption" `Quick
+            test_torn_tail_recovery;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "ring/journal agreement" `Quick
+            test_sink_agreement;
+        ] );
+    ]

@@ -60,6 +60,69 @@ let test_routing () =
   Alcotest.(check string) "json endpoints carry application/json"
     "application/json" (get "/tracez").Monitor.content_type
 
+let test_methods () =
+  let h meth target = Monitor.handle ~probes:no_probes ~meth ~target in
+  (* HEAD mirrors GET's status on every endpoint, known or not. *)
+  Alcotest.(check int) "HEAD /metrics is 200" 200
+    (h "HEAD" "/metrics").Monitor.status;
+  Alcotest.(check int) "HEAD /healthz is 200" 200
+    (h "HEAD" "/healthz").Monitor.status;
+  Alcotest.(check int) "HEAD on an unknown endpoint is 404" 404
+    (h "HEAD" "/nope").Monitor.status;
+  Alcotest.(check int) "HEAD with a bad txn is 400" 400
+    (h "HEAD" "/eventz?txn=abc").Monitor.status;
+  List.iter
+    (fun meth ->
+      Alcotest.(check int) (meth ^ " is 405") 405
+        (h meth "/metrics").Monitor.status)
+    [ "POST"; "PUT"; "DELETE"; "OPTIONS"; "PATCH" ]
+
+let test_telemetry_endpoints () =
+  let get target = Monitor.handle ~probes:no_probes ~meth:"GET" ~target in
+  List.iter
+    (fun target ->
+      let r = get target in
+      Alcotest.(check int) (target ^ " is 200") 200 r.Monitor.status;
+      Alcotest.(check string)
+        (target ^ " carries application/json")
+        "application/json" r.Monitor.content_type)
+    [ "/rulez"; "/slowz"; "/explainz"; "/auditz"; "/eventz" ]
+
+(* The /eventz?txn= filter contract: matching id serves exactly that
+   transaction's events, a non-matching id serves an empty list (not an
+   error), and malformed ids are 400s. *)
+let test_eventz_filter () =
+  Obs.Events.set_enabled true;
+  Obs.Events.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.set_enabled false;
+      Obs.Events.clear ())
+  @@ fun () ->
+  let t1 = Obs.Events.next_txn () in
+  let t2 = Obs.Events.next_txn () in
+  Obs.Events.emit ~txn:t1 (Obs.Events.Custom { name = "alpha"; detail = "1" });
+  Obs.Events.emit ~txn:t2 (Obs.Events.Custom { name = "beta"; detail = "2" });
+  let get target = Monitor.handle ~probes:no_probes ~meth:"GET" ~target in
+  let matching = get (Printf.sprintf "/eventz?txn=%d" t1) in
+  Alcotest.(check int) "matching id is 200" 200 matching.Monitor.status;
+  Alcotest.(check bool) "matching id serves its event" true
+    (contains matching.Monitor.body "\"kind\":\"alpha\"");
+  Alcotest.(check bool) "the other transaction is filtered out" false
+    (contains matching.Monitor.body "\"kind\":\"beta\"");
+  let nonmatching = get (Printf.sprintf "/eventz?txn=%d" (t2 + 1000)) in
+  Alcotest.(check int) "non-matching id is still 200" 200
+    nonmatching.Monitor.status;
+  Alcotest.(check string) "non-matching id yields an empty list" "[]"
+    nonmatching.Monitor.body;
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "txn=%S is 400" v)
+        400
+        (get ("/eventz?txn=" ^ v)).Monitor.status)
+    [ "abc"; "0"; "-3"; "1x"; "" ]
+
 let test_probes () =
   let up = Monitor.probe ~name:"pool" ~ok:true ~detail:"alive" in
   let down = Monitor.probe ~name:"pool" ~ok:false ~detail:"wedged" in
@@ -98,13 +161,13 @@ let test_writable_dir_probe () =
 
 (* -- http plumbing ------------------------------------------------------ *)
 
-let http_get port target =
+let http_request meth port target =
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
   @@ fun () ->
   Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target in
+  let req = Printf.sprintf "%s %s HTTP/1.0\r\n\r\n" meth target in
   ignore (Unix.write_substring sock req 0 (String.length req));
   let buf = Buffer.create 4096 in
   let chunk = Bytes.create 4096 in
@@ -148,6 +211,8 @@ let http_get port target =
   in
   (status, headers, body)
 
+let http_get port target = http_request "GET" port target
+
 (* -- end to end: exporter + live pipeline ------------------------------- *)
 
 let test_end_to_end () =
@@ -158,6 +223,11 @@ let test_end_to_end () =
   Store.init store doc0;
   Obs.Events.set_enabled true;
   Obs.Events.clear ();
+  Obs.Rulestats.set_enabled true;
+  Obs.Rulestats.clear ();
+  Obs.Planlog.set_enabled true;
+  Obs.Planlog.set_threshold 0.;
+  Obs.Planlog.clear ();
   let mon =
     Monitor.start
       ~probes:(fun () ->
@@ -172,6 +242,11 @@ let test_end_to_end () =
       Monitor.stop mon;
       Obs.Events.set_enabled false;
       Obs.Events.clear ();
+      Obs.Rulestats.set_enabled false;
+      Obs.Rulestats.clear ();
+      Obs.Planlog.set_enabled false;
+      Obs.Planlog.set_threshold Obs.Planlog.default_threshold;
+      Obs.Planlog.clear ();
       Store.close store;
       rm_rf dir)
   @@ fun () ->
@@ -276,6 +351,45 @@ let test_end_to_end () =
   Alcotest.(check int) "bad txn over the wire is 400" 400 status;
   let status, _, _ = http_get port "/nothing" in
   Alcotest.(check int) "unknown endpoint over the wire is 404" 404 status;
+  (* Rule telemetry and plan log over the wire: a served query populates
+     both rings, and /rulez reports the logged-in classes' coverage. *)
+  ignore (Core.Serve.query serve ~user:P.laporte "//service");
+  let status, _, body = http_get port "/rulez" in
+  Alcotest.(check int) "/rulez is 200" 200 status;
+  Alcotest.(check bool) "/rulez reports per-rule coverage" true
+    (contains body "\"priority\"");
+  Alcotest.(check bool) "/rulez reports permission classes" true
+    (contains body "\"classes\"");
+  Alcotest.(check bool) "/rulez saw decided nodes" true
+    (contains body "\"decided\"");
+  let status, _, body = http_get port "/explainz" in
+  Alcotest.(check int) "/explainz is 200" 200 status;
+  Alcotest.(check bool) "/explainz serves the recorded plan" true
+    (contains body "\"query\":\"//service\"");
+  let status, _, body = http_get port "/slowz" in
+  Alcotest.(check int) "/slowz is 200" 200 status;
+  Alcotest.(check bool) "threshold 0 routes the plan to the slow ring" true
+    (contains body "\"query\":\"//service\"");
+  (* HEAD over the wire: GET's status, headers and Content-Length with
+     an empty body; every response says Cache-Control: no-store. *)
+  let get_status, get_headers, get_body = http_get port "/healthz" in
+  let status, headers, body = http_request "HEAD" port "/healthz" in
+  Alcotest.(check int) "HEAD matches GET's status" get_status status;
+  Alcotest.(check string) "HEAD body is empty" "" body;
+  Alcotest.(check (option string)) "HEAD advertises the GET body length"
+    (Some (string_of_int (String.length get_body)))
+    (List.assoc_opt "content-length" headers);
+  Alcotest.(check (option string)) "HEAD responses are no-store"
+    (Some "no-store")
+    (List.assoc_opt "cache-control" headers);
+  Alcotest.(check (option string)) "GET responses are no-store"
+    (Some "no-store")
+    (List.assoc_opt "cache-control" get_headers);
+  let status, headers, _ = http_request "POST" port "/metrics" in
+  Alcotest.(check int) "POST over the wire is 405" 405 status;
+  Alcotest.(check (option string)) "even errors are no-store"
+    (Some "no-store")
+    (List.assoc_opt "cache-control" headers);
   Monitor.stop mon;
   Monitor.stop mon (* idempotent *)
 
@@ -286,6 +400,12 @@ let () =
         [
           Alcotest.test_case "target splitting" `Quick test_split_target;
           Alcotest.test_case "statuses and content types" `Quick test_routing;
+          Alcotest.test_case "methods: HEAD mirrors GET, others 405" `Quick
+            test_methods;
+          Alcotest.test_case "telemetry endpoints route" `Quick
+            test_telemetry_endpoints;
+          Alcotest.test_case "/eventz?txn= filter matrix" `Quick
+            test_eventz_filter;
           Alcotest.test_case "health probes" `Quick test_probes;
           Alcotest.test_case "writable-dir probe" `Quick
             test_writable_dir_probe;

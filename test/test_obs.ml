@@ -614,6 +614,226 @@ let test_events_sink_and_json () =
   Alcotest.(check bool) "filter excludes the uncorrelated event" false
     (contains (Obs.Events.to_json ~txn ()) "snapshot")
 
+(* -- monotonic timestamps ----------------------------------------------- *)
+
+(* Wall-clock time is display-only; mono orders events even across NTP
+   steps.  Every ring entry must carry both. *)
+let test_mono_timestamps () =
+  with_events @@ fun () ->
+  Obs.Events.emit (Obs.Events.Custom { name = "first"; detail = "" });
+  Obs.Events.emit (Obs.Events.Custom { name = "second"; detail = "" });
+  (match Obs.Events.events () with
+  | [ a; b ] ->
+    Alcotest.(check bool) "event mono stamps are positive" true
+      (a.Obs.Events.mono > 0. && b.Obs.Events.mono > 0.);
+    Alcotest.(check bool) "event mono stamps never run backwards" true
+      (b.Obs.Events.mono >= a.Obs.Events.mono);
+    Alcotest.(check bool) "event json carries the mono stamp" true
+      (contains (Obs.Events.event_to_json a) "\"mono\":")
+  | l -> Alcotest.failf "expected two events, got %d" (List.length l));
+  Obs.Audit.set_enabled true;
+  Obs.Audit.clear Obs.Audit.default;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Audit.set_enabled false;
+      Obs.Audit.clear Obs.Audit.default)
+  @@ fun () ->
+  Obs.Audit.record Obs.Audit.default ~user:"u" ~action:"query"
+    ~privilege:"read" ~target:"//x" ~rule:"r" Obs.Audit.Allowed;
+  Obs.Audit.record Obs.Audit.default ~user:"u" ~action:"query"
+    ~privilege:"read" ~target:"//y" ~rule:"r" Obs.Audit.Denied;
+  match Obs.Audit.events Obs.Audit.default with
+  | [ a; b ] ->
+    Alcotest.(check bool) "audit mono stamps are positive and ordered" true
+      (a.Obs.Audit.mono > 0. && b.Obs.Audit.mono >= a.Obs.Audit.mono)
+  | l -> Alcotest.failf "expected two audit events, got %d" (List.length l)
+
+(* -- rule telemetry ----------------------------------------------------- *)
+
+let with_rulestats f =
+  Obs.Rulestats.set_enabled true;
+  Obs.Rulestats.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Rulestats.set_enabled false;
+      Obs.Rulestats.clear ())
+    f
+
+let test_rulestats_registry () =
+  Alcotest.(check bool) "recording is off by default" false
+    (Obs.Rulestats.enabled ());
+  with_rulestats @@ fun () ->
+  let a = Obs.Rulestats.register ~key:1 ~privilege:"read" ~desc:"rule one" in
+  let b = Obs.Rulestats.register ~key:2 ~privilege:"read" ~desc:"rule two" in
+  Obs.Rulestats.add_matched a 5;
+  Obs.Rulestats.add_decided a 3;
+  Obs.Rulestats.add_matched b 4;
+  Obs.Rulestats.add_matched a (-7) (* non-positive increments are no-ops *);
+  let a' = Obs.Rulestats.register ~key:1 ~privilege:"read" ~desc:"rule one" in
+  Obs.Rulestats.add_decided a' 1;
+  (match Obs.Rulestats.reports () with
+  | [ ra; rb ] ->
+    Alcotest.(check int) "ascending priority" 1 ra.Obs.Rulestats.r_key;
+    Alcotest.(check int) "matched accumulates" 5 ra.Obs.Rulestats.r_matched;
+    Alcotest.(check int) "re-registration keeps the cell" 4
+      ra.Obs.Rulestats.r_decided;
+    Alcotest.(check int) "overridden = matched - decided" 1
+      ra.Obs.Rulestats.r_overridden;
+    Alcotest.(check int) "zero decisions reported" 0
+      rb.Obs.Rulestats.r_decided
+  | l -> Alcotest.failf "expected two reports, got %d" (List.length l));
+  (match Obs.Rulestats.shadowed () with
+  | [ rb ] ->
+    Alcotest.(check int) "only the undecided rule is shadowed" 2
+      rb.Obs.Rulestats.r_key
+  | l -> Alcotest.failf "expected one shadowed rule, got %d" (List.length l));
+  Obs.Rulestats.note_class ~profile:"1,2" ~keys:[ 1; 2 ];
+  Obs.Rulestats.note_member ~profile:"1,2";
+  Obs.Rulestats.note_member ~profile:"1,2";
+  Obs.Rulestats.note_member ~profile:"unknown" (* no-op *);
+  (match Obs.Rulestats.class_reports () with
+  | [ c ] ->
+    Alcotest.(check string) "class profile" "1,2" c.Obs.Rulestats.c_profile;
+    Alcotest.(check (list int)) "class rule keys" [ 1; 2 ]
+      c.Obs.Rulestats.c_keys;
+    Alcotest.(check int) "members counted" 2 c.Obs.Rulestats.c_members
+  | l -> Alcotest.failf "expected one class, got %d" (List.length l));
+  Alcotest.(check bool) "json dump is well-formed" true
+    (json_well_formed (Obs.Rulestats.to_json ()));
+  Alcotest.(check bool) "table flags the shadowed rule" true
+    (contains (Obs.Rulestats.to_string ()) "SHADOWED");
+  Obs.Rulestats.clear ();
+  Alcotest.(check int) "clear forgets rules" 0
+    (List.length (Obs.Rulestats.reports ()))
+
+(* A deliberately shadowed rule: priority 1 grants read on //leaf, but
+   the more recent priority 2 grants read on //node(), so under axiom 14
+   rule 1 matches nodes yet never decides any.  The live resolution must
+   surface exactly that. *)
+let test_rulestats_live_shadowing () =
+  with_rulestats @@ fun () ->
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, "u", []) ] in
+  let policy =
+    Core.Policy.v subjects
+      [
+        Core.Rule.accept Core.Privilege.Read ~path:"//diagnosis" ~subject:"u"
+          ~priority:1;
+        Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:"u"
+          ~priority:2;
+      ]
+  in
+  let serve = Core.Serve.create policy (P.document ()) in
+  Core.Serve.login serve ~user:"u";
+  let reports = Obs.Rulestats.reports () in
+  Alcotest.(check int) "both rules registered" 2 (List.length reports);
+  (match reports with
+  | [ r1; r2 ] ->
+    Alcotest.(check bool) "shadowed rule still matched its nodes" true
+      (r1.Obs.Rulestats.r_matched > 0);
+    Alcotest.(check int) "shadowed rule decided nothing" 0
+      r1.Obs.Rulestats.r_decided;
+    Alcotest.(check bool) "winning rule decided every document node" true
+      (r2.Obs.Rulestats.r_decided >= r2.Obs.Rulestats.r_matched
+       && r2.Obs.Rulestats.r_decided > 0)
+  | _ -> assert false);
+  (match Obs.Rulestats.shadowed () with
+  | [ r ] -> Alcotest.(check int) "rule 1 is the shadowed candidate" 1
+               r.Obs.Rulestats.r_key
+  | l -> Alcotest.failf "expected one shadowed rule, got %d" (List.length l));
+  match Obs.Rulestats.class_reports () with
+  | [ c ] ->
+    Alcotest.(check int) "one session in the class" 1
+      c.Obs.Rulestats.c_members;
+    Alcotest.(check (list int)) "class lists both applicable rules" [ 1; 2 ]
+      (List.sort compare c.Obs.Rulestats.c_keys)
+  | l -> Alcotest.failf "expected one class, got %d" (List.length l)
+
+(* -- query-plan log ----------------------------------------------------- *)
+
+let with_planlog f =
+  Obs.Planlog.set_enabled true;
+  Obs.Planlog.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Planlog.set_enabled false;
+      Obs.Planlog.clear ();
+      Obs.Planlog.set_threshold Obs.Planlog.default_threshold;
+      Obs.Planlog.set_capacity Obs.Planlog.default_capacity)
+    f
+
+let record_plan ?(seconds = 0.) ?(query = "//x") () =
+  Obs.Planlog.record ~user:"u" ~query ~compiled:true ~states:2 ~visited:5
+    ~pruned:3 ~answers:1 ~rules:[ "r" ] ~cls:"c" ~seconds
+
+let test_planlog_rings () =
+  with_planlog @@ fun () ->
+  Obs.Planlog.set_threshold 0.005;
+  let fast = record_plan ~seconds:0.001 ~query:"//fast" () in
+  let slow = record_plan ~seconds:0.02 ~query:"//slow" () in
+  Alcotest.(check int) "sequence numbers are assigned in order" 1 slow.seq;
+  Alcotest.(check int) "both plans in the recent ring" 2
+    (List.length (Obs.Planlog.recent ()));
+  (match Obs.Planlog.slow () with
+  | [ p ] -> Alcotest.(check string) "only the slow plan crosses the \
+                                      threshold" "//slow" p.Obs.Planlog.query
+  | l -> Alcotest.failf "expected one slow plan, got %d" (List.length l));
+  Alcotest.(check bool) "mono stamp is populated" true (fast.mono > 0.);
+  Alcotest.(check bool) "plan json is well-formed" true
+    (json_well_formed (Obs.Planlog.plan_to_json fast));
+  Alcotest.(check bool) "ring dumps are well-formed" true
+    (json_well_formed (Obs.Planlog.recent_json ())
+     && json_well_formed (Obs.Planlog.slow_json ()));
+  Alcotest.(check bool) "json names the read path" true
+    (contains (Obs.Planlog.plan_to_json fast) "\"path\":\"rewrite\"");
+  Obs.Planlog.set_capacity 3;
+  for i = 1 to 10 do
+    ignore (record_plan ~query:(Printf.sprintf "//q%d" i) ())
+  done;
+  Alcotest.(check int) "recent ring bounded by capacity" 3
+    (List.length (Obs.Planlog.recent ()));
+  Alcotest.(check (list string)) "newest plans retained, oldest first"
+    [ "//q8"; "//q9"; "//q10" ]
+    (List.map (fun (p : Obs.Planlog.plan) -> p.Obs.Planlog.query)
+       (Obs.Planlog.recent ()));
+  Alcotest.(check int) "seen counts evicted plans too" 12
+    (Obs.Planlog.seen ());
+  Alcotest.check_raises "non-positive capacity rejected"
+    (Invalid_argument "Obs.Planlog.set_capacity") (fun () ->
+      Obs.Planlog.set_capacity 0);
+  Obs.Planlog.clear ();
+  Alcotest.(check int) "clear resets the sequence" 0 (Obs.Planlog.seen ())
+
+(* Served queries must record plans for both read paths: the compiled
+   rewrite product and the lazy-view fallback. *)
+let test_planlog_live () =
+  with_planlog @@ fun () ->
+  Obs.Planlog.set_threshold 0. (* route everything to the slow ring *);
+  let serve = Core.Serve.create P.policy (P.document ()) in
+  Core.Serve.login serve ~user:P.laporte;
+  ignore (Core.Serve.query serve ~user:P.laporte "//service");
+  ignore
+    (Core.Serve.query serve ~user:P.laporte "//*[name() = 'diagnosis']");
+  match Obs.Planlog.recent () with
+  | [ p1; p2 ] ->
+    Alcotest.(check string) "first plan records the query" "//service"
+      p1.Obs.Planlog.query;
+    Alcotest.(check bool) "structural query takes the rewrite path" true
+      p1.Obs.Planlog.compiled;
+    Alcotest.(check bool) "rewrite path reports traversal work" true
+      (p1.Obs.Planlog.visited > 0 && p1.Obs.Planlog.states > 0);
+    Alcotest.(check int) "both services answered" 2 p1.Obs.Planlog.answers;
+    Alcotest.(check bool) "deciding rules resolved for the answers" true
+      (p1.Obs.Planlog.rules <> []);
+    Alcotest.(check bool) "plan is tagged with the permission class" true
+      (p1.Obs.Planlog.cls <> "");
+    Alcotest.(check bool) "predicate query falls back" false
+      p2.Obs.Planlog.compiled;
+    Alcotest.(check int) "fallback found the diagnoses" 2
+      p2.Obs.Planlog.answers;
+    Alcotest.(check int) "threshold 0 routes both to the slow ring" 2
+      (List.length (Obs.Planlog.slow ()))
+  | l -> Alcotest.failf "expected two plans, got %d" (List.length l)
+
 (* -- differential: instrumentation changes no answer -------------------- *)
 
 (* One scripted multi-session scenario on the paper's example, rendered
@@ -675,13 +895,21 @@ let test_differential_instrumentation () =
   Obs.Trace.clear ();
   Obs.Audit.set_enabled true;
   Obs.Audit.clear Obs.Audit.default;
+  Obs.Rulestats.set_enabled true;
+  Obs.Rulestats.clear ();
+  Obs.Planlog.set_enabled true;
+  Obs.Planlog.clear ();
   let instrumented =
     Fun.protect
       ~finally:(fun () ->
         Obs.Trace.set_enabled false;
         Obs.Audit.set_enabled false;
+        Obs.Rulestats.set_enabled false;
+        Obs.Planlog.set_enabled false;
         Obs.Trace.clear ();
-        Obs.Audit.clear Obs.Audit.default)
+        Obs.Audit.clear Obs.Audit.default;
+        Obs.Rulestats.clear ();
+        Obs.Planlog.clear ())
       scenario
   in
   Alcotest.(check bool) "scenario transcript is non-trivial" true
@@ -735,6 +963,24 @@ let () =
         [
           Alcotest.test_case "ring bounding" `Quick test_audit_ring_bounding;
           Alcotest.test_case "sink" `Quick test_audit_sink;
+        ] );
+      ( "timestamps",
+        [
+          Alcotest.test_case "mono stamps on events and audit" `Quick
+            test_mono_timestamps;
+        ] );
+      ( "rulestats",
+        [
+          Alcotest.test_case "registry semantics" `Quick
+            test_rulestats_registry;
+          Alcotest.test_case "live shadow detection" `Quick
+            test_rulestats_live_shadowing;
+        ] );
+      ( "planlog",
+        [
+          Alcotest.test_case "rings and thresholds" `Quick test_planlog_rings;
+          Alcotest.test_case "served queries record plans" `Quick
+            test_planlog_live;
         ] );
       ( "differential",
         [
