@@ -1,0 +1,86 @@
+(* Streaming-ingest smoke (CI): generate a >= 50 MB Zipf document as a
+   byte stream, load it through the channel parser straight into the
+   columnar store — no intermediate Tree.t or Document.t — and assert
+   the process high-water RSS stayed inside a budget that a
+   materialise-then-freeze path could not meet.
+
+     dune exec bench/ingest_smoke.exe
+
+   Exit status 1 on any violated assertion. *)
+
+module F = Xmldoc.Flat
+module G = Workload.Gen_large
+
+let min_bytes = 50 * 1024 * 1024
+let max_rss_mib = 1024
+
+let failures = ref 0
+
+let check desc ok =
+  Printf.printf "  [%s] %s\n%!" (if ok then "PASS" else "FAIL") desc;
+  if not ok then incr failures
+
+(* Peak resident set of this process, in MiB (VmHWM — the high-water
+   mark, so it covers generation, parsing and the finished snapshot). *)
+let vm_hwm_mib () =
+  let ic = open_in "/proc/self/status" in
+  let rec go () =
+    match input_line ic with
+    | line ->
+      if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+        Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+          (fun kb -> kb / 1024)
+      else go ()
+    | exception End_of_file -> -1
+  in
+  let r = go () in
+  close_in ic;
+  r
+
+let () =
+  let config =
+    { G.default with G.target_nodes = 1_000_000; text_len = 192; seed = 7 }
+  in
+  let path = Filename.temp_file "xmlsecu-ingest" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      print_endline "== streaming-ingest smoke ==";
+      let t0 = Unix.gettimeofday () in
+      let oc = open_out path in
+      G.write_xml config oc;
+      close_out oc;
+      let bytes = (Unix.stat path).Unix.st_size in
+      Printf.printf "  generated %.1f MiB of XML in %.1f s\n%!"
+        (float_of_int bytes /. 1024. /. 1024.)
+        (Unix.gettimeofday () -. t0);
+      check
+        (Printf.sprintf "document is >= %d MiB" (min_bytes / 1024 / 1024))
+        (bytes >= min_bytes);
+      let t1 = Unix.gettimeofday () in
+      let ic = open_in path in
+      let fl =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Xmldoc.Xml_parse.flat_of_channel ic)
+      in
+      let dt = Unix.gettimeofday () -. t1 in
+      Printf.printf
+        "  ingested %d nodes in %.1f s (%.0f knodes/s), snapshot %.1f B/node\n%!"
+        (F.size fl) dt
+        (float_of_int (F.size fl) /. dt /. 1000.)
+        (F.bytes_per_node fl);
+      check "node count within 1% of target"
+        (abs (F.size fl - config.G.target_nodes)
+         < config.G.target_nodes / 100);
+      check "root element present"
+        (match F.root_element fl with
+         | Some n -> n.Xmldoc.Node.label = "root"
+         | None -> false);
+      let rss = vm_hwm_mib () in
+      Printf.printf "  peak RSS %d MiB (budget %d MiB)\n%!" rss max_rss_mib;
+      check
+        (Printf.sprintf "peak RSS <= %d MiB (no intermediate tree)"
+           max_rss_mib)
+        (rss > 0 && rss <= max_rss_mib);
+      exit (if !failures = 0 then 0 else 1))

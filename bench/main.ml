@@ -1055,7 +1055,9 @@ let e19 () =
     in
     go 5 Float.infinity
   in
-  let compiled = best h_compiled Core.Perm.compute in
+  let compiled =
+    best h_compiled (fun policy doc ~user -> Core.Perm.compute policy doc ~user)
+  in
   let per_rule = best h_per_rule Core.Perm.compute_per_rule in
   let speedup = if compiled > 0. then per_rule /. compiled else Float.infinity in
   Printf.printf
@@ -1634,6 +1636,191 @@ let e24 () =
       ("observability overhead", 100. *. overhead, "%") ]
 
 (* ---------------------------------------------------------------------- *)
+(* E25: flattened columnar store — hot-path speedup + streaming ingest     *)
+(* ---------------------------------------------------------------------- *)
+
+(* Prices the Xmldoc.Flat snapshot on the million-node hot path it was
+   built for: a 10^5-node Zipf-skewed document (Gen_large), one reader
+   whose downward rules carve out the hot end of the label alphabet.
+   Three measurements:
+
+   - the permission + view hot path (Perm.compute, View.derive and a
+     batch of compiled //label plans through Rewrite) over the columnar
+     snapshot vs the map-backed document — the >= 5x floor the design
+     claims, gated here and via the committed baseline row;
+   - end-to-end streaming ingest: Gen_large's byte stream through
+     Xml_parse.flat_of_channel with no intermediate Tree.t, reported as
+     nodes/sec, plus the snapshot's bytes/node;
+   - a served Zipf query/update mix, each commit re-freezing the
+     snapshot (the epoch publication cost readers amortise). *)
+let e25 () =
+  section "E25: columnar Flat snapshot — hot-path speedup + streaming ingest";
+  let module F = Xmldoc.Flat in
+  let module G = Workload.Gen_large in
+  let config = { G.default with G.target_nodes = 100_000 } in
+  let doc = G.generate config in
+  let n = D.size doc in
+  let flat = F.of_document doc in
+  Printf.printf
+    "  document: %d nodes, Zipf s=%.1f over %d labels; flat snapshot %.1f B/node\n"
+    n config.G.zipf_s config.G.distinct_labels (F.bytes_per_node flat);
+  let user = "u" in
+  let subjects = Core.Subject.of_list [ (Core.Subject.User, user, []) ] in
+  let policy =
+    (* All-downward (Session.policy_local), so Serve's broadcast below
+       takes the genuinely incremental path; e1 subtrees are restricted
+       to their geometry, e3 elements are hidden outright. *)
+    Core.Policy.v subjects
+      [ Core.Rule.accept Core.Privilege.Read ~path:"//node()" ~subject:user
+          ~priority:1;
+        Core.Rule.deny Core.Privilege.Read ~path:"//e1//node()" ~subject:user
+          ~priority:2;
+        Core.Rule.deny Core.Privilege.Read ~path:"//e1" ~subject:user
+          ~priority:3;
+        Core.Rule.accept Core.Privilege.Position ~path:"//e1" ~subject:user
+          ~priority:4;
+        Core.Rule.deny Core.Privilege.Read ~path:"//e3" ~subject:user
+          ~priority:5;
+        Core.Rule.accept Core.Privilege.Update ~path:"//node()" ~subject:user
+          ~priority:6 ]
+  in
+  let rng = Workload.Prng.create 7 in
+  let rng, query_texts = G.queries config rng ~count:16 in
+  let plans = List.map Core.Rewrite.plan_str query_texts in
+  check "E25" "all 16 Zipf queries compile (downward fragment)"
+    (List.for_all Core.Rewrite.compiled plans);
+  (* One full reader bring-up: conflict resolution, axiom 15-17 view
+     derivation, then the 16 compiled plans.  The flat arm threads the
+     snapshot through the same entry points; answers must coincide. *)
+  let hot_path flat_opt () =
+    let perm =
+      match flat_opt with
+      | Some flat -> Core.Perm.compute ~flat policy doc ~user
+      | None -> Core.Perm.compute policy doc ~user
+    in
+    let view =
+      match flat_opt with
+      | Some flat -> Core.View.derive ~flat doc perm
+      | None -> Core.View.derive doc perm
+    in
+    let lv =
+      match flat_opt with
+      | Some flat -> Core.Lazy_view.create ~flat doc perm
+      | None -> Core.Lazy_view.create doc perm
+    in
+    let answers = List.map (fun p -> Core.Rewrite.select p lv) plans in
+    (view, answers)
+  in
+  let view_map, answers_map = hot_path None () in
+  let view_flat, answers_flat = hot_path (Some flat) () in
+  check "E25" "flat hot path answers = map-backed answers"
+    (D.equal view_map view_flat
+     && List.for_all2 (List.equal Ordpath.equal) answers_map answers_flat);
+  let best h f =
+    let round () =
+      let s0 = Obs.Metrics.sum h in
+      Obs.Metrics.time h (fun () -> ignore (f ()));
+      Obs.Metrics.sum h -. s0
+    in
+    ignore (round ());
+    let rec go k acc =
+      if k = 0 then acc else go (k - 1) (Float.min acc (round ()))
+    in
+    go 5 Float.infinity
+  in
+  let h_map =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e25_map_seconds"
+      ~help:"E25 reader bring-up + 16 compiled queries, map-backed document"
+  in
+  let h_flat =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e25_flat_seconds"
+      ~help:"E25 reader bring-up + 16 compiled queries, columnar snapshot"
+  in
+  let t_map = best h_map (hot_path None) in
+  let t_flat = best h_flat (hot_path (Some flat)) in
+  let speedup = t_map /. t_flat in
+  Printf.printf
+    "  hot path (Perm.compute + View.derive + 16 plans): map %.2f ms, flat %.2f ms (%.1fx)\n"
+    (1000. *. t_map) (1000. *. t_flat) speedup;
+  check "E25" "columnar snapshot >= 5x on the view/NFA hot path"
+    (speedup >= 5.);
+  (* Streaming ingest: the generator's byte stream into the flat builder
+     through a channel — no Tree.t, no Document.t on the way in. *)
+  let h_freeze =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e25_freeze_seconds"
+      ~help:"E25 Flat.of_document freeze of the committed source"
+  in
+  let h_ingest =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e25_ingest_seconds"
+      ~help:"E25 streaming parse (flat_of_channel) of the generated XML"
+  in
+  let t_freeze = best h_freeze (fun () -> F.of_document doc) in
+  let tmp = Filename.temp_file "xmlsecu-e25" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out tmp in
+      G.write_xml config oc;
+      close_out oc;
+      let xml_bytes = (Unix.stat tmp).Unix.st_size in
+      let ingest () =
+        let ic = open_in tmp in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Xmldoc.Xml_parse.flat_of_channel ic)
+      in
+      check "E25" "streamed snapshot = frozen in-memory document"
+        (D.equal (F.to_document (ingest ())) doc);
+      let t_ingest = best h_ingest ingest in
+      Printf.printf
+        "  ingest: %d XML bytes -> %d nodes in %.2f ms (%.0f knodes/s); freeze %.2f ms\n"
+        xml_bytes n (1000. *. t_ingest)
+        (float_of_int n /. t_ingest /. 1000.)
+        (1000. *. t_freeze);
+      (* Served Zipf mix: 32 hot-label reads and 4 single-op commits;
+         every commit publishes a fresh epoch (re-freeze + broadcast). *)
+      let serve = Core.Serve.create policy doc in
+      Core.Serve.login serve ~user;
+      let _rng, mix_queries = G.queries config rng ~count:32 in
+      let updates =
+        List.mapi
+          (fun i lbl ->
+            Xupdate.Op.update (Printf.sprintf "//%s[1]" lbl)
+              (Printf.sprintf "v%d" i))
+          [ "e0"; "e2"; "e4"; "e5" ]
+      in
+      let h_mix =
+        Obs.Metrics.histogram Obs.Metrics.default "bench_e25_mix_seconds"
+          ~help:"E25 served Zipf mix: 32 queries + 4 epoch-publishing commits"
+      in
+      let mix () =
+        List.iter (fun q -> ignore (Core.Serve.query serve ~user q))
+          mix_queries;
+        (* §4.4.2 per-target semantics: an op may succeed on some targets
+           and be denied on others (e.g. children hidden from the writer);
+           each op still publishes one fresh epoch. *)
+        List.iter
+          (fun op -> ignore (Core.Serve.update_all serve ~user [ op ]))
+          updates
+      in
+      let t_mix = best h_mix mix in
+      Printf.printf "  served mix (32 queries + 4 commits): %.2f ms\n"
+        (1000. *. t_mix);
+      emit_json "E25"
+        ~params:
+          (Printf.sprintf
+             "%d-node Zipf document (s=%.1f, %d labels), 1 reader, 16 compiled plans, best-of-5"
+             n config.G.zipf_s config.G.distinct_labels)
+        [ ("hot path (map)", t_map, "s");
+          ("hot path (flat)", t_flat, "s");
+          ("hot path speedup", speedup, "x");
+          ("flat freeze", t_freeze, "s");
+          ("streaming ingest", t_ingest, "s");
+          ("ingest throughput", float_of_int n /. t_ingest, "nodes/s");
+          ("flat bytes per node", F.bytes_per_node flat, "B");
+          ("served zipf mix", t_mix, "s") ])
+
+(* ---------------------------------------------------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
@@ -1656,6 +1843,7 @@ let () =
   e22 ();
   e23 ();
   e24 ();
+  e25 ();
   if not quick then begin
     e7 ();
     e8 ();

@@ -2,9 +2,9 @@ module D = Xmldoc.Document
 
 let readable_below doc perm id =
   Core.Perm.holds perm Core.Privilege.Read id
-  || List.exists
+  || Seq.exists
        (fun (n : Xmldoc.Node.t) -> Core.Perm.holds perm Core.Privilege.Read n.id)
-       (D.descendants doc id)
+       (D.descendants_seq doc id)
 
 let derive doc perm =
   D.fold

@@ -23,14 +23,24 @@ type stats = { mutable hits : int; mutable misses : int }
 type t = {
   doc : D.t;
   perm : Perm.t;
+  flat : Xmldoc.Flat.t option;
+      (* frozen snapshot of [doc], when the caller maintains one; lets
+         the compiled read path fold the columnar arrays instead of the
+         node map *)
+  mutable flat_vis : Bytes.t option;
+      (* byte-per-index visibility over [flat] (Perm.flat_visibility),
+         built on first demand by the compiled read path and dropped on
+         every rebase — the per-epoch analogue of [memo] *)
   memo : (Ordpath.t, bool) Hashtbl.t;
   stats : stats;
 }
 
-let create doc perm =
-  { doc; perm; memo = Hashtbl.create 64; stats = { hits = 0; misses = 0 } }
+let create ?flat doc perm =
+  { doc; perm; flat; flat_vis = None; memo = Hashtbl.create 64;
+    stats = { hits = 0; misses = 0 } }
 
-let of_session session = create (Session.source session) (Session.perm session)
+let of_session ?flat session =
+  create ?flat (Session.source session) (Session.perm session)
 
 (* Axioms 15-17, demand-driven: a node is selected iff its parent is and
    the user holds read or position on it. *)
@@ -63,18 +73,19 @@ let rec visible t id =
    and its ancestors' — all inside the range whenever any of them is).
    The surviving entries migrate to the rebased value; the old value must
    not be used afterwards, as the table is shared, not copied. *)
-let rebase t doc perm delta =
+let rebase ?flat t doc perm delta =
   match delta with
   | Delta.All ->
     Obs.Metrics.inc m_rebase_full;
-    { doc; perm; memo = Hashtbl.create 64; stats = t.stats }
-  | Delta.Local [] -> { t with doc; perm }
+    { doc; perm; flat; flat_vis = None; memo = Hashtbl.create 64;
+      stats = t.stats }
+  | Delta.Local [] -> { t with doc; perm; flat; flat_vis = None }
   | Delta.Local _ ->
     Obs.Metrics.inc m_rebase_incremental;
     Hashtbl.filter_map_inplace
       (fun id v -> if Delta.affects delta id then None else Some v)
       t.memo;
-    { t with doc; perm }
+    { t with doc; perm; flat; flat_vis = None }
 
 let label t id =
   if not (visible t id) then None
@@ -154,7 +165,22 @@ let select ?vars t expr =
 let select_str ?vars t src = select ?vars t (Xpath.Parser.parse_path src)
 
 let doc t = t.doc
-let materialize t = View.derive t.doc t.perm
+let flat t = t.flat
+
+let flat_visibility t =
+  match t.flat with
+  | None -> None
+  | Some fl ->
+    let vis =
+      match t.flat_vis with
+      | Some v -> v
+      | None ->
+        let v = Perm.flat_visibility t.perm fl in
+        t.flat_vis <- Some v;
+        v
+    in
+    Some (fl, vis)
+let materialize t = View.derive ?flat:t.flat t.doc t.perm
 let probed_nodes t = Hashtbl.length t.memo
 let hits t = t.stats.hits
 let misses t = t.stats.misses

@@ -14,9 +14,12 @@
 
 type t
 
-val create : Xmldoc.Document.t -> Perm.t -> t
+val create : ?flat:Xmldoc.Flat.t -> Xmldoc.Document.t -> Perm.t -> t
+(** [?flat], when given, must be a frozen snapshot of the document; the
+    compiled read path ({!Rewrite.select}) then folds the columnar
+    arrays instead of the node map. *)
 
-val of_session : Session.t -> t
+val of_session : ?flat:Xmldoc.Flat.t -> Session.t -> t
 
 val visible : t -> Ordpath.t -> bool
 (** Memoised: the node and all its ancestors are selected by
@@ -33,6 +36,16 @@ val doc : t -> Xmldoc.Document.t
 (** The underlying shared source database (trusted callers only — the
     compiled {!Rewrite} read path folds over it with {!visible}/{!remap}
     applied per node). *)
+
+val flat : t -> Xmldoc.Flat.t option
+(** The frozen columnar snapshot of {!doc}, when one was supplied at
+    creation/rebase time. *)
+
+val flat_visibility : t -> (Xmldoc.Flat.t * Bytes.t) option
+(** The snapshot paired with its byte-per-index visibility oracle
+    ({!Perm.flat_visibility}): byte [i] is [0] (hidden), [1] (visible,
+    source label) or [2] (visible as RESTRICTED).  Built on first demand
+    and cached until the next {!rebase}; [None] without a snapshot. *)
 
 val remap : t -> Xmldoc.Node.t -> Xmldoc.Node.t
 (** The node as the view presents it: unchanged under [read], label
@@ -53,7 +66,8 @@ val probed_nodes : t -> int
 (** How many distinct nodes have had their visibility decided so far —
     the work-saving measure the E13 bench reports. *)
 
-val rebase : t -> Xmldoc.Document.t -> Perm.t -> Delta.t -> t
+val rebase :
+  ?flat:Xmldoc.Flat.t -> t -> Xmldoc.Document.t -> Perm.t -> Delta.t -> t
 (** [rebase t doc perm delta] carries the memoised visibility decisions
     over to the updated source and permissions, evicting only the entries
     inside [delta] (a decision depends on the node and its ancestors

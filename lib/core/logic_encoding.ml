@@ -217,9 +217,10 @@ let create_number_facts doc target_trees where =
       | None -> []
       | Some (scratch, root) ->
         let fresh_ids =
-          List.map
-            (fun (n : Xmldoc.Node.t) -> n.id)
-            (D.descendant_or_self scratch root)
+          List.of_seq
+            (Seq.map
+               (fun (n : Xmldoc.Node.t) -> n.id)
+               (D.descendant_or_self_seq scratch root))
         in
         List.map2
           (fun name id ->

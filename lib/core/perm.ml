@@ -245,12 +245,16 @@ let higher_priority (a : Rule.t) (b : Rule.t) =
    ($USER bound), sharing selections across rules with identical path
    text, and merge the resulting decisions into [decisions] by rule
    priority. *)
-let merge_fallback ?stats doc ~user decisions rules =
+let merge_fallback ?stats ?flat doc ~user decisions rules =
   match rules with
   | [] -> decisions
   | rules ->
     let vars = [ ("USER", Xpath.Value.Str user) ] in
-    let env = Xpath.Eval.env ~vars doc in
+    let env =
+      match flat with
+      | Some fl -> Xpath.Eval.env_of_source ~vars (Xpath.Source.of_flat fl)
+      | None -> Xpath.Eval.env ~vars doc
+    in
     let cache : (string, Ordpath.t list) Hashtbl.t = Hashtbl.create 16 in
     let select (r : Rule.t) =
       match Hashtbl.find_opt cache r.path_src with
@@ -294,7 +298,7 @@ let merge_fallback ?stats doc ~user decisions rules =
           Dmap.merge higher_priority base (Array.of_list (dedupe sorted)))
       decisions
 
-let compute policy doc ~user =
+let compute ?flat policy doc ~user =
   let rules = Policy.rules_for policy ~user in
   let stats = stats_index rules in
   let downward, fallback = partition_rules rules in
@@ -304,10 +308,14 @@ let compute policy doc ~user =
    | downward ->
      let matcher = matcher_of_rules downward in
      let push = node_pusher ?stats () in
-     Xpath.Compile.fold matcher doc ~init:() ~f:(fun () n rules ->
-       push acc n.Xmldoc.Node.id rules));
+     let f () (n : Xmldoc.Node.t) rules = push acc n.id rules in
+     (match flat with
+      | Some fl -> Xpath.Compile.fold_flat matcher fl ~init:() ~f
+      | None -> Xpath.Compile.fold matcher doc ~init:() ~f));
   let decisions =
-    merge_fallback ?stats doc ~user (Array.map Dmap.of_rev_list acc) fallback
+    merge_fallback ?stats ?flat doc ~user
+      (Array.map Dmap.of_rev_list acc)
+      fallback
   in
   count_decided stats decisions;
   { user; decisions }
@@ -378,22 +386,25 @@ let profile policy ~user =
    yields disjoint roots in document order, so the re-matched stream is
    itself ascending and replaces the affected spans of the sorted stores
    by splicing. *)
-let update t policy doc delta =
+let update ?flat t policy doc delta =
   match delta with
-  | Delta.All -> compute policy doc ~user:t.user
+  | Delta.All -> compute ?flat policy doc ~user:t.user
   | Delta.Local [] -> t
   | Delta.Local roots ->
     let rules = Policy.rules_for policy ~user:t.user in
-    if not (Delta.local_rules rules) then compute policy doc ~user:t.user
+    if not (Delta.local_rules rules) then compute ?flat policy doc ~user:t.user
     else begin
       let stats = stats_index rules in
       let matcher = matcher_of_rules rules in
       let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
       let push = node_pusher ?stats () in
+      let f () (n : Xmldoc.Node.t) rules = push acc n.id rules in
       List.iter
         (fun root ->
-          Xpath.Compile.fold_subtree matcher doc ~root ~init:()
-            ~f:(fun () n rules -> push acc n.Xmldoc.Node.id rules))
+          match flat with
+          | Some fl ->
+            Xpath.Compile.fold_subtree_flat matcher fl ~root ~init:() ~f
+          | None -> Xpath.Compile.fold_subtree matcher doc ~root ~init:() ~f)
         roots;
       let additions = Array.map Dmap.of_rev_list acc in
       (* Decided over the re-resolved spans only — the unaffected bulk
@@ -414,6 +425,48 @@ let holds t privilege id =
   match deciding_rule t privilege id with
   | Some r -> r.Rule.decision = Rule.Accept
   | None -> false
+
+(* Visibility of every node of a frozen snapshot, one byte per flat
+   index: 0 hidden, 1 visible with its source label, 2 visible as
+   RESTRICTED (position-only) — axioms 15-17 in array form.  The decision
+   stores are sorted in document order, which is exactly flat index
+   order, so instead of a binary search per node the scan advances one
+   pointer per store: O(n + |decisions|) total, no ordpath hashing.
+   Parents precede children in index order, so the top-down "parent
+   selected" premise reads the byte already written at [parent_ix]. *)
+let flat_visibility t fl =
+  let module F = Xmldoc.Flat in
+  let n = F.size fl in
+  let vis = Bytes.make n '\000' in
+  if n > 0 then begin
+    let read = t.decisions.(privilege_index Privilege.Read) in
+    let pos = t.decisions.(privilege_index Privilege.Position) in
+    let ri = ref 0 and pi = ref 0 in
+    let accepts (store : Rule.t Dmap.t) ptr id =
+      let len = Array.length store in
+      let rec at () =
+        if !ptr >= len then false
+        else
+          let c = Ordpath.compare (fst store.(!ptr)) id in
+          if c < 0 then begin
+            incr ptr;
+            at ()
+          end
+          else c = 0
+      in
+      at () && (snd store.(!ptr)).Rule.decision = Rule.Accept
+    in
+    Bytes.unsafe_set vis 0 '\001' (* the document node: axiom 15 *);
+    for i = 1 to n - 1 do
+      let p = F.parent_ix fl i in
+      if p >= 0 && Bytes.unsafe_get vis p <> '\000' then begin
+        let id = (F.node fl i).Xmldoc.Node.id in
+        if accepts read ri id then Bytes.unsafe_set vis i '\001'
+        else if accepts pos pi id then Bytes.unsafe_set vis i '\002'
+      end
+    done
+  end;
+  vis
 
 let permitted t privilege =
   Dmap.fold

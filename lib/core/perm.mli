@@ -6,14 +6,20 @@
 
 type t
 
-val compute : Policy.t -> Xmldoc.Document.t -> user:string -> t
+val compute :
+  ?flat:Xmldoc.Flat.t -> Policy.t -> Xmldoc.Document.t -> user:string -> t
 (** Resolves every applicable rule against the source document.  Rules in
     the downward fragment — in practice almost all of them — are merged
     into one {!Xpath.Compile} automaton and resolved for all five
     privileges in a single top-down pass; the rest are evaluated
     individually with [$USER] bound to [user].  The two result streams
     merge by rule priority, reproducing the ascending most-recent-wins
-    order of axiom 14. *)
+    order of axiom 14.
+
+    When [?flat] is given it must be a frozen snapshot of [doc]; the
+    traversals then run over the columnar store
+    ({!Xpath.Compile.fold_flat}) instead of the node map, with identical
+    results. *)
 
 val compute_per_rule : Policy.t -> Xmldoc.Document.t -> user:string -> t
 (** The pre-compilation implementation: one [Eval.select] per applicable
@@ -36,7 +42,8 @@ val profile : Policy.t -> user:string -> string
     cannot depend on the user.  Users carrying a [$USER] rule have their
     name folded into the signature, i.e. they form singleton classes. *)
 
-val update : t -> Policy.t -> Xmldoc.Document.t -> Delta.t -> t
+val update :
+  ?flat:Xmldoc.Flat.t -> t -> Policy.t -> Xmldoc.Document.t -> Delta.t -> t
 (** [update t policy doc delta] re-resolves the permissions on the new
     document [doc], re-evaluating rules only for nodes inside [delta]
     (decisions outside an affected subtree cannot have changed when every
@@ -50,6 +57,15 @@ val holds : t -> Privilege.t -> Ordpath.t -> bool
 
 val permitted : t -> Privilege.t -> Ordpath.Set.t
 (** All nodes on which the privilege is held. *)
+
+val flat_visibility : t -> Xmldoc.Flat.t -> Bytes.t
+(** Axioms 15-17 over a frozen snapshot of the source document, one byte
+    per flat index: [0] hidden, [1] visible with its source label, [2]
+    visible as RESTRICTED (position-only).  The decision stores and the
+    snapshot share document order, so the whole array costs one merge
+    scan — no per-node binary search.  Byte [i] is non-zero iff node [i]
+    is in the {!View.derive} materialisation; the secure read paths
+    consume it as an O(1) per-node visibility oracle. *)
 
 val deciding_rule : t -> Privilege.t -> Ordpath.t -> Rule.t option
 (** The rule that decided the privilege on this node ([None] when no

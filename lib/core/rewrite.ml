@@ -45,13 +45,26 @@ let select ?vars ?stats t lv =
   | Some auto ->
     Obs.Metrics.inc m_compiled;
     Obs.Trace.with_span "rewrite.select" (fun () ->
+        let f acc (n : Xmldoc.Node.t) _ = n.id :: acc in
         List.rev
-          (Xpath.Compile.fold_view ?stats auto (Lazy_view.doc lv)
-             ~view:(fun (n : Xmldoc.Node.t) ->
+          (match Lazy_view.flat_visibility lv with
+           | Some (fl, vis) ->
+             (* Per-epoch byte oracle: visibility is an array read, and
+                only position-only nodes allocate a remapped copy. *)
+             let view ix (n : Xmldoc.Node.t) =
+               match Bytes.unsafe_get vis ix with
+               | '\000' -> None
+               | '\001' -> Some n
+               | _ -> Some { n with label = View.restricted }
+             in
+             Xpath.Compile.fold_view_flat ?stats auto fl ~view ~init:[] ~f
+           | None ->
+             let view (n : Xmldoc.Node.t) =
                if Lazy_view.visible lv n.id then Some (Lazy_view.remap lv n)
-               else None)
-             ~init:[]
-             ~f:(fun acc (n : Xmldoc.Node.t) _ -> n.id :: acc)))
+               else None
+             in
+             Xpath.Compile.fold_view ?stats auto (Lazy_view.doc lv) ~view
+               ~init:[] ~f))
   | None ->
     Obs.Metrics.inc m_fallback;
     (* No automaton on this path; approximate "visited" by the delta in

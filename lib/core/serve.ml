@@ -21,6 +21,10 @@ type entry = { user : string; cls : shared }
 type t = {
   policy : Policy.t;
   mutable source : Xmldoc.Document.t;
+  mutable flat : Xmldoc.Flat.t;
+      (* frozen columnar snapshot of [source], republished with it on
+         every commit (epoch-style): readers fold the arrays, the writer
+         path mutates the map-backed store and freezes once per batch *)
   lock : Mutex.t;
       (* guards [sessions]/[classes]/[plans] (and [source]/[writes]
          writes): pool workers never touch the tables, but login can race
@@ -82,6 +86,18 @@ let g_classes =
   Obs.Metrics.gauge Obs.Metrics.default "serve_permission_classes"
     ~help:"Distinct permission-equivalence classes among logged sessions"
 
+let g_document_nodes =
+  Obs.Metrics.gauge Obs.Metrics.default "document_nodes"
+    ~help:"Nodes in the published source snapshot (document node included)"
+
+let g_flat_bytes =
+  Obs.Metrics.gauge Obs.Metrics.default "flat_bytes"
+    ~help:"Approximate heap footprint of the published columnar snapshot"
+
+let m_flat_freezes =
+  Obs.Metrics.counter Obs.Metrics.default "flat_freezes_total"
+    ~help:"Columnar snapshots frozen (one per server start or committed batch)"
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
@@ -91,11 +107,21 @@ let sync_gauges t =
   Obs.Metrics.set_gauge g_sessions (float (Hashtbl.length t.sessions));
   Obs.Metrics.set_gauge g_classes (float (Hashtbl.length t.classes))
 
+let freeze source =
+  let flat =
+    Obs.Trace.with_span "flat.freeze" (fun () -> Xmldoc.Flat.of_document source)
+  in
+  Obs.Metrics.inc m_flat_freezes;
+  Obs.Metrics.set_gauge g_document_nodes (float (Xmldoc.Flat.size flat));
+  Obs.Metrics.set_gauge g_flat_bytes (float (Xmldoc.Flat.bytes flat));
+  flat
+
 let create ?pool ?persist policy source =
   let pool = match pool with Some p -> p | None -> Pool.of_env () in
   {
     policy;
     source;
+    flat = freeze source;
     lock = Mutex.create ();
     sessions = Hashtbl.create 8;
     classes = Hashtbl.create 8;
@@ -113,15 +139,19 @@ let check_known t ~user =
   if not (Subject.mem (Policy.subjects t.policy) user) then
     raise (Session.Unknown_user user)
 
-let fresh_shared t ~profile ~user =
-  let rep = Session.login t.policy t.source ~user in
+(* The (source, flat) pair must come from one consistent epoch — callers
+   either hold the lock or snapshot the pair with {!snapshot} first. *)
+let fresh_shared t ~source ~flat ~profile ~user =
+  let rep = Session.login ~flat t.policy source ~user in
   if Obs.Rulestats.enabled () then
     Obs.Rulestats.note_class ~profile
       ~keys:
         (List.map
            (fun (r : Rule.t) -> r.Rule.priority)
            (Policy.rules_for t.policy ~user));
-  { profile; rep; lazy_view = Lazy_view.of_session rep; members = 0 }
+  { profile; rep; lazy_view = Lazy_view.of_session ~flat rep; members = 0 }
+
+let snapshot t = locked t (fun () -> (t.source, t.flat))
 
 (* Call with the lock held: binds [user] to its class (which must be in
    [t.classes]). *)
@@ -140,7 +170,10 @@ let login t ~user =
        created — or drained — the class meanwhile). *)
     let prebuilt =
       if locked t (fun () -> Hashtbl.mem t.classes profile) then None
-      else Some (fresh_shared t ~profile ~user)
+      else begin
+        let source, flat = snapshot t in
+        Some (fresh_shared t ~source ~flat ~profile ~user)
+      end
     in
     locked t (fun () ->
         if not (Hashtbl.mem t.sessions user) then begin
@@ -151,7 +184,8 @@ let login t ~user =
               let cls =
                 match prebuilt with
                 | Some cls -> cls
-                | None -> fresh_shared t ~profile ~user
+                | None ->
+                  fresh_shared t ~source:t.source ~flat:t.flat ~profile ~user
               in
               Hashtbl.replace t.classes profile cls;
               cls
@@ -191,10 +225,11 @@ let login_many t users =
   in
   let arr = Array.of_list need in
   let built = Array.make (Array.length arr) None in
+  let source, flat = snapshot t in
   Pool.run t.pool
     (List.init (Array.length arr) (fun i _slot ->
          let user, profile = arr.(i) in
-         built.(i) <- Some (fresh_shared t ~profile ~user)));
+         built.(i) <- Some (fresh_shared t ~source ~flat ~profile ~user)));
   locked t (fun () ->
       Array.iter
         (function
@@ -212,7 +247,9 @@ let login_many t users =
               | None ->
                 (* the class was drained by a concurrent logout between
                    the [need] probe and here: rebuild under the lock *)
-                let cls = fresh_shared t ~profile ~user in
+                let cls =
+                  fresh_shared t ~source:t.source ~flat:t.flat ~profile ~user
+                in
                 Hashtbl.replace t.classes profile cls;
                 cls
             in
@@ -339,13 +376,13 @@ let query t ~user q =
       Obs.Audit.Allowed;
   ids
 
-let rebase_class ?slot ?txn source delta cls =
+let rebase_class ?slot ?txn ~flat source delta cls =
   Obs.Metrics.inc m_fanout;
   Obs.Trace.with_span "session.rebase" @@ fun () ->
   (match slot with
    | Some slot -> Obs.Trace.annotate "domain" (string_of_int slot)
    | None -> ());
-  let session = Session.apply_delta cls.rep source delta in
+  let session = Session.apply_delta ~flat cls.rep source delta in
   Obs.Trace.annotate "user" (Session.user session);
   (* apply_delta widens internally for non-local sessions; the lazy memo
      must be widened the same way, as its entries depend on the same
@@ -374,7 +411,8 @@ let rebase_class ?slot ?txn source delta cls =
        });
   cls.rep <- session;
   cls.lazy_view <-
-    Lazy_view.rebase cls.lazy_view source (Session.perm session) lazy_delta
+    Lazy_view.rebase ~flat cls.lazy_view source (Session.perm session)
+      lazy_delta
 
 type committed = {
   reports : Secure_update.report list;
@@ -410,8 +448,12 @@ let commit ?(on_denial = `Abort) t ~user ops =
        in
        ignore (Store.append store ~user ~mode ~doc:source' ops)
      | _ -> ());
+    (* The freeze runs outside the lock; the new epoch — map-backed store
+       and columnar snapshot — is published atomically under it. *)
+    let flat' = freeze source' in
     locked t (fun () ->
         t.source <- source';
+        t.flat <- flat';
         t.writes <- t.writes + List.length reports);
     Obs.Metrics.add m_updates (List.length reports);
     (* The writer's class is already rebased by the transaction (the
@@ -430,8 +472,8 @@ let commit ?(on_denial = `Abort) t ~user ops =
     in
     e.cls.lazy_view <-
       Obs.Trace.with_span "lazy_view.rebase" (fun () ->
-          Lazy_view.rebase e.cls.lazy_view source' (Session.perm session')
-            lazy_delta);
+          Lazy_view.rebase ~flat:flat' e.cls.lazy_view source'
+            (Session.perm session') lazy_delta);
     (* Fan-out over a lock-free snapshot: classes are disjoint, so
        workers never contend; pool size 1 reproduces the sequential
        broadcast exactly. *)
@@ -451,7 +493,8 @@ let commit ?(on_denial = `Abort) t ~user ops =
                 (Obs.Events.Broadcast { sessions = List.length others });
               Pool.run t.pool
                 (List.map
-                   (fun cls slot -> rebase_class ~slot ~txn source' delta cls)
+                   (fun cls slot ->
+                     rebase_class ~slot ~txn ~flat:flat' source' delta cls)
                    others)));
     Obs.Metrics.observe h_update (Obs.Mono.now () -. t0);
     Ok { reports; delta }

@@ -41,7 +41,7 @@ let h_login =
   Obs.Metrics.histogram Obs.Metrics.default "session_login_seconds"
     ~help:"Login latency (perm resolution + view derivation)"
 
-let login policy source ~user =
+let login ?flat policy source ~user =
   if not (Subject.mem (Policy.subjects policy) user) then
     raise (Unknown_user user);
   Obs.Metrics.time h_login (fun () ->
@@ -49,11 +49,11 @@ let login policy source ~user =
           Obs.Trace.annotate "user" user;
           let perm =
             Obs.Trace.with_span "perm.compute" (fun () ->
-                Perm.compute policy source ~user)
+                Perm.compute ?flat policy source ~user)
           in
           let view =
             Obs.Trace.with_span "view.derive" (fun () ->
-                View.derive source perm)
+                View.derive ?flat source perm)
           in
           let local = Delta.local_rules (Policy.rules_for policy ~user) in
           Obs.Metrics.inc m_logins;
@@ -110,27 +110,28 @@ let query t src =
 let query_source t src =
   Xpath.Eval.select_str ~vars:(user_vars t) t.source src
 
-let refresh ?(quiet = false) t source =
+let refresh ?(quiet = false) ?flat t source =
   if not quiet then Obs.Metrics.inc m_refresh_full;
   Obs.Trace.with_span "session.refresh" (fun () ->
       Obs.Trace.annotate "user" t.user;
       let perm =
         Obs.Trace.with_span "perm.compute" (fun () ->
-            Perm.compute t.policy source ~user:t.user)
+            Perm.compute ?flat t.policy source ~user:t.user)
       in
       let view =
-        Obs.Trace.with_span "view.derive" (fun () -> View.derive source perm)
+        Obs.Trace.with_span "view.derive" (fun () ->
+            View.derive ?flat source perm)
       in
       { t with source; perm; view })
 
-let apply_delta ?(quiet = false) t source delta =
+let apply_delta ?(quiet = false) ?flat t source delta =
   let count c = if not quiet then Obs.Metrics.inc c in
   (match delta with
    | Delta.All -> ()
    | Delta.Local _ -> if not t.local then count m_delta_widened);
   let delta = if t.local then delta else Delta.all in
   match delta with
-  | Delta.All -> refresh ~quiet t source
+  | Delta.All -> refresh ~quiet ?flat t source
   | Delta.Local [] ->
     count m_delta_noop;
     { t with source }
@@ -140,7 +141,7 @@ let apply_delta ?(quiet = false) t source delta =
         Obs.Trace.annotate "user" t.user;
         let perm =
           Obs.Trace.with_span "perm.update" (fun () ->
-              Perm.update t.perm t.policy source delta)
+              Perm.update ?flat t.perm t.policy source delta)
         in
         let view =
           Obs.Trace.with_span "view.patch" (fun () ->

@@ -7,8 +7,12 @@ type t
 
 exception Unknown_user of string
 
-val login : Policy.t -> Xmldoc.Document.t -> user:string -> t
-(** @raise Unknown_user if the user is not declared in the policy's
+val login :
+  ?flat:Xmldoc.Flat.t -> Policy.t -> Xmldoc.Document.t -> user:string -> t
+(** When [?flat] is a frozen snapshot of the source, permission
+    resolution and view derivation run over the columnar store (same
+    answers, large documents resolve much faster).
+    @raise Unknown_user if the user is not declared in the policy's
     subject hierarchy. *)
 
 val impersonate : t -> user:string -> t
@@ -38,13 +42,15 @@ val query_source : t -> string -> Ordpath.t list
 (** Trusted evaluation on the source database — what a security officer
     (not a regular subject) would see.  Used by baselines and tests. *)
 
-val refresh : ?quiet:bool -> t -> Xmldoc.Document.t -> t
+val refresh : ?quiet:bool -> ?flat:Xmldoc.Flat.t -> t -> Xmldoc.Document.t -> t
 (** Re-resolves permissions and re-derives the view after the source
     database changed.  [quiet] (default [false]) suppresses the session
     counters — {!Txn} stages speculative rebases that must leave the
-    metrics registry untouched if the transaction aborts. *)
+    metrics registry untouched if the transaction aborts.  [?flat], when
+    given, must be a frozen snapshot of the {e new} source. *)
 
-val apply_delta : ?quiet:bool -> t -> Xmldoc.Document.t -> Delta.t -> t
+val apply_delta :
+  ?quiet:bool -> ?flat:Xmldoc.Flat.t -> t -> Xmldoc.Document.t -> Delta.t -> t
 (** [apply_delta t source delta] rebases the session onto the updated
     source, re-resolving permissions ({!Perm.update}) and re-deriving the
     view ({!View.patch}) only inside the affected range.  Equivalent to

@@ -4,23 +4,40 @@ let restricted = "RESTRICTED"
 
 (* Document order visits parents before children, so a single fold
    implements the recursive axioms 15-17. *)
-let derive doc perm =
-  D.fold
-    (fun (n : Xmldoc.Node.t) view ->
-      if n.kind = Xmldoc.Node.Document then view (* axiom 15: always there *)
-      else
-        let parent_selected =
-          match Ordpath.parent n.id with
-          | None -> false
-          | Some pid -> D.mem view pid
-        in
-        if not parent_selected then view
-        else if Perm.holds perm Privilege.Read n.id then
-          D.add_node view n (* axiom 16 *)
-        else if Perm.holds perm Privilege.Position n.id then
-          D.add_node view { n with Xmldoc.Node.label = restricted } (* axiom 17 *)
-        else view)
-    doc D.empty
+let derive_step perm (n : Xmldoc.Node.t) view =
+  if n.kind = Xmldoc.Node.Document then view (* axiom 15: always there *)
+  else
+    let parent_selected =
+      match Ordpath.parent n.id with
+      | None -> false
+      | Some pid -> D.mem view pid
+    in
+    if not parent_selected then view
+    else if Perm.holds perm Privilege.Read n.id then
+      D.add_node view n (* axiom 16 *)
+    else if Perm.holds perm Privilege.Position n.id then
+      D.add_node view { n with Xmldoc.Node.label = restricted } (* axiom 17 *)
+    else view
+
+let derive ?flat doc perm =
+  match flat with
+  | Some fl ->
+    (* One merge-scan decides every node (see {!Perm.flat_visibility});
+       building the view is then a straight sweep over the selected
+       indexes — index 0 is the document node [D.empty] already holds. *)
+    let vis = Perm.flat_visibility perm fl in
+    let view = ref D.empty in
+    for i = 1 to Xmldoc.Flat.size fl - 1 do
+      match Bytes.unsafe_get vis i with
+      | '\000' -> ()
+      | '\001' -> view := D.add_node !view (Xmldoc.Flat.node fl i)
+      | _ ->
+        view :=
+          D.add_node !view
+            { (Xmldoc.Flat.node fl i) with Xmldoc.Node.label = restricted }
+    done;
+    !view
+  | None -> D.fold (derive_step perm) doc D.empty
 
 (* Delta-aware re-derivation: outside the affected range neither the
    source facts nor (for downward policies) the permissions changed, so
@@ -37,7 +54,7 @@ let patch source ~view perm delta =
     let pruned = List.fold_left D.remove_subtree view roots in
     List.fold_left
       (fun acc root ->
-        List.fold_left
+        Seq.fold_left
           (fun acc (n : Xmldoc.Node.t) ->
             let parent_selected =
               match Ordpath.parent n.id with
@@ -50,7 +67,7 @@ let patch source ~view perm delta =
               D.add_node acc { n with Xmldoc.Node.label = restricted }
             else acc)
           acc
-          (D.descendant_or_self source root))
+          (D.descendant_or_self_seq source root))
       pruned roots
 
 let is_restricted view id =

@@ -8,9 +8,11 @@
 val restricted : string
 (** ["RESTRICTED"] — the label of §2.1, after Sandhu & Jajodia. *)
 
-val derive : Xmldoc.Document.t -> Perm.t -> Xmldoc.Document.t
+val derive : ?flat:Xmldoc.Flat.t -> Xmldoc.Document.t -> Perm.t -> Xmldoc.Document.t
 (** The view as a first-class document: every query facility works on
-    it unchanged. *)
+    it unchanged.  When [?flat] is a frozen snapshot of the source, the
+    selection pass iterates the columnar arrays instead of the node map;
+    the result is identical. *)
 
 val patch :
   Xmldoc.Document.t -> view:Xmldoc.Document.t -> Perm.t -> Delta.t ->

@@ -172,6 +172,78 @@ let of_string s =
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
+(* Packed binary keys.
+
+   Each component is encoded as one header byte plus a big-endian payload
+   whose length the header determines, chosen so that byte-wise
+   lexicographic comparison of concatenated codes coincides with
+   component-wise comparison of labels:
+
+   - non-negative [v] with minimal payload length [n] (1..7 bytes):
+     header [0x80 + n], payload = big-endian [v];
+   - negative [v] with minimal payload length [n]:
+     header [0x80 - n], payload = big-endian [v + 2^(8n)].
+
+   Negative headers (0x79..0x7F) sort below positive ones (0x81..0x87);
+   within a sign, longer payloads mean larger magnitude and the headers
+   order them accordingly.  Codes are prefix-free, so a label is a strict
+   prefix of another iff its packed form is a strict string prefix. *)
+
+let packed_component_max = (1 lsl 55) - 1
+
+let payload_len v =
+  (* minimal n in 1..7 with the payload fitting n bytes *)
+  let u = if v >= 0 then v else -1 - v in
+  let rec go n bound = if u < bound then n else go (n + 1) (bound lsl 8) in
+  go 1 256
+
+let pack t =
+  let b = Buffer.create 16 in
+  List.iter
+    (fun v ->
+      if v > packed_component_max || v < -packed_component_max then
+        invalid_arg "Ordpath.pack: component out of range";
+      let n = payload_len v in
+      let u = if v >= 0 then v else v + (1 lsl (8 * n)) in
+      Buffer.add_char b
+        (Char.chr (if v >= 0 then 0x80 + n else 0x80 - n));
+      for i = n - 1 downto 0 do
+        Buffer.add_char b (Char.chr ((u lsr (8 * i)) land 0xff))
+      done)
+    t;
+  Buffer.contents b
+
+let unpack s =
+  let len = String.length s in
+  let rec go pos acc =
+    if pos = len then List.rev acc
+    else begin
+      let h = Char.code s.[pos] in
+      let n, neg =
+        if h > 0x80 && h <= 0x87 then h - 0x80, false
+        else if h >= 0x79 && h < 0x80 then 0x80 - h, true
+        else invalid_arg "Ordpath.unpack: bad header byte"
+      in
+      if pos + n >= len + 1 then invalid_arg "Ordpath.unpack: truncated";
+      let u = ref 0 in
+      for i = pos + 1 to pos + n do
+        u := (!u lsl 8) lor Char.code s.[i]
+      done;
+      let v = if neg then !u - (1 lsl (8 * n)) else !u in
+      go (pos + n + 1) (v :: acc)
+    end
+  in
+  of_components (go 0 [])
+
+let compare_packed (a : string) (b : string) = String.compare a b
+
+let is_packed_prefix p t =
+  let lp = String.length p and lt = String.length t in
+  lp <= lt && String.equal p (String.sub t 0 lp)
+
+let is_packed_strict_prefix p t =
+  String.length p < String.length t && is_packed_prefix p t
+
 module Ord = struct
   type nonrec t = t
 

@@ -92,5 +92,33 @@ val of_string : string -> t
 
 val pp : Format.formatter -> t -> unit
 
+(** {2 Packed binary keys}
+
+    A packed key is a compact byte string whose byte-wise lexicographic
+    order coincides with {!compare} (document order) and whose string
+    prefixes coincide with label prefixes (ancestry).  Packed keys let a
+    columnar store compare and range-scan labels with [memcmp]-style
+    string comparison instead of walking boxed int lists. *)
+
+val pack : t -> string
+(** Order-preserving binary encoding of a label.  The document node packs
+    to the empty string.
+    @raise Invalid_argument if a component exceeds 55 bits. *)
+
+val unpack : string -> t
+(** Inverse of {!pack}. @raise Invalid_argument on malformed input. *)
+
+val compare_packed : string -> string -> int
+(** [compare_packed (pack a) (pack b) = compare a b]; implemented as a
+    plain string comparison. *)
+
+val is_packed_prefix : string -> string -> bool
+(** [is_packed_prefix (pack a) (pack b)] iff [a] is an ancestor-or-self
+    of [b]. *)
+
+val is_packed_strict_prefix : string -> string -> bool
+(** [is_packed_strict_prefix (pack a) (pack b)] iff [a] is a strict
+    ancestor of [b]. *)
+
 module Map : Map.S with type key = t
 module Set : Set.S with type elt = t

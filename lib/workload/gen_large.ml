@@ -1,0 +1,240 @@
+open Xmldoc
+
+type config = {
+  target_nodes : int;
+  distinct_labels : int;
+  zipf_s : float;
+  max_depth : int;
+  max_children : int;
+  attr_fraction : float;
+  text_fraction : float;
+  text_len : int;
+  seed : int;
+}
+
+let default =
+  {
+    target_nodes = 100_000;
+    distinct_labels = 64;
+    zipf_s = 1.1;
+    max_depth = 10;
+    max_children = 8;
+    attr_fraction = 0.2;
+    text_fraction = 0.4;
+    text_len = 0;
+    seed = 42;
+  }
+
+let label_of_rank k = "e" ^ string_of_int k
+
+(* Cumulative Zipf weights over label ranks: rank k (0-based) has weight
+   1/(k+1)^s, so low ranks are hot and the tail is long. *)
+let zipf_cum config =
+  let n = max 1 config.distinct_labels in
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (k + 1) ** config.zipf_s));
+    cum.(k) <- !total
+  done;
+  cum
+
+let rand_float rng =
+  let rng, v = Prng.int rng (1 lsl 30) in
+  (rng, float_of_int v /. float_of_int (1 lsl 30))
+
+let sample_rank_cum rng cum =
+  let rng, u = rand_float rng in
+  let target = u *. cum.(Array.length cum - 1) in
+  (* Smallest rank whose cumulative weight exceeds the dart. *)
+  let lo = ref 0 and hi = ref (Array.length cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) > target then hi := mid else lo := mid + 1
+  done;
+  (rng, !lo)
+
+let sample_rank config rng = sample_rank_cum rng (zipf_cum config)
+
+let sample_label config rng =
+  let rng, k = sample_rank config rng in
+  (rng, label_of_rank k)
+
+(* The single event source both frontends share: {!generate} and
+   {!write_xml} replay exactly the same sequence, so the streamed bytes
+   re-parse to the very document {!generate} builds. *)
+type sink = {
+  start_element : string -> unit;
+  attribute : string -> string -> unit;
+  text : string -> unit;
+  end_element : string -> unit;
+}
+
+let run config sink =
+  let cum = zipf_cum config in
+  let rng = ref (Prng.create config.seed) in
+  let rand_int bound =
+    let r, v = Prng.int !rng bound in
+    rng := r;
+    v
+  in
+  let chance p =
+    let r, b = Prng.bool !rng p in
+    rng := r;
+    b
+  in
+  let pick_label () =
+    let r, k = sample_rank_cum !rng cum in
+    rng := r;
+    label_of_rank k
+  in
+  (* Node accounting matches the document model: element = 1, attribute =
+     2 (the value becomes a text child), text = 1; the document node and
+     the root element cost the initial 2. *)
+  let budget = ref (max 0 (config.target_nodes - 2)) in
+  let rec node depth =
+    if !budget > 0 then begin
+      decr budget;
+      let lbl = pick_label () in
+      sink.start_element lbl;
+      if !budget >= 2 && chance config.attr_fraction then begin
+        budget := !budget - 2;
+        sink.attribute "id" (string_of_int (rand_int 1_000_000))
+      end;
+      if depth >= config.max_depth || chance config.text_fraction then begin
+        if !budget > 0 then begin
+          decr budget;
+          let s = "t" ^ string_of_int (rand_int 10_000) in
+          let s =
+            (* Padding grows bytes without growing the node count — how
+               the streaming-ingest smoke reaches tens of MB. *)
+            if String.length s >= config.text_len then s
+            else s ^ String.make (config.text_len - String.length s) 'x'
+          in
+          sink.text s
+        end
+      end
+      else begin
+        let kids = 1 + rand_int (max 1 config.max_children) in
+        for _ = 1 to kids do
+          node (depth + 1)
+        done
+      end;
+      sink.end_element lbl
+    end
+  in
+  sink.start_element "root";
+  while !budget > 0 do
+    node 1
+  done;
+  sink.end_element "root"
+
+type frame = { name : string; mutable rev_kids : Tree.t list }
+
+let generate config =
+  let stack = ref [ { name = "#document"; rev_kids = [] } ] in
+  let push k =
+    match !stack with
+    | f :: _ -> f.rev_kids <- k :: f.rev_kids
+    | [] -> assert false
+  in
+  run config
+    {
+      start_element =
+        (fun name -> stack := { name; rev_kids = [] } :: !stack);
+      attribute = (fun n v -> push (Tree.attr n v));
+      text = (fun s -> push (Tree.text s));
+      end_element =
+        (fun _ ->
+          match !stack with
+          | f :: rest ->
+            stack := rest;
+            push (Tree.element f.name (List.rev f.rev_kids))
+          | [] -> assert false);
+    };
+  match !stack with
+  | [ { rev_kids = [ root ]; _ } ] -> Document.of_tree root
+  | _ -> assert false
+
+let emit_xml config ~out =
+  let buf = Buffer.create 65536 in
+  let spill () =
+    if Buffer.length buf >= 32768 then begin
+      out (Buffer.contents buf);
+      Buffer.clear buf
+    end
+  in
+  (* Generated labels and payloads are alphanumeric, so no escaping is
+     needed; no whitespace is emitted between tags, keeping the byte
+     stream an exact serialisation of {!generate}'s document. *)
+  let open_tag = ref false in
+  let close_open () =
+    if !open_tag then begin
+      Buffer.add_char buf '>';
+      open_tag := false
+    end
+  in
+  run config
+    {
+      start_element =
+        (fun name ->
+          close_open ();
+          Buffer.add_char buf '<';
+          Buffer.add_string buf name;
+          open_tag := true;
+          spill ());
+      attribute =
+        (fun n v ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf n;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf v;
+          Buffer.add_char buf '"');
+      text =
+        (fun s ->
+          close_open ();
+          Buffer.add_string buf s);
+      end_element =
+        (fun name ->
+          if !open_tag then begin
+            Buffer.add_string buf "/>";
+            open_tag := false
+          end
+          else begin
+            Buffer.add_string buf "</";
+            Buffer.add_string buf name;
+            Buffer.add_char buf '>'
+          end;
+          spill ());
+    };
+  out (Buffer.contents buf);
+  Buffer.clear buf
+
+let write_xml config oc = emit_xml config ~out:(output_string oc)
+
+let to_xml_string config =
+  let all = Buffer.create (16 * config.target_nodes) in
+  emit_xml config ~out:(Buffer.add_string all);
+  Buffer.contents all
+
+let queries config rng ~count =
+  let rec go rng acc i =
+    if i = count then (rng, List.rev acc)
+    else
+      let rng, lbl = sample_label config rng in
+      go rng (("//" ^ lbl) :: acc) (i + 1)
+  in
+  go rng [] 0
+
+let pick_update_targets config rng doc ~count =
+  let rec go rng acc i =
+    if i = count then (rng, List.rev acc)
+    else
+      let rng, lbl = sample_label config rng in
+      match Document.by_label doc lbl with
+      | [] -> go rng acc (i + 1)
+      | ids ->
+        let rng, id = Prng.pick rng ids in
+        go rng (id :: acc) (i + 1)
+  in
+  go rng [] 0

@@ -1,0 +1,56 @@
+(** Large synthetic documents for the million-node hot path (bench E25
+    and the streaming-ingest smoke): 10⁵–10⁶ nodes with Zipf-skewed
+    element labels, so query and update mixes drawn from the same
+    distribution concentrate on a hot label set with a long tail.
+    Deterministic in the seed: {!generate} and {!write_xml} replay the
+    same event stream, so the streamed bytes re-parse to exactly the
+    document {!generate} builds. *)
+
+type config = {
+  target_nodes : int;  (** approximate total node count (document model) *)
+  distinct_labels : int;  (** size of the label alphabet [e0..e{n-1}] *)
+  zipf_s : float;  (** skew exponent; rank [k] has weight [1/(k+1)^s] *)
+  max_depth : int;  (** nesting bound below the root element *)
+  max_children : int;  (** fan-out bound per interior element *)
+  attr_fraction : float;  (** elements carrying an [id] attribute *)
+  text_fraction : float;  (** interior elements cut short by a text leaf *)
+  text_len : int;
+      (** minimum byte length of text payloads — short numeric payloads
+          are padded up to it (0 = no padding).  Grows the byte volume
+          without growing the node count, which is how the
+          streaming-ingest smoke reaches ≥50 MB at ~10⁶ nodes. *)
+  seed : int;
+}
+
+val default : config
+(** 100k nodes, 64 labels, s = 1.1, depth ≤ 10, fan-out ≤ 8, no text
+    padding, seed 42. *)
+
+val generate : config -> Xmldoc.Document.t
+
+val write_xml : config -> out_channel -> unit
+(** Streams the same document as XML bytes without materialising it:
+    memory stays bounded by the nesting depth.  Feed it through a pipe or
+    file into {!Xmldoc.Xml_parse.flat_of_channel} for end-to-end
+    streaming ingest. *)
+
+val to_xml_string : config -> string
+(** [write_xml] into a string (small configs and tests). *)
+
+val label_of_rank : int -> string
+(** [e<k>]; rank 0 is the hottest label. *)
+
+val sample_label : config -> Prng.t -> Prng.t * string
+(** One Zipf draw from the label alphabet. *)
+
+val sample_rank : config -> Prng.t -> Prng.t * int
+
+val queries : config -> Prng.t -> count:int -> Prng.t * string list
+(** Descendant queries [//label] with Zipf-sampled labels — the E25 read
+    mix. *)
+
+val pick_update_targets :
+  config -> Prng.t -> Xmldoc.Document.t -> count:int ->
+  Prng.t * Ordpath.t list
+(** Update targets drawn by Zipf label then uniformly among that label's
+    nodes (skips labels absent from the document). *)

@@ -104,20 +104,29 @@ let of_forest trees =
 
 let of_tree tree = of_forest [ tree ]
 
+let to_seq t = Seq.map snd (Ordpath.Map.to_seq t.nodes)
+
 (* Subtree scan: all strict descendants of [id] form a contiguous run of
-   keys right after [id] in the map. *)
-let descendants t id =
-  let seq = Ordpath.Map.to_seq_from id t.nodes in
-  let rec collect acc seq =
+   keys right after [id] in the map.  The [Seq] variants let traversal
+   paths consume the run without materialising an O(n) list per call. *)
+let descendants_seq t id =
+  let rec go seq () =
     match seq () with
-    | Seq.Nil -> List.rev acc
+    | Seq.Nil -> Seq.Nil
     | Seq.Cons ((key, node), rest) ->
-      if Ordpath.equal key id then collect acc rest
+      if Ordpath.equal key id then go rest ()
       else if Ordpath.is_ancestor ~ancestor:id key then
-        collect (node :: acc) rest
-      else List.rev acc
+        Seq.Cons (node, go rest)
+      else Seq.Nil
   in
-  collect [] seq
+  go (Ordpath.Map.to_seq_from id t.nodes)
+
+let descendant_or_self_seq t id =
+  match find t id with
+  | None -> Seq.empty
+  | Some n -> fun () -> Seq.Cons (n, descendants_seq t id)
+
+let descendants t id = List.of_seq (descendants_seq t id)
 
 let descendant_or_self t id =
   match find t id with
@@ -232,10 +241,10 @@ let append_tree t ~parent tree =
 let remove_subtree t id =
   if Ordpath.equal id Ordpath.document then t
   else
-    List.fold_left
+    Seq.fold_left
       (fun acc (n : Node.t) -> delete acc n.id)
       t
-      (descendant_or_self t id)
+      (descendant_or_self_seq t id)
 
 let rec to_tree t id : Tree.t option =
   match find t id with

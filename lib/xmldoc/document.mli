@@ -35,6 +35,9 @@ val fold : (Node.t -> 'a -> 'a) -> t -> 'a -> 'a
 
 val iter : (Node.t -> unit) -> t -> unit
 
+val to_seq : t -> Node.t Seq.t
+(** All nodes in document order, without materialising a list. *)
+
 val equal : t -> t -> bool
 
 val root_element : t -> Node.t option
@@ -70,6 +73,13 @@ val descendants : t -> Ordpath.t -> Node.t list
 (** Strict descendants, document order. *)
 
 val descendant_or_self : t -> Ordpath.t -> Node.t list
+
+val descendants_seq : t -> Ordpath.t -> Node.t Seq.t
+(** {!descendants} as a lazy sequence — the contiguous ordpath run is
+    consumed without allocating a list (hot traversal paths fold over
+    this). *)
+
+val descendant_or_self_seq : t -> Ordpath.t -> Node.t Seq.t
 val ancestors : t -> Ordpath.t -> Node.t list
 (** Strict ancestors, nearest first (reverse document order, the XPath
     [ancestor] axis direction). *)

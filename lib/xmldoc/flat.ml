@@ -1,0 +1,502 @@
+(* Immutable struct-of-arrays snapshot of a document in document order.
+
+   The map-backed {!Document} store is the write-side truth: persistent,
+   cheap to update incrementally, expensive to traverse (pointer-chasing
+   a balanced map of boxed nodes).  [Flat.t] is the read-side twin: one
+   freeze walks the document once and lays every column out in document
+   order —
+
+   - [keys]: packed binary ordpath keys ({!Ordpath.pack}), so document
+     order is [String.compare] and ancestry is a string-prefix test;
+   - [kinds]: one byte per node;
+   - [labels]: interned ids into a shared string [pool];
+   - [parent] / [first_child] / [next_sibling] / [subtree_end]: index
+     arrays making every §3.2 axis an O(1) index step or a linear scan,
+     and making an ordpath-contiguous subtree prune a single jump to
+     [subtree_end].
+
+   Axis answers are defined to coincide exactly with {!Document}'s — the
+   differential suite in [test/test_flat.ml] checks this on random
+   documents — so a flat snapshot can stand in for the map behind
+   [Xpath.Source] without changing any answer. *)
+
+type t = {
+  count : int;
+  keys : string array;          (* packed ordpath key per node *)
+  kinds : Bytes.t;              (* Node.kind code per node *)
+  labels : int array;           (* label pool id per node *)
+  pool : string array;          (* label id -> label *)
+  nodes : Node.t array;         (* boxed view of each node, built once *)
+  parent : int array;           (* parent index, -1 at the document node *)
+  first_child : int array;      (* -1 when childless *)
+  next_sibling : int array;     (* -1 at a last child *)
+  subtree_end : int array;      (* exclusive end of the subtree span *)
+  by_label : (string, int array) Hashtbl.t;
+}
+
+let kind_code : Node.kind -> int = function
+  | Node.Document -> 0
+  | Node.Element -> 1
+  | Node.Attribute -> 2
+  | Node.Text -> 3
+  | Node.Comment -> 4
+
+let kind_of_code = function
+  | 0 -> Node.Document
+  | 1 -> Node.Element
+  | 2 -> Node.Attribute
+  | 3 -> Node.Text
+  | _ -> Node.Comment
+
+(* ---- Builder ---- *)
+
+(* Growable column buffers: nodes must arrive in document order with
+   every parent before its children (exactly what {!Document.fold} and
+   the streaming parser produce).  Geometry is derived on the fly from a
+   stack of open nodes — the packed key of the top of the stack is a
+   strict prefix of the current key iff the top is an ancestor. *)
+module Builder = struct
+  type frame = { ix : int; key : string; mutable last_child : int }
+
+  type b = {
+    mutable n : int;
+    mutable keys : string array;
+    mutable kinds : Bytes.t;
+    mutable labels : int array;
+    mutable parent : int array;
+    mutable first_child : int array;
+    mutable next_sibling : int array;
+    mutable subtree_end : int array;
+    pool_ids : (string, int) Hashtbl.t;
+    mutable pool_rev : string list;
+    mutable pool_n : int;
+    mutable stack : frame list;
+  }
+
+  let create () =
+    {
+      n = 0;
+      keys = Array.make 64 "";
+      kinds = Bytes.make 64 '\000';
+      labels = Array.make 64 0;
+      parent = Array.make 64 (-1);
+      first_child = Array.make 64 (-1);
+      next_sibling = Array.make 64 (-1);
+      subtree_end = Array.make 64 0;
+      pool_ids = Hashtbl.create 64;
+      pool_rev = [];
+      pool_n = 0;
+      stack = [];
+    }
+
+  let grow b =
+    let cap = Array.length b.keys in
+    let cap' = cap * 2 in
+    let extend a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    b.keys <- extend b.keys "";
+    b.labels <- extend b.labels 0;
+    b.parent <- extend b.parent (-1);
+    b.first_child <- extend b.first_child (-1);
+    b.next_sibling <- extend b.next_sibling (-1);
+    b.subtree_end <- extend b.subtree_end 0;
+    let k = Bytes.make cap' '\000' in
+    Bytes.blit b.kinds 0 k 0 cap;
+    b.kinds <- k
+
+  let pool_id b label =
+    match Hashtbl.find_opt b.pool_ids label with
+    | Some i -> i
+    | None ->
+      let i = b.pool_n in
+      Hashtbl.add b.pool_ids label i;
+      b.pool_rev <- label :: b.pool_rev;
+      b.pool_n <- i + 1;
+      i
+
+  let add b ~id ~kind ~label =
+    if b.n = Array.length b.keys then grow b;
+    let i = b.n in
+    let key = Ordpath.pack id in
+    let rec unwind () =
+      match b.stack with
+      | top :: rest when not (Ordpath.is_packed_strict_prefix top.key key) ->
+        b.subtree_end.(top.ix) <- i;
+        b.stack <- rest;
+        unwind ()
+      | _ -> ()
+    in
+    unwind ();
+    (match b.stack with
+     | [] -> b.parent.(i) <- -1
+     | top :: _ ->
+       b.parent.(i) <- top.ix;
+       if top.last_child < 0 then b.first_child.(top.ix) <- i
+       else b.next_sibling.(top.last_child) <- i;
+       top.last_child <- i);
+    b.keys.(i) <- key;
+    Bytes.set b.kinds i (Char.chr (kind_code kind));
+    b.labels.(i) <- pool_id b label;
+    b.stack <- { ix = i; key; last_child = -1 } :: b.stack;
+    b.n <- i + 1
+
+  let finish b =
+    List.iter (fun fr -> b.subtree_end.(fr.ix) <- b.n) b.stack;
+    b.stack <- [];
+    let n = b.n in
+    let pool = Array.make (max 1 b.pool_n) "" in
+    List.iteri (fun i l -> pool.(b.pool_n - 1 - i) <- l) b.pool_rev;
+    let trim a = Array.sub a 0 n in
+    let keys = trim b.keys in
+    let labels = trim b.labels in
+    let kinds = Bytes.sub b.kinds 0 n in
+    let nodes =
+      Array.init n (fun i ->
+          Node.v
+            ~id:(Ordpath.unpack keys.(i))
+            ~kind:(kind_of_code (Char.code (Bytes.get kinds i)))
+            pool.(labels.(i)))
+    in
+    (* Per-label posting lists, document order (indexes ascend as we
+       scan).  Built as reversed lists per pool id, then materialised. *)
+    let postings = Array.make (max 1 b.pool_n) [] in
+    for i = n - 1 downto 0 do
+      postings.(labels.(i)) <- i :: postings.(labels.(i))
+    done;
+    let by_label = Hashtbl.create (max 16 b.pool_n) in
+    Array.iteri
+      (fun lid label ->
+        match postings.(lid) with
+        | [] -> ()
+        | ixs -> Hashtbl.replace by_label label (Array.of_list ixs))
+      pool;
+    {
+      count = n;
+      keys;
+      kinds;
+      labels;
+      pool;
+      nodes;
+      parent = trim b.parent;
+      first_child = trim b.first_child;
+      next_sibling = trim b.next_sibling;
+      subtree_end = trim b.subtree_end;
+      by_label;
+    }
+end
+
+let of_document doc =
+  let b = Builder.create () in
+  Document.iter
+    (fun (n : Node.t) -> Builder.add b ~id:n.id ~kind:n.kind ~label:n.label)
+    doc;
+  Builder.finish b
+
+let to_document t =
+  let doc = ref Document.empty in
+  Array.iter (fun n -> doc := Document.add_node !doc n) t.nodes;
+  !doc
+
+(* ---- Accessors ---- *)
+
+let size t = t.count
+let node t i = t.nodes.(i)
+let id t i = (t.nodes.(i) : Node.t).id
+let kind_ix t i = kind_of_code (Char.code (Bytes.get t.kinds i))
+let label_ix t i = t.pool.(t.labels.(i))
+let key t i = t.keys.(i)
+let parent_ix t i = t.parent.(i)
+let first_child_ix t i = t.first_child.(i)
+let next_sibling_ix t i = t.next_sibling.(i)
+let subtree_end t i = t.subtree_end.(i)
+let pool_size t = Array.length t.pool
+
+(* Binary search over the packed key column: branchless-comparison
+   [String.compare] per probe, no ordpath list walking. *)
+let find_key t key =
+  let lo = ref 0 and hi = ref (t.count - 1) and res = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Ordpath.compare_packed t.keys.(mid) key in
+    if c = 0 then begin
+      res := mid;
+      lo := !hi + 1
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+(* First index whose key is [>= key] (= [count] when none). *)
+let lower_bound t key =
+  let lo = ref 0 and hi = ref t.count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Ordpath.compare_packed t.keys.(mid) key < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+let find_ix t ordpath =
+  let i = find_key t (Ordpath.pack ordpath) in
+  if i < 0 then None else Some i
+
+let find t ordpath = Option.map (node t) (find_ix t ordpath)
+let mem t ordpath = find_key t (Ordpath.pack ordpath) >= 0
+let label t ordpath = Option.map (label_ix t) (find_ix t ordpath)
+let kind t ordpath = Option.map (kind_ix t) (find_ix t ordpath)
+
+let fold f t acc =
+  let acc = ref acc in
+  for i = 0 to t.count - 1 do
+    acc := f t.nodes.(i) !acc
+  done;
+  !acc
+
+let iter f t = Array.iter f t.nodes
+let nodes t = Array.to_list t.nodes
+
+let to_seq t =
+  let rec go i () =
+    if i >= t.count then Seq.Nil else Seq.Cons (t.nodes.(i), go (i + 1))
+  in
+  go 0
+
+(* ---- Per-label index ---- *)
+
+let by_label_ix t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some ixs -> ixs
+  | None -> [||]
+
+let by_label t label =
+  Array.to_list (Array.map (id t) (by_label_ix t label))
+
+let labelled t label =
+  Array.to_list (Array.map (node t) (by_label_ix t label))
+
+let find_labelled t label =
+  let ixs = by_label_ix t label in
+  if Array.length ixs = 0 then None else Some (node t ixs.(0))
+
+(* ---- Axes (answers coincide with {!Document}'s) ---- *)
+
+let children_ix t i =
+  let rec go acc c = if c < 0 then List.rev acc else go (c :: acc) (t.next_sibling.(c)) in
+  go [] t.first_child.(i)
+
+let children t ordpath =
+  match find_ix t ordpath with
+  | None -> []
+  | Some i -> List.map (node t) (children_ix t i)
+
+let element_children t ordpath =
+  List.filter (fun (n : Node.t) -> n.kind <> Node.Attribute)
+    (children t ordpath)
+
+let attributes t ordpath =
+  List.filter (fun (n : Node.t) -> n.kind = Node.Attribute)
+    (children t ordpath)
+
+let last_child t ordpath =
+  match find_ix t ordpath with
+  | None -> None
+  | Some i ->
+    let rec go c =
+      if c < 0 then None
+      else if t.next_sibling.(c) < 0 then Some (node t c)
+      else go t.next_sibling.(c)
+    in
+    go t.first_child.(i)
+
+let descendants t ordpath =
+  match find_ix t ordpath with
+  | None -> []
+  | Some i ->
+    let stop = t.subtree_end.(i) in
+    let rec go acc j = if j >= stop then List.rev acc else go (t.nodes.(j) :: acc) (j + 1) in
+    go [] (i + 1)
+
+let descendant_or_self t ordpath =
+  match find_ix t ordpath with
+  | None -> []
+  | Some i ->
+    let stop = t.subtree_end.(i) in
+    let rec go acc j = if j >= stop then List.rev acc else go (t.nodes.(j) :: acc) (j + 1) in
+    go [] i
+
+(* Nearest first, like {!Document.ancestors}. *)
+let ancestors_ix t i =
+  let rec go acc p = if p < 0 then List.rev acc else go (p :: acc) t.parent.(p) in
+  go [] t.parent.(i)
+
+let ancestors t ordpath =
+  match find_ix t ordpath with
+  | Some i -> List.map (node t) (ancestors_ix t i)
+  | None ->
+    (* Mirror {!Document.ancestors} on an unknown identifier: step to the
+       ordpath parent; if that node exists, its chain answers. *)
+    (match Ordpath.parent ordpath with
+     | None -> []
+     | Some pid ->
+       (match find_ix t pid with
+        | None -> []
+        | Some j -> node t j :: List.map (node t) (ancestors_ix t j)))
+
+let ancestor_or_self t ordpath =
+  match find_ix t ordpath with
+  | None -> []
+  | Some i -> node t i :: List.map (node t) (ancestors_ix t i)
+
+let siblings_fallback t ordpath =
+  (* Unknown identifier: answer from the would-be parent's children, the
+     way the map-backed store does. *)
+  match Ordpath.parent ordpath with
+  | None -> []
+  | Some pid -> children t pid
+
+let following_siblings t ordpath =
+  match find_ix t ordpath with
+  | Some i ->
+    let rec go acc c = if c < 0 then List.rev acc else go (t.nodes.(c) :: acc) t.next_sibling.(c) in
+    go [] t.next_sibling.(i)
+  | None ->
+    List.filter (fun (n : Node.t) -> Ordpath.compare n.id ordpath > 0)
+      (siblings_fallback t ordpath)
+
+let preceding_siblings t ordpath =
+  match find_ix t ordpath with
+  | Some i ->
+    let p = t.parent.(i) in
+    if p < 0 then []
+    else begin
+      let rec go acc c =
+        if c = i then acc else go (t.nodes.(c) :: acc) t.next_sibling.(c)
+      in
+      go [] t.first_child.(p)
+    end
+  | None ->
+    List.rev
+      (List.filter (fun (n : Node.t) -> Ordpath.compare n.id ordpath < 0)
+         (siblings_fallback t ordpath))
+
+let following t ordpath =
+  match find_ix t ordpath with
+  | Some i ->
+    let rec go acc j =
+      if j >= t.count then List.rev acc else go (t.nodes.(j) :: acc) (j + 1)
+    in
+    go [] t.subtree_end.(i)
+  | None ->
+    let key = Ordpath.pack ordpath in
+    let start = lower_bound t key in
+    let rec go acc j =
+      if j >= t.count then List.rev acc
+      else if Ordpath.is_packed_prefix key t.keys.(j) then go acc (j + 1)
+      else go (t.nodes.(j) :: acc) (j + 1)
+    in
+    go [] start
+
+let preceding t ordpath =
+  match find_ix t ordpath with
+  | Some i ->
+    let rec mark acc p = if p < 0 then acc else mark (p :: acc) t.parent.(p) in
+    let ancs = mark [] t.parent.(i) in
+    let is_anc j = List.mem j ancs in
+    let rec go acc j =
+      if j >= i then acc
+      else
+        let acc =
+          if is_anc j || kind_ix t j = Node.Document then acc
+          else t.nodes.(j) :: acc
+        in
+        go acc (j + 1)
+    in
+    go [] 0
+  | None ->
+    (* The exclusion set is exactly what {!ancestors} answers on this
+       unknown identifier (the map-backed walk stops at the first missing
+       parent, so deeper strays exclude fewer nodes than true ordpath
+       ancestry would). *)
+    let key = Ordpath.pack ordpath in
+    let stop = lower_bound t key in
+    let anc = List.map (fun (n : Node.t) -> n.id) (ancestors t ordpath) in
+    let rec go acc j =
+      if j >= stop then acc
+      else
+        let acc =
+          if
+            List.exists (Ordpath.equal t.nodes.(j).Node.id) anc
+            || kind_ix t j = Node.Document
+          then acc
+          else t.nodes.(j) :: acc
+        in
+        go acc (j + 1)
+    in
+    go [] 0
+
+let is_child t ~child ordpath =
+  mem t child && Ordpath.is_child ~parent:ordpath child
+
+let is_descendant t ~descendant ordpath =
+  mem t descendant && Ordpath.is_ancestor ~ancestor:ordpath descendant
+
+let root_element t =
+  let rec go c =
+    if c < 0 then None
+    else if kind_ix t c = Node.Element then Some (node t c)
+    else go t.next_sibling.(c)
+  in
+  if t.count = 0 then None else go t.first_child.(0)
+
+let parent t ordpath =
+  match find_ix t ordpath with
+  | Some i -> if t.parent.(i) < 0 then None else Some (node t t.parent.(i))
+  | None ->
+    (match Ordpath.parent ordpath with
+     | None -> None
+     | Some pid -> find t pid)
+
+(* XPath string value over the subtree span: attribute subtrees other
+   than the start node are jumped over via [subtree_end]. *)
+let string_value t ordpath =
+  match find_ix t ordpath with
+  | None -> ""
+  | Some start ->
+    let buf = Buffer.create 32 in
+    let stop = t.subtree_end.(start) in
+    let j = ref start in
+    while !j < stop do
+      let i = !j in
+      if i <> start && kind_ix t i = Node.Attribute then j := t.subtree_end.(i)
+      else begin
+        if kind_ix t i = Node.Text then Buffer.add_string buf (label_ix t i);
+        incr j
+      end
+    done;
+    Buffer.contents buf
+
+(* ---- Size accounting ---- *)
+
+let bytes t =
+  let word = Sys.word_size / 8 in
+  let str s = word * (2 + (String.length s / word)) in
+  let int_array a = word * (1 + Array.length a) in
+  let keys_bytes = Array.fold_left (fun acc k -> acc + word + str k) 0 t.keys in
+  let pool_bytes = Array.fold_left (fun acc l -> acc + word + str l) 0 t.pool in
+  let nodes_bytes =
+    Array.fold_left
+      (fun acc (n : Node.t) ->
+        acc + word + (4 * word)
+        + (word * (1 + List.length (Ordpath.to_components n.id))))
+      0 t.nodes
+  in
+  keys_bytes + pool_bytes + nodes_bytes
+  + Bytes.length t.kinds
+  + int_array t.labels + int_array t.parent + int_array t.first_child
+  + int_array t.next_sibling + int_array t.subtree_end
+
+let bytes_per_node t = if t.count = 0 then 0. else float_of_int (bytes t) /. float_of_int t.count

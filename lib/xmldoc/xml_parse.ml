@@ -1,31 +1,88 @@
 exception Error of { line : int; column : int; message : string }
 
+(* The parser reads from a refillable sliding buffer rather than a
+   string, so the same code path serves both in-memory parsing and
+   streaming ingest from a channel: [of_string] and [fold_events] cannot
+   disagree because they are the same automaton.  Lookahead never
+   exceeds the longest literal ("<![CDATA["), far below the buffer
+   size. *)
+
 type state = {
-  src : string;
-  mutable pos : int;
+  input : Bytes.t -> int -> int -> int;
+      (* [input buf ofs len] reads at most [len] bytes; 0 = end of input *)
+  ibuf : Bytes.t;
+  mutable lo : int;  (* next unread byte *)
+  mutable hi : int;  (* end of valid bytes *)
+  mutable at_eof : bool;
   mutable line : int;
   mutable col : int;
   keep_comments : bool;
   strip_whitespace : bool;
 }
 
+let buf_size = 65536
+
+let make_state ~input ~keep_comments ~strip_whitespace =
+  {
+    input;
+    ibuf = Bytes.create buf_size;
+    lo = 0;
+    hi = 0;
+    at_eof = false;
+    line = 1;
+    col = 1;
+    keep_comments;
+    strip_whitespace;
+  }
+
+let input_of_string src =
+  let pos = ref 0 in
+  fun buf ofs len ->
+    let n = min len (String.length src - !pos) in
+    Bytes.blit_string src !pos buf ofs n;
+    pos := !pos + n;
+    n
+
+let refill st =
+  if not st.at_eof then begin
+    if st.lo > 0 then begin
+      let rem = st.hi - st.lo in
+      Bytes.blit st.ibuf st.lo st.ibuf 0 rem;
+      st.lo <- 0;
+      st.hi <- rem
+    end;
+    let n = st.input st.ibuf st.hi (Bytes.length st.ibuf - st.hi) in
+    if n = 0 then st.at_eof <- true else st.hi <- st.hi + n
+  end
+
+let ensure st n =
+  while st.hi - st.lo < n && not st.at_eof do
+    refill st
+  done
+
 let fail st message = raise (Error { line = st.line; column = st.col; message })
 
-let eof st = st.pos >= String.length st.src
+let eof st =
+  ensure st 1;
+  st.lo >= st.hi
 
-let peek st = if eof st then '\000' else st.src.[st.pos]
+let peek st =
+  ensure st 1;
+  if st.lo >= st.hi then '\000' else Bytes.get st.ibuf st.lo
 
 let peek2 st =
-  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+  ensure st 2;
+  if st.lo + 1 >= st.hi then '\000' else Bytes.get st.ibuf (st.lo + 1)
 
 let advance st =
-  if not (eof st) then begin
-    if st.src.[st.pos] = '\n' then begin
+  ensure st 1;
+  if st.lo < st.hi then begin
+    if Bytes.get st.ibuf st.lo = '\n' then begin
       st.line <- st.line + 1;
       st.col <- 1
     end
     else st.col <- st.col + 1;
-    st.pos <- st.pos + 1
+    st.lo <- st.lo + 1
   end
 
 let expect st c =
@@ -34,8 +91,11 @@ let expect st c =
 
 let looking_at st prefix =
   let n = String.length prefix in
-  st.pos + n <= String.length st.src
-  && String.sub st.src st.pos n = prefix
+  ensure st n;
+  st.hi - st.lo >= n
+  &&
+  let rec go i = i = n || (Bytes.get st.ibuf (st.lo + i) = prefix.[i] && go (i + 1)) in
+  go 0
 
 let skip_string st prefix =
   if not (looking_at st prefix) then
@@ -57,22 +117,24 @@ let is_name_char c =
 
 let parse_name st =
   if not (is_name_start (peek st)) then fail st "expected a name";
-  let start = st.pos in
+  let buf = Buffer.create 16 in
   while (not (eof st)) && is_name_char (peek st) do
+    Buffer.add_char buf (peek st);
     advance st
   done;
-  String.sub st.src start (st.pos - start)
+  Buffer.contents buf
 
 (* Character and entity references inside text and attribute values. *)
 let parse_reference st =
   expect st '&';
-  let start = st.pos in
+  let nbuf = Buffer.create 8 in
   while (not (eof st)) && peek st <> ';' do
+    Buffer.add_char nbuf (peek st);
     advance st
   done;
   if eof st then fail st "unterminated entity reference";
-  let name = String.sub st.src start (st.pos - start) in
   expect st ';';
+  let name = Buffer.contents nbuf in
   match name with
   | "lt" -> "<"
   | "gt" -> ">"
@@ -123,15 +185,15 @@ let parse_attr_value st =
 
 let parse_comment st =
   skip_string st "<!--";
-  let start = st.pos in
+  let buf = Buffer.create 32 in
   let rec loop () =
     if eof st then fail st "unterminated comment"
     else if looking_at st "-->" then begin
-      let body = String.sub st.src start (st.pos - start) in
       skip_string st "-->";
-      body
+      Buffer.contents buf
     end
     else begin
+      Buffer.add_char buf (peek st);
       advance st;
       loop ()
     end
@@ -140,15 +202,15 @@ let parse_comment st =
 
 let parse_cdata st =
   skip_string st "<![CDATA[";
-  let start = st.pos in
+  let buf = Buffer.create 32 in
   let rec loop () =
     if eof st then fail st "unterminated CDATA section"
     else if looking_at st "]]>" then begin
-      let body = String.sub st.src start (st.pos - start) in
       skip_string st "]]>";
-      body
+      Buffer.contents buf
     end
     else begin
+      Buffer.add_char buf (peek st);
       advance st;
       loop ()
     end
@@ -188,88 +250,6 @@ let skip_doctype st =
 
 let is_blank s = String.for_all is_space s
 
-let rec parse_element st : Tree.t =
-  expect st '<';
-  let name = parse_name st in
-  let rec parse_attrs acc =
-    skip_spaces st;
-    if is_name_start (peek st) then begin
-      let attr_name = parse_name st in
-      skip_spaces st;
-      expect st '=';
-      skip_spaces st;
-      let value = parse_attr_value st in
-      parse_attrs (Tree.Attr (attr_name, value) :: acc)
-    end
-    else List.rev acc
-  in
-  let attrs = parse_attrs [] in
-  if looking_at st "/>" then begin
-    skip_string st "/>";
-    Tree.Element (name, attrs)
-  end
-  else begin
-    expect st '>';
-    let kids = parse_content st name in
-    Tree.Element (name, attrs @ kids)
-  end
-
-and parse_content st element_name =
-  let buf = Buffer.create 16 in
-  let acc = ref [] in
-  let flush_text () =
-    let s = Buffer.contents buf in
-    Buffer.clear buf;
-    if s <> "" && not (st.strip_whitespace && is_blank s) then
-      acc := Tree.Text s :: !acc
-  in
-  let rec loop () =
-    if eof st then fail st (Printf.sprintf "unterminated element <%s>" element_name)
-    else if looking_at st "</" then begin
-      flush_text ();
-      skip_string st "</";
-      let close = parse_name st in
-      if close <> element_name then
-        fail st
-          (Printf.sprintf "mismatched close tag </%s> for <%s>" close
-             element_name);
-      skip_spaces st;
-      expect st '>'
-    end
-    else if looking_at st "<!--" then begin
-      flush_text ();
-      let body = parse_comment st in
-      if st.keep_comments then acc := Tree.Comment body :: !acc;
-      loop ()
-    end
-    else if looking_at st "<![CDATA[" then begin
-      Buffer.add_string buf (parse_cdata st);
-      loop ()
-    end
-    else if looking_at st "<?" then begin
-      flush_text ();
-      skip_pi st;
-      loop ()
-    end
-    else if peek st = '<' && is_name_start (peek2 st) then begin
-      flush_text ();
-      acc := parse_element st :: !acc;
-      loop ()
-    end
-    else if peek st = '<' then fail st "unexpected '<'"
-    else if peek st = '&' then begin
-      Buffer.add_string buf (parse_reference st);
-      loop ()
-    end
-    else begin
-      Buffer.add_char buf (peek st);
-      advance st;
-      loop ()
-    end
-  in
-  loop ();
-  List.rev !acc
-
 let skip_prolog st =
   skip_spaces st;
   if looking_at st "<?" then skip_pi st;
@@ -290,13 +270,98 @@ let skip_prolog st =
   in
   misc ()
 
-let fragment_of_string ?(keep_comments = false) ?(strip_whitespace = true) src =
-  let st =
-    { src; pos = 0; line = 1; col = 1; keep_comments; strip_whitespace }
-  in
+(* ---- SAX core ---- *)
+
+type event =
+  | Start_element of string
+  | Attribute of string * string
+  | Text of string
+  | Comment of string
+  | End_element of string
+
+(* Parse one whole document (prolog, root element, trailing misc),
+   emitting events.  Element depth is tracked with an explicit name
+   stack, so memory is O(depth), never O(document). *)
+let run_events st ~init ~f =
   skip_prolog st;
   if eof st || peek st <> '<' then fail st "expected a root element";
-  let root = parse_element st in
+  let acc = ref init in
+  let emit e = acc := f !acc e in
+  let stack = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_text () =
+    let s = Buffer.contents buf in
+    Buffer.clear buf;
+    if s <> "" && not (st.strip_whitespace && is_blank s) then emit (Text s)
+  in
+  (* Opens one element: emits Start_element and Attribute events; pushes
+     the name unless the element is empty ([<a/>]). *)
+  let open_element () =
+    expect st '<';
+    let name = parse_name st in
+    emit (Start_element name);
+    let rec parse_attrs () =
+      skip_spaces st;
+      if is_name_start (peek st) then begin
+        let attr_name = parse_name st in
+        skip_spaces st;
+        expect st '=';
+        skip_spaces st;
+        let value = parse_attr_value st in
+        emit (Attribute (attr_name, value));
+        parse_attrs ()
+      end
+    in
+    parse_attrs ();
+    if looking_at st "/>" then begin
+      skip_string st "/>";
+      emit (End_element name)
+    end
+    else begin
+      expect st '>';
+      stack := name :: !stack
+    end
+  in
+  open_element ();
+  while !stack <> [] do
+    let element_name = List.hd !stack in
+    if eof st then
+      fail st (Printf.sprintf "unterminated element <%s>" element_name)
+    else if looking_at st "</" then begin
+      flush_text ();
+      skip_string st "</";
+      let close = parse_name st in
+      if close <> element_name then
+        fail st
+          (Printf.sprintf "mismatched close tag </%s> for <%s>" close
+             element_name);
+      skip_spaces st;
+      expect st '>';
+      stack := List.tl !stack;
+      emit (End_element close)
+    end
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      let body = parse_comment st in
+      if st.keep_comments then emit (Comment body)
+    end
+    else if looking_at st "<![CDATA[" then
+      Buffer.add_string buf (parse_cdata st)
+    else if looking_at st "<?" then begin
+      flush_text ();
+      skip_pi st
+    end
+    else if peek st = '<' && is_name_start (peek2 st) then begin
+      flush_text ();
+      open_element ()
+    end
+    else if peek st = '<' then fail st "unexpected '<'"
+    else if peek st = '&' then Buffer.add_string buf (parse_reference st)
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st
+    end
+  done;
   skip_spaces st;
   (if (not (eof st)) && looking_at st "<!--" then
      let rec trailing () =
@@ -309,10 +374,113 @@ let fragment_of_string ?(keep_comments = false) ?(strip_whitespace = true) src =
      trailing ());
   skip_spaces st;
   if not (eof st) then fail st "trailing content after the root element";
-  root
+  !acc
+
+let fold_events ?(keep_comments = false) ?(strip_whitespace = true) ic ~init
+    ~f =
+  let st =
+    make_state ~input:(input ic) ~keep_comments ~strip_whitespace
+  in
+  run_events st ~init ~f
+
+(* ---- Tree reconstruction (the in-memory entry points) ---- *)
+
+type tree_frame = { name : string; mutable rev_kids : Tree.t list }
+
+let tree_of_events st =
+  let result = ref None in
+  let frames = ref [] in
+  let push_kid t =
+    match !frames with
+    | [] -> result := Some t
+    | fr :: _ -> fr.rev_kids <- t :: fr.rev_kids
+  in
+  let () =
+    run_events st ~init:() ~f:(fun () ev ->
+        match ev with
+        | Start_element name -> frames := { name; rev_kids = [] } :: !frames
+        | Attribute (name, value) ->
+          (match !frames with
+           | fr :: _ -> fr.rev_kids <- Tree.Attr (name, value) :: fr.rev_kids
+           | [] -> assert false)
+        | Text s -> push_kid (Tree.Text s)
+        | Comment s -> push_kid (Tree.Comment s)
+        | End_element _ ->
+          (match !frames with
+           | fr :: rest ->
+             frames := rest;
+             push_kid (Tree.Element (fr.name, List.rev fr.rev_kids))
+           | [] -> assert false))
+  in
+  match !result with Some t -> t | None -> assert false
+
+let fragment_of_string ?(keep_comments = false) ?(strip_whitespace = true) src =
+  let st =
+    make_state ~input:(input_of_string src) ~keep_comments ~strip_whitespace
+  in
+  tree_of_events st
 
 let of_string ?keep_comments ?strip_whitespace src =
   Document.of_tree (fragment_of_string ?keep_comments ?strip_whitespace src)
+
+(* ---- Streaming ingest into the columnar store ----
+
+   Events feed {!Flat.Builder} directly; ordpath identifiers are
+   allocated with the same [append_after] sequence {!Document.graft}
+   uses, so a streamed snapshot is node-for-node identical to
+   [Flat.of_document (of_string bytes)] — without ever materialising a
+   [Tree.t] DOM or a map-backed store. *)
+
+type ingest_frame = { id : Ordpath.t; mutable last : Ordpath.t option }
+
+let flat_of_events st =
+  let b = Flat.Builder.create () in
+  Flat.Builder.add b ~id:Ordpath.document ~kind:Node.Document ~label:"/";
+  let stack = ref [ { id = Ordpath.document; last = None } ] in
+  let alloc () =
+    match !stack with
+    | [] -> assert false
+    | fr :: _ ->
+      let id = Ordpath.append_after fr.id ~last:fr.last in
+      fr.last <- Some id;
+      id
+  in
+  let () =
+    run_events st ~init:() ~f:(fun () ev ->
+        match ev with
+        | Start_element name ->
+          let id = alloc () in
+          Flat.Builder.add b ~id ~kind:Node.Element ~label:name;
+          stack := { id; last = None } :: !stack
+        | Attribute (name, value) ->
+          let id = alloc () in
+          Flat.Builder.add b ~id ~kind:Node.Attribute ~label:name;
+          Flat.Builder.add b ~id:(Ordpath.first_child id) ~kind:Node.Text
+            ~label:value
+        | Text s ->
+          let id = alloc () in
+          Flat.Builder.add b ~id ~kind:Node.Text ~label:s
+        | Comment s ->
+          let id = alloc () in
+          Flat.Builder.add b ~id ~kind:Node.Comment ~label:s
+        | End_element _ ->
+          (match !stack with
+           | _ :: rest -> stack := rest
+           | [] -> assert false))
+  in
+  Flat.Builder.finish b
+
+let flat_of_channel ?(keep_comments = false) ?(strip_whitespace = true) ic =
+  let st =
+    make_state ~input:(input ic) ~keep_comments ~strip_whitespace
+  in
+  flat_of_events st
+
+let flat_of_string ?(keep_comments = false) ?(strip_whitespace = true) src =
+  let st =
+    make_state ~input:(input_of_string src) ~keep_comments ~strip_whitespace
+  in
+  flat_of_events st
 
 let error_to_string = function
   | Error { line; column; message } ->

@@ -7,6 +7,45 @@
 
 exception Error of { line : int; column : int; message : string }
 
+(** {1 Streaming (SAX) interface}
+
+    The parser core reads from a refillable buffer, so in-memory parsing
+    and channel streaming share one code path: [fold_events] and
+    {!of_string} cannot disagree on the same bytes. *)
+
+type event =
+  | Start_element of string
+  | Attribute of string * string
+      (** Attributes of an element are emitted immediately after its
+          [Start_element], before any content event. *)
+  | Text of string
+  | Comment of string  (** Only when [keep_comments] is set. *)
+  | End_element of string
+
+val fold_events :
+  ?keep_comments:bool -> ?strip_whitespace:bool ->
+  in_channel -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Parses one whole document from a channel (prolog, root element,
+    trailing comments), folding [f] over its events.  Memory is
+    O(element depth + largest single token), never O(document).
+    @raise Error on malformed input, with the same positions and
+    messages as {!of_string}. *)
+
+val flat_of_channel :
+  ?keep_comments:bool -> ?strip_whitespace:bool -> in_channel -> Flat.t
+(** Streaming ingest: feeds the event stream straight into
+    {!Flat.Builder}, allocating the same ordpath identifiers
+    {!Document.of_tree} would — the resulting snapshot is node-for-node
+    identical to [Flat.of_document (of_string bytes)], without ever
+    materialising a [Tree.t] DOM or a map-backed store.
+    @raise Error on malformed input. *)
+
+val flat_of_string :
+  ?keep_comments:bool -> ?strip_whitespace:bool -> string -> Flat.t
+(** {!flat_of_channel} over an in-memory string. *)
+
+(** {1 In-memory interface} *)
+
 val fragment_of_string :
   ?keep_comments:bool -> ?strip_whitespace:bool -> string -> Tree.t
 (** Parses a single element (after an optional XML declaration).

@@ -170,11 +170,11 @@ let tree_view ?(show_ids = true) doc =
 
 let facts doc =
   let items =
-    List.map
+    Seq.map
       (fun (n : Node.t) ->
         Printf.sprintf "node(%s, %s)" (Ordpath.to_string n.id) n.label)
-      (Document.nodes doc)
+      (Document.to_seq doc)
   in
-  "{ " ^ String.concat ", " items ^ " }"
+  "{ " ^ String.concat ", " (List.of_seq items) ^ " }"
 
 let pp fmt doc = Format.pp_print_string fmt (tree_view doc)

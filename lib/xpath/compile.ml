@@ -324,6 +324,123 @@ let fold_view ?stats t doc ~view ~init ~f =
   (match stats with Some s -> s.states <- s.states + run.n_sets | None -> ());
   acc
 
+(* ---- Flat-snapshot traversals ----
+
+   The same automaton run over an {!Xmldoc.Flat} columnar snapshot.
+   Document order is index order, so the ancestor stack needs no ordpath
+   prefix checks at all: a frame is live while the current index is
+   inside its [subtree_end] span, one integer compare per pop.  A pruned
+   subtree is skipped by jumping the index straight to [subtree_end] —
+   O(1) instead of one ancestor check per skipped node. *)
+
+(* Mutable integer-indexed frame stack shared by the flat folds. *)
+type flat_stack = {
+  mutable ends : int array;  (* subtree_end of the frame's node *)
+  mutable sets : int array;  (* interned state-set id *)
+  mutable clss : cls array;
+  mutable depth : int;
+}
+
+let flat_stack () =
+  { ends = Array.make 64 0; sets = Array.make 64 0;
+    clss = Array.make 64 C_tree; depth = 0 }
+
+let flat_push st e set cls =
+  if st.depth = Array.length st.ends then begin
+    let grow a fill =
+      let a' = Array.make (2 * Array.length a) fill in
+      Array.blit a 0 a' 0 (Array.length a);
+      a'
+    in
+    st.ends <- grow st.ends 0;
+    st.sets <- grow st.sets 0;
+    st.clss <- grow st.clss C_tree
+  end;
+  st.ends.(st.depth) <- e;
+  st.sets.(st.depth) <- set;
+  st.clss.(st.depth) <- cls;
+  st.depth <- st.depth + 1
+
+let flat_pop_to st i =
+  while st.depth > 0 && st.ends.(st.depth - 1) <= i do
+    st.depth <- st.depth - 1
+  done
+
+(* Consume node [ix]; push its frame; fold accepted payloads. *)
+let flat_visit run stk fl ix (n : Xmldoc.Node.t) acc ~f =
+  let set_id, cls =
+    if ix = 0 then (enter_document run n, C_tree)
+    else begin
+      let cls = child_cls stk.clss.(stk.depth - 1) n in
+      (transition run ~parent_id:stk.sets.(stk.depth - 1) cls n, cls)
+    end
+  in
+  flat_push stk (Xmldoc.Flat.subtree_end fl ix) set_id cls;
+  match run.payload_arr.(set_id) with
+  | [] -> acc
+  | payloads -> f acc n payloads
+
+let fold_flat t fl ~init ~f =
+  let run = new_run t in
+  let stk = flat_stack () in
+  let n = Xmldoc.Flat.size fl in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    flat_pop_to stk i;
+    acc := flat_visit run stk fl i (Xmldoc.Flat.node fl i) !acc ~f
+  done;
+  !acc
+
+let fold_view_flat ?stats t fl ~view ~init ~f =
+  let run = new_run t in
+  let stk = flat_stack () in
+  let n = Xmldoc.Flat.size fl in
+  let acc = ref init in
+  let i = ref 0 in
+  while !i < n do
+    let ix = !i in
+    flat_pop_to stk ix;
+    match view ix (Xmldoc.Flat.node fl ix) with
+    | None ->
+      let stop = Xmldoc.Flat.subtree_end fl ix in
+      (match stats with
+      | Some s -> s.pruned <- s.pruned + (stop - ix)
+      | None -> ());
+      i := stop
+    | Some n' ->
+      (match stats with Some s -> s.visited <- s.visited + 1 | None -> ());
+      acc := flat_visit run stk fl ix n' !acc ~f;
+      incr i
+  done;
+  (match stats with Some s -> s.states <- s.states + run.n_sets | None -> ());
+  !acc
+
+let fold_subtree_flat t fl ~root ~init ~f =
+  match Xmldoc.Flat.find_ix fl root with
+  | None -> init
+  | Some r ->
+    let run = new_run t in
+    let stk = flat_stack () in
+    (* Re-thread the automaton down the ancestor chain, outermost first,
+       without folding [f] over it. *)
+    let rec chain acc p =
+      if p < 0 then acc else chain (p :: acc) (Xmldoc.Flat.parent_ix fl p)
+    in
+    let ancestors = chain [] (Xmldoc.Flat.parent_ix fl r) in
+    List.iter
+      (fun a ->
+        ignore
+          (flat_visit run stk fl a (Xmldoc.Flat.node fl a) init
+             ~f:(fun acc _ _ -> acc)))
+      ancestors;
+    let stop = Xmldoc.Flat.subtree_end fl r in
+    let acc = ref init in
+    for i = r to stop - 1 do
+      flat_pop_to stk i;
+      acc := flat_visit run stk fl i (Xmldoc.Flat.node fl i) !acc ~f
+    done;
+    !acc
+
 let fold_subtree t doc ~root ~init ~f =
   if not (Xmldoc.Document.mem doc root) then init
   else begin
@@ -337,8 +454,8 @@ let fold_subtree t doc ~root ~init ~f =
     List.iter
       (fun n -> ignore (visit run stack init n ~f:(fun acc _ _ -> acc)))
       ancestors;
-    List.fold_left
+    Seq.fold_left
       (fun acc n -> visit run stack acc n ~f)
       init
-      (Xmldoc.Document.descendant_or_self doc root)
+      (Xmldoc.Document.descendant_or_self_seq doc root)
   end

@@ -70,3 +70,32 @@ val fold_subtree :
     the traversal then covers only the subtree — the delta-locality path
     of [Core.Perm.update].  No-op returning [init] when [root] is not in
     the document. *)
+
+(** {1 Flat-snapshot traversals}
+
+    The same runs over an {!Xmldoc.Flat} columnar snapshot.  Answers
+    coincide with the map-backed folds over the frozen document; the
+    traversal itself is an index scan — the ancestor stack pops on one
+    integer compare per node and a pruned subtree is skipped by jumping
+    to its [subtree_end] instead of visiting it. *)
+
+val fold_flat :
+  'a t -> Xmldoc.Flat.t -> init:'b ->
+  f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** {!fold} over a flat snapshot. *)
+
+val fold_view_flat :
+  ?stats:stats ->
+  'a t -> Xmldoc.Flat.t ->
+  view:(int -> Xmldoc.Node.t -> Xmldoc.Node.t option) ->
+  init:'b -> f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** {!fold_view} over a flat snapshot; pruned subtrees cost O(1).  The
+    [view] callback additionally receives the node's flat index, so a
+    caller holding a per-index visibility oracle (e.g.
+    [Core.Perm.flat_visibility]) answers in O(1) with no ordpath
+    hashing. *)
+
+val fold_subtree_flat :
+  'a t -> Xmldoc.Flat.t -> root:Ordpath.t -> init:'b ->
+  f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** {!fold_subtree} over a flat snapshot. *)

@@ -18,6 +18,25 @@ type t = {
          RESTRICTED remapping changes labels on the fly) *)
 }
 
+let of_flat fl =
+  let module F = Xmldoc.Flat in
+  {
+    find = F.find fl;
+    children = F.children fl;
+    parent = F.parent fl;
+    descendants = F.descendants fl;
+    descendant_or_self = F.descendant_or_self fl;
+    ancestors = F.ancestors fl;
+    ancestor_or_self = F.ancestor_or_self fl;
+    following_siblings = F.following_siblings fl;
+    preceding_siblings = F.preceding_siblings fl;
+    following = F.following fl;
+    preceding = F.preceding fl;
+    attributes = F.attributes fl;
+    string_value = F.string_value fl;
+    by_label = Some (F.labelled fl);
+  }
+
 let of_document doc =
   let module D = Xmldoc.Document in
   {

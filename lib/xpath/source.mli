@@ -27,3 +27,8 @@ type t = {
 }
 
 val of_document : Xmldoc.Document.t -> t
+
+val of_flat : Xmldoc.Flat.t -> t
+(** A source over a flat columnar snapshot ({!Xmldoc.Flat}): axis
+    answers coincide with {!of_document} over the frozen document, but
+    run on index arrays instead of map walks. *)

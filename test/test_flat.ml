@@ -1,0 +1,650 @@
+(* Differential suite for the columnar snapshot (Xmldoc.Flat) and the
+   streaming parser:
+
+   (a) packed ordpath keys: byte-lexicographic order and string-prefix
+       ancestry agree with the component-list definitions;
+   (b) freeze/thaw round-trips the map-backed store exactly, including
+       after XUpdate churn and a re-freeze;
+   (c) every Document axis, the label index and string_value answer
+       identically on the snapshot, over seeded random documents and
+       off-document probe ids;
+   (d) the streaming parser produces node-for-node the snapshot the
+       in-memory parser produces — CDATA, references, comments,
+       whitespace modes and torn-input errors included;
+   (e) the flat-backed core paths (Perm.compute/update, View.derive,
+       Session, Rewrite.select) answer exactly as the map-backed ones.
+
+   Failures shrink to a minimal document/policy via test/support. *)
+
+open Xmldoc
+module D = Document
+module F = Flat
+module Op = Xupdate.Op
+module Prng = Workload.Prng
+
+let base_seed = 20260808
+
+(* ------------------------------------------------------------------ *)
+(* Rendering helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let kind_letter = function
+  | Node.Document -> 'D'
+  | Node.Element -> 'E'
+  | Node.Attribute -> 'A'
+  | Node.Text -> 'T'
+  | Node.Comment -> 'C'
+
+let render_node (n : Node.t) =
+  Printf.sprintf "%c:%s:%s" (kind_letter n.kind) (Ordpath.to_string n.id)
+    n.label
+
+let render_nodes ns = String.concat "; " (List.map render_node ns)
+
+let same_nodes a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Node.t) (y : Node.t) ->
+         Ordpath.equal x.id y.id && x.kind = y.kind
+         && String.equal x.label y.label)
+       a b
+
+(* ------------------------------------------------------------------ *)
+(* (a) packed keys                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Well-formed labels: each level is zero or more even components
+   followed by exactly one odd component (negative values included, since
+   careting can go left of 1). *)
+let random_components rng =
+  let rng, levels = Prng.int rng 5 in
+  let component rng ~odd =
+    let rng, magnitude = Prng.int rng 3 in
+    let bound = [| 4; 300; 100_000 |].(magnitude) in
+    let rng, v = Prng.int rng (2 * bound) in
+    let v = v - bound in
+    (rng, if odd then (2 * v) + 1 else 2 * v)
+  in
+  let level rng acc =
+    let rng, evens = Prng.int rng 3 in
+    let rec go rng acc i =
+      if i = 0 then (rng, acc)
+      else
+        let rng, e = component rng ~odd:false in
+        go rng (e :: acc) (i - 1)
+    in
+    let rng, acc = go rng acc evens in
+    let rng, o = component rng ~odd:true in
+    (rng, o :: acc)
+  in
+  let rec go rng acc i =
+    if i = 0 then (rng, List.rev acc)
+    else
+      let rng, acc = level rng acc in
+      go rng acc (i - 1)
+  in
+  go rng [] levels
+
+let rec is_list_prefix p t =
+  match (p, t) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: p', y :: t' -> x = y && is_list_prefix p' t'
+
+let test_packed_keys () =
+  let rng = ref (Prng.create base_seed) in
+  let draw () =
+    let r, cs = random_components !rng in
+    rng := r;
+    cs
+  in
+  for _ = 1 to 2000 do
+    let a = draw () and b = draw () in
+    let pa = Ordpath.of_components a and pb = Ordpath.of_components b in
+    let ka = Ordpath.pack pa and kb = Ordpath.pack pb in
+    (* Round-trip. *)
+    Alcotest.(check string)
+      (Printf.sprintf "unpack (pack %s)" (Ordpath.to_string pa))
+      (Ordpath.to_string pa)
+      (Ordpath.to_string (Ordpath.unpack ka));
+    (* Order preservation. *)
+    let sign x = compare x 0 in
+    Alcotest.(check int)
+      (Printf.sprintf "compare_packed %s %s" (Ordpath.to_string pa)
+         (Ordpath.to_string pb))
+      (sign (Ordpath.compare pa pb))
+      (sign (Ordpath.compare_packed ka kb));
+    (* Prefix = ancestry (self included). *)
+    Alcotest.(check bool)
+      (Printf.sprintf "is_packed_prefix %s %s" (Ordpath.to_string pa)
+         (Ordpath.to_string pb))
+      (is_list_prefix a b)
+      (Ordpath.is_packed_prefix ka kb)
+  done;
+  (* The document node packs to the empty key, a prefix of everything. *)
+  Alcotest.(check string) "document key" ""
+    (Ordpath.pack Ordpath.document)
+
+(* ------------------------------------------------------------------ *)
+(* Random documents and churn                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_doc seed =
+  let rng = Prng.create seed in
+  let rng, patients = Prng.int rng 6 in
+  let rng, visits = Prng.int rng 4 in
+  ignore rng;
+  Workload.Gen_doc.generate
+    {
+      Workload.Gen_doc.patients = patients + 1;
+      visits_per_patient = visits;
+      diagnosed_fraction = 0.7;
+      seed;
+    }
+
+let churn_paths =
+  [
+    "/patients"; "/patients/*"; "//service"; "//diagnosis"; "//visit";
+    "//note"; "//date"; "/patients/*[1]"; "//diagnosis/text()";
+  ]
+
+let fragments =
+  [
+    Tree.element "extra" [ Tree.text "note" ];
+    Tree.text "addendum";
+    Tree.element "audit"
+      [ Tree.attr "by" "harness"; Tree.element "stamp" [ Tree.text "t0" ] ];
+  ]
+
+let random_op rng =
+  let rng, path = Prng.pick rng churn_paths in
+  let rng, kind = Prng.int rng 6 in
+  match kind with
+  | 0 -> (rng, Op.rename path "renamed")
+  | 1 -> (rng, Op.update path "updated")
+  | 2 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.append path tree)
+  | 3 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_before path tree)
+  | 4 ->
+    let rng, tree = Prng.pick rng fragments in
+    (rng, Op.insert_after path tree)
+  | _ -> (rng, Op.remove path)
+
+(* A few document-order XUpdate steps; ops whose paths select nothing are
+   skipped (the churn is about renumbering/removal patterns, not XPath). *)
+let churn seed doc =
+  let rec go rng doc i =
+    if i = 0 then doc
+    else
+      let rng, op = random_op rng in
+      let doc =
+        match Xupdate.Apply.apply doc op with
+        | outcome -> outcome.Xupdate.Apply.doc
+        | exception _ -> doc
+      in
+      go rng doc (i - 1)
+  in
+  go (Prng.create (seed * 31 + 7)) doc 4
+
+(* ------------------------------------------------------------------ *)
+(* (b) freeze/thaw                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_freeze_thaw () =
+  for case = 0 to 59 do
+    let seed = base_seed + case in
+    let doc = random_doc seed in
+    let check_roundtrip what doc =
+      let fl = F.of_document doc in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: %s size" seed what)
+        (D.size doc) (F.size fl);
+      if not (D.equal (F.to_document fl) doc) then
+        Alcotest.failf "seed %d: %s thaw differs\nfacts: %s" seed what
+          (Xml_print.facts doc)
+    in
+    check_roundtrip "fresh" doc;
+    (* Re-freeze after XUpdate churn: fresh identifiers, gaps from
+       removals, attribute grafts. *)
+    check_roundtrip "churned" (churn seed doc)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* (c) axis differential                                               *)
+(* ------------------------------------------------------------------ *)
+
+let axes :
+    (string
+    * (D.t -> Ordpath.t -> Node.t list)
+    * (F.t -> Ordpath.t -> Node.t list))
+    list =
+  [
+    ("children", D.children, F.children);
+    ("attributes", D.attributes, F.attributes);
+    ("descendants", D.descendants, F.descendants);
+    ("descendant_or_self", D.descendant_or_self, F.descendant_or_self);
+    ("ancestors", D.ancestors, F.ancestors);
+    ("ancestor_or_self", D.ancestor_or_self, F.ancestor_or_self);
+    ("following_siblings", D.following_siblings, F.following_siblings);
+    ("preceding_siblings", D.preceding_siblings, F.preceding_siblings);
+    ("following", D.following, F.following);
+    ("preceding", D.preceding, F.preceding);
+  ]
+
+(* Probe ids that are (usually) not in the document: Document's axes have
+   defined fallbacks there, and the snapshot must reproduce them. *)
+let stray_ids =
+  List.map Ordpath.of_components
+    [ [ 99 ]; [ 1; 999 ]; [ 2; 1; 7 ]; [ -5 ]; [ 1; 1; 1; 1; 1 ] ]
+
+let compare_all_axes doc =
+  let fl = F.of_document doc in
+  let ids =
+    List.map (fun (n : Node.t) -> n.id) (D.nodes doc) @ stray_ids
+  in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (name, on_doc, on_flat) ->
+          let d = on_doc doc id and f = on_flat fl id in
+          if not (same_nodes d f) then
+            failwith
+              (Printf.sprintf "%s(%s): doc [%s] / flat [%s]" name
+                 (Ordpath.to_string id) (render_nodes d) (render_nodes f)))
+        axes;
+      let opt what a b =
+        let r = function Some n -> render_node n | None -> "-" in
+        match (a, b) with
+        | Some x, Some y
+          when Ordpath.equal x.Node.id y.Node.id
+               && String.equal x.Node.label y.Node.label ->
+          ()
+        | None, None -> ()
+        | a, b ->
+          failwith
+            (Printf.sprintf "%s(%s): doc %s / flat %s" what
+               (Ordpath.to_string id) (r a) (r b))
+      in
+      opt "parent" (D.parent doc id) (F.parent fl id);
+      opt "last_child" (D.last_child doc id) (F.last_child fl id);
+      if D.mem doc id <> F.mem fl id then
+        failwith (Printf.sprintf "mem(%s) disagrees" (Ordpath.to_string id));
+      if D.label doc id <> F.label fl id then
+        failwith (Printf.sprintf "label(%s) disagrees" (Ordpath.to_string id));
+      let sv_doc = D.string_value doc id and sv_flat = F.string_value fl id in
+      if not (String.equal sv_doc sv_flat) then
+        failwith
+          (Printf.sprintf "string_value(%s): doc %S / flat %S"
+             (Ordpath.to_string id) sv_doc sv_flat))
+    ids;
+  (* The label index, for every label present plus a missing one. *)
+  let labels =
+    List.sort_uniq String.compare
+      ("nosuchlabel" :: List.map (fun (n : Node.t) -> n.label) (D.nodes doc))
+  in
+  List.iter
+    (fun l ->
+      let d = D.by_label doc l and f = F.by_label fl l in
+      if
+        not
+          (List.length d = List.length f
+          && List.for_all2 Ordpath.equal d f)
+      then
+        failwith
+          (Printf.sprintf "by_label %S: doc [%s] / flat [%s]" l
+             (String.concat "; " (List.map Ordpath.to_string d))
+             (String.concat "; " (List.map Ordpath.to_string f))))
+    labels
+
+let test_axes () =
+  for case = 0 to 59 do
+    let seed = base_seed + case in
+    let doc = random_doc seed in
+    let run doc =
+      compare_all_axes doc;
+      compare_all_axes (churn seed doc)
+    in
+    match run doc with
+    | () -> ()
+    | exception Failure msg ->
+      let fails d = match run d with () -> false | exception _ -> true in
+      let doc' = Test_support.Shrink.document ~fails doc in
+      let text =
+        Printf.sprintf "%s\n--- shrunk repro (seed %d) ---\nfacts: %s" msg
+          seed
+          (Xml_print.facts doc')
+      in
+      Test_support.Shrink.save ~name:"flat-axes" ~seed text;
+      Alcotest.fail text
+  done
+
+(* ------------------------------------------------------------------ *)
+(* (d) streaming parser ≡ in-memory parser                             *)
+(* ------------------------------------------------------------------ *)
+
+let parser_samples =
+  [
+    "<a/>";
+    "<a><b/><c/></a>";
+    "<a x=\"1\" y=\"two\"><b z=\"3\"/>tail</a>";
+    "<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>";
+    "<a><![CDATA[<raw> & not parsed]]></a>";
+    "<a>pre<![CDATA[mid]]>post</a>";
+    "<a><!-- note --><b/><!-- tail --></a>";
+    "<?xml version=\"1.0\"?><!DOCTYPE a><a><b>x</b></a>";
+    "<a> <b/> </a>";
+    "<a>one<b>two</b>three</a>";
+    "<ns:a ns:x=\"v\"><ns:b/></ns:a>";
+    "<a><!-- c --></a><!-- trailing -->";
+    "<a\n  x=\"multi\n line\"\n>text</a>";
+  ]
+
+let option_modes =
+  [
+    ("defaults", None, None);
+    ("keep_comments", Some true, None);
+    ("keep whitespace", None, Some false);
+    ("keep both", Some true, Some false);
+  ]
+
+let flat_equal_exact a b =
+  F.size a = F.size b
+  && same_nodes (F.nodes a) (F.nodes b)
+
+let with_sample_channel s f =
+  let file = Filename.temp_file "test_flat" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin file in
+      output_string oc s;
+      close_out oc;
+      let ic = open_in_bin file in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic))
+
+let test_streaming_agreement () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (mode, keep_comments, strip_whitespace) ->
+          let reference =
+            F.of_document
+              (Xml_parse.of_string ?keep_comments ?strip_whitespace s)
+          in
+          let streamed_string =
+            Xml_parse.flat_of_string ?keep_comments ?strip_whitespace s
+          in
+          let streamed_channel =
+            with_sample_channel s
+              (Xml_parse.flat_of_channel ?keep_comments ?strip_whitespace)
+          in
+          let check what streamed =
+            if not (flat_equal_exact reference streamed) then
+              Alcotest.failf "%s (%s) on %S:\n  reference [%s]\n  streamed [%s]"
+                what mode s
+                (render_nodes (F.nodes reference))
+                (render_nodes (F.nodes streamed))
+          in
+          check "flat_of_string" streamed_string;
+          check "flat_of_channel" streamed_channel)
+        option_modes)
+    parser_samples
+
+let torn_inputs =
+  [
+    "";
+    "<a>";
+    "<a><b></a>";
+    "<a x=\"v>";
+    "<a>text";
+    "<a>&unknown;</a>";
+    "<a>&#xZZ;</a>";
+    "<a><![CDATA[torn";
+    "<a><!-- torn";
+    "<a/><b/>";
+    "< a/>";
+    "<a x=1/>";
+    "junk<a/>";
+  ]
+
+let test_streaming_errors () =
+  let observe parse s =
+    match parse s with
+    | (_ : F.t) -> "no error"
+    | exception Xml_parse.Error { line; column; message } ->
+      Printf.sprintf "%d:%d %s" line column message
+  in
+  List.iter
+    (fun s ->
+      let in_memory =
+        observe (fun s -> F.of_document (Xml_parse.of_string s)) s
+      in
+      let streamed = observe Xml_parse.flat_of_string s in
+      let channel =
+        observe (fun s -> with_sample_channel s Xml_parse.flat_of_channel) s
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "torn input %S (string)" s)
+        in_memory streamed;
+      Alcotest.(check string)
+        (Printf.sprintf "torn input %S (channel)" s)
+        in_memory channel;
+      if String.equal in_memory "no error" then
+        Alcotest.failf "torn input %S parsed without error" s)
+    torn_inputs
+
+let test_large_generator_streams () =
+  let config =
+    { Workload.Gen_large.default with target_nodes = 3_000; seed = 11 }
+  in
+  let doc = Workload.Gen_large.generate config in
+  let reference = F.of_document doc in
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d within 25%% of target" (F.size reference))
+    true
+    (let n = float_of_int (F.size reference) in
+     let t = float_of_int config.target_nodes in
+     n >= 0.75 *. t && n <= 1.25 *. t);
+  let streamed =
+    Xml_parse.flat_of_string (Workload.Gen_large.to_xml_string config)
+  in
+  if not (flat_equal_exact reference streamed) then
+    Alcotest.failf
+      "gen_large: streamed snapshot differs (reference %d nodes, streamed %d)"
+      (F.size reference) (F.size streamed)
+
+(* ------------------------------------------------------------------ *)
+(* (e) flat-backed core paths                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_policy seed =
+  let rng = Prng.create (seed + 1_000_000) in
+  let rng, rules = Prng.int rng 8 in
+  ignore rng;
+  Workload.Gen_policy.random
+    { Workload.Gen_policy.rules = rules + 4; deny_fraction = 0.3; seed }
+
+let check_core_agreement ~seed doc policy =
+  let fl = F.of_document doc in
+  let plain = Core.Session.login policy doc ~user:"u" in
+  let flat = Core.Session.login ~flat:fl policy doc ~user:"u" in
+  let ids = List.map (fun (n : Node.t) -> n.id) (D.nodes doc) in
+  (* Permissions. *)
+  List.iter
+    (fun privilege ->
+      List.iter
+        (fun id ->
+          if
+            Core.Session.holds plain privilege id
+            <> Core.Session.holds flat privilege id
+          then
+            failwith
+              (Printf.sprintf "Perm.compute ~flat disagrees on %s for %s"
+                 (Ordpath.to_string id)
+                 (Format.asprintf "%a" Core.Privilege.pp privilege)))
+        ids)
+    Core.Privilege.all;
+  (* Views. *)
+  if not (D.equal (Core.Session.view plain) (Core.Session.view flat)) then
+    failwith
+      (Printf.sprintf "View.derive ~flat differs\n  plain: %s\n  flat: %s"
+         (Xml_print.facts (Core.Session.view plain))
+         (Xml_print.facts (Core.Session.view flat)));
+  (* The compiled read path over a flat-backed lazy view. *)
+  let vars = Core.Session.user_vars plain in
+  let lv_plain = Core.Lazy_view.of_session plain in
+  let lv_flat = Core.Lazy_view.of_session ~flat:fl flat in
+  List.iter
+    (fun q ->
+      let plan = Core.Rewrite.plan_str q in
+      let via_plain =
+        List.map Ordpath.to_string (Core.Rewrite.select ~vars plan lv_plain)
+      in
+      let via_flat =
+        List.map Ordpath.to_string (Core.Rewrite.select ~vars plan lv_flat)
+      in
+      if via_plain <> via_flat then
+        failwith
+          (Printf.sprintf
+             "Rewrite.select on flat lazy view disagrees on %s (%s):\n\
+             \  plain [%s]\n  flat [%s]"
+             q
+             (if Core.Rewrite.compiled plan then "compiled" else "fallback")
+             (String.concat "; " via_plain)
+             (String.concat "; " via_flat)))
+    (Workload.Gen_query.random ~seed ~count:6);
+  (* Incremental maintenance with a flat snapshot of the new source. *)
+  let rng = Prng.create (seed * 13 + 5) in
+  let _, op = random_op rng in
+  match Core.Secure_update.apply plain op with
+  | exception _ -> ()
+  | plain', report ->
+    let source' = Core.Session.source plain' in
+    let flat' =
+      Core.Session.apply_delta
+        ~flat:(F.of_document source')
+        flat source' report.Core.Secure_update.delta
+    in
+    if not (D.equal (Core.Session.view plain') (Core.Session.view flat')) then
+      failwith
+        (Printf.sprintf
+           "apply_delta ~flat differs after %s\n  plain: %s\n  flat: %s"
+           (Format.asprintf "%a" Op.pp op)
+           (Xml_print.facts (Core.Session.view plain'))
+           (Xml_print.facts (Core.Session.view flat')));
+    List.iter
+      (fun privilege ->
+        List.iter
+          (fun id ->
+            if
+              Core.Session.holds plain' privilege id
+              <> Core.Session.holds flat' privilege id
+            then
+              failwith
+                (Printf.sprintf "Perm.update ~flat disagrees on %s for %s"
+                   (Ordpath.to_string id)
+                   (Format.asprintf "%a" Core.Privilege.pp privilege)))
+          (List.map (fun (n : Node.t) -> n.id) (D.nodes source')))
+      Core.Privilege.all
+
+let test_core_wiring () =
+  for case = 0 to 39 do
+    let seed = base_seed + case in
+    let doc = random_doc seed in
+    let policy = random_policy seed in
+    match check_core_agreement ~seed doc policy with
+    | () -> ()
+    | exception Failure msg ->
+      let still_fails doc policy =
+        match check_core_agreement ~seed doc policy with
+        | () -> false
+        | exception _ -> true
+      in
+      let doc' =
+        Test_support.Shrink.document
+          ~fails:(fun d -> still_fails d policy)
+          doc
+      in
+      let policy' =
+        Test_support.Shrink.policy ~fails:(still_fails doc') policy
+      in
+      let text =
+        Test_support.Shrink.render ~seed ~doc:doc' ~policy:policy' msg
+      in
+      Test_support.Shrink.save ~name:"flat-core" ~seed text;
+      Alcotest.fail text
+  done
+
+(* The epoch-publishing server: flat-backed logins and broadcasts must
+   serve the same views as fresh map-backed logins (reuses the freshness
+   oracle of test_differential at the Serve level). *)
+let test_serve_epochs () =
+  let module P = Core.Paper_example in
+  let serve = Core.Serve.create P.policy (P.document ()) in
+  List.iter
+    (fun user -> Core.Serve.login serve ~user)
+    [ P.beaufort; P.laporte; P.richard; P.robert ];
+  let assert_fresh () =
+    List.iter
+      (fun user ->
+        let fresh =
+          Core.Session.login (Core.Serve.policy serve)
+            (Core.Serve.source serve) ~user
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s's served view = fresh login view" user)
+          true
+          (D.equal (Core.Serve.view serve ~user) (Core.Session.view fresh)))
+      (Core.Serve.users serve)
+  in
+  assert_fresh ();
+  let report =
+    Core.Serve.update serve ~user:P.laporte
+      (Op.update "/patients/franck/diagnosis" "cured")
+  in
+  Alcotest.(check bool) "update fully applied" true
+    (Core.Secure_update.fully_applied report);
+  assert_fresh ();
+  ignore
+    (Core.Serve.update serve ~user:P.beaufort
+       (Op.rename "/patients/robert" "r2"));
+  assert_fresh ();
+  Alcotest.(check int) "doctor sees the rename through the new epoch" 1
+    (List.length (Core.Serve.query serve ~user:P.laporte "/patients/r2"))
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "packed-keys",
+        [ Alcotest.test_case "2000 random ordpaths" `Quick test_packed_keys ]
+      );
+      ( "freeze-thaw",
+        [
+          Alcotest.test_case "60 seeded docs, fresh + churned" `Quick
+            test_freeze_thaw;
+        ] );
+      ( "axes",
+        [
+          Alcotest.test_case "60 seeded docs, all axes + index" `Quick
+            test_axes;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "samples, all option modes" `Quick
+            test_streaming_agreement;
+          Alcotest.test_case "torn inputs fail identically" `Quick
+            test_streaming_errors;
+          Alcotest.test_case "gen_large streams = gen_large builds" `Quick
+            test_large_generator_streams;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "40 seeded cases, flat = map" `Quick
+            test_core_wiring;
+          Alcotest.test_case "serve publishes consistent epochs" `Quick
+            test_serve_epochs;
+        ] );
+    ]
