@@ -194,19 +194,20 @@ let fsync_flag =
         ~doc:"With --persist: fsync(2) the journal after every transaction.")
 
 (* Open (or initialise) a durable store and return it with the state the
-   server must start from: a fresh directory adopts the --doc document;
-   an existing one is recovered through the secure replay, and --doc is
-   ignored for state (it only seeded the store originally). *)
+   server must start from: a fresh directory adopts the --doc document
+   and the --policy file; an existing one is recovered through the
+   secure replay — document AND policy, since journals may carry policy
+   ops — and --doc / --policy only seed the replay. *)
 let open_store ~policy ~doc_path ~fsync ~snapshot_every dir =
   let store = Store.open_dir ~fsync ~snapshot_every dir in
   if Store.is_fresh store then begin
     let doc = load_doc doc_path in
     Store.init store doc;
-    (store, doc)
+    (store, doc, policy)
   end
   else begin
     let r = Core.Txn.recover policy dir in
-    (store, r.Core.Txn.doc)
+    (store, r.Core.Txn.doc, r.Core.Txn.policy)
   end
 
 let write_output output xml =
@@ -361,14 +362,14 @@ let update_cmd =
         let policy = Core.Policy_lang.parse (read_file policy_path) in
         let ops = Xupdate.Xupdate_xml.ops_of_string (read_file xupdate_file) in
         let on_denial = if atomic then `Abort else `Tolerate in
-        let store, source =
+        let store, source, policy =
           match persist with
-          | None -> (None, load_doc doc)
+          | None -> (None, load_doc doc, policy)
           | Some dir ->
-            let store, source =
+            let store, source, policy =
               open_store ~policy ~doc_path:doc ~fsync ~snapshot_every dir
             in
-            (Some store, source)
+            (Some store, source, policy)
         in
         Fun.protect
           ~finally:(fun () -> Option.iter Store.close store)
@@ -448,15 +449,32 @@ let recover_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the recovered database here (default: stdout).")
   in
-  let run policy_path dir render output =
+  let policy_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy-out" ] ~docv:"FILE"
+          ~doc:"Write the recovered policy (the --policy file with every \
+                journalled policy op replayed in commit order) here, in \
+                the textual policy language.")
+  in
+  let run policy_path dir render output policy_out =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy_path) in
         let r = Core.Txn.recover policy dir in
         Printf.printf
           "recovered seq %d (snapshot %d, %d txn(s) replayed, %d torn byte(s) \
-           dropped)\n"
+           dropped, %d rule(s) in force)\n"
           r.Core.Txn.seq r.Core.Txn.snapshot_seq r.Core.Txn.replayed
-          r.Core.Txn.torn_bytes;
+          r.Core.Txn.torn_bytes
+          (List.length (Core.Policy.rules r.Core.Txn.policy));
+        (match policy_out with
+         | None -> ()
+         | Some path ->
+           let oc = open_out path in
+           output_string oc (Core.Policy_lang.to_string r.Core.Txn.policy);
+           close_out oc;
+           Printf.printf "wrote %s\n" path);
         (match output with
          | None -> render_doc render r.Core.Txn.doc
          | Some _ ->
@@ -468,9 +486,202 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:"Rebuild the database from a durable store: latest valid \
              snapshot plus secure replay of the journal tail (a torn final \
-             record is dropped).  Read-only; prints the recovered sequence \
-             number.")
-    Term.(const run $ policy_arg $ store_dir_arg $ render_arg $ output_arg)
+             record is dropped).  Journalled policy ops are replayed too \
+             (--policy-out dumps the resulting policy).  Read-only; prints \
+             the recovered sequence number.")
+    Term.(
+      const run $ policy_arg $ store_dir_arg $ render_arg $ output_arg
+      $ policy_out_arg)
+
+(* --- policy (transactional policy administration) -------------------------- *)
+
+let policy_cmd =
+  let rule_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "rule" ] ~docv:"RULE"
+          ~doc:"Issue this rule (textual policy language, e.g. \"grant read \
+                on //patients to nurse\"; repeatable).  The administration \
+                timestamp is allocated fresh by the server unless the rule \
+                carries an explicit priority.")
+  in
+  let retract_args =
+    Arg.(
+      value & opt_all int []
+      & info [ "retract" ] ~docv:"N"
+          ~doc:"Retract the rule issued at timestamp N (repeatable).")
+  in
+  let isa_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "isa" ] ~docv:"SUB:SUPER"
+          ~doc:"Add an isa edge to the subject hierarchy (repeatable).")
+  in
+  let remove_isa_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "remove-isa" ] ~docv:"SUB:SUPER"
+          ~doc:"Remove an isa edge (repeatable; denied if absent).")
+  in
+  let xupdate_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "xupdate" ] ~docv:"XUPDATE"
+          ~doc:"Also stage this <xupdate:modifications> document in the SAME \
+                transaction, after the policy ops — a mixed batch whose \
+                document ops select and check under the new rules.")
+  in
+  let atomic_flag =
+    Arg.(
+      value & flag
+      & info [ "atomic" ]
+          ~doc:"All-or-nothing: any denied op (policy or document) aborts \
+                and rolls back the whole batch (default: tolerant — denied \
+                ops are skipped and reported).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Commit the batch N times, as N transactions (a policy-churn \
+                storm): each round re-issues the --rule specs at fresh \
+                timestamps and retracts the previous round's; --isa ops run \
+                only in the first round.")
+  in
+  let policy_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy-out" ] ~docv:"FILE"
+          ~doc:"Write the final policy here, in the textual policy language.")
+  in
+  let split_edge s =
+    match String.index_opt s ':' with
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None ->
+      raise
+        (Core.Policy_lang.Error
+           { line = 1; message = Printf.sprintf "expected SUB:SUPER, got %s" s })
+  in
+  let run doc policy_path user rules retracts isas remove_isas xupdate_file
+      atomic repeat persist snapshot_every fsync policy_out monitor_port =
+    handle_errors (fun () ->
+        let policy = Core.Policy_lang.parse (read_file policy_path) in
+        let doc_ops =
+          match xupdate_file with
+          | None -> []
+          | Some path -> Xupdate.Xupdate_xml.ops_of_string (read_file path)
+        in
+        let on_denial = if atomic then `Abort else `Tolerate in
+        let store, source, policy =
+          match persist with
+          | None -> (None, load_doc doc, policy)
+          | Some dir ->
+            let store, source, policy =
+              open_store ~policy ~doc_path:doc ~fsync ~snapshot_every dir
+            in
+            (Some store, source, policy)
+        in
+        Fun.protect
+          ~finally:(fun () -> Option.iter Store.close store)
+          (fun () ->
+            let serve = Core.Serve.create ?persist:store policy source in
+            with_monitor ?store ~pool:(Core.Serve.pool serve) monitor_port
+            @@ fun () ->
+            Core.Serve.login serve ~user;
+            (* One churn round: --rule specs at fresh timestamps, retracts
+               of [previous] (the caller's --retract list in round 1, the
+               previous round's timestamps after), isa edits only once. *)
+            let round ~first ~previous =
+              let issued = ref [] in
+              let adds =
+                List.map
+                  (fun spec ->
+                    let priority = Core.Serve.fresh_priority serve in
+                    let r = Core.Policy_lang.parse_rule ~priority spec in
+                    issued := r.Core.Rule.priority :: !issued;
+                    Core.Op.Policy (Core.Op.Add_rule r))
+                  rules
+              in
+              let retracts =
+                List.map
+                  (fun priority ->
+                    Core.Op.Policy (Core.Op.Retract_rule { priority }))
+                  previous
+              in
+              let edges =
+                if not first then []
+                else
+                  List.map
+                    (fun s ->
+                      let sub, super = split_edge s in
+                      Core.Op.Policy (Core.Op.Add_isa { sub; super }))
+                    isas
+                  @ List.map
+                      (fun s ->
+                        let sub, super = split_edge s in
+                        Core.Op.Policy (Core.Op.Remove_isa { sub; super }))
+                      remove_isas
+              in
+              ( retracts @ adds @ edges @ List.map Core.Op.doc doc_ops,
+                List.rev !issued )
+            in
+            let code = ref 0 in
+            let denials = ref 0 in
+            let previous = ref retracts in
+            (try
+               for i = 1 to repeat do
+                 let ops, issued = round ~first:(i = 1) ~previous:!previous in
+                 previous := issued;
+                 match Core.Serve.commit_ops ~on_denial serve ~user ops with
+                 | Ok { Core.Serve.policy_denials; _ } ->
+                   denials := !denials + List.length policy_denials;
+                   if repeat = 1 then
+                     List.iter
+                       (fun (d : Core.Txn.policy_denial) ->
+                         Printf.printf "denied op %d (%s): %s\n" d.index
+                           (Core.Op.policy_kind d.op) d.reason)
+                       policy_denials
+                 | Error e ->
+                   Printf.eprintf "xmlsecu: txn error: %s\n"
+                     (Core.Txn.error_to_string e);
+                   code := code_txn;
+                   raise Exit
+               done
+             with Exit -> ());
+            if !code = 0 then begin
+              let final = Core.Serve.policy serve in
+              Printf.printf
+                "%d txn(s) committed, %d policy denial(s) tolerated, %d \
+                 rule(s) in force, %d class(es)\n"
+                repeat !denials
+                (List.length (Core.Policy.rules final))
+                (Core.Serve.classes serve);
+              match policy_out with
+              | None -> ()
+              | Some path ->
+                let oc = open_out path in
+                output_string oc (Core.Policy_lang.to_string final);
+                close_out oc;
+                Printf.printf "wrote %s\n" path
+            end;
+            !code))
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Administer the policy transactionally: issue and retract rules \
+             and edit the subject hierarchy as ops in the same batched, \
+             journalled, broadcast write pipeline as XUpdate (mix document \
+             ops in with --xupdate).  Timestamps are allocated fresh and \
+             never reused; permission-equivalence classes split or merge as \
+             rule applicability changes.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ rule_args $ retract_args
+      $ isa_args $ remove_isa_args $ xupdate_arg $ atomic_flag $ repeat_arg
+      $ persist_arg $ snapshot_every_arg $ fsync_flag $ policy_out_arg
+      $ monitor_port_arg)
 
 (* --- explain ---------------------------------------------------------------- *)
 
@@ -713,15 +924,15 @@ let stats_cmd =
       monitor_port =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy) in
-        let store, source =
+        let store, source, policy =
           match persist with
-          | None -> (None, load_doc doc)
+          | None -> (None, load_doc doc, policy)
           | Some dir ->
-            let store, source =
+            let store, source, policy =
               open_store ~policy ~doc_path:doc ~fsync:false ~snapshot_every:0
                 dir
             in
-            (Some store, source)
+            (Some store, source, policy)
         in
         Fun.protect
           ~finally:(fun () -> Option.iter Store.close store)
@@ -808,14 +1019,14 @@ let monitor_cmd =
       fsync audit_dir audit_max_bytes =
     handle_errors (fun () ->
         let policy = Core.Policy_lang.parse (read_file policy) in
-        let store, source =
+        let store, source, policy =
           match persist with
-          | None -> (None, load_doc doc)
+          | None -> (None, load_doc doc, policy)
           | Some dir ->
-            let store, source =
+            let store, source, policy =
               open_store ~policy ~doc_path:doc ~fsync ~snapshot_every dir
             in
-            (Some store, source)
+            (Some store, source, policy)
         in
         Fun.protect
           ~finally:(fun () -> Option.iter Store.close store)
@@ -1022,7 +1233,9 @@ let coverage_cmd =
       value & flag
       & info [ "strict" ]
           ~doc:"Exit non-zero when any rule decided zero nodes (a \
-                runtime-shadowed candidate) — the CI-gate mode.")
+                runtime-shadowed candidate) OR the static analyser found \
+                a dead rule, unreachable grant or idle subject — the \
+                CI-gate mode, one flag covering both analyses.")
   in
   let run doc policy user queries update_file logins strict json =
     handle_errors (fun () ->
@@ -1043,19 +1256,36 @@ let coverage_cmd =
         if json then print_endline (Obs.Rulestats.to_json ())
         else print_string (Obs.Rulestats.to_string ());
         let shadowed = Obs.Rulestats.shadowed () in
-        if not json then
-          Printf.printf "%d rule(s), %d runtime-shadowed candidate(s)\n"
+        (* The static findings sit next to the runtime-shadowed report:
+           the two analyses catch different halves of the same mistake
+           (a rule that cannot decide vs one that did not), and the
+           --strict gate covers both through one exit path. *)
+        let static =
+          Core.Policy_lint.analyse (Core.Serve.policy serve)
+            (Core.Serve.source serve)
+        in
+        if not json then begin
+          List.iter
+            (fun f ->
+              Printf.printf "statically shadowed: %s\n"
+                (Core.Policy_lint.to_string f))
+            static;
+          Printf.printf
+            "%d rule(s), %d runtime-shadowed candidate(s), %d static \
+             finding(s)\n"
             (List.length (Obs.Rulestats.reports ()))
-            (List.length shadowed);
-        if strict && shadowed <> [] then 1 else 0)
+            (List.length shadowed) (List.length static)
+        end;
+        if strict && (shadowed <> [] || static <> []) then 1 else 0)
   in
   Cmd.v
     (Cmd.info "coverage"
        ~doc:"Report per-rule decision coverage: how many nodes each \
              applicable rule matched and actually decided under \
-             most-recent-wins resolution.  Rules with zero decisions are \
-             runtime-shadowed candidates (cross-check with xmlsecu lint's \
-             static analysis).")
+             most-recent-wins resolution, with xmlsecu lint's static \
+             findings alongside.  --strict gates on both: runtime-shadowed \
+             candidates and static dead rules / unreachable grants / idle \
+             subjects.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ query_args $ update_arg
       $ logins_arg $ strict_flag $ json_flag)
@@ -1223,9 +1453,9 @@ let main =
        ~doc:"A secure XML database implementing Gabillon's formal access \
              control model (VLDB SDM 2005).")
     [
-      view_cmd; query_cmd; update_cmd; explain_cmd; check_cmd; compare_cmd;
-      stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd; stats_cmd;
-      audit_cmd; snapshot_cmd; recover_cmd; monitor_cmd; trace_cmd;
+      view_cmd; query_cmd; update_cmd; policy_cmd; explain_cmd; check_cmd;
+      compare_cmd; stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd;
+      stats_cmd; audit_cmd; snapshot_cmd; recover_cmd; monitor_cmd; trace_cmd;
       coverage_cmd; slow_cmd; audit_read_cmd;
     ]
 

@@ -1,0 +1,89 @@
+(* The transactional operation alphabet: a batch is a sequence of
+   document mutations (XUpdate) and policy mutations (rule issue/retract,
+   isa edge add/remove) in one commit order.  Policy ops carry explicit
+   timestamps so journal replay re-issues exactly the rule the live
+   commit issued — axiom 14 resolution depends on nothing else. *)
+
+type policy_op =
+  | Add_rule of Rule.t
+  | Retract_rule of { priority : int }
+  | Add_isa of { sub : string; super : string }
+  | Remove_isa of { sub : string; super : string }
+
+type t = Doc of Xupdate.Op.t | Policy of policy_op
+
+let doc op = Doc op
+let docs ops = List.map doc ops
+
+let doc_ops ops =
+  List.filter_map (function Doc o -> Some o | Policy _ -> None) ops
+
+let is_policy = function Policy _ -> true | Doc _ -> false
+
+let policy_kind = function
+  | Add_rule _ -> "add_rule"
+  | Retract_rule _ -> "retract_rule"
+  | Add_isa _ -> "add_isa"
+  | Remove_isa _ -> "remove_isa"
+
+let name = function
+  | Doc op -> Xupdate.Op.name op
+  | Policy p -> policy_kind p
+
+let pp_policy fmt = function
+  | Add_rule r -> Format.fprintf fmt "add %a" Rule.pp r
+  | Retract_rule { priority } -> Format.fprintf fmt "retract rule %d" priority
+  | Add_isa { sub; super } -> Format.fprintf fmt "isa %s %s" sub super
+  | Remove_isa { sub; super } ->
+    Format.fprintf fmt "remove isa %s %s" sub super
+
+let pp fmt = function
+  | Doc op -> Format.fprintf fmt "xupdate:%s" (Xupdate.Op.name op)
+  | Policy p -> pp_policy fmt p
+
+(* Journal conversion.  The store is policy-agnostic, so rules travel as
+   their wire fields; [of_journal] re-parses the path text with the same
+   parser the live commit used, which makes replay deterministic. *)
+let to_journal = function
+  | Doc op -> Store.Journal.Doc op
+  | Policy (Add_rule r) ->
+    Store.Journal.Policy
+      (Store.Journal.Padd
+         {
+           decision =
+             (match r.Rule.decision with
+              | Rule.Accept -> `Accept
+              | Rule.Deny -> `Deny);
+           privilege = Privilege.to_string r.privilege;
+           path = r.path_src;
+           subject = r.subject;
+           priority = r.priority;
+         })
+  | Policy (Retract_rule { priority }) ->
+    Store.Journal.Policy (Store.Journal.Pretract { priority })
+  | Policy (Add_isa { sub; super }) ->
+    Store.Journal.Policy (Store.Journal.Pisa { sub; super })
+  | Policy (Remove_isa { sub; super }) ->
+    Store.Journal.Policy (Store.Journal.Premove_isa { sub; super })
+
+let of_journal = function
+  | Store.Journal.Doc op -> Doc op
+  | Store.Journal.Policy
+      (Store.Journal.Padd { decision; privilege; path; subject; priority }) ->
+    let privilege =
+      match Privilege.of_string privilege with
+      | Some p -> p
+      | None ->
+        (* scan-time validation makes this unreachable on journal input *)
+        invalid_arg (Printf.sprintf "Op.of_journal: privilege %S" privilege)
+    in
+    let decision =
+      match decision with `Accept -> Rule.Accept | `Deny -> Rule.Deny
+    in
+    Policy (Add_rule (Rule.v decision privilege ~path ~subject ~priority))
+  | Store.Journal.Policy (Store.Journal.Pretract { priority }) ->
+    Policy (Retract_rule { priority })
+  | Store.Journal.Policy (Store.Journal.Pisa { sub; super }) ->
+    Policy (Add_isa { sub; super })
+  | Store.Journal.Policy (Store.Journal.Premove_isa { sub; super }) ->
+    Policy (Remove_isa { sub; super })

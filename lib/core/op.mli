@@ -1,0 +1,49 @@
+(** The transactional operation alphabet: one commit order over document
+    mutations (XUpdate, axioms 18–25) {e and} policy mutations (§4.3's
+    one-at-a-time rule administration, plus [isa] edges of §4.2).
+
+    A policy op carries its timestamp explicitly ({!Rule.t.priority} for
+    {!Add_rule}, the target timestamp for {!Retract_rule}), so a
+    journaled batch replays to exactly the policy the live commit
+    produced — under axiom 14 the timestamps alone decide resolution.
+    {!Serve.fresh_priority} hands out monotonic timestamps to live
+    writers. *)
+
+type policy_op =
+  | Add_rule of Rule.t  (** issue a pre-timestamped rule *)
+  | Retract_rule of { priority : int }
+      (** administrative deletion of the rule issued at [priority] *)
+  | Add_isa of { sub : string; super : string }
+  | Remove_isa of { sub : string; super : string }
+
+type t = Doc of Xupdate.Op.t | Policy of policy_op
+
+val doc : Xupdate.Op.t -> t
+val docs : Xupdate.Op.t list -> t list
+
+val doc_ops : t list -> Xupdate.Op.t list
+(** The document ops of a batch, in order. *)
+
+val is_policy : t -> bool
+
+val policy_kind : policy_op -> string
+(** ["add_rule" | "retract_rule" | "add_isa" | "remove_isa"] — the label
+    vocabulary of the [policy_ops_total] metric family. *)
+
+val name : t -> string
+(** {!Xupdate.Op.name} for document ops, {!policy_kind} for policy ops. *)
+
+val pp_policy : Format.formatter -> policy_op -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 Journal conversion}
+
+    The store is policy-agnostic ({!Store.Journal.policy_op} carries
+    wire fields); these converters are the single boundary between the
+    typed and the journaled representation. *)
+
+val to_journal : t -> Store.Journal.op
+
+val of_journal : Store.Journal.op -> t
+(** Re-parses rule path text ({!Rule.v}).  Journal scans validate paths
+    and privilege names, so this cannot raise on scanned records. *)

@@ -24,25 +24,71 @@ module Dmap = struct
   (* [rev] is descending (built by prepending an ascending stream). *)
   let of_rev_list rev : 'a t = Array.of_list (List.rev rev)
 
-  (* Two-pointer merge of ascending unique-key stores; [choose] decides on
-     a key present in both. *)
+  (* Merge of ascending unique-key stores; [choose] decides on a key
+     present in both.  [b] is typically the small side — a policy
+     churn's additions against a document-sized store — so the loop is
+     per-[b]-entry: a galloping search (exponential probe from the
+     previous hit, then binary search inside the window — additions
+     cluster, so successive insertion points are near) locates each key,
+     a first pass counts the genuinely new ones, and a second pass
+     assembles the exact-size result from wholesale blits of the
+     untouched runs of [a].  Key compares thus scale with [lb log gap],
+     not [la]. *)
   let merge choose (a : 'a t) (b : 'a t) =
     let la = Array.length a and lb = Array.length b in
     if lb = 0 then a
     else if la = 0 then b
     else begin
-      let out = ref [] in
-      let i = ref 0 and j = ref 0 in
-      while !i < la && !j < lb do
-        let (ka, va) = a.(!i) and (kb, vb) = b.(!j) in
-        let c = Ordpath.compare ka kb in
-        if c < 0 then (out := (ka, va) :: !out; incr i)
-        else if c > 0 then (out := (kb, vb) :: !out; incr j)
-        else (out := (ka, choose va vb) :: !out; incr i; incr j)
+      (* First key >= [key] at or after [from]. *)
+      let gallop from key =
+        if from >= la || Ordpath.compare (fst a.(from)) key >= 0 then from
+        else begin
+          let step = ref 1 in
+          while
+            from + !step < la
+            && Ordpath.compare (fst a.(from + !step)) key < 0
+          do
+            step := !step lsl 1
+          done;
+          let lo = ref (from + (!step lsr 1) + 1)
+          and hi = ref (min (from + !step) la) in
+          while !lo < !hi do
+            let mid = (!lo + !hi) lsr 1 in
+            if Ordpath.compare (fst a.(mid)) key < 0 then lo := mid + 1
+            else hi := mid
+          done;
+          !lo
+        end
+      in
+      let pos = Array.make lb 0 in
+      let dup = Bytes.make lb '\000' in
+      let news = ref 0 in
+      let i = ref 0 in
+      for j = 0 to lb - 1 do
+        let p = gallop !i (fst b.(j)) in
+        pos.(j) <- p;
+        if p < la && Ordpath.compare (fst a.(p)) (fst b.(j)) = 0 then
+          Bytes.set dup j '\001'
+        else incr news;
+        i := p
       done;
-      while !i < la do out := a.(!i) :: !out; incr i done;
-      while !j < lb do out := b.(!j) :: !out; incr j done;
-      of_rev_list !out
+      let out = Array.make (la + !news) a.(0) in
+      let i = ref 0 and k = ref 0 in
+      for j = 0 to lb - 1 do
+        let p = pos.(j) in
+        Array.blit a !i out !k (p - !i);
+        k := !k + (p - !i);
+        i := p;
+        let kb, vb = b.(j) in
+        if Bytes.get dup j = '\001' then begin
+          out.(!k) <- (kb, choose (snd a.(p)) vb);
+          i := p + 1
+        end
+        else out.(!k) <- (kb, vb);
+        incr k
+      done;
+      Array.blit a !i out !k (la - !i);
+      out
     end
 
   (* [splice base roots additions] replaces the entries lying under the
@@ -386,6 +432,40 @@ let profile policy ~user =
    yields disjoint roots in document order, so the re-matched stream is
    itself ascending and replaces the affected spans of the sorted stores
    by splicing. *)
+(* Shared tail of the two incremental paths: re-match the given rules
+   over exactly the subtrees rooted at [roots] (one compiled
+   sub-traversal per root, re-threading the automaton state down the
+   root's ancestor chain) and splice the resulting spans into the sorted
+   stores.  Sound whenever every rule path is downward and decisions
+   outside [roots] are unchanged — the callers establish that. *)
+let resplice ?flat t rules doc roots =
+  let stats = stats_index rules in
+  let matcher = matcher_of_rules rules in
+  let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
+  let push = node_pusher ?stats () in
+  let f () (n : Xmldoc.Node.t) rules = push acc n.id rules in
+  (match flat with
+   | Some fl ->
+     (* One shared run over all the roots — {!Delta.of_roots} yields them
+        disjoint and ascending, which is exactly the plural fold's
+        contract. *)
+     let ixs = List.filter_map (Xmldoc.Flat.find_ix fl) roots in
+     Xpath.Compile.fold_subtrees_flat matcher fl ~roots:ixs ~init:() ~f
+   | None ->
+     List.iter
+       (fun root -> Xpath.Compile.fold_subtree matcher doc ~root ~init:() ~f)
+       roots);
+  let additions = Array.map Dmap.of_rev_list acc in
+  (* Decided over the re-resolved spans only — the unaffected bulk
+     was already counted when its decisions were first computed. *)
+  count_decided stats additions;
+  let decisions =
+    Array.map2
+      (fun base additions -> Dmap.splice base roots additions)
+      t.decisions additions
+  in
+  { t with decisions }
+
 let update ?flat t policy doc delta =
   match delta with
   | Delta.All -> compute ?flat policy doc ~user:t.user
@@ -393,30 +473,211 @@ let update ?flat t policy doc delta =
   | Delta.Local roots ->
     let rules = Policy.rules_for policy ~user:t.user in
     if not (Delta.local_rules rules) then compute ?flat policy doc ~user:t.user
+    else resplice ?flat t rules doc roots
+
+(* Incremental re-resolution under policy churn: the document is
+   unchanged, the applicable rule list is not.  A decision can only
+   change where (a) an added/changed rule now matches — those nodes come
+   from evaluating just the changed paths — or (b) a removed/changed
+   rule used to decide — those nodes are read off the existing stores.
+   Everything else keeps its winner: unchanged rules select the same
+   nodes on the same document, and the most-recent-wins resolution at an
+   unaffected node ranges over an unchanged applicable set.  The union
+   of (a) and (b), widened to disjoint subtree roots, is then re-matched
+   with exactly the {!update} machinery, so a one-rule churn costs one
+   path evaluation plus a few subtree re-matches instead of a full
+   {!compute} pass. *)
+let update_policy ?flat t ~old_policy policy doc =
+  if old_policy == policy then (t, Delta.empty)
+  else begin
+    let user = t.user in
+    let old_rules = Policy.rules_for old_policy ~user in
+    let new_rules = Policy.rules_for policy ~user in
+    let unchanged =
+      List.length old_rules = List.length new_rules
+      && List.for_all2 Rule.equal old_rules new_rules
+    in
+    if unchanged then (t, Delta.empty)
+    else if not (Delta.local_rules new_rules) then
+      (compute ?flat policy doc ~user, Delta.all)
     else begin
-      let stats = stats_index rules in
-      let matcher = matcher_of_rules rules in
-      let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
-      let push = node_pusher ?stats () in
-      let f () (n : Xmldoc.Node.t) rules = push acc n.id rules in
-      List.iter
-        (fun root ->
-          match flat with
-          | Some fl ->
-            Xpath.Compile.fold_subtree_flat matcher fl ~root ~init:() ~f
-          | None -> Xpath.Compile.fold_subtree matcher doc ~root ~init:() ~f)
-        roots;
-      let additions = Array.map Dmap.of_rev_list acc in
-      (* Decided over the re-resolved spans only — the unaffected bulk
-         was already counted when its decisions were first computed. *)
-      count_decided stats additions;
-      let decisions =
-        Array.map2
-          (fun base additions -> Dmap.splice base roots additions)
-          t.decisions additions
+      let module IM = Map.Make (Int) in
+      let index rules =
+        List.fold_left
+          (fun m (r : Rule.t) -> IM.add r.priority r m)
+          IM.empty rules
       in
-      { t with decisions }
+      let om = index old_rules and nm = index new_rules in
+      let changed other (r : Rule.t) =
+        match IM.find_opt r.priority other with
+        | Some r' -> not (Rule.equal r r')
+        | None -> true
+      in
+      let added = List.filter (changed om) new_rules in
+      let removed = List.filter (changed nm) old_rules in
+      (* Candidate-root plan for the added paths.  The steps of a
+         downward path thread parent-to-descendant, so every element
+         name tested along a union branch is guaranteed to sit on the
+         ancestor-or-self chain of each of that branch's matches.  With
+         a flat snapshot, the label index then bounds the selection to
+         the subtrees of the nodes bearing the branch's rarest such
+         name — usually a handful of small subtrees instead of the
+         whole document.  [None] when some branch carries no name test
+         ([//node()]) or the candidates are too dense to beat one full
+         scan. *)
+      let anchored_roots fl =
+        let module A = Xpath.Ast in
+        let module F = Xmldoc.Flat in
+        let branch_names (p : A.path) =
+          List.filter_map
+            (fun (s : A.step) ->
+              match (s.axis, s.test) with
+              | (A.Child | A.Descendant | A.Descendant_or_self | A.Self),
+                A.Name l ->
+                Some l
+              | _ -> None)
+            p.steps
+        in
+        let rec branches e acc =
+          match (e : A.expr) with
+          | A.Union (a, b) -> Option.bind (branches a acc) (branches b)
+          | A.Path p -> (
+            match branch_names p with
+            | [] -> None
+            | names -> Some (names :: acc))
+          | _ -> None
+        in
+        match
+          List.fold_left
+            (fun acc (r : Rule.t) -> Option.bind acc (branches r.Rule.path))
+            (Some []) added
+        with
+        | None -> None
+        | Some branches ->
+          let rarest names =
+            List.fold_left
+              (fun best l ->
+                let n = Array.length (F.by_label_ix fl l) in
+                match best with
+                | Some (_, bn) when bn <= n -> best
+                | _ -> Some (l, n))
+              None names
+          in
+          let seen = Hashtbl.create 8 in
+          let labels =
+            List.filter_map
+              (fun names ->
+                match rarest names with
+                | Some (l, _) when not (Hashtbl.mem seen l) ->
+                  Hashtbl.add seen l ();
+                  Some l
+                | _ -> None)
+              branches
+          in
+          let ixs =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun l -> Array.to_list (F.by_label_ix fl l))
+                 labels)
+          in
+          (* Nested candidates collapse into their outermost ancestor so
+             the subtree folds stay disjoint. *)
+          let limit = ref 0 and covered = ref 0 and nroots = ref 0 in
+          let roots =
+            List.filter
+              (fun ix ->
+                if ix < !limit then false
+                else begin
+                  limit := F.subtree_end fl ix;
+                  covered := !covered + (!limit - ix);
+                  incr nroots;
+                  true
+                end)
+              ixs
+          in
+          (* Each root pays a short ancestor re-thread on top of its
+             span; past that budget one full scan is cheaper. *)
+          if !covered + (10 * !nroots) > F.size fl then None
+          else Some roots
+      in
+      (* (a) nodes the added/changed rules now select — one compiled
+         pass over just the changed paths (they are downward, or the
+         [local_rules] guard above would have sent us to [compute]),
+         emitting per-privilege winners among the added rules in
+         document order. *)
+      let select_added ?stats () =
+        let matcher = matcher_of_rules added in
+        let acc : (Ordpath.t * Rule.t) list array = Array.make 5 [] in
+        let ids = ref [] in
+        let f push () (n : Xmldoc.Node.t) rules =
+          ids := n.id :: !ids;
+          push acc n.id rules
+        in
+        let f = f (node_pusher ?stats ()) in
+        (match flat with
+         | Some fl -> (
+           match anchored_roots fl with
+           | Some roots ->
+             Xpath.Compile.fold_subtrees_flat matcher fl ~roots ~init:() ~f
+           | None -> Xpath.Compile.fold_flat matcher fl ~init:() ~f)
+         | None -> Xpath.Compile.fold matcher doc ~init:() ~f);
+        (Array.map Dmap.of_rev_list acc, List.rev !ids)
+      in
+      if removed = [] then begin
+        (* Pure addition: nothing previously decided needs a runner-up,
+           so the new winners merge straight into the sorted stores —
+           an added rule overrides exactly where its timestamp is the
+           most recent (axiom 14), everywhere else the standing winner
+           survives the [higher_priority] merge.  No subtree
+           re-matching at all. *)
+        let stats = stats_index added in
+        let additions, added_ids = select_added ?stats () in
+        let decisions =
+          Array.map2 (Dmap.merge higher_priority) t.decisions additions
+        in
+        (* Decided = the added-rule wins that survived the merge. *)
+        (match stats with
+         | None -> ()
+         | Some entry_of ->
+           Array.iteri
+             (fun i additions ->
+               Dmap.fold
+                 (fun id (r : Rule.t) () ->
+                   match Dmap.find_opt id decisions.(i) with
+                   | Some w when w.Rule.priority = r.Rule.priority ->
+                     Obs.Rulestats.add_decided (entry_of r) 1
+                   | _ -> ())
+                 additions ())
+             additions);
+        ({ t with decisions }, Delta.of_roots added_ids)
+      end
+      else begin
+        let added_ids =
+          if added = [] then [] else snd (select_added ())
+        in
+        (* (b) nodes the removed/changed rules currently decide *)
+        let removed_prios =
+          List.fold_left
+            (fun m (r : Rule.t) -> IM.add r.priority () m)
+            IM.empty removed
+        in
+        let removed_ids =
+          Array.fold_left
+            (fun acc store ->
+              Dmap.fold
+                (fun id (r : Rule.t) acc ->
+                  if IM.mem r.priority removed_prios then id :: acc else acc)
+                store acc)
+            [] t.decisions
+        in
+        match Delta.of_roots (List.rev_append removed_ids added_ids) with
+        | Delta.All -> (compute ?flat policy doc ~user, Delta.all)
+        | Delta.Local [] -> (t, Delta.empty)
+        | Delta.Local roots as delta ->
+          (resplice ?flat t new_rules doc roots, delta)
+      end
     end
+  end
 
 let deciding_rule t privilege id =
   Dmap.find_opt id t.decisions.(privilege_index privilege)

@@ -52,6 +52,23 @@ val update :
     applies.  Equivalent to [compute policy doc ~user:(user t)] whenever
     [delta] covers the differences between the old and new document. *)
 
+val update_policy :
+  ?flat:Xmldoc.Flat.t ->
+  t -> old_policy:Policy.t -> Policy.t -> Xmldoc.Document.t -> t * Delta.t
+(** [update_policy t ~old_policy policy doc] re-resolves after a policy
+    change on an {e unchanged} document, recomputing only the spans
+    whose applicable-rule decisions can differ: the nodes selected by
+    added or changed rules (one path evaluation each) plus the nodes the
+    removed or changed rules currently decide (read off the stores).
+    The affected subtrees are re-matched through the same compiled
+    {!Xpath.Compile} machinery as {!update}.  Returns the new store and
+    the delta it re-resolved — what view maintenance must cover
+    ({!Delta.empty} when the user's applicable rules are untouched by
+    the change; {!Delta.all} when a non-downward rule forces the full
+    {!compute} fallback).  Equivalent to
+    [compute policy doc ~user:(user t)] whenever [t] agrees with
+    [compute old_policy doc]. *)
+
 val holds : t -> Privilege.t -> Ordpath.t -> bool
 (** [perm(user, n, r)]. *)
 

@@ -43,6 +43,15 @@ let deny t privilege ~path ~subject =
 let revoke t ~priority =
   { t with rules = List.filter (fun (r : Rule.t) -> r.priority <> priority) t.rules }
 
+let rule_with_priority t ~priority =
+  List.find_opt (fun (r : Rule.t) -> r.priority = priority) t.rules
+
+let add_isa t ~sub ~super =
+  { t with subjects = Subject.add_isa t.subjects ~sub ~super }
+
+let remove_isa t ~sub ~super =
+  { t with subjects = Subject.remove_isa t.subjects ~sub ~super }
+
 let rules_for t ~user =
   List.filter (fun (r : Rule.t) -> Subject.isa t.subjects user r.subject) t.rules
 

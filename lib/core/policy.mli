@@ -32,6 +32,17 @@ val revoke : t -> priority:int -> t
 (** Removes the rule with the given timestamp (administrative deletion);
     unknown priorities are ignored. *)
 
+val rule_with_priority : t -> priority:int -> Rule.t option
+
+val add_isa : t -> sub:string -> super:string -> t
+(** {!Subject.add_isa} lifted to the policy.
+    @raise Subject.Unknown_subject
+    @raise Subject.Cycle *)
+
+val remove_isa : t -> sub:string -> super:string -> t
+(** {!Subject.remove_isa} lifted to the policy.
+    @raise Subject.Unknown_subject *)
+
 val next_priority : t -> int
 
 val rules_for : t -> user:string -> Rule.t list

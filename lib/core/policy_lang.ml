@@ -55,7 +55,7 @@ let parse_subject_line line_no policy kind rest =
     Policy.with_subjects policy subjects
   | [] -> fail line_no "expected a subject name"
 
-let parse_rule_line line_no policy decision rest =
+let rule_of_words line_no ~default_priority decision rest =
   let privilege, rest =
     match rest with
     | p :: rest ->
@@ -76,20 +76,34 @@ let parse_rule_line line_no policy decision rest =
   in
   let priority =
     match rest with
-    | [] -> Policy.next_priority policy
+    | [] -> default_priority ()
     | [ "priority"; p ] ->
       (match int_of_string_opt p with
        | Some i -> i
        | None -> fail line_no "bad priority %s" p)
     | _ -> fail line_no "trailing words after the rule"
   in
+  try Rule.v decision privilege ~path ~subject ~priority with
+  | Xpath.Parser.Error msg -> fail line_no "bad path %s: %s" path msg
+
+let parse_rule_line line_no policy decision rest =
   let rule =
-    try Rule.v decision privilege ~path ~subject ~priority with
-    | Xpath.Parser.Error msg -> fail line_no "bad path %s: %s" path msg
+    rule_of_words line_no
+      ~default_priority:(fun () -> Policy.next_priority policy)
+      decision rest
   in
   try Policy.add_rule policy rule with
   | Subject.Unknown_subject s -> fail line_no "unknown subject %s" s
   | Invalid_argument msg -> fail line_no "%s" msg
+
+let parse_rule ~priority src =
+  match words_of_line 1 src with
+  | "grant" :: rest ->
+    rule_of_words 1 ~default_priority:(fun () -> priority) Rule.Accept rest
+  | "deny" :: rest ->
+    rule_of_words 1 ~default_priority:(fun () -> priority) Rule.Deny rest
+  | w :: _ -> fail 1 "expected grant or deny, got %s" w
+  | [] -> fail 1 "empty rule"
 
 let parse_line line_no policy line =
   match words_of_line line_no line with

@@ -22,5 +22,13 @@ val parse : string -> Policy.t
 val parse_file : string -> Policy.t
 (** @raise Sys_error on unreadable files. *)
 
+val parse_rule : priority:int -> string -> Rule.t
+(** Parses one rule line — [grant read on //a to doctor [priority N]] —
+    without a surrounding policy: the subject is {e not} checked against
+    a hierarchy here (staging the resulting [Op.Add_rule] does that),
+    and [priority] is used when the line carries no explicit one.  The
+    building block of [xmlsecu policy --rule].
+    @raise Error with line 1. *)
+
 val to_string : Policy.t -> string
 (** Round-trips through {!parse}. *)

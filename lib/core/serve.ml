@@ -19,7 +19,15 @@ type shared = {
 type entry = { user : string; cls : shared }
 
 type t = {
-  policy : Policy.t;
+  mutable policy : Policy.t;
+      (* the current policy; rewritten (under the lock, together with the
+         class table re-key) by every committed batch that carries policy
+         ops *)
+  mutable clock : int;
+      (* administration timestamp allocator (paper §4.3: priorities ARE
+         timestamps).  Monotonic and never reused, even across retracts
+         and aborted batches — a recycled priority would collide in
+         Perm.profile strings and Rulestats keys *)
   mutable source : Xmldoc.Document.t;
   mutable flat : Xmldoc.Flat.t;
       (* frozen columnar snapshot of [source], republished with it on
@@ -98,6 +106,16 @@ let m_flat_freezes =
   Obs.Metrics.counter Obs.Metrics.default "flat_freezes_total"
     ~help:"Columnar snapshots frozen (one per server start or committed batch)"
 
+let m_class_splits =
+  Obs.Metrics.counter Obs.Metrics.default "serve_class_splits_total"
+    ~help:"Permission-equivalence classes split by policy churn \
+           (one old class fed several new profiles)"
+
+let m_class_merges =
+  Obs.Metrics.counter Obs.Metrics.default "serve_class_merges_total"
+    ~help:"Permission-equivalence classes merged by policy churn \
+           (several old classes collapsed into one profile)"
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
@@ -120,6 +138,7 @@ let create ?pool ?persist policy source =
   let pool = match pool with Some p -> p | None -> Pool.of_env () in
   {
     policy;
+    clock = Policy.next_priority policy;
     source;
     flat = freeze source;
     lock = Mutex.create ();
@@ -279,6 +298,17 @@ let source t = t.source
 let policy t = t.policy
 let writes t = t.writes
 
+(* Administration timestamps: the next unused priority, never recycled.
+   Reading [Policy.next_priority] alone would not do — after a retract
+   the policy's max priority drops, and reissuing a spent timestamp
+   would violate the paper's total recency order (and collide in
+   Perm.profile strings and Rulestats keys). *)
+let fresh_priority t =
+  locked t (fun () ->
+      let p = max t.clock (Policy.next_priority t.policy) in
+      t.clock <- p + 1;
+      p)
+
 let entry t ~user =
   match locked t (fun () -> Hashtbl.find_opt t.sessions user) with
   | Some e -> e
@@ -417,87 +447,267 @@ let rebase_class ?slot ?txn ~flat source delta cls =
 type committed = {
   reports : Secure_update.report list;
   delta : Delta.t;
+  policy_denials : Txn.policy_denial list;
+  policy_changed : bool;
 }
 
-(* Every mutation routes through here: one Txn.commit staging the whole
-   batch on the writer's view, then — only on success — journal append,
-   registration under the lock, and a single per-batch broadcast fan-out
-   of the merged delta (one rebase per equivalence class per batch, not
-   per session per op). *)
-let commit ?(on_denial = `Abort) t ~user ops =
+(* Policy churn re-keys the permission-equivalence classes: a profile is
+   a function of the policy (the user's applicable-rule list), so rule
+   or isa churn can SPLIT a class — two users whose rules were identical
+   now differ — or MERGE classes whose rules collapsed to the same list.
+   The rekey regroups the logged-in population by new profile and builds
+   one shared state per group, rebasing per CLASS, not per session:
+
+     - a group containing the writer's (new) profile reuses the staged
+       writer session — its perm was already re-resolved incrementally
+       during staging (Perm.update_policy);
+     - every other group rebases one old representative onto the new
+       document (apply_delta) and the new policy (apply_policy, again
+       the incremental path);
+     - a lazy view migrates by [Lazy_view.rebase] only when its old
+       class fed exactly ONE new profile (rebasing shares the memo
+       table, so one lazy view must be rebased at most once); groups fed
+       by a split or a merge rebuild with [Lazy_view.of_session].
+
+   Group builds are pure and run on the pool, like login fan-outs. *)
+let rekey t ~txn ~flat ~source ~delta ~policy ~writer ~writer_cls
+    ~writer_pdelta =
+  Obs.Trace.with_span "serve.rekey" @@ fun () ->
+  let entries =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ e acc -> e :: acc) t.sessions [])
+  in
+  let groups : (string, (string * shared) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun e ->
+      let profile = Perm.profile policy ~user:e.user in
+      match Hashtbl.find_opt groups profile with
+      | Some l -> l := (e.user, e.cls) :: !l
+      | None -> Hashtbl.add groups profile (ref [ (e.user, e.cls) ]))
+    entries;
+  (* Old profile -> new profiles it feeds; drives both the split/merge
+     counters and the sole-feeder lazy-view migration rule. *)
+  let feeds : (string, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun profile members ->
+      List.iter
+        (fun ((_, old) : string * shared) ->
+          match Hashtbl.find_opt feeds old.profile with
+          | Some ps -> if not (List.mem profile !ps) then ps := profile :: !ps
+          | None -> Hashtbl.add feeds old.profile (ref [ profile ]))
+        !members)
+    groups;
+  let splits =
+    Hashtbl.fold
+      (fun _ ps acc -> if List.length !ps > 1 then acc + 1 else acc)
+      feeds 0
+  in
+  let merges =
+    Hashtbl.fold
+      (fun _ members acc ->
+        let olds =
+          List.sort_uniq String.compare
+            (List.map (fun ((_, o) : string * shared) -> o.profile) !members)
+        in
+        if List.length olds > 1 then acc + 1 else acc)
+      groups 0
+  in
+  let sole_feeder (old : shared) profile =
+    match Hashtbl.find_opt feeds old.profile with
+    | Some ps -> ( match !ps with [ p ] -> String.equal p profile | _ -> false)
+    | None -> false
+  in
+  let writer_user = Session.user writer in
+  let writer_profile = Perm.profile policy ~user:writer_user in
+  let group_list =
+    Hashtbl.fold (fun profile members acc -> (profile, !members) :: acc)
+      groups []
+  in
+  let arr = Array.of_list group_list in
+  let built = Array.make (Array.length arr) None in
+  let build i =
+    let profile, members = arr.(i) in
+    Obs.Metrics.inc m_fanout;
+    (* The lazy-view donor [old0] must be the class whose perm change the
+       rebase delta actually covers: for the writer's group that is the
+       writer's OLD class (writer_pdelta spans exactly its re-resolution);
+       any other old class merged into this profile would need its own
+       old->new delta, which we don't have. *)
+    let rep', pdelta, old0 =
+      if String.equal profile writer_profile then
+        (writer, writer_pdelta, writer_cls)
+      else begin
+        let user0, old0 = List.hd members in
+        let rep = Session.impersonate old0.rep ~user:user0 in
+        let rep =
+          Obs.Trace.with_span "session.rebase" (fun () ->
+              Session.apply_delta ~flat rep source delta)
+        in
+        let rep', pdelta =
+          Obs.Trace.with_span "session.rekey" (fun () ->
+              Session.apply_policy ~flat rep policy)
+        in
+        (rep', pdelta, old0)
+      end
+    in
+    let combined = Delta.union delta pdelta in
+    let lazy_delta =
+      if Session.policy_local rep' then combined else Delta.all
+    in
+    Obs.Metrics.inc
+      (match lazy_delta with
+       | Delta.All -> m_rebase_full
+       | Delta.Local _ -> m_rebase_incremental);
+    let lazy_view =
+      if sole_feeder old0 profile then
+        Obs.Trace.with_span "lazy_view.rebase" (fun () ->
+            Lazy_view.rebase ~flat old0.lazy_view source (Session.perm rep')
+              lazy_delta)
+      else
+        Obs.Trace.with_span "lazy_view.rebuild" (fun () ->
+            Lazy_view.of_session ~flat rep')
+    in
+    if Obs.Rulestats.enabled () then
+      Obs.Rulestats.note_class ~profile
+        ~keys:
+          (List.map
+             (fun (r : Rule.t) -> r.Rule.priority)
+             (Policy.rules_for policy ~user:(Session.user rep')));
+    built.(i) <- Some { profile; rep = rep'; lazy_view; members = 0 }
+  in
+  Pool.run t.pool (List.init (Array.length arr) (fun i _slot -> build i));
+  locked t (fun () ->
+      Hashtbl.reset t.classes;
+      Hashtbl.reset t.sessions;
+      Array.iteri
+        (fun i cls ->
+          match cls with
+          | Some cls ->
+            let _, members = arr.(i) in
+            Hashtbl.replace t.classes cls.profile cls;
+            List.iter (fun (user, _) -> register t ~user cls) members
+          | None -> ())
+        built;
+      sync_gauges t);
+  Obs.Metrics.add m_class_splits splits;
+  Obs.Metrics.add m_class_merges merges;
+  Obs.Events.emit ?txn
+    (Obs.Events.Rekey { classes = Array.length arr; splits; merges })
+
+(* Every mutation routes through here: one Txn.commit_ops staging the
+   whole mixed batch on the writer's view, then — only on success —
+   journal append (of the APPLIED ops: replay never re-litigates
+   authority), publication under the lock, and either the per-batch
+   broadcast fan-out (document-only batches) or a class rekey (the batch
+   carried policy ops). *)
+let commit_ops ?(on_denial = `Abort) ?admin t ~user ops =
   let t0 = Obs.Mono.now () in
   Obs.Trace.with_span "serve.commit" @@ fun () ->
   Obs.Trace.annotate "user" user;
   Obs.Trace.annotate "ops" (string_of_int (List.length ops));
-  (* One correlation id covers the whole write: Txn.commit reuses the
-     ambient id, and the journal append / fsync / snapshot events inside
-     Store.append inherit it from the same scope. *)
+  (* One correlation id covers the whole write: Txn.commit_ops reuses
+     the ambient id, and the journal append / fsync / snapshot events
+     inside Store.append inherit it from the same scope. *)
   let txn = Obs.Events.next_txn () in
   Obs.Events.with_txn txn @@ fun () ->
   let e = entry t ~user in
-  match Txn.commit ~on_denial (Session.impersonate e.cls.rep ~user) ops with
+  match
+    Txn.commit_ops ~on_denial ?admin (Session.impersonate e.cls.rep ~user) ops
+  with
   | Error _ as err -> err
-  | Ok { Txn.session = session'; reports; delta } ->
+  | Ok
+      ({ Txn.session = session'; reports; delta; applied; policy_denials; _ }
+       as c) ->
     let source' = Session.source session' in
     (* Durability before visibility: the batch is in the journal before
        any reader can observe it. *)
     (match t.persist with
-     | Some store when reports <> [] ->
+     | Some store when applied <> [] ->
        let mode =
          match on_denial with `Abort -> `Atomic | `Tolerate -> `Tolerant
        in
-       ignore (Store.append store ~user ~mode ~doc:source' ops)
+       ignore
+         (Store.append store ~user ~mode ~doc:source'
+            (List.map Op.to_journal applied))
      | _ -> ());
-    (* The freeze runs outside the lock; the new epoch — map-backed store
-       and columnar snapshot — is published atomically under it. *)
-    let flat' = freeze source' in
+    (* The freeze runs outside the lock; the new epoch — map-backed
+       store, columnar snapshot and (on churn) policy + timestamp clock
+       — is published atomically under it.  A policy-only batch leaves
+       the document untouched and skips the re-freeze. *)
+    let flat' = if source' == t.source then t.flat else freeze source' in
     locked t (fun () ->
         t.source <- source';
         t.flat <- flat';
-        t.writes <- t.writes + List.length reports);
+        t.writes <- t.writes + List.length reports;
+        if c.Txn.policy_changed then begin
+          t.policy <- c.Txn.policy;
+          t.clock <- max t.clock (Policy.next_priority c.Txn.policy)
+        end);
     Obs.Metrics.add m_updates (List.length reports);
-    (* The writer's class is already rebased by the transaction (the
-       staged session shares the class's decision profile); its lazy view
-       and every other class get the merged delta. *)
-    e.cls.rep <- Session.impersonate session' ~user:(Session.user e.cls.rep);
-    let lazy_delta =
-      if Session.policy_local session' then begin
-        Obs.Metrics.inc m_rebase_incremental;
-        delta
-      end
-      else begin
-        Obs.Metrics.inc m_rebase_full;
-        Delta.all
-      end
-    in
-    e.cls.lazy_view <-
-      Obs.Trace.with_span "lazy_view.rebase" (fun () ->
-          Lazy_view.rebase ~flat:flat' e.cls.lazy_view source'
-            (Session.perm session') lazy_delta);
-    (* Fan-out over a lock-free snapshot: classes are disjoint, so
-       workers never contend; pool size 1 reproduces the sequential
-       broadcast exactly. *)
-    let others =
-      locked t (fun () ->
-          Hashtbl.fold
-            (fun _ cls acc -> if cls == e.cls then acc else cls :: acc)
-            t.classes [])
-    in
-    if reports <> [] then
+    if c.Txn.policy_changed then
+      (* The rekey subsumes both the writer-class rebase and the
+         broadcast: every class is regrouped and rebased exactly once
+         against the new (document, policy) epoch. *)
       Obs.Metrics.time h_broadcast (fun () ->
-          Obs.Trace.with_span "serve.broadcast" (fun () ->
-              Obs.Trace.annotate "sessions"
-                (string_of_int (List.length others));
-              Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
-              Obs.Events.emit
-                (Obs.Events.Broadcast { sessions = List.length others });
-              Pool.run t.pool
-                (List.map
-                   (fun cls slot ->
-                     rebase_class ~slot ~txn ~flat:flat' source' delta cls)
-                   others)));
+          rekey t ~txn:(Some txn) ~flat:flat' ~source:source' ~delta
+            ~policy:c.Txn.policy ~writer:session' ~writer_cls:e.cls
+            ~writer_pdelta:c.Txn.policy_delta)
+    else begin
+      (* The writer's class is already rebased by the transaction (the
+         staged session shares the class's decision profile); its lazy
+         view and every other class get the merged delta. *)
+      e.cls.rep <-
+        Session.impersonate session' ~user:(Session.user e.cls.rep);
+      let lazy_delta =
+        if Session.policy_local session' then begin
+          Obs.Metrics.inc m_rebase_incremental;
+          delta
+        end
+        else begin
+          Obs.Metrics.inc m_rebase_full;
+          Delta.all
+        end
+      in
+      e.cls.lazy_view <-
+        Obs.Trace.with_span "lazy_view.rebase" (fun () ->
+            Lazy_view.rebase ~flat:flat' e.cls.lazy_view source'
+              (Session.perm session') lazy_delta);
+      (* Fan-out over a lock-free snapshot: classes are disjoint, so
+         workers never contend; pool size 1 reproduces the sequential
+         broadcast exactly. *)
+      let others =
+        locked t (fun () ->
+            Hashtbl.fold
+              (fun _ cls acc -> if cls == e.cls then acc else cls :: acc)
+              t.classes [])
+      in
+      if reports <> [] then
+        Obs.Metrics.time h_broadcast (fun () ->
+            Obs.Trace.with_span "serve.broadcast" (fun () ->
+                Obs.Trace.annotate "sessions"
+                  (string_of_int (List.length others));
+                Obs.Trace.annotate "pool" (string_of_int (Pool.size t.pool));
+                Obs.Events.emit
+                  (Obs.Events.Broadcast { sessions = List.length others });
+                Pool.run t.pool
+                  (List.map
+                     (fun cls slot ->
+                       rebase_class ~slot ~txn ~flat:flat' source' delta cls)
+                     others)))
+    end;
     Obs.Metrics.observe h_update (Obs.Mono.now () -. t0);
-    Ok { reports; delta }
+    Ok
+      {
+        reports;
+        delta;
+        policy_denials;
+        policy_changed = c.Txn.policy_changed;
+      }
+
+let commit ?on_denial t ~user ops =
+  commit_ops ?on_denial t ~user (Op.docs ops)
 
 (* The historical per-op entry point, now a thin tolerant wrapper: §4.4.2
    semantics (partial per-target denials stay in the report) over a

@@ -68,8 +68,17 @@ val source : t -> Xmldoc.Document.t
 (** The current shared source database. *)
 
 val policy : t -> Policy.t
+(** The current policy — rewritten by every committed batch carrying
+    policy ops. *)
+
 val writes : t -> int
 (** Number of update operations applied since {!create}. *)
+
+val fresh_priority : t -> int
+(** The next administration timestamp (paper §4.3: rule priorities ARE
+    timestamps).  Monotonic and never reused, even across retracts and
+    aborted batches — each call burns the returned value.  Use it to
+    build [Op.Add_rule] payloads for {!commit_ops}. *)
 
 val session : t -> user:string -> Session.t
 (** The user's session — the class representative impersonated to
@@ -93,21 +102,48 @@ val query : t -> user:string -> string -> Ordpath.t list
     @raise Xpath.Eval.Error *)
 
 type committed = {
-  reports : Secure_update.report list;  (** one per op, in order *)
+  reports : Secure_update.report list;
+      (** one per {e document} op, in order *)
   delta : Delta.t;  (** merged — what the single broadcast covered *)
+  policy_denials : Txn.policy_denial list;
+      (** policy ops denied and skipped under [`Tolerate] *)
+  policy_changed : bool;
+      (** the batch applied at least one policy op (the
+          permission-equivalence classes were re-keyed) *)
 }
+
+val commit_ops :
+  ?on_denial:[ `Abort | `Tolerate ] ->
+  ?admin:Admin.t ->
+  t -> user:string -> Op.t list ->
+  (committed, Txn.error) result
+(** The authoritative write path, generalised to mixed batches of
+    document and policy mutations: stages the batch as one
+    {!Txn.commit_ops} on [user]'s session (later ops see earlier ops'
+    effects, including rule changes), journals the {e applied} ops (when
+    [?persist] is attached), then publishes the new epoch.  A
+    document-only batch broadcasts the merged delta once per class; a
+    batch carrying policy ops re-keys the permission-equivalence classes
+    instead — sessions regroup by their new {!Perm.profile}, classes
+    split or merge as rule applicability changes
+    ([serve_class_splits_total] / [serve_class_merges_total]), and each
+    class is rebased exactly once against the new (document, policy)
+    epoch, reusing incremental re-resolution ({!Perm.update_policy}) and
+    migrating lazy views where sound.
+
+    [?admin] activates §4.3 administrative authority checks with [user]
+    as issuer (see {!Txn.commit_ops}).
+
+    On [Error] nothing is observable: no source or policy change, no
+    journal record, no broadcast, no metric beyond [txn_aborts_total].
+    Logs the user in on first use. *)
 
 val commit :
   ?on_denial:[ `Abort | `Tolerate ] ->
   t -> user:string -> Xupdate.Op.t list ->
   (committed, Txn.error) result
-(** The authoritative write path: stages the batch as one {!Txn} on
-    [user]'s session, journals it (when [?persist] is attached), then
-    broadcasts the {e merged} delta once — every other session (and every
-    lazy view) rebases once per batch, not once per op.  On [Error]
-    nothing is observable: no source change, no journal record, no
-    broadcast, no metric beyond [txn_aborts_total].  Logs the user in on
-    first use. *)
+(** [commit t ~user ops] = [commit_ops t ~user (Op.docs ops)] — the
+    historical document-only write path. *)
 
 val update : t -> user:string -> Xupdate.Op.t -> Secure_update.report
 (** Thin wrapper: [commit ~on_denial:`Tolerate] of the single op — the

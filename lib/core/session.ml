@@ -124,6 +124,41 @@ let refresh ?(quiet = false) ?flat t source =
       in
       { t with source; perm; view })
 
+(* Policy churn: the source is unchanged, the rule list is not.  The
+   perm store hands back exactly the delta it re-resolved, so the view
+   is patched over the same range; a session whose applicable rules are
+   untouched pays two list comparisons.  [quiet] serves Txn staging like
+   in {!apply_delta}: an aborted transaction must leave the registry
+   bit-for-bit untouched. *)
+let apply_policy ?(quiet = false) ?flat t policy =
+  if t.policy == policy then (t, Delta.empty)
+  else begin
+    let count c = if not quiet then Obs.Metrics.inc c in
+    let perm, delta =
+      Obs.Trace.with_span "perm.update_policy" (fun () ->
+          Perm.update_policy ?flat t.perm ~old_policy:t.policy policy t.source)
+    in
+    let local = Delta.local_rules (Policy.rules_for policy ~user:t.user) in
+    match delta with
+    | Delta.Local [] ->
+      count m_delta_noop;
+      ({ t with policy; perm; local }, delta)
+    | Delta.All ->
+      count m_refresh_full;
+      let view =
+        Obs.Trace.with_span "view.derive" (fun () ->
+            View.derive ?flat t.source perm)
+      in
+      ({ t with policy; perm; view; local }, delta)
+    | Delta.Local _ ->
+      count m_patch_incremental;
+      let view =
+        Obs.Trace.with_span "view.patch" (fun () ->
+            View.patch t.source ~view:t.view perm delta)
+      in
+      ({ t with policy; perm; view; local }, delta)
+  end
+
 let apply_delta ?(quiet = false) ?flat t source delta =
   let count c = if not quiet then Obs.Metrics.inc c in
   (match delta with

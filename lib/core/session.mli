@@ -59,6 +59,17 @@ val apply_delta :
     (see {!policy_local}) silently widen the delta and pay the full
     {!refresh}. *)
 
+val apply_policy :
+  ?quiet:bool -> ?flat:Xmldoc.Flat.t -> t -> Policy.t -> t * Delta.t
+(** [apply_policy t policy] rebases the session onto a changed policy
+    over the {e unchanged} source: permissions via
+    {!Perm.update_policy}, the view patched over exactly the returned
+    delta (re-derived in full only when a non-downward rule forces it).
+    The returned delta is what a lazy view must invalidate.  A session
+    whose applicable rules are untouched by the change costs two rule
+    list comparisons and no view work.  [?flat], when given, must be the
+    frozen snapshot of the session's current source. *)
+
 val policy_local : t -> bool
 (** Are all the rules applicable to this session downward paths
     ({!Delta.local_rules}), i.e. does {!apply_delta} actually work

@@ -54,6 +54,25 @@ let add_isa t ~sub ~super =
   in
   { t with supers = StrMap.add sub (StrSet.add super edges) t.supers }
 
+let remove_isa t ~sub ~super =
+  if not (mem t sub) then raise (Unknown_subject sub);
+  if not (mem t super) then raise (Unknown_subject super);
+  match StrMap.find_opt sub t.supers with
+  | Some edges when StrSet.mem super edges ->
+    let edges = StrSet.remove super edges in
+    {
+      t with
+      supers =
+        (if StrSet.is_empty edges then StrMap.remove sub t.supers
+         else StrMap.add sub edges t.supers);
+    }
+  | _ -> t
+
+let has_isa_edge t ~sub ~super =
+  match StrMap.find_opt sub t.supers with
+  | Some edges -> StrSet.mem super edges
+  | None -> false
+
 let subjects t = List.map fst (StrMap.bindings t.kinds)
 
 let users t =

@@ -25,6 +25,15 @@ val add_isa : t -> sub:string -> super:string -> t
 (** @raise Unknown_subject if either end is undeclared.
     @raise Cycle if the edge would create an [isa] cycle. *)
 
+val remove_isa : t -> sub:string -> super:string -> t
+(** Removes the direct [sub isa super] edge; removing an absent edge is
+    the identity (mirroring {!Policy.revoke} on an unknown timestamp) —
+    callers that must distinguish check {!has_isa_edge} first.
+    @raise Unknown_subject if either end is undeclared. *)
+
+val has_isa_edge : t -> sub:string -> super:string -> bool
+(** Is there a {e direct} [isa] edge (not the transitive closure)? *)
+
 val mem : t -> string -> bool
 val kind : t -> string -> kind option
 val subjects : t -> string list

@@ -1,16 +1,26 @@
-(* The transactional write engine: a batch of XUpdate operations staged
-   op-by-op on the submitting user's view (each op sees the effects of
-   the previous one, exactly as a sequential Secure_update.apply would),
-   validated end-to-end, and committed atomically.  All staging happens
-   on persistent values, so rollback is free: abort simply drops the
+(* The transactional write engine: a batch of operations — document
+   mutations (XUpdate) and policy mutations (Core.Op) in one commit
+   order — staged op-by-op on the submitting user's session (each op
+   sees the effects of the previous one: a document op staged after a
+   rule change selects and checks against the new policy), validated
+   end-to-end, and committed atomically.  All staging happens on
+   persistent values, so rollback is free: abort simply drops the
    staged session, and because staging is registry-silent
-   (Secure_update.stage + quiet rebases), the only observable trace of
-   an aborted batch is the txn_aborts_total counter. *)
+   (Secure_update.stage + quiet rebases + quiet policy rebases), the
+   only observable trace of an aborted batch is the txn_aborts_total
+   counter. *)
+
+type policy_denial = { index : int; op : Op.policy_op; reason : string }
 
 type committed = {
   session : Session.t;
   reports : Secure_update.report list;
+  policy_denials : policy_denial list;
+  applied : Op.t list;
   delta : Delta.t;
+  policy_delta : Delta.t;
+  policy : Policy.t;
+  policy_changed : bool;
 }
 
 type error =
@@ -19,6 +29,7 @@ type error =
       op : Xupdate.Op.t;
       denials : Secure_update.denial list;
     }
+  | Policy_denied of { index : int; op : Op.policy_op; reason : string }
   | Invalid of {
       reports : Secure_update.report list;
       violations : string list;
@@ -38,6 +49,10 @@ let m_aborts =
 let m_txn_ops =
   Obs.Metrics.counter Obs.Metrics.default "txn_ops_total"
     ~help:"XUpdate operations inside committed transactions"
+
+let m_policy_denials =
+  Obs.Metrics.counter Obs.Metrics.default "txn_policy_denials_total"
+    ~help:"Policy operations denied inside transactions (aborting or tolerated)"
 
 let h_commit =
   Obs.Metrics.histogram Obs.Metrics.default "txn_commit_seconds"
@@ -61,6 +76,12 @@ let f_ops_by_kind =
     ~labels:[ "kind" ]
     ~help:"Committed XUpdate operations by operation kind"
 
+let f_policy_ops =
+  Obs.Metrics.family Obs.Metrics.default "policy_ops_total"
+    ~labels:[ "kind" ]
+    ~help:"Committed policy operations by kind \
+           (add_rule/retract_rule/add_isa/remove_isa)"
+
 let merged_delta reports =
   List.fold_left
     (fun acc (r : Secure_update.report) -> Delta.union acc r.delta)
@@ -71,6 +92,9 @@ let pp_error fmt = function
     Format.fprintf fmt
       "op %d (%s) denied on %d node(s); transaction rolled back" index
       (Xupdate.Op.name op) (List.length denials)
+  | Policy_denied { index; op; reason } ->
+    Format.fprintf fmt "op %d (%s) denied, transaction rolled back: %s" index
+      (Op.policy_kind op) reason
   | Invalid { violations; _ } ->
     Format.fprintf fmt "validation failed, transaction rolled back: %s"
       (String.concat "; " violations)
@@ -80,8 +104,71 @@ let pp_error fmt = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
-let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
-    ops =
+(* Authority over policy administration (see Admin): when the caller
+   threads an administration state, every staged policy op is checked
+   against it — the owner may do anything, a delegate may issue rules
+   within its delegated (privilege, node set) authority and retract its
+   own rules, and nobody else may touch the subject hierarchy.  Without
+   [?admin] the transaction trusts its caller (the historical behaviour,
+   and what recovery replay uses: journaled batches hold only ops that
+   passed the live check). *)
+let check_authority admin doc ~issuer pop =
+  match admin with
+  | None -> None
+  | Some adm ->
+    if String.equal issuer (Admin.owner adm) then None
+    else (
+      match (pop : Op.policy_op) with
+      | Op.Add_rule r ->
+        let nodes =
+          Xpath.Eval.select
+            (Xpath.Eval.env ~vars:[ ("USER", Xpath.Value.Str issuer) ] doc)
+            r.Rule.path
+        in
+        if Admin.authority adm doc ~issuer r.Rule.privilege nodes then None
+        else
+          Some
+            (Printf.sprintf "%s has no authority to issue %s rules here"
+               issuer
+               (Privilege.to_string r.Rule.privilege))
+      | Op.Retract_rule { priority } -> (
+        match Admin.issuer_of adm ~priority with
+        | Some orig when String.equal orig issuer -> None
+        | _ ->
+          Some (Printf.sprintf "%s may not retract rule %d" issuer priority))
+      | Op.Add_isa _ | Op.Remove_isa _ ->
+        Some
+          (Printf.sprintf "%s may not administer the subject hierarchy" issuer))
+
+(* One policy op against the session's current policy.  Failures come
+   back as denial reasons, not exceptions: under `Tolerate they are
+   recorded and skipped, under `Abort they roll the batch back. *)
+let apply_policy_op policy pop =
+  match (pop : Op.policy_op) with
+  | Op.Add_rule r -> (
+    match Policy.add_rule policy r with
+    | p -> Ok p
+    | exception Subject.Unknown_subject s ->
+      Error (Printf.sprintf "unknown subject %s" s)
+    | exception Invalid_argument m -> Error m)
+  | Op.Retract_rule { priority } -> (
+    match Policy.rule_with_priority policy ~priority with
+    | Some _ -> Ok (Policy.revoke policy ~priority)
+    | None -> Error (Printf.sprintf "no rule with timestamp %d" priority))
+  | Op.Add_isa { sub; super } -> (
+    match Policy.add_isa policy ~sub ~super with
+    | p -> Ok p
+    | exception Subject.Unknown_subject s ->
+      Error (Printf.sprintf "unknown subject %s" s)
+    | exception Subject.Cycle _ ->
+      Error (Printf.sprintf "isa edge %s -> %s would create a cycle" sub super))
+  | Op.Remove_isa { sub; super } ->
+    if Subject.has_isa_edge (Policy.subjects policy) ~sub ~super then
+      Ok (Policy.remove_isa policy ~sub ~super)
+    else Error (Printf.sprintf "no isa edge %s -> %s" sub super)
+
+let commit_ops ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check)
+    ?admin session ops =
   Obs.Trace.with_span "txn.commit" @@ fun () ->
   Obs.Trace.annotate "user" (Session.user session);
   Obs.Trace.annotate "ops" (string_of_int (List.length ops));
@@ -99,6 +186,7 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
     (Obs.Events.Txn_begin
        { user = Session.user session; ops = List.length ops });
   let t0 = Obs.Mono.now () in
+  let issuer = Session.user session in
   let defer = Queue.create () in
   let abort err =
     Obs.Trace.annotate "outcome" "aborted";
@@ -107,9 +195,14 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
     Obs.Events.emit (Obs.Events.Abort { reason = error_to_string err });
     Error err
   in
-  let rec stage_all i session reports = function
-    | [] -> Ok (session, List.rev reports)
-    | op :: rest -> (
+  (* Staging accumulator: reports, applied ops and policy denials are
+     rev-lists in op order; [pdelta] unions the spans the writer's own
+     decisions were re-resolved over (what its lazy view must widen to,
+     on top of the document delta). *)
+  let rec stage_all i session reports applied denials pdelta = function
+    | [] ->
+      Ok (session, List.rev reports, List.rev applied, List.rev denials, pdelta)
+    | Op.Doc op :: rest -> (
       match Secure_update.stage ~defer session op with
       | exception exn -> Error (Failed { index = i; op; exn })
       | session', report ->
@@ -126,11 +219,42 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
           Error
             (Denied { index = i; op; denials = report.Secure_update.denied })
         end
-        else stage_all (i + 1) session' (report :: reports) rest)
+        else
+          stage_all (i + 1) session' (report :: reports)
+            (Op.Doc op :: applied) denials pdelta rest)
+    | Op.Policy pop :: rest -> (
+      let deny reason =
+        Obs.Events.emit
+          (Obs.Events.Policy_denial
+             { index = i; op = Op.policy_kind pop; reason });
+        if on_denial = `Abort then
+          Error (Policy_denied { index = i; op = pop; reason })
+        else begin
+          Obs.Metrics.inc m_policy_denials;
+          stage_all (i + 1) session reports applied
+            ({ index = i; op = pop; reason } :: denials)
+            pdelta rest
+        end
+      in
+      match check_authority admin (Session.source session) ~issuer pop with
+      | Some reason -> deny reason
+      | None -> (
+        match apply_policy_op (Session.policy session) pop with
+        | Error reason -> deny reason
+        | Ok policy' ->
+          let session', d =
+            Obs.Trace.with_span "txn.stage_policy" (fun () ->
+                Session.apply_policy ~quiet:true session policy')
+          in
+          Obs.Events.emit
+            (Obs.Events.Policy_stage { index = i; op = Op.policy_kind pop });
+          stage_all (i + 1) session' reports
+            (Op.Policy pop :: applied)
+            denials (Delta.union pdelta d) rest))
   in
-  match stage_all 0 session [] ops with
+  match stage_all 0 session [] [] [] Delta.empty ops with
   | Error err -> abort err
-  | Ok (session', reports) -> (
+  | Ok (session', reports, applied, policy_denials, policy_delta) -> (
     match
       Obs.Trace.with_span "txn.validate" (fun () ->
           validate (Session.source session'))
@@ -145,6 +269,11 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
       (* Commit point: the staged observations become real. *)
       Queue.iter (fun event -> event ()) defer;
       Secure_update.record_committed reports;
+      let policy_ops =
+        List.filter_map
+          (function Op.Policy p -> Some p | Op.Doc _ -> None)
+          applied
+      in
       Obs.Metrics.inc m_commits;
       Obs.Metrics.add m_txn_ops (List.length reports);
       let denied =
@@ -152,6 +281,7 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
           (fun acc (r : Secure_update.report) ->
             acc + List.length r.denied)
           0 reports
+        + List.length policy_denials
       in
       Obs.Metrics.inc (if denied > 0 then cell_tolerated else cell_commit);
       List.iter
@@ -160,11 +290,36 @@ let commit ?(on_denial = `Abort) ?(validate = Xmldoc.Invariants.check) session
             (Obs.Metrics.labels f_ops_by_kind
                [ Xupdate.Op.name r.Secure_update.op ]))
         reports;
+      List.iter
+        (fun pop ->
+          Obs.Metrics.inc
+            (Obs.Metrics.labels f_policy_ops [ Op.policy_kind pop ]);
+          (* A retracted rule must leave the coverage registry — see
+             Obs.Rulestats.retire. *)
+          match pop with
+          | Op.Retract_rule { priority } ->
+            if Obs.Rulestats.enabled () then Obs.Rulestats.retire ~key:priority
+          | _ -> ())
+        policy_ops;
       Obs.Metrics.observe h_commit (Obs.Mono.now () -. t0);
       Obs.Events.emit
-        (Obs.Events.Commit { ops = List.length reports; denied });
+        (Obs.Events.Commit { ops = List.length applied; denied });
       Obs.Trace.annotate "outcome" "committed";
-      Ok { session = session'; reports; delta = merged_delta reports })
+      let policy = Session.policy session' in
+      Ok
+        {
+          session = session';
+          reports;
+          policy_denials;
+          applied;
+          delta = merged_delta reports;
+          policy_delta;
+          policy;
+          policy_changed = policy_ops <> [];
+        })
+
+let commit ?on_denial ?validate session ops =
+  commit_ops ?on_denial ?validate session (Op.docs ops)
 
 let commit_exn ?on_denial ?validate session ops =
   match commit ?on_denial ?validate session ops with
@@ -172,16 +327,22 @@ let commit_exn ?on_denial ?validate session ops =
   | Error err -> raise (Aborted err)
 
 (* Crash recovery: Store.recover parameterised with the secure replay.
-   A journal record holds the submitting user and the ops as submitted;
-   re-running them through the same commit path over the same policy is
-   deterministic — ordpath allocation depends only on the document, and
-   target selection only on the user's view — so the recovered store is
-   Document.equal to the pre-crash state at the last commit boundary.
-   Sessions are cached across records and rebased with each commit's
-   merged delta, mirroring what Serve does live. *)
+   A journal record holds the submitting user and the ops as committed
+   (document ops as submitted, policy ops as applied); re-running them
+   through the same commit path over the same evolving policy is
+   deterministic — ordpath allocation depends only on the document,
+   target selection only on the user's view, and policy resolution only
+   on the recorded timestamps — so the recovered store AND the recovered
+   policy equal the pre-crash state at the last commit boundary.
+   Sessions are cached across records, rebased with each commit's
+   document delta and re-keyed onto each commit's policy, mirroring what
+   Serve does live.  No [?admin] is threaded: the live commit already
+   enforced authority, and journaled batches hold only ops that passed
+   it. *)
 
 type recovered = {
   doc : Xmldoc.Document.t;
+  policy : Policy.t;
   seq : int;
   snapshot_seq : int;
   replayed : int;
@@ -191,16 +352,18 @@ type recovered = {
 let recover policy dir =
   Obs.Trace.with_span "txn.recover" @@ fun () ->
   let sessions : (string, Session.t) Hashtbl.t = Hashtbl.create 8 in
-  let replay doc ~user ~mode ops =
+  let current = ref policy in
+  let replay doc ~user ~mode jops =
+    let ops = List.map Op.of_journal jops in
     let session =
       match Hashtbl.find_opt sessions user with
       | Some s -> s
-      | None -> Session.login policy doc ~user
+      | None -> Session.login !current doc ~user
     in
     let on_denial =
       match mode with `Atomic -> `Abort | `Tolerant -> `Tolerate
     in
-    match commit ~on_denial session ops with
+    match commit_ops ~on_denial session ops with
     | Error err ->
       raise
         (Store.Error
@@ -208,6 +371,7 @@ let recover policy dir =
               (error_to_string err)))
     | Ok c ->
       let doc' = Session.source c.session in
+      current := c.policy;
       let others =
         Hashtbl.fold
           (fun u s acc -> if String.equal u user then acc else (u, s) :: acc)
@@ -216,13 +380,19 @@ let recover policy dir =
       Hashtbl.replace sessions user c.session;
       List.iter
         (fun (u, s) ->
-          Hashtbl.replace sessions u (Session.apply_delta s doc' c.delta))
+          let s = Session.apply_delta s doc' c.delta in
+          let s =
+            if c.policy_changed then fst (Session.apply_policy s c.policy)
+            else s
+          in
+          Hashtbl.replace sessions u s)
         others;
       doc'
   in
   let r = Store.recover ~replay dir in
   {
     doc = r.Store.doc;
+    policy = !current;
     seq = r.Store.seq;
     snapshot_seq = r.Store.snapshot_seq;
     replayed = r.Store.replayed;

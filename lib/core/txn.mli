@@ -2,27 +2,51 @@
 
     The paper formalises each XUpdate operation as a single derivation
     step (axioms 18–25); an [<xupdate:modifications>] document is a
-    {e sequence} of such steps.  A transaction stages the sequence
-    op-by-op on the submitting user's view — each op selecting its
-    targets on the view produced by the previous one, exactly as
-    sequential {!Secure_update.apply} would — then validates the final
-    document end-to-end and commits atomically.
+    {e sequence} of such steps.  A transaction stages a sequence of
+    {!Core.Op.t} — document mutations and policy mutations in one commit
+    order — op-by-op on the submitting user's session: each op sees the
+    effects of the previous one, so a document op staged after an
+    [Add_rule] selects and checks against the {e new} policy, exactly as
+    the paper's administration timestamps imply.  The staged document is
+    then validated end-to-end and the batch commits atomically.
 
     Rollback is observationally complete: staging happens on persistent
     values with the registry silenced ({!Secure_update.stage},
-    [Session.apply_delta ~quiet:true]), so an aborted batch leaves the
-    source, every session, the audit ring and all metrics bit-for-bit
-    untouched except for one [txn_aborts_total] increment.  Audit events
-    of the staged privilege checks are queued and run only at the commit
-    point (their decision and deciding-rule strings are captured at
-    check time). *)
+    [Session.apply_delta ~quiet:true], [Session.apply_policy
+    ~quiet:true]), so an aborted batch leaves the source, the policy,
+    every session, the audit ring and all metrics bit-for-bit untouched
+    except for one [txn_aborts_total] increment.  Audit events of the
+    staged privilege checks are queued and run only at the commit point
+    (their decision and deciding-rule strings are captured at check
+    time). *)
+
+type policy_denial = { index : int; op : Op.policy_op; reason : string }
+(** A tolerated policy-op denial: position in the batch, the op, and a
+    human-readable reason (no authority, unknown subject, duplicate or
+    missing timestamp, cycle, missing isa edge). *)
 
 type committed = {
   session : Session.t;  (** the rebased writer session *)
-  reports : Secure_update.report list;  (** one per op, in order *)
+  reports : Secure_update.report list;
+      (** one per {e document} op, in order *)
+  policy_denials : policy_denial list;
+      (** policy ops denied and skipped under [`Tolerate] *)
+  applied : Op.t list;
+      (** the effective batch in commit order: document ops that staged
+          plus policy ops that applied (denied-and-skipped ops are
+          absent) — this is what {!Serve} journals, so recovery replay
+          never re-litigates authority *)
   delta : Delta.t;
-      (** union of the per-op deltas — what one broadcast must cover
-          (see {!Serve}) *)
+      (** union of the per-op {e document} deltas — what one broadcast
+          must cover (see {!Serve}) *)
+  policy_delta : Delta.t;
+      (** union of the spans over which the writer's own decisions were
+          re-resolved by staged policy ops ({!Perm.update_policy});
+          [Delta.all] when any policy op forced a full recompute *)
+  policy : Policy.t;  (** the policy after the batch *)
+  policy_changed : bool;
+      (** at least one policy op applied — {!Serve} re-keys
+          permission-equivalence classes iff this is set *)
 }
 
 type error =
@@ -30,7 +54,11 @@ type error =
       index : int;
       op : Xupdate.Op.t;
       denials : Secure_update.denial list;
-    }  (** an op hit a privilege denial under [`Abort] *)
+    }  (** a document op hit a privilege denial under [`Abort] *)
+  | Policy_denied of { index : int; op : Op.policy_op; reason : string }
+      (** a policy op was denied under [`Abort]: no administrative
+          authority, unknown subject, duplicate or missing timestamp,
+          isa cycle, or missing isa edge *)
   | Invalid of {
       reports : Secure_update.report list;
       violations : string list;
@@ -38,26 +66,46 @@ type error =
       (** end-to-end validation rejected the staged document; the staged
           reports are returned for diagnosis (nothing was applied) *)
   | Failed of { index : int; op : Xupdate.Op.t; exn : exn }
-      (** an op raised (e.g. {!Xpath.Eval.Error}) *)
+      (** a document op raised (e.g. {!Xpath.Eval.Error}) *)
 
 exception Aborted of error
+
+val commit_ops :
+  ?on_denial:[ `Abort | `Tolerate ] ->
+  ?validate:(Xmldoc.Document.t -> string list) ->
+  ?admin:Admin.t ->
+  Session.t -> Op.t list ->
+  (committed, error) result
+(** [commit_ops session ops] stages, validates and commits a mixed
+    batch of document and policy operations.
+
+    [on_denial] (default [`Abort]) selects between strict atomicity and
+    the paper's §4.4.2 semantics: [`Tolerate] lets a document op succeed
+    on some targets and be denied on others (the denials stay in its
+    report) and lets a denied policy op be skipped (recorded in
+    [policy_denials]) while the rest of the batch proceeds.
+
+    [admin] activates administrative authority checks (§4.3 via
+    {!Admin}) with the session user as issuer: the owner may do
+    anything; a delegate may issue rules within its delegated
+    (privilege, node set) authority — the rule path is evaluated against
+    the staged source with [$USER] bound to the issuer — and retract its
+    own rules; only the owner may touch the subject hierarchy.  Without
+    [admin] the transaction trusts its caller (recovery replay does,
+    because journaled batches hold only ops that already passed the
+    live check).
+
+    [validate] (default {!Xmldoc.Invariants.check}) runs on the staged
+    final document; any returned violation aborts.  {!Validated} passes
+    schema validation here. *)
 
 val commit :
   ?on_denial:[ `Abort | `Tolerate ] ->
   ?validate:(Xmldoc.Document.t -> string list) ->
   Session.t -> Xupdate.Op.t list ->
   (committed, error) result
-(** [commit session ops] stages, validates and commits the batch.
-
-    [on_denial] (default [`Abort]) selects between strict atomicity and
-    the paper's §4.4.2 semantics: [`Tolerate] lets an op succeed on some
-    targets and be denied on others (the denials stay in its report) —
-    that mode is what the thin per-op wrappers ({!Serve.update}, the CLI
-    [update] command) use to preserve the historical behaviour.
-
-    [validate] (default {!Xmldoc.Invariants.check}) runs on the staged
-    final document; any returned violation aborts.  {!Validated} passes
-    schema validation here. *)
+(** [commit session ops] = [commit_ops session (Op.docs ops)] — the
+    historical document-only entry point. *)
 
 val commit_exn :
   ?on_denial:[ `Abort | `Tolerate ] ->
@@ -72,6 +120,9 @@ val pp_error : Format.formatter -> error -> unit
 
 type recovered = {
   doc : Xmldoc.Document.t;  (** the state at the last commit boundary *)
+  policy : Policy.t;
+      (** the seed policy with every journaled policy op replayed in
+          commit order *)
   seq : int;  (** sequence number of the last replayed transaction *)
   snapshot_seq : int;  (** the snapshot recovery started from *)
   replayed : int;  (** journal records replayed on top of it *)
@@ -81,8 +132,12 @@ type recovered = {
 val recover : Policy.t -> string -> recovered
 (** [recover policy dir] = {!Store.recover} with the secure replay:
     latest valid snapshot + deterministic re-execution of the journal
-    tail through {!commit} (per-record mode preserved, sessions cached
-    and rebased across records).  Replay needs no renumbering because
-    ordpath identifiers are persistent — the snapshot serialisation keeps
-    them and insertion re-derives the same fresh labels.
+    tail through {!commit_ops} (per-record mode preserved, sessions
+    cached, rebased across records and re-keyed onto each record's
+    resulting policy).  [policy] seeds the replay; the returned
+    [recovered.policy] reflects all journaled policy ops.  Replay needs
+    no renumbering because ordpath identifiers are persistent — the
+    snapshot serialisation keeps them and insertion re-derives the same
+    fresh labels — and needs no authority state because journaled
+    batches hold only ops that passed the live check.
     @raise Store.Error on a corrupt store or a replay divergence. *)

@@ -19,6 +19,9 @@ type kind =
   | Broadcast of { sessions : int }
   | Rebase of { user : string; mode : string }
   | Replay of { seq : int }
+  | Policy_stage of { index : int; op : string }
+  | Policy_denial of { index : int; op : string; reason : string }
+  | Rekey of { classes : int; splits : int; merges : int }
   | Custom of { name : string; detail : string }
 
 type event = { id : int; txn : int; time : float; mono : float; kind : kind }
@@ -118,6 +121,9 @@ let kind_name = function
   | Broadcast _ -> "broadcast"
   | Rebase _ -> "rebase"
   | Replay _ -> "replay"
+  | Policy_stage _ -> "policy_stage"
+  | Policy_denial _ -> "policy_denial"
+  | Rekey _ -> "rekey"
   | Custom { name; _ } -> name
 
 let kind_fields = function
@@ -142,6 +148,16 @@ let kind_fields = function
   | Rebase { user; mode } ->
     [ ("user", Metrics.json_string user); ("mode", Metrics.json_string mode) ]
   | Replay { seq } -> [ ("seq", string_of_int seq) ]
+  | Policy_stage { index; op } ->
+    [ ("index", string_of_int index); ("op", Metrics.json_string op) ]
+  | Policy_denial { index; op; reason } ->
+    [ ("index", string_of_int index);
+      ("op", Metrics.json_string op);
+      ("reason", Metrics.json_string reason) ]
+  | Rekey { classes; splits; merges } ->
+    [ ("classes", string_of_int classes);
+      ("splits", string_of_int splits);
+      ("merges", string_of_int merges) ]
   | Custom { detail; _ } -> [ ("detail", Metrics.json_string detail) ]
 
 let event_to_json e =

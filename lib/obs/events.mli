@@ -29,6 +29,14 @@ type kind =
   | Broadcast of { sessions : int }
   | Rebase of { user : string; mode : string }
   | Replay of { seq : int }
+  | Policy_stage of { index : int; op : string }
+      (** a policy op staged inside a transaction ([op] is the
+          {!Core.Op.policy_kind} label) *)
+  | Policy_denial of { index : int; op : string; reason : string }
+      (** a policy op denied (aborting or tolerated, per the
+          transaction mode) *)
+  | Rekey of { classes : int; splits : int; merges : int }
+      (** permission-equivalence classes re-keyed after policy churn *)
   | Custom of { name : string; detail : string }
 
 type event = {

@@ -70,6 +70,24 @@ let note_member ~profile =
   | Some c -> Atomic.incr c.members
   | None -> ()
 
+(* A retracted rule must stop being reported: its counters would
+   otherwise read as "shadowed forever" (zero further decisions) even
+   though the rule no longer exists.  Classes keyed on the old profile
+   drop the timestamp too; the re-keyed classes register fresh. *)
+let retire ~key =
+  locked (fun () ->
+      Hashtbl.remove rules key;
+      let updated =
+        Hashtbl.fold
+          (fun profile c acc ->
+            if List.mem key c.keys then
+              (profile, { c with keys = List.filter (fun k -> k <> key) c.keys })
+              :: acc
+            else acc)
+          classes []
+      in
+      List.iter (fun (profile, c) -> Hashtbl.replace classes profile c) updated)
+
 type report = {
   r_key : int;
   r_privilege : string;

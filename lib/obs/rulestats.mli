@@ -41,6 +41,12 @@ val note_class : profile:string -> keys:int list -> unit
 val note_member : profile:string -> unit
 (** One more session joined the class (no-op for unknown profiles). *)
 
+val retire : key:int -> unit
+(** The rule issued at this timestamp was retracted: forget its
+    counters (it must not be reported as shadowed forever) and drop the
+    timestamp from every class's rule list.  Unknown keys are a no-op;
+    re-registering the key later starts from zero. *)
+
 (** {1 Reporting} *)
 
 type report = {

@@ -4,7 +4,19 @@
    envelope (seq, user, mode) wrapping the canonical compact XUpdate-XML
    of the batch.  A scan stops at the first frame that is short, fails
    its checksum or does not parse — everything before it is the valid
-   prefix, everything after is a torn tail the writer did not complete. *)
+   prefix, everything after is a torn tail the writer did not complete.
+
+   Two payload versions share the envelope.  Version 1 (no [ver]
+   attribute) carries a document-only batch as one
+   <xupdate:modifications> child — the historical format, still written
+   whenever a batch holds no policy op, so old journals and old readers
+   keep working both ways.  Version 2 ([ver="2"]) interleaves runs of
+   XUpdate instructions with policy-administration elements
+   (<policy:add-rule/>, <policy:retract/>, <policy:add-isa/>,
+   <policy:remove-isa/>) in commit order.  The store stays
+   policy-agnostic: policy ops are carried as their wire fields (strings
+   and ints), validated for well-formedness at decode time; Core.Op
+   converts them to and from typed rules. *)
 
 exception Error of string
 
@@ -12,12 +24,31 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
 type mode = [ `Atomic | `Tolerant ]
 
+type policy_op =
+  | Padd of {
+      decision : [ `Accept | `Deny ];
+      privilege : string;
+      path : string;
+      subject : string;
+      priority : int;
+    }
+  | Pretract of { priority : int }
+  | Pisa of { sub : string; super : string }
+  | Premove_isa of { sub : string; super : string }
+
+type op = Doc of Xupdate.Op.t | Policy of policy_op
+
 type record = {
   seq : int;
   user : string;
   mode : mode;
-  ops : Xupdate.Op.t list;
+  ops : op list;
 }
+
+let docs ops = List.map (fun o -> Doc o) ops
+
+let doc_ops ops =
+  List.filter_map (function Doc o -> Some o | Policy _ -> None) ops
 
 let header_line = "xmlsecu-journal 1\n"
 let magic = "TXN!"
@@ -50,10 +81,103 @@ let mode_of_string = function
   | "tolerant" -> `Tolerant
   | s -> fail "unknown transaction mode %S" s
 
+(* Wire vocabulary of the policy elements.  The privilege names are a
+   fixed wire-format constant (they mirror Core.Privilege, which the
+   store deliberately does not depend on); an unknown name ends the
+   valid prefix exactly like malformed XUpdate would. *)
+let known_privileges = [ "position"; "read"; "insert"; "update"; "delete" ]
+
+let decision_to_string = function `Accept -> "accept" | `Deny -> "deny"
+
+let decision_of_string = function
+  | "accept" -> `Accept
+  | "deny" -> `Deny
+  | s -> fail "unknown rule decision %S" s
+
+let policy_op_to_tree = function
+  | Padd { decision; privilege; path; subject; priority } ->
+    Xmldoc.Tree.Element
+      ( "policy:add-rule",
+        [
+          Xmldoc.Tree.Attr ("decision", decision_to_string decision);
+          Xmldoc.Tree.Attr ("privilege", privilege);
+          Xmldoc.Tree.Attr ("path", path);
+          Xmldoc.Tree.Attr ("subject", subject);
+          Xmldoc.Tree.Attr ("priority", string_of_int priority);
+        ] )
+  | Pretract { priority } ->
+    Xmldoc.Tree.Element
+      ("policy:retract", [ Xmldoc.Tree.Attr ("priority", string_of_int priority) ])
+  | Pisa { sub; super } ->
+    Xmldoc.Tree.Element
+      ( "policy:add-isa",
+        [ Xmldoc.Tree.Attr ("sub", sub); Xmldoc.Tree.Attr ("super", super) ] )
+  | Premove_isa { sub; super } ->
+    Xmldoc.Tree.Element
+      ( "policy:remove-isa",
+        [ Xmldoc.Tree.Attr ("sub", sub); Xmldoc.Tree.Attr ("super", super) ] )
+
+let policy_op_of_element name attrs =
+  let attr n =
+    match
+      List.find_map
+        (function
+          | Xmldoc.Tree.Attr (k, v) when String.equal k n -> Some v
+          | _ -> None)
+        attrs
+    with
+    | Some v -> v
+    | None -> fail "%s element missing %s attribute" name n
+  in
+  let priority () =
+    match int_of_string_opt (attr "priority") with
+    | Some n when n > 0 -> n
+    | _ -> fail "bad %s priority %S" name (attr "priority")
+  in
+  match name with
+  | "policy:add-rule" ->
+    let privilege = attr "privilege" in
+    if not (List.mem privilege known_privileges) then
+      fail "unknown privilege %S in journal record" privilege;
+    let path = attr "path" in
+    (try ignore (Xpath.Parser.parse_path path)
+     with Xpath.Parser.Error _ ->
+       fail "unparseable rule path in journal record");
+    Padd
+      {
+        decision = decision_of_string (attr "decision");
+        privilege;
+        path;
+        subject = attr "subject";
+        priority = priority ();
+      }
+  | "policy:retract" -> Pretract { priority = priority () }
+  | "policy:add-isa" -> Pisa { sub = attr "sub"; super = attr "super" }
+  | "policy:remove-isa" -> Premove_isa { sub = attr "sub"; super = attr "super" }
+  | _ -> fail "unknown policy element %s in journal record" name
+
 (* The ops are printed compactly (no indentation whitespace) and reparsed
    with whitespace kept, so even whitespace-only text content round-trips
-   exactly. *)
+   exactly.  Maximal runs of document ops share one
+   <xupdate:modifications> element; a version-2 payload is emitted only
+   when the batch holds at least one policy op, so document-only batches
+   stay byte-identical to the historical format. *)
+let op_kids ops =
+  let flush run acc =
+    match run with
+    | [] -> acc
+    | run -> Xupdate.Xupdate_xml.to_tree (List.rev run) :: acc
+  in
+  let rec go run acc = function
+    | [] -> List.rev (flush run acc)
+    | Doc o :: rest -> go (o :: run) acc rest
+    | Policy p :: rest -> go [] (policy_op_to_tree p :: flush run acc) rest
+  in
+  go [] [] ops
+
 let payload r =
+  let mixed = List.exists (function Policy _ -> true | Doc _ -> false) r.ops in
+  let version = if mixed then [ Xmldoc.Tree.Attr ("ver", "2") ] else [] in
   Xmldoc.Xml_print.fragment_to_string ~indent:false
     (Xmldoc.Tree.Element
        ( "txn",
@@ -61,8 +185,9 @@ let payload r =
            Xmldoc.Tree.Attr ("seq", string_of_int r.seq);
            Xmldoc.Tree.Attr ("user", r.user);
            Xmldoc.Tree.Attr ("mode", mode_to_string r.mode);
-           Xupdate.Xupdate_xml.to_tree r.ops;
-         ] ))
+         ]
+         @ version
+         @ op_kids r.ops ))
 
 let record_of_payload s =
   let tree =
@@ -71,14 +196,15 @@ let record_of_payload s =
   in
   match tree with
   | Xmldoc.Tree.Element ("txn", kids) -> (
+    let attr_opt name =
+      List.find_map
+        (function
+          | Xmldoc.Tree.Attr (n, v) when String.equal n name -> Some v
+          | _ -> None)
+        kids
+    in
     let attr name =
-      match
-        List.find_map
-          (function
-            | Xmldoc.Tree.Attr (n, v) when String.equal n name -> Some v
-            | _ -> None)
-          kids
-      with
+      match attr_opt name with
       | Some v -> v
       | None -> fail "journal record missing %s attribute" name
     in
@@ -87,22 +213,41 @@ let record_of_payload s =
       | Some n when n > 0 -> n
       | _ -> fail "bad journal record seq %S" (attr "seq")
     in
-    let mods =
-      match
-        List.find_opt
-          (function
-            | Xmldoc.Tree.Element ("xupdate:modifications", _) -> true
-            | _ -> false)
-          kids
-      with
-      | Some t -> t
-      | None -> fail "journal record missing xupdate:modifications"
+    let xupdate_ops t =
+      match Xupdate.Xupdate_xml.ops_of_tree t with
+      | ops -> ops
+      | exception (Xupdate.Xupdate_xml.Error _ | Xpath.Parser.Error _) ->
+        fail "journal record holds malformed XUpdate"
     in
-    match Xupdate.Xupdate_xml.ops_of_tree mods with
-    | ops ->
-      { seq; user = attr "user"; mode = mode_of_string (attr "mode"); ops }
-    | exception (Xupdate.Xupdate_xml.Error _ | Xpath.Parser.Error _) ->
-      fail "journal record holds malformed XUpdate")
+    let ops =
+      match attr_opt "ver" with
+      | None ->
+        (* Version 1: exactly one <xupdate:modifications> child. *)
+        let mods =
+          match
+            List.find_opt
+              (function
+                | Xmldoc.Tree.Element ("xupdate:modifications", _) -> true
+                | _ -> false)
+              kids
+          with
+          | Some t -> t
+          | None -> fail "journal record missing xupdate:modifications"
+        in
+        docs (xupdate_ops mods)
+      | Some "2" ->
+        List.concat_map
+          (function
+            | Xmldoc.Tree.Element ("xupdate:modifications", _) as t ->
+              docs (xupdate_ops t)
+            | Xmldoc.Tree.Element (name, attrs) ->
+              [ Policy (policy_op_of_element name attrs) ]
+            | Xmldoc.Tree.Attr _ -> []
+            | _ -> fail "unexpected content in version-2 journal record")
+          kids
+      | Some v -> fail "unsupported journal record version %S" v
+    in
+    { seq; user = attr "user"; mode = mode_of_string (attr "mode"); ops })
   | _ -> fail "journal record is not a <txn> element"
 
 (* Generic framing, shared with the audit journal ({!Audit_log}): any

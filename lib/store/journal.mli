@@ -7,6 +7,16 @@
     ({!Xupdate.Xupdate_xml.to_tree}), so a journal is inspectable with
     any XML tooling yet byte-exact under reparse.
 
+    Payload versions: a batch holding only document ops is written in
+    the historical version-1 shape (one [<xupdate:modifications>]
+    child, no version attribute) — old journals parse unchanged and
+    old readers keep reading new document-only journals.  A batch with
+    at least one policy op is tagged [ver="2"] and interleaves runs of
+    XUpdate instructions with policy-administration elements in commit
+    order.  The store stays policy-agnostic: a {!policy_op} carries the
+    wire fields (decision, privilege name, path text, subject,
+    timestamp); [Core.Op] converts to and from typed rules.
+
     A {!scan} accepts the longest valid prefix: the first short,
     checksum-failing or unparseable frame ends it, and everything after
     that offset is a torn tail — exactly what a crash mid-append
@@ -19,11 +29,31 @@ type mode = [ `Atomic | `Tolerant ]
     denial semantics — replay must preserve it (a tolerated record may
     legitimately contain denials). *)
 
+type policy_op =
+  | Padd of {
+      decision : [ `Accept | `Deny ];
+      privilege : string;  (** one of the five privilege names *)
+      path : string;  (** XPath concrete syntax; validated at decode *)
+      subject : string;
+      priority : int;  (** the rule's issue timestamp *)
+    }
+  | Pretract of { priority : int }
+  | Pisa of { sub : string; super : string }
+  | Premove_isa of { sub : string; super : string }
+
+type op = Doc of Xupdate.Op.t | Policy of policy_op
+
+val docs : Xupdate.Op.t list -> op list
+(** Wraps a document-only batch. *)
+
+val doc_ops : op list -> Xupdate.Op.t list
+(** The document ops of a batch, in order (policy ops dropped). *)
+
 type record = {
   seq : int;  (** 1-based, contiguous *)
   user : string;
   mode : mode;
-  ops : Xupdate.Op.t list;
+  ops : op list;
 }
 
 val header_line : string

@@ -52,8 +52,9 @@ val init : t -> Xmldoc.Document.t -> unit
 
 val append :
   t -> user:string -> mode:Journal.mode -> doc:Xmldoc.Document.t ->
-  Xupdate.Op.t list -> int
-(** Journals one committed transaction and returns its sequence number.
+  Journal.op list -> int
+(** Journals one committed transaction (document and/or policy ops, in
+    commit order — see {!Journal.op}) and returns its sequence number.
     [doc] is the post-commit document, used only when [snapshot_every]
     triggers an automatic snapshot.
     @raise Error on I/O failure or an uninitialised store. *)
@@ -74,7 +75,7 @@ type recovery = {
 val recover :
   replay:
     (Xmldoc.Document.t -> user:string -> mode:Journal.mode ->
-     Xupdate.Op.t list -> Xmldoc.Document.t) ->
+     Journal.op list -> Xmldoc.Document.t) ->
   string -> recovery
 (** Read-only recovery: loads the newest loadable snapshot and folds
     [replay] over the journal records past it.  The torn tail (if any)

@@ -21,6 +21,10 @@ type random_config = {
   seed : int;
 }
 
+val path_pool : string list
+(** The default rule-path pool of {!random} — {!Gen_doc}-schema paths,
+    downward and predicate-bearing alike. *)
+
 val random : ?paths:string list -> random_config -> Core.Policy.t
 (** Roles [r1 <- r2 <- u(user)]; rules target the {!Gen_doc} schema's
     element names unless a custom [paths] pool is supplied. *)

@@ -335,6 +335,7 @@ let fold_view ?stats t doc ~view ~init ~f =
 
 (* Mutable integer-indexed frame stack shared by the flat folds. *)
 type flat_stack = {
+  mutable ixs : int array;  (* flat index of the frame's node *)
   mutable ends : int array;  (* subtree_end of the frame's node *)
   mutable sets : int array;  (* interned state-set id *)
   mutable clss : cls array;
@@ -342,20 +343,22 @@ type flat_stack = {
 }
 
 let flat_stack () =
-  { ends = Array.make 64 0; sets = Array.make 64 0;
+  { ixs = Array.make 64 0; ends = Array.make 64 0; sets = Array.make 64 0;
     clss = Array.make 64 C_tree; depth = 0 }
 
-let flat_push st e set cls =
+let flat_push st ix e set cls =
   if st.depth = Array.length st.ends then begin
     let grow a fill =
       let a' = Array.make (2 * Array.length a) fill in
       Array.blit a 0 a' 0 (Array.length a);
       a'
     in
+    st.ixs <- grow st.ixs 0;
     st.ends <- grow st.ends 0;
     st.sets <- grow st.sets 0;
     st.clss <- grow st.clss C_tree
   end;
+  st.ixs.(st.depth) <- ix;
   st.ends.(st.depth) <- e;
   st.sets.(st.depth) <- set;
   st.clss.(st.depth) <- cls;
@@ -375,7 +378,7 @@ let flat_visit run stk fl ix (n : Xmldoc.Node.t) acc ~f =
       (transition run ~parent_id:stk.sets.(stk.depth - 1) cls n, cls)
     end
   in
-  flat_push stk (Xmldoc.Flat.subtree_end fl ix) set_id cls;
+  flat_push stk ix (Xmldoc.Flat.subtree_end fl ix) set_id cls;
   match run.payload_arr.(set_id) with
   | [] -> acc
   | payloads -> f acc n payloads
@@ -440,6 +443,36 @@ let fold_subtree_flat t fl ~root ~init ~f =
       acc := flat_visit run stk fl i (Xmldoc.Flat.node fl i) !acc ~f
     done;
     !acc
+
+let fold_subtrees_flat t fl ~roots ~init ~f =
+  let run = new_run t in
+  let stk = flat_stack () in
+  List.fold_left
+    (fun acc r ->
+      (* Frames from earlier roots whose spans have closed pop off; what
+         survives is exactly the already-threaded ancestor prefix of
+         [r], so only the chain below the deepest live frame needs
+         re-threading. *)
+      flat_pop_to stk r;
+      let known = if stk.depth = 0 then -1 else stk.ixs.(stk.depth - 1) in
+      let rec chain acc p =
+        if p < 0 || p = known then acc
+        else chain (p :: acc) (Xmldoc.Flat.parent_ix fl p)
+      in
+      List.iter
+        (fun a ->
+          ignore
+            (flat_visit run stk fl a (Xmldoc.Flat.node fl a) ()
+               ~f:(fun acc _ _ -> acc)))
+        (chain [] (Xmldoc.Flat.parent_ix fl r));
+      let stop = Xmldoc.Flat.subtree_end fl r in
+      let acc = ref acc in
+      for i = r to stop - 1 do
+        flat_pop_to stk i;
+        acc := flat_visit run stk fl i (Xmldoc.Flat.node fl i) !acc ~f
+      done;
+      !acc)
+    init roots
 
 let fold_subtree t doc ~root ~init ~f =
   if not (Xmldoc.Document.mem doc root) then init

@@ -99,3 +99,14 @@ val fold_subtree_flat :
   'a t -> Xmldoc.Flat.t -> root:Ordpath.t -> init:'b ->
   f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
 (** {!fold_subtree} over a flat snapshot. *)
+
+val fold_subtrees_flat :
+  'a t -> Xmldoc.Flat.t -> roots:int list -> init:'b ->
+  f:('b -> Xmldoc.Node.t -> 'a list -> 'b) -> 'b
+(** Several disjoint subtrees in one shared run: [roots] are the
+    subtrees' flat indices, ascending, no root inside another's span.
+    The determinised-set memo, the interning tables and the ancestor
+    stack persist across roots — re-threading rewinds only from the
+    deepest frame still covering the next root — so a thousand small
+    subtrees cost one traversal's setup, not a thousand.  Equivalent to
+    folding {!fold_subtree_flat} over the roots in order. *)

@@ -150,15 +150,34 @@ let sample_records =
   [
     {
       Store.Journal.seq = 1; user = "laporte"; mode = `Atomic;
-      ops = [ Op.update "/patients/franck/diagnosis" "cured" ];
+      ops = Store.Journal.docs [ Op.update "/patients/franck/diagnosis" "cured" ];
     };
     {
       Store.Journal.seq = 2; user = "beaufort"; mode = `Tolerant;
       ops =
+        Store.Journal.docs
+          [
+            Op.rename "/patients/robert" "r2";
+            Op.append "/patients" (Tree.element "zoe" [ Tree.text "new" ]);
+            Op.remove "//note";
+          ];
+    };
+    (* a mixed v2 record: policy ops interleaved with document runs *)
+    {
+      Store.Journal.seq = 3; user = "laporte"; mode = `Atomic;
+      ops =
         [
-          Op.rename "/patients/robert" "r2";
-          Op.append "/patients" (Tree.element "zoe" [ Tree.text "new" ]);
-          Op.remove "//note";
+          Store.Journal.Policy
+            (Store.Journal.Padd
+               { decision = `Accept; privilege = "read";
+                 path = "//patients"; subject = "nurse"; priority = 7 });
+          Store.Journal.Doc (Op.update "/patients/franck/diagnosis" "flu");
+          Store.Journal.Doc (Op.remove "//note");
+          Store.Journal.Policy (Store.Journal.Pretract { priority = 7 });
+          Store.Journal.Policy
+            (Store.Journal.Pisa { sub = "nurse"; super = "staff" });
+          Store.Journal.Policy
+            (Store.Journal.Premove_isa { sub = "nurse"; super = "staff" });
         ];
     };
   ]
@@ -167,10 +186,29 @@ let journal_bytes records =
   Store.Journal.header_line
   ^ String.concat "" (List.map Store.Journal.encode records)
 
+(* Journal ops compared shape-by-shape: document runs through the
+   XUpdate serialisation (op values hold parsed paths, whose printed
+   form is the identity that matters), policy ops structurally (pure
+   string/int records). *)
+let check_ops label (a : Store.Journal.op list) (b : Store.Journal.op list) =
+  Alcotest.(check int) (label ^ " count") (List.length a) (List.length b);
+  List.iter2
+    (fun x y ->
+      match (x, y) with
+      | Store.Journal.Doc ox, Store.Journal.Doc oy ->
+        Alcotest.(check string)
+          (label ^ " doc op")
+          (Xupdate.Xupdate_xml.to_string [ ox ])
+          (Xupdate.Xupdate_xml.to_string [ oy ])
+      | Store.Journal.Policy px, Store.Journal.Policy py ->
+        Alcotest.(check bool) (label ^ " policy op") true (px = py)
+      | _ -> Alcotest.failf "%s: op kind mismatch" label)
+    a b
+
 let test_journal_roundtrip () =
   let scan = Store.Journal.scan_string (journal_bytes sample_records) in
   Alcotest.(check int) "no torn tail" 0 scan.Store.Journal.torn_bytes;
-  Alcotest.(check int) "both records" 2
+  Alcotest.(check int) "all records" 3
     (List.length scan.Store.Journal.records);
   List.iter2
     (fun (a : Store.Journal.record) (b : Store.Journal.record) ->
@@ -179,22 +217,24 @@ let test_journal_roundtrip () =
       Alcotest.(check string) "mode"
         (Store.Journal.mode_to_string a.mode)
         (Store.Journal.mode_to_string b.mode);
-      Alcotest.(check string) "ops"
-        (Xupdate.Xupdate_xml.to_string a.ops)
-        (Xupdate.Xupdate_xml.to_string b.ops))
+      check_ops "ops" a.ops b.ops)
     sample_records scan.Store.Journal.records
 
 let test_journal_torn_tail () =
   let bytes = journal_bytes sample_records in
-  let boundary =
-    String.length Store.Journal.header_line
-    + String.length (Store.Journal.encode (List.hd sample_records))
+  let boundaries =
+    let acc = ref (String.length Store.Journal.header_line) in
+    List.map
+      (fun r ->
+        acc := !acc + String.length (Store.Journal.encode r);
+        !acc)
+      sample_records
   in
   (* Every truncation point: the scan keeps exactly the records whose
      frames lie entirely within the prefix. *)
   for p = String.length Store.Journal.header_line to String.length bytes do
     let scan = Store.Journal.scan_string (String.sub bytes 0 p) in
-    let expect = if p = String.length bytes then 2 else if p >= boundary then 1 else 0 in
+    let expect = List.length (List.filter (fun b -> b <= p) boundaries) in
     Alcotest.(check int)
       (Printf.sprintf "records at prefix %d" p)
       expect

@@ -125,7 +125,7 @@ let test_equivalence () =
       fail
         (Printf.sprintf "tolerant commit aborted: %s"
            (Core.Txn.error_to_string err))
-    | Ok { Core.Txn.session = s_txn; reports = reports_txn; delta } ->
+    | Ok { Core.Txn.session = s_txn; reports = reports_txn; delta; _ } ->
       if not (D.equal (Core.Session.source s_txn) (Core.Session.source s_seq))
       then fail "transactional source <> sequential source";
       if not (D.equal (Core.Session.view s_txn) (Core.Session.view s_seq)) then
