@@ -2034,40 +2034,193 @@ let e26 () =
       ("mixed storm recovery", t_recover, "s") ]
 
 (* ---------------------------------------------------------------------- *)
+(* E27: security analytics — timeseries + anomaly detectors overhead       *)
+(* ---------------------------------------------------------------------- *)
+
+(* Prices the PR-10 security-analytics stack on the same authoritative
+   replay as E24: per round, the 12x4-op commit storm plus 16 served
+   queries.  The "on" arm runs everything [xmlsecu --monitor-port
+   --audit-dir] now switches on for analytics: the audit ring draining
+   into the durable journal, transaction events, the windowed
+   time-series ring (commit/abort/audit counters + query/update latency
+   sketches) and all four anomaly detectors tapped onto the audit and
+   event streams.  Same estimator as E24 — mirrored off,on,on,off
+   rounds, cumulative process CPU, median per-round relative delta. *)
+let e27 () =
+  section "E27: security analytics (timeseries + anomaly detectors) overhead";
+  let doc, policy, users = staff_workload 8 in
+  let writer = List.hd users in
+  let readers = [ List.hd users; List.nth users 1 ] in
+  let batches =
+    List.init 12 (fun i ->
+        List.init 4 (fun j ->
+            let k = (i * 4) + j + 1 in
+            Xupdate.Op.update
+              (Printf.sprintf "/patients/*[%d]/service" k)
+              (Printf.sprintf "svc%d" k)))
+  in
+  let commit serve ops =
+    match Core.Serve.commit serve ~user:writer ops with
+    | Ok _ -> ()
+    | Error e -> failwith (Core.Txn.error_to_string e)
+  in
+  let queries = [ "//service"; "//*[name() = 'diagnosis']" ] in
+  let replay h =
+    let dir = mk_temp_dir () in
+    Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+    let store = Store.open_dir ~fsync:false dir in
+    Store.init store doc;
+    Fun.protect ~finally:(fun () -> Store.close store) @@ fun () ->
+    let serve = Core.Serve.create ~persist:store policy doc in
+    Core.Serve.login_many serve users;
+    Gc.full_major ();
+    let s0 = Obs.Metrics.sum h in
+    let c0 = Unix.times () in
+    Obs.Metrics.time h (fun () ->
+        List.iter
+          (fun ops ->
+            commit serve ops;
+            List.iter
+              (fun user ->
+                List.iter
+                  (fun q -> ignore (Core.Serve.query serve ~user q))
+                  queries)
+              readers)
+          batches);
+    let c1 = Unix.times () in
+    ( Obs.Metrics.sum h -. s0,
+      c1.Unix.tms_utime -. c0.Unix.tms_utime
+      +. c1.Unix.tms_stime -. c0.Unix.tms_stime )
+  in
+  let h_off =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e27_analytics_off_seconds"
+      ~help:"E27 journaled replay + read mix, security analytics disabled"
+  in
+  let h_on =
+    Obs.Metrics.histogram Obs.Metrics.default "bench_e27_analytics_on_seconds"
+      ~help:"E27 journaled replay + read mix, security analytics enabled"
+  in
+  let audit_dir = mk_temp_dir () in
+  let log = Store.Audit_log.open_dir ~fsync:false audit_dir in
+  let observe () =
+    (* a fresh engine per "on" replay so detector state never carries
+       between rounds *)
+    let engine = Obs.Anomaly.create () in
+    Obs.Audit.set_enabled true;
+    Obs.Audit.set_sink Obs.Audit.default (Some (Store.Audit_log.sink log));
+    Obs.Events.set_enabled true;
+    Obs.Timeseries.set_enabled true;
+    Obs.Anomaly.install ~t:engine ()
+  in
+  let unobserve () =
+    Obs.Anomaly.uninstall ();
+    Obs.Timeseries.set_enabled false;
+    Obs.Timeseries.clear Obs.Timeseries.default;
+    Obs.Events.set_enabled false;
+    Obs.Events.clear ();
+    Obs.Audit.set_sink Obs.Audit.default None;
+    Obs.Audit.set_enabled false;
+    Obs.Audit.clear Obs.Audit.default
+  in
+  let off = ref Float.infinity and on = ref Float.infinity in
+  let cpu_off = ref 0. and cpu_on = ref 0. in
+  let deltas = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      unobserve ();
+      Store.Audit_log.close log;
+      rm_rf audit_dir)
+    (fun () ->
+      ignore (replay h_off) (* warm-up *);
+      for _ = 1 to 12 do
+        let timed_on () =
+          observe ();
+          let r = replay h_on in
+          unobserve ();
+          r
+        in
+        let woff1, coff1 = replay h_off in
+        let won1, con1 = timed_on () in
+        let won2, con2 = timed_on () in
+        let woff2, coff2 = replay h_off in
+        off := Float.min !off (Float.min woff1 woff2);
+        on := Float.min !on (Float.min won1 won2);
+        cpu_off := !cpu_off +. coff1 +. coff2;
+        cpu_on := !cpu_on +. con1 +. con2;
+        deltas := ((con1 +. con2 -. coff1 -. coff2) /. (coff1 +. coff2)) :: !deltas
+      done);
+  let off = !off and on = !on in
+  let deltas = List.sort compare !deltas in
+  let overhead =
+    let n = List.length deltas in
+    (List.nth deltas ((n - 1) / 2) +. List.nth deltas (n / 2)) /. 2.
+  in
+  Printf.printf
+    "  12 batches x 4 updates + 16 queries, 8 sessions: off %.2f ms, on %.2f ms (best wall)\n"
+    (1000. *. off) (1000. *. on);
+  Printf.printf
+    "  cpu %.3f s off vs %.3f s on over 24 replays each: median round delta %+.1f%%\n"
+    !cpu_off !cpu_on (100. *. overhead);
+  check "E27"
+    "timeseries + anomaly detectors + audit journal cost <= 5% on the journaled replay"
+    (overhead <= 0.05);
+  emit_json "E27"
+    ~params:
+      "E21 workload + 16 queries/round, 12 mirrored-pair rounds, median per-round CPU delta gate, audit+events+timeseries+detectors on vs off"
+    [ ("analytics off replay", off, "s");
+      ("analytics on replay", on, "s");
+      ("analytics overhead", 100. *. overhead, "%") ]
+
+(* ---------------------------------------------------------------------- *)
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  (* --only E24: run a single experiment (case-insensitive id), for
+     characterising a flaky gate without paying for the whole suite *)
+  let only =
+    let found = ref None in
+    Array.iteri
+      (fun i a ->
+        if a = "--only" && i + 1 < Array.length Sys.argv then
+          found := Some (String.uppercase_ascii Sys.argv.(i + 1)))
+      Sys.argv;
+    !found
+  in
+  let run id f =
+    match only with Some o when o <> id -> () | _ -> f ()
+  in
   print_endline "Reproduction harness for 'A Formal Access Control Model for";
   print_endline "XML Databases' (Gabillon, VLDB SDM 2005). See DESIGN.md /";
   print_endline "EXPERIMENTS.md for the experiment index.";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e10 ();
-  e11 ();
-  e17 ();
-  e18 ();
-  e19 ();
-  e20 ();
-  e21 ();
-  e22 ();
-  e23 ();
-  e24 ();
-  e25 ();
-  e26 ();
+  run "E1" e1;
+  run "E2" e2;
+  run "E3" e3;
+  run "E4" e4;
+  run "E5" e5;
+  run "E6" e6;
+  run "E10" e10;
+  run "E11" e11;
+  run "E17" e17;
+  run "E18" e18;
+  run "E19" e19;
+  run "E20" e20;
+  run "E21" e21;
+  run "E22" e22;
+  run "E23" e23;
+  run "E24" e24;
+  run "E25" e25;
+  run "E26" e26;
+  run "E27" e27;
   if not quick then begin
-    e7 ();
-    e8 ();
-    e9 ();
-    e10_timing ();
-    e12 ();
-    e13 ();
-    e14 ();
-    e15 ();
-    e16 ()
+    run "E7" e7;
+    run "E8" e8;
+    run "E9" e9;
+    run "E10T" e10_timing;
+    run "E12" e12;
+    run "E13" e13;
+    run "E14" e14;
+    run "E15" e15;
+    run "E16" e16
   end;
   Printf.printf "\n%s\n"
     (if !failures = 0 then "ALL REPRODUCTION CHECKS PASSED"

@@ -279,16 +279,23 @@ let with_monitor ?store ?pool monitor_port f =
   | Some port ->
     (* A live scrape without the event log, rule telemetry and plan log
        is half blind; monitoring opt-in turns them on (counters and
-       gauges are always on). *)
+       gauges are always on), plus the windowed time-series and the
+       anomaly detectors behind /timeseriez and /alertz. *)
     Obs.Events.set_enabled true;
     Obs.Rulestats.set_enabled true;
     Obs.Planlog.set_enabled true;
+    Obs.Timeseries.set_enabled true;
+    Obs.Anomaly.install ();
     let m =
       Monitor.start ~port ~probes:(fun () -> monitor_probes ~store ~pool ()) ()
     in
     Printf.eprintf "xmlsecu: monitoring on http://127.0.0.1:%d\n%!"
       (Monitor.port m);
-    Fun.protect ~finally:(fun () -> Monitor.stop m) f
+    Fun.protect
+      ~finally:(fun () ->
+        Monitor.stop m;
+        Obs.Anomaly.uninstall ())
+      f
 
 (* --- durable audit journal ------------------------------------------------ *)
 
@@ -1043,6 +1050,8 @@ let monitor_cmd =
             Obs.Events.set_enabled true;
             Obs.Rulestats.set_enabled true;
             Obs.Planlog.set_enabled true;
+            Obs.Timeseries.set_enabled true;
+            Obs.Anomaly.install ();
             with_audit_journal ~fsync ~max_bytes:audit_max_bytes audit_dir
             @@ fun () ->
             Core.Serve.login serve ~user;
@@ -1054,7 +1063,7 @@ let monitor_cmd =
                 ()
             in
             Printf.printf
-              "xmlsecu: serving http://127.0.0.1:%d{/metrics,/healthz,/tracez,/auditz,/eventz,/rulez,/slowz,/explainz}\n%!"
+              "xmlsecu: serving http://127.0.0.1:%d{/metrics,/healthz,/tracez,/auditz,/eventz,/rulez,/slowz,/explainz,/alertz,/timeseriez}\n%!"
               (Monitor.port m);
             Fun.protect
               ~finally:(fun () -> Monitor.stop m)
@@ -1070,7 +1079,8 @@ let monitor_cmd =
     (Cmd.info "monitor"
        ~doc:"Run a logged-in server and serve the live monitoring surface \
              (/metrics, /healthz, /tracez, /auditz, /eventz, /rulez, \
-             /slowz, /explainz) over HTTP until killed.")
+             /slowz, /explainz, /alertz, /timeseriez) over HTTP until \
+             killed.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ port_arg $ duration_arg
       $ pool_arg $ logins_arg $ persist_arg $ snapshot_every_arg $ fsync_flag
@@ -1199,6 +1209,129 @@ let audit_cmd =
              and print every access decision with its deciding rule.")
     Term.(
       const run $ doc_arg $ policy_arg $ user_arg $ script_arg $ capacity_arg
+      $ json_flag)
+
+(* --- alerts / analyze ------------------------------------------------------ *)
+
+(* The detector knobs shared by the live (alerts) and offline (analyze)
+   halves — same config record, same engine, same report. *)
+let window_arg =
+  Arg.(
+    value
+    & opt float Obs.Anomaly.default_config.Obs.Anomaly.window
+    & info [ "window" ] ~docv:"SECONDS"
+        ~doc:"Logical detector window: events are bucketed by \
+              floor(mono / window), so the alert timeline is a pure \
+              function of the event stamps.")
+
+let probe_targets_arg =
+  Arg.(
+    value
+    & opt int Obs.Anomaly.default_config.Obs.Anomaly.probe_targets
+    & info [ "probe-targets" ] ~docv:"N"
+        ~doc:"Distinct denied targets under one ordpath prefix, within \
+              one window, before the subtree-probing alert fires.")
+
+let probe_depth_arg =
+  Arg.(
+    value
+    & opt int Obs.Anomaly.default_config.Obs.Anomaly.probe_depth
+    & info [ "probe-depth" ] ~docv:"N"
+        ~doc:"Ordpath components forming the probed-subtree prefix.")
+
+let anomaly_config window probe_targets probe_depth =
+  {
+    Obs.Anomaly.default_config with
+    Obs.Anomaly.window;
+    probe_targets;
+    probe_depth;
+  }
+
+let print_anomaly engine json =
+  Obs.Anomaly.finalize engine;
+  if json then print_endline (Obs.Anomaly.to_json engine)
+  else print_string (Obs.Anomaly.summary engine)
+
+let alerts_cmd =
+  let script_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Replay this repl script (see xmlsecu repl) with the \
+                detectors live; without it only the login is analysed.")
+  in
+  let run doc policy user script window probe_targets probe_depth json
+      audit_dir audit_max_bytes =
+    handle_errors (fun () ->
+        let doc = load_doc doc in
+        let policy = Core.Policy_lang.parse (read_file policy) in
+        let engine =
+          Obs.Anomaly.create
+            ~config:(anomaly_config window probe_targets probe_depth)
+            ()
+        in
+        Obs.Audit.set_enabled true;
+        Obs.Events.set_enabled true;
+        Obs.Anomaly.install ~t:engine ();
+        Fun.protect
+          ~finally:(fun () -> Obs.Anomaly.uninstall ())
+          (fun () ->
+            with_audit_journal ~max_bytes:audit_max_bytes audit_dir
+            @@ fun () ->
+            let session = Core.Session.login policy doc ~user in
+            match script with
+            | None -> ()
+            | Some path ->
+              let ic = open_in path in
+              let session = Repl.run session ic ~prompt:false in
+              close_in ic;
+              ignore session);
+        Obs.Audit.set_enabled false;
+        Obs.Events.set_enabled false;
+        print_anomaly engine json;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "alerts"
+       ~doc:"Replay a scripted session with the security-anomaly \
+             detectors live (denial spikes, subtree probing, dormant \
+             rules, abort storms) and print the alert timeline and \
+             per-user/per-subtree report.  With --audit-dir the same \
+             events also land in a durable journal, so xmlsecu analyze \
+             reproduces the identical timeline offline.")
+    Term.(
+      const run $ doc_arg $ policy_arg $ user_arg $ script_arg $ window_arg
+      $ probe_targets_arg $ probe_depth_arg $ json_flag $ audit_dir_arg
+      $ audit_max_bytes_arg)
+
+let analyze_cmd =
+  let dir_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Audit journal directory (see --audit-dir).")
+  in
+  let run dir window probe_targets probe_depth json =
+    handle_errors (fun () ->
+        let scan = Store.Audit_log.scan dir in
+        let engine =
+          Obs.Anomaly.replay
+            ~config:(anomaly_config window probe_targets probe_depth)
+            scan.Store.Audit_log.events
+        in
+        print_anomaly engine json;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Replay rotated audit-journal segments through the same \
+             anomaly detectors the live monitor runs: deterministic \
+             windows from the recorded monotonic stamps, so the offline \
+             alert timeline matches what /alertz showed live.")
+    Term.(
+      const run $ dir_pos $ window_arg $ probe_targets_arg $ probe_depth_arg
       $ json_flag)
 
 (* --- coverage ------------------------------------------------------------- *)
@@ -1365,9 +1498,74 @@ let audit_read_cmd =
       & info [] ~docv:"DIR"
           ~doc:"Audit journal directory (see --audit-dir).")
   in
-  let run dir json =
+  let user_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "user" ] ~docv:"NAME" ~doc:"Only events for this user.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since" ] ~docv:"EPOCH"
+          ~doc:"Only events recorded at or after this wall-clock time \
+                (seconds since the epoch, as the time field prints).")
+  in
+  let until_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"EPOCH"
+          ~doc:"Only events recorded at or before this wall-clock time.")
+  in
+  let target_prefix_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target-prefix" ] ~docv:"PREFIX"
+          ~doc:"Only events whose target sits under this prefix.  A \
+                dotted-integer prefix matches on ordpath component \
+                boundaries (1.3 matches 1.3 and 1.3.5, not 1.30); \
+                anything else is a plain string prefix.")
+  in
+  (* Ordpath prefixes respect component boundaries so 1.3 cannot match
+     1.30; non-ordpath prefixes (XPath targets, query strings) fall back
+     to plain string-prefix matching. *)
+  let target_matches ~prefix target =
+    let is_ordpath s =
+      s <> ""
+      && List.for_all
+           (fun c ->
+             c <> ""
+             && String.for_all
+                  (fun ch -> (ch >= '0' && ch <= '9') || ch = '-')
+                  c)
+           (String.split_on_char '.' s)
+    in
+    if is_ordpath prefix then
+      String.equal target prefix
+      || String.starts_with ~prefix:(prefix ^ ".") target
+    else String.starts_with ~prefix target
+  in
+  let run dir user since until target_prefix json =
     handle_errors (fun () ->
         let scan = Store.Audit_log.scan dir in
+        let keep (e : Obs.Audit.event) =
+          (match user with None -> true | Some u -> String.equal e.user u)
+          && (match since with None -> true | Some s -> e.time >= s)
+          && (match until with None -> true | Some s -> e.time <= s)
+          && (match target_prefix with
+              | None -> true
+              | Some p -> target_matches ~prefix:p e.target)
+        in
+        let scan =
+          {
+            scan with
+            Store.Audit_log.events =
+              List.filter keep scan.Store.Audit_log.events;
+          }
+        in
         if json then begin
           Printf.printf "{\"events\":[%s],\"files\":[%s],\"valid_bytes\":%d,\"torn_bytes\":%d}\n"
             (String.concat ","
@@ -1393,8 +1591,11 @@ let audit_read_cmd =
     (Cmd.info "audit-read"
        ~doc:"Read a durable audit journal back: the longest valid prefix of \
              every segment (a torn final record after a crash is dropped), \
-             oldest first.")
-    Term.(const run $ dir_pos $ json_flag)
+             oldest first, optionally filtered by user, time range and \
+             target prefix.")
+    Term.(
+      const run $ dir_pos $ user_filter $ since_arg $ until_arg
+      $ target_prefix_arg $ json_flag)
 
 (* --- repl ---------------------------------------------------------------- *)
 
@@ -1456,7 +1657,7 @@ let main =
       view_cmd; query_cmd; update_cmd; policy_cmd; explain_cmd; check_cmd;
       compare_cmd; stylesheet_cmd; validate_cmd; lint_cmd; repl_cmd; demo_cmd;
       stats_cmd; audit_cmd; snapshot_cmd; recover_cmd; monitor_cmd; trace_cmd;
-      coverage_cmd; slow_cmd; audit_read_cmd;
+      coverage_cmd; slow_cmd; audit_read_cmd; alerts_cmd; analyze_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -385,6 +385,8 @@ let query t ~user q =
   in
   let seconds = Obs.Mono.now () -. t0 in
   Obs.Metrics.observe h_query seconds;
+  if Obs.Timeseries.enabled () then
+    Obs.Timeseries.observe Obs.Timeseries.default "query_seconds" seconds;
   let answers = lazy (List.length ids) in
   (match stats with
   | Some s ->
@@ -697,7 +699,10 @@ let commit_ops ?(on_denial = `Abort) ?admin t ~user ops =
                        rebase_class ~slot ~txn ~flat:flat' source' delta cls)
                      others)))
     end;
-    Obs.Metrics.observe h_update (Obs.Mono.now () -. t0);
+    let seconds = Obs.Mono.now () -. t0 in
+    Obs.Metrics.observe h_update seconds;
+    if Obs.Timeseries.enabled () then
+      Obs.Timeseries.observe Obs.Timeseries.default "update_seconds" seconds;
     Ok
       {
         reports;

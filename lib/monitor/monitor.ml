@@ -121,6 +121,9 @@ let handle ~probes ~meth ~target =
         json_response 200 (Obs.Trace.to_chrome_json ())
       else json_response 200 (Obs.Trace.roots_to_json ())
     | "/auditz" -> json_response 200 (Obs.Audit.to_json Obs.Audit.default)
+    | "/alertz" -> json_response 200 (Obs.Anomaly.to_json Obs.Anomaly.default)
+    | "/timeseriez" ->
+      json_response 200 (Obs.Timeseries.to_json Obs.Timeseries.default)
     | "/rulez" -> json_response 200 (Obs.Rulestats.to_json ())
     | "/slowz" -> json_response 200 (Obs.Planlog.slow_json ())
     | "/explainz" -> json_response 200 (Obs.Planlog.recent_json ())

@@ -11,6 +11,12 @@
     - [GET /tracez] — completed span trees as JSON
       ([?chrome=1] for Chrome trace-event format);
     - [GET /auditz] — the audit ring as JSON;
+    - [GET /alertz] — the security-anomaly engine ([Obs.Anomaly]):
+      alert states, the firing/resolved timeline and the cumulative
+      per-user / per-subtree denial report;
+    - [GET /timeseriez] — the windowed time-series ring
+      ([Obs.Timeseries]): per-window counters and latency quantile
+      sketches;
     - [GET /eventz] — the transaction event log as JSON;
       [?txn=<id>] filters to one correlation id;
     - [GET /rulez] — per-rule decision telemetry ([Obs.Rulestats]):

@@ -1,0 +1,137 @@
+(** Streaming security-anomaly detection and alerting over the audit
+    stream.
+
+    Four detectors run over one windowed state machine fed by
+    {!Audit.event}s (and transaction {!Events.event}s for aborts):
+
+    - [denial_spike] — a user's denials in a closed window beat both an
+      absolute floor and a multiple of that user's own trailing-window
+      baseline;
+    - [subtree_probe] — one user accumulates many {e distinct} denied
+      ordpath targets under one ordpath prefix within a window: the
+      signature of a principal walking a hidden subtree (the paper's
+      covert-channel concern for denied operations);
+    - [dormant_rule] — a rule decides for the first time in N windows;
+    - [abort_storm] — transaction aborts in a window cross a floor.
+
+    {b Determinism contract.} Windows are logical
+    ([floor (mono / window)]) and detector state advances only when an
+    event is fed or {!finalize} is called — never from the wall clock
+    and never from a reader ([/alertz] observes, it does not tick).
+    Replaying the same event sequence therefore always yields the same
+    alert timeline: the live tap and the offline segment replay of
+    [xmlsecu analyze] are literally the same code path, and
+    test/test_analytics.ml property-tests that equivalence. *)
+
+type config = {
+  window : float;  (** seconds per logical window *)
+  baseline : int;  (** trailing windows forming the denial baseline *)
+  spike_factor : float;
+  spike_min : int;
+  probe_targets : int;
+      (** distinct denied targets under one prefix, per window *)
+  probe_depth : int;  (** ordpath components forming the subtree prefix *)
+  dormant_windows : int;
+  abort_min : int;
+  resolve_after : int;
+      (** quiet closed windows before a firing alert resolves *)
+}
+
+val default_config : config
+(** 10 s windows, baseline 6, spike 4× / floor 8, probe 8 targets at
+    depth 2, dormant 6, aborts 8, resolve after 3. *)
+
+type state = Firing | Resolved
+
+val state_to_string : state -> string
+
+type transition = {
+  t_window : int;
+  t_detector : string;
+  t_subject : string;
+  t_state : state;
+  t_detail : string;
+}
+
+type alert_view = {
+  detector : string;
+  subject : string;
+  a_state : state;
+  first_window : int;  (** start of the current firing episode *)
+  last_window : int;  (** last window the condition held *)
+  episodes : int;
+  detail : string;
+}
+
+type t
+
+val create : ?config:config -> unit -> t
+(** @raise Invalid_argument on non-positive window or
+    baseline/resolve_after < 1. *)
+
+val default : t
+(** The process-wide engine {!install} wires the taps to. *)
+
+val config : t -> config
+
+(** {1 Ingestion} *)
+
+val observe_audit : t -> Audit.event -> unit
+(** Feed one audit decision; closes every logical window the event's
+    [mono] stamp has moved past (empty gaps are skipped in O(users),
+    with baselines aged identically to one-at-a-time closes). *)
+
+val observe_event : t -> Events.event -> unit
+(** Feed one transaction event; only [Abort] advances state. *)
+
+val finalize : t -> unit
+(** Close [resolve_after + 1] windows past the open one, so every alert
+    whose condition has gone quiet reaches [Resolved].  Deterministic —
+    uses only window arithmetic, no clock. *)
+
+val replay : ?config:config -> Audit.event list -> t
+(** A fresh engine fed the events in order — the offline half of the
+    live/offline equivalence.  Call {!finalize} afterwards to settle
+    resolutions. *)
+
+val install : ?t:t -> unit -> unit
+(** Register taps on {!Audit.default} and {!Events} feeding [t]
+    (default {!default}).  Taps ride alongside the durable-journal sink;
+    they do not displace it. *)
+
+val uninstall : unit -> unit
+
+val ordpath_prefix : depth:int -> string -> string option
+(** [Some "1.3"] for a dotted-integer ordpath target strictly deeper
+    than [depth] components; [None] for query strings and shallow
+    targets. *)
+
+(** {1 Reading} *)
+
+val alerts : t -> alert_view list
+(** Sorted by (detector, subject). *)
+
+val transitions : t -> transition list
+(** Firing/resolved timeline, oldest first (bounded; oldest dropped past
+    8192). *)
+
+val open_window : t -> int option
+
+type user_row = { ur_user : string; ur_allowed : int; ur_denied : int }
+
+type subtree_row = {
+  sr_prefix : string;
+  sr_denied : int;
+  sr_targets : int;  (** distinct denied targets ever seen under it *)
+  sr_users : string list;
+}
+
+type report = { users : user_row list; subtrees : subtree_row list }
+
+val report : t -> report
+(** Cumulative per-user / per-subtree denial report (sorted by denials
+    descending, then name) — the output of [xmlsecu analyze]. *)
+
+val to_json : t -> string
+val summary : t -> string
+(** Human-readable alerts + timeline + report. *)

@@ -21,12 +21,16 @@ type t = {
   ring : event Queue.t;
   mutable seen : int;
   mutable sink : (event -> unit) option;
+  mutable taps : (string * (event -> unit)) list;
+      (* named observers running after the sink: the sink slot belongs
+         to the durable journal, taps let the anomaly engine (and tests)
+         ride alongside without displacing it *)
 }
 
 let create ?(capacity = 1024) () =
   if capacity < 1 then invalid_arg "Obs.Audit.create: capacity < 1";
   { lock = Mutex.create (); capacity; ring = Queue.create (); seen = 0;
-    sink = None }
+    sink = None; taps = [] }
 
 let default = create ()
 
@@ -45,6 +49,12 @@ let set_capacity t capacity =
 
 let capacity t = t.capacity
 let set_sink t sink = t.sink <- sink
+
+let set_tap t ~name tap =
+  Mutex.lock t.lock;
+  let rest = List.filter (fun (n, _) -> n <> name) t.taps in
+  t.taps <- (match tap with None -> rest | Some f -> (name, f) :: rest);
+  Mutex.unlock t.lock
 
 let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
     ?(detail = "") decision =
@@ -69,9 +79,17 @@ let record t ~user ~action ?(privilege = "") ?(target = "") ?(rule = "")
   t.seen <- t.seen + 1;
   Queue.push event t.ring;
   if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
-  let sink = t.sink in
+  let sink = t.sink and taps = t.taps in
   Mutex.unlock t.lock;
-  match sink with None -> () | Some f -> f event
+  (* Sink and taps outside the lock: a slow journal or detector must not
+     stall recorders on other domains. *)
+  (match sink with None -> () | Some f -> f event);
+  List.iter (fun (_, f) -> f event) taps;
+  if Timeseries.enabled () then
+    Timeseries.bump Timeseries.default ~now:mono
+      (match decision with
+       | Allowed -> "audit_allow"
+       | Denied -> "audit_deny")
 
 let events t = List.of_seq (Queue.to_seq t.ring)
 let length t = Queue.length t.ring

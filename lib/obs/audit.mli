@@ -52,6 +52,13 @@ val set_sink : t -> (event -> unit) option -> unit
 (** [Some f] offers every recorded event to [f] (after ring insertion);
     [None] restores the default no-op sink. *)
 
+val set_tap : t -> name:string -> (event -> unit) option -> unit
+(** Registers (or, with [None], removes) a named observer that runs
+    after the sink on every recorded event.  The single sink slot
+    belongs to the durable journal; taps let consumers like
+    {!Anomaly} ride alongside without displacing it.  Re-registering a
+    name replaces it.  Taps run outside the ring lock. *)
+
 val record :
   t ->
   user:string ->

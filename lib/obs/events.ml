@@ -63,6 +63,17 @@ let set_capacity n =
 
 let set_sink s = sink := s
 
+(* Named observers running after the sink — same contract as
+   Audit.set_tap: the sink slot stays free for streaming exports while
+   the anomaly engine listens for aborts. *)
+let taps : (string * (event -> unit)) list ref = ref []
+
+let set_tap ~name tap =
+  Mutex.lock lock;
+  let rest = List.filter (fun (n, _) -> n <> name) !taps in
+  taps := (match tap with None -> rest | Some f -> (name, f) :: rest);
+  Mutex.unlock lock
+
 let emit ?txn kind =
   if Atomic.get enabled_flag then begin
     let txn = match txn with Some t -> t | None -> current_txn () in
@@ -75,10 +86,17 @@ let emit ?txn kind =
     incr seen;
     Queue.push e ring;
     if Queue.length ring > !capacity then ignore (Queue.pop ring);
+    let tap_list = !taps in
     Mutex.unlock lock;
-    (* Sink outside the lock: a slow sink (stderr, file) must not stall
-       emitters on other domains. *)
-    match !sink with None -> () | Some f -> f e
+    (* Sink and taps outside the lock: a slow sink (stderr, file) must
+       not stall emitters on other domains. *)
+    (match !sink with None -> () | Some f -> f e);
+    List.iter (fun (_, f) -> f e) tap_list;
+    if Timeseries.enabled () then
+      match kind with
+      | Commit _ -> Timeseries.bump Timeseries.default ~now:mono "txn_commit"
+      | Abort _ -> Timeseries.bump Timeseries.default ~now:mono "txn_abort"
+      | _ -> ()
   end
 
 let events () =

@@ -84,6 +84,12 @@ val set_sink : (event -> unit) option -> unit
 val jsonl_sink : out_channel -> event -> unit
 (** One JSON object per line; pair with {!set_sink}. *)
 
+val set_tap : name:string -> (event -> unit) option -> unit
+(** Registers (or, with [None], removes) a named observer that runs
+    after the sink on every emitted event — how {!Anomaly} listens for
+    aborts without occupying the sink slot.  Re-registering a name
+    replaces it; taps run outside the ring lock. *)
+
 (** {1 Queries} *)
 
 val events : unit -> event list

@@ -1,0 +1,80 @@
+(** Fixed-window time-series ring: per-window named counters plus latency
+    quantile sketches, rotated in O(1) at window boundaries.
+
+    Windows are {e logical}: an observation stamped [now] lands in window
+    [floor (now / window)], so the series is a pure function of the
+    stamps fed in — the clock is injected ([?now]), never read by the
+    readers.  This is the determinism contract the anomaly detectors
+    inherit (DESIGN § security analytics): replaying the same event
+    stamps rebuilds the same windows.
+
+    Recording is guarded by a global {!enabled} flag at the call sites
+    (audit decisions, transaction events, query latency), so a disabled
+    series costs one boolean load.  Sketches share the Metrics histogram
+    ladder (powers of two, 1µs..~8s), which makes merging windows an
+    element-wise add. *)
+
+type t
+
+val create : ?window:float -> ?slots:int -> unit -> t
+(** [window] seconds per window (default 10); [slots] ring length
+    (default 60, i.e. 10 minutes of history).
+    @raise Invalid_argument when [window <= 0] or [slots < 2]. *)
+
+val default : t
+(** The process-wide series the instrumented call sites feed. *)
+
+val set_enabled : bool -> unit
+(** Global switch shared by every series (call sites guard on it). *)
+
+val enabled : unit -> bool
+
+val window : t -> float
+val index_of : t -> float -> int
+(** The logical window index a stamp falls in. *)
+
+(** {1 Recording} *)
+
+val bump : t -> ?now:float -> ?n:int -> string -> unit
+(** Adds [n] (default 1) to counter [series] in the window containing
+    [now] (default {!Mono.now}).  Skipped windows materialise as zero
+    windows; a stamp older than the ring's reach is dropped and counted
+    in {!late_drops}. *)
+
+val observe : t -> ?now:float -> string -> float -> unit
+(** Feeds one duration (seconds) into sketch [series] of the window
+    containing [now]. *)
+
+val rotations : t -> int
+val late_drops : t -> int
+val clear : t -> unit
+
+(** {1 Reading} *)
+
+type sketch_view = {
+  count : int;
+  sum : float;
+  buckets : int array;  (** per-bucket counts, overflow last *)
+}
+
+type window_view = {
+  index : int;  (** covers [[index*window, (index+1)*window)] *)
+  counters : (string * int) list;  (** sorted by name *)
+  sketches : (string * sketch_view) list;  (** sorted by name *)
+}
+
+val windows : t -> window_view list
+(** Retained windows, oldest first (gap windows included, empty). *)
+
+val current : t -> int option
+(** Newest window index, or [None] before any observation. *)
+
+val merge : sketch_view list -> sketch_view
+(** Element-wise bucket sum — merging windows loses nothing because all
+    sketches share one ladder. *)
+
+val quantile : sketch_view -> float -> float
+(** Upper bound of the bucket holding the q-th sample (0 on empty;
+    overflow reports twice the last bound). *)
+
+val to_json : t -> string

@@ -25,6 +25,34 @@ let m_rotations =
   Obs.Metrics.counter Obs.Metrics.default "audit_journal_rotations_total"
     ~help:"Audit journal segment rotations"
 
+let g_segments =
+  Obs.Metrics.gauge Obs.Metrics.default "audit_segments"
+    ~help:"Segment files in the durable audit journal directory"
+
+let f_records =
+  Obs.Metrics.family Obs.Metrics.default "audit_records_total"
+    ~labels:[ "decision" ]
+    ~help:"Audit events appended to the durable audit journal by decision"
+
+let c_allow = Obs.Metrics.labels f_records [ "allow" ]
+let c_deny = Obs.Metrics.labels f_records [ "deny" ]
+
+(* nan = no segment opened yet this process; mirrors the snapshot-age
+   gauge the store exposes *)
+let last_rotation_at = Atomic.make Float.nan
+
+let seconds_since_rotation () =
+  let t0 = Atomic.get last_rotation_at in
+  if Float.is_nan t0 then None else Some (Obs.Mono.now () -. t0)
+
+let () =
+  Obs.Metrics.gauge_fn Obs.Metrics.default "seconds_since_audit_rotation"
+    ~help:
+      "Seconds since the audit journal last opened a fresh segment (-1 \
+       before any)"
+    (fun () ->
+      match seconds_since_rotation () with Some s -> s | None -> -1.)
+
 (* The payload is one compact <audit/> element — inspectable with any
    XML tooling, byte-exact under reparse (attribute values escape).
    Built straight into a buffer: the append path runs once per access
@@ -199,13 +227,17 @@ let open_dir ?(fsync = false) ?(max_bytes = default_max_bytes) dir =
      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
      else if not (Sys.is_directory dir) then fail "%s: not a directory" dir
    with Sys_error m -> fail "%s" m);
+  let existing = segments dir in
   let index, at, size =
-    match List.rev (segments dir) with
+    match List.rev existing with
     | [] -> (1, None, String.length header_line)
     | last :: _ ->
       let _, valid, _ = scan_segment (Filename.concat dir (segment_name last)) in
       (last, Some valid, valid)
   in
+  Obs.Metrics.set_gauge g_segments
+    (Float.of_int (Stdlib.max 1 (List.length existing)));
+  Atomic.set last_rotation_at (Obs.Mono.now ());
   {
     dir;
     fsync;
@@ -254,7 +286,9 @@ let append t event =
         Obs.Metrics.inc m_rotations;
         t.index <- t.index + 1;
         t.fd <- open_segment t.dir t.index ~at:None;
-        t.size <- String.length header_line
+        t.size <- String.length header_line;
+        Obs.Metrics.add_gauge g_segments 1.;
+        Atomic.set last_rotation_at (Obs.Mono.now ())
       end;
       if t.fsync then begin
         (try write_all t.fd f
@@ -267,7 +301,11 @@ let append t event =
       end;
       t.size <- t.size + String.length f;
       Obs.Metrics.inc m_appends;
-      Obs.Metrics.add m_bytes (String.length f))
+      Obs.Metrics.add m_bytes (String.length f);
+      Obs.Metrics.inc
+        (match event.Obs.Audit.decision with
+         | Obs.Audit.Allowed -> c_allow
+         | Obs.Audit.Denied -> c_deny))
 
 (* [sink t] plugs straight into [Obs.Audit.set_sink].  Failures are
    swallowed after the journal is closed — a late event from another

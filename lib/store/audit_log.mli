@@ -27,6 +27,13 @@ val encode : Obs.Audit.event -> string
 val default_max_bytes : int
 (** 4 MiB. *)
 
+val seconds_since_rotation : unit -> float option
+(** Monotonic seconds since this process last opened a fresh segment
+    ({!open_dir} or a size rotation); [None] before any.  Also exposed
+    as the [seconds_since_audit_rotation] callback gauge (-1 before
+    any), next to the [audit_segments] gauge and the
+    [audit_records_total{decision}] counter family. *)
+
 type t
 
 val open_dir : ?fsync:bool -> ?max_bytes:int -> string -> t

@@ -86,7 +86,8 @@ let test_telemetry_endpoints () =
       Alcotest.(check string)
         (target ^ " carries application/json")
         "application/json" r.Monitor.content_type)
-    [ "/rulez"; "/slowz"; "/explainz"; "/auditz"; "/eventz" ]
+    [ "/rulez"; "/slowz"; "/explainz"; "/auditz"; "/eventz"; "/alertz";
+      "/timeseriez" ]
 
 (* The /eventz?txn= filter contract: matching id serves exactly that
    transaction's events, a non-matching id serves an empty list (not an
@@ -228,6 +229,11 @@ let test_end_to_end () =
   Obs.Planlog.set_enabled true;
   Obs.Planlog.set_threshold 0.;
   Obs.Planlog.clear ();
+  Obs.Timeseries.set_enabled true;
+  Obs.Timeseries.clear Obs.Timeseries.default;
+  Obs.Audit.set_enabled true;
+  Obs.Audit.clear Obs.Audit.default;
+  Obs.Anomaly.install ();
   let mon =
     Monitor.start
       ~probes:(fun () ->
@@ -247,6 +253,11 @@ let test_end_to_end () =
       Obs.Planlog.set_enabled false;
       Obs.Planlog.set_threshold Obs.Planlog.default_threshold;
       Obs.Planlog.clear ();
+      Obs.Anomaly.uninstall ();
+      Obs.Timeseries.set_enabled false;
+      Obs.Timeseries.clear Obs.Timeseries.default;
+      Obs.Audit.set_enabled false;
+      Obs.Audit.clear Obs.Audit.default;
       Store.close store;
       rm_rf dir)
   @@ fun () ->
@@ -255,16 +266,23 @@ let test_end_to_end () =
   let serve = Core.Serve.create ~persist:store P.policy doc0 in
   Core.Serve.login serve ~user:P.laporte;
   Core.Serve.login serve ~user:P.beaufort;
-  (* Scrape /metrics from several threads while transactions commit on
-     the main thread: the exporter must serve concurrently with
-     mutations. *)
+  (* Scrape /metrics, /alertz and /timeseriez from several threads while
+     transactions commit on the main thread: the exporter (and the
+     detector/time-series state behind the analytics endpoints) must
+     serve concurrently with mutations. *)
   let scrape_failures = Atomic.make 0 in
   let scrapers =
-    List.init 4 (fun _ ->
+    List.init 4 (fun i ->
         Thread.create
           (fun () ->
+            let target =
+              match i mod 3 with
+              | 0 -> "/metrics"
+              | 1 -> "/alertz"
+              | _ -> "/timeseriez"
+            in
             for _ = 1 to 5 do
-              let status, _, _ = http_get port "/metrics" in
+              let status, _, _ = http_get port target in
               if status <> 200 then Atomic.incr scrape_failures
             done)
           ())
@@ -343,6 +361,24 @@ let test_end_to_end () =
   (* The remaining endpoints answer over the wire too. *)
   let status, _, _ = http_get port "/auditz" in
   Alcotest.(check int) "/auditz is 200" 200 status;
+  (* The analytics surface after the commit storm: the time-series saw
+     the commits and their latency sketches, the anomaly engine is
+     serving its (quiet) state. *)
+  let status, _, body = http_get port "/timeseriez" in
+  Alcotest.(check int) "/timeseriez is 200" 200 status;
+  Alcotest.(check bool) "/timeseriez counted the commits" true
+    (contains body "\"txn_commit\"");
+  Alcotest.(check bool) "/timeseriez sketched the update latency" true
+    (contains body "\"update_seconds\"");
+  Alcotest.(check bool) "/timeseriez counted the audited decisions" true
+    (contains body "\"audit_allow\"");
+  let status, _, body = http_get port "/alertz" in
+  Alcotest.(check int) "/alertz is 200" 200 status;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("/alertz serves " ^ needle) true
+        (contains body needle))
+    [ "\"alerts\""; "\"transitions\""; "\"open_window\""; "\"report\"" ];
   let status, _, body = http_get port "/tracez?chrome=1" in
   Alcotest.(check int) "/tracez?chrome=1 is 200" 200 status;
   Alcotest.(check bool) "chrome export shape" true

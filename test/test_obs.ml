@@ -918,6 +918,99 @@ let test_differential_instrumentation () =
     "views, answers, holds and reports identical with instrumentation on"
     plain instrumented
 
+(* --- timeseries ---------------------------------------------------------- *)
+
+module TS = Obs.Timeseries
+
+let counter_of wv name =
+  match List.assoc_opt name wv.TS.counters with Some n -> n | None -> 0
+
+(* Window identity is floor(now / window): a stamp exactly on the edge
+   belongs to the *next* window, with nothing lost on either side. *)
+let test_ts_boundary () =
+  let t = TS.create ~window:10. ~slots:8 () in
+  TS.bump t ~now:0.0 "x";
+  TS.bump t ~now:9.999999 "x";
+  TS.bump t ~now:10.0 "x";
+  TS.bump t ~now:10.000001 "x";
+  (match TS.windows t with
+   | [ w0; w1 ] ->
+     Alcotest.(check int) "window 0" 0 w0.TS.index;
+     Alcotest.(check int) "both sub-edge stamps in window 0" 2
+       (counter_of w0 "x");
+     Alcotest.(check int) "window 1" 1 w1.TS.index;
+     Alcotest.(check int) "edge stamp opens window 1" 2 (counter_of w1 "x")
+   | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+  Alcotest.(check int) "one rotation at the edge" 1 (TS.rotations t);
+  Alcotest.(check (option int)) "current window" (Some 1) (TS.current t)
+
+(* A gap narrower than the ring materialises the skipped windows as
+   empty ones; a gap of ring width or more clears it wholesale in
+   O(slots), never O(gap). *)
+let test_ts_gaps () =
+  let t = TS.create ~window:10. ~slots:4 () in
+  TS.bump t ~now:5. "x";
+  TS.bump t ~now:35. "x";
+  (match TS.windows t with
+   | [ w0; w1; w2; w3 ] ->
+     Alcotest.(check (list int)) "gap materialised as empty windows"
+       [ 0; 1; 2; 3 ]
+       [ w0.TS.index; w1.TS.index; w2.TS.index; w3.TS.index ];
+     Alcotest.(check int) "gap windows are empty" 0 (counter_of w1 "x");
+     Alcotest.(check int) "oldest window retained" 1 (counter_of w0 "x");
+     Alcotest.(check int) "live window counted" 1 (counter_of w3 "x")
+   | ws -> Alcotest.failf "expected 4 windows, got %d" (List.length ws));
+  (* late but within reach: lands in its own past window *)
+  TS.bump t ~now:15. "x";
+  let w1 = List.find (fun w -> w.TS.index = 1) (TS.windows t) in
+  Alcotest.(check int) "late in-reach stamp lands in its window" 1
+    (counter_of w1 "x");
+  Alcotest.(check int) "no late drop yet" 0 (TS.late_drops t);
+  (* one more rotation evicts window 0; a stamp for it is now beyond
+     reach: dropped and counted, never misattributed *)
+  TS.bump t ~now:45. "x";
+  TS.bump t ~now:5. "x";
+  Alcotest.(check int) "out-of-reach stamp dropped" 1 (TS.late_drops t);
+  (match TS.windows t with
+   | [ w1; _; _; _ ] ->
+     Alcotest.(check int) "window 0 evicted" 1 w1.TS.index
+   | ws -> Alcotest.failf "expected 4 windows, got %d" (List.length ws));
+  (* a gap of ring width or more: wholesale clear, single live window *)
+  TS.bump t ~now:1000. "x";
+  (match TS.windows t with
+   | [ w ] ->
+     Alcotest.(check int) "only the landing window survives" 100 w.TS.index
+   | ws -> Alcotest.failf "expected 1 window, got %d" (List.length ws))
+
+let test_ts_sketch_merge () =
+  let t = TS.create ~window:10. ~slots:8 () in
+  (* two windows of latency observations on one shared bucket ladder *)
+  TS.observe t ~now:1. "q" 0.000001;
+  TS.observe t ~now:2. "q" 0.000001;
+  TS.observe t ~now:12. "q" 0.001;
+  TS.observe t ~now:13. "q" 8.0;
+  let sketches =
+    List.filter_map
+      (fun w -> List.assoc_opt "q" w.TS.sketches)
+      (TS.windows t)
+  in
+  Alcotest.(check int) "two windows carry sketches" 2 (List.length sketches);
+  let m = TS.merge sketches in
+  Alcotest.(check int) "merge sums counts" 4 m.TS.count;
+  Alcotest.(check bool) "merge sums durations" true
+    (Float.abs (m.TS.sum -. 8.001002) < 1e-9);
+  (* quantiles walk the merged cumulative buckets: the 2 fast samples
+     pin p50 to the first bucket, the slow outlier owns p99 *)
+  Alcotest.(check bool) "p50 in the 1us bucket" true
+    (TS.quantile m 0.5 <= 0.000002);
+  Alcotest.(check bool) "p99 reaches the outlier's bucket" true
+    (TS.quantile m 0.99 >= 8.0);
+  Alcotest.(check (float 1e-9)) "empty sketch quantile is 0" 0.
+    (TS.quantile (TS.merge []) 0.9);
+  (* the json surface is well-formed *)
+  Alcotest.(check bool) "timeseries json well-formed" true
+    (json_well_formed (TS.to_json t))
+
 let () =
   Alcotest.run "obs"
     [
@@ -981,6 +1074,15 @@ let () =
           Alcotest.test_case "rings and thresholds" `Quick test_planlog_rings;
           Alcotest.test_case "served queries record plans" `Quick
             test_planlog_live;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "rotation exactly at the window edge" `Quick
+            test_ts_boundary;
+          Alcotest.test_case "gap handling and late stamps" `Quick
+            test_ts_gaps;
+          Alcotest.test_case "quantile sketch merge" `Quick
+            test_ts_sketch_merge;
         ] );
       ( "differential",
         [
